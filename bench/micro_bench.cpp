@@ -1,0 +1,79 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrates every
+// experiment sits on — circuit evaluations, surrogate training, LU solves.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "circuits/ico.hpp"
+#include "circuits/ldo.hpp"
+#include "circuits/two_stage_opamp.hpp"
+#include "linalg/lu.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+using namespace trdse;
+
+namespace {
+
+void BM_OpampEval(benchmark::State& state) {
+  const circuits::TwoStageOpamp amp(sim::bsim45Card());
+  const auto space = circuits::TwoStageOpamp::designSpace(sim::bsim45Card());
+  const sim::PvtCorner tt{sim::ProcessCorner::kTT, 1.1, 27.0};
+  std::mt19937_64 rng(1);
+  const auto x = space.randomPoint(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(amp.evaluate(x, tt));
+}
+BENCHMARK(BM_OpampEval);
+
+void BM_LdoEval(benchmark::State& state) {
+  const circuits::Ldo ldo(sim::n6Card());
+  const sim::PvtCorner tt{sim::ProcessCorner::kTT, 0.75, 27.0};
+  const auto x = circuits::Ldo::humanReferenceSizing();
+  for (auto _ : state) benchmark::DoNotOptimize(ldo.evaluate(x, tt));
+}
+BENCHMARK(BM_LdoEval);
+
+void BM_IcoEvalTransient(benchmark::State& state) {
+  const circuits::Ico ico(sim::n5Card());
+  const sim::PvtCorner tt{sim::ProcessCorner::kTT, 0.70, 27.0};
+  const auto x = circuits::Ico::humanReferenceSizing();
+  for (auto _ : state) benchmark::DoNotOptimize(ico.evaluate(x, tt));
+}
+BENCHMARK(BM_IcoEvalTransient);
+
+void BM_SurrogateEpoch(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<linalg::Vector> xs;
+  std::vector<linalg::Vector> ys;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back({d(rng), d(rng), d(rng), d(rng), d(rng), d(rng), d(rng), d(rng),
+                  d(rng)});
+    ys.push_back({d(rng), d(rng), d(rng), d(rng)});
+  }
+  nn::MlpConfig cfg;
+  cfg.layerSizes = {9, 48, 48, 4};
+  nn::Mlp net(cfg, 3);
+  nn::AdamOptimizer opt(3e-3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(nn::trainEpochMse(net, opt, xs, ys, 16, rng));
+}
+BENCHMARK(BM_SurrogateEpoch);
+
+void BM_LuSolve16(benchmark::State& state) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  linalg::Matrix a(16, 16);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) a(r, c) = d(rng);
+    a(r, r) += 4.0;
+  }
+  linalg::Vector b(16, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(linalg::LuSolver<double>::solveSystem(a, b));
+}
+BENCHMARK(BM_LuSolve16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

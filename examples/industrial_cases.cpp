@@ -1,0 +1,83 @@
+// The two industrial-style cases (paper Section V-E): an LDO on the
+// synthetic n6 card (Table IV) and a current-controlled oscillator on the
+// synthetic n5 card (Table V), both solved through the designer-facing
+// session API and compared against the hand "human" reference design.
+//
+// Usage: industrial_cases [seed]
+#include <cstdio>
+
+#include "circuits/ico.hpp"
+#include "circuits/ldo.hpp"
+#include "core/sizing_api.hpp"
+
+using namespace trdse;
+
+namespace {
+
+void printRow(const char* who, const linalg::Vector& meas,
+              const std::vector<std::string>& names) {
+  std::printf("  %-8s", who);
+  for (std::size_t i = 0; i < names.size(); ++i)
+    std::printf(" %s=%.4g", names[i].c_str(), meas[i]);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  // ---- Case 1: LDO on n6 (multi-corner sign-off).
+  {
+    const circuits::Ldo ldo(sim::n6Card());
+    const std::vector<sim::PvtCorner> corners = {
+        {sim::ProcessCorner::kTT, 0.75, 27.0},
+        {sim::ProcessCorner::kSS, 0.70, 125.0},
+        {sim::ProcessCorner::kFF, 0.80, -40.0},
+    };
+    std::printf("== LDO on n6 (space 10^%.1f, %zu corners) ==\n",
+                circuits::Ldo::designSpace(sim::n6Card()).sizeLog10(),
+                corners.size());
+    const auto human = circuits::Ldo::humanReferenceSizing();
+    const auto humanEval = ldo.evaluate(human, corners.front());
+    if (humanEval.ok)
+      printRow("human", humanEval.measurements, circuits::Ldo::measurementNames());
+
+    core::SessionOptions options;
+    options.seed = seed;
+    options.maxSimulations = 20000;
+    core::SizingSession session(ldo.makeProblem(corners, ldo.defaultSpecs()),
+                                options);
+    const auto report = session.run();
+    std::printf("  agent solved=%d in %zu EDA blocks\n", int(report.solved),
+                report.simulations);
+    if (report.solved)
+      printRow("agent", report.cornerEvals.front().measurements,
+               circuits::Ldo::measurementNames());
+  }
+
+  // ---- Case 2: ICO on n5 (single corner, small space).
+  {
+    const circuits::Ico ico(sim::n5Card());
+    const std::vector<sim::PvtCorner> corners = {
+        {sim::ProcessCorner::kTT, 0.70, 27.0}};
+    std::printf("== ICO on n5 (space 20^4) ==\n");
+    const auto human = circuits::Ico::humanReferenceSizing();
+    const auto humanEval = ico.evaluate(human, corners.front());
+    if (humanEval.ok)
+      printRow("human", humanEval.measurements, circuits::Ico::measurementNames());
+
+    core::SessionOptions options;
+    options.seed = seed;
+    options.maxSimulations = 2000;
+    core::SizingSession session(ico.makeProblem(corners, ico.defaultSpecs()),
+                                options);
+    const auto report = session.run();
+    std::printf("  agent solved=%d in %zu EDA blocks\n", int(report.solved),
+                report.simulations);
+    if (report.solved)
+      printRow("agent", report.cornerEvals.front().measurements,
+               circuits::Ico::measurementNames());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Process porting / AIP reuse (paper Section V-C, Table II): size the opamp
+// on BSIM 45nm, then port to BSIM 22nm using the three strategies the paper
+// compares — cold start, weight+start sharing, and start sharing only.
+//
+// Usage: process_porting [seed]
+#include <cstdio>
+
+#include "circuits/two_stage_opamp.hpp"
+#include "core/local_explorer.hpp"
+
+using namespace trdse;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  // ---- Donor node: 45nm.
+  const circuits::TwoStageOpamp amp45(sim::bsim45Card());
+  const auto space45 = circuits::TwoStageOpamp::designSpace(sim::bsim45Card());
+  const sim::PvtCorner tt45{sim::ProcessCorner::kTT,
+                            sim::bsim45Card().nominalVdd, 27.0};
+  const core::ValueFunction value45(circuits::TwoStageOpamp::measurementNames(),
+                                    amp45.defaultSpecs());
+  core::LocalExplorerConfig cfg45;
+  cfg45.seed = seed;
+  core::LocalExplorer donor(
+      space45, value45,
+      [&](const linalg::Vector& x) { return amp45.evaluate(x, tt45); }, cfg45);
+  const core::SearchOutcome out45 = donor.run(10000);
+  std::printf("45nm donor: solved=%d iterations=%zu\n", int(out45.solved),
+              out45.iterations);
+  if (!out45.solved) return 1;
+
+  // ---- Target node: 22nm, three porting strategies.
+  const circuits::TwoStageOpamp amp22(sim::bsim22Card());
+  const auto space22 = circuits::TwoStageOpamp::designSpace(sim::bsim22Card());
+  const sim::PvtCorner tt22{sim::ProcessCorner::kTT,
+                            sim::bsim22Card().nominalVdd, 27.0};
+  const core::ValueFunction value22(circuits::TwoStageOpamp::measurementNames(),
+                                    amp22.defaultSpecs());
+
+  struct Strategy {
+    const char* name;
+    bool shareWeights;
+    bool shareStart;
+  };
+  const Strategy strategies[] = {
+      {"baseline (random weights, random start)", false, false},
+      {"weight sharing + starting point sharing", true, true},
+      {"random weights + starting point sharing", false, true},
+  };
+  for (const auto& s : strategies) {
+    core::LocalExplorerConfig cfg;
+    cfg.seed = seed + 100;
+    if (s.shareStart) cfg.startingPoint = out45.sizes;
+    if (s.shareWeights) cfg.warmStartWeights = &donor.surrogate().network();
+    core::LocalExplorer agent(
+        space22, value22,
+        [&](const linalg::Vector& x) { return amp22.evaluate(x, tt22); }, cfg);
+    const core::SearchOutcome out = agent.run(10000);
+    std::printf("22nm %-42s: solved=%d iterations=%zu\n", s.name,
+                int(out.solved), out.iterations);
+  }
+  return 0;
+}

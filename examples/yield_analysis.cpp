@@ -1,0 +1,149 @@
+// Monte Carlo mismatch / yield analysis of an AI-sized opamp.
+//
+// The paper's discussion raises AI-safety screening of machine-sized
+// circuits; a quantitative screen a designer actually runs is MC yield under
+// local device mismatch. This example sizes the 45nm opamp with the
+// trust-region agent, then estimates spec yield under Pelgrom mismatch and
+// compares against a margin-seeking re-run (tightened specs), showing how a
+// designer would harden an AI design.
+//
+// Usage: yield_analysis [seed] [mcRuns]
+#include <cstdio>
+#include <optional>
+#include <random>
+
+#include "circuits/two_stage_opamp.hpp"
+#include "core/local_explorer.hpp"
+#include "sim/dc.hpp"
+#include "sim/mismatch.hpp"
+
+using namespace trdse;
+
+namespace {
+
+/// Mismatch introduces an input offset which the open-loop testbench
+/// amplifies into the rails, so each MC sample first *nulls* the offset —
+/// exactly what a designer's offset-corrected AC testbench does: adjust the
+/// inverting input by the measured output error over the DC gain until the
+/// output sits near mid-supply, then measure.
+bool nullOffsetAndMeasure(circuits::TwoStageOpamp::Testbench& tb,
+                          core::EvalResult& out) {
+  const double target = 0.5 * tb.vdd;
+  auto voutAt = [&](double vinn) -> std::optional<double> {
+    tb.netlist.vsources()[tb.innSource].vdc = vinn;
+    const sim::DcResult op = sim::DcSolver(tb.netlist).solve(&tb.initialGuess);
+    if (!op.converged) return std::nullopt;
+    return op.nodeVoltage(tb.out);
+  };
+
+  // Bracket the offset on a coarse scan (+-60 mV around the common mode —
+  // several sigma of Pelgrom offset), then bisect. vout rises with vinn
+  // through the mirror path, but bisection only needs the bracket signs.
+  const double vcm = tb.netlist.vsources()[tb.inpSource].vdc;
+  double lo = vcm - 0.06;
+  double hi = vcm + 0.06;
+  auto fLo = voutAt(lo);
+  auto fHi = voutAt(hi);
+  if (!fLo || !fHi) return false;
+  if ((*fLo - target) * (*fHi - target) > 0.0) return false;  // offset > 60 mV
+  const bool rising = *fHi > *fLo;
+  for (int iter = 0; iter < 18; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const auto fMid = voutAt(mid);
+    if (!fMid) return false;
+    if (std::abs(*fMid - target) < 0.03 * tb.vdd) {
+      out = circuits::TwoStageOpamp::measure(tb);
+      return out.ok;
+    }
+    if ((*fMid > target) == rising) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return false;
+}
+
+double mcYield(const circuits::TwoStageOpamp& amp,
+               const core::ValueFunction& specCheck, const linalg::Vector& sizes,
+               const sim::PvtCorner& corner, int runs, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  int pass = 0;
+  for (int i = 0; i < runs; ++i) {
+    auto tb = amp.buildTestbench(sizes, corner);
+    sim::applyMismatch(tb.netlist, {}, rng);
+    core::EvalResult r;
+    if (nullOffsetAndMeasure(tb, r) && specCheck.satisfied(r.measurements))
+      ++pass;
+  }
+  return 100.0 * pass / runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  const int mcRuns = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  const sim::ProcessCard& card = sim::bsim45Card();
+  const circuits::TwoStageOpamp amp(card);
+  const auto space = circuits::TwoStageOpamp::designSpace(card);
+  const sim::PvtCorner tt{sim::ProcessCorner::kTT, card.nominalVdd, 27.0};
+  const auto specs = amp.defaultSpecs();
+  const core::ValueFunction specCheck(circuits::TwoStageOpamp::measurementNames(),
+                                      specs);
+
+  // All measurements in this example — sizing and MC alike — go through the
+  // offset-nulled testbench, so the search optimizes exactly what the Monte
+  // Carlo later judges (searching on the raw testbench and verifying on the
+  // nulled one would conflate systematic-offset drift with mismatch).
+  auto evalNulled = [&](const linalg::Vector& x) {
+    auto tb = amp.buildTestbench(x, tt);
+    core::EvalResult r;
+    if (!nullOffsetAndMeasure(tb, r)) return core::EvalResult{};
+    return r;
+  };
+
+  // 1) Plain CSP solution: lands exactly on the spec boundary.
+  core::LocalExplorerConfig cfg;
+  cfg.seed = seed;
+  core::LocalExplorer agent(space, specCheck, evalNulled, cfg);
+  const auto boundary = agent.run(10000);
+  if (!boundary.solved) {
+    std::printf("search failed\n");
+    return 1;
+  }
+  std::printf("boundary design found in %zu sims\n", boundary.iterations);
+
+  // 2) Margin-hardened solution: re-run against tightened specs.
+  std::vector<core::Spec> hardened = specs;
+  for (auto& s : hardened) {
+    if (s.kind == core::SpecKind::kAtLeast)
+      s.limit *= (s.measurement == "pm_deg") ? 1.05 : 1.08;
+    else
+      s.limit *= 0.9;
+  }
+  const core::ValueFunction hardenedValue(
+      circuits::TwoStageOpamp::measurementNames(), hardened);
+  core::LocalExplorerConfig cfg2;
+  cfg2.seed = seed + 1;
+  core::LocalExplorer agent2(space, hardenedValue, evalNulled, cfg2);
+  const auto margin = agent2.run(10000);
+  if (!margin.solved) {
+    std::printf("hardened search failed within budget; increase it\n");
+    return 1;
+  }
+  std::printf("hardened design found in %zu sims\n", margin.iterations);
+
+  // 3) MC yield of both, judged against the *original* specs.
+  const double yBoundary =
+      mcYield(amp, specCheck, boundary.sizes, tt, mcRuns, seed + 1000);
+  const double yMargin =
+      mcYield(amp, specCheck, margin.sizes, tt, mcRuns, seed + 2000);
+  std::printf("\nMonte Carlo mismatch yield (%d runs, Pelgrom Avt=3.5mV*um):\n",
+              mcRuns);
+  std::printf("  boundary design: %5.1f %%\n", yBoundary);
+  std::printf("  hardened design: %5.1f %%  (searched with ~8%% spec margin)\n",
+              yMargin);
+  return 0;
+}

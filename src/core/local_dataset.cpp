@@ -1,0 +1,38 @@
+#include "core/local_dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trdse::core {
+
+LocalDataset::Selection LocalDataset::selectLocal(const linalg::Vector& center,
+                                                  double cut,
+                                                  std::size_t minCount) const {
+  Selection sel;
+  std::vector<std::pair<double, std::size_t>> byDistance;
+  byDistance.reserve(unit_.size());
+  for (std::size_t i = 0; i < unit_.size(); ++i) {
+    double d = 0.0;
+    for (std::size_t k = 0; k < center.size(); ++k)
+      d = std::max(d, std::abs(unit_[i][k] - center[k]));
+    byDistance.emplace_back(d, i);
+    if (d <= cut) {
+      sel.inputs.push_back(unit_[i]);
+      sel.targets.push_back(meas_[i]);
+    }
+  }
+  if (sel.inputs.size() < minCount && !byDistance.empty()) {
+    const std::size_t k = std::min(minCount, byDistance.size());
+    std::partial_sort(byDistance.begin(), byDistance.begin() + static_cast<long>(k),
+                      byDistance.end());
+    sel.inputs.clear();
+    sel.targets.clear();
+    for (std::size_t i = 0; i < k; ++i) {
+      sel.inputs.push_back(unit_[byDistance[i].second]);
+      sel.targets.push_back(meas_[byDistance[i].second]);
+    }
+  }
+  return sel;
+}
+
+}  // namespace trdse::core

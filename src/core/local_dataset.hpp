@@ -1,0 +1,45 @@
+// Trajectory storage with local-region selection (the paper's compact
+// circuit space D_L): surrogates train only on samples near the current
+// trust-region center, with a nearest-K fallback when the region is sparse.
+// Shared by the single-condition LocalExplorer and the multi-corner PvtSearch.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace trdse::core {
+
+class LocalDataset {
+ public:
+  void add(linalg::Vector unitX, linalg::Vector measurements) {
+    unit_.push_back(std::move(unitX));
+    meas_.push_back(std::move(measurements));
+  }
+
+  void clear() {
+    unit_.clear();
+    meas_.clear();
+  }
+
+  std::size_t size() const { return unit_.size(); }
+  bool empty() const { return unit_.empty(); }
+
+  struct Selection {
+    std::vector<linalg::Vector> inputs;
+    std::vector<linalg::Vector> targets;
+  };
+
+  /// Samples within `cut` (infinity norm) of `center`; when fewer than
+  /// `minCount` qualify, the nearest `minCount` samples are returned instead.
+  Selection selectLocal(const linalg::Vector& center, double cut,
+                        std::size_t minCount) const;
+
+ private:
+  std::vector<linalg::Vector> unit_;
+  std::vector<linalg::Vector> meas_;
+};
+
+}  // namespace trdse::core

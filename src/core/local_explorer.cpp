@@ -1,0 +1,168 @@
+#include "core/local_explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trdse::core {
+
+LocalExplorer::LocalExplorer(DesignSpace space, ValueFunction value,
+                             EvalFn evaluate, LocalExplorerConfig config)
+    : space_(std::move(space)),
+      value_(std::move(value)),
+      evaluate_(std::move(evaluate)),
+      config_(std::move(config)),
+      surrogate_(space.dim(),
+                 /*outputDim=*/1,  // rebuilt once the measurement dim is known
+                 config_.surrogate, config_.seed),
+      rng_(config_.seed) {}
+
+void LocalExplorer::trainLocal(const linalg::Vector& centerUnit, double radius) {
+  LocalDataset::Selection sel = data_.selectLocal(
+      centerUnit, config_.localityFactor * radius, config_.minLocalSamples);
+  if (sel.inputs.empty()) return;
+  surrogate_.setData(std::move(sel.inputs), std::move(sel.targets));
+  surrogate_.train(rng_);
+}
+
+LocalExplorer::Evaluated LocalExplorer::simulate(const linalg::Vector& sizes,
+                                                 SearchOutcome& out) {
+  Evaluated e;
+  e.sizes = space_.snap(sizes);
+  e.unit = space_.toUnit(e.sizes);
+  e.eval = evaluate_(e.sizes);
+  e.value = value_.valueOf(e.eval);
+  e.score = e.eval.ok ? value_.plannerScore(e.eval.measurements) : kFailedValue;
+  ++out.iterations;
+  if (e.eval.ok) data_.add(e.unit, e.eval.measurements);
+  if (e.value > out.bestValue) {
+    out.bestValue = e.value;
+    out.sizes = e.sizes;
+    out.eval = e.eval;
+  }
+  out.trace.bestValueHistory.push_back(out.bestValue);
+  return e;
+}
+
+SearchOutcome LocalExplorer::run(std::size_t maxIterations) {
+  SearchOutcome out;
+  bool firstEpisode = true;
+
+  // The surrogate's output dimension is discovered from the first successful
+  // simulation; rebuild it lazily.
+  std::optional<std::size_t> measDim;
+  auto ensureSurrogate = [&](std::size_t dim) {
+    if (measDim.has_value()) return;
+    measDim = dim;
+    surrogate_ = SpiceSurrogate(space_.dim(), dim, config_.surrogate,
+                                config_.seed + 17);
+    if (config_.warmStartWeights != nullptr)
+      surrogate_.adoptWeights(*config_.warmStartWeights);
+  };
+
+  while (out.iterations < maxIterations) {
+    // ---- Algorithm 1 lines 2-4: global Monte Carlo, pick the best region.
+    Evaluated center;
+    center.value = kFailedValue;
+    bool haveCenter = false;
+    for (std::size_t k = 0; k < config_.initSamples; ++k) {
+      if (out.iterations >= maxIterations) break;
+      linalg::Vector x;
+      if (firstEpisode && k == 0 && config_.startingPoint.has_value()) {
+        x = *config_.startingPoint;  // porting: start from the donor optimum
+      } else {
+        x = space_.randomPoint(rng_);
+      }
+      Evaluated e = simulate(x, out);
+      if (e.eval.ok) ensureSurrogate(e.eval.measurements.size());
+      if (e.eval.ok && value_.satisfied(e.eval.measurements)) {
+        out.solved = true;
+        out.sizes = e.sizes;
+        out.eval = e.eval;
+        out.bestValue = e.value;
+        return out;
+      }
+      if (e.score > center.score || !haveCenter) {
+        center = e;
+        haveCenter = true;
+      }
+    }
+    firstEpisode = false;
+    if (!haveCenter || !measDim.has_value()) {
+      // Nothing simulated successfully this episode — try a fresh batch.
+      ++out.trace.restarts;
+      continue;
+    }
+
+    // ---- Algorithm 1 line 5: fresh trust region; weights per config.
+    TrustRegion tr(config_.trustRegion);
+    std::size_t sinceRestart = 0;
+    std::size_t sinceImprovement = 0;
+
+    // ---- lines 6-17: local search loop.
+    while (out.iterations < maxIterations) {
+      // line 8: θ ← θ − α ∂J/∂θ over the local trajectory (D_L).
+      trainLocal(center.unit, tr.radius());
+
+      // line 10: sample m points in the trust region, score on the model.
+      const double radius = tr.radius();
+      out.trace.radiusHistory.push_back(radius);
+      linalg::Vector bestUnit;
+      double bestModelValue = -std::numeric_limits<double>::infinity();
+      std::uniform_real_distribution<double> unif(-1.0, 1.0);
+      for (std::size_t s = 0; s < config_.mcSamples; ++s) {
+        linalg::Vector u(space_.dim());
+        for (std::size_t d = 0; d < space_.dim(); ++d) {
+          u[d] = std::clamp(center.unit[d] + radius * unif(rng_), 0.0, 1.0);
+        }
+        // Score on the *snapped* candidate so the planned point is the
+        // simulated point.
+        const linalg::Vector snapped = space_.fromUnitSnapped(u);
+        const linalg::Vector su = space_.toUnit(snapped);
+        const linalg::Vector pred = surrogate_.predict(su);
+        const double v = value_.plannerScore(pred);
+        if (v > bestModelValue) {
+          bestModelValue = v;
+          bestUnit = su;
+        }
+      }
+      if (bestUnit.empty()) break;
+
+      // line 11-12: SPICE the trial, run the TRM ratio test.
+      const double predictedCenter =
+          value_.plannerScore(surrogate_.predict(center.unit));
+      const double predictedDelta = bestModelValue - predictedCenter;
+      Evaluated trial = simulate(space_.fromUnit(bestUnit), out);
+
+      if (trial.eval.ok && value_.satisfied(trial.eval.measurements)) {
+        out.solved = true;  // line 13-14
+        out.sizes = trial.sizes;
+        out.eval = trial.eval;
+        out.bestValue = trial.value;
+        return out;
+      }
+
+      const double actualDelta =
+          (trial.score <= kFailedValue ? -1.0 : trial.score - center.score);
+      const TrustRegionStep step = tr.evaluateStep(predictedDelta, actualDelta);
+      if (step.accepted && trial.eval.ok) {
+        sinceImprovement = trial.score > center.score ? 0 : sinceImprovement + 1;
+        center = trial;
+        ++out.trace.acceptedSteps;
+      } else {
+        ++sinceImprovement;
+        ++out.trace.rejectedSteps;
+      }
+
+      // line 15-16: escape to a fresh global sample when stuck.
+      if (++sinceRestart > config_.restartAfter ||
+          sinceImprovement > config_.stagnationPatience) {
+        ++out.trace.restarts;
+        surrogate_.reinitialize(config_.seed + 31 * (out.trace.restarts + 1));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace trdse::core

@@ -1,0 +1,106 @@
+// The "fast local explorer" — paper Algorithm 1 — for one PVT condition.
+//
+// Search loop: Monte Carlo sample the global space, dive into the best
+// region, then alternate {train surrogate on trajectory} -> {Monte Carlo plan
+// inside the trust region on the surrogate} -> {SPICE the chosen trial} ->
+// {TRM accept/reject + radius update}, restarting from a fresh global sample
+// when the local region is exhausted (line 15's escape criterion).
+//
+// Every SPICE invocation — initial samples included — counts one iteration
+// against the budget, matching the paper's Table I accounting.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <random>
+
+#include "core/local_dataset.hpp"
+#include "core/problem.hpp"
+#include "core/surrogate.hpp"
+#include "core/trust_region.hpp"
+#include "core/value.hpp"
+
+namespace trdse::core {
+
+struct LocalExplorerConfig {
+  std::size_t initSamples = 12;   ///< N of Algorithm 1 line 2
+  std::size_t mcSamples = 800;    ///< m of line 10
+  std::size_t restartAfter = 70;  ///< Criterion of line 15 (steps since restart)
+  /// Early escape: restart when the center has not improved for this many
+  /// consecutive TRM steps (a cheaper-to-trigger version of the Criterion —
+  /// dead local optima are abandoned before the hard cap).
+  std::size_t stagnationPatience = 18;
+  /// Surrogate training is restricted to samples within
+  /// localityFactor * radius (infinity-norm) of the current center — the
+  /// paper's "compact circuit space D_L"; all collected samples are kept and
+  /// re-enter training whenever the region slides over them.
+  double localityFactor = 3.0;
+  std::size_t minLocalSamples = 12;  ///< fall back to nearest-K when sparse
+  TrustRegionConfig trustRegion;
+  SurrogateConfig surrogate;
+  std::uint64_t seed = 1;
+  /// When set, the first "random" sample of the first episode is this point —
+  /// the process-porting "starting point sharing" strategy (Table II).
+  std::optional<linalg::Vector> startingPoint;
+  /// When set, surrogate weights are initialized from this network instead of
+  /// randomly — the porting "weight sharing" strategy (Table II).
+  const nn::Mlp* warmStartWeights = nullptr;
+};
+
+/// Single-condition evaluation callback (the Spice function of the CSP).
+using EvalFn = std::function<EvalResult(const linalg::Vector& sizes)>;
+
+struct SearchTrace {
+  std::vector<double> bestValueHistory;  ///< best-so-far after each simulation
+  std::vector<double> radiusHistory;     ///< trust-region radius per TRM step
+  std::size_t restarts = 0;
+  std::size_t acceptedSteps = 0;
+  std::size_t rejectedSteps = 0;
+};
+
+struct SearchOutcome {
+  bool solved = false;
+  std::size_t iterations = 0;  ///< SPICE simulations consumed
+  linalg::Vector sizes;        ///< best (or solving) assignment
+  EvalResult eval;             ///< its measurements
+  double bestValue = kFailedValue;
+  SearchTrace trace;
+};
+
+class LocalExplorer {
+ public:
+  /// The space is copied (it is small), so temporaries are safe to pass.
+  LocalExplorer(DesignSpace space, ValueFunction value, EvalFn evaluate,
+                LocalExplorerConfig config);
+
+  /// Run until the CSP is satisfied or `maxIterations` simulations are spent.
+  SearchOutcome run(std::size_t maxIterations);
+
+  /// Surrogate after a run (for porting: save its weights).
+  const SpiceSurrogate& surrogate() const { return surrogate_; }
+
+ private:
+  struct Evaluated {
+    linalg::Vector sizes;
+    linalg::Vector unit;
+    EvalResult eval;
+    double value = kFailedValue;  ///< the paper's Value (reported)
+    double score = kFailedValue;  ///< plannerScore (used for TRM decisions)
+  };
+
+  /// SPICE one point, book-keep trajectory/training data, update best.
+  Evaluated simulate(const linalg::Vector& sizes, SearchOutcome& out);
+
+  /// Load the samples near `centerUnit` into the surrogate and train.
+  void trainLocal(const linalg::Vector& centerUnit, double radius);
+
+  DesignSpace space_;
+  ValueFunction value_;
+  EvalFn evaluate_;
+  LocalExplorerConfig config_;
+  SpiceSurrogate surrogate_;
+  std::mt19937_64 rng_;
+  LocalDataset data_;  ///< all successful samples (unit space + measurements)
+};
+
+}  // namespace trdse::core

@@ -1,0 +1,121 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trdse::core {
+
+DesignSpace::DesignSpace(std::vector<ParamDef> params) : params_(std::move(params)) {
+  for ([[maybe_unused]] const auto& p : params_) {
+    assert(p.steps >= 1);
+    assert(p.hi >= p.lo);
+    assert(!p.logScale || p.lo > 0.0);
+  }
+}
+
+double DesignSpace::gridValue(std::size_t dim, std::size_t idx) const {
+  const ParamDef& p = params_[dim];
+  assert(idx < p.steps);
+  if (p.steps == 1) return p.lo;
+  const double t = static_cast<double>(idx) / static_cast<double>(p.steps - 1);
+  if (p.logScale)
+    return std::pow(10.0, std::log10(p.lo) + t * (std::log10(p.hi) - std::log10(p.lo)));
+  return p.lo + t * (p.hi - p.lo);
+}
+
+std::size_t DesignSpace::nearestIndex(std::size_t dim, double value) const {
+  const ParamDef& p = params_[dim];
+  if (p.steps == 1) return 0;
+  double t;
+  if (p.logScale) {
+    const double v = std::clamp(value, p.lo, p.hi);
+    t = (std::log10(v) - std::log10(p.lo)) / (std::log10(p.hi) - std::log10(p.lo));
+  } else {
+    t = (std::clamp(value, p.lo, p.hi) - p.lo) / (p.hi - p.lo);
+  }
+  const double idx = t * static_cast<double>(p.steps - 1);
+  return static_cast<std::size_t>(std::lround(idx));
+}
+
+linalg::Vector DesignSpace::snap(const linalg::Vector& x) const {
+  assert(x.size() == dim());
+  linalg::Vector out(dim());
+  for (std::size_t i = 0; i < dim(); ++i)
+    out[i] = gridValue(i, nearestIndex(i, x[i]));
+  return out;
+}
+
+linalg::Vector DesignSpace::randomPoint(std::mt19937_64& rng) const {
+  linalg::Vector out(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    std::uniform_int_distribution<std::size_t> d(0, params_[i].steps - 1);
+    out[i] = gridValue(i, d(rng));
+  }
+  return out;
+}
+
+linalg::Vector DesignSpace::toUnit(const linalg::Vector& x) const {
+  assert(x.size() == dim());
+  linalg::Vector u(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const ParamDef& p = params_[i];
+    if (p.hi == p.lo) {
+      u[i] = 0.0;
+    } else if (p.logScale) {
+      u[i] = (std::log10(std::clamp(x[i], p.lo, p.hi)) - std::log10(p.lo)) /
+             (std::log10(p.hi) - std::log10(p.lo));
+    } else {
+      u[i] = (std::clamp(x[i], p.lo, p.hi) - p.lo) / (p.hi - p.lo);
+    }
+  }
+  return u;
+}
+
+linalg::Vector DesignSpace::fromUnit(const linalg::Vector& u) const {
+  assert(u.size() == dim());
+  linalg::Vector x(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const ParamDef& p = params_[i];
+    const double t = std::clamp(u[i], 0.0, 1.0);
+    if (p.logScale) {
+      x[i] = std::pow(10.0,
+                      std::log10(p.lo) + t * (std::log10(p.hi) - std::log10(p.lo)));
+    } else {
+      x[i] = p.lo + t * (p.hi - p.lo);
+    }
+  }
+  return x;
+}
+
+linalg::Vector DesignSpace::fromUnitSnapped(const linalg::Vector& u) const {
+  return snap(fromUnit(u));
+}
+
+double DesignSpace::sizeLog10() const {
+  double s = 0.0;
+  for (const auto& p : params_) s += std::log10(static_cast<double>(p.steps));
+  return s;
+}
+
+std::vector<std::size_t> DesignSpace::indicesOf(const linalg::Vector& x) const {
+  assert(x.size() == dim());
+  std::vector<std::size_t> idx(dim());
+  for (std::size_t i = 0; i < dim(); ++i) idx[i] = nearestIndex(i, x[i]);
+  return idx;
+}
+
+linalg::Vector DesignSpace::fromIndices(const std::vector<std::size_t>& idx) const {
+  assert(idx.size() == dim());
+  linalg::Vector x(dim());
+  for (std::size_t i = 0; i < dim(); ++i) x[i] = gridValue(i, idx[i]);
+  return x;
+}
+
+std::size_t SizingProblem::measurementIndex(const std::string& name) const {
+  const auto it =
+      std::find(measurementNames.begin(), measurementNames.end(), name);
+  assert(it != measurementNames.end() && "unknown measurement in spec");
+  return static_cast<std::size_t>(it - measurementNames.begin());
+}
+
+}  // namespace trdse::core

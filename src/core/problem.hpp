@@ -1,0 +1,107 @@
+// Designer-facing problem definition (paper Section III & IV-F).
+//
+// The paper's API asks designers for exactly: the sizes to tune, their
+// ranges, the topology (an evaluation callback here), the measurements to
+// observe, and per-corner specifications. This header is that contract; every
+// agent in the repo (trust-region, BO, RL, random) consumes only these types.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sim/process.hpp"
+
+namespace trdse::core {
+
+/// One tunable size variable with a discrete grid over [lo, hi]; log-scale
+/// grids suit widths/currents/capacitances that span decades.
+struct ParamDef {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t steps = 64;
+  bool logScale = false;
+};
+
+/// The CSP domain D: a grid per variable (Eq. 2's D_i).
+class DesignSpace {
+ public:
+  DesignSpace() = default;
+  explicit DesignSpace(std::vector<ParamDef> params);
+
+  std::size_t dim() const { return params_.size(); }
+  const std::vector<ParamDef>& params() const { return params_; }
+  const ParamDef& param(std::size_t i) const { return params_[i]; }
+
+  /// Grid value of variable `dim` at index `idx` (0 .. steps-1).
+  double gridValue(std::size_t dim, std::size_t idx) const;
+
+  /// Nearest grid index for a raw value (clamped into range).
+  std::size_t nearestIndex(std::size_t dim, double value) const;
+
+  /// Snap a raw point onto the grid.
+  linalg::Vector snap(const linalg::Vector& x) const;
+
+  /// Uniformly random grid point.
+  linalg::Vector randomPoint(std::mt19937_64& rng) const;
+
+  /// Map to/from normalized [0,1]^d coordinates (log-aware). All agents plan
+  /// in unit coordinates so trust-region radii are scale-free.
+  linalg::Vector toUnit(const linalg::Vector& x) const;
+  linalg::Vector fromUnit(const linalg::Vector& u) const;
+  /// fromUnit + snap, with unit coordinates clamped into [0,1].
+  linalg::Vector fromUnitSnapped(const linalg::Vector& u) const;
+
+  /// log10 of the number of grid combinations ("design space size 10^14").
+  double sizeLog10() const;
+
+  /// Index vector of a (snapped) point.
+  std::vector<std::size_t> indicesOf(const linalg::Vector& x) const;
+  linalg::Vector fromIndices(const std::vector<std::size_t>& idx) const;
+
+ private:
+  std::vector<ParamDef> params_;
+};
+
+enum class SpecKind : std::uint8_t { kAtLeast, kAtMost };
+
+/// One constraint C_j = (measurement, relation) of the CSP (Eq. 2).
+struct Spec {
+  std::string measurement;  ///< must match a measurement name
+  SpecKind kind = SpecKind::kAtLeast;
+  double limit = 0.0;
+};
+
+/// Outcome of one SPICE evaluation. `ok == false` models simulator
+/// non-convergence: no measurements exist and agents must treat the point as
+/// infeasible without feeding it to surrogate training.
+struct EvalResult {
+  bool ok = false;
+  linalg::Vector measurements;
+};
+
+/// Evaluate a sizing under one PVT condition — the paper's Spice(X) function.
+using CornerEvalFn =
+    std::function<EvalResult(const linalg::Vector& sizes, const sim::PvtCorner&)>;
+
+/// The full designer contract (paper IV-F).
+struct SizingProblem {
+  std::string name;
+  DesignSpace space;
+  std::vector<std::string> measurementNames;
+  std::vector<Spec> specs;
+  std::vector<sim::PvtCorner> corners;  ///< sign-off conditions
+  CornerEvalFn evaluate;
+  /// Optional layout-area estimator (Tables IV/V report area).
+  std::function<double(const linalg::Vector&)> area;
+
+  std::size_t measurementIndex(const std::string& name) const;
+};
+
+}  // namespace trdse::core

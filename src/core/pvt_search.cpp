@@ -1,0 +1,257 @@
+#include "core/pvt_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pvt/corners.hpp"
+
+namespace trdse::core {
+
+std::string_view toString(PvtStrategy s) {
+  switch (s) {
+    case PvtStrategy::kBruteForce:
+      return "brute-force";
+    case PvtStrategy::kProgressiveRandom:
+      return "progressive(random)";
+    case PvtStrategy::kProgressiveHardest:
+      return "progressive(hardest)";
+  }
+  return "?";
+}
+
+PvtSearch::PvtSearch(SizingProblem problem, PvtSearchConfig config)
+    : problem_(std::move(problem)),
+      config_(std::move(config)),
+      // note: value_ must be built from the member, not the moved-from param
+      value_(problem_.measurementNames, problem_.specs),
+      rng_(config_.seed) {}
+
+EvalResult PvtSearch::evalCorner(std::size_t cornerIdx,
+                                 const linalg::Vector& sizes,
+                                 pvt::BlockKind kind, PvtSearchOutcome& out) {
+  const EvalResult r = problem_.evaluate(sizes, problem_.corners[cornerIdx]);
+  ++out.totalSims;
+  out.ledger.record(cornerIdx, kind, r.ok && value_.satisfied(r.measurements));
+  return r;
+}
+
+double PvtSearch::poolValue(const std::vector<EvalResult>& evals) const {
+  // min over corners of the plannerScore — the paper's "lowest expected
+  // value" candidate rule, with the same margin tie-break the single-corner
+  // explorer plans with.
+  double v = std::numeric_limits<double>::infinity();
+  for (const auto& e : evals)
+    v = std::min(v, e.ok ? value_.plannerScore(e.measurements) : kFailedValue);
+  return evals.empty() ? kFailedValue : v;
+}
+
+PvtSearchOutcome PvtSearch::run(std::size_t maxSims) {
+  PvtSearchOutcome out;
+  const std::size_t nCorners = problem_.corners.size();
+  assert(nCorners > 0);
+
+  // ---- Choose the initial active pool.
+  std::vector<bool> isActive(nCorners, false);
+  active_.clear();
+  auto activate = [&](std::size_t idx) {
+    if (isActive[idx]) return;
+    isActive[idx] = true;
+    CornerState cs;
+    cs.index = idx;
+    active_.push_back(std::move(cs));
+    out.cornersActivated = active_.size();
+  };
+  switch (config_.strategy) {
+    case PvtStrategy::kBruteForce:
+      for (std::size_t i = 0; i < nCorners; ++i) activate(i);
+      break;
+    case PvtStrategy::kProgressiveRandom: {
+      std::uniform_int_distribution<std::size_t> d(0, nCorners - 1);
+      activate(d(rng_));
+      break;
+    }
+    case PvtStrategy::kProgressiveHardest: {
+      const auto order = pvt::heuristicHardestFirst(
+          problem_.corners, problem_.corners.front().vdd);
+      activate(order.front());
+      break;
+    }
+  }
+
+  const std::size_t dim = problem_.space.dim();
+  std::optional<std::size_t> measDim;
+  auto ensureSurrogates = [&](std::size_t mDim) {
+    measDim = mDim;
+    for (auto& cs : active_) {
+      if (!cs.surrogate) {
+        cs.surrogate = std::make_unique<SpiceSurrogate>(
+            dim, mDim, config_.explorer.surrogate,
+            config_.seed + 101 * (cs.index + 1));
+      }
+    }
+  };
+
+  struct Point {
+    linalg::Vector sizes;
+    linalg::Vector unit;
+    std::vector<EvalResult> evals;  // parallel to active_
+    double value = kFailedValue;
+  };
+
+  // Evaluate a point on every active corner (optionally bailing early once a
+  // corner fails hard is *not* done: every active corner's model needs data).
+  auto evaluatePoint = [&](const linalg::Vector& rawSizes) {
+    Point p;
+    p.sizes = problem_.space.snap(rawSizes);
+    p.unit = problem_.space.toUnit(p.sizes);
+    p.evals.reserve(active_.size());
+    for (auto& cs : active_) {
+      const EvalResult r = evalCorner(cs.index, p.sizes, pvt::BlockKind::kSearch, out);
+      if (r.ok) {
+        if (!measDim.has_value()) ensureSurrogates(r.measurements.size());
+        cs.data.add(p.unit, r.measurements);
+      }
+      p.evals.push_back(r);
+    }
+    p.value = poolValue(p.evals);
+    return p;
+  };
+
+  auto poolSatisfied = [&](const Point& p) {
+    for (const auto& e : p.evals)
+      if (!e.ok || !value_.satisfied(e.measurements)) return false;
+    return true;
+  };
+
+  // Verify inactive corners; returns true when all pass, otherwise activates
+  // the failing corner with the lowest value (paper IV-E).
+  auto verifyAndExpand = [&](const Point& p) {
+    std::size_t worstIdx = nCorners;
+    double worstValue = 1.0;
+    std::vector<EvalResult> finals(nCorners);
+    for (std::size_t i = 0; i < active_.size(); ++i)
+      finals[active_[i].index] = p.evals[i];
+    for (std::size_t c = 0; c < nCorners; ++c) {
+      if (isActive[c]) continue;
+      const EvalResult r = evalCorner(c, p.sizes, pvt::BlockKind::kVerify, out);
+      finals[c] = r;
+      const double v = value_.valueOf(r);
+      const bool pass = r.ok && value_.satisfied(r.measurements);
+      if (!pass && v < worstValue) {
+        worstValue = v;
+        worstIdx = c;
+      }
+    }
+    if (worstIdx == nCorners) {
+      out.solved = true;
+      out.sizes = p.sizes;
+      out.cornerEvals = std::move(finals);
+      return true;
+    }
+    activate(worstIdx);
+    if (measDim.has_value()) ensureSurrogates(*measDim);
+    return false;
+  };
+
+  // ---- Generalized Algorithm 1 over the active pool.
+  bool needEpisode = true;
+  Point center;
+  TrustRegion tr(config_.explorer.trustRegion);
+  std::size_t sinceRestart = 0;
+  std::size_t sinceImprovement = 0;
+
+  while (out.totalSims < maxSims) {
+    if (needEpisode) {
+      center = Point{};
+      bool have = false;
+      for (std::size_t k = 0; k < config_.explorer.initSamples &&
+                              out.totalSims < maxSims;
+           ++k) {
+        Point p = evaluatePoint(problem_.space.randomPoint(rng_));
+        if (poolSatisfied(p) && verifyAndExpand(p)) return out;
+        if (out.solved) return out;
+        if (p.value > center.value || !have) {
+          center = std::move(p);
+          have = true;
+        }
+      }
+      if (!have || !measDim.has_value()) continue;  // all failed: resample
+      tr = TrustRegion(config_.explorer.trustRegion);
+      sinceRestart = 0;
+      sinceImprovement = 0;
+      needEpisode = false;
+      continue;
+    }
+
+    // Train every active surrogate on its own *local* trajectory (D_L).
+    for (auto& cs : active_) {
+      if (!cs.surrogate || cs.data.empty()) continue;
+      LocalDataset::Selection sel = cs.data.selectLocal(
+          center.unit, config_.explorer.localityFactor * tr.radius(),
+          config_.explorer.minLocalSamples);
+      if (sel.inputs.empty()) continue;
+      cs.surrogate->setData(std::move(sel.inputs), std::move(sel.targets));
+      cs.surrogate->train(rng_);
+    }
+
+    // Plan: maximize the minimum predicted value across the pool.
+    const double radius = tr.radius();
+    std::uniform_real_distribution<double> unif(-1.0, 1.0);
+    linalg::Vector bestUnit;
+    double bestModelValue = -std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < config_.explorer.mcSamples; ++s) {
+      linalg::Vector u(dim);
+      for (std::size_t d = 0; d < dim; ++d)
+        u[d] = std::clamp(center.unit[d] + radius * unif(rng_), 0.0, 1.0);
+      const linalg::Vector snapped = problem_.space.fromUnitSnapped(u);
+      const linalg::Vector su = problem_.space.toUnit(snapped);
+      double v = std::numeric_limits<double>::infinity();
+      for (auto& cs : active_) {
+        if (!cs.surrogate) continue;
+        v = std::min(v, value_.plannerScore(cs.surrogate->predict(su)));
+      }
+      if (v < std::numeric_limits<double>::infinity() && v > bestModelValue) {
+        bestModelValue = v;
+        bestUnit = su;
+      }
+    }
+    if (bestUnit.empty()) {
+      needEpisode = true;
+      continue;
+    }
+
+    double predictedCenter = std::numeric_limits<double>::infinity();
+    for (auto& cs : active_) {
+      if (!cs.surrogate) continue;
+      predictedCenter = std::min(
+          predictedCenter, value_.plannerScore(cs.surrogate->predict(center.unit)));
+    }
+    const double predictedDelta = bestModelValue - predictedCenter;
+
+    Point trial = evaluatePoint(problem_.space.fromUnit(bestUnit));
+    if (poolSatisfied(trial) && verifyAndExpand(trial)) return out;
+    if (out.solved) return out;
+
+    const double actualDelta =
+        trial.value <= kFailedValue ? -1.0 : trial.value - center.value;
+    const TrustRegionStep step = tr.evaluateStep(predictedDelta, actualDelta);
+    if (step.accepted && trial.value > kFailedValue) {
+      sinceImprovement = trial.value > center.value ? 0 : sinceImprovement + 1;
+      center = std::move(trial);
+    } else {
+      ++sinceImprovement;
+    }
+
+    if (++sinceRestart > config_.explorer.restartAfter ||
+        sinceImprovement > config_.explorer.stagnationPatience) {
+      needEpisode = true;  // escape criterion: fresh global sampling
+      for (auto& cs : active_)
+        if (cs.surrogate)
+          cs.surrogate->reinitialize(config_.seed + 997 * (out.totalSims + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace trdse::core

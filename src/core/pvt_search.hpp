@@ -1,0 +1,76 @@
+// Progressive PVT exploration (paper Section IV-E, Fig. 3, Table III).
+//
+// Rather than verifying every corner on every iteration (brute force), the
+// search focuses on a small *active pool* of conditions — initially one,
+// chosen at random or by designer's hardest-first heuristic. Once the
+// candidate meets spec on the whole pool, the remaining corners are verified
+// (one EDA block each); the failing corner with the lowest value joins the
+// pool, and the search resumes. Each active corner keeps its own independent
+// surrogate model; planning scores a candidate by its *minimum* predicted
+// value across the pool (the paper's "lowest expected value" rule).
+#pragma once
+
+#include <memory>
+#include <random>
+
+#include "core/local_explorer.hpp"
+#include "core/problem.hpp"
+#include "core/surrogate.hpp"
+#include "core/trust_region.hpp"
+#include "core/value.hpp"
+#include "pvt/ledger.hpp"
+
+namespace trdse::core {
+
+enum class PvtStrategy : std::uint8_t {
+  kBruteForce,          ///< all corners active from the start
+  kProgressiveRandom,   ///< start from a uniformly random corner
+  kProgressiveHardest,  ///< start from the heuristically hardest corner
+};
+
+std::string_view toString(PvtStrategy s);
+
+struct PvtSearchConfig {
+  PvtStrategy strategy = PvtStrategy::kProgressiveHardest;
+  LocalExplorerConfig explorer;  ///< per-corner surrogate/TRM settings
+  std::uint64_t seed = 1;
+};
+
+struct PvtSearchOutcome {
+  bool solved = false;
+  std::size_t totalSims = 0;  ///< EDA blocks consumed (search + verify)
+  linalg::Vector sizes;
+  std::vector<EvalResult> cornerEvals;  ///< final per-corner measurements
+  std::size_t cornersActivated = 0;
+  pvt::EdaLedger ledger;
+};
+
+class PvtSearch {
+ public:
+  /// The problem is copied (callbacks + metadata), so temporaries are safe.
+  PvtSearch(SizingProblem problem, PvtSearchConfig config);
+
+  PvtSearchOutcome run(std::size_t maxSims);
+
+ private:
+  struct CornerState {
+    std::size_t index = 0;
+    std::unique_ptr<SpiceSurrogate> surrogate;  // built on first good sample
+    LocalDataset data;  ///< this corner's trajectory (unit space)
+  };
+
+  /// Evaluate on one corner, record ledger + surrogate sample.
+  EvalResult evalCorner(std::size_t cornerIdx, const linalg::Vector& sizes,
+                        pvt::BlockKind kind, PvtSearchOutcome& out);
+
+  /// min over active corners of Value(eval) for an already-evaluated point.
+  double poolValue(const std::vector<EvalResult>& evals) const;
+
+  SizingProblem problem_;
+  PvtSearchConfig config_;
+  ValueFunction value_;
+  std::vector<CornerState> active_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace trdse::core

@@ -1,0 +1,54 @@
+// The designer-facing "SPICE decorator" (paper Section IV-F).
+//
+// Designers provide only what their manual flow already has: the sizes to
+// tune and their ranges, the topology (an evaluation callback), the
+// measurements, and per-corner specs — i.e. a SizingProblem. The session
+// auto-configures the network architecture and search hyper-parameters from
+// the problem shape and runs the full progressive-PVT trust-region search.
+#pragma once
+
+#include <string>
+
+#include "core/local_explorer.hpp"
+#include "core/pvt_search.hpp"
+#include "core/problem.hpp"
+
+namespace trdse::core {
+
+struct SessionOptions {
+  PvtStrategy strategy = PvtStrategy::kProgressiveHardest;
+  std::size_t maxSimulations = 10000;
+  std::uint64_t seed = 1;
+  /// Override the auto-scheduled hyper-parameters when set.
+  std::optional<LocalExplorerConfig> explorerOverride;
+};
+
+struct SessionReport {
+  bool solved = false;
+  std::size_t simulations = 0;
+  linalg::Vector sizes;
+  std::vector<EvalResult> cornerEvals;
+  double areaEstimate = 0.0;  ///< 0 when the problem has no area callback
+  pvt::EdaLedger ledger;
+  std::string summary;  ///< human-readable multi-line report
+};
+
+/// Derive explorer hyper-parameters from the problem shape — the paper's
+/// "automatic script" that constructs components "dynamically on the fly".
+LocalExplorerConfig autoSchedule(const SizingProblem& problem, std::uint64_t seed);
+
+class SizingSession {
+ public:
+  SizingSession(SizingProblem problem, SessionOptions options = {});
+
+  /// Run the search to completion or budget exhaustion.
+  SessionReport run();
+
+  const SizingProblem& problem() const { return problem_; }
+
+ private:
+  SizingProblem problem_;
+  SessionOptions options_;
+};
+
+}  // namespace trdse::core

@@ -1,0 +1,92 @@
+#include "core/surrogate.hpp"
+
+#include <algorithm>
+
+namespace trdse::core {
+
+SurrogateConfig autoConfigure(std::size_t paramDim, std::size_t measDim) {
+  SurrogateConfig c;
+  c.hiddenWidth = std::clamp<std::size_t>(6 * paramDim + 4 * measDim, 32, 128);
+  return c;
+}
+
+SpiceSurrogate::SpiceSurrogate(std::size_t inputDim, std::size_t outputDim,
+                               SurrogateConfig config, std::uint64_t seed)
+    : config_(config),
+      net_([&] {
+        nn::MlpConfig mc;
+        mc.layerSizes.push_back(inputDim);
+        for (std::size_t i = 0; i < config.hiddenLayers; ++i)
+          mc.layerSizes.push_back(config.hiddenWidth);
+        mc.layerSizes.push_back(outputDim);
+        mc.hidden = nn::Activation::kTanh;
+        mc.output = nn::Activation::kIdentity;
+        return nn::Mlp(mc, seed);
+      }()),
+      opt_(config.learningRate) {}
+
+void SpiceSurrogate::addSample(const linalg::Vector& unitX,
+                               const linalg::Vector& measurements) {
+  assert(unitX.size() == net_.inputDim());
+  assert(measurements.size() == net_.outputDim());
+  inputs_.push_back(unitX);
+  targetsRaw_.push_back(measurements);
+}
+
+void SpiceSurrogate::setData(std::vector<linalg::Vector> unitXs,
+                             std::vector<linalg::Vector> measurements) {
+  assert(unitXs.size() == measurements.size());
+  inputs_ = std::move(unitXs);
+  targetsRaw_ = std::move(measurements);
+}
+
+double SpiceSurrogate::train(std::mt19937_64& rng) {
+  if (inputs_.empty()) return 0.0;
+  // Standardize both sides: the local region can be a tiny slab of the unit
+  // cube, and centring/scaling it keeps the tanh layers in their active range.
+  inScaler_.fit(inputs_);
+  outScaler_.fit(targetsRaw_);
+  std::vector<linalg::Vector> xs;
+  std::vector<linalg::Vector> targets;
+  xs.reserve(inputs_.size());
+  targets.reserve(targetsRaw_.size());
+  for (const auto& x : inputs_) xs.push_back(inScaler_.transform(x));
+  for (const auto& t : targetsRaw_) targets.push_back(outScaler_.transform(t));
+
+  double lastLoss = 0.0;
+  for (std::size_t e = 0; e < config_.epochsPerUpdate; ++e) {
+    const nn::TrainStats s =
+        nn::trainEpochMse(net_, opt_, xs, targets, config_.batchSize, rng);
+    lastLoss = s.meanLoss;
+  }
+  return lastLoss;
+}
+
+linalg::Vector SpiceSurrogate::predict(const linalg::Vector& unitX) const {
+  const linalg::Vector x =
+      inScaler_.fitted() ? inScaler_.transform(unitX) : unitX;
+  const linalg::Vector z = net_.predict(x);
+  if (!outScaler_.fitted()) return z;
+  return outScaler_.inverse(z);
+}
+
+void SpiceSurrogate::reinitialize(std::uint64_t seed) {
+  net_.reinitialize(seed);
+  opt_.reset();
+}
+
+void SpiceSurrogate::clearSamples() {
+  inputs_.clear();
+  targetsRaw_.clear();
+}
+
+bool SpiceSurrogate::adoptWeights(const nn::Mlp& other) {
+  if (other.parameterCount() != net_.parameterCount()) return false;
+  if (other.inputDim() != net_.inputDim() || other.outputDim() != net_.outputDim())
+    return false;
+  net_.setParameters(other.getParameters());
+  opt_.reset();
+  return true;
+}
+
+}  // namespace trdse::core

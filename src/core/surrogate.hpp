@@ -1,0 +1,77 @@
+// The SPICE function approximator f_NN(X; θ) (paper Eq. 3-4) with its data
+// plumbing: unit-space inputs, standardized measurement outputs, and an
+// online training loop over the trajectory collected so far.
+//
+// The network predicts the full *measurement vector*, never the scalar value
+// — the Value function is applied after prediction (paper IV-D), keeping
+// reward shaping out of training entirely.
+#pragma once
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/scaler.hpp"
+
+namespace trdse::core {
+
+struct SurrogateConfig {
+  std::size_t hiddenWidth = 48;
+  std::size_t hiddenLayers = 2;  ///< "3 layers" in the paper = 2 hidden + output
+  double learningRate = 3e-3;
+  std::size_t epochsPerUpdate = 40;
+  std::size_t batchSize = 16;
+};
+
+/// Pick a network width from problem shape — the paper's "automatic script
+/// constructs the neural network architectures and hyperparameters".
+SurrogateConfig autoConfigure(std::size_t paramDim, std::size_t measDim);
+
+class SpiceSurrogate {
+ public:
+  SpiceSurrogate(std::size_t inputDim, std::size_t outputDim,
+                 SurrogateConfig config, std::uint64_t seed);
+
+  /// Add one (unit-space sizes, raw measurements) pair to the trajectory.
+  void addSample(const linalg::Vector& unitX, const linalg::Vector& measurements);
+
+  /// Replace the training set wholesale — used by the explorer to restrict
+  /// training to the samples inside the current local region D_L.
+  void setData(std::vector<linalg::Vector> unitXs,
+               std::vector<linalg::Vector> measurements);
+
+  std::size_t sampleCount() const { return inputs_.size(); }
+
+  /// Refit the output standardizer and run `epochsPerUpdate` of mini-batch
+  /// MSE — the θ ← θ − α ∂J/∂θ line of Algorithm 1. Returns mean loss.
+  double train(std::mt19937_64& rng);
+
+  /// Predict raw (de-standardized) measurements at a unit-space point.
+  linalg::Vector predict(const linalg::Vector& unitX) const;
+
+  /// Reinitialize weights (restart / porting-baseline behaviour).
+  void reinitialize(std::uint64_t seed);
+  /// Drop the collected trajectory.
+  void clearSamples();
+
+  const nn::Mlp& network() const { return net_; }
+  nn::Mlp& network() { return net_; }
+  /// Adopt foreign weights (process-porting "weight sharing"); dimensions
+  /// must match. Returns false on mismatch.
+  bool adoptWeights(const nn::Mlp& other);
+
+ private:
+  SurrogateConfig config_;
+  nn::Mlp net_;
+  nn::AdamOptimizer opt_;
+  nn::Standardizer inScaler_;
+  nn::Standardizer outScaler_;
+  std::vector<linalg::Vector> inputs_;
+  std::vector<linalg::Vector> targetsRaw_;
+};
+
+}  // namespace trdse::core

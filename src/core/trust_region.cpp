@@ -1,0 +1,46 @@
+#include "core/trust_region.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trdse::core {
+
+TrustRegion::TrustRegion(TrustRegionConfig config)
+    : config_(config), radius_(config.initRadius) {}
+
+TrustRegionStep TrustRegion::evaluateStep(double predictedDelta,
+                                          double actualDelta) {
+  TrustRegionStep step;
+
+  constexpr double kTinyPrediction = 1e-12;
+  if (!config_.adaptive) {
+    step.accepted = actualDelta > 0.0;
+    step.rho = predictedDelta > kTinyPrediction ? actualDelta / predictedDelta
+                                                : (step.accepted ? 1.0 : 0.0);
+    step.newRadius = radius_;
+    return step;
+  }
+  if (predictedDelta < kTinyPrediction) {
+    // The model sees no improvement anywhere in the region. If reality
+    // improved anyway, take the step; either way the model is uninformative
+    // at this radius, so widen the view to gather more diverse samples.
+    step.accepted = actualDelta > 0.0;
+    step.rho = step.accepted ? 1.0 : 0.0;
+    radius_ = std::min(config_.maxRadius, radius_ * config_.expandFactor);
+    step.newRadius = radius_;
+    return step;
+  }
+
+  step.rho = actualDelta / predictedDelta;
+  step.accepted = step.rho > config_.acceptThreshold;
+
+  if (step.rho < config_.shrinkThreshold) {
+    radius_ = std::max(config_.minRadius, radius_ * config_.shrinkFactor);
+  } else if (step.rho > config_.expandThreshold) {
+    radius_ = std::min(config_.maxRadius, radius_ * config_.expandFactor);
+  }
+  step.newRadius = radius_;
+  return step;
+}
+
+}  // namespace trdse::core

@@ -1,0 +1,61 @@
+#include "linalg/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace trdse::linalg {
+
+bool CholeskySolver::factor(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  l_.resize(n, n);
+  factored_ = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l_(i, i) = std::sqrt(sum);
+      } else {
+        l_(i, j) = sum / l_(j, j);
+      }
+    }
+  }
+  factored_ = true;
+  return true;
+}
+
+Vector CholeskySolver::solveLower(const Vector& b) const {
+  assert(factored_);
+  const std::size_t n = l_.rows();
+  assert(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  return y;
+}
+
+Vector CholeskySolver::solve(const Vector& b) const {
+  Vector y = solveLower(b);
+  const std::size_t n = l_.rows();
+  // Back substitution with L^T.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * y[k];
+    y[ii] = sum / l_(ii, ii);
+  }
+  return y;
+}
+
+double CholeskySolver::logDet() const {
+  assert(factored_);
+  double s = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace trdse::linalg

@@ -1,0 +1,31 @@
+// Cholesky factorization for symmetric positive-definite systems — used by
+// the Gaussian-process baseline (kernel matrix solves).
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace trdse::linalg {
+
+class CholeskySolver {
+ public:
+  /// Factor A = L L^T; false when A is not (numerically) SPD.
+  bool factor(const Matrix& a);
+
+  /// Solve A x = b via the stored factor.
+  Vector solve(const Vector& b) const;
+
+  /// Solve L y = b (forward substitution only) — handy for GP variance.
+  Vector solveLower(const Vector& b) const;
+
+  bool factored() const { return factored_; }
+  /// log(det(A)) = 2 * sum(log(L_ii)); only valid after factor().
+  double logDet() const;
+
+ private:
+  Matrix l_;
+  bool factored_ = false;
+};
+
+}  // namespace trdse::linalg

@@ -1,0 +1,82 @@
+#include "linalg/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace trdse::linalg {
+
+namespace {
+double magnitude(double v) { return std::abs(v); }
+double magnitude(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace
+
+template <typename T>
+bool LuSolver<T>::factor(const MatrixT<T>& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  lu_ = a;
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  factored_ = false;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = magnitude(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = magnitude(lu_(r, k));
+      if (m > best) {
+        best = m;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;  // numerically singular
+    if (pivot != k) {
+      std::swap(perm_[k], perm_[pivot]);
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+    }
+    const T pivotVal = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const T factor = lu_(r, k) / pivotVal;
+      lu_(r, k) = factor;
+      if (factor == T{}) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+  factored_ = true;
+  return true;
+}
+
+template <typename T>
+std::vector<T> LuSolver<T>::solve(const std::vector<T>& b) const {
+  assert(factored_);
+  const std::size_t n = lu_.rows();
+  assert(b.size() == n);
+  std::vector<T> x(n);
+  // Forward substitution with permutation (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    T acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    T acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+template <typename T>
+std::optional<std::vector<T>> LuSolver<T>::solveSystem(const MatrixT<T>& a,
+                                                       const std::vector<T>& b) {
+  LuSolver<T> s;
+  if (!s.factor(a)) return std::nullopt;
+  return s.solve(b);
+}
+
+template class LuSolver<double>;
+template class LuSolver<std::complex<double>>;
+
+}  // namespace trdse::linalg

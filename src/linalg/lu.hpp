@@ -1,0 +1,43 @@
+// LU factorization with partial pivoting, templated over the scalar so the
+// same code solves real Newton systems (DC operating point) and complex
+// small-signal systems (AC sweep).
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace trdse::linalg {
+
+/// In-place LU factorization with row pivoting. After a successful factor(),
+/// solve() may be called any number of times with different right-hand sides.
+template <typename T>
+class LuSolver {
+ public:
+  LuSolver() = default;
+
+  /// Factor A (copied). Returns false when A is numerically singular.
+  bool factor(const MatrixT<T>& a);
+
+  /// Solve A x = b using the stored factorization. Requires factor() == true.
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// One-shot convenience: factor and solve; nullopt when singular.
+  static std::optional<std::vector<T>> solveSystem(const MatrixT<T>& a,
+                                                   const std::vector<T>& b);
+
+  bool factored() const { return factored_; }
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  MatrixT<T> lu_;
+  std::vector<std::size_t> perm_;
+  bool factored_ = false;
+};
+
+extern template class LuSolver<double>;
+extern template class LuSolver<std::complex<double>>;
+
+}  // namespace trdse::linalg

@@ -1,0 +1,48 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trdse::linalg {
+
+double dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double normInf(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vector scaled(const Vector& x, double alpha) {
+  Vector y = x;
+  for (double& v : y) v *= alpha;
+  return y;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector y = a;
+  for (std::size_t i = 0; i < b.size(); ++i) y[i] += b[i];
+  return y;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector y = a;
+  for (std::size_t i = 0; i < b.size(); ++i) y[i] -= b[i];
+  return y;
+}
+
+}  // namespace trdse::linalg

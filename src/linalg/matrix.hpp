@@ -1,0 +1,142 @@
+// Dense row-major matrix over an arbitrary scalar (double or complex<double>).
+//
+// This is the numerical workhorse shared by the MNA circuit solver (real DC
+// Jacobians, complex AC system matrices) and the neural-network library
+// (weight matrices, batched activations). It is deliberately small: only the
+// operations those clients need, with bounds checking in debug builds.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace trdse::linalg {
+
+template <typename T>
+class MatrixT {
+ public:
+  MatrixT() = default;
+  MatrixT(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested braces: MatrixT<double>{{1,2},{3,4}}.
+  MatrixT(std::initializer_list<std::initializer_list<T>> rows_init) {
+    rows_ = rows_init.size();
+    cols_ = rows_ == 0 ? 0 : rows_init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows_init) {
+      assert(r.size() == cols_ && "ragged initializer");
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* row(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+  void resize(std::size_t rows, std::size_t cols, T fill = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  MatrixT& operator+=(const MatrixT& o) {
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  MatrixT& operator-=(const MatrixT& o) {
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  MatrixT& operator*=(T s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend bool operator==(const MatrixT&, const MatrixT&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrix = MatrixT<double>;
+using ComplexMatrix = MatrixT<std::complex<double>>;
+using Vector = std::vector<double>;
+using ComplexVector = std::vector<std::complex<double>>;
+
+/// y = A * x (dimensions must agree).
+template <typename T>
+std::vector<T> matVec(const MatrixT<T>& a, const std::vector<T>& x) {
+  assert(a.cols() == x.size());
+  std::vector<T> y(a.rows(), T{});
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    T acc{};
+    const T* ar = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += ar[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+/// y = A^T * x.
+template <typename T>
+std::vector<T> matTVec(const MatrixT<T>& a, const std::vector<T>& x) {
+  assert(a.rows() == x.size());
+  std::vector<T> y(a.cols(), T{});
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const T* ar = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) y[c] += ar[c] * x[r];
+  }
+  return y;
+}
+
+/// C = A * B.
+template <typename T>
+MatrixT<T> matMul(const MatrixT<T>& a, const MatrixT<T>& b) {
+  assert(a.cols() == b.rows());
+  MatrixT<T> c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      const T* br = b.row(k);
+      T* cr = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) cr[j] += aik * br[j];
+    }
+  }
+  return c;
+}
+
+// ---- Small vector helpers shared across the project ----
+
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+double normInf(const Vector& a);
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+Vector scaled(const Vector& x, double alpha);
+Vector add(const Vector& a, const Vector& b);
+Vector sub(const Vector& a, const Vector& b);
+
+}  // namespace trdse::linalg

@@ -1,0 +1,40 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trdse::linalg {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  // Population variance for n==1, sample variance otherwise.
+  var /= static_cast<double>(samples.size() > 1 ? samples.size() - 1 : 1);
+  s.stddev = std::sqrt(var);
+  s.median = percentile(samples, 50.0);
+  return s;
+}
+
+double percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = pct / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace trdse::linalg

@@ -1,0 +1,25 @@
+// Summary statistics used by the benchmark harness to report the
+// mean/min/max/stddev rows the paper's tables contain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace trdse::linalg {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Compute the summary of a sample; empty input yields a zeroed Summary.
+Summary summarize(const std::vector<double>& samples);
+
+/// Percentile in [0,100] with linear interpolation; empty input yields 0.
+double percentile(std::vector<double> samples, double pct);
+
+}  // namespace trdse::linalg

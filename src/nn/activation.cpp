@@ -1,0 +1,50 @@
+#include "nn/activation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace trdse::nn {
+
+std::string_view toString(Activation a) {
+  switch (a) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+void applyActivation(Activation a, linalg::Vector& x) {
+  switch (a) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (double& v : x) v = v > 0.0 ? v : 0.0;
+      return;
+    case Activation::kTanh:
+      for (double& v : x) v = std::tanh(v);
+      return;
+  }
+}
+
+void applyActivationGrad(Activation a, const linalg::Vector& pre,
+                         const linalg::Vector& post, linalg::Vector& grad) {
+  assert(pre.size() == grad.size() && post.size() == grad.size());
+  switch (a) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        if (pre[i] <= 0.0) grad[i] = 0.0;
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        grad[i] *= 1.0 - post[i] * post[i];
+      return;
+  }
+}
+
+}  // namespace trdse::nn

@@ -1,0 +1,23 @@
+// Element-wise activation functions and their derivatives.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "linalg/matrix.hpp"
+
+namespace trdse::nn {
+
+enum class Activation : std::uint8_t { kIdentity = 0, kRelu = 1, kTanh = 2 };
+
+std::string_view toString(Activation a);
+
+/// y[i] = act(x[i])
+void applyActivation(Activation a, linalg::Vector& x);
+
+/// grad[i] *= act'(pre[i]) where `pre` is the pre-activation input and `post`
+/// the activation output (tanh derivative is cheapest from `post`).
+void applyActivationGrad(Activation a, const linalg::Vector& pre,
+                         const linalg::Vector& post, linalg::Vector& grad);
+
+}  // namespace trdse::nn

@@ -1,0 +1,61 @@
+// A fully-connected layer with a fused activation: y = act(W x + b).
+//
+// Gradients accumulate into gradW/gradB until zeroGrad(); backward() returns
+// dL/dx so layers can be chained by the owning Mlp.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "linalg/matrix.hpp"
+#include "nn/activation.hpp"
+
+namespace trdse::nn {
+
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t inDim, std::size_t outDim, Activation act);
+
+  /// Xavier/Glorot uniform for tanh/identity, He for relu.
+  void initWeights(std::mt19937_64& rng);
+
+  /// Forward pass; caches input/pre-activation/output for backward().
+  linalg::Vector forward(const linalg::Vector& x);
+
+  /// Forward without touching caches (safe for concurrent inference reuse
+  /// of the math, though the object itself is not thread-safe).
+  linalg::Vector predict(const linalg::Vector& x) const;
+
+  /// Given dL/dy, accumulate dL/dW and dL/db, return dL/dx.
+  linalg::Vector backward(const linalg::Vector& gradOut);
+
+  void zeroGrad();
+
+  std::size_t inDim() const { return weights_.cols(); }
+  std::size_t outDim() const { return weights_.rows(); }
+  Activation activation() const { return act_; }
+  std::size_t parameterCount() const { return weights_.size() + bias_.size(); }
+
+  linalg::Matrix& weights() { return weights_; }
+  const linalg::Matrix& weights() const { return weights_; }
+  linalg::Vector& bias() { return bias_; }
+  const linalg::Vector& bias() const { return bias_; }
+  const linalg::Matrix& gradWeights() const { return gradW_; }
+  const linalg::Vector& gradBias() const { return gradB_; }
+  linalg::Matrix& gradWeights() { return gradW_; }
+  linalg::Vector& gradBias() { return gradB_; }
+
+ private:
+  linalg::Matrix weights_;  // outDim x inDim
+  linalg::Vector bias_;     // outDim
+  linalg::Matrix gradW_;
+  linalg::Vector gradB_;
+  Activation act_;
+
+  // Caches from the most recent forward().
+  linalg::Vector lastInput_;
+  linalg::Vector lastPre_;
+  linalg::Vector lastOut_;
+};
+
+}  // namespace trdse::nn

@@ -1,0 +1,73 @@
+#include "nn/distribution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace trdse::nn {
+
+linalg::Vector softmax(const linalg::Vector& logits) {
+  assert(!logits.empty());
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  linalg::Vector p(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - mx);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+linalg::Vector logSoftmax(const linalg::Vector& logits) {
+  assert(!logits.empty());
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double v : logits) sum += std::exp(v - mx);
+  const double logZ = mx + std::log(sum);
+  linalg::Vector lp(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) lp[i] = logits[i] - logZ;
+  return lp;
+}
+
+std::size_t sampleCategorical(const linalg::Vector& logits, std::mt19937_64& rng) {
+  const linalg::Vector p = softmax(logits);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  double r = u(rng);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    r -= p[i];
+    if (r <= 0.0) return i;
+  }
+  return p.size() - 1;
+}
+
+std::size_t argmaxIndex(const linalg::Vector& logits) {
+  return static_cast<std::size_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double categoricalEntropy(const linalg::Vector& logits) {
+  const linalg::Vector lp = logSoftmax(logits);
+  double h = 0.0;
+  for (double v : lp) h -= std::exp(v) * v;
+  return h;
+}
+
+double categoricalKl(const linalg::Vector& logitsP, const linalg::Vector& logitsQ) {
+  assert(logitsP.size() == logitsQ.size());
+  const linalg::Vector lp = logSoftmax(logitsP);
+  const linalg::Vector lq = logSoftmax(logitsQ);
+  double kl = 0.0;
+  for (std::size_t i = 0; i < lp.size(); ++i) kl += std::exp(lp[i]) * (lp[i] - lq[i]);
+  return kl;
+}
+
+linalg::Vector logProbGrad(const linalg::Vector& logits, std::size_t action) {
+  assert(action < logits.size());
+  linalg::Vector g = softmax(logits);
+  for (double& v : g) v = -v;
+  g[action] += 1.0;
+  return g;
+}
+
+}  // namespace trdse::nn

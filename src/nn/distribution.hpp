@@ -1,0 +1,32 @@
+// Categorical-distribution utilities shared by the model-free RL baselines
+// (multi-discrete AutoCkt-style action heads for A2C / PPO / TRPO).
+#pragma once
+
+#include <random>
+
+#include "linalg/matrix.hpp"
+
+namespace trdse::nn {
+
+/// Numerically-stable softmax.
+linalg::Vector softmax(const linalg::Vector& logits);
+
+/// Numerically-stable log-softmax.
+linalg::Vector logSoftmax(const linalg::Vector& logits);
+
+/// Sample an index from softmax(logits).
+std::size_t sampleCategorical(const linalg::Vector& logits, std::mt19937_64& rng);
+
+/// argmax of the logits (greedy action).
+std::size_t argmaxIndex(const linalg::Vector& logits);
+
+/// Entropy of softmax(logits).
+double categoricalEntropy(const linalg::Vector& logits);
+
+/// KL( softmax(p) || softmax(q) ).
+double categoricalKl(const linalg::Vector& logitsP, const linalg::Vector& logitsQ);
+
+/// d/dlogits of log softmax(logits)[action]  ==  onehot(action) - softmax.
+linalg::Vector logProbGrad(const linalg::Vector& logits, std::size_t action);
+
+}  // namespace trdse::nn

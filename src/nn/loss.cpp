@@ -1,0 +1,74 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace trdse::nn {
+
+double mseLoss(const linalg::Vector& pred, const linalg::Vector& target) {
+  assert(pred.size() == target.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+linalg::Vector mseGrad(const linalg::Vector& pred, const linalg::Vector& target) {
+  assert(pred.size() == target.size());
+  linalg::Vector g(pred.size());
+  const double scale = 2.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    g[i] = scale * (pred[i] - target[i]);
+  return g;
+}
+
+TrainStats trainEpochMse(Mlp& net, Optimizer& opt,
+                         const std::vector<linalg::Vector>& inputs,
+                         const std::vector<linalg::Vector>& targets,
+                         std::size_t batchSize, std::mt19937_64& rng) {
+  assert(inputs.size() == targets.size());
+  TrainStats stats;
+  if (inputs.empty()) return stats;
+  batchSize = std::max<std::size_t>(1, batchSize);
+
+  std::vector<std::size_t> order(inputs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  double lossSum = 0.0;
+  std::size_t seen = 0;
+  for (std::size_t start = 0; start < order.size(); start += batchSize) {
+    const std::size_t end = std::min(order.size(), start + batchSize);
+    const double invB = 1.0 / static_cast<double>(end - start);
+    net.zeroGrad();
+    for (std::size_t k = start; k < end; ++k) {
+      const auto& x = inputs[order[k]];
+      const auto& y = targets[order[k]];
+      const linalg::Vector pred = net.forward(x);
+      lossSum += mseLoss(pred, y);
+      linalg::Vector g = mseGrad(pred, y);
+      for (double& v : g) v *= invB;
+      net.backward(g);
+      ++seen;
+    }
+    opt.step(net);
+    ++stats.batches;
+  }
+  stats.meanLoss = lossSum / static_cast<double>(seen);
+  return stats;
+}
+
+double evaluateMse(const Mlp& net, const std::vector<linalg::Vector>& inputs,
+                   const std::vector<linalg::Vector>& targets) {
+  assert(inputs.size() == targets.size());
+  if (inputs.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    s += mseLoss(net.predict(inputs[i]), targets[i]);
+  return s / static_cast<double>(inputs.size());
+}
+
+}  // namespace trdse::nn

@@ -1,0 +1,35 @@
+// Regression losses and the supervised mini-batch trainer used for the
+// paper's surrogate training loop (Eq. 4: J(θ) = MSE against Spice(X)).
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+
+namespace trdse::nn {
+
+/// Mean-squared error over one sample pair.
+double mseLoss(const linalg::Vector& pred, const linalg::Vector& target);
+
+/// dMSE/dpred (factor 2/n included).
+linalg::Vector mseGrad(const linalg::Vector& pred, const linalg::Vector& target);
+
+struct TrainStats {
+  double meanLoss = 0.0;
+  std::size_t batches = 0;
+};
+
+/// One epoch of shuffled mini-batch MSE training. Gradients are averaged over
+/// each batch before the optimizer step. Returns mean per-sample loss.
+TrainStats trainEpochMse(Mlp& net, Optimizer& opt,
+                         const std::vector<linalg::Vector>& inputs,
+                         const std::vector<linalg::Vector>& targets,
+                         std::size_t batchSize, std::mt19937_64& rng);
+
+/// Mean MSE over a dataset without touching gradients.
+double evaluateMse(const Mlp& net, const std::vector<linalg::Vector>& inputs,
+                   const std::vector<linalg::Vector>& targets);
+
+}  // namespace trdse::nn

@@ -1,0 +1,66 @@
+// Multi-layer perceptron — the paper's SPICE function approximator f_NN(X; θ)
+// (Eq. 3) and the policy/value networks of the model-free RL baselines.
+//
+// Parameters are exposed both per-layer and as a flat vector (getParameters /
+// setParameters) because TRPO's conjugate-gradient step operates in flat
+// parameter space.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "nn/dense_layer.hpp"
+
+namespace trdse::nn {
+
+struct MlpConfig {
+  std::vector<std::size_t> layerSizes;  // e.g. {in, h1, h2, out}
+  Activation hidden = Activation::kTanh;
+  Activation output = Activation::kIdentity;
+};
+
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(const MlpConfig& config, std::uint64_t seed);
+
+  std::size_t inputDim() const;
+  std::size_t outputDim() const;
+  const MlpConfig& config() const { return config_; }
+
+  /// Forward pass that caches activations; pair with backward().
+  linalg::Vector forward(const linalg::Vector& x);
+
+  /// Stateless inference (no caches touched).
+  linalg::Vector predict(const linalg::Vector& x) const;
+
+  /// Backpropagate dL/dy from the most recent forward(); parameter gradients
+  /// accumulate until zeroGrad(). Returns dL/dx.
+  linalg::Vector backward(const linalg::Vector& gradOut);
+
+  void zeroGrad();
+  void reinitialize(std::uint64_t seed);
+
+  std::size_t parameterCount() const;
+  linalg::Vector getParameters() const;
+  void setParameters(const linalg::Vector& flat);
+  linalg::Vector getGradients() const;
+  /// Overwrite accumulated gradients from a flat vector (used by TRPO).
+  void setGradients(const linalg::Vector& flat);
+  /// In-place params += alpha * direction (flat space).
+  void addToParameters(const linalg::Vector& direction, double alpha);
+
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+ private:
+  MlpConfig config_;
+  std::vector<DenseLayer> layers_;
+};
+
+/// Average L2 gradient-norm clipping over the flat gradient; returns the
+/// pre-clip norm (RL trainers log it).
+double clipGradNorm(Mlp& net, double maxNorm);
+
+}  // namespace trdse::nn

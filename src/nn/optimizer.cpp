@@ -1,0 +1,54 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace trdse::nn {
+
+SgdOptimizer::SgdOptimizer(double lr, double momentum)
+    : lr_(lr), momentum_(momentum) {}
+
+void SgdOptimizer::step(Mlp& net) {
+  linalg::Vector g = net.getGradients();
+  if (momentum_ > 0.0) {
+    if (velocity_.size() != g.size()) velocity_.assign(g.size(), 0.0);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      velocity_[i] = momentum_ * velocity_[i] + g[i];
+      g[i] = velocity_[i];
+    }
+  }
+  net.addToParameters(g, -lr_);
+  net.zeroGrad();
+}
+
+AdamOptimizer::AdamOptimizer(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void AdamOptimizer::reset() {
+  t_ = 0;
+  m_.clear();
+  v_.clear();
+}
+
+void AdamOptimizer::step(Mlp& net) {
+  const linalg::Vector g = net.getGradients();
+  if (m_.size() != g.size()) {
+    m_.assign(g.size(), 0.0);
+    v_.assign(g.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  linalg::Vector update(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * g[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * g[i] * g[i];
+    const double mHat = m_[i] / bc1;
+    const double vHat = v_[i] / bc2;
+    update[i] = mHat / (std::sqrt(vHat) + eps_);
+  }
+  net.addToParameters(update, -lr_);
+  net.zeroGrad();
+}
+
+}  // namespace trdse::nn

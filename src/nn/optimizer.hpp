@@ -1,0 +1,57 @@
+// First-order optimizers over an Mlp's flat parameter space.
+#pragma once
+
+#include <memory>
+
+#include "nn/mlp.hpp"
+
+namespace trdse::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update using the gradients currently accumulated in `net`,
+  /// then zero them.
+  virtual void step(Mlp& net) = 0;
+  virtual void reset() = 0;
+  virtual double learningRate() const = 0;
+  virtual void setLearningRate(double lr) = 0;
+};
+
+/// Plain SGD with optional classical momentum.
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr, double momentum = 0.0);
+  void step(Mlp& net) override;
+  void reset() override { velocity_.clear(); }
+  double learningRate() const override { return lr_; }
+  void setLearningRate(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_;
+  double momentum_;
+  linalg::Vector velocity_;
+};
+
+/// Adam (Kingma & Ba) — the default for both the surrogate f_NN and the RL
+/// baselines' actor/critic networks.
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                         double eps = 1e-8);
+  void step(Mlp& net) override;
+  void reset() override;
+  double learningRate() const override { return lr_; }
+  void setLearningRate(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  long t_ = 0;
+  linalg::Vector m_;
+  linalg::Vector v_;
+};
+
+}  // namespace trdse::nn

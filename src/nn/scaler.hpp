@@ -1,0 +1,54 @@
+// Feature scaling for the surrogate network.
+//
+// The sizing vector spans decades (widths in µm, capacitors in pF) and the
+// measurement vector mixes dB, Hz and mW — raw MSE training would be dominated
+// by whichever unit is numerically largest. MinMaxScaler maps sizes to [-1,1]
+// from their declared ranges; Standardizer z-scores measurements from the
+// trajectory collected so far.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace trdse::nn {
+
+/// Affine map of each dimension from [lo_i, hi_i] to [-1, 1].
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+  MinMaxScaler(linalg::Vector lo, linalg::Vector hi);
+
+  std::size_t dim() const { return lo_.size(); }
+  linalg::Vector transform(const linalg::Vector& x) const;
+  linalg::Vector inverse(const linalg::Vector& z) const;
+
+  const linalg::Vector& lo() const { return lo_; }
+  const linalg::Vector& hi() const { return hi_; }
+
+ private:
+  linalg::Vector lo_;
+  linalg::Vector hi_;
+};
+
+/// Per-dimension z-score normalizer fitted from samples; degenerate
+/// dimensions (zero variance) pass through centred but unscaled.
+class Standardizer {
+ public:
+  void fit(const std::vector<linalg::Vector>& samples);
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t dim() const { return mean_.size(); }
+
+  linalg::Vector transform(const linalg::Vector& x) const;
+  linalg::Vector inverse(const linalg::Vector& z) const;
+
+  const linalg::Vector& mean() const { return mean_; }
+  const linalg::Vector& std() const { return std_; }
+  void set(linalg::Vector mean, linalg::Vector std);
+
+ private:
+  linalg::Vector mean_;
+  linalg::Vector std_;
+};
+
+}  // namespace trdse::nn

@@ -1,0 +1,118 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace trdse::nn {
+
+namespace {
+
+constexpr std::uint32_t kMlpMagic = 0x544E4E4D;  // "MNNT"
+constexpr std::uint32_t kStdMagic = 0x54445453;  // "STDT"
+
+void writeU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void writeU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void writeVec(std::ostream& out, const linalg::Vector& v) {
+  writeU64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+bool readU32(std::istream& in, std::uint32_t& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+bool readU64(std::istream& in, std::uint64_t& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+bool readVec(std::istream& in, linalg::Vector& v) {
+  std::uint64_t n = 0;
+  if (!readU64(in, n)) return false;
+  if (n > (1ull << 32)) return false;  // sanity bound
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+void saveMlp(const Mlp& net, std::ostream& out) {
+  writeU32(out, kMlpMagic);
+  const auto& cfg = net.config();
+  writeU64(out, cfg.layerSizes.size());
+  for (std::size_t s : cfg.layerSizes) writeU64(out, s);
+  writeU32(out, static_cast<std::uint32_t>(cfg.hidden));
+  writeU32(out, static_cast<std::uint32_t>(cfg.output));
+  writeVec(out, net.getParameters());
+}
+
+std::optional<Mlp> loadMlp(std::istream& in) {
+  std::uint32_t magic = 0;
+  if (!readU32(in, magic) || magic != kMlpMagic) return std::nullopt;
+  std::uint64_t nLayers = 0;
+  if (!readU64(in, nLayers) || nLayers < 2 || nLayers > 64) return std::nullopt;
+  MlpConfig cfg;
+  cfg.layerSizes.resize(nLayers);
+  for (auto& s : cfg.layerSizes) {
+    std::uint64_t v = 0;
+    if (!readU64(in, v) || v == 0 || v > (1u << 20)) return std::nullopt;
+    s = v;
+  }
+  std::uint32_t hidden = 0;
+  std::uint32_t output = 0;
+  if (!readU32(in, hidden) || !readU32(in, output)) return std::nullopt;
+  if (hidden > 2 || output > 2) return std::nullopt;
+  cfg.hidden = static_cast<Activation>(hidden);
+  cfg.output = static_cast<Activation>(output);
+  Mlp net(cfg, /*seed=*/0);
+  linalg::Vector params;
+  if (!readVec(in, params) || params.size() != net.parameterCount())
+    return std::nullopt;
+  net.setParameters(params);
+  return net;
+}
+
+bool saveMlpToFile(const Mlp& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  saveMlp(net, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Mlp> loadMlpFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return loadMlp(in);
+}
+
+void saveStandardizer(const Standardizer& s, std::ostream& out) {
+  writeU32(out, kStdMagic);
+  writeVec(out, s.mean());
+  writeVec(out, s.std());
+}
+
+std::optional<Standardizer> loadStandardizer(std::istream& in) {
+  std::uint32_t magic = 0;
+  if (!readU32(in, magic) || magic != kStdMagic) return std::nullopt;
+  linalg::Vector mean;
+  linalg::Vector std;
+  if (!readVec(in, mean) || !readVec(in, std)) return std::nullopt;
+  if (mean.size() != std.size()) return std::nullopt;
+  Standardizer s;
+  s.set(std::move(mean), std::move(std));
+  return s;
+}
+
+}  // namespace trdse::nn

@@ -1,0 +1,26 @@
+// Binary (de)serialization of networks and scalers.
+//
+// Needed by the process-porting experiment (Table II): the 45nm search's
+// optimal network weights are saved and loaded as the warm start of the
+// 22nm search ("weight sharing" strategy).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+
+namespace trdse::nn {
+
+void saveMlp(const Mlp& net, std::ostream& out);
+std::optional<Mlp> loadMlp(std::istream& in);
+
+bool saveMlpToFile(const Mlp& net, const std::string& path);
+std::optional<Mlp> loadMlpFromFile(const std::string& path);
+
+void saveStandardizer(const Standardizer& s, std::ostream& out);
+std::optional<Standardizer> loadStandardizer(std::istream& in);
+
+}  // namespace trdse::nn

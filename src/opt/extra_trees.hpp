@@ -1,0 +1,66 @@
+// Extremely-randomized-trees regressor (Geurts et al., 2006).
+//
+// The paper's "customized BO" replaces the usual Gaussian process with an
+// extra-tree regressor to dodge the GP's cubic sample scaling. Each tree
+// draws a random feature and a random threshold per split; the ensemble mean
+// is the prediction and the across-tree spread is the uncertainty the
+// acquisition function exploits.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace trdse::opt {
+
+struct ExtraTreesConfig {
+  std::size_t numTrees = 30;
+  std::size_t minLeafSize = 3;
+  std::size_t maxDepth = 18;
+  std::size_t splitTrials = 8;  ///< random (feature, threshold) pairs per node
+};
+
+struct Prediction {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+class ExtraTreesRegressor {
+ public:
+  explicit ExtraTreesRegressor(ExtraTreesConfig config = {});
+
+  /// Fit on rows of `x` (all same dimension) against targets `y`.
+  void fit(const std::vector<linalg::Vector>& x, const std::vector<double>& y,
+           std::uint64_t seed);
+
+  bool fitted() const { return !trees_.empty(); }
+
+  Prediction predict(const linalg::Vector& x) const;
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+    double value = 0.0;  ///< leaf mean
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  std::size_t buildNode(Tree& tree, const std::vector<linalg::Vector>& x,
+                        const std::vector<double>& y,
+                        std::vector<std::size_t>& indices, std::size_t begin,
+                        std::size_t end, std::size_t depth, std::mt19937_64& rng);
+
+  double predictTree(const Tree& tree, const linalg::Vector& x) const;
+
+  ExtraTreesConfig config_;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace trdse::opt

@@ -1,0 +1,64 @@
+#include "opt/gaussian_process.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace trdse::opt {
+
+GaussianProcess::GaussianProcess(GpConfig config) : config_(config) {}
+
+double GaussianProcess::kernel(const linalg::Vector& a,
+                               const linalg::Vector& b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return config_.signalVar *
+         std::exp(-0.5 * d2 / (config_.lengthScale * config_.lengthScale));
+}
+
+bool GaussianProcess::fit(const std::vector<linalg::Vector>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size() && !x.empty());
+  x_ = x;
+  fitted_ = false;
+  const std::size_t n = x.size();
+  yMean_ = 0.0;
+  for (double v : y) yMean_ += v;
+  yMean_ /= static_cast<double>(n);
+
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(x[i], x[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += config_.noiseVar;
+  }
+  if (!chol_.factor(k)) return false;
+  linalg::Vector centred(n);
+  for (std::size_t i = 0; i < n; ++i) centred[i] = y[i] - yMean_;
+  alpha_ = chol_.solve(centred);
+  fitted_ = true;
+  return true;
+}
+
+Prediction GaussianProcess::predict(const linalg::Vector& x) const {
+  assert(fitted_);
+  const std::size_t n = x_.size();
+  linalg::Vector kStar(n);
+  for (std::size_t i = 0; i < n; ++i) kStar[i] = kernel(x, x_[i]);
+  Prediction p;
+  p.mean = yMean_;
+  for (std::size_t i = 0; i < n; ++i) p.mean += kStar[i] * alpha_[i];
+  // var = k(x,x) - v^T v with v = L^{-1} k*.
+  const linalg::Vector v = chol_.solveLower(kStar);
+  double var = kernel(x, x) + config_.noiseVar;
+  for (double vi : v) var -= vi * vi;
+  p.std = std::sqrt(std::max(0.0, var));
+  return p;
+}
+
+}  // namespace trdse::opt

@@ -1,0 +1,47 @@
+// Gaussian-process regressor with an RBF kernel — the *conventional* BO
+// surrogate the paper's customized BO replaces. Included so the scalability
+// claim (cubic growth in the sample count versus the forest's n log n) can be
+// measured rather than cited; see bench/abl_bo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "opt/extra_trees.hpp"  // Prediction
+
+namespace trdse::opt {
+
+struct GpConfig {
+  double lengthScale = 0.2;  ///< RBF length scale in unit coordinates
+  double signalVar = 1.0;
+  double noiseVar = 1e-4;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpConfig config = {});
+
+  /// Fit on unit-space rows; O(n^3) Cholesky of the kernel matrix. Returns
+  /// false when the kernel matrix is numerically indefinite.
+  bool fit(const std::vector<linalg::Vector>& x, const std::vector<double>& y);
+
+  bool fitted() const { return fitted_; }
+  std::size_t sampleCount() const { return x_.size(); }
+
+  /// Posterior mean and standard deviation; O(n) / O(n^2) per query.
+  Prediction predict(const linalg::Vector& x) const;
+
+ private:
+  double kernel(const linalg::Vector& a, const linalg::Vector& b) const;
+
+  GpConfig config_;
+  std::vector<linalg::Vector> x_;
+  linalg::Vector alpha_;  ///< K^{-1} (y - mean)
+  double yMean_ = 0.0;
+  linalg::CholeskySolver chol_;
+  bool fitted_ = false;
+};
+
+}  // namespace trdse::opt

@@ -1,0 +1,40 @@
+#include "opt/random_search.hpp"
+
+namespace trdse::opt {
+
+RandomSearch::RandomSearch(const core::SizingProblem& problem, std::uint64_t seed)
+    : problem_(problem),
+      value_(problem.measurementNames, problem.specs),
+      rng_(seed) {}
+
+RandomSearchOutcome RandomSearch::run(std::size_t maxSimulations) {
+  RandomSearchOutcome out;
+  while (out.iterations < maxSimulations) {
+    const linalg::Vector x = problem_.space.randomPoint(rng_);
+    bool allPass = true;
+    double worst = 0.0;
+    for (const auto& corner : problem_.corners) {
+      if (out.iterations >= maxSimulations) return out;
+      const core::EvalResult r = problem_.evaluate(x, corner);
+      ++out.iterations;
+      const double v = value_.valueOf(r);
+      worst = std::min(worst, v);
+      if (!r.ok || !value_.satisfied(r.measurements)) {
+        allPass = false;
+        break;  // early exit: no need to burn blocks on remaining corners
+      }
+    }
+    if (worst > out.bestValue) {
+      out.bestValue = worst;
+      out.sizes = x;
+    }
+    if (allPass) {
+      out.solved = true;
+      out.sizes = x;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace trdse::opt

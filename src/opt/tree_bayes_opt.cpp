@@ -1,0 +1,116 @@
+#include "opt/tree_bayes_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trdse::opt {
+
+TreeBayesOpt::TreeBayesOpt(const core::SizingProblem& problem,
+                           TreeBayesOptConfig config)
+    : problem_(problem),
+      config_(config),
+      value_(problem.measurementNames, problem.specs),
+      rng_(config.seed) {}
+
+double TreeBayesOpt::evaluateAllCorners(const linalg::Vector& sizes,
+                                        TreeBayesOptOutcome& out,
+                                        std::size_t maxSimulations,
+                                        linalg::Vector* worstMeas) {
+  double worst = 0.0;
+  for (const auto& corner : problem_.corners) {
+    if (out.iterations >= maxSimulations) break;
+    const core::EvalResult r = problem_.evaluate(sizes, corner);
+    ++out.iterations;
+    const double v = value_.valueOf(r);
+    if (v < worst) {
+      worst = v;
+      if (worstMeas != nullptr && r.ok) *worstMeas = r.measurements;
+    } else if (worstMeas != nullptr && worstMeas->empty() && r.ok) {
+      *worstMeas = r.measurements;
+    }
+    if (v <= core::kFailedValue) break;  // hard failure dominates
+  }
+  return worst;
+}
+
+TreeBayesOptOutcome TreeBayesOpt::run(std::size_t maxSimulations) {
+  TreeBayesOptOutcome out;
+  const auto& space = problem_.space;
+  const double nSpecs = static_cast<double>(problem_.specs.size());
+  const double failTarget = -config_.failedPenaltyPerSpec * nSpecs;
+
+  std::vector<linalg::Vector> xs;      // unit-space inputs
+  std::vector<double> ys;              // observed worst-corner values
+  linalg::Vector bestUnit;
+
+  auto observe = [&](const linalg::Vector& rawSizes) {
+    const linalg::Vector sizes = space.snap(rawSizes);
+    linalg::Vector meas;
+    const double v =
+        evaluateAllCorners(sizes, out, maxSimulations, &meas);
+    const double target = v <= core::kFailedValue ? failTarget : v;
+    xs.push_back(space.toUnit(sizes));
+    ys.push_back(target);
+    if (v > out.bestValue) {
+      out.bestValue = v;
+      out.sizes = sizes;
+      out.bestMeasurements = meas;
+      bestUnit = xs.back();
+    }
+    if (v >= 0.0) {
+      out.solved = true;
+      out.sizes = sizes;
+    }
+    return v;
+  };
+
+  for (std::size_t i = 0; i < config_.initSamples; ++i) {
+    if (out.iterations >= maxSimulations || out.solved) return out;
+    observe(space.randomPoint(rng_));
+  }
+
+  ExtraTreesRegressor model;
+  std::normal_distribution<double> gauss(0.0, config_.localSigma);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::size_t lastFitSize = 0;
+
+  while (out.iterations < maxSimulations && !out.solved) {
+    const std::size_t refitGap =
+        std::max<std::size_t>(1, xs.size() / std::max<std::size_t>(1, config_.refitDivisor));
+    if (!model.fitted() || xs.size() - lastFitSize >= refitGap) {
+      model.fit(xs, ys, config_.seed + out.iterations);
+      lastFitSize = xs.size();
+    }
+
+    // Dynamic exploration/exploitation balance: kappa decays with budget.
+    const double progress =
+        static_cast<double>(out.iterations) / static_cast<double>(maxSimulations);
+    const double kappa =
+        config_.kappaStart + (config_.kappaEnd - config_.kappaStart) * progress;
+
+    linalg::Vector bestCand;
+    double bestAcq = -std::numeric_limits<double>::infinity();
+    const std::size_t nLocal = static_cast<std::size_t>(
+        config_.localFraction * static_cast<double>(config_.candidatePool));
+    for (std::size_t c = 0; c < config_.candidatePool; ++c) {
+      linalg::Vector u(space.dim());
+      if (c < nLocal && !bestUnit.empty()) {
+        for (std::size_t d = 0; d < space.dim(); ++d)
+          u[d] = std::clamp(bestUnit[d] + gauss(rng_), 0.0, 1.0);
+      } else {
+        for (std::size_t d = 0; d < space.dim(); ++d) u[d] = unif(rng_);
+      }
+      const Prediction p = model.predict(u);
+      const double acq = p.mean + kappa * p.std;
+      if (acq > bestAcq) {
+        bestAcq = acq;
+        bestCand = u;
+      }
+    }
+    if (bestCand.empty()) break;
+    observe(space.fromUnit(bestCand));
+  }
+  return out;
+}
+
+}  // namespace trdse::opt

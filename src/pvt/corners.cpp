@@ -1,0 +1,55 @@
+#include "pvt/corners.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trdse::pvt {
+
+std::vector<sim::PvtCorner> nineCornerSet(double nominalVdd) {
+  return fullFactorial(
+      {sim::ProcessCorner::kSS, sim::ProcessCorner::kTT, sim::ProcessCorner::kFF},
+      {nominalVdd}, {-40.0, 27.0, 125.0});
+}
+
+std::vector<sim::PvtCorner> fullFactorial(
+    const std::vector<sim::ProcessCorner>& corners,
+    const std::vector<double>& vdds, const std::vector<double>& tempsC) {
+  std::vector<sim::PvtCorner> out;
+  out.reserve(corners.size() * vdds.size() * tempsC.size());
+  for (const auto c : corners)
+    for (const double v : vdds)
+      for (const double t : tempsC) out.push_back({c, v, t});
+  return out;
+}
+
+std::vector<std::size_t> heuristicHardestFirst(
+    const std::vector<sim::PvtCorner>& corners, double nominalVdd) {
+  std::vector<std::size_t> order(corners.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto difficulty = [&](const sim::PvtCorner& c) {
+    double d = 0.0;
+    switch (c.corner) {
+      case sim::ProcessCorner::kSS:
+        d += 3.0;
+        break;
+      case sim::ProcessCorner::kSF:
+      case sim::ProcessCorner::kFS:
+        d += 1.5;
+        break;
+      case sim::ProcessCorner::kTT:
+        d += 0.5;
+        break;
+      case sim::ProcessCorner::kFF:
+        break;
+    }
+    d += std::max(0.0, (nominalVdd - c.vdd) / nominalVdd) * 4.0;  // low supply
+    d += std::abs(c.tempC - 27.0) / 100.0;                        // extremes
+    return d;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return difficulty(corners[a]) > difficulty(corners[b]);
+  });
+  return order;
+}
+
+}  // namespace trdse::pvt

@@ -1,0 +1,31 @@
+// PVT corner-set construction (paper Section IV-E).
+//
+// Sign-off requires a netlist to meet spec under every combination of
+// process corner, supply voltage and temperature the chip may see. The
+// paper's Fig. 3 experiment uses a 9-condition set; we build it as
+// {SS, TT, FF} x {-40C, 27C, 125C} at nominal supply, and provide a general
+// full-factorial builder for larger sign-off matrices.
+#pragma once
+
+#include <vector>
+
+#include "sim/process.hpp"
+
+namespace trdse::pvt {
+
+/// The 9-corner development set used by Table III / Fig. 3.
+std::vector<sim::PvtCorner> nineCornerSet(double nominalVdd);
+
+/// Full factorial: every (corner, vdd, temp) combination, in deterministic
+/// corner-major order.
+std::vector<sim::PvtCorner> fullFactorial(
+    const std::vector<sim::ProcessCorner>& corners,
+    const std::vector<double>& vdds, const std::vector<double>& tempsC);
+
+/// Heuristic difficulty ranking a designer would apply before any simulation:
+/// slow process, low supply and temperature extremes are presumed hardest.
+/// Returns corner indices sorted from hardest to easiest.
+std::vector<std::size_t> heuristicHardestFirst(
+    const std::vector<sim::PvtCorner>& corners, double nominalVdd);
+
+}  // namespace trdse::pvt

@@ -1,0 +1,52 @@
+#include "pvt/ledger.hpp"
+
+#include <algorithm>
+
+namespace trdse::pvt {
+
+std::size_t EdaLedger::searchBlocks() const {
+  return static_cast<std::size_t>(
+      std::count_if(blocks_.begin(), blocks_.end(),
+                    [](const EdaBlock& b) { return b.kind == BlockKind::kSearch; }));
+}
+
+std::size_t EdaLedger::verifyBlocks() const {
+  return blocks_.size() - searchBlocks();
+}
+
+std::string EdaLedger::renderTimeline(std::size_t cornerCount,
+                                      std::size_t maxCols) const {
+  // Bucket blocks into maxCols columns when the run is long.
+  const std::size_t n = blocks_.size();
+  if (n == 0 || cornerCount == 0) return "(empty ledger)\n";
+  const std::size_t cols = std::min(n, maxCols);
+  const double perCol = static_cast<double>(n) / static_cast<double>(cols);
+
+  std::vector<std::string> rows(cornerCount, std::string(cols, '.'));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& b = blocks_[i];
+    if (b.cornerIndex >= cornerCount) continue;
+    const std::size_t col =
+        std::min(cols - 1, static_cast<std::size_t>(static_cast<double>(i) / perCol));
+    char& cell = rows[b.cornerIndex][col];
+    char mark;
+    if (b.kind == BlockKind::kVerify) {
+      mark = b.meetsSpec ? 'V' : 'v';
+    } else {
+      mark = b.meetsSpec ? 's' : 'x';
+    }
+    // Verification marks win over search marks inside a bucket.
+    if (cell == '.' || (mark == 'V' || mark == 'v')) cell = mark;
+  }
+
+  std::string out;
+  for (std::size_t c = 0; c < cornerCount; ++c) {
+    out += "PVT" + std::to_string(c + 1) + (c + 1 < 10 ? " " : "") + " |";
+    out += rows[c];
+    out += "|\n";
+  }
+  out += "legend: x search(fail) s search(pass) v verify(fail) V verify(pass)\n";
+  return out;
+}
+
+}  // namespace trdse::pvt

@@ -1,0 +1,44 @@
+// EDA-time accounting for PVT exploration (paper Fig. 3).
+//
+// Each SPICE invocation occupies one "EDA time" block (a licence-seat slot in
+// the paper's deployment framing). The ledger records which corner consumed
+// each block and whether it was a search step or a verification sweep, so the
+// Fig. 3 timeline can be re-rendered and strategies compared on equal terms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace trdse::pvt {
+
+enum class BlockKind : std::uint8_t { kSearch, kVerify };
+
+struct EdaBlock {
+  std::size_t cornerIndex = 0;
+  BlockKind kind = BlockKind::kSearch;
+  bool meetsSpec = false;  ///< did this simulation meet all specs?
+};
+
+class EdaLedger {
+ public:
+  void record(std::size_t cornerIndex, BlockKind kind, bool meetsSpec) {
+    blocks_.push_back({cornerIndex, kind, meetsSpec});
+  }
+
+  std::size_t totalBlocks() const { return blocks_.size(); }
+  std::size_t searchBlocks() const;
+  std::size_t verifyBlocks() const;
+  const std::vector<EdaBlock>& blocks() const { return blocks_; }
+
+  /// ASCII rendering of the Fig. 3 timeline: one row per corner, one column
+  /// per EDA block ('.' idle, 'x' search-fail, 's' search-pass, 'V' verify-
+  /// pass, 'v' verify-fail). Columns are grouped to `maxCols`.
+  std::string renderTimeline(std::size_t cornerCount,
+                             std::size_t maxCols = 100) const;
+
+ private:
+  std::vector<EdaBlock> blocks_;
+};
+
+}  // namespace trdse::pvt

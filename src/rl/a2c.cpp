@@ -1,0 +1,100 @@
+#include "rl/a2c.hpp"
+
+#include <algorithm>
+
+#include "nn/optimizer.hpp"
+
+namespace trdse::rl {
+
+RlTrainOutcome trainA2c(const core::SizingProblem& problem, const A2cConfig& cfg,
+                        std::size_t maxSimulations) {
+  RlTrainOutcome out;
+  SizingEnv env(problem, cfg.env, cfg.seed);
+  std::mt19937_64 rng(cfg.seed + 7);
+
+  const std::size_t heads = env.actionHeads();
+  const std::size_t apH = SizingEnv::kActionsPerHead;
+  nn::Mlp policy = makePolicyNet(env.observationDim(), heads, apH, cfg.hidden,
+                                 cfg.seed + 11);
+  nn::Mlp critic = makeValueNet(env.observationDim(), cfg.hidden, cfg.seed + 13);
+  nn::AdamOptimizer policyOpt(cfg.learningRate);
+  nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
+
+  linalg::Vector obs = env.reset();
+  double episodeReturn = 0.0;
+  out.bestEpisodeReturn = -1e18;
+
+  RolloutBuffer buffer;
+  while (env.simulationsUsed() < maxSimulations) {
+    buffer.clear();
+    bool solvedNow = false;
+    for (std::size_t s = 0; s < cfg.nSteps && env.simulationsUsed() < maxSimulations;
+         ++s) {
+      const PolicySample ps = samplePolicy(policy, obs, heads, apH, rng);
+      const double v = critic.predict(obs)[0];
+      const StepResult sr = env.step(ps.actions);
+
+      Transition t;
+      t.observation = obs;
+      t.actions = ps.actions;
+      t.reward = sr.reward;
+      t.valueEstimate = v;
+      t.logProb = ps.logProb;
+      t.done = sr.done;
+      buffer.transitions.push_back(std::move(t));
+
+      episodeReturn += sr.reward;
+      obs = sr.observation;
+      if (sr.done) {
+        out.bestEpisodeReturn = std::max(out.bestEpisodeReturn, episodeReturn);
+        episodeReturn = 0.0;
+        if (sr.solved) {
+          solvedNow = true;
+          break;
+        }
+        obs = env.reset();
+      }
+    }
+    if (solvedNow) {
+      out.solved = true;
+      break;
+    }
+    if (buffer.transitions.empty()) break;
+
+    buffer.bootstrapValue =
+        buffer.transitions.back().done ? 0.0 : critic.predict(obs)[0];
+    AdvantageResult adv = computeGae(buffer, cfg.gamma, cfg.gaeLambda);
+    normalizeAdvantages(adv.advantages);
+
+    // One synchronous gradient step over the rollout.
+    policy.zeroGrad();
+    critic.zeroGrad();
+    const double invN = 1.0 / static_cast<double>(buffer.size());
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      const Transition& t = buffer.transitions[i];
+      // Policy: maximize A*logpi + beta*H  ->  descend on its negation.
+      const linalg::Vector logits = policy.forward(t.observation);
+      linalg::Vector g = jointLogProbGrad(logits, t.actions, apH);
+      const linalg::Vector eg = jointEntropyGrad(logits, apH);
+      for (std::size_t k = 0; k < g.size(); ++k)
+        g[k] = -(adv.advantages[i] * g[k] + cfg.entropyCoeff * eg[k]) * invN;
+      policy.backward(g);
+
+      // Critic: MSE to the GAE return.
+      const linalg::Vector vp = critic.forward(t.observation);
+      critic.backward({2.0 * (vp[0] - adv.returns[i]) * invN});
+    }
+    nn::clipGradNorm(policy, cfg.maxGradNorm);
+    nn::clipGradNorm(critic, cfg.maxGradNorm);
+    policyOpt.step(policy);
+    criticOpt.step(critic);
+  }
+
+  out.totalSimulations = env.simulationsUsed();
+  out.simulationsToSolve =
+      env.simsAtFirstSolve() > 0 ? env.simsAtFirstSolve() : env.simulationsUsed();
+  out.solved = env.simsAtFirstSolve() > 0;
+  return out;
+}
+
+}  // namespace trdse::rl

@@ -1,0 +1,38 @@
+// Advantage Actor-Critic (Mnih et al., 2016) — Table I baseline.
+// Synchronous single-worker variant with n-step GAE advantages, entropy
+// regularization and gradient-norm clipping, as in Stable-Baselines' A2C.
+#pragma once
+
+#include "core/problem.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/rollout.hpp"
+#include "rl/sizing_env.hpp"
+
+namespace trdse::rl {
+
+struct A2cConfig {
+  std::size_t nSteps = 16;
+  double gamma = 0.99;
+  double gaeLambda = 0.95;
+  double learningRate = 7e-4;
+  double valueLearningRate = 7e-4;
+  double entropyCoeff = 0.01;
+  double maxGradNorm = 0.5;
+  std::size_t hidden = 64;
+  EnvConfig env;
+  std::uint64_t seed = 1;
+};
+
+struct RlTrainOutcome {
+  bool solved = false;
+  std::size_t simulationsToSolve = 0;  ///< sims at the first satisfying design
+  std::size_t totalSimulations = 0;
+  double bestEpisodeReturn = 0.0;
+};
+
+/// Train on the problem's first corner until a satisfying design is found or
+/// the simulation budget is exhausted.
+RlTrainOutcome trainA2c(const core::SizingProblem& problem, const A2cConfig& cfg,
+                        std::size_t maxSimulations);
+
+}  // namespace trdse::rl

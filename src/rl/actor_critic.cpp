@@ -1,0 +1,137 @@
+#include "rl/actor_critic.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace trdse::rl {
+
+linalg::Vector headLogits(const linalg::Vector& logits, std::size_t head,
+                          std::size_t actionsPerHead) {
+  linalg::Vector h(actionsPerHead);
+  for (std::size_t a = 0; a < actionsPerHead; ++a)
+    h[a] = logits[head * actionsPerHead + a];
+  return h;
+}
+
+PolicySample samplePolicy(const nn::Mlp& policy, const linalg::Vector& obs,
+                          std::size_t heads, std::size_t actionsPerHead,
+                          std::mt19937_64& rng) {
+  const linalg::Vector logits = policy.predict(obs);
+  assert(logits.size() == heads * actionsPerHead);
+  PolicySample s;
+  s.actions.resize(heads);
+  for (std::size_t h = 0; h < heads; ++h) {
+    const linalg::Vector hl = headLogits(logits, h, actionsPerHead);
+    s.actions[h] = nn::sampleCategorical(hl, rng);
+    s.logProb += nn::logSoftmax(hl)[s.actions[h]];
+    s.entropy += nn::categoricalEntropy(hl);
+  }
+  return s;
+}
+
+std::vector<std::size_t> greedyPolicy(const nn::Mlp& policy,
+                                      const linalg::Vector& obs,
+                                      std::size_t heads,
+                                      std::size_t actionsPerHead) {
+  const linalg::Vector logits = policy.predict(obs);
+  std::vector<std::size_t> actions(heads);
+  for (std::size_t h = 0; h < heads; ++h)
+    actions[h] = nn::argmaxIndex(headLogits(logits, h, actionsPerHead));
+  return actions;
+}
+
+double jointLogProb(const linalg::Vector& logits,
+                    const std::vector<std::size_t>& actions,
+                    std::size_t actionsPerHead) {
+  double lp = 0.0;
+  for (std::size_t h = 0; h < actions.size(); ++h)
+    lp += nn::logSoftmax(headLogits(logits, h, actionsPerHead))[actions[h]];
+  return lp;
+}
+
+double jointEntropy(const linalg::Vector& logits, std::size_t actionsPerHead) {
+  const std::size_t heads = logits.size() / actionsPerHead;
+  double e = 0.0;
+  for (std::size_t h = 0; h < heads; ++h)
+    e += nn::categoricalEntropy(headLogits(logits, h, actionsPerHead));
+  return e;
+}
+
+linalg::Vector jointLogProbGrad(const linalg::Vector& logits,
+                                const std::vector<std::size_t>& actions,
+                                std::size_t actionsPerHead) {
+  linalg::Vector g(logits.size(), 0.0);
+  for (std::size_t h = 0; h < actions.size(); ++h) {
+    const linalg::Vector hg =
+        nn::logProbGrad(headLogits(logits, h, actionsPerHead), actions[h]);
+    for (std::size_t a = 0; a < actionsPerHead; ++a)
+      g[h * actionsPerHead + a] = hg[a];
+  }
+  return g;
+}
+
+linalg::Vector jointEntropyGrad(const linalg::Vector& logits,
+                                std::size_t actionsPerHead) {
+  // dH/dlogit_i = -p_i * (log p_i + H) for each head independently.
+  const std::size_t heads = logits.size() / actionsPerHead;
+  linalg::Vector g(logits.size(), 0.0);
+  for (std::size_t h = 0; h < heads; ++h) {
+    const linalg::Vector hl = headLogits(logits, h, actionsPerHead);
+    const linalg::Vector lp = nn::logSoftmax(hl);
+    double ent = 0.0;
+    for (double v : lp) ent -= std::exp(v) * v;
+    for (std::size_t a = 0; a < actionsPerHead; ++a) {
+      const double p = std::exp(lp[a]);
+      g[h * actionsPerHead + a] = -p * (lp[a] + ent);
+    }
+  }
+  return g;
+}
+
+double jointKl(const linalg::Vector& oldLogits, const linalg::Vector& newLogits,
+               std::size_t actionsPerHead) {
+  assert(oldLogits.size() == newLogits.size());
+  const std::size_t heads = oldLogits.size() / actionsPerHead;
+  double kl = 0.0;
+  for (std::size_t h = 0; h < heads; ++h)
+    kl += nn::categoricalKl(headLogits(oldLogits, h, actionsPerHead),
+                            headLogits(newLogits, h, actionsPerHead));
+  return kl;
+}
+
+linalg::Vector jointKlGrad(const linalg::Vector& oldLogits,
+                           const linalg::Vector& newLogits,
+                           std::size_t actionsPerHead) {
+  assert(oldLogits.size() == newLogits.size());
+  const std::size_t heads = oldLogits.size() / actionsPerHead;
+  linalg::Vector g(newLogits.size(), 0.0);
+  for (std::size_t h = 0; h < heads; ++h) {
+    const linalg::Vector pNew =
+        nn::softmax(headLogits(newLogits, h, actionsPerHead));
+    const linalg::Vector pOld =
+        nn::softmax(headLogits(oldLogits, h, actionsPerHead));
+    for (std::size_t a = 0; a < actionsPerHead; ++a)
+      g[h * actionsPerHead + a] = pNew[a] - pOld[a];
+  }
+  return g;
+}
+
+nn::Mlp makePolicyNet(std::size_t obsDim, std::size_t heads,
+                      std::size_t actionsPerHead, std::size_t hidden,
+                      std::uint64_t seed) {
+  nn::MlpConfig cfg;
+  cfg.layerSizes = {obsDim, hidden, hidden, heads * actionsPerHead};
+  cfg.hidden = nn::Activation::kTanh;
+  cfg.output = nn::Activation::kIdentity;
+  return nn::Mlp(cfg, seed);
+}
+
+nn::Mlp makeValueNet(std::size_t obsDim, std::size_t hidden, std::uint64_t seed) {
+  nn::MlpConfig cfg;
+  cfg.layerSizes = {obsDim, hidden, hidden, 1};
+  cfg.hidden = nn::Activation::kTanh;
+  cfg.output = nn::Activation::kIdentity;
+  return nn::Mlp(cfg, seed);
+}
+
+}  // namespace trdse::rl

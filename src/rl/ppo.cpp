@@ -1,0 +1,114 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/optimizer.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/rollout.hpp"
+
+namespace trdse::rl {
+
+RlTrainOutcome trainPpo(const core::SizingProblem& problem, const PpoConfig& cfg,
+                        std::size_t maxSimulations) {
+  RlTrainOutcome out;
+  SizingEnv env(problem, cfg.env, cfg.seed);
+  std::mt19937_64 rng(cfg.seed + 19);
+
+  const std::size_t heads = env.actionHeads();
+  const std::size_t apH = SizingEnv::kActionsPerHead;
+  nn::Mlp policy = makePolicyNet(env.observationDim(), heads, apH, cfg.hidden,
+                                 cfg.seed + 23);
+  nn::Mlp critic = makeValueNet(env.observationDim(), cfg.hidden, cfg.seed + 29);
+  nn::AdamOptimizer policyOpt(cfg.learningRate);
+  nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
+
+  linalg::Vector obs = env.reset();
+  double episodeReturn = 0.0;
+  out.bestEpisodeReturn = -1e18;
+
+  RolloutBuffer buffer;
+  while (env.simulationsUsed() < maxSimulations && env.simsAtFirstSolve() == 0) {
+    buffer.clear();
+    for (std::size_t s = 0;
+         s < cfg.horizon && env.simulationsUsed() < maxSimulations; ++s) {
+      const PolicySample ps = samplePolicy(policy, obs, heads, apH, rng);
+      const double v = critic.predict(obs)[0];
+      const StepResult sr = env.step(ps.actions);
+
+      Transition t;
+      t.observation = obs;
+      t.actions = ps.actions;
+      t.reward = sr.reward;
+      t.valueEstimate = v;
+      t.logProb = ps.logProb;
+      t.done = sr.done;
+      buffer.transitions.push_back(std::move(t));
+
+      episodeReturn += sr.reward;
+      obs = sr.observation;
+      if (sr.done) {
+        out.bestEpisodeReturn = std::max(out.bestEpisodeReturn, episodeReturn);
+        episodeReturn = 0.0;
+        if (sr.solved) break;
+        obs = env.reset();
+      }
+    }
+    if (env.simsAtFirstSolve() > 0 || buffer.transitions.empty()) break;
+
+    buffer.bootstrapValue =
+        buffer.transitions.back().done ? 0.0 : critic.predict(obs)[0];
+    AdvantageResult adv = computeGae(buffer, cfg.gamma, cfg.gaeLambda);
+    normalizeAdvantages(adv.advantages);
+
+    std::vector<std::size_t> order(buffer.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+      std::shuffle(order.begin(), order.end(), rng);
+      for (std::size_t start = 0; start < order.size(); start += cfg.minibatch) {
+        const std::size_t end = std::min(order.size(), start + cfg.minibatch);
+        const double invB = 1.0 / static_cast<double>(end - start);
+        policy.zeroGrad();
+        critic.zeroGrad();
+        for (std::size_t k = start; k < end; ++k) {
+          const Transition& t = buffer.transitions[order[k]];
+          const double advantage = adv.advantages[order[k]];
+
+          const linalg::Vector logits = policy.forward(t.observation);
+          const double newLp = jointLogProb(logits, t.actions, apH);
+          const double ratio = std::exp(newLp - t.logProb);
+          // Clipped surrogate: gradient flows only when unclipped term is
+          // the active minimum.
+          const bool clipped =
+              (advantage > 0.0 && ratio > 1.0 + cfg.clipRatio) ||
+              (advantage < 0.0 && ratio < 1.0 - cfg.clipRatio);
+          linalg::Vector g(logits.size(), 0.0);
+          if (!clipped) {
+            g = jointLogProbGrad(logits, t.actions, apH);
+            for (double& gv : g) gv *= ratio * advantage;
+          }
+          const linalg::Vector eg = jointEntropyGrad(logits, apH);
+          for (std::size_t i = 0; i < g.size(); ++i)
+            g[i] = -(g[i] + cfg.entropyCoeff * eg[i]) * invB;
+          policy.backward(g);
+
+          const linalg::Vector vp = critic.forward(t.observation);
+          critic.backward({2.0 * (vp[0] - adv.returns[order[k]]) * invB});
+        }
+        nn::clipGradNorm(policy, cfg.maxGradNorm);
+        nn::clipGradNorm(critic, cfg.maxGradNorm);
+        policyOpt.step(policy);
+        criticOpt.step(critic);
+      }
+    }
+  }
+
+  out.totalSimulations = env.simulationsUsed();
+  out.solved = env.simsAtFirstSolve() > 0;
+  out.simulationsToSolve =
+      out.solved ? env.simsAtFirstSolve() : env.simulationsUsed();
+  return out;
+}
+
+}  // namespace trdse::rl

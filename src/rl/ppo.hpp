@@ -1,0 +1,31 @@
+// Proximal Policy Optimization (Schulman et al., 2017) — Table I baseline.
+// Clipped-surrogate objective with GAE, multiple epochs of shuffled
+// mini-batches per rollout, entropy bonus and gradient clipping.
+#pragma once
+
+#include "core/problem.hpp"
+#include "rl/a2c.hpp"  // RlTrainOutcome
+#include "rl/sizing_env.hpp"
+
+namespace trdse::rl {
+
+struct PpoConfig {
+  std::size_t horizon = 192;
+  std::size_t epochs = 4;
+  std::size_t minibatch = 32;
+  double gamma = 0.99;
+  double gaeLambda = 0.95;
+  double clipRatio = 0.2;
+  double learningRate = 3e-4;
+  double valueLearningRate = 1e-3;
+  double entropyCoeff = 0.01;
+  double maxGradNorm = 0.5;
+  std::size_t hidden = 64;
+  EnvConfig env;
+  std::uint64_t seed = 1;
+};
+
+RlTrainOutcome trainPpo(const core::SizingProblem& problem, const PpoConfig& cfg,
+                        std::size_t maxSimulations);
+
+}  // namespace trdse::rl

@@ -1,0 +1,39 @@
+#include "rl/rollout.hpp"
+
+#include <cmath>
+
+namespace trdse::rl {
+
+AdvantageResult computeGae(const RolloutBuffer& buffer, double gamma,
+                           double lambda) {
+  const std::size_t n = buffer.size();
+  AdvantageResult r;
+  r.advantages.assign(n, 0.0);
+  r.returns.assign(n, 0.0);
+  double gae = 0.0;
+  double nextValue = buffer.bootstrapValue;
+  for (std::size_t ii = n; ii-- > 0;) {
+    const Transition& t = buffer.transitions[ii];
+    const double mask = t.done ? 0.0 : 1.0;
+    const double delta = t.reward + gamma * nextValue * mask - t.valueEstimate;
+    gae = delta + gamma * lambda * mask * gae;
+    r.advantages[ii] = gae;
+    r.returns[ii] = gae + t.valueEstimate;
+    nextValue = t.valueEstimate;
+  }
+  return r;
+}
+
+void normalizeAdvantages(std::vector<double>& adv) {
+  if (adv.size() < 2) return;
+  double mean = 0.0;
+  for (double a : adv) mean += a;
+  mean /= static_cast<double>(adv.size());
+  double var = 0.0;
+  for (double a : adv) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(adv.size());
+  const double std = std::sqrt(var) + 1e-8;
+  for (double& a : adv) a = (a - mean) / std;
+}
+
+}  // namespace trdse::rl

@@ -1,0 +1,41 @@
+// Rollout storage and generalized advantage estimation shared by the
+// model-free baselines.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace trdse::rl {
+
+struct Transition {
+  linalg::Vector observation;
+  std::vector<std::size_t> actions;
+  double reward = 0.0;
+  double valueEstimate = 0.0;
+  double logProb = 0.0;
+  bool done = false;
+};
+
+struct RolloutBuffer {
+  std::vector<Transition> transitions;
+  /// Value estimate of the state after the last transition (0 when done).
+  double bootstrapValue = 0.0;
+
+  std::size_t size() const { return transitions.size(); }
+  void clear() { transitions.clear(); }
+};
+
+struct AdvantageResult {
+  std::vector<double> advantages;  ///< GAE(lambda)
+  std::vector<double> returns;     ///< advantages + value estimates
+};
+
+/// Standard GAE over possibly multiple episodes (done flags reset the tail).
+AdvantageResult computeGae(const RolloutBuffer& buffer, double gamma,
+                           double lambda);
+
+/// In-place standardization of advantages (zero mean, unit variance).
+void normalizeAdvantages(std::vector<double>& adv);
+
+}  // namespace trdse::rl

@@ -1,0 +1,84 @@
+#include "rl/sizing_env.hpp"
+
+#include <algorithm>
+
+namespace trdse::rl {
+
+SizingEnv::SizingEnv(const core::SizingProblem& problem, EnvConfig config,
+                     std::uint64_t seed)
+    : problem_(problem),
+      config_(config),
+      value_(problem.measurementNames, problem.specs),
+      rng_(seed) {
+  assert(!problem.corners.empty());
+}
+
+std::size_t SizingEnv::observationDim() const {
+  return problem_.space.dim() + 2 * problem_.specs.size();
+}
+
+void SizingEnv::simulateCurrent() {
+  sizes_ = problem_.space.fromIndices(indices_);
+  const core::EvalResult r = problem_.evaluate(sizes_, problem_.corners.front());
+  ++sims_;
+  currentOk_ = r.ok;
+  if (r.ok) {
+    scores_ = value_.perSpecScores(r.measurements);
+    currentValue_ = value_(r.measurements);
+  } else {
+    scores_.assign(problem_.specs.size(), config_.failedSimScore);
+    currentValue_ = config_.failedSimScore *
+                    static_cast<double>(problem_.specs.size());
+  }
+}
+
+linalg::Vector SizingEnv::makeObservation() const {
+  linalg::Vector obs;
+  obs.reserve(observationDim());
+  const linalg::Vector unit = problem_.space.toUnit(sizes_);
+  obs.insert(obs.end(), unit.begin(), unit.end());
+  for (double s : scores_) obs.push_back(std::clamp(s, -1.0, 0.0));
+  // Normalized targets: constant in a fixed-spec experiment but kept for
+  // parity with AutoCkt's observation (which carries the sampled target).
+  for (const auto& spec : problem_.specs)
+    obs.push_back(std::tanh(spec.limit / (std::abs(spec.limit) + 1.0)));
+  return obs;
+}
+
+linalg::Vector SizingEnv::reset() {
+  indices_.resize(problem_.space.dim());
+  for (std::size_t d = 0; d < indices_.size(); ++d) {
+    std::uniform_int_distribution<std::size_t> dist(
+        0, problem_.space.param(d).steps - 1);
+    indices_[d] = dist(rng_);
+  }
+  stepsInEpisode_ = 0;
+  simulateCurrent();
+  return makeObservation();
+}
+
+StepResult SizingEnv::step(const std::vector<std::size_t>& actions) {
+  assert(actions.size() == problem_.space.dim());
+  for (std::size_t d = 0; d < actions.size(); ++d) {
+    const std::size_t steps = problem_.space.param(d).steps;
+    const long stride = std::max<long>(
+        1, static_cast<long>(steps / config_.strideDivisor));
+    long idx = static_cast<long>(indices_[d]);
+    if (actions[d] == 0) idx -= stride;
+    if (actions[d] == 2) idx += stride;
+    indices_[d] = static_cast<std::size_t>(
+        std::clamp<long>(idx, 0, static_cast<long>(steps) - 1));
+  }
+  simulateCurrent();
+  ++stepsInEpisode_;
+
+  StepResult r;
+  r.solved = currentOk_ && currentValue_ >= 0.0;
+  r.reward = currentValue_ + (r.solved ? config_.solveBonus : 0.0);
+  r.done = r.solved || stepsInEpisode_ >= config_.episodeLength;
+  r.observation = makeObservation();
+  if (r.solved && simsAtFirstSolve_ == 0) simsAtFirstSolve_ = sims_;
+  return r;
+}
+
+}  // namespace trdse::rl

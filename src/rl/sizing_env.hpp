@@ -1,0 +1,72 @@
+// AutoCkt-style sizing environment for the model-free baselines (Table I).
+//
+// Observation = [unit-space parameter position | per-spec normalized scores
+// of the current point | per-spec normalized targets], matching AutoCkt's
+// observation design as the paper prescribes for its A2C/PPO/TRPO baselines.
+// Action = one of {decrement, hold, increment} per parameter on the discrete
+// grid (multi-discrete). Reward = the same Value function as the model-based
+// agent, plus a solve bonus; an episode ends on success or after a fixed
+// horizon.
+#pragma once
+
+#include <random>
+
+#include "core/problem.hpp"
+#include "core/value.hpp"
+
+namespace trdse::rl {
+
+struct EnvConfig {
+  std::size_t episodeLength = 50;
+  std::size_t strideDivisor = 16;  ///< per-move stride = max(1, steps/divisor)
+  double solveBonus = 10.0;
+  double failedSimScore = -1.0;  ///< per-spec score when simulation fails
+};
+
+struct StepResult {
+  linalg::Vector observation;
+  double reward = 0.0;
+  bool done = false;
+  bool solved = false;
+};
+
+class SizingEnv {
+ public:
+  /// Uses the problem's first corner only (Table I is single-PVT).
+  SizingEnv(const core::SizingProblem& problem, EnvConfig config,
+            std::uint64_t seed);
+
+  std::size_t observationDim() const;
+  std::size_t actionHeads() const { return problem_.space.dim(); }
+  static constexpr std::size_t kActionsPerHead = 3;
+
+  linalg::Vector reset();
+  StepResult step(const std::vector<std::size_t>& actions);
+
+  /// SPICE simulations consumed since construction (the Table I budget).
+  std::size_t simulationsUsed() const { return sims_; }
+  /// Simulation count at the first solved step (0 when never solved).
+  std::size_t simsAtFirstSolve() const { return simsAtFirstSolve_; }
+
+  const linalg::Vector& currentSizes() const { return sizes_; }
+
+ private:
+  linalg::Vector makeObservation() const;
+  void simulateCurrent();
+
+  const core::SizingProblem& problem_;
+  EnvConfig config_;
+  core::ValueFunction value_;
+  std::mt19937_64 rng_;
+
+  std::vector<std::size_t> indices_;  // grid position
+  linalg::Vector sizes_;
+  std::vector<double> scores_;  // per-spec normalized scores at current point
+  double currentValue_ = 0.0;
+  bool currentOk_ = false;
+  std::size_t stepsInEpisode_ = 0;
+  std::size_t sims_ = 0;
+  std::size_t simsAtFirstSolve_ = 0;
+};
+
+}  // namespace trdse::rl

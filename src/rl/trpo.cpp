@@ -1,0 +1,200 @@
+#include "rl/trpo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/rollout.hpp"
+
+namespace trdse::rl {
+
+namespace {
+
+/// Mean gradient of the surrogate L = E[ratio * A] at theta_old (ratio = 1).
+linalg::Vector surrogateGrad(nn::Mlp& policy, const RolloutBuffer& buffer,
+                             const std::vector<double>& advantages,
+                             std::size_t apH) {
+  policy.zeroGrad();
+  const double invN = 1.0 / static_cast<double>(buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const Transition& t = buffer.transitions[i];
+    const linalg::Vector logits = policy.forward(t.observation);
+    linalg::Vector g = jointLogProbGrad(logits, t.actions, apH);
+    // exp(newLp - oldLp) == 1 at theta_old; gradient of ratio*A is A*dlogpi.
+    for (double& gv : g) gv *= advantages[i] * invN;
+    policy.backward(g);
+  }
+  return policy.getGradients();
+}
+
+/// Mean gradient of KL(old || current) over the rollout states.
+linalg::Vector klGrad(nn::Mlp& policy, const RolloutBuffer& buffer,
+                      const std::vector<linalg::Vector>& oldLogits,
+                      std::size_t apH) {
+  policy.zeroGrad();
+  const double invN = 1.0 / static_cast<double>(buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const linalg::Vector logits = policy.forward(buffer.transitions[i].observation);
+    linalg::Vector g = jointKlGrad(oldLogits[i], logits, apH);
+    for (double& gv : g) gv *= invN;
+    policy.backward(g);
+  }
+  return policy.getGradients();
+}
+
+double meanKl(const nn::Mlp& policy, const RolloutBuffer& buffer,
+              const std::vector<linalg::Vector>& oldLogits, std::size_t apH) {
+  double kl = 0.0;
+  for (std::size_t i = 0; i < buffer.size(); ++i)
+    kl += jointKl(oldLogits[i],
+                  policy.predict(buffer.transitions[i].observation), apH);
+  return kl / static_cast<double>(buffer.size());
+}
+
+double surrogateValue(const nn::Mlp& policy, const RolloutBuffer& buffer,
+                      const std::vector<double>& advantages, std::size_t apH) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const Transition& t = buffer.transitions[i];
+    const double lp =
+        jointLogProb(policy.predict(t.observation), t.actions, apH);
+    s += std::exp(lp - t.logProb) * advantages[i];
+  }
+  return s / static_cast<double>(buffer.size());
+}
+
+}  // namespace
+
+RlTrainOutcome trainTrpo(const core::SizingProblem& problem,
+                         const TrpoConfig& cfg, std::size_t maxSimulations) {
+  RlTrainOutcome out;
+  SizingEnv env(problem, cfg.env, cfg.seed);
+  std::mt19937_64 rng(cfg.seed + 37);
+
+  const std::size_t heads = env.actionHeads();
+  const std::size_t apH = SizingEnv::kActionsPerHead;
+  nn::Mlp policy = makePolicyNet(env.observationDim(), heads, apH, cfg.hidden,
+                                 cfg.seed + 41);
+  nn::Mlp critic = makeValueNet(env.observationDim(), cfg.hidden, cfg.seed + 43);
+  nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
+
+  linalg::Vector obs = env.reset();
+  double episodeReturn = 0.0;
+  out.bestEpisodeReturn = -1e18;
+
+  RolloutBuffer buffer;
+  while (env.simulationsUsed() < maxSimulations && env.simsAtFirstSolve() == 0) {
+    buffer.clear();
+    for (std::size_t s = 0;
+         s < cfg.horizon && env.simulationsUsed() < maxSimulations; ++s) {
+      const PolicySample ps = samplePolicy(policy, obs, heads, apH, rng);
+      const double v = critic.predict(obs)[0];
+      const StepResult sr = env.step(ps.actions);
+      Transition t;
+      t.observation = obs;
+      t.actions = ps.actions;
+      t.reward = sr.reward;
+      t.valueEstimate = v;
+      t.logProb = ps.logProb;
+      t.done = sr.done;
+      buffer.transitions.push_back(std::move(t));
+      episodeReturn += sr.reward;
+      obs = sr.observation;
+      if (sr.done) {
+        out.bestEpisodeReturn = std::max(out.bestEpisodeReturn, episodeReturn);
+        episodeReturn = 0.0;
+        if (sr.solved) break;
+        obs = env.reset();
+      }
+    }
+    if (env.simsAtFirstSolve() > 0 || buffer.transitions.empty()) break;
+
+    buffer.bootstrapValue =
+        buffer.transitions.back().done ? 0.0 : critic.predict(obs)[0];
+    AdvantageResult adv = computeGae(buffer, cfg.gamma, cfg.gaeLambda);
+    normalizeAdvantages(adv.advantages);
+
+    // Snapshot old policy logits for KL and ratios.
+    std::vector<linalg::Vector> oldLogits;
+    oldLogits.reserve(buffer.size());
+    for (const auto& t : buffer.transitions)
+      oldLogits.push_back(policy.predict(t.observation));
+
+    const linalg::Vector g = surrogateGrad(policy, buffer, adv.advantages, apH);
+    const double gNorm = linalg::norm2(g);
+    if (gNorm < 1e-10) continue;
+
+    // Fisher-vector product via finite difference of the KL gradient around
+    // theta_old (where grad KL == 0).
+    const linalg::Vector theta0 = policy.getParameters();
+    auto fvp = [&](const linalg::Vector& v) {
+      constexpr double kEps = 1e-5;
+      const double vNorm = linalg::norm2(v);
+      if (vNorm < 1e-12) return linalg::scaled(v, cfg.cgDamping);
+      policy.setParameters(theta0);
+      policy.addToParameters(v, kEps / vNorm);
+      linalg::Vector gk = klGrad(policy, buffer, oldLogits, apH);
+      policy.setParameters(theta0);
+      for (double& x : gk) x *= vNorm / kEps;
+      linalg::axpy(cfg.cgDamping, v, gk);
+      return gk;
+    };
+
+    // Conjugate gradients: solve F x = g.
+    linalg::Vector x(g.size(), 0.0);
+    linalg::Vector r = g;
+    linalg::Vector p = g;
+    double rsOld = linalg::dot(r, r);
+    for (std::size_t it = 0; it < cfg.cgIterations && rsOld > 1e-12; ++it) {
+      const linalg::Vector fp = fvp(p);
+      const double alpha = rsOld / std::max(1e-12, linalg::dot(p, fp));
+      linalg::axpy(alpha, p, x);
+      linalg::axpy(-alpha, fp, r);
+      const double rsNew = linalg::dot(r, r);
+      const double beta = rsNew / rsOld;
+      for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
+      rsOld = rsNew;
+    }
+
+    const double xFx = linalg::dot(x, fvp(x));
+    if (xFx <= 1e-12) continue;
+    const double stepScale = std::sqrt(2.0 * cfg.maxKl / xFx);
+
+    // Backtracking line search on the true surrogate + KL constraint.
+    const double surrogate0 =
+        surrogateValue(policy, buffer, adv.advantages, apH);
+    double frac = 1.0;
+    bool accepted = false;
+    for (std::size_t ls = 0; ls < cfg.lineSearchSteps; ++ls, frac *= 0.5) {
+      policy.setParameters(theta0);
+      policy.addToParameters(x, stepScale * frac);
+      const double kl = meanKl(policy, buffer, oldLogits, apH);
+      const double surr = surrogateValue(policy, buffer, adv.advantages, apH);
+      if (kl <= cfg.maxKl * 1.5 && surr > surrogate0) {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) policy.setParameters(theta0);
+
+    // Critic regression on the GAE returns.
+    for (std::size_t e = 0; e < cfg.valueEpochs; ++e) {
+      critic.zeroGrad();
+      const double invN = 1.0 / static_cast<double>(buffer.size());
+      for (std::size_t i = 0; i < buffer.size(); ++i) {
+        const linalg::Vector vp = critic.forward(buffer.transitions[i].observation);
+        critic.backward({2.0 * (vp[0] - adv.returns[i]) * invN});
+      }
+      criticOpt.step(critic);
+    }
+  }
+
+  out.totalSimulations = env.simulationsUsed();
+  out.solved = env.simsAtFirstSolve() > 0;
+  out.simulationsToSolve =
+      out.solved ? env.simsAtFirstSolve() : env.simulationsUsed();
+  return out;
+}
+
+}  // namespace trdse::rl

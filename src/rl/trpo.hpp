@@ -1,0 +1,35 @@
+// Trust Region Policy Optimization (Schulman et al., 2015) — Table I
+// baseline, and the paper's model-free namesake: note the contrast between
+// TRPO's trust region in *policy parameter* space and the paper's trust
+// region in *design* space.
+//
+// Natural-gradient step solved by conjugate gradients on Fisher-vector
+// products (finite-difference of the KL gradient), followed by a backtracking
+// line search enforcing the KL constraint and surrogate improvement.
+#pragma once
+
+#include "core/problem.hpp"
+#include "rl/a2c.hpp"  // RlTrainOutcome
+#include "rl/sizing_env.hpp"
+
+namespace trdse::rl {
+
+struct TrpoConfig {
+  std::size_t horizon = 256;
+  double gamma = 0.99;
+  double gaeLambda = 0.95;
+  double maxKl = 0.01;
+  double cgDamping = 0.1;
+  std::size_t cgIterations = 10;
+  std::size_t lineSearchSteps = 10;
+  double valueLearningRate = 1e-3;
+  std::size_t valueEpochs = 5;
+  std::size_t hidden = 64;
+  EnvConfig env;
+  std::uint64_t seed = 1;
+};
+
+RlTrainOutcome trainTrpo(const core::SizingProblem& problem,
+                         const TrpoConfig& cfg, std::size_t maxSimulations);
+
+}  // namespace trdse::rl

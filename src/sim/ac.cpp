@@ -1,0 +1,242 @@
+#include "sim/ac.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "linalg/lu.hpp"
+
+namespace trdse::sim {
+
+namespace {
+
+void stampReal(linalg::Matrix& M, const Netlist& nl, NodeId a, NodeId b, double g) {
+  if (a != kGround) {
+    const std::size_t ia = nl.nodeIndex(a);
+    M(ia, ia) += g;
+    if (b != kGround) M(ia, nl.nodeIndex(b)) -= g;
+  }
+  if (b != kGround) {
+    const std::size_t ib = nl.nodeIndex(b);
+    M(ib, ib) += g;
+    if (a != kGround) M(ib, nl.nodeIndex(a)) -= g;
+  }
+}
+
+void addAt(linalg::Matrix& M, const Netlist& nl, NodeId r, NodeId c, double v) {
+  if (r == kGround || c == kGround) return;
+  M(nl.nodeIndex(r), nl.nodeIndex(c)) += v;
+}
+
+}  // namespace
+
+AcSolver::AcSolver(const Netlist& netlist, const DcResult& op)
+    : netlist_(netlist) {
+  assert(op.converged && "AC analysis requires a converged operating point");
+  const Netlist& nl = netlist_;
+  const std::size_t n = nl.unknownCount();
+  g_.resize(n, n);
+  c_.resize(n, n);
+  bReal_.assign(n, 0.0);
+
+  for (const auto& r : nl.resistors()) stampReal(g_, nl, r.a, r.b, 1.0 / r.ohms);
+  for (const auto& cap : nl.capacitors()) stampReal(c_, nl, cap.a, cap.b, cap.farads);
+
+  for (const auto& g : nl.vccs()) {
+    addAt(g_, nl, g.p, g.cp, g.gm);
+    addAt(g_, nl, g.p, g.cn, -g.gm);
+    addAt(g_, nl, g.n, g.cp, -g.gm);
+    addAt(g_, nl, g.n, g.cn, g.gm);
+  }
+
+  // Diodes: small-signal conductance from the operating point.
+  assert(op.diodeConductances.size() == nl.diodes().size());
+  for (std::size_t k = 0; k < nl.diodes().size(); ++k) {
+    const auto& d = nl.diodes()[k];
+    stampReal(g_, nl, d.a, d.k, op.diodeConductances[k]);
+  }
+
+  // Inductors: branch equation v_p - v_n - jwL * i = 0. The jwL term lands
+  // in the capacitance-like matrix (multiplied by jw per point) with a
+  // negative L on the branch diagonal.
+  for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+    const auto& ind = nl.inductors()[k];
+    const std::size_t br = nl.inductorBranchIndex(k);
+    if (ind.a != kGround) {
+      g_(nl.nodeIndex(ind.a), br) += 1.0;
+      g_(br, nl.nodeIndex(ind.a)) += 1.0;
+    }
+    if (ind.b != kGround) {
+      g_(nl.nodeIndex(ind.b), br) -= 1.0;
+      g_(br, nl.nodeIndex(ind.b)) -= 1.0;
+    }
+    c_(br, br) -= ind.henry;
+  }
+
+  // Linearized MOSFET: four-terminal VCCS from the DC Jacobian + parasitics.
+  assert(op.mosOps.size() == nl.mosfets().size());
+  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+    const auto& fet = nl.mosfets()[k];
+    const MosOp& o = op.mosOps[k];
+    addAt(g_, nl, fet.d, fet.d, o.dIdVd);
+    addAt(g_, nl, fet.d, fet.g, o.dIdVg);
+    addAt(g_, nl, fet.d, fet.s, o.dIdVs);
+    addAt(g_, nl, fet.d, fet.b, o.dIdVb);
+    addAt(g_, nl, fet.s, fet.d, -o.dIdVd);
+    addAt(g_, nl, fet.s, fet.g, -o.dIdVg);
+    addAt(g_, nl, fet.s, fet.s, -o.dIdVs);
+    addAt(g_, nl, fet.s, fet.b, -o.dIdVb);
+
+    const double cgg = gateCapacitance(fet.params, fet.geom);
+    stampReal(c_, nl, fet.g, fet.s, 0.7 * cgg);
+    stampReal(c_, nl, fet.g, fet.d, 0.3 * cgg);  // Miller path
+    stampReal(c_, nl, fet.d, fet.b, drainCapacitance(fet.params, fet.geom));
+  }
+
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const auto& src = nl.vsources()[k];
+    const std::size_t br = nl.vsourceBranchIndex(k);
+    if (src.p != kGround) {
+      g_(nl.nodeIndex(src.p), br) += 1.0;
+      g_(br, nl.nodeIndex(src.p)) += 1.0;
+    }
+    if (src.n != kGround) {
+      g_(nl.nodeIndex(src.n), br) -= 1.0;
+      g_(br, nl.nodeIndex(src.n)) -= 1.0;
+    }
+    bReal_[br] = src.vac;
+  }
+
+  for (std::size_t k = 0; k < nl.vcvs().size(); ++k) {
+    const auto& e = nl.vcvs()[k];
+    const std::size_t br = nl.vcvsBranchIndex(k);
+    if (e.p != kGround) {
+      g_(nl.nodeIndex(e.p), br) += 1.0;
+      g_(br, nl.nodeIndex(e.p)) += 1.0;
+    }
+    if (e.n != kGround) {
+      g_(nl.nodeIndex(e.n), br) -= 1.0;
+      g_(br, nl.nodeIndex(e.n)) -= 1.0;
+    }
+    if (e.cp != kGround) g_(br, nl.nodeIndex(e.cp)) -= e.gain;
+    if (e.cn != kGround) g_(br, nl.nodeIndex(e.cn)) += e.gain;
+  }
+
+  for (const auto& src : nl.isources()) {
+    if (src.iac == 0.0) continue;
+    if (src.p != kGround) bReal_[nl.nodeIndex(src.p)] -= src.iac;
+    if (src.n != kGround) bReal_[nl.nodeIndex(src.n)] += src.iac;
+  }
+}
+
+linalg::ComplexVector AcSolver::solveAt(double freqHz) const {
+  const std::size_t n = g_.rows();
+  const double w = 2.0 * std::numbers::pi * freqHz;
+  linalg::ComplexMatrix A(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      A(r, c) = {g_(r, c), w * c_(r, c)};
+  linalg::ComplexVector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = bReal_[i];
+  auto x = linalg::LuSolver<std::complex<double>>::solveSystem(A, b);
+  if (!x) return linalg::ComplexVector(n, {0.0, 0.0});
+  return *x;
+}
+
+linalg::ComplexVector AcSolver::solveCurrentInjection(double freqHz, NodeId from,
+                                                      NodeId to) const {
+  const std::size_t n = g_.rows();
+  const double w = 2.0 * std::numbers::pi * freqHz;
+  linalg::ComplexMatrix A(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      A(r, c) = {g_(r, c), w * c_(r, c)};
+  // Unit current from -> to, independent sources dead (b = injection only;
+  // voltage-source branch rows keep their zero RHS, i.e. AC shorts).
+  linalg::ComplexVector b(n, {0.0, 0.0});
+  if (from != kGround) b[netlist_.nodeIndex(from)] -= 1.0;
+  if (to != kGround) b[netlist_.nodeIndex(to)] += 1.0;
+  auto x = linalg::LuSolver<std::complex<double>>::solveSystem(A, b);
+  if (!x) return linalg::ComplexVector(n, {0.0, 0.0});
+  return *x;
+}
+
+std::complex<double> AcSolver::nodeVoltage(const linalg::ComplexVector& x,
+                                           NodeId n) const {
+  if (n == kGround) return {0.0, 0.0};
+  return x[netlist_.nodeIndex(n)];
+}
+
+std::vector<double> AcSolver::logSpace(double fStart, double fStop,
+                                       std::size_t points) {
+  assert(fStart > 0.0 && fStop > fStart && points >= 2);
+  std::vector<double> f(points);
+  const double l0 = std::log10(fStart);
+  const double l1 = std::log10(fStop);
+  for (std::size_t i = 0; i < points; ++i)
+    f[i] = std::pow(10.0, l0 + (l1 - l0) * static_cast<double>(i) /
+                              static_cast<double>(points - 1));
+  return f;
+}
+
+std::vector<std::complex<double>> AcSolver::sweep(const std::vector<double>& freqs,
+                                                  NodeId out) const {
+  std::vector<std::complex<double>> h;
+  h.reserve(freqs.size());
+  for (double f : freqs) h.push_back(nodeVoltage(solveAt(f), out));
+  return h;
+}
+
+double magnitudeDb(const std::complex<double>& h) {
+  const double m = std::abs(h);
+  if (m < 1e-20) return -400.0;
+  return 20.0 * std::log10(m);
+}
+
+std::vector<double> unwrappedPhaseDeg(const std::vector<std::complex<double>>& h) {
+  std::vector<double> ph(h.size());
+  constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+  double prev = 0.0;
+  double offset = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    double p = std::arg(h[i]) * kRadToDeg;
+    if (i > 0) {
+      while (p + offset - prev > 180.0) offset -= 360.0;
+      while (p + offset - prev < -180.0) offset += 360.0;
+    }
+    ph[i] = p + offset;
+    prev = ph[i];
+  }
+  return ph;
+}
+
+LoopMetrics analyzeLoop(const std::vector<double>& freqs,
+                        const std::vector<std::complex<double>>& h) {
+  assert(freqs.size() == h.size() && !freqs.empty());
+  LoopMetrics m;
+  m.dcGainDb = magnitudeDb(h.front());
+  const std::vector<double> phase = unwrappedPhaseDeg(h);
+
+  for (std::size_t i = 0; i + 1 < h.size(); ++i) {
+    const double m0 = magnitudeDb(h[i]);
+    const double m1 = magnitudeDb(h[i + 1]);
+    if (m0 >= 0.0 && m1 < 0.0) {
+      // Log-frequency interpolation of the 0 dB crossing.
+      const double t = m0 / (m0 - m1);
+      const double lf = std::log10(freqs[i]) +
+                        t * (std::log10(freqs[i + 1]) - std::log10(freqs[i]));
+      m.unityGainHz = std::pow(10.0, lf);
+      const double phAtCross = phase[i] + t * (phase[i + 1] - phase[i]);
+      // Phase margin relative to the DC phase reference (inverting amps
+      // start at ±180°): PM = 180 - |phase shift from DC|.
+      const double shift = std::abs(phAtCross - phase.front());
+      m.phaseMarginDeg = 180.0 - shift;
+      m.crossesUnity = true;
+      return m;
+    }
+  }
+  return m;
+}
+
+}  // namespace trdse::sim

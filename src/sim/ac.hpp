@@ -1,0 +1,69 @@
+// Small-signal AC analysis.
+//
+// The netlist's MOSFETs are linearized at a previously-computed DC operating
+// point (their four-terminal Jacobian becomes the conductance stamp) and
+// device parasitic capacitances (cgs / cgd / cdb) are added automatically, so
+// Miller multiplication and non-dominant poles emerge from the topology
+// rather than from hand-inserted elements. Per frequency the complex system
+// (G + jωC) x = b_ac is LU-solved.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sim/dc.hpp"
+#include "sim/netlist.hpp"
+
+namespace trdse::sim {
+
+class AcSolver {
+ public:
+  /// `op` must be a converged DcResult for the same netlist.
+  AcSolver(const Netlist& netlist, const DcResult& op);
+
+  /// Complex solution vector (nodes then branches) at one frequency.
+  linalg::ComplexVector solveAt(double freqHz) const;
+
+  /// Solve with a unit AC current injected from node `from` into node `to`
+  /// (all independent AC sources zeroed) — the workhorse of noise analysis,
+  /// where every noise generator is a current source across its device.
+  linalg::ComplexVector solveCurrentInjection(double freqHz, NodeId from,
+                                              NodeId to) const;
+
+  /// Complex voltage at a node for the solution of solveAt().
+  std::complex<double> nodeVoltage(const linalg::ComplexVector& x, NodeId n) const;
+
+  /// Log-spaced frequency grid [fStart, fStop] with `points` samples.
+  static std::vector<double> logSpace(double fStart, double fStop,
+                                      std::size_t points);
+
+  /// Sweep: complex voltage of `out` at each frequency.
+  std::vector<std::complex<double>> sweep(const std::vector<double>& freqs,
+                                          NodeId out) const;
+
+ private:
+  const Netlist& netlist_;
+  linalg::Matrix g_;  // conductance + source topology stamps
+  linalg::Matrix c_;  // capacitance stamps (multiplied by jω per point)
+  linalg::Vector bReal_;  // AC excitation (vac / iac entries)
+};
+
+/// 20*log10(|h|), with a -400 dB floor for numerically-zero responses.
+double magnitudeDb(const std::complex<double>& h);
+/// Phase in degrees, unwrapped relative monotonically from the first point.
+std::vector<double> unwrappedPhaseDeg(const std::vector<std::complex<double>>& h);
+
+struct LoopMetrics {
+  double dcGainDb = -400.0;
+  double unityGainHz = 0.0;   ///< 0 when |H| never crosses 1
+  double phaseMarginDeg = 0.0;
+  bool crossesUnity = false;
+};
+
+/// Open-loop amplifier metrics from a swept transfer function: DC gain,
+/// unity-gain crossover (log-interpolated) and phase margin at the crossover.
+LoopMetrics analyzeLoop(const std::vector<double>& freqs,
+                        const std::vector<std::complex<double>>& h);
+
+}  // namespace trdse::sim

@@ -1,0 +1,34 @@
+// Exponential junction diode with a C1-continuous linear extension above
+// ~1 V of forward bias so Newton cannot overflow the exponential.
+#pragma once
+
+#include "sim/netlist.hpp"
+#include "sim/process.hpp"
+
+namespace trdse::sim {
+
+struct DiodeOp {
+  double id = 0.0;  ///< anode->cathode current
+  double gd = 0.0;  ///< small-signal conductance dI/dV
+};
+
+inline DiodeOp evalDiode(const Diode& d, double vak, double tempK) {
+  const double vt = thermalVoltage(tempK) * d.emission;
+  const double x = vak / vt;
+  constexpr double kMaxExp = 40.0;
+  DiodeOp op;
+  if (x > kMaxExp) {
+    // Linear extension: value and slope continuous at the knee.
+    const double eKnee = std::exp(kMaxExp);
+    op.id = d.isat * (eKnee * (1.0 + (x - kMaxExp)) - 1.0);
+    op.gd = d.isat * eKnee / vt;
+  } else {
+    const double e = std::exp(x);
+    op.id = d.isat * (e - 1.0);
+    op.gd = d.isat * e / vt;
+  }
+  op.gd += 1e-12;  // gmin keeps reverse-biased diodes from isolating nodes
+  return op;
+}
+
+}  // namespace trdse::sim

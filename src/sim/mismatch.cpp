@@ -1,0 +1,20 @@
+#include "sim/mismatch.hpp"
+
+#include <cmath>
+
+namespace trdse::sim {
+
+void applyMismatch(Netlist& netlist, const MismatchParams& params,
+                   std::mt19937_64& rng) {
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (auto& fet : netlist.mosfetsMutable()) {
+    const double area = fet.geom.w * fet.geom.l * fet.geom.m;
+    if (area <= 0.0) continue;
+    const double sigmaVt = params.avt / std::sqrt(area);
+    const double sigmaKp = params.akp / std::sqrt(area);
+    fet.params.vth0 += sigmaVt * gauss(rng);
+    fet.params.kp *= std::max(0.1, 1.0 + sigmaKp * gauss(rng));
+  }
+}
+
+}  // namespace trdse::sim

@@ -1,0 +1,26 @@
+// Local (within-die) device mismatch via the Pelgrom model: threshold and
+// current-factor deviations with sigma proportional to 1/sqrt(W L m).
+//
+// The paper's industrial deployment signs off over PVT corners; real silicon
+// additionally varies device-to-device. This transform perturbs each MOSFET
+// instance of an already-built netlist so Monte Carlo yield analysis can run
+// on top of any circuit builder that exposes its testbench.
+#pragma once
+
+#include <random>
+
+#include "sim/netlist.hpp"
+
+namespace trdse::sim {
+
+struct MismatchParams {
+  double avt = 3.5e-9;   ///< Vth Pelgrom coefficient [V*m] (~3.5 mV*um)
+  double akp = 0.01e-6;  ///< relative kp coefficient [m] (~1 %*um)
+};
+
+/// Perturb every MOSFET's vth0 and kp in place with independent Gaussian
+/// mismatch draws. Deterministic for a given rng state.
+void applyMismatch(Netlist& netlist, const MismatchParams& params,
+                   std::mt19937_64& rng);
+
+}  // namespace trdse::sim

@@ -1,0 +1,131 @@
+#include "sim/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trdse::sim {
+
+namespace {
+
+/// EKV interpolation F(x) = ln^2(1 + e^{x/2}) and dF/dx, computed without
+/// overflow for large |x|.
+struct FPair {
+  double f;
+  double df;
+};
+
+FPair ekvF(double x) {
+  // ln(1 + e^{x/2}) with the usual stable split.
+  const double h = 0.5 * x;
+  double lnTerm;
+  if (h > 30.0) {
+    lnTerm = h;  // e^{-h} negligible
+  } else {
+    lnTerm = std::log1p(std::exp(h));
+  }
+  // sigmoid(h) = e^h / (1 + e^h), stable on both sides.
+  double sig;
+  if (h > 0) {
+    const double e = std::exp(-h);
+    sig = 1.0 / (1.0 + e);
+  } else {
+    const double e = std::exp(h);
+    sig = e / (1.0 + e);
+  }
+  return {lnTerm * lnTerm, lnTerm * sig};  // dF/dx = 2*ln*(dln/dx) = ln*sig
+}
+
+}  // namespace
+
+MosOp evalMos(const MosParams& params, MosType type, const MosGeometry& geom,
+              double vd, double vg, double vs, double vb, double tempK) {
+  // PMOS is evaluated as its mirrored NMOS equivalent (all voltages negated);
+  // the current negates on the way back while the derivatives keep their sign
+  // (d(-I)/d(-V) = dI/dV).
+  const double sign = (type == MosType::kPmos) ? -1.0 : 1.0;
+  const double vdn = sign * vd;
+  const double vgn = sign * vg;
+  const double vsn = sign * vs;
+  const double vbn = sign * vb;
+
+  const double vt = thermalVoltage(tempK);
+  const double n = params.slopeN;
+  const double weff = geom.w * geom.m;
+  const double beta = params.kp * weff / geom.l;
+  const double ispec = 2.0 * n * beta * vt * vt;
+
+  // Body effect on threshold (clamped so sqrt stays real and smooth enough).
+  const double vsb = vsn - vbn;
+  const double phi = params.phi;
+  const double sq0 = std::sqrt(phi);
+  double vth = params.vth0;
+  double dVthDvs = 0.0;
+  const double arg = phi + vsb;
+  constexpr double kMinArg = 0.05;
+  if (arg > kMinArg) {
+    const double sq = std::sqrt(arg);
+    vth += params.gamma * (sq - sq0);
+    dVthDvs = params.gamma / (2.0 * sq);
+  } else {
+    const double sq = std::sqrt(kMinArg);
+    vth += params.gamma * (sq - sq0);  // frozen below the clamp
+  }
+
+  // Pinch-off voltage referenced to bulk.
+  const double vp = (vgn - vbn - vth) / n;
+  // dvp/dvg = 1/n ; dvp/dvs = -dVthDvs/n ; dvp/dvb = -1/n (+ vth clamp term).
+
+  const double xf = (vp - (vsn - vbn)) / vt;
+  const double xr = (vp - (vdn - vbn)) / vt;
+  const auto [ff, dff] = ekvF(xf);
+  const auto [fr, dfr] = ekvF(xr);
+
+  // Channel-length modulation on the net current.
+  const double lambda = params.lambdaCoeff / geom.l;
+  const double vds = vdn - vsn;
+  const double clm = std::max(0.2, 1.0 + lambda * vds);
+  const bool clmActive = (1.0 + lambda * vds) > 0.2;
+
+  const double core = ispec * (ff - fr);
+  const double ids = core * clm;
+
+  // Chain rule into terminal voltages (all in the NMOS-equivalent frame).
+  const double dXfDvg = (1.0 / n) / vt;
+  const double dXrDvg = dXfDvg;
+  const double dXfDvs = (-dVthDvs / n - 1.0) / vt;
+  const double dXrDvs = (-dVthDvs / n) / vt;
+  const double dXfDvd = 0.0;
+  const double dXrDvd = -1.0 / vt;
+  // vb enters via vp's -vb/n... and the explicit +vb in both x terms:
+  // xf = (vp - vs + vb)/vt with vp containing -vb/n  =>  d xf/d vb = (1 - 1/n + dVthDvs/n)/vt
+  const double dXfDvb = (1.0 - 1.0 / n + dVthDvs / n) / vt;
+  const double dXrDvb = dXfDvb;
+
+  const double dCoreDvg = ispec * (dff * dXfDvg - dfr * dXrDvg);
+  const double dCoreDvd = ispec * (dff * dXfDvd - dfr * dXrDvd);
+  const double dCoreDvs = ispec * (dff * dXfDvs - dfr * dXrDvs);
+  const double dCoreDvb = ispec * (dff * dXfDvb - dfr * dXrDvb);
+
+  const double dClmDvd = clmActive ? lambda : 0.0;
+  const double dClmDvs = clmActive ? -lambda : 0.0;
+
+  MosOp op;
+  op.ids = sign * ids;
+  op.dIdVd = dCoreDvd * clm + core * dClmDvd;
+  op.dIdVg = dCoreDvg * clm;
+  op.dIdVs = dCoreDvs * clm + core * dClmDvs;
+  op.dIdVb = dCoreDvb * clm;
+  op.gm = std::abs(op.dIdVg);
+  op.gds = std::abs(op.dIdVd);
+  return op;
+}
+
+double gateCapacitance(const MosParams& params, const MosGeometry& geom) {
+  return (2.0 / 3.0) * geom.w * geom.m * geom.l * params.cox * 1.3;
+}
+
+double drainCapacitance(const MosParams& params, const MosGeometry& geom) {
+  return geom.w * geom.m * geom.l * params.cjArea * 40.0;  // junction proxy
+}
+
+}  // namespace trdse::sim

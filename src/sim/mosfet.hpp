@@ -1,0 +1,48 @@
+// Smooth EKV-flavoured MOSFET large-signal model with analytic derivatives.
+//
+// The interpolation function F(x) = ln^2(1 + e^{x/2}) is C-infinity across
+// subthreshold / triode / saturation, which keeps the Newton iteration of the
+// DC solver well-conditioned — the reason we prefer it to a piecewise
+// level-1 model. Channel-length modulation provides the finite output
+// conductance the opamp gain measurements depend on.
+#pragma once
+
+#include "sim/process.hpp"
+
+namespace trdse::sim {
+
+/// Large-signal operating point of one device. `ids` is the current entering
+/// the drain terminal and leaving at the source (negative for a conducting
+/// PMOS). The d* fields are the partial derivatives of ids w.r.t. the
+/// terminal voltages — exactly what the MNA Newton stamp needs.
+struct MosOp {
+  double ids = 0.0;
+  double dIdVd = 0.0;
+  double dIdVg = 0.0;
+  double dIdVs = 0.0;
+  double dIdVb = 0.0;
+  double gm = 0.0;   ///< |dIds/dVg|, for small-signal measurements
+  double gds = 0.0;  ///< |dIds/dVd|
+};
+
+/// Geometry of one instance (multiplicity folds into the effective width).
+struct MosGeometry {
+  double w = 1e-6;  ///< [m]
+  double l = 100e-9;
+  double m = 1.0;   ///< parallel multiplier
+};
+
+/// Evaluate the model at terminal voltages (vd, vg, vs, vb) against bulk
+/// reference; `params` must already be PVT-adjusted (see applyPvt) and
+/// `tempK` sets the thermal voltage.
+MosOp evalMos(const MosParams& params, MosType type, const MosGeometry& geom,
+              double vd, double vg, double vs, double vb, double tempK);
+
+/// Effective gate capacitance (to ground, lumped) used for transient/AC
+/// parasitics: Cgs ~ (2/3) W L Cox * m plus overlap-ish margin.
+double gateCapacitance(const MosParams& params, const MosGeometry& geom);
+
+/// Drain junction capacitance proxy.
+double drainCapacitance(const MosParams& params, const MosGeometry& geom);
+
+}  // namespace trdse::sim

@@ -1,0 +1,197 @@
+#include "sim/process.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace trdse::sim {
+
+std::string_view toString(ProcessCorner c) {
+  switch (c) {
+    case ProcessCorner::kTT:
+      return "TT";
+    case ProcessCorner::kFF:
+      return "FF";
+    case ProcessCorner::kSS:
+      return "SS";
+    case ProcessCorner::kFS:
+      return "FS";
+    case ProcessCorner::kSF:
+      return "SF";
+  }
+  return "?";
+}
+
+std::string PvtCorner::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s/%.2fV/%gC", std::string(toString(corner)).c_str(),
+                vdd, tempC);
+  return buf;
+}
+
+double thermalVoltage(double tempK) { return 1.380649e-23 * tempK / 1.602176634e-19; }
+
+MosParams applyPvt(const MosParams& nominal, MosType type, const PvtCorner& pvt,
+                   double tnomK) {
+  MosParams p = nominal;
+
+  // Process corner: "fast" = lower threshold + higher mobility.
+  // FS = fast NMOS / slow PMOS; SF = the reverse.
+  constexpr double kVthShift = 0.03;  // [V] 3-sigma-ish corner shift
+  constexpr double kKpShift = 0.10;   // +-10% mobility
+  int speed = 0;                      // +1 fast, -1 slow
+  switch (pvt.corner) {
+    case ProcessCorner::kTT:
+      speed = 0;
+      break;
+    case ProcessCorner::kFF:
+      speed = 1;
+      break;
+    case ProcessCorner::kSS:
+      speed = -1;
+      break;
+    case ProcessCorner::kFS:
+      speed = (type == MosType::kNmos) ? 1 : -1;
+      break;
+    case ProcessCorner::kSF:
+      speed = (type == MosType::kNmos) ? -1 : 1;
+      break;
+  }
+  p.vth0 -= static_cast<double>(speed) * kVthShift;
+  p.kp *= 1.0 + static_cast<double>(speed) * kKpShift;
+
+  // Temperature: mobility degrades ~T^-1.5, threshold magnitude drops.
+  const double tK = pvt.tempK();
+  p.kp *= std::pow(tK / tnomK, -1.5);
+  p.vth0 -= 1.0e-3 * (tK - tnomK);
+  return p;
+}
+
+namespace {
+
+ProcessCard makeBsim45() {
+  ProcessCard c;
+  c.name = "bsim45";
+  c.minL = 45e-9;
+  c.nominalVdd = 1.1;
+  c.nmos = {.kp = 4.0e-4,
+            .vth0 = 0.46,
+            .lambdaCoeff = 9e-9,
+            .gamma = 0.35,
+            .phi = 0.85,
+            .slopeN = 1.30,
+            .cox = 0.014,
+            .cjArea = 1.2e-3};
+  c.pmos = {.kp = 1.8e-4,
+            .vth0 = 0.49,
+            .lambdaCoeff = 11e-9,
+            .gamma = 0.32,
+            .phi = 0.85,
+            .slopeN = 1.35,
+            .cox = 0.014,
+            .cjArea = 1.2e-3};
+  return c;
+}
+
+ProcessCard makeBsim22() {
+  // Deliberately *not* a scaled copy of 45nm: porting (Table II) found that
+  // network weights do not transfer because device distributions differ.
+  ProcessCard c;
+  c.name = "bsim22";
+  c.minL = 22e-9;
+  c.nominalVdd = 0.9;
+  c.nmos = {.kp = 5.5e-4,
+            .vth0 = 0.38,
+            .lambdaCoeff = 6.5e-9,
+            .gamma = 0.28,
+            .phi = 0.80,
+            .slopeN = 1.38,
+            .cox = 0.021,
+            .cjArea = 1.4e-3};
+  c.pmos = {.kp = 2.6e-4,
+            .vth0 = 0.41,
+            .lambdaCoeff = 8e-9,
+            .gamma = 0.26,
+            .phi = 0.80,
+            .slopeN = 1.42,
+            .cox = 0.021,
+            .cjArea = 1.4e-3};
+  return c;
+}
+
+ProcessCard makeN6() {
+  ProcessCard c;
+  c.name = "n6";
+  c.minL = 32e-9;  // drawn gate length proxy for a 6nm-class finfet node
+  c.nominalVdd = 0.75;
+  c.nmos = {.kp = 7.5e-4,
+            .vth0 = 0.32,
+            .lambdaCoeff = 4.5e-9,
+            .gamma = 0.20,
+            .phi = 0.75,
+            .slopeN = 1.25,
+            .cox = 0.028,
+            .cjArea = 1.6e-3};
+  c.pmos = {.kp = 4.2e-4,
+            .vth0 = 0.34,
+            .lambdaCoeff = 5.5e-9,
+            .gamma = 0.19,
+            .phi = 0.75,
+            .slopeN = 1.28,
+            .cox = 0.028,
+            .cjArea = 1.6e-3};
+  return c;
+}
+
+ProcessCard makeN5() {
+  ProcessCard c;
+  c.name = "n5";
+  c.minL = 28e-9;
+  c.nominalVdd = 0.70;
+  c.nmos = {.kp = 8.5e-4,
+            .vth0 = 0.30,
+            .lambdaCoeff = 4.0e-9,
+            .gamma = 0.18,
+            .phi = 0.72,
+            .slopeN = 1.22,
+            .cox = 0.031,
+            .cjArea = 1.7e-3};
+  c.pmos = {.kp = 5.0e-4,
+            .vth0 = 0.32,
+            .lambdaCoeff = 5.0e-9,
+            .gamma = 0.17,
+            .phi = 0.72,
+            .slopeN = 1.25,
+            .cox = 0.031,
+            .cjArea = 1.7e-3};
+  return c;
+}
+
+}  // namespace
+
+const ProcessCard& bsim45Card() {
+  static const ProcessCard c = makeBsim45();
+  return c;
+}
+const ProcessCard& bsim22Card() {
+  static const ProcessCard c = makeBsim22();
+  return c;
+}
+const ProcessCard& n6Card() {
+  static const ProcessCard c = makeN6();
+  return c;
+}
+const ProcessCard& n5Card() {
+  static const ProcessCard c = makeN5();
+  return c;
+}
+
+const ProcessCard& cardByName(std::string_view name) {
+  if (name == "bsim45") return bsim45Card();
+  if (name == "bsim22") return bsim22Card();
+  if (name == "n6") return n6Card();
+  if (name == "n5") return n5Card();
+  assert(false && "unknown process card");
+  return bsim45Card();
+}
+
+}  // namespace trdse::sim

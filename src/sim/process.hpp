@@ -1,0 +1,78 @@
+// Process cards and PVT (process / voltage / temperature) scaling.
+//
+// The paper develops on BSIM 45nm/22nm cards (ngspice) and deploys on TSMC
+// N6/N5 (Spectre). Those cards are proprietary; we substitute compact
+// EKV-flavoured parameter sets per node whose *relative* behaviour matches
+// what the experiments rely on: distinct inter-node distributions (process
+// porting, Table II) and corner-/temperature-dependent feasibility (PVT
+// exploration, Table III).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trdse::sim {
+
+enum class MosType : std::uint8_t { kNmos, kPmos };
+
+/// Compact model parameters for one device polarity at nominal TT / 300.15 K.
+struct MosParams {
+  double kp = 4e-4;       ///< transconductance factor µ0*Cox [A/V^2]
+  double vth0 = 0.45;     ///< zero-bias threshold magnitude [V]
+  double lambdaCoeff = 0.02e-6;  ///< CLM: lambda = lambdaCoeff / L [1/V * m]
+  double gamma = 0.3;     ///< body-effect coefficient [sqrt(V)]
+  double phi = 0.8;       ///< surface potential 2*phiF [V]
+  double slopeN = 1.3;    ///< subthreshold slope factor
+  double cox = 0.012;     ///< gate capacitance per area [F/m^2]
+  double cjArea = 1e-3;   ///< junction cap per gate area proxy [F/m^2]
+};
+
+/// One technology node.
+struct ProcessCard {
+  std::string name;       ///< "bsim45", "bsim22", "n6", "n5"
+  double minL = 45e-9;    ///< minimum channel length [m]
+  double nominalVdd = 1.1;
+  double tnomK = 300.15;  ///< parameter reference temperature
+  MosParams nmos;
+  MosParams pmos;
+};
+
+enum class ProcessCorner : std::uint8_t { kTT, kFF, kSS, kFS, kSF };
+
+std::string_view toString(ProcessCorner c);
+
+/// One PVT condition: process corner + supply + junction temperature.
+struct PvtCorner {
+  ProcessCorner corner = ProcessCorner::kTT;
+  double vdd = 1.1;    ///< actual supply for this condition [V]
+  double tempC = 27.0; ///< junction temperature [Celsius]
+
+  std::string name() const;
+  double tempK() const { return tempC + 273.15; }
+  friend bool operator==(const PvtCorner&, const PvtCorner&) = default;
+};
+
+/// Apply corner + temperature scaling to one polarity's parameters.
+/// FF: lower |vth|, higher mobility; SS: the opposite; FS/SF split by type.
+/// Temperature: kp ~ (T/Tnom)^-1.5, |vth| drops ~1 mV/K.
+MosParams applyPvt(const MosParams& nominal, MosType type, const PvtCorner& pvt,
+                   double tnomK);
+
+/// Thermal voltage kT/q at a given absolute temperature.
+double thermalVoltage(double tempK);
+
+// ---- Card library ----
+
+/// Open-source-style development cards (paper Section V-B..D).
+const ProcessCard& bsim45Card();
+const ProcessCard& bsim22Card();
+/// Synthetic advanced-node stand-ins for the industrial TSMC N6/N5 cases
+/// (paper Section V-E); see DESIGN.md substitution table.
+const ProcessCard& n6Card();
+const ProcessCard& n5Card();
+
+/// Look up a card by name; asserts on unknown names (programmer error).
+const ProcessCard& cardByName(std::string_view name);
+
+}  // namespace trdse::sim

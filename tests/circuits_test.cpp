@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/ico.hpp"
+#include "circuits/ldo.hpp"
+#include "circuits/two_stage_opamp.hpp"
+#include "core/value.hpp"
+
+namespace trdse::circuits {
+namespace {
+
+sim::PvtCorner ttCorner(const sim::ProcessCard& card) {
+  return {sim::ProcessCorner::kTT, card.nominalVdd, 27.0};
+}
+
+linalg::Vector nominalOpampSizes(const sim::ProcessCard& card) {
+  linalg::Vector s(TwoStageOpamp::kParamCount);
+  s[TwoStageOpamp::kW1] = 4e-6;
+  s[TwoStageOpamp::kW3] = 2e-6;
+  s[TwoStageOpamp::kW5] = 4e-6;
+  s[TwoStageOpamp::kW6] = 20e-6;
+  s[TwoStageOpamp::kW7] = 8e-6;
+  s[TwoStageOpamp::kL12] = 2 * card.minL;
+  s[TwoStageOpamp::kL67] = 2 * card.minL;
+  s[TwoStageOpamp::kCc] = 1e-12;
+  s[TwoStageOpamp::kIbias] = 10e-6;
+  return s;
+}
+
+TEST(Opamp, NominalDesignSimulates) {
+  const auto& card = sim::bsim45Card();
+  const TwoStageOpamp amp(card);
+  const auto r = amp.evaluate(nominalOpampSizes(card), ttCorner(card));
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.measurements[TwoStageOpamp::kGainDb], 20.0);
+  EXPECT_LT(r.measurements[TwoStageOpamp::kGainDb], 110.0);
+  EXPECT_GT(r.measurements[TwoStageOpamp::kUgbwHz], 1e6);
+  EXPECT_GT(r.measurements[TwoStageOpamp::kPmDeg], 0.0);
+  EXPECT_GT(r.measurements[TwoStageOpamp::kPowerMw], 0.0);
+}
+
+TEST(Opamp, GainIncreasesWithLength) {
+  // Longer channels -> higher intrinsic gain (CLM weaker).
+  const auto& card = sim::bsim45Card();
+  const TwoStageOpamp amp(card);
+  auto s = nominalOpampSizes(card);
+  s[TwoStageOpamp::kL12] = 1 * card.minL;
+  s[TwoStageOpamp::kL67] = 1 * card.minL;
+  const auto shortL = amp.evaluate(s, ttCorner(card));
+  s[TwoStageOpamp::kL12] = 6 * card.minL;
+  s[TwoStageOpamp::kL67] = 6 * card.minL;
+  const auto longL = amp.evaluate(s, ttCorner(card));
+  ASSERT_TRUE(shortL.ok && longL.ok);
+  EXPECT_GT(longL.measurements[TwoStageOpamp::kGainDb],
+            shortL.measurements[TwoStageOpamp::kGainDb]);
+}
+
+TEST(Opamp, PowerScalesWithBias) {
+  const auto& card = sim::bsim45Card();
+  const TwoStageOpamp amp(card);
+  auto s = nominalOpampSizes(card);
+  const auto lo = amp.evaluate(s, ttCorner(card));
+  s[TwoStageOpamp::kIbias] = 40e-6;
+  const auto hi = amp.evaluate(s, ttCorner(card));
+  ASSERT_TRUE(lo.ok && hi.ok);
+  EXPECT_GT(hi.measurements[TwoStageOpamp::kPowerMw],
+            lo.measurements[TwoStageOpamp::kPowerMw] * 2.0);
+}
+
+TEST(Opamp, MillerCapSetsBandwidthTradeoff) {
+  // Bigger Cc -> lower UGBW but (generally) healthier phase margin.
+  const auto& card = sim::bsim45Card();
+  const TwoStageOpamp amp(card);
+  auto s = nominalOpampSizes(card);
+  s[TwoStageOpamp::kCc] = 0.2e-12;
+  const auto smallC = amp.evaluate(s, ttCorner(card));
+  s[TwoStageOpamp::kCc] = 3e-12;
+  const auto bigC = amp.evaluate(s, ttCorner(card));
+  ASSERT_TRUE(smallC.ok && bigC.ok);
+  EXPECT_LT(bigC.measurements[TwoStageOpamp::kUgbwHz],
+            smallC.measurements[TwoStageOpamp::kUgbwHz]);
+}
+
+TEST(Opamp, GainPhaseMarginTradeoffExists) {
+  // The paper's Table I discussion: circuits with high gain often have
+  // fragile phase margins. Verify the negative correlation statistically.
+  const auto& card = sim::bsim45Card();
+  const TwoStageOpamp amp(card);
+  const auto space = TwoStageOpamp::designSpace(card);
+  std::mt19937_64 rng(13);
+  double sumG = 0.0, sumP = 0.0, sumGP = 0.0, sumG2 = 0.0, sumP2 = 0.0;
+  int n = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto e = amp.evaluate(space.randomPoint(rng), ttCorner(card));
+    if (!e.ok) continue;
+    const double g = e.measurements[TwoStageOpamp::kGainDb];
+    const double p = e.measurements[TwoStageOpamp::kPmDeg];
+    sumG += g;
+    sumP += p;
+    sumGP += g * p;
+    sumG2 += g * g;
+    sumP2 += p * p;
+    ++n;
+  }
+  ASSERT_GT(n, 100);
+  const double cov = sumGP / n - (sumG / n) * (sumP / n);
+  const double varG = sumG2 / n - (sumG / n) * (sumG / n);
+  const double varP = sumP2 / n - (sumP / n) * (sumP / n);
+  const double corr = cov / std::sqrt(varG * varP);
+  EXPECT_LT(corr, -0.2);
+}
+
+TEST(Opamp, CornersChangeMeasurements) {
+  const auto& card = sim::bsim45Card();
+  const TwoStageOpamp amp(card);
+  const auto s = nominalOpampSizes(card);
+  const auto tt = amp.evaluate(s, {sim::ProcessCorner::kTT, card.nominalVdd, 27.0});
+  const auto ssHot =
+      amp.evaluate(s, {sim::ProcessCorner::kSS, card.nominalVdd, 125.0});
+  ASSERT_TRUE(tt.ok && ssHot.ok);
+  EXPECT_NE(tt.measurements[TwoStageOpamp::kUgbwHz],
+            ssHot.measurements[TwoStageOpamp::kUgbwHz]);
+}
+
+TEST(Opamp, DesignSpaceMatchesPaperScale) {
+  const auto space = TwoStageOpamp::designSpace(sim::bsim45Card());
+  EXPECT_EQ(space.dim(), static_cast<std::size_t>(TwoStageOpamp::kParamCount));
+  EXPECT_GT(space.sizeLog10(), 13.0);  // the paper's "10^14"
+  EXPECT_LT(space.sizeLog10(), 17.0);
+}
+
+TEST(Opamp, AreaPositiveAndMonotoneInWidth) {
+  const auto& card = sim::bsim45Card();
+  const TwoStageOpamp amp(card);
+  auto s = nominalOpampSizes(card);
+  const double a0 = amp.area(s);
+  EXPECT_GT(a0, 0.0);
+  s[TwoStageOpamp::kW6] *= 2.0;
+  EXPECT_GT(amp.area(s), a0);
+}
+
+TEST(Opamp, ProblemFactoryWiresEverything) {
+  const auto& card = sim::bsim45Card();
+  const TwoStageOpamp amp(card);
+  const auto prob = amp.makeProblem({ttCorner(card)}, amp.defaultSpecs());
+  EXPECT_EQ(prob.space.dim(), 9u);
+  EXPECT_EQ(prob.measurementNames.size(), 4u);
+  EXPECT_FALSE(prob.specs.empty());
+  ASSERT_TRUE(static_cast<bool>(prob.evaluate));
+  const auto e = prob.evaluate(nominalOpampSizes(card), prob.corners.front());
+  EXPECT_TRUE(e.ok);
+}
+
+// ---------- LDO ----------
+
+TEST(Ldo, HumanReferenceRegulates) {
+  const Ldo ldo(sim::n6Card());
+  const auto r =
+      ldo.evaluate(Ldo::humanReferenceSizing(), ttCorner(sim::n6Card()));
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.measurements[Ldo::kLoopGainDb], 40.0);
+  EXPECT_GT(r.measurements[Ldo::kLoopPmDeg], 30.0);
+  EXPECT_LT(r.measurements[Ldo::kVoutErrMv], 10.0);
+  // Area calibrated to the paper's ~650 unit scale.
+  EXPECT_NEAR(r.measurements[Ldo::kAreaAu], 650.0, 40.0);
+}
+
+TEST(Ldo, LoopGainRisesWithPassWidth) {
+  const Ldo ldo(sim::n6Card());
+  auto s = Ldo::humanReferenceSizing();
+  const auto base = ldo.evaluate(s, ttCorner(sim::n6Card()));
+  s[Ldo::kWp] *= 0.25;
+  const auto smaller = ldo.evaluate(s, ttCorner(sim::n6Card()));
+  ASSERT_TRUE(base.ok && smaller.ok);
+  EXPECT_LT(smaller.measurements[Ldo::kLoopGainDb],
+            base.measurements[Ldo::kLoopGainDb]);
+}
+
+TEST(Ldo, VoutTracksDividerRatio) {
+  const Ldo ldo(sim::n6Card());
+  auto s = Ldo::humanReferenceSizing();
+  // Same ratio, scaled divider resistance: still regulates to target.
+  s[Ldo::kR1] *= 2.0;
+  s[Ldo::kR2] *= 2.0;
+  const auto r = ldo.evaluate(s, ttCorner(sim::n6Card()));
+  ASSERT_TRUE(r.ok);
+  EXPECT_LT(r.measurements[Ldo::kVoutErrMv], 10.0);
+}
+
+TEST(Ldo, DesignSpaceMatchesPaperScale) {
+  const auto space = Ldo::designSpace(sim::n6Card());
+  EXPECT_EQ(space.dim(), static_cast<std::size_t>(Ldo::kParamCount));
+  EXPECT_NEAR(space.sizeLog10(), 29.0, 1.0);  // the paper's "10^29"
+}
+
+TEST(Ldo, AreaMeasurementMatchesAreaFn) {
+  const Ldo ldo(sim::n6Card());
+  const auto s = Ldo::humanReferenceSizing();
+  const auto r = ldo.evaluate(s, ttCorner(sim::n6Card()));
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.measurements[Ldo::kAreaAu], ldo.area(s));
+}
+
+// ---------- ICO ----------
+
+TEST(Ico, HumanReferenceOscillates) {
+  const Ico ico(sim::n5Card());
+  const auto r =
+      ico.evaluate(Ico::humanReferenceSizing(), ttCorner(sim::n5Card()));
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.measurements[Ico::kFreqGhz], 4.0);
+  EXPECT_LT(r.measurements[Ico::kFreqGhz], 20.0);
+  EXPECT_LT(r.measurements[Ico::kPnoiseDbc], -60.0);
+  EXPECT_GT(r.measurements[Ico::kPowerMw], 0.0);
+}
+
+TEST(Ico, FrequencyIncreasesWithControlCurrent) {
+  const Ico ico(sim::n5Card());
+  auto s = Ico::humanReferenceSizing();
+  const auto lo = ico.evaluate(s, ttCorner(sim::n5Card()));
+  s[Ico::kIctrl] *= 2.0;
+  const auto hi = ico.evaluate(s, ttCorner(sim::n5Card()));
+  ASSERT_TRUE(lo.ok && hi.ok);
+  EXPECT_GT(hi.measurements[Ico::kFreqGhz],
+            lo.measurements[Ico::kFreqGhz] * 1.2);
+}
+
+TEST(Ico, PhaseNoiseEstimatorPhysics) {
+  // Leeson-style: quadratic in carrier, inverse in power.
+  const double base = Ico::estimatePhaseNoiseDbc(8e9, 1e-3, 1e6, 300.0);
+  EXPECT_NEAR(Ico::estimatePhaseNoiseDbc(16e9, 1e-3, 1e6, 300.0), base + 6.02,
+              0.1);
+  EXPECT_NEAR(Ico::estimatePhaseNoiseDbc(8e9, 2e-3, 1e6, 300.0), base - 3.01,
+              0.1);
+}
+
+TEST(Ico, DesignSpaceMatchesPaperScale) {
+  const auto space = Ico::designSpace(sim::n5Card());
+  EXPECT_EQ(space.dim(), 4u);
+  for (std::size_t i = 0; i < space.dim(); ++i)
+    EXPECT_EQ(space.param(i).steps, 20u);  // the paper's "20^4"
+}
+
+class IcoGridPointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IcoGridPointTest, RandomGridPointsProduceValidOrFailedResults) {
+  const Ico ico(sim::n5Card());
+  const auto space = Ico::designSpace(sim::n5Card());
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const auto e = ico.evaluate(space.randomPoint(rng), ttCorner(sim::n5Card()));
+  if (e.ok) {
+    EXPECT_GT(e.measurements[Ico::kFreqGhz], 0.0);
+    EXPECT_LT(e.measurements[Ico::kPnoiseDbc], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IcoGridPointTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace trdse::circuits

@@ -1,0 +1,471 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/local_dataset.hpp"
+#include "core/local_explorer.hpp"
+#include "core/problem.hpp"
+#include "core/pvt_search.hpp"
+#include "core/sizing_api.hpp"
+#include "core/surrogate.hpp"
+#include "core/trust_region.hpp"
+#include "core/value.hpp"
+
+namespace trdse::core {
+namespace {
+
+// ---------- DesignSpace ----------
+
+TEST(DesignSpace, LinearGrid) {
+  DesignSpace space({{"x", 0.0, 10.0, 11, false}});
+  EXPECT_DOUBLE_EQ(space.gridValue(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(space.gridValue(0, 10), 10.0);
+  EXPECT_DOUBLE_EQ(space.gridValue(0, 5), 5.0);
+  EXPECT_EQ(space.nearestIndex(0, 5.4), 5u);
+  EXPECT_EQ(space.nearestIndex(0, 5.6), 6u);
+  EXPECT_EQ(space.nearestIndex(0, -99.0), 0u);
+  EXPECT_EQ(space.nearestIndex(0, 99.0), 10u);
+}
+
+TEST(DesignSpace, LogGrid) {
+  DesignSpace space({{"w", 1e-6, 1e-4, 3, true}});
+  EXPECT_NEAR(space.gridValue(0, 1), 1e-5, 1e-12);
+  EXPECT_EQ(space.nearestIndex(0, 9e-6), 1u);
+}
+
+TEST(DesignSpace, SnapIdempotent) {
+  DesignSpace space({{"x", 0.0, 1.0, 5, false}, {"w", 1e-6, 1e-3, 13, true}});
+  const linalg::Vector raw = {0.61, 3.3e-5};
+  const linalg::Vector s1 = space.snap(raw);
+  const linalg::Vector s2 = space.snap(s1);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(DesignSpace, UnitRoundTrip) {
+  DesignSpace space({{"x", -2.0, 6.0, 100, false}, {"w", 1e-6, 1e-3, 100, true}});
+  const linalg::Vector x = {1.0, 1e-4};
+  const linalg::Vector u = space.toUnit(x);
+  const linalg::Vector back = space.fromUnit(u);
+  EXPECT_NEAR(back[0], x[0], 1e-9);
+  EXPECT_NEAR(back[1], x[1], 1e-10);
+  for (double v : u) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(DesignSpace, SizeLog10) {
+  DesignSpace space({{"a", 0, 1, 10, false},
+                     {"b", 0, 1, 10, false},
+                     {"c", 0, 1, 100, false}});
+  EXPECT_NEAR(space.sizeLog10(), 4.0, 1e-12);
+}
+
+TEST(DesignSpace, IndicesRoundTrip) {
+  DesignSpace space({{"a", 0.0, 1.0, 7, false}, {"b", 1.0, 100.0, 9, true}});
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto x = space.randomPoint(rng);
+    const auto idx = space.indicesOf(x);
+    const auto back = space.fromIndices(idx);
+    for (std::size_t d = 0; d < 2; ++d) EXPECT_NEAR(back[d], x[d], 1e-9);
+  }
+}
+
+// ---------- ValueFunction ----------
+
+TEST(Value, ZeroWhenAllSatisfied) {
+  const std::vector<std::string> names = {"gain", "power"};
+  const std::vector<Spec> specs = {{"gain", SpecKind::kAtLeast, 50.0},
+                                   {"power", SpecKind::kAtMost, 1.0}};
+  const ValueFunction v(names, specs);
+  EXPECT_DOUBLE_EQ(v({60.0, 0.5}), 0.0);
+  EXPECT_TRUE(v.satisfied({60.0, 0.5}));
+  EXPECT_TRUE(v.satisfied({50.0, 1.0}));  // boundary counts as met
+}
+
+TEST(Value, NegativeWhenViolated) {
+  const std::vector<std::string> names = {"gain"};
+  const ValueFunction v(names, {{"gain", SpecKind::kAtLeast, 50.0}});
+  EXPECT_LT(v({40.0}), 0.0);
+  EXPECT_FALSE(v.satisfied({40.0}));
+  // Monotone: closer to spec is better.
+  EXPECT_GT(v({45.0}), v({20.0}));
+}
+
+TEST(Value, NormalizationHandlesNegativeMeasurements) {
+  // Phase noise style: more negative is better (kAtMost on a negative limit).
+  const std::vector<std::string> names = {"pn"};
+  const ValueFunction v(names, {{"pn", SpecKind::kAtMost, -71.0}});
+  EXPECT_DOUBLE_EQ(v({-73.0}), 0.0);
+  EXPECT_LT(v({-65.0}), 0.0);
+  EXPECT_GT(v({-70.0}), v({-60.0}));
+}
+
+TEST(Value, BoundedByNegSpecCount) {
+  const std::vector<std::string> names = {"a", "b", "c"};
+  const std::vector<Spec> specs = {{"a", SpecKind::kAtLeast, 1.0},
+                                   {"b", SpecKind::kAtLeast, 1.0},
+                                   {"c", SpecKind::kAtLeast, 1.0}};
+  const ValueFunction v(names, specs);
+  EXPECT_GE(v({-1e9, -1e9, -1e9}), -3.0 - 1e-9);
+}
+
+TEST(Value, FailedEvalGetsSentinel) {
+  const ValueFunction v({"a"}, {{"a", SpecKind::kAtLeast, 1.0}});
+  EXPECT_DOUBLE_EQ(v.valueOf(EvalResult{}), kFailedValue);
+}
+
+TEST(Value, PlannerScorePrefersMarginWhenFeasible) {
+  const ValueFunction v({"a"}, {{"a", SpecKind::kAtLeast, 1.0}});
+  EXPECT_GT(v.plannerScore({2.0}), v.plannerScore({1.01}));
+  // ... but never outweighs a violation.
+  EXPECT_GT(v.plannerScore({1.01}), v.plannerScore({0.9}));
+}
+
+TEST(Value, WeightedSecondStage) {
+  const std::vector<std::string> names = {"a", "b"};
+  const std::vector<Spec> specs = {{"a", SpecKind::kAtLeast, 1.0},
+                                   {"b", SpecKind::kAtLeast, 1.0}};
+  const ValueFunction v(names, specs);
+  const double wA = v.weighted({0.5, 2.0}, {10.0, 1.0});
+  const double wB = v.weighted({0.5, 2.0}, {1.0, 1.0});
+  EXPECT_LT(wA, wB);  // violation on 'a' amplified
+}
+
+// ---------- TrustRegion ----------
+
+TEST(TrustRegion, ExpandsOnGoodRatio) {
+  TrustRegionConfig cfg;
+  TrustRegion tr(cfg);
+  const double r0 = tr.radius();
+  const auto step = tr.evaluateStep(1.0, 0.9);  // rho = 0.9 > 0.75
+  EXPECT_TRUE(step.accepted);
+  EXPECT_NEAR(tr.radius(), std::min(cfg.maxRadius, r0 * cfg.expandFactor), 1e-12);
+}
+
+TEST(TrustRegion, ShrinksOnPoorRatio) {
+  TrustRegionConfig cfg;
+  TrustRegion tr(cfg);
+  const double r0 = tr.radius();
+  const auto step = tr.evaluateStep(1.0, 0.05);  // rho = 0.05 < 0.25
+  EXPECT_FALSE(step.accepted);
+  EXPECT_NEAR(tr.radius(), r0 * cfg.shrinkFactor, 1e-12);
+}
+
+TEST(TrustRegion, MiddleRatioKeepsRadius) {
+  TrustRegion tr;
+  const double r0 = tr.radius();
+  const auto step = tr.evaluateStep(1.0, 0.5);
+  EXPECT_TRUE(step.accepted);
+  EXPECT_DOUBLE_EQ(tr.radius(), r0);
+}
+
+TEST(TrustRegion, RespectsBounds) {
+  TrustRegionConfig cfg;
+  TrustRegion tr(cfg);
+  for (int i = 0; i < 20; ++i) tr.evaluateStep(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(tr.radius(), cfg.maxRadius);
+  for (int i = 0; i < 40; ++i) tr.evaluateStep(1.0, -1.0);
+  EXPECT_DOUBLE_EQ(tr.radius(), cfg.minRadius);
+}
+
+TEST(TrustRegion, NonAdaptiveKeepsRadiusFixed) {
+  TrustRegionConfig cfg;
+  cfg.adaptive = false;
+  cfg.initRadius = 0.1;
+  TrustRegion tr(cfg);
+  tr.evaluateStep(1.0, 1.0);
+  tr.evaluateStep(1.0, -1.0);
+  EXPECT_DOUBLE_EQ(tr.radius(), 0.1);
+}
+
+TEST(TrustRegion, TinyPredictionWithRealGainAccepts) {
+  TrustRegion tr;
+  const auto step = tr.evaluateStep(0.0, 0.1);
+  EXPECT_TRUE(step.accepted);
+}
+
+// ---------- LocalDataset ----------
+
+TEST(LocalDataset, SelectsWithinCut) {
+  LocalDataset data;
+  data.add({0.5, 0.5}, {1.0});
+  data.add({0.52, 0.48}, {2.0});
+  data.add({0.9, 0.9}, {3.0});
+  const auto sel = data.selectLocal({0.5, 0.5}, 0.05, 1);
+  EXPECT_EQ(sel.inputs.size(), 2u);
+}
+
+TEST(LocalDataset, FallsBackToNearestK) {
+  LocalDataset data;
+  data.add({0.1, 0.1}, {1.0});
+  data.add({0.2, 0.2}, {2.0});
+  data.add({0.9, 0.9}, {3.0});
+  const auto sel = data.selectLocal({0.5, 0.5}, 0.01, 2);
+  EXPECT_EQ(sel.inputs.size(), 2u);
+  // Nearest two are the 0.2 and 0.9 points (distances 0.3 and 0.4).
+  EXPECT_DOUBLE_EQ(sel.targets[0][0], 2.0);
+}
+
+// ---------- Surrogate ----------
+
+TEST(Surrogate, LearnsQuadraticLocally) {
+  SurrogateConfig cfg;
+  cfg.epochsPerUpdate = 200;
+  SpiceSurrogate s(2, 1, cfg, 3);
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> d(0.3, 0.7);
+  std::vector<linalg::Vector> xs;
+  std::vector<linalg::Vector> ys;
+  for (int i = 0; i < 120; ++i) {
+    const double a = d(rng);
+    const double b = d(rng);
+    xs.push_back({a, b});
+    ys.push_back({100.0 * (a - 0.5) * (a - 0.5) + 40.0 * b});
+  }
+  s.setData(xs, ys);
+  s.train(rng);
+  double err = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    err += std::abs(s.predict(xs[i])[0] - ys[i][0]);
+  }
+  // Outputs span ~[12, 42]; demand a few percent accuracy.
+  EXPECT_LT(err / 20.0, 1.5);
+}
+
+TEST(Surrogate, AdoptWeightsRequiresMatchingShape) {
+  SpiceSurrogate a(3, 2, {}, 1);
+  SpiceSurrogate b(3, 2, {}, 2);
+  SpiceSurrogate c(4, 2, {}, 3);
+  EXPECT_TRUE(b.adoptWeights(a.network()));
+  EXPECT_EQ(b.network().getParameters(), a.network().getParameters());
+  EXPECT_FALSE(c.adoptWeights(a.network()));
+}
+
+TEST(Surrogate, AutoConfigureScalesWithProblem) {
+  const SurrogateConfig small = autoConfigure(2, 2);
+  const SurrogateConfig large = autoConfigure(20, 8);
+  EXPECT_LE(small.hiddenWidth, large.hiddenWidth);
+  EXPECT_GE(small.hiddenWidth, 32u);
+  EXPECT_LE(large.hiddenWidth, 128u);
+}
+
+// ---------- LocalExplorer on synthetic CSPs ----------
+
+SizingProblem sphereCsp(double radius) {
+  SizingProblem p;
+  p.name = "sphere";
+  p.space = DesignSpace({{"x", 0.0, 1.0, 101, false},
+                         {"y", 0.0, 1.0, 101, false},
+                         {"z", 0.0, 1.0, 101, false}});
+  p.measurementNames = {"closeness"};
+  p.specs = {{"closeness", SpecKind::kAtLeast, 1.0 - radius}};
+  p.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0}};
+  p.evaluate = [](const linalg::Vector& v, const sim::PvtCorner&) {
+    EvalResult r;
+    r.ok = true;
+    const double dx = v[0] - 0.62;
+    const double dy = v[1] - 0.34;
+    const double dz = v[2] - 0.58;
+    r.measurements = {1.0 - std::sqrt(dx * dx + dy * dy + dz * dz)};
+    return r;
+  };
+  return p;
+}
+
+TEST(LocalExplorer, SolvesSphereCsp) {
+  const auto prob = sphereCsp(0.05);
+  const ValueFunction value(prob.measurementNames, prob.specs);
+  LocalExplorerConfig cfg;
+  cfg.seed = 9;
+  LocalExplorer agent(
+      prob.space, value,
+      [&](const linalg::Vector& x) { return prob.evaluate(x, prob.corners[0]); },
+      cfg);
+  const auto out = agent.run(3000);
+  EXPECT_TRUE(out.solved);
+  EXPECT_LT(out.iterations, 1500u);
+  // Iteration accounting: history length equals simulations used.
+  EXPECT_EQ(out.trace.bestValueHistory.size(), out.iterations);
+}
+
+TEST(LocalExplorer, BestValueHistoryMonotone) {
+  const auto prob = sphereCsp(0.02);
+  const ValueFunction value(prob.measurementNames, prob.specs);
+  LocalExplorerConfig cfg;
+  cfg.seed = 10;
+  LocalExplorer agent(
+      prob.space, value,
+      [&](const linalg::Vector& x) { return prob.evaluate(x, prob.corners[0]); },
+      cfg);
+  const auto out = agent.run(400);
+  for (std::size_t i = 1; i < out.trace.bestValueHistory.size(); ++i)
+    EXPECT_GE(out.trace.bestValueHistory[i], out.trace.bestValueHistory[i - 1]);
+}
+
+TEST(LocalExplorer, RespectsBudget) {
+  const auto prob = sphereCsp(-0.01);  // limit 1.01 > max measurement: unsolvable
+  const ValueFunction value(prob.measurementNames, prob.specs);
+  LocalExplorerConfig cfg;
+  cfg.seed = 11;
+  LocalExplorer agent(
+      prob.space, value,
+      [&](const linalg::Vector& x) { return prob.evaluate(x, prob.corners[0]); },
+      cfg);
+  const auto out = agent.run(200);
+  EXPECT_FALSE(out.solved);
+  EXPECT_EQ(out.iterations, 200u);
+}
+
+TEST(LocalExplorer, StartingPointShortensSearch) {
+  const auto prob = sphereCsp(0.04);
+  const ValueFunction value(prob.measurementNames, prob.specs);
+  double coldSum = 0.0;
+  double warmSum = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    LocalExplorerConfig cold;
+    cold.seed = seed;
+    LocalExplorer agentCold(
+        prob.space, value,
+        [&](const linalg::Vector& x) { return prob.evaluate(x, prob.corners[0]); },
+        cold);
+    coldSum += static_cast<double>(agentCold.run(3000).iterations);
+
+    LocalExplorerConfig warm;
+    warm.seed = seed;
+    warm.startingPoint = linalg::Vector{0.60, 0.36, 0.56};  // near optimum
+    LocalExplorer agentWarm(
+        prob.space, value,
+        [&](const linalg::Vector& x) { return prob.evaluate(x, prob.corners[0]); },
+        warm);
+    warmSum += static_cast<double>(agentWarm.run(3000).iterations);
+  }
+  EXPECT_LT(warmSum, coldSum);
+}
+
+TEST(LocalExplorer, HandlesFailingRegions) {
+  auto prob = sphereCsp(0.05);
+  auto inner = prob.evaluate;
+  prob.evaluate = [inner](const linalg::Vector& v, const sim::PvtCorner& c) {
+    if (v[0] > 0.8) return EvalResult{};  // simulator dies out here
+    return inner(v, c);
+  };
+  const ValueFunction value(prob.measurementNames, prob.specs);
+  LocalExplorerConfig cfg;
+  cfg.seed = 13;
+  LocalExplorer agent(
+      prob.space, value,
+      [&](const linalg::Vector& x) { return prob.evaluate(x, prob.corners[0]); },
+      cfg);
+  const auto out = agent.run(3000);
+  EXPECT_TRUE(out.solved);
+}
+
+// ---------- PvtSearch on a synthetic multi-corner CSP ----------
+
+/// Corner difficulty grows with temperature: the feasible set shrinks.
+SizingProblem multiCornerCsp() {
+  SizingProblem p;
+  p.name = "multi";
+  p.space = DesignSpace({{"x", 0.0, 1.0, 101, false},
+                         {"y", 0.0, 1.0, 101, false}});
+  p.measurementNames = {"closeness"};
+  p.specs = {{"closeness", SpecKind::kAtLeast, 0.9}};
+  p.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0},
+               {sim::ProcessCorner::kSS, 1.0, 125.0},
+               {sim::ProcessCorner::kFF, 1.0, -40.0}};
+  p.evaluate = [](const linalg::Vector& v, const sim::PvtCorner& c) {
+    EvalResult r;
+    r.ok = true;
+    const double dx = v[0] - 0.4;
+    const double dy = v[1] - 0.6;
+    const double penalty = c.tempC > 100.0 ? 0.02 : 0.0;  // hot corner harder
+    r.measurements = {1.0 - std::sqrt(dx * dx + dy * dy) - penalty};
+    return r;
+  };
+  return p;
+}
+
+class PvtStrategyTest : public ::testing::TestWithParam<PvtStrategy> {};
+
+TEST_P(PvtStrategyTest, SolvesMultiCornerCsp) {
+  const auto prob = multiCornerCsp();
+  PvtSearchConfig cfg;
+  cfg.strategy = GetParam();
+  cfg.seed = 21;
+  cfg.explorer = autoSchedule(prob, cfg.seed);
+  PvtSearch search(prob, cfg);
+  const auto out = search.run(6000);
+  EXPECT_TRUE(out.solved);
+  // Final evals cover every corner and all pass.
+  ASSERT_EQ(out.cornerEvals.size(), prob.corners.size());
+  const ValueFunction value(prob.measurementNames, prob.specs);
+  for (const auto& e : out.cornerEvals) {
+    ASSERT_TRUE(e.ok);
+    EXPECT_TRUE(value.satisfied(e.measurements));
+  }
+  // Ledger accounting is exact.
+  EXPECT_EQ(out.ledger.totalBlocks(), out.totalSims);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PvtStrategyTest,
+                         ::testing::Values(PvtStrategy::kBruteForce,
+                                           PvtStrategy::kProgressiveRandom,
+                                           PvtStrategy::kProgressiveHardest));
+
+TEST(PvtSearch, BruteForceActivatesAllCornersUpFront) {
+  const auto prob = multiCornerCsp();
+  PvtSearchConfig cfg;
+  cfg.strategy = PvtStrategy::kBruteForce;
+  cfg.seed = 23;
+  cfg.explorer = autoSchedule(prob, cfg.seed);
+  PvtSearch search(prob, cfg);
+  const auto out = search.run(4000);
+  EXPECT_EQ(out.cornersActivated, prob.corners.size());
+  EXPECT_EQ(out.ledger.verifyBlocks(), 0u);  // nothing left to verify
+}
+
+TEST(PvtSearch, ProgressiveUsesFewerBlocksThanBruteForce) {
+  const auto prob = multiCornerCsp();
+  double brute = 0.0;
+  double prog = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    PvtSearchConfig cfg;
+    cfg.seed = seed;
+    cfg.explorer = autoSchedule(prob, cfg.seed);
+    cfg.strategy = PvtStrategy::kBruteForce;
+    brute += static_cast<double>(PvtSearch(prob, cfg).run(6000).totalSims);
+    cfg.strategy = PvtStrategy::kProgressiveHardest;
+    prog += static_cast<double>(PvtSearch(prob, cfg).run(6000).totalSims);
+  }
+  EXPECT_LT(prog, brute);
+}
+
+// ---------- Session API ----------
+
+TEST(SizingSession, RunsEndToEnd) {
+  SessionOptions options;
+  options.maxSimulations = 4000;
+  options.seed = 3;
+  SizingSession session(multiCornerCsp(), options);
+  const auto report = session.run();
+  EXPECT_TRUE(report.solved);
+  EXPECT_GT(report.simulations, 0u);
+  EXPECT_NE(report.summary.find("solved: yes"), std::string::npos);
+}
+
+TEST(SizingSession, AutoScheduleScalesWithDimension) {
+  const auto small = autoSchedule(sphereCsp(0.1), 1);
+  auto bigProblem = sphereCsp(0.1);
+  std::vector<ParamDef> params;
+  for (int i = 0; i < 20; ++i)
+    params.push_back({"p" + std::to_string(i), 0.0, 1.0, 32, false});
+  bigProblem.space = DesignSpace(params);
+  const auto large = autoSchedule(bigProblem, 1);
+  EXPECT_GT(large.mcSamples, small.mcSamples);
+  EXPECT_GE(large.initSamples, small.initSamples);
+}
+
+}  // namespace
+}  // namespace trdse::core

@@ -1,0 +1,211 @@
+// Tests for the extension modules: folded-cascode OTA, device mismatch,
+// Cholesky, and the Gaussian-process baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "circuits/folded_cascode.hpp"
+#include "circuits/two_stage_opamp.hpp"
+#include "core/value.hpp"
+#include "linalg/cholesky.hpp"
+#include "opt/gaussian_process.hpp"
+#include "sim/dc.hpp"
+#include "sim/mismatch.hpp"
+
+namespace trdse {
+namespace {
+
+const sim::PvtCorner kTt45{sim::ProcessCorner::kTT, 1.1, 27.0};
+
+// ---------- Folded-cascode OTA ----------
+
+linalg::Vector nominalFcSizes() {
+  linalg::Vector s(circuits::FoldedCascodeOta::kParamCount);
+  s[circuits::FoldedCascodeOta::kW1] = 6e-6;
+  s[circuits::FoldedCascodeOta::kW3] = 8e-6;
+  s[circuits::FoldedCascodeOta::kW5] = 6e-6;
+  s[circuits::FoldedCascodeOta::kW7] = 4e-6;
+  s[circuits::FoldedCascodeOta::kW9] = 4e-6;
+  s[circuits::FoldedCascodeOta::kL] = 2 * sim::bsim45Card().minL;
+  s[circuits::FoldedCascodeOta::kIbias] = 15e-6;
+  return s;
+}
+
+TEST(FoldedCascode, NominalDesignSimulates) {
+  const circuits::FoldedCascodeOta ota(sim::bsim45Card());
+  const auto r = ota.evaluate(nominalFcSizes(), kTt45);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.measurements[circuits::FoldedCascodeOta::kGainDb], 30.0);
+  EXPECT_GT(r.measurements[circuits::FoldedCascodeOta::kUgbwHz], 1e6);
+  EXPECT_GT(r.measurements[circuits::FoldedCascodeOta::kPowerMw], 0.0);
+}
+
+TEST(FoldedCascode, SingleStageHasHealthyPhaseMargin) {
+  // Load-capacitor-dominant single stage: PM should be comfortably high.
+  const circuits::FoldedCascodeOta ota(sim::bsim45Card());
+  const auto r = ota.evaluate(nominalFcSizes(), kTt45);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.measurements[circuits::FoldedCascodeOta::kPmDeg], 45.0);
+}
+
+TEST(FoldedCascode, BiasRaisesPowerAndBandwidth) {
+  // The tail mirror is only one of three supply branches (the PMOS folding
+  // sources are set by the fixed bias rails), so power rises modestly while
+  // gm of the input pair — and hence UGBW — rises strongly.
+  const circuits::FoldedCascodeOta ota(sim::bsim45Card());
+  auto s = nominalFcSizes();
+  const auto lo = ota.evaluate(s, kTt45);
+  s[circuits::FoldedCascodeOta::kIbias] *= 1.5;
+  const auto hi = ota.evaluate(s, kTt45);
+  ASSERT_TRUE(lo.ok && hi.ok);
+  EXPECT_GT(hi.measurements[circuits::FoldedCascodeOta::kPowerMw],
+            lo.measurements[circuits::FoldedCascodeOta::kPowerMw]);
+  EXPECT_GT(hi.measurements[circuits::FoldedCascodeOta::kUgbwHz],
+            lo.measurements[circuits::FoldedCascodeOta::kUgbwHz] * 1.1);
+}
+
+TEST(FoldedCascode, AreaMonotone) {
+  const circuits::FoldedCascodeOta ota(sim::bsim45Card());
+  auto s = nominalFcSizes();
+  const double a0 = ota.area(s);
+  s[circuits::FoldedCascodeOta::kW3] *= 2.0;
+  EXPECT_GT(ota.area(s), a0);
+}
+
+// ---------- Mismatch ----------
+
+TEST(Mismatch, PerturbsEveryDevice) {
+  const circuits::TwoStageOpamp amp(sim::bsim45Card());
+  const auto space = circuits::TwoStageOpamp::designSpace(sim::bsim45Card());
+  std::mt19937_64 rng(3);
+  auto tb = amp.buildTestbench(space.randomPoint(rng), kTt45);
+  const auto before = tb.netlist.mosfets();
+  sim::applyMismatch(tb.netlist, {}, rng);
+  const auto& after = tb.netlist.mosfets();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_NE(before[i].params.vth0, after[i].params.vth0);
+    EXPECT_NE(before[i].params.kp, after[i].params.kp);
+  }
+}
+
+TEST(Mismatch, SigmaShrinksWithArea) {
+  // Pelgrom: bigger devices vary less. Estimate sigma over many draws.
+  sim::MismatchParams params;
+  auto sigmaFor = [&](double w, double l) {
+    double sum2 = 0.0;
+    const int n = 400;
+    std::mt19937_64 rng(11);
+    for (int i = 0; i < n; ++i) {
+      sim::Netlist nl;
+      nl.addMosfet("M", 1, 1, 0, 0, sim::MosType::kNmos, {w, l, 1.0},
+                   sim::bsim45Card().nmos);
+      sim::applyMismatch(nl, params, rng);
+      const double dv = nl.mosfets()[0].params.vth0 - sim::bsim45Card().nmos.vth0;
+      sum2 += dv * dv;
+    }
+    return std::sqrt(sum2 / n);
+  };
+  const double sSmall = sigmaFor(1e-6, 45e-9);
+  const double sBig = sigmaFor(16e-6, 45e-9);
+  EXPECT_NEAR(sSmall / sBig, 4.0, 1.0);  // 16x area -> 4x smaller sigma
+}
+
+TEST(Mismatch, DeterministicGivenSeed) {
+  sim::Netlist a;
+  a.addMosfet("M", 1, 1, 0, 0, sim::MosType::kNmos, {2e-6, 90e-9, 1.0},
+              sim::bsim45Card().nmos);
+  sim::Netlist b = a;
+  std::mt19937_64 rngA(5);
+  std::mt19937_64 rngB(5);
+  sim::applyMismatch(a, {}, rngA);
+  sim::applyMismatch(b, {}, rngB);
+  EXPECT_DOUBLE_EQ(a.mosfets()[0].params.vth0, b.mosfets()[0].params.vth0);
+}
+
+// ---------- Cholesky ----------
+
+TEST(Cholesky, SolvesSpdSystem) {
+  linalg::Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  linalg::CholeskySolver chol;
+  ASSERT_TRUE(chol.factor(a));
+  const auto x = chol.solve({1.0, 2.0});
+  EXPECT_NEAR(4.0 * x[0] + x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 2.0, 1e-12);
+  EXPECT_NEAR(chol.logDet(), std::log(11.0), 1e-12);  // det = 12 - 1
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  linalg::Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  linalg::CholeskySolver chol;
+  EXPECT_FALSE(chol.factor(a));
+}
+
+TEST(Cholesky, MatchesLuOnRandomSpd) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  const std::size_t n = 12;
+  linalg::Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = d(rng);
+  // A = M M^T + I is SPD.
+  linalg::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      double s = r == c ? 1.0 : 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += m(r, k) * m(c, k);
+      a(r, c) = s;
+    }
+  linalg::Vector b(n, 1.0);
+  linalg::CholeskySolver chol;
+  ASSERT_TRUE(chol.factor(a));
+  const auto x = chol.solve(b);
+  const auto ax = linalg::matVec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-9);
+}
+
+// ---------- Gaussian process ----------
+
+TEST(GaussianProcess, InterpolatesTrainingData) {
+  opt::GpConfig cfg;
+  cfg.noiseVar = 1e-8;
+  opt::GaussianProcess gp(cfg);
+  const std::vector<linalg::Vector> xs = {{0.1}, {0.5}, {0.9}};
+  const std::vector<double> ys = {1.0, -1.0, 2.0};
+  ASSERT_TRUE(gp.fit(xs, ys));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto p = gp.predict(xs[i]);
+    EXPECT_NEAR(p.mean, ys[i], 1e-3);
+    EXPECT_LT(p.std, 0.01);
+  }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  opt::GaussianProcess gp;
+  const std::vector<linalg::Vector> xs = {{0.4}, {0.5}, {0.6}};
+  const std::vector<double> ys = {0.0, 0.1, 0.0};
+  ASSERT_TRUE(gp.fit(xs, ys));
+  EXPECT_GT(gp.predict({0.95}).std, gp.predict({0.5}).std * 2.0);
+}
+
+TEST(GaussianProcess, SmoothFunctionRegression) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 120; ++i) {
+    const double x = d(rng);
+    xs.push_back({x});
+    ys.push_back(std::sin(4.0 * x));
+  }
+  opt::GaussianProcess gp;
+  ASSERT_TRUE(gp.fit(xs, ys));
+  double err = 0.0;
+  for (double x = 0.05; x < 1.0; x += 0.1)
+    err += std::abs(gp.predict({x}).mean - std::sin(4.0 * x));
+  EXPECT_LT(err / 10.0, 0.05);
+}
+
+}  // namespace
+}  // namespace trdse

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "opt/extra_trees.hpp"
+#include "opt/random_search.hpp"
+#include "opt/tree_bayes_opt.hpp"
+
+namespace trdse::opt {
+namespace {
+
+/// Synthetic 2-D CSP used by the optimizer tests: feasible iff both
+/// measurements clear their limits; the feasible region is a small disc.
+core::SizingProblem syntheticProblem(double feasibleRadius = 0.15) {
+  core::SizingProblem p;
+  p.name = "synthetic";
+  p.space = core::DesignSpace({{"x", 0.0, 1.0, 201, false},
+                               {"y", 0.0, 1.0, 201, false}});
+  p.measurementNames = {"closeness", "budget"};
+  p.specs = {{"closeness", core::SpecKind::kAtLeast, 1.0 - feasibleRadius},
+             {"budget", core::SpecKind::kAtMost, 1.6}};
+  p.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0}};
+  p.evaluate = [](const linalg::Vector& v, const sim::PvtCorner&) {
+    core::EvalResult r;
+    r.ok = true;
+    const double dx = v[0] - 0.7;
+    const double dy = v[1] - 0.3;
+    r.measurements = {1.0 - std::sqrt(dx * dx + dy * dy), v[0] + v[1]};
+    return r;
+  };
+  return p;
+}
+
+TEST(ExtraTrees, FitsConstantFunction) {
+  std::vector<linalg::Vector> xs = {{0.1, 0.1}, {0.5, 0.5}, {0.9, 0.2}};
+  std::vector<double> ys = {2.0, 2.0, 2.0};
+  ExtraTreesRegressor model;
+  model.fit(xs, ys, 1);
+  const Prediction p = model.predict({0.3, 0.3});
+  EXPECT_NEAR(p.mean, 2.0, 1e-9);
+  EXPECT_NEAR(p.std, 0.0, 1e-9);
+}
+
+TEST(ExtraTrees, LearnsStepFunction) {
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 400; ++i) {
+    const double x = d(rng);
+    xs.push_back({x});
+    ys.push_back(x < 0.5 ? 0.0 : 1.0);
+  }
+  ExtraTreesRegressor model;
+  model.fit(xs, ys, 3);
+  EXPECT_LT(model.predict({0.2}).mean, 0.2);
+  EXPECT_GT(model.predict({0.8}).mean, 0.8);
+}
+
+TEST(ExtraTrees, LearnsSmoothSurface) {
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 600; ++i) {
+    const double a = d(rng);
+    const double b = d(rng);
+    xs.push_back({a, b});
+    ys.push_back(std::sin(3.0 * a) + b * b);
+  }
+  ExtraTreesRegressor model;
+  model.fit(xs, ys, 5);
+  double err = 0.0;
+  int n = 0;
+  for (double a = 0.1; a < 1.0; a += 0.2)
+    for (double b = 0.1; b < 1.0; b += 0.2) {
+      err += std::abs(model.predict({a, b}).mean - (std::sin(3.0 * a) + b * b));
+      ++n;
+    }
+  EXPECT_LT(err / n, 0.15);
+}
+
+TEST(ExtraTrees, UncertaintyHigherNearDecisionBoundary) {
+  // Randomized thresholds disagree most where the target changes fastest, so
+  // the across-tree spread peaks near the step and vanishes on the plateaus.
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  for (int i = 0; i < 300; ++i) {
+    const double a = d(rng);
+    xs.push_back({a});
+    ys.push_back(a < 0.5 ? 0.0 : 1.0);
+  }
+  ExtraTreesRegressor model;
+  model.fit(xs, ys, 9);
+  EXPECT_GT(model.predict({0.5}).std, model.predict({0.1}).std);
+  EXPECT_GT(model.predict({0.5}).std, model.predict({0.9}).std);
+}
+
+TEST(RandomSearch, SolvesEasyProblem) {
+  const auto prob = syntheticProblem(0.4);  // large feasible disc
+  RandomSearch rs(prob, 3);
+  const auto out = rs.run(2000);
+  EXPECT_TRUE(out.solved);
+  EXPECT_LT(out.iterations, 2000u);
+}
+
+TEST(RandomSearch, RespectsBudgetOnHardProblem) {
+  const auto prob = syntheticProblem(0.01);  // tiny disc
+  RandomSearch rs(prob, 3);
+  const auto out = rs.run(300);
+  EXPECT_LE(out.iterations, 300u);
+  if (!out.solved) EXPECT_EQ(out.iterations, 300u);
+}
+
+TEST(RandomSearch, MultiCornerCountsEachCheck) {
+  auto prob = syntheticProblem(1.5);  // everything feasible
+  prob.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0},
+                  {sim::ProcessCorner::kSS, 1.0, 27.0},
+                  {sim::ProcessCorner::kFF, 1.0, 27.0}};
+  RandomSearch rs(prob, 5);
+  const auto out = rs.run(100);
+  EXPECT_TRUE(out.solved);
+  EXPECT_EQ(out.iterations, 3u);  // one point, three corner checks
+}
+
+TEST(TreeBayesOpt, SolvesSyntheticFasterThanRandomOnAverage) {
+  const auto prob = syntheticProblem(0.08);
+  std::vector<double> boIters;
+  std::vector<double> rsIters;
+  for (int r = 0; r < 5; ++r) {
+    TreeBayesOptConfig cfg;
+    cfg.seed = 100 + r;
+    TreeBayesOpt bo(prob, cfg);
+    const auto b = bo.run(2000);
+    EXPECT_TRUE(b.solved);
+    boIters.push_back(static_cast<double>(b.iterations));
+    RandomSearch rs(prob, 200 + r);
+    const auto s = rs.run(2000);
+    rsIters.push_back(static_cast<double>(s.iterations));
+  }
+  double boMean = 0.0;
+  double rsMean = 0.0;
+  for (double v : boIters) boMean += v;
+  for (double v : rsIters) rsMean += v;
+  EXPECT_LT(boMean, rsMean);
+}
+
+TEST(TreeBayesOpt, ReportsBestEvenWhenUnsolved) {
+  const auto prob = syntheticProblem(0.005);
+  TreeBayesOptConfig cfg;
+  cfg.seed = 31;
+  TreeBayesOpt bo(prob, cfg);
+  const auto out = bo.run(150);
+  EXPECT_FALSE(out.sizes.empty());
+  EXPECT_GT(out.bestValue, core::kFailedValue);
+  EXPECT_FALSE(out.bestMeasurements.empty());
+}
+
+TEST(TreeBayesOpt, HandlesFailingSimulations) {
+  auto prob = syntheticProblem(0.3);
+  auto inner = prob.evaluate;
+  prob.evaluate = [inner](const linalg::Vector& v, const sim::PvtCorner& c) {
+    if (v[0] < 0.25) return core::EvalResult{};  // dead region
+    return inner(v, c);
+  };
+  TreeBayesOptConfig cfg;
+  cfg.seed = 17;
+  TreeBayesOpt bo(prob, cfg);
+  const auto out = bo.run(1500);
+  EXPECT_TRUE(out.solved);
+}
+
+}  // namespace
+}  // namespace trdse::opt

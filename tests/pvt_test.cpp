@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "pvt/corners.hpp"
+#include "pvt/ledger.hpp"
+
+namespace trdse::pvt {
+namespace {
+
+TEST(Corners, NineCornerSetShape) {
+  const auto set = nineCornerSet(0.9);
+  ASSERT_EQ(set.size(), 9u);
+  // 3 process corners x 3 temps, all at the nominal supply.
+  for (const auto& c : set) EXPECT_DOUBLE_EQ(c.vdd, 0.9);
+  int ss = 0;
+  for (const auto& c : set) ss += c.corner == sim::ProcessCorner::kSS;
+  EXPECT_EQ(ss, 3);
+}
+
+TEST(Corners, FullFactorialCount) {
+  const auto set = fullFactorial(
+      {sim::ProcessCorner::kTT, sim::ProcessCorner::kFF}, {0.9, 1.0},
+      {-40.0, 27.0, 125.0});
+  EXPECT_EQ(set.size(), 12u);
+  // Deterministic ordering: first block is TT at 0.9 V.
+  EXPECT_EQ(set.front().corner, sim::ProcessCorner::kTT);
+  EXPECT_DOUBLE_EQ(set.front().vdd, 0.9);
+  EXPECT_DOUBLE_EQ(set.front().tempC, -40.0);
+}
+
+TEST(Corners, HardestFirstPrefersSlowLowHotCold) {
+  const auto set = nineCornerSet(0.9);
+  const auto order = heuristicHardestFirst(set, 0.9);
+  ASSERT_EQ(order.size(), set.size());
+  // The hardest-ranked corner must be SS at a temperature extreme.
+  const auto& hardest = set[order.front()];
+  EXPECT_EQ(hardest.corner, sim::ProcessCorner::kSS);
+  EXPECT_NE(hardest.tempC, 27.0);
+  // The easiest must be FF.
+  EXPECT_EQ(set[order.back()].corner, sim::ProcessCorner::kFF);
+}
+
+TEST(Corners, LowSupplyRanksHarder) {
+  const std::vector<sim::PvtCorner> set = {
+      {sim::ProcessCorner::kTT, 0.80, 27.0},
+      {sim::ProcessCorner::kTT, 0.90, 27.0},
+  };
+  const auto order = heuristicHardestFirst(set, 0.9);
+  EXPECT_EQ(order.front(), 0u);
+}
+
+TEST(Ledger, CountsAndKinds) {
+  EdaLedger ledger;
+  ledger.record(0, BlockKind::kSearch, false);
+  ledger.record(0, BlockKind::kSearch, true);
+  ledger.record(1, BlockKind::kVerify, true);
+  EXPECT_EQ(ledger.totalBlocks(), 3u);
+  EXPECT_EQ(ledger.searchBlocks(), 2u);
+  EXPECT_EQ(ledger.verifyBlocks(), 1u);
+}
+
+TEST(Ledger, TimelineRendering) {
+  EdaLedger ledger;
+  ledger.record(0, BlockKind::kSearch, false);
+  ledger.record(0, BlockKind::kSearch, true);
+  ledger.record(1, BlockKind::kVerify, false);
+  ledger.record(2, BlockKind::kVerify, true);
+  const std::string t = ledger.renderTimeline(3, 4);
+  EXPECT_NE(t.find("PVT1"), std::string::npos);
+  EXPECT_NE(t.find('x'), std::string::npos);
+  EXPECT_NE(t.find('v'), std::string::npos);
+  EXPECT_NE(t.find('V'), std::string::npos);
+  EXPECT_NE(t.find("legend"), std::string::npos);
+}
+
+TEST(Ledger, EmptyRendersGracefully) {
+  EdaLedger ledger;
+  EXPECT_EQ(ledger.renderTimeline(9), "(empty ledger)\n");
+}
+
+TEST(Ledger, LongRunsBucketed) {
+  EdaLedger ledger;
+  for (int i = 0; i < 1000; ++i) ledger.record(0, BlockKind::kSearch, false);
+  const std::string t = ledger.renderTimeline(1, 50);
+  // One row of exactly 50 columns between the bars.
+  const auto bar1 = t.find('|');
+  const auto bar2 = t.find('|', bar1 + 1);
+  EXPECT_EQ(bar2 - bar1 - 1, 50u);
+}
+
+}  // namespace
+}  // namespace trdse::pvt
