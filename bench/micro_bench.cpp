@@ -1,5 +1,7 @@
 // Micro-benchmarks (google-benchmark): throughput of the substrates every
-// experiment sits on — circuit evaluations, surrogate training, LU solves.
+// experiment sits on — circuit evaluations, surrogate training, LU solves,
+// and the batched-vs-per-sample surrogate scoring path that dominates the
+// trust-region planner's inner loop (Algorithm 1 line 10).
 #include <benchmark/benchmark.h>
 
 #include <random>
@@ -7,6 +9,8 @@
 #include "circuits/ico.hpp"
 #include "circuits/ldo.hpp"
 #include "circuits/two_stage_opamp.hpp"
+#include "common/thread_pool.hpp"
+#include "core/surrogate.hpp"
 #include "linalg/lu.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -59,6 +63,127 @@ void BM_SurrogateEpoch(benchmark::State& state) {
     benchmark::DoNotOptimize(nn::trainEpochMse(net, opt, xs, ys, 16, rng));
 }
 BENCHMARK(BM_SurrogateEpoch);
+
+// ---- Surrogate MC-candidate scoring: the planner's hot path ----
+//
+// Per TRM step the explorer scores mcSamples = 800 trust-region candidates on
+// the NN surrogate. The per-sample baseline calls predict() 800 times (one
+// matVec per layer each); the batched path runs the whole block through one
+// GEMM per layer. Same math, same results — the ratio of these two benches is
+// the planner-throughput speedup.
+
+constexpr std::size_t kPlanDim = 9;    // two-stage opamp sizing dim
+constexpr std::size_t kPlanMeas = 4;   // gain/ugbw/pm/power
+constexpr std::size_t kPlanBatch = 800;  // paper's mcSamples
+
+core::SpiceSurrogate makeTrainedSurrogate(std::mt19937_64& rng) {
+  const core::SurrogateConfig cfg = core::autoConfigure(kPlanDim, kPlanMeas);
+  core::SpiceSurrogate sur(kPlanDim, kPlanMeas, cfg, 7);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  for (int i = 0; i < 64; ++i) {
+    linalg::Vector x(kPlanDim);
+    for (auto& v : x) v = d(rng);
+    linalg::Vector y = {x[0] + x[1], x[2] - x[3], x[4] * x[5], x[6]};
+    sur.addSample(x, y);
+  }
+  sur.train(rng);  // fit both scalers so the full transform chain is timed
+  return sur;
+}
+
+linalg::Matrix makeCandidateBlock(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  linalg::Matrix block(kPlanBatch, kPlanDim);
+  for (std::size_t i = 0; i < block.size(); ++i) block.data()[i] = d(rng);
+  return block;
+}
+
+void BM_SurrogateScorePerSample(benchmark::State& state) {
+  std::mt19937_64 rng(11);
+  const core::SpiceSurrogate sur = makeTrainedSurrogate(rng);
+  const linalg::Matrix block = makeCandidateBlock(rng);
+  linalg::Vector x(kPlanDim);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t s = 0; s < kPlanBatch; ++s) {
+      x.assign(block.row(s), block.row(s) + kPlanDim);
+      acc += sur.predict(x)[0];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kPlanBatch);
+}
+BENCHMARK(BM_SurrogateScorePerSample);
+
+void BM_SurrogateScoreBatch(benchmark::State& state) {
+  std::mt19937_64 rng(11);
+  const core::SpiceSurrogate sur = makeTrainedSurrogate(rng);
+  const linalg::Matrix block = makeCandidateBlock(rng);
+  linalg::Matrix preds;
+  for (auto _ : state) {
+    sur.predictBatch(block, preds);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kPlanBatch);
+}
+BENCHMARK(BM_SurrogateScoreBatch);
+
+void BM_GemmBatch800(benchmark::State& state) {
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  linalg::Matrix a(kPlanBatch, 70);
+  linalg::Matrix w(70, 70);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = d(rng);
+  for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = d(rng);
+  linalg::Matrix c;
+  linalg::Matrix pack;
+  for (auto _ : state) {
+    linalg::matMulTransBInto(a, w, c, pack);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmBatch800);
+
+// ---- Thread-parallel corner sweep: the PVT sign-off hot path ----
+//
+// One sizing evaluated on all 9 PVT corners, serial vs fanned out across the
+// pool. On a multi-core host the pooled bench approaches serial/cores; on a
+// single core it measures pool overhead (should be small).
+
+void cornerSweep(common::ThreadPool* pool) {
+  static const circuits::TwoStageOpamp amp(sim::bsim45Card());
+  static const auto space = circuits::TwoStageOpamp::designSpace(sim::bsim45Card());
+  static const auto corners = [] {
+    std::vector<sim::PvtCorner> cs;
+    for (auto pc : {sim::ProcessCorner::kTT, sim::ProcessCorner::kSS,
+                    sim::ProcessCorner::kFF}) {
+      for (double vdd : {1.0, 1.1, 1.2}) cs.push_back({pc, vdd, 27.0});
+    }
+    return cs;
+  }();
+  std::mt19937_64 rng(1);
+  const auto x = space.randomPoint(rng);
+  std::vector<core::EvalResult> results(corners.size());
+  auto evalOne = [&](std::size_t i) { results[i] = amp.evaluate(x, corners[i]); };
+  if (pool != nullptr) {
+    pool->parallelFor(corners.size(), evalOne);
+  } else {
+    for (std::size_t i = 0; i < corners.size(); ++i) evalOne(i);
+  }
+  benchmark::DoNotOptimize(results.data());
+}
+
+void BM_PvtCornerSweepSerial(benchmark::State& state) {
+  for (auto _ : state) cornerSweep(nullptr);
+}
+BENCHMARK(BM_PvtCornerSweepSerial);
+
+void BM_PvtCornerSweepPooled(benchmark::State& state) {
+  common::ThreadPool pool(/*threads=*/0);  // hardware concurrency
+  for (auto _ : state) cornerSweep(&pool);
+}
+BENCHMARK(BM_PvtCornerSweepPooled);
 
 void BM_LuSolve16(benchmark::State& state) {
   std::mt19937_64 rng(4);

@@ -13,6 +13,7 @@
 #include <random>
 
 #include "circuits/two_stage_opamp.hpp"
+#include "common/thread_pool.hpp"
 #include "core/local_explorer.hpp"
 #include "sim/dc.hpp"
 #include "sim/mismatch.hpp"
@@ -64,18 +65,23 @@ bool nullOffsetAndMeasure(circuits::TwoStageOpamp::Testbench& tb,
   return false;
 }
 
-double mcYield(const circuits::TwoStageOpamp& amp,
+/// MC samples are independent, so they fan out across the pool. Each sample
+/// derives its own RNG stream from (seed, index) — the yield estimate is the
+/// same for any thread count, including 1.
+double mcYield(common::ThreadPool& pool, const circuits::TwoStageOpamp& amp,
                const core::ValueFunction& specCheck, const linalg::Vector& sizes,
                const sim::PvtCorner& corner, int runs, std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  int pass = 0;
-  for (int i = 0; i < runs; ++i) {
+  std::vector<char> passed(static_cast<std::size_t>(runs), 0);
+  pool.parallelFor(static_cast<std::size_t>(runs), [&](std::size_t i) {
+    std::mt19937_64 rng(common::perTaskSeed(seed, i));
     auto tb = amp.buildTestbench(sizes, corner);
     sim::applyMismatch(tb.netlist, {}, rng);
     core::EvalResult r;
     if (nullOffsetAndMeasure(tb, r) && specCheck.satisfied(r.measurements))
-      ++pass;
-  }
+      passed[i] = 1;
+  });
+  int pass = 0;
+  for (char p : passed) pass += p;
   return 100.0 * pass / runs;
 }
 
@@ -135,11 +141,13 @@ int main(int argc, char** argv) {
   }
   std::printf("hardened design found in %zu sims\n", margin.iterations);
 
-  // 3) MC yield of both, judged against the *original* specs.
+  // 3) MC yield of both, judged against the *original* specs. Samples run
+  // thread-parallel with per-sample RNG streams (thread-count invariant).
+  common::ThreadPool pool(/*threads=*/0);  // hardware concurrency
   const double yBoundary =
-      mcYield(amp, specCheck, boundary.sizes, tt, mcRuns, seed + 1000);
+      mcYield(pool, amp, specCheck, boundary.sizes, tt, mcRuns, seed + 1000);
   const double yMargin =
-      mcYield(amp, specCheck, margin.sizes, tt, mcRuns, seed + 2000);
+      mcYield(pool, amp, specCheck, margin.sizes, tt, mcRuns, seed + 2000);
   std::printf("\nMonte Carlo mismatch yield (%d runs, Pelgrom Avt=3.5mV*um):\n",
               mcRuns);
   std::printf("  boundary design: %5.1f %%\n", yBoundary);

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Build the Release tree, run the micro-benchmarks, and emit BENCH_micro.json
+# (benchmark name -> ns/op) so successive PRs have a perf trajectory to
+# compare against.
+#
+# Usage: scripts/bench.sh [build-dir] [output-json]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_micro.json}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target micro_bench -j >/dev/null
+
+RAW_JSON="$BUILD_DIR/bench_micro_raw.json"
+"$BUILD_DIR/micro_bench" --benchmark_format=json \
+  --benchmark_out="$RAW_JSON" --benchmark_out_format=json >/dev/null
+
+python3 - "$RAW_JSON" "$OUT_JSON" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+result = {}
+for bench in raw.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    ns = bench["real_time"]
+    unit = bench.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    result[bench["name"]] = round(ns * scale, 1)
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(result)} benchmarks)")
+EOF

@@ -1,0 +1,104 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace trdse::common {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads <= 1) return;  // inline mode
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping and drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t participants = 0;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  shared->participants = helpers + 1;  // workers plus the calling thread
+
+  auto body = [shared, &fn, count] {
+    for (std::size_t i; (i = shared->next.fetch_add(1)) < count;) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+    }
+    if (shared->done.fetch_add(1) + 1 == shared->participants) {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      shared->cv.notify_all();
+    }
+  };
+
+  for (std::size_t h = 0; h < helpers; ++h) enqueue(body);
+  body();  // the caller works too
+
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  shared->cv.wait(lock, [&] {
+    return shared->done.load() == shared->participants;
+  });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+std::uint64_t perTaskSeed(std::uint64_t base, std::uint64_t index) {
+  // SplitMix64 finalizer over base + golden-ratio stride.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace trdse::common

@@ -1,0 +1,62 @@
+// Fixed-size worker pool for coarse-grained task parallelism: PVT corner
+// evaluations, Monte Carlo mismatch/yield sampling, and any other
+// embarrassingly-parallel sweep over independent SPICE evaluations.
+//
+// Design notes for determinism:
+//  - A pool of size <= 1 executes every task inline on the calling thread,
+//    so serial configurations stay bitwise identical to the pre-pool code.
+//  - parallelFor() indexes tasks, so callers write results into per-index
+//    slots and merge them in index order afterwards; outcomes then do not
+//    depend on thread count or scheduling.
+//  - Randomized workloads should derive one RNG stream per task index
+//    (see perTaskSeed) instead of sharing a generator across tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trdse::common {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses std::thread::hardware_concurrency(); `threads == 1`
+  /// creates no workers (inline execution).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 means inline execution).
+  std::size_t workerCount() const { return workers_.size(); }
+
+  /// Run fn(i) for every i in [0, count) and block until all complete. The
+  /// calling thread participates, so the pool is never idle-waiting. The
+  /// first exception thrown by any task is rethrown here after completion.
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+  void enqueue(std::function<void()> job);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// A well-mixed 64-bit seed for task `index` of a run seeded with `base` —
+/// SplitMix64 finalizer, so adjacent indices land far apart in seed space.
+/// Gives every Monte Carlo task its own RNG stream: results are then
+/// independent of how tasks are scheduled across threads.
+std::uint64_t perTaskSeed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace trdse::common

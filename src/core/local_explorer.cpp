@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace trdse::core {
 
@@ -22,6 +23,65 @@ void LocalExplorer::trainLocal(const linalg::Vector& centerUnit, double radius) 
   if (sel.inputs.empty()) return;
   surrogate_.setData(std::move(sel.inputs), std::move(sel.targets));
   surrogate_.train(rng_);
+}
+
+void LocalExplorer::planCandidates(const linalg::Vector& centerUnit,
+                                   double radius, linalg::Vector& bestUnit,
+                                   double& bestModelValue) {
+  bestUnit.clear();
+  bestModelValue = -std::numeric_limits<double>::infinity();
+  std::uniform_real_distribution<double> unif(-1.0, 1.0);
+  const std::size_t dim = space_.dim();
+
+  if (!config_.batchedPlanning) {
+    // Per-sample reference path (kept for equivalence tests / benchmarks).
+    for (std::size_t s = 0; s < config_.mcSamples; ++s) {
+      linalg::Vector u(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        u[d] = std::clamp(centerUnit[d] + radius * unif(rng_), 0.0, 1.0);
+      }
+      // Score on the *snapped* candidate so the planned point is the
+      // simulated point.
+      const linalg::Vector snapped = space_.fromUnitSnapped(u);
+      const linalg::Vector su = space_.toUnit(snapped);
+      const linalg::Vector pred = surrogate_.predict(su);
+      const double v = value_.plannerScore(pred);
+      if (v > bestModelValue) {
+        bestModelValue = v;
+        bestUnit = su;
+      }
+    }
+    return;
+  }
+
+  // Batched path: generate the candidate block with the identical RNG draw
+  // order, score every row in one batched surrogate pass, then rank with the
+  // same strict-> selection — candidate choice matches the loop above.
+  candBuf_.resize(config_.mcSamples, dim);
+  linalg::Vector u(dim);
+  for (std::size_t s = 0; s < config_.mcSamples; ++s) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      u[d] = std::clamp(centerUnit[d] + radius * unif(rng_), 0.0, 1.0);
+    }
+    const linalg::Vector snapped = space_.fromUnitSnapped(u);
+    const linalg::Vector su = space_.toUnit(snapped);
+    std::copy(su.begin(), su.end(), candBuf_.row(s));
+  }
+  surrogate_.predictBatch(candBuf_, predBuf_);
+  std::size_t bestIdx = config_.mcSamples;
+  for (std::size_t s = 0; s < config_.mcSamples; ++s) {
+    const double* pr = predBuf_.row(s);
+    rowScratch_.assign(pr, pr + predBuf_.cols());
+    const double v = value_.plannerScore(rowScratch_);
+    if (v > bestModelValue) {
+      bestModelValue = v;
+      bestIdx = s;
+    }
+  }
+  if (bestIdx < config_.mcSamples) {
+    const double* cr = candBuf_.row(bestIdx);
+    bestUnit.assign(cr, cr + dim);
+  }
 }
 
 LocalExplorer::Evaluated LocalExplorer::simulate(const linalg::Vector& sizes,
@@ -107,24 +167,8 @@ SearchOutcome LocalExplorer::run(std::size_t maxIterations) {
       const double radius = tr.radius();
       out.trace.radiusHistory.push_back(radius);
       linalg::Vector bestUnit;
-      double bestModelValue = -std::numeric_limits<double>::infinity();
-      std::uniform_real_distribution<double> unif(-1.0, 1.0);
-      for (std::size_t s = 0; s < config_.mcSamples; ++s) {
-        linalg::Vector u(space_.dim());
-        for (std::size_t d = 0; d < space_.dim(); ++d) {
-          u[d] = std::clamp(center.unit[d] + radius * unif(rng_), 0.0, 1.0);
-        }
-        // Score on the *snapped* candidate so the planned point is the
-        // simulated point.
-        const linalg::Vector snapped = space_.fromUnitSnapped(u);
-        const linalg::Vector su = space_.toUnit(snapped);
-        const linalg::Vector pred = surrogate_.predict(su);
-        const double v = value_.plannerScore(pred);
-        if (v > bestModelValue) {
-          bestModelValue = v;
-          bestUnit = su;
-        }
-      }
+      double bestModelValue;
+      planCandidates(center.unit, radius, bestUnit, bestModelValue);
       if (bestUnit.empty()) break;
 
       // line 11-12: SPICE the trial, run the TRM ratio test.

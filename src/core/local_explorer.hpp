@@ -36,6 +36,11 @@ struct LocalExplorerConfig {
   /// re-enter training whenever the region slides over them.
   double localityFactor = 3.0;
   std::size_t minLocalSamples = 12;  ///< fall back to nearest-K when sparse
+  /// Score all mcSamples trust-region candidates in one batched surrogate
+  /// pass (one GEMM per layer) instead of per-sample predict calls. Candidate
+  /// generation and selection are bitwise-equivalent to the per-sample loop;
+  /// the flag exists for the equivalence tests and A/B benchmarks.
+  bool batchedPlanning = true;
   TrustRegionConfig trustRegion;
   SurrogateConfig surrogate;
   std::uint64_t seed = 1;
@@ -94,6 +99,13 @@ class LocalExplorer {
   /// Load the samples near `centerUnit` into the surrogate and train.
   void trainLocal(const linalg::Vector& centerUnit, double radius);
 
+  /// Algorithm 1 line 10: sample mcSamples candidates in the trust region,
+  /// score them on the surrogate (batched or per-sample per config), return
+  /// the best unit-space point and its model score. `bestUnit` stays empty
+  /// when nothing scored.
+  void planCandidates(const linalg::Vector& centerUnit, double radius,
+                      linalg::Vector& bestUnit, double& bestModelValue);
+
   DesignSpace space_;
   ValueFunction value_;
   EvalFn evaluate_;
@@ -101,6 +113,11 @@ class LocalExplorer {
   SpiceSurrogate surrogate_;
   std::mt19937_64 rng_;
   LocalDataset data_;  ///< all successful samples (unit space + measurements)
+
+  // Planning scratch, reused across TRM steps (capacity persists).
+  linalg::Matrix candBuf_;   ///< mcSamples × dim candidate block
+  linalg::Matrix predBuf_;   ///< mcSamples × measDim batched predictions
+  linalg::Vector rowScratch_;
 };
 
 }  // namespace trdse::core

@@ -25,15 +25,24 @@ PvtSearch::PvtSearch(SizingProblem problem, PvtSearchConfig config)
       config_(std::move(config)),
       // note: value_ must be built from the member, not the moved-from param
       value_(problem_.measurementNames, problem_.specs),
-      rng_(config_.seed) {}
+      rng_(config_.seed),
+      pool_(config_.evalThreads) {}
 
-EvalResult PvtSearch::evalCorner(std::size_t cornerIdx,
-                                 const linalg::Vector& sizes,
-                                 pvt::BlockKind kind, PvtSearchOutcome& out) {
-  const EvalResult r = problem_.evaluate(sizes, problem_.corners[cornerIdx]);
-  ++out.totalSims;
-  out.ledger.record(cornerIdx, kind, r.ok && value_.satisfied(r.measurements));
-  return r;
+std::vector<EvalResult> PvtSearch::evalCorners(
+    const std::vector<std::size_t>& corners, const linalg::Vector& sizes,
+    pvt::BlockKind kind, PvtSearchOutcome& out) {
+  std::vector<EvalResult> results(corners.size());
+  pool_.parallelFor(corners.size(), [&](std::size_t i) {
+    results[i] = problem_.evaluate(sizes, problem_.corners[corners[i]]);
+  });
+  // Ledger/accounting happen after the join, in list order: identical for
+  // any thread count.
+  for (std::size_t i = 0; i < corners.size(); ++i) {
+    ++out.totalSims;
+    out.ledger.record(corners[i], kind,
+                      results[i].ok && value_.satisfied(results[i].measurements));
+  }
+  return results;
 }
 
 double PvtSearch::poolValue(const std::vector<EvalResult>& evals) const {
@@ -101,18 +110,22 @@ PvtSearchOutcome PvtSearch::run(std::size_t maxSims) {
 
   // Evaluate a point on every active corner (optionally bailing early once a
   // corner fails hard is *not* done: every active corner's model needs data).
+  // The corner simulations fan out across the pool; trajectory bookkeeping
+  // runs after the join, in pool order.
+  std::vector<std::size_t> cornerIdxScratch;
   auto evaluatePoint = [&](const linalg::Vector& rawSizes) {
     Point p;
     p.sizes = problem_.space.snap(rawSizes);
     p.unit = problem_.space.toUnit(p.sizes);
-    p.evals.reserve(active_.size());
-    for (auto& cs : active_) {
-      const EvalResult r = evalCorner(cs.index, p.sizes, pvt::BlockKind::kSearch, out);
+    cornerIdxScratch.clear();
+    for (const auto& cs : active_) cornerIdxScratch.push_back(cs.index);
+    p.evals = evalCorners(cornerIdxScratch, p.sizes, pvt::BlockKind::kSearch, out);
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const EvalResult& r = p.evals[i];
       if (r.ok) {
         if (!measDim.has_value()) ensureSurrogates(r.measurements.size());
-        cs.data.add(p.unit, r.measurements);
+        active_[i].data.add(p.unit, r.measurements);
       }
-      p.evals.push_back(r);
     }
     p.value = poolValue(p.evals);
     return p;
@@ -132,12 +145,17 @@ PvtSearchOutcome PvtSearch::run(std::size_t maxSims) {
     std::vector<EvalResult> finals(nCorners);
     for (std::size_t i = 0; i < active_.size(); ++i)
       finals[active_[i].index] = p.evals[i];
-    for (std::size_t c = 0; c < nCorners; ++c) {
-      if (isActive[c]) continue;
-      const EvalResult r = evalCorner(c, p.sizes, pvt::BlockKind::kVerify, out);
-      finals[c] = r;
+    cornerIdxScratch.clear();
+    for (std::size_t c = 0; c < nCorners; ++c)
+      if (!isActive[c]) cornerIdxScratch.push_back(c);
+    std::vector<EvalResult> verdicts =
+        evalCorners(cornerIdxScratch, p.sizes, pvt::BlockKind::kVerify, out);
+    for (std::size_t i = 0; i < cornerIdxScratch.size(); ++i) {
+      const std::size_t c = cornerIdxScratch[i];
+      EvalResult& r = verdicts[i];
       const double v = value_.valueOf(r);
       const bool pass = r.ok && value_.satisfied(r.measurements);
+      finals[c] = std::move(r);
       if (!pass && v < worstValue) {
         worstValue = v;
         worstIdx = c;
@@ -195,25 +213,64 @@ PvtSearchOutcome PvtSearch::run(std::size_t maxSims) {
       cs.surrogate->train(rng_);
     }
 
-    // Plan: maximize the minimum predicted value across the pool.
+    // Plan: maximize the minimum predicted value across the pool. The
+    // candidate block is generated once (same RNG draw order as the
+    // per-sample loop) and every active corner's surrogate scores it in one
+    // batched pass; per-candidate scores then reduce by min across corners.
     const double radius = tr.radius();
+    const std::size_t mcSamples = config_.explorer.mcSamples;
     std::uniform_real_distribution<double> unif(-1.0, 1.0);
     linalg::Vector bestUnit;
     double bestModelValue = -std::numeric_limits<double>::infinity();
-    for (std::size_t s = 0; s < config_.explorer.mcSamples; ++s) {
+    if (config_.explorer.batchedPlanning) {
+      candBuf_.resize(mcSamples, dim);
       linalg::Vector u(dim);
-      for (std::size_t d = 0; d < dim; ++d)
-        u[d] = std::clamp(center.unit[d] + radius * unif(rng_), 0.0, 1.0);
-      const linalg::Vector snapped = problem_.space.fromUnitSnapped(u);
-      const linalg::Vector su = problem_.space.toUnit(snapped);
-      double v = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < mcSamples; ++s) {
+        for (std::size_t d = 0; d < dim; ++d)
+          u[d] = std::clamp(center.unit[d] + radius * unif(rng_), 0.0, 1.0);
+        const linalg::Vector snapped = problem_.space.fromUnitSnapped(u);
+        const linalg::Vector su = problem_.space.toUnit(snapped);
+        std::copy(su.begin(), su.end(), candBuf_.row(s));
+      }
+      poolScores_.assign(mcSamples, std::numeric_limits<double>::infinity());
       for (auto& cs : active_) {
         if (!cs.surrogate) continue;
-        v = std::min(v, value_.plannerScore(cs.surrogate->predict(su)));
+        cs.surrogate->predictBatch(candBuf_, predBuf_);
+        for (std::size_t s = 0; s < mcSamples; ++s) {
+          const double* pr = predBuf_.row(s);
+          rowScratch_.assign(pr, pr + predBuf_.cols());
+          poolScores_[s] =
+              std::min(poolScores_[s], value_.plannerScore(rowScratch_));
+        }
       }
-      if (v < std::numeric_limits<double>::infinity() && v > bestModelValue) {
-        bestModelValue = v;
-        bestUnit = su;
+      std::size_t bestIdx = mcSamples;
+      for (std::size_t s = 0; s < mcSamples; ++s) {
+        const double v = poolScores_[s];
+        if (v < std::numeric_limits<double>::infinity() && v > bestModelValue) {
+          bestModelValue = v;
+          bestIdx = s;
+        }
+      }
+      if (bestIdx < mcSamples) {
+        const double* cr = candBuf_.row(bestIdx);
+        bestUnit.assign(cr, cr + dim);
+      }
+    } else {
+      for (std::size_t s = 0; s < mcSamples; ++s) {
+        linalg::Vector u(dim);
+        for (std::size_t d = 0; d < dim; ++d)
+          u[d] = std::clamp(center.unit[d] + radius * unif(rng_), 0.0, 1.0);
+        const linalg::Vector snapped = problem_.space.fromUnitSnapped(u);
+        const linalg::Vector su = problem_.space.toUnit(snapped);
+        double v = std::numeric_limits<double>::infinity();
+        for (auto& cs : active_) {
+          if (!cs.surrogate) continue;
+          v = std::min(v, value_.plannerScore(cs.surrogate->predict(su)));
+        }
+        if (v < std::numeric_limits<double>::infinity() && v > bestModelValue) {
+          bestModelValue = v;
+          bestUnit = su;
+        }
       }
     }
     if (bestUnit.empty()) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <random>
 
+#include "common/thread_pool.hpp"
 #include "core/local_explorer.hpp"
 #include "core/problem.hpp"
 #include "core/surrogate.hpp"
@@ -34,6 +35,14 @@ struct PvtSearchConfig {
   PvtStrategy strategy = PvtStrategy::kProgressiveHardest;
   LocalExplorerConfig explorer;  ///< per-corner surrogate/TRM settings
   std::uint64_t seed = 1;
+  /// Worker threads for corner evaluation: the same sizing is simulated on
+  /// every active (and, during sign-off, every inactive) corner, and those
+  /// simulations are independent, so they fan out across a thread pool.
+  /// Results are merged in corner order, so the outcome is identical for any
+  /// thread count — but the evaluation callback must be thread-safe (every
+  /// circuits:: evaluator is; it builds its own testbench per call).
+  /// 1 = serial (inline, the default), 0 = hardware concurrency.
+  std::size_t evalThreads = 1;
 };
 
 struct PvtSearchOutcome {
@@ -59,9 +68,13 @@ class PvtSearch {
     LocalDataset data;  ///< this corner's trajectory (unit space)
   };
 
-  /// Evaluate on one corner, record ledger + surrogate sample.
-  EvalResult evalCorner(std::size_t cornerIdx, const linalg::Vector& sizes,
-                        pvt::BlockKind kind, PvtSearchOutcome& out);
+  /// Evaluate `sizes` on several corners concurrently (the pool), then
+  /// record ledger entries sequentially in list order so accounting and any
+  /// downstream RNG use stay deterministic for every thread count.
+  std::vector<EvalResult> evalCorners(const std::vector<std::size_t>& corners,
+                                      const linalg::Vector& sizes,
+                                      pvt::BlockKind kind,
+                                      PvtSearchOutcome& out);
 
   /// min over active corners of Value(eval) for an already-evaluated point.
   double poolValue(const std::vector<EvalResult>& evals) const;
@@ -71,6 +84,13 @@ class PvtSearch {
   ValueFunction value_;
   std::vector<CornerState> active_;
   std::mt19937_64 rng_;
+  common::ThreadPool pool_;
+
+  // Planning/evaluation scratch, reused across TRM steps.
+  linalg::Matrix candBuf_;
+  linalg::Matrix predBuf_;
+  linalg::Vector rowScratch_;
+  std::vector<double> poolScores_;
 };
 
 }  // namespace trdse::core

@@ -70,6 +70,22 @@ linalg::Vector SpiceSurrogate::predict(const linalg::Vector& unitX) const {
   return outScaler_.inverse(z);
 }
 
+void SpiceSurrogate::predictBatch(const linalg::Matrix& unitX,
+                                  linalg::Matrix& out) const {
+  assert(unitX.cols() == net_.inputDim());
+  const linalg::Matrix* x = &unitX;
+  if (inScaler_.fitted()) {
+    inScaler_.transform(unitX, batchScaled_);
+    x = &batchScaled_;
+  }
+  if (!outScaler_.fitted()) {
+    net_.predictBatch(*x, out, batchWs_);
+    return;
+  }
+  net_.predictBatch(*x, batchZ_, batchWs_);
+  outScaler_.inverse(batchZ_, out);
+}
+
 void SpiceSurrogate::reinitialize(std::uint64_t seed) {
   net_.reinitialize(seed);
   opt_.reset();

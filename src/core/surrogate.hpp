@@ -53,6 +53,12 @@ class SpiceSurrogate {
   /// Predict raw (de-standardized) measurements at a unit-space point.
   linalg::Vector predict(const linalg::Vector& unitX) const;
 
+  /// Batched predict: row r of `unitX` is one unit-space point, row r of
+  /// `out` its raw measurements — bitwise identical to predict() row by row,
+  /// but one GEMM per layer for the whole block. Uses internal scratch
+  /// buffers (reused across calls), so it is not thread-safe per instance.
+  void predictBatch(const linalg::Matrix& unitX, linalg::Matrix& out) const;
+
   /// Reinitialize weights (restart / porting-baseline behaviour).
   void reinitialize(std::uint64_t seed);
   /// Drop the collected trajectory.
@@ -72,6 +78,11 @@ class SpiceSurrogate {
   nn::Standardizer outScaler_;
   std::vector<linalg::Vector> inputs_;
   std::vector<linalg::Vector> targetsRaw_;
+
+  // Scratch for predictBatch (mutable: logically const inference).
+  mutable nn::Mlp::BatchWorkspace batchWs_;
+  mutable linalg::Matrix batchScaled_;
+  mutable linalg::Matrix batchZ_;
 };
 
 }  // namespace trdse::core

@@ -12,12 +12,28 @@ enum class Activation : std::uint8_t { kIdentity = 0, kRelu = 1, kTanh = 2 };
 
 std::string_view toString(Activation a);
 
+/// x[i] = act(x[i]) over a raw span — the batched kernels hand whole
+/// activation matrices (contiguous row-major storage) to this.
+void applyActivation(Activation a, double* x, std::size_t n);
+
 /// y[i] = act(x[i])
 void applyActivation(Activation a, linalg::Vector& x);
+
+/// Whole-matrix activation (batch × dim, applied element-wise).
+void applyActivation(Activation a, linalg::Matrix& x);
+
+/// grad[i] *= act'(pre[i]) over raw spans; `post` is the activation output
+/// (tanh derivative is cheapest from `post`).
+void applyActivationGrad(Activation a, const double* pre, const double* post,
+                         double* grad, std::size_t n);
 
 /// grad[i] *= act'(pre[i]) where `pre` is the pre-activation input and `post`
 /// the activation output (tanh derivative is cheapest from `post`).
 void applyActivationGrad(Activation a, const linalg::Vector& pre,
                          const linalg::Vector& post, linalg::Vector& grad);
+
+/// Whole-matrix activation gradient (batch × dim, element-wise).
+void applyActivationGrad(Activation a, const linalg::Matrix& pre,
+                         const linalg::Matrix& post, linalg::Matrix& grad);
 
 }  // namespace trdse::nn

@@ -61,6 +61,36 @@ linalg::Vector DenseLayer::backward(const linalg::Vector& gradOut) {
   return matTVec(weights_, g);
 }
 
+const linalg::Matrix& DenseLayer::forwardBatch(const linalg::Matrix& x) {
+  assert(x.cols() == inDim());
+  lastInputB_ = x;
+  matMulTransBBiasInto(x, weights_, bias_, lastPreB_, packB_);
+  lastOutB_ = lastPreB_;
+  applyActivation(act_, lastOutB_);
+  return lastOutB_;
+}
+
+void DenseLayer::predictBatch(const linalg::Matrix& x, linalg::Matrix& out,
+                              linalg::Matrix& packBuf) const {
+  assert(x.cols() == inDim());
+  matMulTransBBiasInto(x, weights_, bias_, out, packBuf);
+  applyActivation(act_, out);
+}
+
+const linalg::Matrix& DenseLayer::backwardBatch(const linalg::Matrix& gradOut) {
+  assert(gradOut.cols() == outDim());
+  assert(gradOut.rows() == lastInputB_.rows() && "forwardBatch must precede");
+  gradOutB_ = gradOut;
+  applyActivationGrad(act_, lastPreB_, lastOutB_, gradOutB_);
+  // dW += G^T X and db += column sums of G, both accumulated sample-ascending
+  // so gradients match the per-sample backward() exactly.
+  gemmAtBAccum(gradOutB_, lastInputB_, gradW_);
+  addColSums(gradOutB_, gradB_);
+  // dL/dX = G * W.
+  matMulInto(gradOutB_, weights_, gradInB_);
+  return gradInB_;
+}
+
 void DenseLayer::zeroGrad() {
   gradW_.fill(0.0);
   std::fill(gradB_.begin(), gradB_.end(), 0.0);

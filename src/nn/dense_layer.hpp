@@ -29,6 +29,27 @@ class DenseLayer {
   /// Given dL/dy, accumulate dL/dW and dL/db, return dL/dx.
   linalg::Vector backward(const linalg::Vector& gradOut);
 
+  // ---- Batched path (batch × dim row-major matrices) ----
+  //
+  // One GEMM per layer instead of one matVec per sample; the cache matrices
+  // persist across calls, so the steady-state training/planning loop does not
+  // allocate. Results are bitwise identical to the per-sample methods.
+
+  /// Batched forward; caches the batch for backwardBatch(). Returns the
+  /// activation matrix (valid until the next batched call on this layer).
+  const linalg::Matrix& forwardBatch(const linalg::Matrix& x);
+
+  /// Batched stateless inference: out = act(x · W^T + b). `packBuf` receives
+  /// the packed transpose of the weights; pass a caller-owned scratch matrix
+  /// to keep repeated calls allocation-free.
+  void predictBatch(const linalg::Matrix& x, linalg::Matrix& out,
+                    linalg::Matrix& packBuf) const;
+
+  /// Batched backward for the most recent forwardBatch(): accumulates dL/dW
+  /// and dL/db over the batch (row order, matching per-sample accumulation)
+  /// and returns dL/dX (valid until the next batched call on this layer).
+  const linalg::Matrix& backwardBatch(const linalg::Matrix& gradOut);
+
   void zeroGrad();
 
   std::size_t inDim() const { return weights_.cols(); }
@@ -56,6 +77,14 @@ class DenseLayer {
   linalg::Vector lastInput_;
   linalg::Vector lastPre_;
   linalg::Vector lastOut_;
+
+  // Caches/workspaces for the batched path; capacity persists across calls.
+  linalg::Matrix lastInputB_;
+  linalg::Matrix lastPreB_;
+  linalg::Matrix lastOutB_;
+  linalg::Matrix packB_;    // W^T, repacked per batched call
+  linalg::Matrix gradOutB_; // activation-grad workspace
+  linalg::Matrix gradInB_;  // returned dL/dX
 };
 
 }  // namespace trdse::nn

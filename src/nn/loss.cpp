@@ -25,6 +25,31 @@ linalg::Vector mseGrad(const linalg::Vector& pred, const linalg::Vector& target)
   return g;
 }
 
+double mseLossGradBatch(const linalg::Matrix& pred, const linalg::Matrix& target,
+                        double gradScale, linalg::Matrix& grad) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  grad.resize(pred.rows(), pred.cols());
+  const std::size_t n = pred.cols();
+  const double scale = 2.0 / static_cast<double>(n);
+  double lossSum = 0.0;
+  for (std::size_t r = 0; r < pred.rows(); ++r) {
+    const double* pr = pred.row(r);
+    const double* tr = target.row(r);
+    double* gr = grad.row(r);
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = pr[j] - tr[j];
+      s += d * d;
+      // Two sequential multiplies, matching mseGrad followed by the batch
+      // rescale in the per-sample trainer bit for bit.
+      gr[j] = scale * d;
+      gr[j] *= gradScale;
+    }
+    lossSum += s / static_cast<double>(n);
+  }
+  return lossSum;
+}
+
 TrainStats trainEpochMse(Mlp& net, Optimizer& opt,
                          const std::vector<linalg::Vector>& inputs,
                          const std::vector<linalg::Vector>& targets,
@@ -38,23 +63,35 @@ TrainStats trainEpochMse(Mlp& net, Optimizer& opt,
   std::iota(order.begin(), order.end(), 0);
   std::shuffle(order.begin(), order.end(), rng);
 
+  // Gather each shuffled mini-batch into matrices and run true batched
+  // forward/backward GEMM passes. Buffer capacity persists across batches.
+  const std::size_t inDim = net.inputDim();
+  const std::size_t outDim = net.outputDim();
+  linalg::Matrix bx;
+  linalg::Matrix by;
+  linalg::Matrix grad;
+
   double lossSum = 0.0;
   std::size_t seen = 0;
   for (std::size_t start = 0; start < order.size(); start += batchSize) {
     const std::size_t end = std::min(order.size(), start + batchSize);
-    const double invB = 1.0 / static_cast<double>(end - start);
-    net.zeroGrad();
+    const std::size_t b = end - start;
+    const double invB = 1.0 / static_cast<double>(b);
+    bx.resize(b, inDim);
+    by.resize(b, outDim);
     for (std::size_t k = start; k < end; ++k) {
       const auto& x = inputs[order[k]];
       const auto& y = targets[order[k]];
-      const linalg::Vector pred = net.forward(x);
-      lossSum += mseLoss(pred, y);
-      linalg::Vector g = mseGrad(pred, y);
-      for (double& v : g) v *= invB;
-      net.backward(g);
-      ++seen;
+      assert(x.size() == inDim && y.size() == outDim);
+      std::copy(x.begin(), x.end(), bx.row(k - start));
+      std::copy(y.begin(), y.end(), by.row(k - start));
     }
+    net.zeroGrad();
+    const linalg::Matrix& pred = net.forwardBatch(bx);
+    lossSum += mseLossGradBatch(pred, by, invB, grad);
+    net.backwardBatch(grad);
     opt.step(net);
+    seen += b;
     ++stats.batches;
   }
   stats.meanLoss = lossSum / static_cast<double>(seen);

@@ -16,6 +16,13 @@ double mseLoss(const linalg::Vector& pred, const linalg::Vector& target);
 /// dMSE/dpred (factor 2/n included).
 linalg::Vector mseGrad(const linalg::Vector& pred, const linalg::Vector& target);
 
+/// Batched MSE over row-paired matrices: writes the per-sample gradient
+/// matrix (each row = mseGrad of that row, scaled by `gradScale`) into
+/// `grad` and returns the *sum* of per-row mseLoss values. Matches the
+/// per-sample helpers row for row.
+double mseLossGradBatch(const linalg::Matrix& pred, const linalg::Matrix& target,
+                        double gradScale, linalg::Matrix& grad);
+
 struct TrainStats {
   double meanLoss = 0.0;
   std::size_t batches = 0;

@@ -43,6 +43,40 @@ linalg::Vector Mlp::backward(const linalg::Vector& gradOut) {
   return g;
 }
 
+const linalg::Matrix& Mlp::forwardBatch(const linalg::Matrix& x) {
+  assert(!layers_.empty());
+  const linalg::Matrix* h = &x;
+  for (auto& layer : layers_) h = &layer.forwardBatch(*h);
+  return *h;
+}
+
+void Mlp::predictBatch(const linalg::Matrix& x, linalg::Matrix& out,
+                       BatchWorkspace& ws) const {
+  assert(!layers_.empty());
+  const linalg::Matrix* h = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    linalg::Matrix& dst =
+        (i + 1 == layers_.size()) ? out : (i % 2 == 0 ? ws.ping : ws.pong);
+    layers_[i].predictBatch(*h, dst, ws.pack);
+    h = &dst;
+  }
+}
+
+linalg::Matrix Mlp::predictBatch(const linalg::Matrix& x) const {
+  BatchWorkspace ws;
+  linalg::Matrix out;
+  predictBatch(x, out, ws);
+  return out;
+}
+
+const linalg::Matrix& Mlp::backwardBatch(const linalg::Matrix& gradOut) {
+  assert(!layers_.empty());
+  const linalg::Matrix* g = &gradOut;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = &it->backwardBatch(*g);
+  return *g;
+}
+
 void Mlp::zeroGrad() {
   for (auto& layer : layers_) layer.zeroGrad();
 }

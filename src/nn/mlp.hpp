@@ -39,6 +39,33 @@ class Mlp {
   /// accumulate until zeroGrad(). Returns dL/dx.
   linalg::Vector backward(const linalg::Vector& gradOut);
 
+  // ---- Batched path (batch × dim matrices; one GEMM per layer) ----
+
+  /// Scratch buffers for allocation-free batched inference. Owned by the
+  /// caller so const Mlps can be scored from many sites without contention.
+  struct BatchWorkspace {
+    linalg::Matrix ping;
+    linalg::Matrix pong;
+    linalg::Matrix pack;
+  };
+
+  /// Batched forward with caches; pair with backwardBatch(). The returned
+  /// reference is valid until the next batched call.
+  const linalg::Matrix& forwardBatch(const linalg::Matrix& x);
+
+  /// Batched stateless inference into `out` (bitwise identical to calling
+  /// predict() row by row). Steady-state calls do not allocate.
+  void predictBatch(const linalg::Matrix& x, linalg::Matrix& out,
+                    BatchWorkspace& ws) const;
+
+  /// Convenience overload with a throwaway workspace.
+  linalg::Matrix predictBatch(const linalg::Matrix& x) const;
+
+  /// Batched backprop from the most recent forwardBatch(); gradients
+  /// accumulate until zeroGrad(). Returns dL/dX (valid until the next
+  /// batched call).
+  const linalg::Matrix& backwardBatch(const linalg::Matrix& gradOut);
+
   void zeroGrad();
   void reinitialize(std::uint64_t seed);
 

@@ -29,6 +29,30 @@ linalg::Vector MinMaxScaler::inverse(const linalg::Vector& z) const {
   return x;
 }
 
+void MinMaxScaler::transform(const linalg::Matrix& x, linalg::Matrix& out) const {
+  assert(x.cols() == lo_.size());
+  out.resize(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.row(r);
+    double* zr = out.row(r);
+    for (std::size_t i = 0; i < x.cols(); ++i) {
+      const double span = hi_[i] - lo_[i];
+      zr[i] = span > 0.0 ? 2.0 * (xr[i] - lo_[i]) / span - 1.0 : 0.0;
+    }
+  }
+}
+
+void MinMaxScaler::inverse(const linalg::Matrix& z, linalg::Matrix& out) const {
+  assert(z.cols() == lo_.size());
+  out.resize(z.rows(), z.cols());
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    const double* zr = z.row(r);
+    double* xr = out.row(r);
+    for (std::size_t i = 0; i < z.cols(); ++i)
+      xr[i] = lo_[i] + (zr[i] + 1.0) * 0.5 * (hi_[i] - lo_[i]);
+  }
+}
+
 void Standardizer::fit(const std::vector<linalg::Vector>& samples) {
   assert(!samples.empty());
   const std::size_t d = samples.front().size();
@@ -62,6 +86,28 @@ linalg::Vector Standardizer::inverse(const linalg::Vector& z) const {
   linalg::Vector x(z.size());
   for (std::size_t i = 0; i < z.size(); ++i) x[i] = z[i] * std_[i] + mean_[i];
   return x;
+}
+
+void Standardizer::transform(const linalg::Matrix& x, linalg::Matrix& out) const {
+  assert(x.cols() == mean_.size());
+  out.resize(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.row(r);
+    double* zr = out.row(r);
+    for (std::size_t i = 0; i < x.cols(); ++i)
+      zr[i] = (xr[i] - mean_[i]) / std_[i];
+  }
+}
+
+void Standardizer::inverse(const linalg::Matrix& z, linalg::Matrix& out) const {
+  assert(z.cols() == mean_.size());
+  out.resize(z.rows(), z.cols());
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    const double* zr = z.row(r);
+    double* xr = out.row(r);
+    for (std::size_t i = 0; i < z.cols(); ++i)
+      xr[i] = zr[i] * std_[i] + mean_[i];
+  }
 }
 
 void Standardizer::set(linalg::Vector mean, linalg::Vector std) {

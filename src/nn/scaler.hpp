@@ -23,6 +23,11 @@ class MinMaxScaler {
   linalg::Vector transform(const linalg::Vector& x) const;
   linalg::Vector inverse(const linalg::Vector& z) const;
 
+  /// Row-wise batched variants (each row one sample); `out` is resized and
+  /// reuses capacity across calls.
+  void transform(const linalg::Matrix& x, linalg::Matrix& out) const;
+  void inverse(const linalg::Matrix& z, linalg::Matrix& out) const;
+
   const linalg::Vector& lo() const { return lo_; }
   const linalg::Vector& hi() const { return hi_; }
 
@@ -41,6 +46,12 @@ class Standardizer {
 
   linalg::Vector transform(const linalg::Vector& x) const;
   linalg::Vector inverse(const linalg::Vector& z) const;
+
+  /// Row-wise batched variants (each row one sample); `out` is resized and
+  /// reuses capacity across calls. Element-wise identical to the vector
+  /// overloads applied per row.
+  void transform(const linalg::Matrix& x, linalg::Matrix& out) const;
+  void inverse(const linalg::Matrix& z, linalg::Matrix& out) const;
 
   const linalg::Vector& mean() const { return mean_; }
   const linalg::Vector& std() const { return std_; }

@@ -2,6 +2,8 @@
 // ~1 V of forward bias so Newton cannot overflow the exponential.
 #pragma once
 
+#include <cmath>
+
 #include "sim/netlist.hpp"
 #include "sim/process.hpp"
 

@@ -112,7 +112,9 @@ TEST(RandomSearch, RespectsBudgetOnHardProblem) {
   RandomSearch rs(prob, 3);
   const auto out = rs.run(300);
   EXPECT_LE(out.iterations, 300u);
-  if (!out.solved) EXPECT_EQ(out.iterations, 300u);
+  if (!out.solved) {
+    EXPECT_EQ(out.iterations, 300u);
+  }
 }
 
 TEST(RandomSearch, MultiCornerCountsEachCheck) {
