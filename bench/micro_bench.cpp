@@ -14,6 +14,8 @@
 #include "linalg/lu.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "rl/ppo.hpp"
+#include "rl/trpo.hpp"
 
 using namespace trdse;
 
@@ -184,6 +186,116 @@ void BM_PvtCornerSweepPooled(benchmark::State& state) {
   for (auto _ : state) cornerSweep(&pool);
 }
 BENCHMARK(BM_PvtCornerSweepPooled);
+
+// ---- RL policy-update epochs: the training half of each search step ----
+//
+// A synthetic rollout shaped like the two-stage-opamp sizing environment
+// (9 heads, obsDim 9 + 2*4) runs through the full PPO epoch schedule and a
+// full TRPO natural-gradient update, per-sample vs batched. Parameters and
+// optimizer/RNG state are re-seeded every iteration so both variants of a
+// pair traverse the same update trajectory (the per-sample/batched parity
+// itself is asserted bitwise in tests/rl_batch_test.cpp); the ratio of each
+// pair is the pure update-math speedup of the batched engine.
+
+constexpr std::size_t kRlHeads = 9;
+constexpr std::size_t kRlObsDim = kRlHeads + 2 * 4;
+constexpr std::size_t kRlHidden = 64;
+
+rl::FlatRollout makeSyntheticRollout(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> act(
+      0, rl::SizingEnv::kActionsPerHead - 1);
+  rl::FlatRollout f;
+  f.observations.resize(n, kRlObsDim);
+  for (std::size_t i = 0; i < f.observations.size(); ++i)
+    f.observations.data()[i] = d(rng);
+  f.actions.resize(n);
+  for (auto& a : f.actions) {
+    a.resize(kRlHeads);
+    for (auto& v : a) v = act(rng);
+  }
+  f.logProbs.resize(n);
+  f.advantages.resize(n);
+  f.returns.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    f.logProbs[i] = -1.0986 * static_cast<double>(kRlHeads) + 0.1 * d(rng);
+    f.advantages[i] = d(rng);
+    f.returns[i] = 2.0 * d(rng);
+  }
+  rl::normalizeAdvantages(f.advantages);
+  return f;
+}
+
+void runPpoUpdateBench(benchmark::State& state, bool batched) {
+  rl::PpoConfig cfg;
+  cfg.hidden = kRlHidden;
+  const rl::FlatRollout data = makeSyntheticRollout(cfg.horizon, 41);
+  nn::Mlp policy = rl::makePolicyNet(kRlObsDim, kRlHeads,
+                                     rl::SizingEnv::kActionsPerHead,
+                                     cfg.hidden, 43);
+  nn::Mlp critic = rl::makeValueNet(kRlObsDim, cfg.hidden, 47);
+  const linalg::Vector theta0 = policy.getParameters();
+  const linalg::Vector phi0 = critic.getParameters();
+  for (auto _ : state) {
+    policy.setParameters(theta0);
+    critic.setParameters(phi0);
+    nn::AdamOptimizer policyOpt(cfg.learningRate);
+    nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
+    std::mt19937_64 rng(55);
+    if (batched) {
+      rl::ppoUpdateBatched(policy, critic, policyOpt, criticOpt, data, cfg,
+                           rng);
+    } else {
+      rl::ppoUpdatePerSample(policy, critic, policyOpt, criticOpt, data, cfg,
+                             rng);
+    }
+    benchmark::DoNotOptimize(policy.getParameters().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.epochs * data.size()));
+}
+
+void BM_PpoUpdatePerSample(benchmark::State& state) {
+  runPpoUpdateBench(state, false);
+}
+BENCHMARK(BM_PpoUpdatePerSample);
+
+void BM_PpoUpdateBatched(benchmark::State& state) {
+  runPpoUpdateBench(state, true);
+}
+BENCHMARK(BM_PpoUpdateBatched);
+
+void runTrpoUpdateBench(benchmark::State& state, bool batched) {
+  rl::TrpoConfig cfg;
+  cfg.hidden = kRlHidden;
+  const rl::FlatRollout data = makeSyntheticRollout(cfg.horizon, 61);
+  nn::Mlp policy = rl::makePolicyNet(kRlObsDim, kRlHeads,
+                                     rl::SizingEnv::kActionsPerHead,
+                                     cfg.hidden, 67);
+  nn::Mlp critic = rl::makeValueNet(kRlObsDim, cfg.hidden, 71);
+  const linalg::Vector theta0 = policy.getParameters();
+  const linalg::Vector phi0 = critic.getParameters();
+  for (auto _ : state) {
+    policy.setParameters(theta0);
+    critic.setParameters(phi0);
+    nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
+    benchmark::DoNotOptimize(
+        rl::trpoUpdate(policy, critic, criticOpt, data, cfg, batched));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+
+void BM_TrpoUpdatePerSample(benchmark::State& state) {
+  runTrpoUpdateBench(state, false);
+}
+BENCHMARK(BM_TrpoUpdatePerSample);
+
+void BM_TrpoUpdateBatched(benchmark::State& state) {
+  runTrpoUpdateBench(state, true);
+}
+BENCHMARK(BM_TrpoUpdateBatched);
 
 void BM_LuSolve16(benchmark::State& state) {
   std::mt19937_64 rng(4);

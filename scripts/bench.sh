@@ -38,4 +38,16 @@ with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out_path} ({len(result)} benchmarks)")
+
+# Batched-vs-per-sample pairs: the perf trajectory the batched engine is
+# graded on (see docs/BENCHMARKS.md).
+pairs = [
+    ("surrogate MC scoring", "BM_SurrogateScorePerSample", "BM_SurrogateScoreBatch"),
+    ("PPO update epochs", "BM_PpoUpdatePerSample", "BM_PpoUpdateBatched"),
+    ("TRPO update", "BM_TrpoUpdatePerSample", "BM_TrpoUpdateBatched"),
+    ("PVT corner sweep", "BM_PvtCornerSweepSerial", "BM_PvtCornerSweepPooled"),
+]
+for label, slow, fast in pairs:
+    if slow in result and fast in result and result[fast] > 0:
+        print(f"  {label}: {result[slow] / result[fast]:.2f}x batched/parallel speedup")
 EOF

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build the API reference with Doxygen (see Doxyfile: src/core, src/rl,
+# src/nn; warnings are promoted to errors so documentation drift fails CI).
+#
+# Usage: scripts/docs.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if ! command -v doxygen >/dev/null 2>&1; then
+  echo "docs.sh: doxygen not found — install doxygen (>= 1.9) to build the API reference" >&2
+  exit 1
+fi
+
+cd "$REPO_ROOT"
+doxygen Doxyfile
+echo "API reference written to $REPO_ROOT/build/docs/html/index.html"

@@ -12,24 +12,31 @@
 
 namespace trdse::core {
 
+/// Append-only trajectory of (unit-space sizing, measurement) pairs with
+/// locality-based selection.
 class LocalDataset {
  public:
+  /// Append one successful sample.
   void add(linalg::Vector unitX, linalg::Vector measurements) {
     unit_.push_back(std::move(unitX));
     meas_.push_back(std::move(measurements));
   }
 
+  /// Drop every stored sample.
   void clear() {
     unit_.clear();
     meas_.clear();
   }
 
+  /// Number of stored samples.
   std::size_t size() const { return unit_.size(); }
+  /// Whether no samples are stored.
   bool empty() const { return unit_.empty(); }
 
+  /// A paired subset of the trajectory, ready for surrogate training.
   struct Selection {
-    std::vector<linalg::Vector> inputs;
-    std::vector<linalg::Vector> targets;
+    std::vector<linalg::Vector> inputs;   ///< unit-space sizings
+    std::vector<linalg::Vector> targets;  ///< raw measurement vectors
   };
 
   /// Samples within `cut` (infinity norm) of `center`; when fewer than

@@ -22,6 +22,7 @@
 
 namespace trdse::core {
 
+/// Hyper-parameters of the single-condition trust-region search.
 struct LocalExplorerConfig {
   std::size_t initSamples = 12;   ///< N of Algorithm 1 line 2
   std::size_t mcSamples = 800;    ///< m of line 10
@@ -41,9 +42,9 @@ struct LocalExplorerConfig {
   /// generation and selection are bitwise-equivalent to the per-sample loop;
   /// the flag exists for the equivalence tests and A/B benchmarks.
   bool batchedPlanning = true;
-  TrustRegionConfig trustRegion;
-  SurrogateConfig surrogate;
-  std::uint64_t seed = 1;
+  TrustRegionConfig trustRegion;  ///< radius schedule (paper IV-C)
+  SurrogateConfig surrogate;      ///< f_NN architecture and training
+  std::uint64_t seed = 1;         ///< seed for sampling and network init
   /// When set, the first "random" sample of the first episode is this point —
   /// the process-porting "starting point sharing" strategy (Table II).
   std::optional<linalg::Vector> startingPoint;
@@ -55,23 +56,27 @@ struct LocalExplorerConfig {
 /// Single-condition evaluation callback (the Spice function of the CSP).
 using EvalFn = std::function<EvalResult(const linalg::Vector& sizes)>;
 
+/// Step-by-step telemetry of one search run (Fig. 3's raw material).
 struct SearchTrace {
   std::vector<double> bestValueHistory;  ///< best-so-far after each simulation
   std::vector<double> radiusHistory;     ///< trust-region radius per TRM step
-  std::size_t restarts = 0;
-  std::size_t acceptedSteps = 0;
-  std::size_t rejectedSteps = 0;
+  std::size_t restarts = 0;              ///< global restarts taken
+  std::size_t acceptedSteps = 0;         ///< TRM trials accepted
+  std::size_t rejectedSteps = 0;         ///< TRM trials rejected
 };
 
+/// Result of one single-condition search run.
 struct SearchOutcome {
-  bool solved = false;
-  std::size_t iterations = 0;  ///< SPICE simulations consumed
-  linalg::Vector sizes;        ///< best (or solving) assignment
-  EvalResult eval;             ///< its measurements
-  double bestValue = kFailedValue;
-  SearchTrace trace;
+  bool solved = false;              ///< the CSP was satisfied
+  std::size_t iterations = 0;       ///< SPICE simulations consumed
+  linalg::Vector sizes;             ///< best (or solving) assignment
+  EvalResult eval;                  ///< its measurements
+  double bestValue = kFailedValue;  ///< Value of the best assignment
+  SearchTrace trace;                ///< per-step telemetry
 };
 
+/// The paper's Algorithm 1: surrogate-guided trust-region search under one
+/// PVT condition.
 class LocalExplorer {
  public:
   /// The space is copied (it is small), so temporaries are safe to pass.

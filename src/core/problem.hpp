@@ -22,21 +22,25 @@ namespace trdse::core {
 /// One tunable size variable with a discrete grid over [lo, hi]; log-scale
 /// grids suit widths/currents/capacitances that span decades.
 struct ParamDef {
-  std::string name;
-  double lo = 0.0;
-  double hi = 1.0;
-  std::size_t steps = 64;
-  bool logScale = false;
+  std::string name;        ///< designer-facing variable name
+  double lo = 0.0;         ///< lower bound of the grid
+  double hi = 1.0;         ///< upper bound of the grid
+  std::size_t steps = 64;  ///< number of grid points across [lo, hi]
+  bool logScale = false;   ///< geometric (log-spaced) grid when true
 };
 
 /// The CSP domain D: a grid per variable (Eq. 2's D_i).
 class DesignSpace {
  public:
   DesignSpace() = default;
+  /// Build from per-variable grid definitions.
   explicit DesignSpace(std::vector<ParamDef> params);
 
+  /// Number of tunable variables.
   std::size_t dim() const { return params_.size(); }
+  /// All variable definitions, in declaration order.
   const std::vector<ParamDef>& params() const { return params_; }
+  /// Definition of variable `i`.
   const ParamDef& param(std::size_t i) const { return params_[i]; }
 
   /// Grid value of variable `dim` at index `idx` (0 .. steps-1).
@@ -63,27 +67,29 @@ class DesignSpace {
 
   /// Index vector of a (snapped) point.
   std::vector<std::size_t> indicesOf(const linalg::Vector& x) const;
+  /// Grid point at the given per-variable indices.
   linalg::Vector fromIndices(const std::vector<std::size_t>& idx) const;
 
  private:
   std::vector<ParamDef> params_;
 };
 
+/// Direction of a spec constraint: measurement >= limit or <= limit.
 enum class SpecKind : std::uint8_t { kAtLeast, kAtMost };
 
 /// One constraint C_j = (measurement, relation) of the CSP (Eq. 2).
 struct Spec {
   std::string measurement;  ///< must match a measurement name
-  SpecKind kind = SpecKind::kAtLeast;
-  double limit = 0.0;
+  SpecKind kind = SpecKind::kAtLeast;  ///< constraint direction
+  double limit = 0.0;                  ///< spec limit in measurement units
 };
 
 /// Outcome of one SPICE evaluation. `ok == false` models simulator
 /// non-convergence: no measurements exist and agents must treat the point as
 /// infeasible without feeding it to surrogate training.
 struct EvalResult {
-  bool ok = false;
-  linalg::Vector measurements;
+  bool ok = false;              ///< the simulation converged
+  linalg::Vector measurements;  ///< one entry per measurement name
 };
 
 /// Evaluate a sizing under one PVT condition — the paper's Spice(X) function.
@@ -92,15 +98,16 @@ using CornerEvalFn =
 
 /// The full designer contract (paper IV-F).
 struct SizingProblem {
-  std::string name;
-  DesignSpace space;
-  std::vector<std::string> measurementNames;
-  std::vector<Spec> specs;
-  std::vector<sim::PvtCorner> corners;  ///< sign-off conditions
-  CornerEvalFn evaluate;
+  std::string name;                           ///< label used in reports
+  DesignSpace space;                          ///< tunable sizes and ranges
+  std::vector<std::string> measurementNames;  ///< order of EvalResult entries
+  std::vector<Spec> specs;                    ///< the CSP constraints
+  std::vector<sim::PvtCorner> corners;        ///< sign-off conditions
+  CornerEvalFn evaluate;                      ///< the Spice(X) callback
   /// Optional layout-area estimator (Tables IV/V report area).
   std::function<double(const linalg::Vector&)> area;
 
+  /// Position of `name` in measurementNames (asserts when absent).
   std::size_t measurementIndex(const std::string& name) const;
 };
 

@@ -23,18 +23,21 @@
 
 namespace trdse::core {
 
+/// How the active corner pool is seeded and grown.
 enum class PvtStrategy : std::uint8_t {
   kBruteForce,          ///< all corners active from the start
   kProgressiveRandom,   ///< start from a uniformly random corner
   kProgressiveHardest,  ///< start from the heuristically hardest corner
 };
 
+/// Human-readable strategy name (bench/report labels).
 std::string_view toString(PvtStrategy s);
 
+/// Parameters of the progressive PVT search.
 struct PvtSearchConfig {
-  PvtStrategy strategy = PvtStrategy::kProgressiveHardest;
+  PvtStrategy strategy = PvtStrategy::kProgressiveHardest;  ///< pool policy
   LocalExplorerConfig explorer;  ///< per-corner surrogate/TRM settings
-  std::uint64_t seed = 1;
+  std::uint64_t seed = 1;        ///< seed for corner choice and exploration
   /// Worker threads for corner evaluation: the same sizing is simulated on
   /// every active (and, during sign-off, every inactive) corner, and those
   /// simulations are independent, so they fan out across a thread pool.
@@ -45,20 +48,23 @@ struct PvtSearchConfig {
   std::size_t evalThreads = 1;
 };
 
+/// Result of one progressive PVT search run.
 struct PvtSearchOutcome {
-  bool solved = false;
+  bool solved = false;        ///< every corner met spec at sign-off
   std::size_t totalSims = 0;  ///< EDA blocks consumed (search + verify)
-  linalg::Vector sizes;
+  linalg::Vector sizes;       ///< final (or best) sizing
   std::vector<EvalResult> cornerEvals;  ///< final per-corner measurements
-  std::size_t cornersActivated = 0;
-  pvt::EdaLedger ledger;
+  std::size_t cornersActivated = 0;     ///< pool size at termination
+  pvt::EdaLedger ledger;                ///< per-block accounting (Table III)
 };
 
+/// Progressive multi-corner trust-region search (paper IV-E).
 class PvtSearch {
  public:
   /// The problem is copied (callbacks + metadata), so temporaries are safe.
   PvtSearch(SizingProblem problem, PvtSearchConfig config);
 
+  /// Run until all corners sign off or `maxSims` EDA blocks are consumed.
   PvtSearchOutcome run(std::size_t maxSims);
 
  private:

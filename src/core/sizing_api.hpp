@@ -15,35 +15,40 @@
 
 namespace trdse::core {
 
+/// Designer-tunable session settings (everything else is auto-scheduled).
 struct SessionOptions {
-  PvtStrategy strategy = PvtStrategy::kProgressiveHardest;
-  std::size_t maxSimulations = 10000;
-  std::uint64_t seed = 1;
+  PvtStrategy strategy = PvtStrategy::kProgressiveHardest;  ///< corner policy
+  std::size_t maxSimulations = 10000;  ///< EDA-block budget
+  std::uint64_t seed = 1;              ///< seed for the whole session
   /// Override the auto-scheduled hyper-parameters when set.
   std::optional<LocalExplorerConfig> explorerOverride;
 };
 
+/// Result of one sizing session.
 struct SessionReport {
-  bool solved = false;
-  std::size_t simulations = 0;
-  linalg::Vector sizes;
-  std::vector<EvalResult> cornerEvals;
+  bool solved = false;         ///< every corner met spec
+  std::size_t simulations = 0; ///< EDA blocks consumed
+  linalg::Vector sizes;        ///< final (or best) sizing
+  std::vector<EvalResult> cornerEvals;  ///< final per-corner measurements
   double areaEstimate = 0.0;  ///< 0 when the problem has no area callback
-  pvt::EdaLedger ledger;
-  std::string summary;  ///< human-readable multi-line report
+  pvt::EdaLedger ledger;      ///< per-block accounting
+  std::string summary;        ///< human-readable multi-line report
 };
 
 /// Derive explorer hyper-parameters from the problem shape — the paper's
 /// "automatic script" that constructs components "dynamically on the fly".
 LocalExplorerConfig autoSchedule(const SizingProblem& problem, std::uint64_t seed);
 
+/// One-call designer entry point: auto-schedule, search, report.
 class SizingSession {
  public:
+  /// Capture the problem and options (the problem is copied).
   SizingSession(SizingProblem problem, SessionOptions options = {});
 
   /// Run the search to completion or budget exhaustion.
   SessionReport run();
 
+  /// The problem this session optimizes.
   const SizingProblem& problem() const { return problem_; }
 
  private:

@@ -19,20 +19,24 @@
 
 namespace trdse::core {
 
+/// Architecture and training hyper-parameters of the surrogate network.
 struct SurrogateConfig {
-  std::size_t hiddenWidth = 48;
+  std::size_t hiddenWidth = 48;  ///< neurons per hidden layer
   std::size_t hiddenLayers = 2;  ///< "3 layers" in the paper = 2 hidden + output
-  double learningRate = 3e-3;
-  std::size_t epochsPerUpdate = 40;
-  std::size_t batchSize = 16;
+  double learningRate = 3e-3;    ///< Adam step size
+  std::size_t epochsPerUpdate = 40;  ///< epochs per train() call
+  std::size_t batchSize = 16;        ///< mini-batch size
 };
 
 /// Pick a network width from problem shape — the paper's "automatic script
 /// constructs the neural network architectures and hyperparameters".
 SurrogateConfig autoConfigure(std::size_t paramDim, std::size_t measDim);
 
+/// The paper's f_NN(X; θ): an online-trained MLP from unit-space sizings to
+/// raw measurement vectors, with input/output scaling handled internally.
 class SpiceSurrogate {
  public:
+  /// Construct an untrained network for the given input/output widths.
   SpiceSurrogate(std::size_t inputDim, std::size_t outputDim,
                  SurrogateConfig config, std::uint64_t seed);
 
@@ -44,6 +48,7 @@ class SpiceSurrogate {
   void setData(std::vector<linalg::Vector> unitXs,
                std::vector<linalg::Vector> measurements);
 
+  /// Number of stored training pairs.
   std::size_t sampleCount() const { return inputs_.size(); }
 
   /// Refit the output standardizer and run `epochsPerUpdate` of mini-batch
@@ -64,7 +69,9 @@ class SpiceSurrogate {
   /// Drop the collected trajectory.
   void clearSamples();
 
+  /// Underlying network (read-only; porting saves its weights).
   const nn::Mlp& network() const { return net_; }
+  /// Underlying network (mutable).
   nn::Mlp& network() { return net_; }
   /// Adopt foreign weights (process-porting "weight sharing"); dimensions
   /// must match. Returns false on mismatch.

@@ -17,31 +17,38 @@
 
 namespace trdse::core {
 
+/// Radius schedule parameters of the trust-region method (paper IV-C).
 struct TrustRegionConfig {
-  double initRadius = 0.08;
-  double minRadius = 0.015;
-  double maxRadius = 0.30;
+  double initRadius = 0.08;   ///< starting radius (unit space, infinity norm)
+  double minRadius = 0.015;   ///< radius floor after repeated shrinks
+  double maxRadius = 0.30;    ///< radius ceiling after repeated expansions
   /// When false the radius never changes (the static-local-region baseline
   /// the paper argues against; exercised by the radius ablation bench).
   bool adaptive = true;
   double acceptThreshold = 0.10;  ///< eta: accept trial when rho exceeds this
-  double shrinkThreshold = 0.25;
-  double expandThreshold = 0.75;
-  double shrinkFactor = 0.5;
-  double expandFactor = 2.0;
+  double shrinkThreshold = 0.25;  ///< shrink when rho falls below this
+  double expandThreshold = 0.75;  ///< expand when rho exceeds this
+  double shrinkFactor = 0.5;      ///< multiplicative shrink step
+  double expandFactor = 2.0;      ///< multiplicative expansion step
 };
 
+/// Result of one TRM ratio test.
 struct TrustRegionStep {
-  bool accepted = false;
-  double rho = 0.0;
-  double newRadius = 0.0;
+  bool accepted = false;   ///< the trial point becomes the new center
+  double rho = 0.0;        ///< actual / predicted improvement ratio
+  double newRadius = 0.0;  ///< radius after the update
 };
 
+/// Iteration-dependent trust-region radius with the TRM accept/shrink/expand
+/// schedule.
 class TrustRegion {
  public:
+  /// Start at the configured initial radius.
   explicit TrustRegion(TrustRegionConfig config = {});
 
+  /// Current radius (unit space, infinity norm).
   double radius() const { return radius_; }
+  /// Restore the initial radius (used on restarts).
   void reset() { radius_ = config_.initRadius; }
 
   /// Apply the TRM ratio test for a maximization problem.
@@ -51,6 +58,7 @@ class TrustRegion {
   /// Updates the stored radius and reports acceptance.
   TrustRegionStep evaluateStep(double predictedDelta, double actualDelta);
 
+  /// The radius schedule in effect.
   const TrustRegionConfig& config() const { return config_; }
 
  private:

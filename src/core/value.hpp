@@ -20,8 +20,11 @@ namespace trdse::core {
 /// point that simulated successfully).
 inline constexpr double kFailedValue = -1e9;
 
+/// The paper's Value function: maps a measurement vector to a scalar that is
+/// 0 exactly when the CSP is satisfied and negative otherwise.
 class ValueFunction {
  public:
+  /// Bind each spec to its measurement index.
   ValueFunction(const std::vector<std::string>& measurementNames,
                 const std::vector<Spec>& specs);
 
@@ -31,6 +34,7 @@ class ValueFunction {
   /// Value of an EvalResult (kFailedValue when !ok).
   double valueOf(const EvalResult& r) const;
 
+  /// Whether every spec holds for the given measurements.
   bool satisfied(const linalg::Vector& measurements) const;
 
   /// Per-spec normalized score (each <= 0); useful for telemetry and for the
@@ -51,8 +55,10 @@ class ValueFunction {
   /// Weight of the margin bonus in plannerScore (0 disables the second-stage
   /// tie-break; exposed for the value-engineering ablation bench).
   void setMarginBonus(double bonus) { marginBonus_ = bonus; }
+  /// Current margin-bonus weight.
   double marginBonus() const { return marginBonus_; }
 
+  /// Number of bound spec constraints.
   std::size_t specCount() const { return bound_.size(); }
 
  private:

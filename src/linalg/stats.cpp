@@ -37,4 +37,36 @@ double percentile(std::vector<double> samples, double pct) {
   return samples[lo] * (1.0 - frac) + samples[hi] * frac;
 }
 
+void standardizeInPlace(std::vector<double>& values, double eps) {
+  if (values.size() < 2) return;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  const double std = std::sqrt(var) + eps;
+  for (double& v : values) v = (v - mean) / std;
+}
+
+void gaeScan(const std::vector<double>& rewards,
+             const std::vector<double>& values,
+             const std::vector<unsigned char>& done, double bootstrapValue,
+             double gamma, double lambda, std::vector<double>& advantages,
+             std::vector<double>& returns) {
+  const std::size_t n = rewards.size();
+  advantages.assign(n, 0.0);
+  returns.assign(n, 0.0);
+  double gae = 0.0;
+  double nextValue = bootstrapValue;
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double mask = done[ii] != 0 ? 0.0 : 1.0;
+    const double delta = rewards[ii] + gamma * nextValue * mask - values[ii];
+    gae = delta + gamma * lambda * mask * gae;
+    advantages[ii] = gae;
+    returns[ii] = gae + values[ii];
+    nextValue = values[ii];
+  }
+}
+
 }  // namespace trdse::linalg

@@ -22,4 +22,26 @@ Summary summarize(const std::vector<double>& samples);
 /// Percentile in [0,100] with linear interpolation; empty input yields 0.
 double percentile(std::vector<double> samples, double pct);
 
+/// In-place standardization to zero mean / unit variance over the whole
+/// vector (population variance, two-pass). `eps` is added to the standard
+/// deviation to keep constant inputs finite. Inputs shorter than 2 are left
+/// untouched.
+void standardizeInPlace(std::vector<double>& values, double eps);
+
+/// Reverse generalized-advantage-estimation scan over parallel transition
+/// arrays (the RL trainers' advantage computation, kept here so the batched
+/// and per-sample paths share one kernel).
+///
+/// For t from n-1 down to 0, with mask = done[t] ? 0 : 1:
+///   delta  = rewards[t] + gamma * nextValue * mask - values[t]
+///   gae    = delta + gamma * lambda * mask * gae
+///   adv[t] = gae;  ret[t] = gae + values[t]
+/// where nextValue starts at `bootstrapValue` and becomes values[t] after
+/// each step. `done[t] != 0` marks an episode boundary (resets the tail).
+void gaeScan(const std::vector<double>& rewards,
+             const std::vector<double>& values,
+             const std::vector<unsigned char>& done, double bootstrapValue,
+             double gamma, double lambda, std::vector<double>& advantages,
+             std::vector<double>& returns);
+
 }  // namespace trdse::linalg

@@ -8,8 +8,10 @@
 
 namespace trdse::nn {
 
+/// Supported element-wise activations.
 enum class Activation : std::uint8_t { kIdentity = 0, kRelu = 1, kTanh = 2 };
 
+/// Human-readable activation name.
 std::string_view toString(Activation a);
 
 /// x[i] = act(x[i]) over a raw span — the batched kernels hand whole

@@ -12,8 +12,11 @@
 
 namespace trdse::nn {
 
+/// One fully-connected layer (y = act(W x + b)) with per-sample and batched
+/// paths.
 class DenseLayer {
  public:
+  /// Construct with zeroed weights; call initWeights() before use.
   DenseLayer(std::size_t inDim, std::size_t outDim, Activation act);
 
   /// Xavier/Glorot uniform for tanh/identity, He for relu.
@@ -50,20 +53,33 @@ class DenseLayer {
   /// and returns dL/dX (valid until the next batched call on this layer).
   const linalg::Matrix& backwardBatch(const linalg::Matrix& gradOut);
 
+  /// Clear accumulated weight/bias gradients.
   void zeroGrad();
 
+  /// Input width.
   std::size_t inDim() const { return weights_.cols(); }
+  /// Output width.
   std::size_t outDim() const { return weights_.rows(); }
+  /// Fused activation applied after the affine map.
   Activation activation() const { return act_; }
+  /// Number of weights + biases.
   std::size_t parameterCount() const { return weights_.size() + bias_.size(); }
 
+  /// Weight matrix (outDim × inDim), mutable for optimizers.
   linalg::Matrix& weights() { return weights_; }
+  /// Weight matrix, read-only.
   const linalg::Matrix& weights() const { return weights_; }
+  /// Bias vector, mutable for optimizers.
   linalg::Vector& bias() { return bias_; }
+  /// Bias vector, read-only.
   const linalg::Vector& bias() const { return bias_; }
+  /// Accumulated weight gradient, read-only.
   const linalg::Matrix& gradWeights() const { return gradW_; }
+  /// Accumulated bias gradient, read-only.
   const linalg::Vector& gradBias() const { return gradB_; }
+  /// Accumulated weight gradient, mutable (optimizers consume it).
   linalg::Matrix& gradWeights() { return gradW_; }
+  /// Accumulated bias gradient, mutable.
   linalg::Vector& gradBias() { return gradB_; }
 
  private:

@@ -70,4 +70,42 @@ linalg::Vector logProbGrad(const linalg::Vector& logits, std::size_t action) {
   return g;
 }
 
+void softmaxSegments(const linalg::Matrix& logits, std::size_t segment,
+                     linalg::Matrix& out) {
+  assert(segment > 0 && logits.cols() % segment == 0);
+  out.resize(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const double* in = logits.row(r);
+    double* o = out.row(r);
+    for (std::size_t s0 = 0; s0 < logits.cols(); s0 += segment) {
+      double mx = in[s0];
+      for (std::size_t i = 1; i < segment; ++i) mx = std::max(mx, in[s0 + i]);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < segment; ++i) {
+        o[s0 + i] = std::exp(in[s0 + i] - mx);
+        sum += o[s0 + i];
+      }
+      for (std::size_t i = 0; i < segment; ++i) o[s0 + i] /= sum;
+    }
+  }
+}
+
+void logSoftmaxSegments(const linalg::Matrix& logits, std::size_t segment,
+                        linalg::Matrix& out) {
+  assert(segment > 0 && logits.cols() % segment == 0);
+  out.resize(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const double* in = logits.row(r);
+    double* o = out.row(r);
+    for (std::size_t s0 = 0; s0 < logits.cols(); s0 += segment) {
+      double mx = in[s0];
+      for (std::size_t i = 1; i < segment; ++i) mx = std::max(mx, in[s0 + i]);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < segment; ++i) sum += std::exp(in[s0 + i] - mx);
+      const double logZ = mx + std::log(sum);
+      for (std::size_t i = 0; i < segment; ++i) o[s0 + i] = in[s0 + i] - logZ;
+    }
+  }
+}
+
 }  // namespace trdse::nn

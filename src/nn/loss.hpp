@@ -23,9 +23,10 @@ linalg::Vector mseGrad(const linalg::Vector& pred, const linalg::Vector& target)
 double mseLossGradBatch(const linalg::Matrix& pred, const linalg::Matrix& target,
                         double gradScale, linalg::Matrix& grad);
 
+/// Summary of one training epoch.
 struct TrainStats {
-  double meanLoss = 0.0;
-  std::size_t batches = 0;
+  double meanLoss = 0.0;     ///< mean per-sample loss over the epoch
+  std::size_t batches = 0;   ///< optimizer steps taken
 };
 
 /// One epoch of shuffled mini-batch MSE training. Gradients are averaged over

@@ -14,19 +14,26 @@
 
 namespace trdse::nn {
 
+/// Network shape and activation choice.
 struct MlpConfig {
-  std::vector<std::size_t> layerSizes;  // e.g. {in, h1, h2, out}
-  Activation hidden = Activation::kTanh;
-  Activation output = Activation::kIdentity;
+  std::vector<std::size_t> layerSizes;  ///< widths, e.g. {in, h1, h2, out}
+  Activation hidden = Activation::kTanh;      ///< hidden-layer activation
+  Activation output = Activation::kIdentity;  ///< output-layer activation
 };
 
+/// A plain fully-connected network with per-sample and batched
+/// forward/backward paths that are bitwise identical to each other.
 class Mlp {
  public:
   Mlp() = default;
+  /// Build and Xavier/He-initialize from a config.
   Mlp(const MlpConfig& config, std::uint64_t seed);
 
+  /// Input width (first layer size).
   std::size_t inputDim() const;
+  /// Output width (last layer size).
   std::size_t outputDim() const;
+  /// The shape this network was built from.
   const MlpConfig& config() const { return config_; }
 
   /// Forward pass that caches activations; pair with backward().
@@ -66,19 +73,27 @@ class Mlp {
   /// batched call).
   const linalg::Matrix& backwardBatch(const linalg::Matrix& gradOut);
 
+  /// Clear all accumulated parameter gradients.
   void zeroGrad();
+  /// Re-draw all weights from the initializer (restart behaviour).
   void reinitialize(std::uint64_t seed);
 
+  /// Total number of weights + biases.
   std::size_t parameterCount() const;
+  /// All parameters as one flat vector (layer order, weights then bias).
   linalg::Vector getParameters() const;
+  /// Overwrite all parameters from a flat vector.
   void setParameters(const linalg::Vector& flat);
+  /// Accumulated gradients as one flat vector (same layout as parameters).
   linalg::Vector getGradients() const;
   /// Overwrite accumulated gradients from a flat vector (used by TRPO).
   void setGradients(const linalg::Vector& flat);
   /// In-place params += alpha * direction (flat space).
   void addToParameters(const linalg::Vector& direction, double alpha);
 
+  /// Layer access (optimizers walk these).
   std::vector<DenseLayer>& layers() { return layers_; }
+  /// Read-only layer access.
   const std::vector<DenseLayer>& layers() const { return layers_; }
 
  private:

@@ -7,20 +7,25 @@
 
 namespace trdse::nn {
 
+/// Interface of a first-order optimizer over an Mlp's flat parameters.
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
   /// Apply one update using the gradients currently accumulated in `net`,
   /// then zero them.
   virtual void step(Mlp& net) = 0;
+  /// Drop all optimizer state (moments, step counters).
   virtual void reset() = 0;
+  /// Current step size.
   virtual double learningRate() const = 0;
+  /// Change the step size (schedules, warm restarts).
   virtual void setLearningRate(double lr) = 0;
 };
 
 /// Plain SGD with optional classical momentum.
 class SgdOptimizer final : public Optimizer {
  public:
+  /// Configure step size and momentum coefficient (0 = vanilla SGD).
   explicit SgdOptimizer(double lr, double momentum = 0.0);
   void step(Mlp& net) override;
   void reset() override { velocity_.clear(); }
@@ -37,6 +42,7 @@ class SgdOptimizer final : public Optimizer {
 /// baselines' actor/critic networks.
 class AdamOptimizer final : public Optimizer {
  public:
+  /// Configure step size and moment decay rates.
   explicit AdamOptimizer(double lr, double beta1 = 0.9, double beta2 = 0.999,
                          double eps = 1e-8);
   void step(Mlp& net) override;

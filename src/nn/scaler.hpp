@@ -17,10 +17,14 @@ namespace trdse::nn {
 class MinMaxScaler {
  public:
   MinMaxScaler() = default;
+  /// Bind per-dimension ranges.
   MinMaxScaler(linalg::Vector lo, linalg::Vector hi);
 
+  /// Number of scaled dimensions.
   std::size_t dim() const { return lo_.size(); }
+  /// Map a raw point into [-1, 1]^dim.
   linalg::Vector transform(const linalg::Vector& x) const;
+  /// Map a scaled point back to raw units.
   linalg::Vector inverse(const linalg::Vector& z) const;
 
   /// Row-wise batched variants (each row one sample); `out` is resized and
@@ -28,7 +32,9 @@ class MinMaxScaler {
   void transform(const linalg::Matrix& x, linalg::Matrix& out) const;
   void inverse(const linalg::Matrix& z, linalg::Matrix& out) const;
 
+  /// Per-dimension lower bounds.
   const linalg::Vector& lo() const { return lo_; }
+  /// Per-dimension upper bounds.
   const linalg::Vector& hi() const { return hi_; }
 
  private:
@@ -40,11 +46,16 @@ class MinMaxScaler {
 /// dimensions (zero variance) pass through centred but unscaled.
 class Standardizer {
  public:
+  /// Estimate per-dimension mean/std from samples.
   void fit(const std::vector<linalg::Vector>& samples);
+  /// Whether fit() (or set()) has been called.
   bool fitted() const { return !mean_.empty(); }
+  /// Number of scaled dimensions.
   std::size_t dim() const { return mean_.size(); }
 
+  /// z-score a raw point.
   linalg::Vector transform(const linalg::Vector& x) const;
+  /// Undo the z-score transform.
   linalg::Vector inverse(const linalg::Vector& z) const;
 
   /// Row-wise batched variants (each row one sample); `out` is resized and
@@ -53,8 +64,11 @@ class Standardizer {
   void transform(const linalg::Matrix& x, linalg::Matrix& out) const;
   void inverse(const linalg::Matrix& z, linalg::Matrix& out) const;
 
+  /// Fitted per-dimension means.
   const linalg::Vector& mean() const { return mean_; }
+  /// Fitted per-dimension standard deviations.
   const linalg::Vector& std() const { return std_; }
+  /// Install precomputed statistics (deserialization).
   void set(linalg::Vector mean, linalg::Vector std);
 
  private:

@@ -14,13 +14,20 @@
 
 namespace trdse::nn {
 
+/// Write a network (shape + parameters) to a binary stream.
 void saveMlp(const Mlp& net, std::ostream& out);
+/// Read a network written by saveMlp; nullopt on malformed input.
 std::optional<Mlp> loadMlp(std::istream& in);
 
+/// saveMlp to a file; false when the file cannot be written.
 bool saveMlpToFile(const Mlp& net, const std::string& path);
+/// loadMlp from a file; nullopt when missing or malformed.
 std::optional<Mlp> loadMlpFromFile(const std::string& path);
 
+/// Write a fitted standardizer to a binary stream.
 void saveStandardizer(const Standardizer& s, std::ostream& out);
+/// Read a standardizer written by saveStandardizer; nullopt on malformed
+/// input.
 std::optional<Standardizer> loadStandardizer(std::istream& in);
 
 }  // namespace trdse::nn

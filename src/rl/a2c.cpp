@@ -2,98 +2,118 @@
 
 #include <algorithm>
 
-#include "nn/optimizer.hpp"
+#include "rl/vec_env.hpp"
 
 namespace trdse::rl {
+
+void a2cUpdatePerSample(nn::Mlp& policy, nn::Mlp& critic,
+                        nn::Optimizer& policyOpt, nn::Optimizer& criticOpt,
+                        const FlatRollout& data, const A2cConfig& cfg) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  const std::size_t obsDim = data.observations.cols();
+  constexpr std::size_t apH = SizingEnv::kActionsPerHead;
+  policy.zeroGrad();
+  critic.zeroGrad();
+  const double invN = 1.0 / static_cast<double>(n);
+  linalg::Vector obs(obsDim);
+  for (std::size_t i = 0; i < n; ++i) {
+    obs.assign(data.observations.row(i), data.observations.row(i) + obsDim);
+    // Policy: maximize A*logpi + beta*H  ->  descend on its negation.
+    const linalg::Vector logits = policy.forward(obs);
+    linalg::Vector g = jointLogProbGrad(logits, data.actions[i], apH);
+    const linalg::Vector eg = jointEntropyGrad(logits, apH);
+    for (std::size_t k = 0; k < g.size(); ++k)
+      g[k] = -(data.advantages[i] * g[k] + cfg.entropyCoeff * eg[k]) * invN;
+    policy.backward(g);
+
+    // Critic: MSE to the GAE return.
+    const linalg::Vector vp = critic.forward(obs);
+    critic.backward({2.0 * (vp[0] - data.returns[i]) * invN});
+  }
+  nn::clipGradNorm(policy, cfg.maxGradNorm);
+  nn::clipGradNorm(critic, cfg.maxGradNorm);
+  policyOpt.step(policy);
+  criticOpt.step(critic);
+}
+
+void a2cUpdateBatched(nn::Mlp& policy, nn::Mlp& critic,
+                      nn::Optimizer& policyOpt, nn::Optimizer& criticOpt,
+                      const FlatRollout& data, const A2cConfig& cfg) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  constexpr std::size_t apH = SizingEnv::kActionsPerHead;
+  policy.zeroGrad();
+  critic.zeroGrad();
+  const double invN = 1.0 / static_cast<double>(n);
+
+  const linalg::Matrix& logits = policy.forwardBatch(data.observations);
+  linalg::Matrix sm;
+  linalg::Matrix lsm;
+  nn::softmaxSegments(logits, apH, sm);
+  nn::logSoftmaxSegments(logits, apH, lsm);
+  linalg::Matrix g;
+  jointLogProbGradRowsFromTable(sm, data.actions, apH, g);
+  linalg::Matrix eg;
+  jointEntropyGradRowsFromTable(lsm, apH, eg);
+  for (std::size_t r = 0; r < n; ++r) {
+    double* gr = g.row(r);
+    const double* er = eg.row(r);
+    for (std::size_t k = 0; k < g.cols(); ++k)
+      gr[k] = -(data.advantages[r] * gr[k] + cfg.entropyCoeff * er[k]) * invN;
+  }
+  policy.backwardBatch(g);
+
+  const linalg::Matrix& vp = critic.forwardBatch(data.observations);
+  linalg::Matrix gv(n, 1);
+  for (std::size_t r = 0; r < n; ++r)
+    gv(r, 0) = 2.0 * (vp(r, 0) - data.returns[r]) * invN;
+  critic.backwardBatch(gv);
+
+  nn::clipGradNorm(policy, cfg.maxGradNorm);
+  nn::clipGradNorm(critic, cfg.maxGradNorm);
+  policyOpt.step(policy);
+  criticOpt.step(critic);
+}
 
 RlTrainOutcome trainA2c(const core::SizingProblem& problem, const A2cConfig& cfg,
                         std::size_t maxSimulations) {
   RlTrainOutcome out;
-  SizingEnv env(problem, cfg.env, cfg.seed);
-  std::mt19937_64 rng(cfg.seed + 7);
-
-  const std::size_t heads = env.actionHeads();
-  const std::size_t apH = SizingEnv::kActionsPerHead;
-  nn::Mlp policy = makePolicyNet(env.observationDim(), heads, apH, cfg.hidden,
+  ParallelRolloutCollector collector(problem, cfg.env,
+                                     std::max<std::size_t>(1, cfg.numEnvs),
+                                     cfg.rolloutThreads, cfg.seed,
+                                     /*rngSalt=*/7);
+  nn::Mlp policy = makePolicyNet(collector.observationDim(),
+                                 collector.actionHeads(),
+                                 SizingEnv::kActionsPerHead, cfg.hidden,
                                  cfg.seed + 11);
-  nn::Mlp critic = makeValueNet(env.observationDim(), cfg.hidden, cfg.seed + 13);
+  nn::Mlp critic =
+      makeValueNet(collector.observationDim(), cfg.hidden, cfg.seed + 13);
   nn::AdamOptimizer policyOpt(cfg.learningRate);
   nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
 
-  linalg::Vector obs = env.reset();
-  double episodeReturn = 0.0;
   out.bestEpisodeReturn = -1e18;
+  std::vector<RolloutBuffer> buffers;
+  while (collector.totalSimulations() < maxSimulations && !collector.solved()) {
+    const CollectStats stats =
+        collector.collect(policy, critic, cfg.nSteps, maxSimulations, buffers);
+    out.bestEpisodeReturn = std::max(out.bestEpisodeReturn,
+                                     stats.bestEpisodeReturn);
+    if (stats.anySolved || stats.steps == 0) break;
 
-  RolloutBuffer buffer;
-  while (env.simulationsUsed() < maxSimulations) {
-    buffer.clear();
-    bool solvedNow = false;
-    for (std::size_t s = 0; s < cfg.nSteps && env.simulationsUsed() < maxSimulations;
-         ++s) {
-      const PolicySample ps = samplePolicy(policy, obs, heads, apH, rng);
-      const double v = critic.predict(obs)[0];
-      const StepResult sr = env.step(ps.actions);
-
-      Transition t;
-      t.observation = obs;
-      t.actions = ps.actions;
-      t.reward = sr.reward;
-      t.valueEstimate = v;
-      t.logProb = ps.logProb;
-      t.done = sr.done;
-      buffer.transitions.push_back(std::move(t));
-
-      episodeReturn += sr.reward;
-      obs = sr.observation;
-      if (sr.done) {
-        out.bestEpisodeReturn = std::max(out.bestEpisodeReturn, episodeReturn);
-        episodeReturn = 0.0;
-        if (sr.solved) {
-          solvedNow = true;
-          break;
-        }
-        obs = env.reset();
-      }
+    const FlatRollout data =
+        flattenRollouts(buffers, cfg.gamma, cfg.gaeLambda);
+    if (cfg.batchedTraining) {
+      a2cUpdateBatched(policy, critic, policyOpt, criticOpt, data, cfg);
+    } else {
+      a2cUpdatePerSample(policy, critic, policyOpt, criticOpt, data, cfg);
     }
-    if (solvedNow) {
-      out.solved = true;
-      break;
-    }
-    if (buffer.transitions.empty()) break;
-
-    buffer.bootstrapValue =
-        buffer.transitions.back().done ? 0.0 : critic.predict(obs)[0];
-    AdvantageResult adv = computeGae(buffer, cfg.gamma, cfg.gaeLambda);
-    normalizeAdvantages(adv.advantages);
-
-    // One synchronous gradient step over the rollout.
-    policy.zeroGrad();
-    critic.zeroGrad();
-    const double invN = 1.0 / static_cast<double>(buffer.size());
-    for (std::size_t i = 0; i < buffer.size(); ++i) {
-      const Transition& t = buffer.transitions[i];
-      // Policy: maximize A*logpi + beta*H  ->  descend on its negation.
-      const linalg::Vector logits = policy.forward(t.observation);
-      linalg::Vector g = jointLogProbGrad(logits, t.actions, apH);
-      const linalg::Vector eg = jointEntropyGrad(logits, apH);
-      for (std::size_t k = 0; k < g.size(); ++k)
-        g[k] = -(adv.advantages[i] * g[k] + cfg.entropyCoeff * eg[k]) * invN;
-      policy.backward(g);
-
-      // Critic: MSE to the GAE return.
-      const linalg::Vector vp = critic.forward(t.observation);
-      critic.backward({2.0 * (vp[0] - adv.returns[i]) * invN});
-    }
-    nn::clipGradNorm(policy, cfg.maxGradNorm);
-    nn::clipGradNorm(critic, cfg.maxGradNorm);
-    policyOpt.step(policy);
-    criticOpt.step(critic);
   }
 
-  out.totalSimulations = env.simulationsUsed();
+  out.totalSimulations = collector.totalSimulations();
+  out.solved = collector.solved();
   out.simulationsToSolve =
-      env.simsAtFirstSolve() > 0 ? env.simsAtFirstSolve() : env.simulationsUsed();
-  out.solved = env.simsAtFirstSolve() > 0;
+      out.solved ? collector.simsAtFirstSolve() : collector.totalSimulations();
   return out;
 }
 

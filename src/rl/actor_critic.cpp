@@ -116,6 +116,143 @@ linalg::Vector jointKlGrad(const linalg::Vector& oldLogits,
   return g;
 }
 
+void jointLogProbRowsFromTable(
+    const linalg::Matrix& logSoftmaxTable,
+    const std::vector<std::vector<std::size_t>>& actions,
+    std::size_t actionsPerHead, linalg::Vector& out) {
+  assert(actions.size() == logSoftmaxTable.rows());
+  out.assign(logSoftmaxTable.rows(), 0.0);
+  for (std::size_t r = 0; r < logSoftmaxTable.rows(); ++r) {
+    const double* lpr = logSoftmaxTable.row(r);
+    double s = 0.0;
+    for (std::size_t h = 0; h < actions[r].size(); ++h)
+      s += lpr[h * actionsPerHead + actions[r][h]];
+    out[r] = s;
+  }
+}
+
+void jointLogProbGradRowsFromTable(
+    const linalg::Matrix& softmaxTable,
+    const std::vector<std::vector<std::size_t>>& actions,
+    std::size_t actionsPerHead, linalg::Matrix& out) {
+  assert(actions.size() == softmaxTable.rows());
+  out.resize(softmaxTable.rows(), softmaxTable.cols());
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const double* p = softmaxTable.row(r);
+    double* g = out.row(r);
+    for (std::size_t i = 0; i < out.cols(); ++i) g[i] = -p[i];
+    for (std::size_t h = 0; h < actions[r].size(); ++h)
+      g[h * actionsPerHead + actions[r][h]] += 1.0;
+  }
+}
+
+void jointEntropyGradRowsFromTable(const linalg::Matrix& logSoftmaxTable,
+                                   std::size_t actionsPerHead,
+                                   linalg::Matrix& out) {
+  out.resize(logSoftmaxTable.rows(), logSoftmaxTable.cols());
+  const std::size_t heads = logSoftmaxTable.cols() / actionsPerHead;
+  // exp(lp) appears in both the entropy sum and the gradient; computing it
+  // once per element is bitwise-safe (same input -> same exp value).
+  std::vector<double> p(actionsPerHead);
+  for (std::size_t r = 0; r < logSoftmaxTable.rows(); ++r) {
+    const double* lpr = logSoftmaxTable.row(r);
+    double* g = out.row(r);
+    for (std::size_t h = 0; h < heads; ++h) {
+      const double* hl = lpr + h * actionsPerHead;
+      double ent = 0.0;
+      for (std::size_t a = 0; a < actionsPerHead; ++a) {
+        p[a] = std::exp(hl[a]);
+        ent -= p[a] * hl[a];
+      }
+      for (std::size_t a = 0; a < actionsPerHead; ++a)
+        g[h * actionsPerHead + a] = -p[a] * (hl[a] + ent);
+    }
+  }
+}
+
+double sumJointKlRowsFromTables(const linalg::Matrix& logSoftmaxOld,
+                                const linalg::Matrix& logSoftmaxNew,
+                                std::size_t actionsPerHead) {
+  assert(logSoftmaxOld.rows() == logSoftmaxNew.rows() &&
+         logSoftmaxOld.cols() == logSoftmaxNew.cols());
+  const std::size_t heads = logSoftmaxOld.cols() / actionsPerHead;
+  double kl = 0.0;
+  for (std::size_t r = 0; r < logSoftmaxOld.rows(); ++r) {
+    const double* lpr = logSoftmaxOld.row(r);
+    const double* lqr = logSoftmaxNew.row(r);
+    // Per-head subtotals first, then head-ascending accumulation — the exact
+    // association order of jointKl over categoricalKl, so sums stay bitwise
+    // identical to the per-sample path.
+    double rowKl = 0.0;
+    for (std::size_t h = 0; h < heads; ++h) {
+      double headKl = 0.0;
+      for (std::size_t a = 0; a < actionsPerHead; ++a) {
+        const std::size_t i = h * actionsPerHead + a;
+        headKl += std::exp(lpr[i]) * (lpr[i] - lqr[i]);
+      }
+      rowKl += headKl;
+    }
+    kl += rowKl;
+  }
+  return kl;
+}
+
+void jointKlGradRowsFromTables(const linalg::Matrix& softmaxOld,
+                               const linalg::Matrix& softmaxNew,
+                               linalg::Matrix& out) {
+  assert(softmaxOld.rows() == softmaxNew.rows() &&
+         softmaxOld.cols() == softmaxNew.cols());
+  out.resize(softmaxNew.rows(), softmaxNew.cols());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.data()[i] = softmaxNew.data()[i] - softmaxOld.data()[i];
+}
+
+linalg::Vector jointLogProbRows(
+    const linalg::Matrix& logits,
+    const std::vector<std::vector<std::size_t>>& actions,
+    std::size_t actionsPerHead) {
+  linalg::Matrix lp;
+  nn::logSoftmaxSegments(logits, actionsPerHead, lp);
+  linalg::Vector out;
+  jointLogProbRowsFromTable(lp, actions, actionsPerHead, out);
+  return out;
+}
+
+void jointLogProbGradRows(const linalg::Matrix& logits,
+                          const std::vector<std::vector<std::size_t>>& actions,
+                          std::size_t actionsPerHead, linalg::Matrix& out) {
+  linalg::Matrix p;
+  nn::softmaxSegments(logits, actionsPerHead, p);
+  jointLogProbGradRowsFromTable(p, actions, actionsPerHead, out);
+}
+
+void jointEntropyGradRows(const linalg::Matrix& logits,
+                          std::size_t actionsPerHead, linalg::Matrix& out) {
+  linalg::Matrix lp;
+  nn::logSoftmaxSegments(logits, actionsPerHead, lp);
+  jointEntropyGradRowsFromTable(lp, actionsPerHead, out);
+}
+
+double sumJointKlRows(const linalg::Matrix& oldLogits,
+                      const linalg::Matrix& newLogits,
+                      std::size_t actionsPerHead) {
+  linalg::Matrix lp;
+  linalg::Matrix lq;
+  nn::logSoftmaxSegments(oldLogits, actionsPerHead, lp);
+  nn::logSoftmaxSegments(newLogits, actionsPerHead, lq);
+  return sumJointKlRowsFromTables(lp, lq, actionsPerHead);
+}
+
+void jointKlGradRows(const linalg::Matrix& oldLogits,
+                     const linalg::Matrix& newLogits,
+                     std::size_t actionsPerHead, linalg::Matrix& out) {
+  linalg::Matrix pOld;
+  linalg::Matrix pNew;
+  nn::softmaxSegments(oldLogits, actionsPerHead, pOld);
+  nn::softmaxSegments(newLogits, actionsPerHead, pNew);
+  jointKlGradRowsFromTables(pOld, pNew, out);
+}
+
 nn::Mlp makePolicyNet(std::size_t obsDim, std::size_t heads,
                       std::size_t actionsPerHead, std::size_t hidden,
                       std::uint64_t seed) {

@@ -13,9 +13,9 @@ namespace trdse::rl {
 /// Policy network output helpers. Logits are laid out head-major:
 /// [head0: a0 a1 a2 | head1: a0 a1 a2 | ...].
 struct PolicySample {
-  std::vector<std::size_t> actions;
-  double logProb = 0.0;
-  double entropy = 0.0;
+  std::vector<std::size_t> actions;  ///< sampled sub-action per head
+  double logProb = 0.0;              ///< joint log pi(actions | obs)
+  double entropy = 0.0;              ///< summed per-head entropy
 };
 
 /// View one head's logits.
@@ -59,10 +59,76 @@ linalg::Vector jointKlGrad(const linalg::Vector& oldLogits,
                            const linalg::Vector& newLogits,
                            std::size_t actionsPerHead);
 
+// ---- Batched (rollout-matrix) variants ----
+//
+// Row r of a logits matrix holds the head-major logits of sample r (the
+// layout Mlp::forwardBatch produces for the policy net). Every function
+// reproduces its per-sample counterpart above bitwise, row by row, on top of
+// the segment kernels in nn/distribution. Outputs are resized by the callee.
+
+/// Per-row joint log-prob of `actions[r]` under logits row r.
+linalg::Vector jointLogProbRows(
+    const linalg::Matrix& logits,
+    const std::vector<std::vector<std::size_t>>& actions,
+    std::size_t actionsPerHead);
+
+/// Per-row d(joint log-prob)/d(logits) into `out` (same shape as `logits`).
+void jointLogProbGradRows(const linalg::Matrix& logits,
+                          const std::vector<std::vector<std::size_t>>& actions,
+                          std::size_t actionsPerHead, linalg::Matrix& out);
+
+/// Per-row d(joint entropy)/d(logits) into `out`.
+void jointEntropyGradRows(const linalg::Matrix& logits,
+                          std::size_t actionsPerHead, linalg::Matrix& out);
+
+/// Sum over rows (ascending) of the joint KL(old || new) between logit rows.
+double sumJointKlRows(const linalg::Matrix& oldLogits,
+                      const linalg::Matrix& newLogits,
+                      std::size_t actionsPerHead);
+
+/// Per-row d(joint KL)/d(new logits) into `out`.
+void jointKlGradRows(const linalg::Matrix& oldLogits,
+                     const linalg::Matrix& newLogits,
+                     std::size_t actionsPerHead, linalg::Matrix& out);
+
+// Table-based variants: operate on precomputed per-head probability tables
+// (`nn::softmaxSegments` / `nn::logSoftmaxSegments` of the same logits
+// matrix), letting the batched trainers evaluate each table once per pass
+// and share it across helpers instead of re-deriving it per call. Values
+// stay bitwise identical to the logits-based functions above.
+
+/// jointLogProbRows from a log-softmax table, written into `out` (resized).
+void jointLogProbRowsFromTable(
+    const linalg::Matrix& logSoftmaxTable,
+    const std::vector<std::vector<std::size_t>>& actions,
+    std::size_t actionsPerHead, linalg::Vector& out);
+
+/// jointLogProbGradRows from a softmax table.
+void jointLogProbGradRowsFromTable(
+    const linalg::Matrix& softmaxTable,
+    const std::vector<std::vector<std::size_t>>& actions,
+    std::size_t actionsPerHead, linalg::Matrix& out);
+
+/// jointEntropyGradRows from a log-softmax table.
+void jointEntropyGradRowsFromTable(const linalg::Matrix& logSoftmaxTable,
+                                   std::size_t actionsPerHead,
+                                   linalg::Matrix& out);
+
+/// sumJointKlRows from the two log-softmax tables.
+double sumJointKlRowsFromTables(const linalg::Matrix& logSoftmaxOld,
+                                const linalg::Matrix& logSoftmaxNew,
+                                std::size_t actionsPerHead);
+
+/// jointKlGradRows from the two softmax tables (out = softmaxNew - softmaxOld).
+void jointKlGradRowsFromTables(const linalg::Matrix& softmaxOld,
+                               const linalg::Matrix& softmaxNew,
+                               linalg::Matrix& out);
+
 /// Build default policy / value networks for an observation of `obsDim`.
 nn::Mlp makePolicyNet(std::size_t obsDim, std::size_t heads,
                       std::size_t actionsPerHead, std::size_t hidden,
                       std::uint64_t seed);
+/// Build the default scalar critic network for an observation of `obsDim`.
 nn::Mlp makeValueNet(std::size_t obsDim, std::size_t hidden, std::uint64_t seed);
 
 }  // namespace trdse::rl

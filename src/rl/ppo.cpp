@@ -4,110 +4,187 @@
 #include <cmath>
 #include <numeric>
 
-#include "nn/optimizer.hpp"
 #include "rl/actor_critic.hpp"
-#include "rl/rollout.hpp"
+#include "rl/vec_env.hpp"
 
 namespace trdse::rl {
+
+void ppoUpdatePerSample(nn::Mlp& policy, nn::Mlp& critic,
+                        nn::Optimizer& policyOpt, nn::Optimizer& criticOpt,
+                        const FlatRollout& data, const PpoConfig& cfg,
+                        std::mt19937_64& rng) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  const std::size_t obsDim = data.observations.cols();
+  constexpr std::size_t apH = SizingEnv::kActionsPerHead;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  linalg::Vector obs(obsDim);
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t start = 0; start < order.size(); start += cfg.minibatch) {
+      const std::size_t end = std::min(order.size(), start + cfg.minibatch);
+      const double invB = 1.0 / static_cast<double>(end - start);
+      policy.zeroGrad();
+      critic.zeroGrad();
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t i = order[k];
+        obs.assign(data.observations.row(i),
+                   data.observations.row(i) + obsDim);
+        const double advantage = data.advantages[i];
+
+        const linalg::Vector logits = policy.forward(obs);
+        const double newLp = jointLogProb(logits, data.actions[i], apH);
+        const double ratio = std::exp(newLp - data.logProbs[i]);
+        // Clipped surrogate: gradient flows only when unclipped term is
+        // the active minimum.
+        const bool clipped =
+            (advantage > 0.0 && ratio > 1.0 + cfg.clipRatio) ||
+            (advantage < 0.0 && ratio < 1.0 - cfg.clipRatio);
+        linalg::Vector g(logits.size(), 0.0);
+        if (!clipped) {
+          g = jointLogProbGrad(logits, data.actions[i], apH);
+          for (double& gv : g) gv *= ratio * advantage;
+        }
+        const linalg::Vector eg = jointEntropyGrad(logits, apH);
+        for (std::size_t j = 0; j < g.size(); ++j)
+          g[j] = -(g[j] + cfg.entropyCoeff * eg[j]) * invB;
+        policy.backward(g);
+
+        const linalg::Vector vp = critic.forward(obs);
+        critic.backward({2.0 * (vp[0] - data.returns[i]) * invB});
+      }
+      nn::clipGradNorm(policy, cfg.maxGradNorm);
+      nn::clipGradNorm(critic, cfg.maxGradNorm);
+      policyOpt.step(policy);
+      criticOpt.step(critic);
+    }
+  }
+}
+
+void ppoUpdateBatched(nn::Mlp& policy, nn::Mlp& critic,
+                      nn::Optimizer& policyOpt, nn::Optimizer& criticOpt,
+                      const FlatRollout& data, const PpoConfig& cfg,
+                      std::mt19937_64& rng) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  const std::size_t obsDim = data.observations.cols();
+  constexpr std::size_t apH = SizingEnv::kActionsPerHead;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Mini-batch gather + distribution-table buffers; capacity persists across
+  // mini-batches so the steady-state loop does not allocate. The softmax and
+  // log-softmax tables are evaluated once per mini-batch and shared by the
+  // log-prob, policy-gradient and entropy-gradient helpers.
+  linalg::Matrix obsMb;
+  std::vector<std::vector<std::size_t>> actsMb;
+  linalg::Matrix sm;
+  linalg::Matrix lsm;
+  linalg::Matrix g;
+  linalg::Matrix eg;
+  linalg::Matrix gv;
+  linalg::Vector newLps;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t start = 0; start < order.size(); start += cfg.minibatch) {
+      const std::size_t end = std::min(order.size(), start + cfg.minibatch);
+      const std::size_t b = end - start;
+      const double invB = 1.0 / static_cast<double>(b);
+
+      obsMb.resize(b, obsDim);
+      actsMb.resize(b);
+      for (std::size_t r = 0; r < b; ++r) {
+        const std::size_t i = order[start + r];
+        std::copy(data.observations.row(i), data.observations.row(i) + obsDim,
+                  obsMb.row(r));
+        actsMb[r] = data.actions[i];
+      }
+
+      policy.zeroGrad();
+      critic.zeroGrad();
+      const linalg::Matrix& logits = policy.forwardBatch(obsMb);
+      nn::softmaxSegments(logits, apH, sm);
+      nn::logSoftmaxSegments(logits, apH, lsm);
+      jointLogProbRowsFromTable(lsm, actsMb, apH, newLps);
+      jointLogProbGradRowsFromTable(sm, actsMb, apH, g);
+      jointEntropyGradRowsFromTable(lsm, apH, eg);
+      for (std::size_t r = 0; r < b; ++r) {
+        const std::size_t i = order[start + r];
+        const double advantage = data.advantages[i];
+        const double ratio = std::exp(newLps[r] - data.logProbs[i]);
+        const bool clipped =
+            (advantage > 0.0 && ratio > 1.0 + cfg.clipRatio) ||
+            (advantage < 0.0 && ratio < 1.0 - cfg.clipRatio);
+        // ratio * advantage is folded into one factor first, matching the
+        // per-sample path's association order exactly.
+        const double scale = clipped ? 0.0 : ratio * advantage;
+        double* gr = g.row(r);
+        const double* er = eg.row(r);
+        for (std::size_t j = 0; j < g.cols(); ++j) {
+          const double surr = clipped ? 0.0 : gr[j] * scale;
+          gr[j] = -(surr + cfg.entropyCoeff * er[j]) * invB;
+        }
+      }
+      policy.backwardBatch(g);
+
+      const linalg::Matrix& vp = critic.forwardBatch(obsMb);
+      gv.resize(b, 1);
+      for (std::size_t r = 0; r < b; ++r)
+        gv(r, 0) = 2.0 * (vp(r, 0) - data.returns[order[start + r]]) * invB;
+      critic.backwardBatch(gv);
+
+      nn::clipGradNorm(policy, cfg.maxGradNorm);
+      nn::clipGradNorm(critic, cfg.maxGradNorm);
+      policyOpt.step(policy);
+      criticOpt.step(critic);
+    }
+  }
+}
 
 RlTrainOutcome trainPpo(const core::SizingProblem& problem, const PpoConfig& cfg,
                         std::size_t maxSimulations) {
   RlTrainOutcome out;
-  SizingEnv env(problem, cfg.env, cfg.seed);
-  std::mt19937_64 rng(cfg.seed + 19);
+  ParallelRolloutCollector collector(problem, cfg.env,
+                                     std::max<std::size_t>(1, cfg.numEnvs),
+                                     cfg.rolloutThreads, cfg.seed,
+                                     /*rngSalt=*/19);
+  std::mt19937_64 shuffleRng(cfg.seed + 53);
 
-  const std::size_t heads = env.actionHeads();
-  const std::size_t apH = SizingEnv::kActionsPerHead;
-  nn::Mlp policy = makePolicyNet(env.observationDim(), heads, apH, cfg.hidden,
+  nn::Mlp policy = makePolicyNet(collector.observationDim(),
+                                 collector.actionHeads(),
+                                 SizingEnv::kActionsPerHead, cfg.hidden,
                                  cfg.seed + 23);
-  nn::Mlp critic = makeValueNet(env.observationDim(), cfg.hidden, cfg.seed + 29);
+  nn::Mlp critic =
+      makeValueNet(collector.observationDim(), cfg.hidden, cfg.seed + 29);
   nn::AdamOptimizer policyOpt(cfg.learningRate);
   nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
 
-  linalg::Vector obs = env.reset();
-  double episodeReturn = 0.0;
   out.bestEpisodeReturn = -1e18;
+  std::vector<RolloutBuffer> buffers;
+  while (collector.totalSimulations() < maxSimulations && !collector.solved()) {
+    const CollectStats stats =
+        collector.collect(policy, critic, cfg.horizon, maxSimulations, buffers);
+    out.bestEpisodeReturn = std::max(out.bestEpisodeReturn,
+                                     stats.bestEpisodeReturn);
+    if (stats.anySolved || stats.steps == 0) break;
 
-  RolloutBuffer buffer;
-  while (env.simulationsUsed() < maxSimulations && env.simsAtFirstSolve() == 0) {
-    buffer.clear();
-    for (std::size_t s = 0;
-         s < cfg.horizon && env.simulationsUsed() < maxSimulations; ++s) {
-      const PolicySample ps = samplePolicy(policy, obs, heads, apH, rng);
-      const double v = critic.predict(obs)[0];
-      const StepResult sr = env.step(ps.actions);
-
-      Transition t;
-      t.observation = obs;
-      t.actions = ps.actions;
-      t.reward = sr.reward;
-      t.valueEstimate = v;
-      t.logProb = ps.logProb;
-      t.done = sr.done;
-      buffer.transitions.push_back(std::move(t));
-
-      episodeReturn += sr.reward;
-      obs = sr.observation;
-      if (sr.done) {
-        out.bestEpisodeReturn = std::max(out.bestEpisodeReturn, episodeReturn);
-        episodeReturn = 0.0;
-        if (sr.solved) break;
-        obs = env.reset();
-      }
-    }
-    if (env.simsAtFirstSolve() > 0 || buffer.transitions.empty()) break;
-
-    buffer.bootstrapValue =
-        buffer.transitions.back().done ? 0.0 : critic.predict(obs)[0];
-    AdvantageResult adv = computeGae(buffer, cfg.gamma, cfg.gaeLambda);
-    normalizeAdvantages(adv.advantages);
-
-    std::vector<std::size_t> order(buffer.size());
-    std::iota(order.begin(), order.end(), 0);
-    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
-      std::shuffle(order.begin(), order.end(), rng);
-      for (std::size_t start = 0; start < order.size(); start += cfg.minibatch) {
-        const std::size_t end = std::min(order.size(), start + cfg.minibatch);
-        const double invB = 1.0 / static_cast<double>(end - start);
-        policy.zeroGrad();
-        critic.zeroGrad();
-        for (std::size_t k = start; k < end; ++k) {
-          const Transition& t = buffer.transitions[order[k]];
-          const double advantage = adv.advantages[order[k]];
-
-          const linalg::Vector logits = policy.forward(t.observation);
-          const double newLp = jointLogProb(logits, t.actions, apH);
-          const double ratio = std::exp(newLp - t.logProb);
-          // Clipped surrogate: gradient flows only when unclipped term is
-          // the active minimum.
-          const bool clipped =
-              (advantage > 0.0 && ratio > 1.0 + cfg.clipRatio) ||
-              (advantage < 0.0 && ratio < 1.0 - cfg.clipRatio);
-          linalg::Vector g(logits.size(), 0.0);
-          if (!clipped) {
-            g = jointLogProbGrad(logits, t.actions, apH);
-            for (double& gv : g) gv *= ratio * advantage;
-          }
-          const linalg::Vector eg = jointEntropyGrad(logits, apH);
-          for (std::size_t i = 0; i < g.size(); ++i)
-            g[i] = -(g[i] + cfg.entropyCoeff * eg[i]) * invB;
-          policy.backward(g);
-
-          const linalg::Vector vp = critic.forward(t.observation);
-          critic.backward({2.0 * (vp[0] - adv.returns[order[k]]) * invB});
-        }
-        nn::clipGradNorm(policy, cfg.maxGradNorm);
-        nn::clipGradNorm(critic, cfg.maxGradNorm);
-        policyOpt.step(policy);
-        criticOpt.step(critic);
-      }
+    const FlatRollout data =
+        flattenRollouts(buffers, cfg.gamma, cfg.gaeLambda);
+    if (cfg.batchedTraining) {
+      ppoUpdateBatched(policy, critic, policyOpt, criticOpt, data, cfg,
+                       shuffleRng);
+    } else {
+      ppoUpdatePerSample(policy, critic, policyOpt, criticOpt, data, cfg,
+                         shuffleRng);
     }
   }
 
-  out.totalSimulations = env.simulationsUsed();
-  out.solved = env.simsAtFirstSolve() > 0;
+  out.totalSimulations = collector.totalSimulations();
+  out.solved = collector.solved();
   out.simulationsToSolve =
-      out.solved ? env.simsAtFirstSolve() : env.simulationsUsed();
+      out.solved ? collector.simsAtFirstSolve() : collector.totalSimulations();
   return out;
 }
 

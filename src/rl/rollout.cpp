@@ -1,39 +1,67 @@
 #include "rl/rollout.hpp"
 
-#include <cmath>
+#include <algorithm>
+#include <cassert>
+
+#include "linalg/stats.hpp"
 
 namespace trdse::rl {
 
 AdvantageResult computeGae(const RolloutBuffer& buffer, double gamma,
                            double lambda) {
   const std::size_t n = buffer.size();
-  AdvantageResult r;
-  r.advantages.assign(n, 0.0);
-  r.returns.assign(n, 0.0);
-  double gae = 0.0;
-  double nextValue = buffer.bootstrapValue;
-  for (std::size_t ii = n; ii-- > 0;) {
-    const Transition& t = buffer.transitions[ii];
-    const double mask = t.done ? 0.0 : 1.0;
-    const double delta = t.reward + gamma * nextValue * mask - t.valueEstimate;
-    gae = delta + gamma * lambda * mask * gae;
-    r.advantages[ii] = gae;
-    r.returns[ii] = gae + t.valueEstimate;
-    nextValue = t.valueEstimate;
+  std::vector<double> rewards(n);
+  std::vector<double> values(n);
+  std::vector<unsigned char> done(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transition& t = buffer.transitions[i];
+    rewards[i] = t.reward;
+    values[i] = t.valueEstimate;
+    done[i] = t.done ? 1 : 0;
   }
+  AdvantageResult r;
+  linalg::gaeScan(rewards, values, done, buffer.bootstrapValue, gamma, lambda,
+                  r.advantages, r.returns);
   return r;
 }
 
 void normalizeAdvantages(std::vector<double>& adv) {
-  if (adv.size() < 2) return;
-  double mean = 0.0;
-  for (double a : adv) mean += a;
-  mean /= static_cast<double>(adv.size());
-  double var = 0.0;
-  for (double a : adv) var += (a - mean) * (a - mean);
-  var /= static_cast<double>(adv.size());
-  const double std = std::sqrt(var) + 1e-8;
-  for (double& a : adv) a = (a - mean) / std;
+  linalg::standardizeInPlace(adv, 1e-8);
+}
+
+FlatRollout flattenRollouts(const std::vector<RolloutBuffer>& buffers,
+                            double gamma, double lambda) {
+  FlatRollout flat;
+  std::size_t total = 0;
+  std::size_t obsDim = 0;
+  for (const RolloutBuffer& b : buffers) {
+    total += b.size();
+    if (obsDim == 0 && !b.transitions.empty())
+      obsDim = b.transitions.front().observation.size();
+  }
+  flat.observations.resize(total, obsDim);
+  flat.actions.reserve(total);
+  flat.logProbs.reserve(total);
+  flat.advantages.reserve(total);
+  flat.returns.reserve(total);
+
+  for (const RolloutBuffer& b : buffers) {
+    if (b.transitions.empty()) continue;
+    const AdvantageResult adv = computeGae(b, gamma, lambda);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const Transition& t = b.transitions[i];
+      assert(t.observation.size() == obsDim);
+      const std::size_t row = flat.actions.size();
+      std::copy(t.observation.begin(), t.observation.end(),
+                flat.observations.row(row));
+      flat.actions.push_back(t.actions);
+      flat.logProbs.push_back(t.logProb);
+      flat.advantages.push_back(adv.advantages[i]);
+      flat.returns.push_back(adv.returns[i]);
+    }
+  }
+  normalizeAdvantages(flat.advantages);
+  return flat;
 }
 
 }  // namespace trdse::rl

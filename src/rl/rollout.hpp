@@ -1,5 +1,5 @@
-// Rollout storage and generalized advantage estimation shared by the
-// model-free baselines.
+// Rollout storage, generalized advantage estimation, and the flattened
+// update-ready view shared by the model-free baselines (A2C / PPO / TRPO).
 #pragma once
 
 #include <vector>
@@ -8,24 +8,33 @@
 
 namespace trdse::rl {
 
+/// One environment step as recorded during rollout collection.
 struct Transition {
-  linalg::Vector observation;
-  std::vector<std::size_t> actions;
-  double reward = 0.0;
-  double valueEstimate = 0.0;
-  double logProb = 0.0;
-  bool done = false;
+  linalg::Vector observation;        ///< observation the action was taken from
+  std::vector<std::size_t> actions;  ///< one sub-action per parameter head
+  double reward = 0.0;               ///< reward received for the step
+  double valueEstimate = 0.0;        ///< critic value of `observation`
+  double logProb = 0.0;              ///< behavior-policy joint log pi(a|s)
+  bool done = false;                 ///< episode ended after this step
 };
 
+/// Trajectory fragment collected from a single environment.
 struct RolloutBuffer {
+  /// Transitions in collection order (may span multiple episodes).
   std::vector<Transition> transitions;
   /// Value estimate of the state after the last transition (0 when done).
   double bootstrapValue = 0.0;
 
+  /// Number of stored transitions.
   std::size_t size() const { return transitions.size(); }
-  void clear() { transitions.clear(); }
+  /// Drop all transitions and reset the bootstrap value.
+  void clear() {
+    transitions.clear();
+    bootstrapValue = 0.0;
+  }
 };
 
+/// Advantage estimates aligned with a rollout's transitions.
 struct AdvantageResult {
   std::vector<double> advantages;  ///< GAE(lambda)
   std::vector<double> returns;     ///< advantages + value estimates
@@ -37,5 +46,28 @@ AdvantageResult computeGae(const RolloutBuffer& buffer, double gamma,
 
 /// In-place standardization of advantages (zero mean, unit variance).
 void normalizeAdvantages(std::vector<double>& adv);
+
+/// Update-ready flattened view of one or more per-environment rollouts:
+/// observations as one batch matrix, plus parallel per-transition arrays.
+/// Row/index t of every member refers to the same transition.
+struct FlatRollout {
+  linalg::Matrix observations;                    ///< T x obsDim batch matrix
+  std::vector<std::vector<std::size_t>> actions;  ///< per-head sub-actions
+  linalg::Vector logProbs;                        ///< behavior-policy log pi
+  std::vector<double> advantages;                 ///< normalized GAE(lambda)
+  std::vector<double> returns;                    ///< GAE + value estimates
+
+  /// Number of flattened transitions.
+  std::size_t size() const { return actions.size(); }
+};
+
+/// Flatten per-environment rollouts into update-ready arrays: GAE runs per
+/// environment against that environment's own bootstrap value, fragments are
+/// concatenated in environment order (so the result is independent of how
+/// collection was scheduled across threads), and advantages are normalized
+/// jointly over the concatenation. For a single environment this reproduces
+/// computeGae + normalizeAdvantages bitwise.
+FlatRollout flattenRollouts(const std::vector<RolloutBuffer>& buffers,
+                            double gamma, double lambda);
 
 }  // namespace trdse::rl

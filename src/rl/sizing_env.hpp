@@ -16,31 +16,39 @@
 
 namespace trdse::rl {
 
+/// Environment shaping parameters.
 struct EnvConfig {
-  std::size_t episodeLength = 50;
+  std::size_t episodeLength = 50;  ///< steps before a forced episode end
   std::size_t strideDivisor = 16;  ///< per-move stride = max(1, steps/divisor)
-  double solveBonus = 10.0;
+  double solveBonus = 10.0;        ///< reward bonus at a satisfying design
   double failedSimScore = -1.0;  ///< per-spec score when simulation fails
 };
 
+/// What one environment step returns.
 struct StepResult {
-  linalg::Vector observation;
-  double reward = 0.0;
-  bool done = false;
-  bool solved = false;
+  linalg::Vector observation;  ///< observation after the move
+  double reward = 0.0;         ///< Value-based reward (+ solve bonus)
+  bool done = false;           ///< episode ended (solved or out of steps)
+  bool solved = false;         ///< the design met every spec
 };
 
+/// The AutoCkt-style multi-discrete sizing environment.
 class SizingEnv {
  public:
   /// Uses the problem's first corner only (Table I is single-PVT).
   SizingEnv(const core::SizingProblem& problem, EnvConfig config,
             std::uint64_t seed);
 
+  /// Observation vector length (params + 2 * specs).
   std::size_t observationDim() const;
+  /// One categorical head per sizing parameter.
   std::size_t actionHeads() const { return problem_.space.dim(); }
+  /// Sub-actions per head: decrement / hold / increment.
   static constexpr std::size_t kActionsPerHead = 3;
 
+  /// Jump to a random grid point and start a new episode (one simulation).
   linalg::Vector reset();
+  /// Apply one move per parameter and simulate the new point.
   StepResult step(const std::vector<std::size_t>& actions);
 
   /// SPICE simulations consumed since construction (the Table I budget).
@@ -48,6 +56,7 @@ class SizingEnv {
   /// Simulation count at the first solved step (0 when never solved).
   std::size_t simsAtFirstSolve() const { return simsAtFirstSolve_; }
 
+  /// Raw (non-unit) sizing at the current grid position.
   const linalg::Vector& currentSizes() const { return sizes_; }
 
  private:

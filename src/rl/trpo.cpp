@@ -2,198 +2,286 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 
-#include "nn/optimizer.hpp"
 #include "rl/actor_critic.hpp"
-#include "rl/rollout.hpp"
+#include "rl/vec_env.hpp"
 
 namespace trdse::rl {
 
 namespace {
 
+constexpr std::size_t kApH = SizingEnv::kActionsPerHead;
+
+linalg::Vector obsRow(const FlatRollout& data, std::size_t i) {
+  const double* r = data.observations.row(i);
+  return linalg::Vector(r, r + data.observations.cols());
+}
+
+// ---- Per-sample (legacy reference) rollout-wide passes ----
+
 /// Mean gradient of the surrogate L = E[ratio * A] at theta_old (ratio = 1).
-linalg::Vector surrogateGrad(nn::Mlp& policy, const RolloutBuffer& buffer,
-                             const std::vector<double>& advantages,
-                             std::size_t apH) {
+linalg::Vector surrogateGradPerSample(nn::Mlp& policy, const FlatRollout& data) {
   policy.zeroGrad();
-  const double invN = 1.0 / static_cast<double>(buffer.size());
-  for (std::size_t i = 0; i < buffer.size(); ++i) {
-    const Transition& t = buffer.transitions[i];
-    const linalg::Vector logits = policy.forward(t.observation);
-    linalg::Vector g = jointLogProbGrad(logits, t.actions, apH);
+  const double invN = 1.0 / static_cast<double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const linalg::Vector logits = policy.forward(obsRow(data, i));
+    linalg::Vector g = jointLogProbGrad(logits, data.actions[i], kApH);
     // exp(newLp - oldLp) == 1 at theta_old; gradient of ratio*A is A*dlogpi.
-    for (double& gv : g) gv *= advantages[i] * invN;
+    for (double& gv : g) gv *= data.advantages[i] * invN;
     policy.backward(g);
   }
   return policy.getGradients();
 }
 
 /// Mean gradient of KL(old || current) over the rollout states.
-linalg::Vector klGrad(nn::Mlp& policy, const RolloutBuffer& buffer,
-                      const std::vector<linalg::Vector>& oldLogits,
-                      std::size_t apH) {
+linalg::Vector klGradPerSample(nn::Mlp& policy, const FlatRollout& data,
+                               const std::vector<linalg::Vector>& oldLogits) {
   policy.zeroGrad();
-  const double invN = 1.0 / static_cast<double>(buffer.size());
-  for (std::size_t i = 0; i < buffer.size(); ++i) {
-    const linalg::Vector logits = policy.forward(buffer.transitions[i].observation);
-    linalg::Vector g = jointKlGrad(oldLogits[i], logits, apH);
+  const double invN = 1.0 / static_cast<double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const linalg::Vector logits = policy.forward(obsRow(data, i));
+    linalg::Vector g = jointKlGrad(oldLogits[i], logits, kApH);
     for (double& gv : g) gv *= invN;
     policy.backward(g);
   }
   return policy.getGradients();
 }
 
-double meanKl(const nn::Mlp& policy, const RolloutBuffer& buffer,
-              const std::vector<linalg::Vector>& oldLogits, std::size_t apH) {
+double meanKlPerSample(const nn::Mlp& policy, const FlatRollout& data,
+                       const std::vector<linalg::Vector>& oldLogits) {
   double kl = 0.0;
-  for (std::size_t i = 0; i < buffer.size(); ++i)
-    kl += jointKl(oldLogits[i],
-                  policy.predict(buffer.transitions[i].observation), apH);
-  return kl / static_cast<double>(buffer.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    kl += jointKl(oldLogits[i], policy.predict(obsRow(data, i)), kApH);
+  return kl / static_cast<double>(data.size());
 }
 
-double surrogateValue(const nn::Mlp& policy, const RolloutBuffer& buffer,
-                      const std::vector<double>& advantages, std::size_t apH) {
+double surrogateValuePerSample(const nn::Mlp& policy, const FlatRollout& data) {
   double s = 0.0;
-  for (std::size_t i = 0; i < buffer.size(); ++i) {
-    const Transition& t = buffer.transitions[i];
+  for (std::size_t i = 0; i < data.size(); ++i) {
     const double lp =
-        jointLogProb(policy.predict(t.observation), t.actions, apH);
-    s += std::exp(lp - t.logProb) * advantages[i];
+        jointLogProb(policy.predict(obsRow(data, i)), data.actions[i], kApH);
+    s += std::exp(lp - data.logProbs[i]) * data.advantages[i];
   }
-  return s / static_cast<double>(buffer.size());
+  return s / static_cast<double>(data.size());
+}
+
+void criticEpochPerSample(nn::Mlp& critic, nn::Optimizer& criticOpt,
+                          const FlatRollout& data) {
+  critic.zeroGrad();
+  const double invN = 1.0 / static_cast<double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const linalg::Vector vp = critic.forward(obsRow(data, i));
+    critic.backward({2.0 * (vp[0] - data.returns[i]) * invN});
+  }
+  criticOpt.step(critic);
+}
+
+// ---- Batched rollout-wide passes (bitwise identical to the above) ----
+
+/// Scratch for the batched TRPO passes. The softmax / log-softmax tables of
+/// the (fixed) old policy are evaluated once per update and reused by every
+/// Fisher-vector product and line-search step; the per-call buffers persist
+/// across the CG loop, so the steady-state update does not allocate.
+struct TrpoBatchScratch {
+  linalg::Matrix oldSm;   // softmax table of the old policy
+  linalg::Matrix oldLsm;  // log-softmax table of the old policy
+  linalg::Matrix logits;  // predictBatch output
+  nn::Mlp::BatchWorkspace ws;
+  linalg::Matrix sm;
+  linalg::Matrix lsm;
+  linalg::Matrix g;
+  linalg::Vector lps;
+};
+
+linalg::Vector surrogateGradBatched(nn::Mlp& policy, const FlatRollout& data,
+                                    TrpoBatchScratch& s) {
+  policy.zeroGrad();
+  const double invN = 1.0 / static_cast<double>(data.size());
+  const linalg::Matrix& logits = policy.forwardBatch(data.observations);
+  nn::softmaxSegments(logits, kApH, s.sm);
+  jointLogProbGradRowsFromTable(s.sm, data.actions, kApH, s.g);
+  for (std::size_t r = 0; r < s.g.rows(); ++r) {
+    const double scale = data.advantages[r] * invN;
+    double* gr = s.g.row(r);
+    for (std::size_t j = 0; j < s.g.cols(); ++j) gr[j] *= scale;
+  }
+  policy.backwardBatch(s.g);
+  return policy.getGradients();
+}
+
+linalg::Vector klGradBatched(nn::Mlp& policy, const FlatRollout& data,
+                             TrpoBatchScratch& s) {
+  policy.zeroGrad();
+  const double invN = 1.0 / static_cast<double>(data.size());
+  const linalg::Matrix& logits = policy.forwardBatch(data.observations);
+  nn::softmaxSegments(logits, kApH, s.sm);
+  jointKlGradRowsFromTables(s.oldSm, s.sm, s.g);
+  for (std::size_t i = 0; i < s.g.size(); ++i) s.g.data()[i] *= invN;
+  policy.backwardBatch(s.g);
+  return policy.getGradients();
+}
+
+/// Mean KL against the old policy and surrogate value in one batched
+/// forward pass (the per-sample path derives both from the same policy, so
+/// sharing the pass is bitwise-safe).
+std::pair<double, double> klAndSurrogateBatched(const nn::Mlp& policy,
+                                                const FlatRollout& data,
+                                                TrpoBatchScratch& s) {
+  policy.predictBatch(data.observations, s.logits, s.ws);
+  nn::logSoftmaxSegments(s.logits, kApH, s.lsm);
+  const double kl = sumJointKlRowsFromTables(s.oldLsm, s.lsm, kApH) /
+                    static_cast<double>(data.size());
+  jointLogProbRowsFromTable(s.lsm, data.actions, kApH, s.lps);
+  double surr = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    surr += std::exp(s.lps[i] - data.logProbs[i]) * data.advantages[i];
+  surr /= static_cast<double>(data.size());
+  return {kl, surr};
+}
+
+void criticEpochBatched(nn::Mlp& critic, nn::Optimizer& criticOpt,
+                        const FlatRollout& data) {
+  critic.zeroGrad();
+  const double invN = 1.0 / static_cast<double>(data.size());
+  const linalg::Matrix& vp = critic.forwardBatch(data.observations);
+  linalg::Matrix gv(data.size(), 1);
+  for (std::size_t r = 0; r < data.size(); ++r)
+    gv(r, 0) = 2.0 * (vp(r, 0) - data.returns[r]) * invN;
+  critic.backwardBatch(gv);
+  criticOpt.step(critic);
 }
 
 }  // namespace
 
+bool trpoUpdate(nn::Mlp& policy, nn::Mlp& critic, nn::Optimizer& criticOpt,
+                const FlatRollout& data, const TrpoConfig& cfg, bool batched) {
+  if (data.size() == 0) return false;
+
+  // Snapshot old policy logits for KL and ratios.
+  std::vector<linalg::Vector> oldLogitsPS;
+  TrpoBatchScratch scratch;
+  if (batched) {
+    const linalg::Matrix oldLogits = policy.predictBatch(data.observations);
+    nn::softmaxSegments(oldLogits, kApH, scratch.oldSm);
+    nn::logSoftmaxSegments(oldLogits, kApH, scratch.oldLsm);
+  } else {
+    oldLogitsPS.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+      oldLogitsPS.push_back(policy.predict(obsRow(data, i)));
+  }
+
+  const linalg::Vector g = batched ? surrogateGradBatched(policy, data, scratch)
+                                   : surrogateGradPerSample(policy, data);
+  const double gNorm = linalg::norm2(g);
+  if (gNorm < 1e-10) return false;
+
+  // Fisher-vector product via finite difference of the KL gradient around
+  // theta_old (where grad KL == 0). With `batched` set, each product is one
+  // forwardBatch/backwardBatch pass over the whole rollout instead of N
+  // per-sample round trips — the CG solve is where TRPO's update time lives.
+  const linalg::Vector theta0 = policy.getParameters();
+  auto fvp = [&](const linalg::Vector& v) {
+    constexpr double kEps = 1e-5;
+    const double vNorm = linalg::norm2(v);
+    if (vNorm < 1e-12) return linalg::scaled(v, cfg.cgDamping);
+    policy.setParameters(theta0);
+    policy.addToParameters(v, kEps / vNorm);
+    linalg::Vector gk = batched ? klGradBatched(policy, data, scratch)
+                                : klGradPerSample(policy, data, oldLogitsPS);
+    policy.setParameters(theta0);
+    for (double& x : gk) x *= vNorm / kEps;
+    linalg::axpy(cfg.cgDamping, v, gk);
+    return gk;
+  };
+
+  // Conjugate gradients: solve F x = g.
+  linalg::Vector x(g.size(), 0.0);
+  linalg::Vector r = g;
+  linalg::Vector p = g;
+  double rsOld = linalg::dot(r, r);
+  for (std::size_t it = 0; it < cfg.cgIterations && rsOld > 1e-12; ++it) {
+    const linalg::Vector fp = fvp(p);
+    const double alpha = rsOld / std::max(1e-12, linalg::dot(p, fp));
+    linalg::axpy(alpha, p, x);
+    linalg::axpy(-alpha, fp, r);
+    const double rsNew = linalg::dot(r, r);
+    const double beta = rsNew / rsOld;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
+    rsOld = rsNew;
+  }
+
+  const double xFx = linalg::dot(x, fvp(x));
+  if (xFx <= 1e-12) return false;
+  const double stepScale = std::sqrt(2.0 * cfg.maxKl / xFx);
+
+  // Backtracking line search on the true surrogate + KL constraint.
+  const double surrogate0 =
+      batched ? klAndSurrogateBatched(policy, data, scratch).second
+              : surrogateValuePerSample(policy, data);
+  double frac = 1.0;
+  bool accepted = false;
+  for (std::size_t ls = 0; ls < cfg.lineSearchSteps; ++ls, frac *= 0.5) {
+    policy.setParameters(theta0);
+    policy.addToParameters(x, stepScale * frac);
+    double kl;
+    double surr;
+    if (batched) {
+      std::tie(kl, surr) = klAndSurrogateBatched(policy, data, scratch);
+    } else {
+      kl = meanKlPerSample(policy, data, oldLogitsPS);
+      surr = surrogateValuePerSample(policy, data);
+    }
+    if (kl <= cfg.maxKl * 1.5 && surr > surrogate0) {
+      accepted = true;
+      break;
+    }
+  }
+  if (!accepted) policy.setParameters(theta0);
+
+  // Critic regression on the GAE returns.
+  for (std::size_t e = 0; e < cfg.valueEpochs; ++e) {
+    if (batched) {
+      criticEpochBatched(critic, criticOpt, data);
+    } else {
+      criticEpochPerSample(critic, criticOpt, data);
+    }
+  }
+  return accepted;
+}
+
 RlTrainOutcome trainTrpo(const core::SizingProblem& problem,
                          const TrpoConfig& cfg, std::size_t maxSimulations) {
   RlTrainOutcome out;
-  SizingEnv env(problem, cfg.env, cfg.seed);
-  std::mt19937_64 rng(cfg.seed + 37);
-
-  const std::size_t heads = env.actionHeads();
-  const std::size_t apH = SizingEnv::kActionsPerHead;
-  nn::Mlp policy = makePolicyNet(env.observationDim(), heads, apH, cfg.hidden,
+  ParallelRolloutCollector collector(problem, cfg.env,
+                                     std::max<std::size_t>(1, cfg.numEnvs),
+                                     cfg.rolloutThreads, cfg.seed,
+                                     /*rngSalt=*/37);
+  nn::Mlp policy = makePolicyNet(collector.observationDim(),
+                                 collector.actionHeads(), kApH, cfg.hidden,
                                  cfg.seed + 41);
-  nn::Mlp critic = makeValueNet(env.observationDim(), cfg.hidden, cfg.seed + 43);
+  nn::Mlp critic =
+      makeValueNet(collector.observationDim(), cfg.hidden, cfg.seed + 43);
   nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
 
-  linalg::Vector obs = env.reset();
-  double episodeReturn = 0.0;
   out.bestEpisodeReturn = -1e18;
+  std::vector<RolloutBuffer> buffers;
+  while (collector.totalSimulations() < maxSimulations && !collector.solved()) {
+    const CollectStats stats = collector.collect(policy, critic, cfg.horizon,
+                                                 maxSimulations, buffers);
+    out.bestEpisodeReturn = std::max(out.bestEpisodeReturn,
+                                     stats.bestEpisodeReturn);
+    if (stats.anySolved || stats.steps == 0) break;
 
-  RolloutBuffer buffer;
-  while (env.simulationsUsed() < maxSimulations && env.simsAtFirstSolve() == 0) {
-    buffer.clear();
-    for (std::size_t s = 0;
-         s < cfg.horizon && env.simulationsUsed() < maxSimulations; ++s) {
-      const PolicySample ps = samplePolicy(policy, obs, heads, apH, rng);
-      const double v = critic.predict(obs)[0];
-      const StepResult sr = env.step(ps.actions);
-      Transition t;
-      t.observation = obs;
-      t.actions = ps.actions;
-      t.reward = sr.reward;
-      t.valueEstimate = v;
-      t.logProb = ps.logProb;
-      t.done = sr.done;
-      buffer.transitions.push_back(std::move(t));
-      episodeReturn += sr.reward;
-      obs = sr.observation;
-      if (sr.done) {
-        out.bestEpisodeReturn = std::max(out.bestEpisodeReturn, episodeReturn);
-        episodeReturn = 0.0;
-        if (sr.solved) break;
-        obs = env.reset();
-      }
-    }
-    if (env.simsAtFirstSolve() > 0 || buffer.transitions.empty()) break;
-
-    buffer.bootstrapValue =
-        buffer.transitions.back().done ? 0.0 : critic.predict(obs)[0];
-    AdvantageResult adv = computeGae(buffer, cfg.gamma, cfg.gaeLambda);
-    normalizeAdvantages(adv.advantages);
-
-    // Snapshot old policy logits for KL and ratios.
-    std::vector<linalg::Vector> oldLogits;
-    oldLogits.reserve(buffer.size());
-    for (const auto& t : buffer.transitions)
-      oldLogits.push_back(policy.predict(t.observation));
-
-    const linalg::Vector g = surrogateGrad(policy, buffer, adv.advantages, apH);
-    const double gNorm = linalg::norm2(g);
-    if (gNorm < 1e-10) continue;
-
-    // Fisher-vector product via finite difference of the KL gradient around
-    // theta_old (where grad KL == 0).
-    const linalg::Vector theta0 = policy.getParameters();
-    auto fvp = [&](const linalg::Vector& v) {
-      constexpr double kEps = 1e-5;
-      const double vNorm = linalg::norm2(v);
-      if (vNorm < 1e-12) return linalg::scaled(v, cfg.cgDamping);
-      policy.setParameters(theta0);
-      policy.addToParameters(v, kEps / vNorm);
-      linalg::Vector gk = klGrad(policy, buffer, oldLogits, apH);
-      policy.setParameters(theta0);
-      for (double& x : gk) x *= vNorm / kEps;
-      linalg::axpy(cfg.cgDamping, v, gk);
-      return gk;
-    };
-
-    // Conjugate gradients: solve F x = g.
-    linalg::Vector x(g.size(), 0.0);
-    linalg::Vector r = g;
-    linalg::Vector p = g;
-    double rsOld = linalg::dot(r, r);
-    for (std::size_t it = 0; it < cfg.cgIterations && rsOld > 1e-12; ++it) {
-      const linalg::Vector fp = fvp(p);
-      const double alpha = rsOld / std::max(1e-12, linalg::dot(p, fp));
-      linalg::axpy(alpha, p, x);
-      linalg::axpy(-alpha, fp, r);
-      const double rsNew = linalg::dot(r, r);
-      const double beta = rsNew / rsOld;
-      for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
-      rsOld = rsNew;
-    }
-
-    const double xFx = linalg::dot(x, fvp(x));
-    if (xFx <= 1e-12) continue;
-    const double stepScale = std::sqrt(2.0 * cfg.maxKl / xFx);
-
-    // Backtracking line search on the true surrogate + KL constraint.
-    const double surrogate0 =
-        surrogateValue(policy, buffer, adv.advantages, apH);
-    double frac = 1.0;
-    bool accepted = false;
-    for (std::size_t ls = 0; ls < cfg.lineSearchSteps; ++ls, frac *= 0.5) {
-      policy.setParameters(theta0);
-      policy.addToParameters(x, stepScale * frac);
-      const double kl = meanKl(policy, buffer, oldLogits, apH);
-      const double surr = surrogateValue(policy, buffer, adv.advantages, apH);
-      if (kl <= cfg.maxKl * 1.5 && surr > surrogate0) {
-        accepted = true;
-        break;
-      }
-    }
-    if (!accepted) policy.setParameters(theta0);
-
-    // Critic regression on the GAE returns.
-    for (std::size_t e = 0; e < cfg.valueEpochs; ++e) {
-      critic.zeroGrad();
-      const double invN = 1.0 / static_cast<double>(buffer.size());
-      for (std::size_t i = 0; i < buffer.size(); ++i) {
-        const linalg::Vector vp = critic.forward(buffer.transitions[i].observation);
-        critic.backward({2.0 * (vp[0] - adv.returns[i]) * invN});
-      }
-      criticOpt.step(critic);
-    }
+    const FlatRollout data =
+        flattenRollouts(buffers, cfg.gamma, cfg.gaeLambda);
+    trpoUpdate(policy, critic, criticOpt, data, cfg, cfg.batchedTraining);
   }
 
-  out.totalSimulations = env.simulationsUsed();
-  out.solved = env.simsAtFirstSolve() > 0;
+  out.totalSimulations = collector.totalSimulations();
+  out.solved = collector.solved();
   out.simulationsToSolve =
-      out.solved ? env.simsAtFirstSolve() : env.simulationsUsed();
+      out.solved ? collector.simsAtFirstSolve() : collector.totalSimulations();
   return out;
 }
 

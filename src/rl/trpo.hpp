@@ -5,31 +5,60 @@
 //
 // Natural-gradient step solved by conjugate gradients on Fisher-vector
 // products (finite-difference of the KL gradient), followed by a backtracking
-// line search enforcing the KL constraint and surrogate improvement.
+// line search enforcing the KL constraint and surrogate improvement. Every
+// rollout-wide pass (surrogate gradient, KL gradient inside the CG
+// Fisher-vector product, mean KL, surrogate value, critic regression) runs
+// either as one batched GEMM pass or as the legacy per-sample loop
+// (`batchedTraining`), with both paths bitwise identical.
 #pragma once
 
 #include "core/problem.hpp"
+#include "nn/optimizer.hpp"
 #include "rl/a2c.hpp"  // RlTrainOutcome
+#include "rl/rollout.hpp"
 #include "rl/sizing_env.hpp"
 
 namespace trdse::rl {
 
+/// Hyper-parameters of the TRPO baseline trainer.
 struct TrpoConfig {
-  std::size_t horizon = 256;
-  double gamma = 0.99;
-  double gaeLambda = 0.95;
-  double maxKl = 0.01;
-  double cgDamping = 0.1;
-  std::size_t cgIterations = 10;
-  std::size_t lineSearchSteps = 10;
-  double valueLearningRate = 1e-3;
-  std::size_t valueEpochs = 5;
-  std::size_t hidden = 64;
-  EnvConfig env;
-  std::uint64_t seed = 1;
+  std::size_t horizon = 256;        ///< rollout steps per env per update
+  double gamma = 0.99;              ///< discount factor
+  double gaeLambda = 0.95;          ///< GAE(lambda) mixing coefficient
+  double maxKl = 0.01;              ///< trust-region KL radius
+  double cgDamping = 0.1;           ///< Fisher damping added to F*v
+  std::size_t cgIterations = 10;    ///< conjugate-gradient iterations
+  std::size_t lineSearchSteps = 10; ///< backtracking line-search attempts
+  double valueLearningRate = 1e-3;  ///< critic Adam step size
+  std::size_t valueEpochs = 5;      ///< critic regression epochs per rollout
+  std::size_t hidden = 64;          ///< hidden width of policy/critic MLPs
+  /// Batched rollout-wide passes (bitwise identical to per-sample).
+  bool batchedTraining = true;
+  /// Parallel rollout environments (1 reproduces the pre-collector serial
+  /// trainer bitwise).
+  std::size_t numEnvs = 1;
+  /// Worker threads for rollout collection: 1 = inline, 0 = hardware
+  /// concurrency. Trajectories are thread-count invariant, but with more
+  /// than one worker the problem's evaluate callback must be thread-safe.
+  std::size_t rolloutThreads = 1;
+  EnvConfig env;                    ///< sizing-environment parameters
+  std::uint64_t seed = 1;           ///< base seed for envs, nets and sampling
 };
 
+/// Train on the problem's first corner until a satisfying design is found or
+/// the simulation budget is exhausted.
 RlTrainOutcome trainTrpo(const core::SizingProblem& problem,
                          const TrpoConfig& cfg, std::size_t maxSimulations);
+
+/// One full TRPO update (natural-gradient policy step via CG on
+/// Fisher-vector products + backtracking line search, then critic
+/// regression) over a flattened rollout. `batched` selects the batched or
+/// the legacy per-sample math — the two produce bitwise-identical parameter
+/// traces. Returns whether the line search accepted a policy step (the
+/// update is skipped entirely when the surrogate gradient or the CG
+/// curvature degenerates, matching the serial trainer). Exposed for parity
+/// tests and benchmarks.
+bool trpoUpdate(nn::Mlp& policy, nn::Mlp& critic, nn::Optimizer& criticOpt,
+                const FlatRollout& data, const TrpoConfig& cfg, bool batched);
 
 }  // namespace trdse::rl

@@ -1,0 +1,127 @@
+#include "rl/vec_env.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rl/actor_critic.hpp"
+
+namespace trdse::rl {
+
+ParallelRolloutCollector::ParallelRolloutCollector(
+    const core::SizingProblem& problem, const EnvConfig& envConfig,
+    std::size_t numEnvs, std::size_t threads, std::uint64_t seed,
+    std::uint64_t rngSalt)
+    : pool_(numEnvs <= 1 ? 1 : threads) {
+  assert(numEnvs >= 1);
+  slots_.reserve(numEnvs);
+  for (std::size_t e = 0; e < numEnvs; ++e) {
+    // Environment 0 keeps the pre-collector seed derivation so single-env
+    // runs reproduce the original serial trainers bitwise; the rest get
+    // well-mixed independent streams.
+    const std::uint64_t envSeed =
+        e == 0 ? seed : common::perTaskSeed(seed, e);
+    const std::uint64_t rngSeed =
+        e == 0 ? seed + rngSalt : common::perTaskSeed(seed + rngSalt, e);
+    slots_.push_back(
+        std::make_unique<EnvSlot>(problem, envConfig, envSeed, rngSeed));
+  }
+  // Initial resets (one simulation each) can fan out like any other round.
+  pool_.parallelFor(slots_.size(),
+                    [&](std::size_t e) { slots_[e]->obs = slots_[e]->env.reset(); });
+}
+
+std::size_t ParallelRolloutCollector::observationDim() const {
+  return slots_.front()->env.observationDim();
+}
+
+std::size_t ParallelRolloutCollector::actionHeads() const {
+  return slots_.front()->env.actionHeads();
+}
+
+std::size_t ParallelRolloutCollector::totalSimulations() const {
+  std::size_t total = 0;
+  for (const auto& s : slots_) total += s->env.simulationsUsed();
+  return total;
+}
+
+CollectStats ParallelRolloutCollector::collect(
+    const nn::Mlp& policy, const nn::Mlp& critic, std::size_t stepsPerEnv,
+    std::size_t maxTotalSims, std::vector<RolloutBuffer>& buffers) {
+  const std::size_t n = slots_.size();
+  buffers.resize(n);
+
+  // Deterministic split of the remaining simulation budget: env e may burn
+  // floor(remaining / n) simulations, the first (remaining % n) envs one
+  // more. Independent of scheduling, and equal to the serial trainer's
+  // "stop when simulationsUsed() reaches the budget" rule when n == 1.
+  const std::size_t used = totalSimulations();
+  const std::size_t remaining = maxTotalSims > used ? maxTotalSims - used : 0;
+  const std::size_t base = remaining / n;
+  const std::size_t extra = remaining % n;
+
+  const std::size_t heads = actionHeads();
+  constexpr std::size_t apH = SizingEnv::kActionsPerHead;
+  std::vector<double> bestReturns(n, -1e18);
+
+  pool_.parallelFor(n, [&](std::size_t e) {
+    EnvSlot& slot = *slots_[e];
+    RolloutBuffer& buf = buffers[e];
+    buf.clear();
+    const std::size_t allowance = base + (e < extra ? 1 : 0);
+    const std::size_t simsAtStart = slot.env.simulationsUsed();
+    // An env that solved last round sits on a terminal observation; start it
+    // on a fresh episode. The reset is deferred to here (not done at the
+    // solve) so a final solving round consumes no extra simulations — the
+    // single-env trainers stop there, matching the pre-collector loops.
+    if (slot.needsReset && allowance > 0) {
+      slot.obs = slot.env.reset();
+      slot.needsReset = false;
+    }
+    for (std::size_t s = 0;
+         s < stepsPerEnv &&
+         slot.env.simulationsUsed() - simsAtStart < allowance;
+         ++s) {
+      const PolicySample ps = samplePolicy(policy, slot.obs, heads, apH,
+                                           slot.rng);
+      const double v = critic.predict(slot.obs)[0];
+      const StepResult sr = slot.env.step(ps.actions);
+
+      Transition t;
+      t.observation = slot.obs;
+      t.actions = ps.actions;
+      t.reward = sr.reward;
+      t.valueEstimate = v;
+      t.logProb = ps.logProb;
+      t.done = sr.done;
+      buf.transitions.push_back(std::move(t));
+
+      slot.episodeReturn += sr.reward;
+      slot.obs = sr.observation;
+      if (sr.done) {
+        bestReturns[e] = std::max(bestReturns[e], slot.episodeReturn);
+        slot.episodeReturn = 0.0;
+        if (sr.solved) {
+          slot.needsReset = true;
+          break;
+        }
+        slot.obs = slot.env.reset();
+      }
+    }
+    buf.bootstrapValue = (buf.transitions.empty() ||
+                          buf.transitions.back().done)
+                             ? 0.0
+                             : critic.predict(slot.obs)[0];
+  });
+
+  CollectStats stats;
+  for (std::size_t e = 0; e < n; ++e) {
+    stats.steps += buffers[e].size();
+    stats.bestEpisodeReturn = std::max(stats.bestEpisodeReturn,
+                                       bestReturns[e]);
+    if (slots_[e]->env.simsAtFirstSolve() > 0) stats.anySolved = true;
+  }
+  if (stats.anySolved && solveSims_ == 0) solveSims_ = totalSimulations();
+  return stats;
+}
+
+}  // namespace trdse::rl
