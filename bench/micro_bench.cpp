@@ -8,12 +8,15 @@
 
 #include "circuits/ico.hpp"
 #include "circuits/ldo.hpp"
+#include "circuits/registry.hpp"
 #include "circuits/two_stage_opamp.hpp"
 #include "common/thread_pool.hpp"
 #include "core/surrogate.hpp"
+#include "eval/eval_engine.hpp"
 #include "linalg/lu.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "pvt/corners.hpp"
 #include "rl/ppo.hpp"
 #include "rl/trpo.hpp"
 
@@ -186,6 +189,53 @@ void BM_PvtCornerSweepPooled(benchmark::State& state) {
   for (auto _ : state) cornerSweep(&pool);
 }
 BENCHMARK(BM_PvtCornerSweepPooled);
+
+// ---- Repeated PVT sweep through the eval engine: memoization hot path ----
+//
+// Progressive PVT search, strategy comparisons, and RL episodes re-evaluate
+// the same snapped sizings on the same corners over and over. The engine's
+// EvalCache serves those repeats for free: this pair sweeps 4 candidate
+// sizings over the 9-corner sign-off set for 8 rounds — uncached pays
+// 4*9*8 = 288 simulations per iteration, cached pays the first round's 36
+// and serves the remaining 252 from the memo. The ratio is the measured
+// blocks-saved speedup recorded in BENCH_micro.json.
+
+void runRepeatedSweep(benchmark::State& state, bool cached) {
+  static const core::SizingProblem prob = [] {
+    return circuits::Registry::global().makeProblem(
+        "two_stage_opamp", pvt::nineCornerSet(sim::bsim45Card().nominalVdd));
+  }();
+  static const std::vector<linalg::Vector> points = [] {
+    std::mt19937_64 rng(17);
+    std::vector<linalg::Vector> pts;
+    for (int i = 0; i < 4; ++i) pts.push_back(prob.space.randomPoint(rng));
+    return pts;
+  }();
+  std::vector<std::size_t> cornerIdx(prob.corners.size());
+  for (std::size_t i = 0; i < cornerIdx.size(); ++i) cornerIdx[i] = i;
+  for (auto _ : state) {
+    eval::EvalEngine engine(prob, {cached, /*threads=*/1});
+    for (int round = 0; round < 8; ++round) {
+      for (const auto& p : points) {
+        auto r = engine.evalBatch(cornerIdx, p, pvt::BlockKind::kSearch);
+        benchmark::DoNotOptimize(r.data());
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          static_cast<std::int64_t>(points.size()) *
+                          static_cast<std::int64_t>(cornerIdx.size()));
+}
+
+void BM_PvtRepeatedSweepUncached(benchmark::State& state) {
+  runRepeatedSweep(state, false);
+}
+BENCHMARK(BM_PvtRepeatedSweepUncached);
+
+void BM_PvtRepeatedSweepCached(benchmark::State& state) {
+  runRepeatedSweep(state, true);
+}
+BENCHMARK(BM_PvtRepeatedSweepCached);
 
 // ---- RL policy-update epochs: the training half of each search step ----
 //

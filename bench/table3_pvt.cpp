@@ -7,7 +7,7 @@
 //   Progressive (random)      89.52 /  20 /  450
 //   Progressive (hardest)     72.60 /  15 /  279
 #include "bench/bench_util.hpp"
-#include "circuits/two_stage_opamp.hpp"
+#include "circuits/registry.hpp"
 #include "core/pvt_search.hpp"
 #include "core/sizing_api.hpp"
 #include "opt/random_search.hpp"
@@ -16,10 +16,10 @@
 using namespace trdse;
 
 int main() {
-  const sim::ProcessCard& card = sim::bsim22Card();
-  const circuits::TwoStageOpamp amp(card);
-  const auto corners = pvt::nineCornerSet(card.nominalVdd);
-  const core::SizingProblem problem = amp.makeProblem(corners, amp.defaultSpecs());
+  const auto corners = pvt::nineCornerSet(sim::bsim22Card().nominalVdd);
+  const core::SizingProblem problem =
+      circuits::Registry::global().makeProblem("two_stage_opamp", corners,
+                                               "bsim22");
   const std::size_t cap = bench::budgetOr(10000);
 
   bench::printTableHeader("Table III: PVT exploration strategies (22nm, 9 corners)",
@@ -49,6 +49,10 @@ int main() {
       core::PvtSearchConfig cfg;
       cfg.strategy = strategy;
       cfg.seed = 3000 + 17 * r;
+      // Paper accounting: every EDA block is a real simulation. The seeded
+      // trajectory (and the totalSims reported below) is bitwise identical
+      // with the cache on; turning it off only pins blocks == simulations.
+      cfg.cacheEvals = false;
       cfg.explorer = core::autoSchedule(problem, cfg.seed);
       core::PvtSearch search(problem, cfg);
       const auto out = search.run(cap);

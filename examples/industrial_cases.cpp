@@ -3,11 +3,15 @@
 // synthetic n5 card (Table V), both solved through the designer-facing
 // session API and compared against the hand "human" reference design.
 //
+// Scenarios come from circuits::Registry by name (the circuit headers are
+// only needed for the static human-reference sizings).
+//
 // Usage: industrial_cases [seed]
 #include <cstdio>
 
 #include "circuits/ico.hpp"
 #include "circuits/ldo.hpp"
+#include "circuits/registry.hpp"
 #include "core/sizing_api.hpp"
 
 using namespace trdse;
@@ -22,62 +26,45 @@ void printRow(const char* who, const linalg::Vector& meas,
   std::printf("\n");
 }
 
+void runCase(const char* circuitName, std::vector<sim::PvtCorner> corners,
+             const linalg::Vector& humanSizing, std::uint64_t seed,
+             std::size_t budget) {
+  const core::SizingProblem problem =
+      circuits::Registry::global().makeProblem(circuitName, corners);
+  std::printf("== %s (space 10^%.1f, %zu corners) ==\n", problem.name.c_str(),
+              problem.space.sizeLog10(), problem.corners.size());
+
+  const auto humanEval = problem.evaluate(humanSizing, problem.corners.front());
+  if (humanEval.ok)
+    printRow("human", humanEval.measurements, problem.measurementNames);
+
+  core::SessionOptions options;
+  options.seed = seed;
+  options.maxSimulations = budget;
+  core::SizingSession session(problem, options);
+  const auto report = session.run();
+  std::printf("  agent solved=%d in %zu requests (%zu simulated, %zu cached)\n",
+              int(report.solved), report.simulations,
+              report.evalStats.simulated, report.evalStats.cacheHits);
+  if (report.solved)
+    printRow("agent", report.cornerEvals.front().measurements,
+             problem.measurementNames);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
 
-  // ---- Case 1: LDO on n6 (multi-corner sign-off).
-  {
-    const circuits::Ldo ldo(sim::n6Card());
-    const std::vector<sim::PvtCorner> corners = {
-        {sim::ProcessCorner::kTT, 0.75, 27.0},
-        {sim::ProcessCorner::kSS, 0.70, 125.0},
-        {sim::ProcessCorner::kFF, 0.80, -40.0},
-    };
-    std::printf("== LDO on n6 (space 10^%.1f, %zu corners) ==\n",
-                circuits::Ldo::designSpace(sim::n6Card()).sizeLog10(),
-                corners.size());
-    const auto human = circuits::Ldo::humanReferenceSizing();
-    const auto humanEval = ldo.evaluate(human, corners.front());
-    if (humanEval.ok)
-      printRow("human", humanEval.measurements, circuits::Ldo::measurementNames());
+  // ---- Case 1: LDO on n6 (multi-corner sign-off, Table IV).
+  runCase("ldo",
+          {{sim::ProcessCorner::kTT, 0.75, 27.0},
+           {sim::ProcessCorner::kSS, 0.70, 125.0},
+           {sim::ProcessCorner::kFF, 0.80, -40.0}},
+          circuits::Ldo::humanReferenceSizing(), seed, 20000);
 
-    core::SessionOptions options;
-    options.seed = seed;
-    options.maxSimulations = 20000;
-    core::SizingSession session(ldo.makeProblem(corners, ldo.defaultSpecs()),
-                                options);
-    const auto report = session.run();
-    std::printf("  agent solved=%d in %zu EDA blocks\n", int(report.solved),
-                report.simulations);
-    if (report.solved)
-      printRow("agent", report.cornerEvals.front().measurements,
-               circuits::Ldo::measurementNames());
-  }
-
-  // ---- Case 2: ICO on n5 (single corner, small space).
-  {
-    const circuits::Ico ico(sim::n5Card());
-    const std::vector<sim::PvtCorner> corners = {
-        {sim::ProcessCorner::kTT, 0.70, 27.0}};
-    std::printf("== ICO on n5 (space 20^4) ==\n");
-    const auto human = circuits::Ico::humanReferenceSizing();
-    const auto humanEval = ico.evaluate(human, corners.front());
-    if (humanEval.ok)
-      printRow("human", humanEval.measurements, circuits::Ico::measurementNames());
-
-    core::SessionOptions options;
-    options.seed = seed;
-    options.maxSimulations = 2000;
-    core::SizingSession session(ico.makeProblem(corners, ico.defaultSpecs()),
-                                options);
-    const auto report = session.run();
-    std::printf("  agent solved=%d in %zu EDA blocks\n", int(report.solved),
-                report.simulations);
-    if (report.solved)
-      printRow("agent", report.cornerEvals.front().measurements,
-               circuits::Ico::measurementNames());
-  }
+  // ---- Case 2: ICO on n5 (single corner, small space, Table V).
+  runCase("ico", {{sim::ProcessCorner::kTT, 0.70, 27.0}},
+          circuits::Ico::humanReferenceSizing(), seed, 2000);
   return 0;
 }

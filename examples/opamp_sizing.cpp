@@ -1,11 +1,15 @@
 // Size the BSIM-45nm two-stage opamp with the trust-region model-based agent
 // (paper Section V-B) and print the found design with its measurements.
 //
+// The scenario comes from circuits::Registry by name; every evaluation runs
+// through the memoizing eval engine (revisited grid points cost zero EDA
+// blocks).
+//
 // Usage: opamp_sizing [seed] [budget]
 #include <cstdio>
 #include <cstdlib>
 
-#include "circuits/two_stage_opamp.hpp"
+#include "circuits/registry.hpp"
 #include "core/local_explorer.hpp"
 
 using namespace trdse;
@@ -15,37 +19,39 @@ int main(int argc, char** argv) {
   const std::size_t budget =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10000;
 
-  const sim::ProcessCard& card = sim::bsim45Card();
-  const circuits::TwoStageOpamp amp(card);
-  const core::DesignSpace space = circuits::TwoStageOpamp::designSpace(card);
-  const sim::PvtCorner tt{sim::ProcessCorner::kTT, card.nominalVdd, 27.0};
+  const core::SizingProblem problem =
+      circuits::Registry::global().makeProblem("two_stage_opamp");
+  const sim::PvtCorner tt = problem.corners.front();
 
-  std::printf("two-stage opamp on %s | design space 10^%.1f | specs:\n",
-              card.name.c_str(), space.sizeLog10());
-  for (const auto& s : amp.defaultSpecs())
+  std::printf("%s | design space 10^%.1f | specs:\n", problem.name.c_str(),
+              problem.space.sizeLog10());
+  for (const auto& s : problem.specs)
     std::printf("  %s %s %g\n", s.measurement.c_str(),
                 s.kind == core::SpecKind::kAtLeast ? ">=" : "<=", s.limit);
 
-  core::ValueFunction value(circuits::TwoStageOpamp::measurementNames(),
-                            amp.defaultSpecs());
+  core::ValueFunction value(problem.measurementNames, problem.specs);
   core::LocalExplorerConfig cfg;
   cfg.seed = seed;
   core::LocalExplorer agent(
-      space, value,
-      [&](const linalg::Vector& x) { return amp.evaluate(x, tt); }, cfg);
+      problem.space, value,
+      [&](const linalg::Vector& x) { return problem.evaluate(x, tt); }, cfg);
 
   const core::SearchOutcome out = agent.run(budget);
-  std::printf("solved: %s in %zu SPICE simulations (%zu restarts, %zu accepted "
-              "/ %zu rejected TRM steps)\n",
-              out.solved ? "yes" : "no", out.iterations, out.trace.restarts,
-              out.trace.acceptedSteps, out.trace.rejectedSteps);
+  std::printf("solved: %s in %zu SPICE requests (%zu simulated, %zu cache "
+              "hits; %zu restarts, %zu accepted / %zu rejected TRM steps)\n",
+              out.solved ? "yes" : "no", out.iterations,
+              out.evalStats.simulated, out.evalStats.cacheHits,
+              out.trace.restarts, out.trace.acceptedSteps,
+              out.trace.rejectedSteps);
   if (out.solved) {
-    const auto& names = circuits::TwoStageOpamp::measurementNames();
-    for (std::size_t i = 0; i < names.size(); ++i)
-      std::printf("  %-10s = %.4g\n", names[i].c_str(), out.eval.measurements[i]);
+    for (std::size_t i = 0; i < problem.measurementNames.size(); ++i)
+      std::printf("  %-10s = %.4g\n", problem.measurementNames[i].c_str(),
+                  out.eval.measurements[i]);
     for (std::size_t i = 0; i < out.sizes.size(); ++i)
-      std::printf("  %-6s = %.4g\n", space.param(i).name.c_str(), out.sizes[i]);
-    std::printf("  area ~ %.1f um^2\n", amp.area(out.sizes));
+      std::printf("  %-6s = %.4g\n", problem.space.param(i).name.c_str(),
+                  out.sizes[i]);
+    if (problem.area)
+      std::printf("  area ~ %.1f um^2\n", problem.area(out.sizes));
   }
   return out.solved ? 0 : 1;
 }

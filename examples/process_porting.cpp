@@ -2,41 +2,41 @@
 // on BSIM 45nm, then port to BSIM 22nm using the three strategies the paper
 // compares — cold start, weight+start sharing, and start sharing only.
 //
+// Donor and target scenarios are the same registry circuit on two process
+// cards — porting is literally a one-string change.
+//
 // Usage: process_porting [seed]
 #include <cstdio>
 
-#include "circuits/two_stage_opamp.hpp"
+#include "circuits/registry.hpp"
 #include "core/local_explorer.hpp"
 
 using namespace trdse;
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  const auto& registry = circuits::Registry::global();
 
   // ---- Donor node: 45nm.
-  const circuits::TwoStageOpamp amp45(sim::bsim45Card());
-  const auto space45 = circuits::TwoStageOpamp::designSpace(sim::bsim45Card());
-  const sim::PvtCorner tt45{sim::ProcessCorner::kTT,
-                            sim::bsim45Card().nominalVdd, 27.0};
-  const core::ValueFunction value45(circuits::TwoStageOpamp::measurementNames(),
-                                    amp45.defaultSpecs());
+  const core::SizingProblem prob45 =
+      registry.makeProblem("two_stage_opamp", {}, "bsim45");
+  const sim::PvtCorner tt45 = prob45.corners.front();
+  const core::ValueFunction value45(prob45.measurementNames, prob45.specs);
   core::LocalExplorerConfig cfg45;
   cfg45.seed = seed;
   core::LocalExplorer donor(
-      space45, value45,
-      [&](const linalg::Vector& x) { return amp45.evaluate(x, tt45); }, cfg45);
+      prob45.space, value45,
+      [&](const linalg::Vector& x) { return prob45.evaluate(x, tt45); }, cfg45);
   const core::SearchOutcome out45 = donor.run(10000);
   std::printf("45nm donor: solved=%d iterations=%zu\n", int(out45.solved),
               out45.iterations);
   if (!out45.solved) return 1;
 
   // ---- Target node: 22nm, three porting strategies.
-  const circuits::TwoStageOpamp amp22(sim::bsim22Card());
-  const auto space22 = circuits::TwoStageOpamp::designSpace(sim::bsim22Card());
-  const sim::PvtCorner tt22{sim::ProcessCorner::kTT,
-                            sim::bsim22Card().nominalVdd, 27.0};
-  const core::ValueFunction value22(circuits::TwoStageOpamp::measurementNames(),
-                                    amp22.defaultSpecs());
+  const core::SizingProblem prob22 =
+      registry.makeProblem("two_stage_opamp", {}, "bsim22");
+  const sim::PvtCorner tt22 = prob22.corners.front();
+  const core::ValueFunction value22(prob22.measurementNames, prob22.specs);
 
   struct Strategy {
     const char* name;
@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
     if (s.shareStart) cfg.startingPoint = out45.sizes;
     if (s.shareWeights) cfg.warmStartWeights = &donor.surrogate().network();
     core::LocalExplorer agent(
-        space22, value22,
-        [&](const linalg::Vector& x) { return amp22.evaluate(x, tt22); }, cfg);
+        prob22.space, value22,
+        [&](const linalg::Vector& x) { return prob22.evaluate(x, tt22); }, cfg);
     const core::SearchOutcome out = agent.run(10000);
     std::printf("22nm %-42s: solved=%d iterations=%zu\n", s.name,
                 int(out.solved), out.iterations);

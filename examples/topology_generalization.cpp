@@ -3,37 +3,38 @@
 // two-stage opamp and the folded-cascode OTA — without any per-topology
 // tuning; "generalization at the algorithm architecture level".
 //
+// Both scenarios come from circuits::Registry by name — the loop body never
+// mentions a circuit class.
+//
 // Usage: topology_generalization [seed]
 #include <cstdio>
 
-#include "circuits/folded_cascode.hpp"
-#include "circuits/two_stage_opamp.hpp"
+#include "circuits/registry.hpp"
 #include "core/local_explorer.hpp"
 
 using namespace trdse;
 
 namespace {
 
-template <typename Circuit>
-void runOne(const char* label, const Circuit& circuit, std::uint64_t seed) {
-  const auto space = Circuit::designSpace(circuit.card());
-  const sim::PvtCorner tt{sim::ProcessCorner::kTT, circuit.card().nominalVdd,
-                          27.0};
-  const core::ValueFunction value(Circuit::measurementNames(),
-                                  circuit.defaultSpecs());
+void runOne(const char* circuitName, std::uint64_t seed) {
+  const core::SizingProblem problem =
+      circuits::Registry::global().makeProblem(circuitName);
+  const sim::PvtCorner tt = problem.corners.front();
+  const core::ValueFunction value(problem.measurementNames, problem.specs);
   core::LocalExplorerConfig cfg;
   cfg.seed = seed;
   core::LocalExplorer agent(
-      space, value,
-      [&](const linalg::Vector& x) { return circuit.evaluate(x, tt); }, cfg);
+      problem.space, value,
+      [&](const linalg::Vector& x) { return problem.evaluate(x, tt); }, cfg);
   const auto out = agent.run(10000);
-  std::printf("%-22s dim=%zu space=10^%.1f  solved=%d in %zu sims\n", label,
-              space.dim(), space.sizeLog10(), int(out.solved), out.iterations);
+  std::printf("%-22s dim=%zu space=10^%.1f  solved=%d in %zu sims\n",
+              circuitName, problem.space.dim(), problem.space.sizeLog10(),
+              int(out.solved), out.iterations);
   if (out.solved) {
-    const auto& names = Circuit::measurementNames();
     std::printf("  ");
-    for (std::size_t i = 0; i < names.size(); ++i)
-      std::printf(" %s=%.4g", names[i].c_str(), out.eval.measurements[i]);
+    for (std::size_t i = 0; i < problem.measurementNames.size(); ++i)
+      std::printf(" %s=%.4g", problem.measurementNames[i].c_str(),
+                  out.eval.measurements[i]);
     std::printf("\n");
   }
 }
@@ -42,8 +43,7 @@ void runOne(const char* label, const Circuit& circuit, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
-  runOne("two-stage opamp", circuits::TwoStageOpamp(sim::bsim45Card()), seed);
-  runOne("folded-cascode OTA", circuits::FoldedCascodeOta(sim::bsim45Card()),
-         seed);
+  runOne("two_stage_opamp", seed);
+  runOne("folded_cascode", seed);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <optional>
 #include <random>
 
+#include "circuits/registry.hpp"
 #include "circuits/two_stage_opamp.hpp"
 #include "common/thread_pool.hpp"
 #include "core/local_explorer.hpp"
@@ -91,13 +92,17 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
   const int mcRuns = argc > 2 ? std::atoi(argv[2]) : 200;
 
+  // Scenario shape (space, specs, measurement names) from the registry; the
+  // TwoStageOpamp instance stays only for testbench-level mismatch injection,
+  // which no black-box evaluator can expose.
+  const core::SizingProblem scenario =
+      circuits::Registry::global().makeProblem("two_stage_opamp");
   const sim::ProcessCard& card = sim::bsim45Card();
   const circuits::TwoStageOpamp amp(card);
-  const auto space = circuits::TwoStageOpamp::designSpace(card);
-  const sim::PvtCorner tt{sim::ProcessCorner::kTT, card.nominalVdd, 27.0};
-  const auto specs = amp.defaultSpecs();
-  const core::ValueFunction specCheck(circuits::TwoStageOpamp::measurementNames(),
-                                      specs);
+  const core::DesignSpace& space = scenario.space;
+  const sim::PvtCorner tt = scenario.corners.front();
+  const auto& specs = scenario.specs;
+  const core::ValueFunction specCheck(scenario.measurementNames, specs);
 
   // All measurements in this example — sizing and MC alike — go through the
   // offset-nulled testbench, so the search optimizes exactly what the Monte
@@ -119,7 +124,9 @@ int main(int argc, char** argv) {
     std::printf("search failed\n");
     return 1;
   }
-  std::printf("boundary design found in %zu sims\n", boundary.iterations);
+  std::printf("boundary design found in %zu sims (%zu simulated, %zu cached)\n",
+              boundary.iterations, boundary.evalStats.simulated,
+              boundary.evalStats.cacheHits);
 
   // 2) Margin-hardened solution: re-run against tightened specs.
   std::vector<core::Spec> hardened = specs;
@@ -129,8 +136,7 @@ int main(int argc, char** argv) {
     else
       s.limit *= 0.9;
   }
-  const core::ValueFunction hardenedValue(
-      circuits::TwoStageOpamp::measurementNames(), hardened);
+  const core::ValueFunction hardenedValue(scenario.measurementNames, hardened);
   core::LocalExplorerConfig cfg2;
   cfg2.seed = seed + 1;
   core::LocalExplorer agent2(space, hardenedValue, evalNulled, cfg2);

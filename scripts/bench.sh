@@ -46,6 +46,7 @@ pairs = [
     ("PPO update epochs", "BM_PpoUpdatePerSample", "BM_PpoUpdateBatched"),
     ("TRPO update", "BM_TrpoUpdatePerSample", "BM_TrpoUpdateBatched"),
     ("PVT corner sweep", "BM_PvtCornerSweepSerial", "BM_PvtCornerSweepPooled"),
+    ("repeated PVT sweep (eval cache)", "BM_PvtRepeatedSweepUncached", "BM_PvtRepeatedSweepCached"),
 ]
 for label, slow, fast in pairs:
     if slow in result and fast in result and result[fast] > 0:

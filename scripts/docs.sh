@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Build the API reference with Doxygen (see Doxyfile: src/core, src/rl,
-# src/nn; warnings are promoted to errors so documentation drift fails CI).
+# src/nn, src/eval; warnings are promoted to errors so documentation drift fails CI).
 #
 # Usage: scripts/docs.sh
 set -euo pipefail

@@ -1,0 +1,98 @@
+#include "circuits/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "circuits/folded_cascode.hpp"
+#include "circuits/ico.hpp"
+#include "circuits/ldo.hpp"
+#include "circuits/two_stage_opamp.hpp"
+
+namespace trdse::circuits {
+
+namespace {
+
+std::string knownNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+/// Generic factory for the circuit classes (they all share the
+/// makeProblem/defaultSpecs shape).
+template <typename Circuit>
+core::SizingProblem makeFor(const sim::ProcessCard& card,
+                            std::vector<sim::PvtCorner> corners) {
+  const Circuit circuit(card);
+  return circuit.makeProblem(std::move(corners), circuit.defaultSpecs());
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry registry = [] {
+    Registry r;
+    r.add({"two_stage_opamp", "bsim45",
+           "Miller two-stage opamp (paper V-B..D development vehicle)",
+           makeFor<TwoStageOpamp>});
+    r.add({"folded_cascode", "bsim45",
+           "folded-cascode OTA (topology-generalization case)",
+           makeFor<FoldedCascodeOta>});
+    r.add({"ldo", "n6", "low-dropout regulator (Table IV industrial case)",
+           makeFor<Ldo>});
+    r.add({"ico", "n5",
+           "current-controlled ring oscillator (Table V industrial case)",
+           makeFor<Ico>});
+    return r;
+  }();
+  return registry;
+}
+
+void Registry::add(CircuitEntry entry) {
+  if (contains(entry.name))
+    throw std::invalid_argument("circuits::Registry: duplicate circuit name \"" +
+                                entry.name + "\"");
+  entries_.push_back(std::move(entry));
+}
+
+bool Registry::contains(std::string_view name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return true;
+  return false;
+}
+
+const CircuitEntry& Registry::at(std::string_view name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return e;
+  throw std::invalid_argument("circuits::Registry: unknown circuit \"" +
+                              std::string(name) + "\" (known: " +
+                              knownNames(names()) + ")");
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+core::SizingProblem Registry::makeProblem(std::string_view circuit,
+                                          std::vector<sim::PvtCorner> corners,
+                                          std::string_view process) const {
+  const CircuitEntry& entry = at(circuit);
+  const std::string cardName =
+      process.empty() ? entry.defaultProcess : std::string(process);
+  const sim::ProcessCard* card = sim::findCard(cardName);
+  if (card == nullptr)
+    throw std::invalid_argument("circuits::Registry: unknown process \"" +
+                                cardName + "\" for circuit \"" +
+                                std::string(circuit) + "\"");
+  if (corners.empty())
+    corners = {{sim::ProcessCorner::kTT, card->nominalVdd, 27.0}};
+  return entry.make(*card, std::move(corners));
+}
+
+}  // namespace trdse::circuits

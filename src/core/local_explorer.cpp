@@ -10,9 +10,23 @@ LocalExplorer::LocalExplorer(DesignSpace space, ValueFunction value,
                              EvalFn evaluate, LocalExplorerConfig config)
     : space_(std::move(space)),
       value_(std::move(value)),
-      evaluate_(std::move(evaluate)),
       config_(std::move(config)),
-      surrogate_(space.dim(),
+      // Single-corner inline engine. Ledger recording is off: SearchOutcome
+      // surfaces only the stats counters, and a run takes thousands of
+      // per-step evaluations (PvtSearch keeps its own recording engine for
+      // session ledgers).
+      engine_(std::make_unique<eval::EvalEngine>(
+          std::make_shared<eval::CallbackBackend>(
+              [fn = std::move(evaluate)](const linalg::Vector& sizes,
+                                         const sim::PvtCorner&) {
+                return fn(sizes);
+              },
+              "explorer"),
+          space_, std::vector<sim::PvtCorner>{sim::PvtCorner{}},
+          eval::MeetsSpecFn{},
+          eval::EvalEngineConfig{config_.cacheEvals, /*threads=*/1,
+                                 /*recordLedger=*/false})),
+      surrogate_(space_.dim(),
                  /*outputDim=*/1,  // rebuilt once the measurement dim is known
                  config_.surrogate, config_.seed),
       rng_(config_.seed) {}
@@ -89,7 +103,7 @@ LocalExplorer::Evaluated LocalExplorer::simulate(const linalg::Vector& sizes,
   Evaluated e;
   e.sizes = space_.snap(sizes);
   e.unit = space_.toUnit(e.sizes);
-  e.eval = evaluate_(e.sizes);
+  e.eval = engine_->evalOne(0, e.sizes, pvt::BlockKind::kSearch);
   e.value = value_.valueOf(e.eval);
   e.score = e.eval.ok ? value_.plannerScore(e.eval.measurements) : kFailedValue;
   ++out.iterations;
@@ -104,6 +118,13 @@ LocalExplorer::Evaluated LocalExplorer::simulate(const linalg::Vector& sizes,
 }
 
 SearchOutcome LocalExplorer::run(std::size_t maxIterations) {
+  engine_->resetAccounting();  // fresh per-run accounting; the memo persists
+  SearchOutcome out = runSearch(maxIterations);
+  out.evalStats = engine_->stats();
+  return out;
+}
+
+SearchOutcome LocalExplorer::runSearch(std::size_t maxIterations) {
   SearchOutcome out;
   bool firstEpisode = true;
 

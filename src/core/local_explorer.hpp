@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <random>
 
@@ -19,6 +20,7 @@
 #include "core/surrogate.hpp"
 #include "core/trust_region.hpp"
 #include "core/value.hpp"
+#include "eval/eval_engine.hpp"
 
 namespace trdse::core {
 
@@ -42,6 +44,16 @@ struct LocalExplorerConfig {
   /// generation and selection are bitwise-equivalent to the per-sample loop;
   /// the flag exists for the equivalence tests and A/B benchmarks.
   bool batchedPlanning = true;
+  /// Memoize evaluations on snapped grid indices through the eval engine:
+  /// re-simulating an already-visited grid point costs zero EDA blocks. The
+  /// seeded SearchOutcome (iterations included — the budget is charged per
+  /// logical request) is bitwise identical with the cache on or off —
+  /// provided the evaluation callback is a pure function of the snapped
+  /// sizes (every circuits:: evaluator is); set this false for impure or
+  /// stateful callbacks (e.g. per-call noise injection), which must see
+  /// every request. PvtSearch honors this flag too: its engine caches only
+  /// when both this and PvtSearchConfig::cacheEvals are set.
+  bool cacheEvals = true;
   TrustRegionConfig trustRegion;  ///< radius schedule (paper IV-C)
   SurrogateConfig surrogate;      ///< f_NN architecture and training
   std::uint64_t seed = 1;         ///< seed for sampling and network init
@@ -54,6 +66,9 @@ struct LocalExplorerConfig {
 };
 
 /// Single-condition evaluation callback (the Spice function of the CSP).
+/// Expected to be a deterministic pure function of the (snapped) sizes when
+/// the default evaluation memoization is on — see
+/// LocalExplorerConfig::cacheEvals.
 using EvalFn = std::function<EvalResult(const linalg::Vector& sizes)>;
 
 /// Step-by-step telemetry of one search run (Fig. 3's raw material).
@@ -68,11 +83,14 @@ struct SearchTrace {
 /// Result of one single-condition search run.
 struct SearchOutcome {
   bool solved = false;              ///< the CSP was satisfied
-  std::size_t iterations = 0;       ///< SPICE simulations consumed
+  /// Logical SPICE requests consumed; with caching on, revisited grid points
+  /// count here but cost no EDA time (see evalStats.simulated).
+  std::size_t iterations = 0;
   linalg::Vector sizes;             ///< best (or solving) assignment
   EvalResult eval;                  ///< its measurements
   double bestValue = kFailedValue;  ///< Value of the best assignment
   SearchTrace trace;                ///< per-step telemetry
+  eval::EvalStats evalStats;        ///< cache hit/miss + backend timing
 };
 
 /// The paper's Algorithm 1: surrogate-guided trust-region search under one
@@ -89,6 +107,9 @@ class LocalExplorer {
   /// Surrogate after a run (for porting: save its weights).
   const SpiceSurrogate& surrogate() const { return surrogate_; }
 
+  /// The engine all evaluations route through (cache/ledger inspection).
+  const eval::EvalEngine& engine() const { return *engine_; }
+
  private:
   struct Evaluated {
     linalg::Vector sizes;
@@ -98,8 +119,12 @@ class LocalExplorer {
     double score = kFailedValue;  ///< plannerScore (used for TRM decisions)
   };
 
-  /// SPICE one point, book-keep trajectory/training data, update best.
+  /// SPICE one point (through the engine), book-keep trajectory/training
+  /// data, update best.
   Evaluated simulate(const linalg::Vector& sizes, SearchOutcome& out);
+
+  /// run() body; run() wraps it to harvest engine accounting at every exit.
+  SearchOutcome runSearch(std::size_t maxIterations);
 
   /// Load the samples near `centerUnit` into the surrogate and train.
   void trainLocal(const linalg::Vector& centerUnit, double radius);
@@ -113,8 +138,10 @@ class LocalExplorer {
 
   DesignSpace space_;
   ValueFunction value_;
-  EvalFn evaluate_;
   LocalExplorerConfig config_;
+  /// Single-corner engine over the EvalFn (unique_ptr: the engine owns a
+  /// thread pool and is therefore immovable).
+  std::unique_ptr<eval::EvalEngine> engine_;
   SpiceSurrogate surrogate_;
   std::mt19937_64 rng_;
   LocalDataset data_;  ///< all successful samples (unit space + measurements)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace trdse::core {
 
@@ -114,7 +115,16 @@ linalg::Vector DesignSpace::fromIndices(const std::vector<std::size_t>& idx) con
 std::size_t SizingProblem::measurementIndex(const std::string& name) const {
   const auto it =
       std::find(measurementNames.begin(), measurementNames.end(), name);
-  assert(it != measurementNames.end() && "unknown measurement in spec");
+  if (it == measurementNames.end()) {
+    std::string known;
+    for (const auto& m : measurementNames) {
+      if (!known.empty()) known += ", ";
+      known += m;
+    }
+    throw std::invalid_argument("SizingProblem::measurementIndex: unknown "
+                                "measurement \"" +
+                                name + "\" (known: " + known + ")");
+  }
   return static_cast<std::size_t>(it - measurementNames.begin());
 }
 

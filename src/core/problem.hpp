@@ -107,7 +107,9 @@ struct SizingProblem {
   /// Optional layout-area estimator (Tables IV/V report area).
   std::function<double(const linalg::Vector&)> area;
 
-  /// Position of `name` in measurementNames (asserts when absent).
+  /// Position of `name` in measurementNames; throws std::invalid_argument
+  /// naming the unknown measurement (and listing the known ones) when absent
+  /// — a typo in a spec name fails loudly in every build type.
   std::size_t measurementIndex(const std::string& name) const;
 };
 

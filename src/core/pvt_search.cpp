@@ -25,23 +25,24 @@ PvtSearch::PvtSearch(SizingProblem problem, PvtSearchConfig config)
       config_(std::move(config)),
       // note: value_ must be built from the member, not the moved-from param
       value_(problem_.measurementNames, problem_.specs),
-      rng_(config_.seed),
-      pool_(config_.evalThreads) {}
+      // Caching is on only when both the search-level and the embedded
+      // explorer-level flag allow it, so an explorerOverride with
+      // cacheEvals=false (the paper-accounting reproduction path) is honored
+      // here too.
+      engine_(problem_,
+              eval::EvalEngineConfig{
+                  config_.cacheEvals && config_.explorer.cacheEvals,
+                  config_.evalThreads}),
+      rng_(config_.seed) {}
 
 std::vector<EvalResult> PvtSearch::evalCorners(
     const std::vector<std::size_t>& corners, const linalg::Vector& sizes,
     pvt::BlockKind kind, PvtSearchOutcome& out) {
-  std::vector<EvalResult> results(corners.size());
-  pool_.parallelFor(corners.size(), [&](std::size_t i) {
-    results[i] = problem_.evaluate(sizes, problem_.corners[corners[i]]);
-  });
-  // Ledger/accounting happen after the join, in list order: identical for
-  // any thread count.
-  for (std::size_t i = 0; i < corners.size(); ++i) {
-    ++out.totalSims;
-    out.ledger.record(corners[i], kind,
-                      results[i].ok && value_.satisfied(results[i].measurements));
-  }
+  // The engine memoizes, fans real simulations across its pool, merges in
+  // request order, and records the ledger blocks; the search budget is
+  // charged per logical request so trajectories are cache-invariant.
+  std::vector<EvalResult> results = engine_.evalBatch(corners, sizes, kind);
+  out.totalSims = engine_.stats().requests;
   return results;
 }
 
@@ -56,6 +57,16 @@ double PvtSearch::poolValue(const std::vector<EvalResult>& evals) const {
 }
 
 PvtSearchOutcome PvtSearch::run(std::size_t maxSims) {
+  // Fresh per-run accounting (the memo survives across runs: backends are
+  // pure, so earlier results stay valid and keep saving blocks).
+  engine_.resetAccounting();
+  PvtSearchOutcome out = runSearch(maxSims);
+  out.ledger = engine_.ledger();
+  out.evalStats = engine_.stats();
+  return out;
+}
+
+PvtSearchOutcome PvtSearch::runSearch(std::size_t maxSims) {
   PvtSearchOutcome out;
   const std::size_t nCorners = problem_.corners.size();
   assert(nCorners > 0);

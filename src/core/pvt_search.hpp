@@ -13,12 +13,12 @@
 #include <memory>
 #include <random>
 
-#include "common/thread_pool.hpp"
 #include "core/local_explorer.hpp"
 #include "core/problem.hpp"
 #include "core/surrogate.hpp"
 #include "core/trust_region.hpp"
 #include "core/value.hpp"
+#include "eval/eval_engine.hpp"
 #include "pvt/ledger.hpp"
 
 namespace trdse::core {
@@ -40,22 +40,33 @@ struct PvtSearchConfig {
   std::uint64_t seed = 1;        ///< seed for corner choice and exploration
   /// Worker threads for corner evaluation: the same sizing is simulated on
   /// every active (and, during sign-off, every inactive) corner, and those
-  /// simulations are independent, so they fan out across a thread pool.
-  /// Results are merged in corner order, so the outcome is identical for any
-  /// thread count — but the evaluation callback must be thread-safe (every
-  /// circuits:: evaluator is; it builds its own testbench per call).
-  /// 1 = serial (inline, the default), 0 = hardware concurrency.
+  /// simulations are independent, so they fan out across the eval engine's
+  /// thread pool. Results are merged in corner order, so the outcome is
+  /// identical for any thread count — but the evaluation callback must be
+  /// thread-safe (every circuits:: evaluator is; it builds its own testbench
+  /// per call). 1 = serial (inline, the default), 0 = hardware concurrency.
   std::size_t evalThreads = 1;
+  /// Memoize evaluations on (snapped grid indices, corner id) in the eval
+  /// engine. Cache hits cost zero EDA blocks (tallied separately in the
+  /// ledger/stats); the seeded search trajectory — solved flag, sizes,
+  /// totalSims, corner evals, ledger block sequence — is bitwise identical
+  /// with the cache on or off. Effective only when
+  /// `explorer.cacheEvals` is also set (either flag disables caching).
+  bool cacheEvals = true;
 };
 
 /// Result of one progressive PVT search run.
 struct PvtSearchOutcome {
   bool solved = false;        ///< every corner met spec at sign-off
-  std::size_t totalSims = 0;  ///< EDA blocks consumed (search + verify)
+  /// Logical evaluations consumed (search + verify). With caching on, hits
+  /// count here (the budget is charged identically) but consume no EDA time
+  /// — see evalStats.simulated for the real block count.
+  std::size_t totalSims = 0;
   linalg::Vector sizes;       ///< final (or best) sizing
   std::vector<EvalResult> cornerEvals;  ///< final per-corner measurements
   std::size_t cornersActivated = 0;     ///< pool size at termination
   pvt::EdaLedger ledger;                ///< per-block accounting (Table III)
+  eval::EvalStats evalStats;            ///< cache hit/miss + backend timing
 };
 
 /// Progressive multi-corner trust-region search (paper IV-E).
@@ -67,6 +78,9 @@ class PvtSearch {
   /// Run until all corners sign off or `maxSims` EDA blocks are consumed.
   PvtSearchOutcome run(std::size_t maxSims);
 
+  /// The engine all evaluations route through (cache/ledger inspection).
+  const eval::EvalEngine& engine() const { return engine_; }
+
  private:
   struct CornerState {
     std::size_t index = 0;
@@ -74,9 +88,9 @@ class PvtSearch {
     LocalDataset data;  ///< this corner's trajectory (unit space)
   };
 
-  /// Evaluate `sizes` on several corners concurrently (the pool), then
-  /// record ledger entries sequentially in list order so accounting and any
-  /// downstream RNG use stay deterministic for every thread count.
+  /// Evaluate `sizes` on several corners through the engine (batched,
+  /// memoized, thread-parallel with request-order merge) and charge the
+  /// logical budget.
   std::vector<EvalResult> evalCorners(const std::vector<std::size_t>& corners,
                                       const linalg::Vector& sizes,
                                       pvt::BlockKind kind,
@@ -85,12 +99,15 @@ class PvtSearch {
   /// min over active corners of Value(eval) for an already-evaluated point.
   double poolValue(const std::vector<EvalResult>& evals) const;
 
+  /// run() body; run() wraps it to harvest engine accounting at every exit.
+  PvtSearchOutcome runSearch(std::size_t maxSims);
+
   SizingProblem problem_;
   PvtSearchConfig config_;
   ValueFunction value_;
+  eval::EvalEngine engine_;
   std::vector<CornerState> active_;
   std::mt19937_64 rng_;
-  common::ThreadPool pool_;
 
   // Planning/evaluation scratch, reused across TRM steps.
   linalg::Matrix candBuf_;

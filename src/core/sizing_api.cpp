@@ -28,6 +28,8 @@ SessionReport SizingSession::run() {
   PvtSearchConfig cfg;
   cfg.strategy = options_.strategy;
   cfg.seed = options_.seed;
+  cfg.cacheEvals = options_.cacheEvals;
+  cfg.evalThreads = options_.evalThreads;
   cfg.explorer = options_.explorerOverride.has_value()
                      ? *options_.explorerOverride
                      : autoSchedule(problem_, options_.seed);
@@ -40,6 +42,7 @@ SessionReport SizingSession::run() {
   report.sizes = outcome.sizes;
   report.cornerEvals = std::move(outcome.cornerEvals);
   report.ledger = std::move(outcome.ledger);
+  report.evalStats = outcome.evalStats;
   if (problem_.area && !report.sizes.empty())
     report.areaEstimate = problem_.area(report.sizes);
 
@@ -48,6 +51,17 @@ SessionReport SizingSession::run() {
      << "strategy: " << toString(cfg.strategy) << "\n"
      << "solved: " << (report.solved ? "yes" : "no")
      << "  simulations: " << report.simulations << "\n";
+  // EDA-block economics: the logical budget above vs what actually hit the
+  // simulator. With caching off, hits are 0 and the two counts coincide
+  // (the paper's Table III accounting). The printed state is the effective
+  // one — an explorerOverride with cacheEvals=false disables caching even
+  // when the session-level flag is on.
+  const bool cacheOn = options_.cacheEvals && cfg.explorer.cacheEvals;
+  os << "eda blocks: " << report.evalStats.simulated << " simulated, "
+     << report.evalStats.cacheHits << " cache hits ("
+     << static_cast<int>(report.evalStats.hitRate() * 100.0 + 0.5)
+     << "% hit rate, " << report.evalStats.blocksSaved()
+     << " blocks saved; cache " << (cacheOn ? "on" : "off") << ")\n";
   if (report.solved) {
     os << "sizes:";
     for (std::size_t i = 0; i < report.sizes.size(); ++i)

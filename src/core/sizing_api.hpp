@@ -20,6 +20,13 @@ struct SessionOptions {
   PvtStrategy strategy = PvtStrategy::kProgressiveHardest;  ///< corner policy
   std::size_t maxSimulations = 10000;  ///< EDA-block budget
   std::uint64_t seed = 1;              ///< seed for the whole session
+  /// Memoize evaluations in the eval engine (PvtSearchConfig::cacheEvals).
+  /// Outcomes are bitwise identical on/off; turn off to reproduce the
+  /// paper's EDA-block tables with every block a real simulation.
+  bool cacheEvals = true;
+  /// Worker threads for per-corner evaluation (PvtSearchConfig::evalThreads;
+  /// 1 = serial, 0 = hardware concurrency). Thread-count invariant.
+  std::size_t evalThreads = 1;
   /// Override the auto-scheduled hyper-parameters when set.
   std::optional<LocalExplorerConfig> explorerOverride;
 };
@@ -27,11 +34,14 @@ struct SessionOptions {
 /// Result of one sizing session.
 struct SessionReport {
   bool solved = false;         ///< every corner met spec
-  std::size_t simulations = 0; ///< EDA blocks consumed
+  /// Logical evaluations charged against the budget (real sims + cache
+  /// hits); evalStats.simulated is the EDA blocks actually consumed.
+  std::size_t simulations = 0;
   linalg::Vector sizes;        ///< final (or best) sizing
   std::vector<EvalResult> cornerEvals;  ///< final per-corner measurements
   double areaEstimate = 0.0;  ///< 0 when the problem has no area callback
   pvt::EdaLedger ledger;      ///< per-block accounting
+  eval::EvalStats evalStats;  ///< cache hit/miss counts + backend timing
   std::string summary;        ///< human-readable multi-line report
 };
 

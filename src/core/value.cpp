@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace trdse::core {
 
@@ -24,7 +25,10 @@ ValueFunction::ValueFunction(const std::vector<std::string>& measurementNames,
   for (const auto& s : specs) {
     const auto it = std::find(measurementNames.begin(), measurementNames.end(),
                               s.measurement);
-    assert(it != measurementNames.end() && "spec references unknown measurement");
+    if (it == measurementNames.end())
+      throw std::invalid_argument(
+          "ValueFunction: spec references unknown measurement \"" +
+          s.measurement + "\"");
     bound_.push_back({static_cast<std::size_t>(it - measurementNames.begin()),
                       s.kind, s.limit});
   }

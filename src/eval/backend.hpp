@@ -1,0 +1,57 @@
+// Pluggable circuit-evaluation backends — the paper's Spice(X) behind an
+// interface.
+//
+// An EvalBackend is a pure, thread-safe function of (sizes, corner); the
+// EvalEngine schedules batched requests onto it, memoizes results, and owns
+// the EDA-block accounting. CallbackBackend preserves the existing designer
+// contract (any CornerEvalFn); CircuitBackend (circuit_backend.hpp) is fed
+// declaratively by circuits::Registry.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/problem.hpp"
+#include "sim/process.hpp"
+
+namespace trdse::eval {
+
+/// Abstract evaluation service. Implementations must be deterministic pure
+/// functions of (sizes, corner) — memoization assumes re-evaluating a snapped
+/// grid point on the same corner reproduces the result bitwise — and
+/// thread-safe, since the engine fans batches out across a worker pool.
+class EvalBackend {
+ public:
+  virtual ~EvalBackend() = default;
+
+  /// Stable label for reports and per-backend timing statistics.
+  virtual std::string_view name() const = 0;
+
+  /// Evaluate one sizing under one PVT condition (one EDA block).
+  virtual core::EvalResult evaluate(const linalg::Vector& sizes,
+                                    const sim::PvtCorner& corner) const = 0;
+};
+
+/// Wraps any CornerEvalFn — the adapter that keeps the existing designer
+/// contract (SizingProblem::evaluate, LocalExplorer's EvalFn) working
+/// unchanged behind the engine.
+class CallbackBackend final : public EvalBackend {
+ public:
+  explicit CallbackBackend(core::CornerEvalFn fn,
+                           std::string label = "callback")
+      : fn_(std::move(fn)), label_(std::move(label)) {}
+
+  std::string_view name() const override { return label_; }
+
+  core::EvalResult evaluate(const linalg::Vector& sizes,
+                            const sim::PvtCorner& corner) const override {
+    return fn_(sizes, corner);
+  }
+
+ private:
+  core::CornerEvalFn fn_;
+  std::string label_;
+};
+
+}  // namespace trdse::eval

@@ -1,0 +1,14 @@
+#include "eval/circuit_backend.hpp"
+
+#include "circuits/registry.hpp"
+
+namespace trdse::eval {
+
+CircuitBackend::CircuitBackend(std::string_view circuit,
+                               std::string_view process)
+    : problem_(circuits::Registry::global().makeProblem(circuit, {}, process)),
+      // The problem name already encodes the resolved circuit + card (e.g.
+      // "ico_n5"), so the label cannot drift from what actually runs.
+      label_("circuit:" + problem_.name) {}
+
+}  // namespace trdse::eval

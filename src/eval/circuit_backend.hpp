@@ -1,0 +1,43 @@
+// EvalBackend over a registered circuit scenario (circuits::Registry).
+//
+// Where CallbackBackend wraps a designer-supplied lambda, CircuitBackend is
+// constructed from a (circuit, process) name pair: the registry builds the
+// full SizingProblem (space, measurements, default specs, evaluator) and the
+// backend exposes its evaluator to the engine. Examples and tests get a
+// schedulable simulator for any of the four paper circuits from two strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/problem.hpp"
+#include "eval/backend.hpp"
+
+namespace trdse::eval {
+
+class CircuitBackend final : public EvalBackend {
+ public:
+  /// Build from registry names. Empty `process` uses the circuit's default
+  /// card; throws std::invalid_argument on unknown circuit/process names.
+  explicit CircuitBackend(std::string_view circuit,
+                          std::string_view process = {});
+
+  /// "circuit:<problem name>" (e.g. "circuit:ico_n5") — used in per-backend
+  /// timing reports.
+  std::string_view name() const override { return label_; }
+
+  core::EvalResult evaluate(const linalg::Vector& sizes,
+                            const sim::PvtCorner& corner) const override {
+    return problem_.evaluate(sizes, corner);
+  }
+
+  /// The registry-built problem (space, specs, measurement names, corners) —
+  /// callers construct engines and value functions from it.
+  const core::SizingProblem& problem() const { return problem_; }
+
+ private:
+  core::SizingProblem problem_;
+  std::string label_;
+};
+
+}  // namespace trdse::eval

@@ -1,0 +1,70 @@
+// Memoization table for circuit evaluations.
+//
+// Keyed on (snapped grid indices, corner id): the design space is a finite
+// grid and every agent simulates *snapped* points, so two requests with the
+// same key are the same simulation — incumbent re-evaluations, RL episodes
+// revisiting grid states, and brute-force-vs-progressive comparisons all
+// re-ask for points already paid for. Backends are pure functions of
+// (snapped sizes, corner), so serving the stored result is bitwise identical
+// to re-simulating.
+//
+// Not thread-safe by design: the EvalEngine probes before fanning work out
+// and inserts after the join, always from the coordinating thread, which is
+// also what keeps cached accounting deterministic for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace trdse::eval {
+
+/// Identity of one evaluation: per-variable grid indices + corner index.
+struct EvalKey {
+  std::vector<std::size_t> indices;  ///< DesignSpace::indicesOf the sizing
+  std::size_t cornerIndex = 0;       ///< position in the engine's corner list
+
+  bool operator==(const EvalKey&) const = default;
+};
+
+struct EvalKeyHash {
+  std::size_t operator()(const EvalKey& k) const {
+    // splitmix64-style mixing over the index stream; grids are small, so
+    // plain xor would collide across dimensions.
+    std::uint64_t h = 0x9e3779b97f4a7c15ull + k.cornerIndex;
+    for (const std::size_t idx : k.indices) {
+      std::uint64_t z = h + 0x9e3779b97f4a7c15ull + idx;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// The memo table: EvalKey -> EvalResult.
+class EvalCache {
+ public:
+  /// Stored result for `key`, or nullptr when absent. The pointer is
+  /// invalidated by the next insert().
+  const core::EvalResult* find(const EvalKey& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Store (overwrites an existing entry — callers only ever re-insert the
+  /// identical result, backends being pure).
+  void insert(EvalKey key, core::EvalResult result) {
+    map_.insert_or_assign(std::move(key), std::move(result));
+  }
+
+  std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<EvalKey, core::EvalResult, EvalKeyHash> map_;
+};
+
+}  // namespace trdse::eval

@@ -1,0 +1,159 @@
+#include "eval/eval_engine.hpp"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+namespace trdse::eval {
+
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+MeetsSpecFn makeMeetsSpec(core::ValueFunction value) {
+  return [value = std::move(value)](const core::EvalResult& r) {
+    return r.ok && value.satisfied(r.measurements);
+  };
+}
+
+EvalEngine::EvalEngine(std::shared_ptr<const EvalBackend> backend,
+                       core::DesignSpace space,
+                       std::vector<sim::PvtCorner> corners,
+                       MeetsSpecFn meetsSpec, EvalEngineConfig config)
+    : backend_(std::move(backend)),
+      space_(std::move(space)),
+      corners_(std::move(corners)),
+      meetsSpec_(std::move(meetsSpec)),
+      config_(config),
+      pool_(config.threads) {
+  assert(backend_ != nullptr);
+  assert(!corners_.empty());
+}
+
+EvalEngine::EvalEngine(const core::SizingProblem& problem,
+                       EvalEngineConfig config)
+    : EvalEngine(std::make_shared<CallbackBackend>(
+                     problem.evaluate, "problem:" + problem.name),
+                 problem.space, problem.corners,
+                 makeMeetsSpec(
+                     core::ValueFunction(problem.measurementNames,
+                                         problem.specs)),
+                 config) {}
+
+void EvalEngine::resetAccounting() {
+  ledger_ = pvt::EdaLedger{};
+  stats_ = EvalStats{};
+}
+
+void EvalEngine::prepareKey(const linalg::Vector& sizes) {
+  const std::size_t dim = space_.dim();
+  assert(sizes.size() == dim);
+  snapScratch_.resize(dim);
+  keyScratch_.indices.resize(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    const std::size_t idx = space_.nearestIndex(d, sizes[d]);
+    keyScratch_.indices[d] = idx;
+    snapScratch_[d] = space_.gridValue(d, idx);
+  }
+}
+
+std::vector<core::EvalResult> EvalEngine::evalBatch(
+    const std::vector<std::size_t>& cornerIdx, const linalg::Vector& sizes,
+    pvt::BlockKind kind) {
+  const std::size_t n = cornerIdx.size();
+  std::vector<core::EvalResult> results(n);
+  if (n == 0) return results;
+  // Snap here so the simulated point always matches the cache key, whatever
+  // the caller passed.
+  prepareKey(sizes);
+
+  // ---- Probe the memo (and collapse in-batch duplicates) serially.
+  missSlots_.clear();
+  hitFlags_.assign(n, 0);
+  dupOf_.assign(n, kNone);
+  if (config_.cacheEvals) {
+    for (std::size_t i = 0; i < n; ++i) {
+      keyScratch_.cornerIndex = cornerIdx[i];
+      if (const core::EvalResult* hit = cache_.find(keyScratch_)) {
+        results[i] = *hit;
+        hitFlags_[i] = 1;
+        continue;
+      }
+      // A duplicate key within the batch can only repeat an earlier *miss*
+      // (had the key been cached, both requests would have hit).
+      for (const std::size_t j : missSlots_) {
+        if (cornerIdx[j] == cornerIdx[i]) {
+          dupOf_[i] = j;
+          break;
+        }
+      }
+      if (dupOf_[i] == kNone) missSlots_.push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) missSlots_.push_back(i);
+  }
+
+  // ---- Fan the real simulations out; results land in per-request slots.
+  missSeconds_.assign(missSlots_.size(), 0.0);
+  pool_.parallelFor(missSlots_.size(), [&](std::size_t m) {
+    const std::size_t i = missSlots_[m];
+    const auto t0 = std::chrono::steady_clock::now();
+    results[i] = backend_->evaluate(snapScratch_, corners_[cornerIdx[i]]);
+    missSeconds_[m] = secondsSince(t0);
+  });
+
+  // ---- Merge and account after the join, in request order: cache inserts,
+  // ledger blocks, and counters are then identical for any thread count.
+  for (const double s : missSeconds_) stats_.backendSeconds += s;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dupOf_[i] != kNone) results[i] = results[dupOf_[i]];
+    const bool cached = hitFlags_[i] != 0 || dupOf_[i] != kNone;
+    if (config_.cacheEvals && !cached)
+      cache_.insert({keyScratch_.indices, cornerIdx[i]}, results[i]);
+    ++stats_.requests;
+    if (cached) {
+      ++stats_.cacheHits;
+    } else {
+      ++stats_.simulated;
+    }
+    if (config_.recordLedger) {
+      const bool meets = meetsSpec_ ? meetsSpec_(results[i]) : false;
+      ledger_.record(cornerIdx[i], kind, meets, cached);
+    }
+  }
+  return results;
+}
+
+core::EvalResult EvalEngine::evalOne(std::size_t cornerIdx,
+                                     const linalg::Vector& sizes,
+                                     pvt::BlockKind kind) {
+  prepareKey(sizes);
+  keyScratch_.cornerIndex = cornerIdx;
+  if (config_.cacheEvals) {
+    if (const core::EvalResult* hit = cache_.find(keyScratch_)) {
+      ++stats_.requests;
+      ++stats_.cacheHits;
+      if (config_.recordLedger)
+        ledger_.record(cornerIdx, kind, meetsSpec_ ? meetsSpec_(*hit) : false,
+                       /*cached=*/true);
+      return *hit;
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  core::EvalResult result = backend_->evaluate(snapScratch_, corners_[cornerIdx]);
+  stats_.backendSeconds += secondsSince(t0);
+  if (config_.cacheEvals) cache_.insert({keyScratch_.indices, cornerIdx}, result);
+  ++stats_.requests;
+  ++stats_.simulated;
+  if (config_.recordLedger)
+    ledger_.record(cornerIdx, kind, meetsSpec_ ? meetsSpec_(result) : false,
+                   /*cached=*/false);
+  return result;
+}
+
+}  // namespace trdse::eval

@@ -1,0 +1,155 @@
+// The unified evaluation engine — Spice(X) as a batched, schedulable,
+// memoizing service.
+//
+// Every consumer of circuit evaluations (PvtSearch, LocalExplorer, the RL
+// SizingEnv, sessions, examples) routes its (sizing, corner) requests through
+// one engine per search, which:
+//   - dedups and memoizes requests through an EvalCache keyed on (snapped
+//     grid indices, corner id) — re-simulating an already-paid-for point
+//     costs zero EDA blocks;
+//   - fans real simulations out across a common::ThreadPool and merges
+//     results in request order, so outcomes are identical for any thread
+//     count;
+//   - owns the EdaLedger: each logical request records one block, with cache
+//     hits flagged `cached` (zero EDA time, tallied separately), so the
+//     (corner, kind, meetsSpec) block sequence — and therefore any seeded
+//     search trajectory — is bitwise identical with caching on or off.
+//
+// Timing (EvalStats::backendSeconds) is measurement-only: it never feeds back
+// into scheduling, so it is excluded from the determinism guarantees.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/problem.hpp"
+#include "core/value.hpp"
+#include "eval/backend.hpp"
+#include "eval/eval_cache.hpp"
+#include "pvt/ledger.hpp"
+
+namespace trdse::eval {
+
+/// Engine knobs.
+struct EvalEngineConfig {
+  /// Memoize results on (snapped grid indices, corner id). Cache hits cost
+  /// zero EDA blocks; seeded search outcomes are bitwise identical on/off.
+  bool cacheEvals = true;
+  /// Worker threads for fanning a batch's real simulations out:
+  /// 1 = inline/serial (default), 0 = hardware concurrency.
+  std::size_t threads = 1;
+  /// Record one EdaBlock per logical request (and evaluate meetsSpec for
+  /// it). Long-running consumers that never render a timeline — the RL
+  /// SizingEnv — turn this off so the ledger does not grow unbounded;
+  /// EvalStats counters are kept either way.
+  bool recordLedger = true;
+};
+
+/// Aggregate engine counters. `requests` is the logical evaluation count the
+/// search budget is charged against; `simulated` is what actually hit the
+/// backend (EDA blocks consumed); `cacheHits` is the blocks saved.
+struct EvalStats {
+  std::size_t requests = 0;    ///< logical evaluations (simulated + hits)
+  std::size_t simulated = 0;   ///< real backend invocations (EDA blocks)
+  std::size_t cacheHits = 0;   ///< requests served from the memo
+  double backendSeconds = 0.0; ///< wall time summed over backend calls
+
+  std::size_t blocksSaved() const { return cacheHits; }
+  double hitRate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(cacheHits) / static_cast<double>(requests);
+  }
+};
+
+/// Whether an EvalResult meets every spec — used for ledger bookkeeping.
+using MeetsSpecFn = std::function<bool(const core::EvalResult&)>;
+
+/// The standard ledger predicate: simulation converged and every spec of
+/// `value` holds. Shared by every engine built around a problem's specs.
+MeetsSpecFn makeMeetsSpec(core::ValueFunction value);
+
+/// Batched, memoizing, thread-parallel evaluation front-end over an
+/// EvalBackend. Not thread-safe itself: one engine per search/session, called
+/// from the coordinating thread (the internal pool carries the parallelism).
+class EvalEngine {
+ public:
+  /// @param backend    the simulator service (shared so sessions can reuse it)
+  /// @param space      design space used to derive snapped cache keys
+  /// @param corners    corner list requests index into
+  /// @param meetsSpec  ledger predicate (ok + all specs); may be empty, then
+  ///                   every block is recorded as not meeting spec
+  EvalEngine(std::shared_ptr<const EvalBackend> backend, core::DesignSpace space,
+             std::vector<sim::PvtCorner> corners, MeetsSpecFn meetsSpec,
+             EvalEngineConfig config = {});
+
+  /// Convenience: engine over a SizingProblem — CallbackBackend around
+  /// problem.evaluate, the problem's space/corners, and an all-specs
+  /// meetsSpec predicate.
+  explicit EvalEngine(const core::SizingProblem& problem,
+                      EvalEngineConfig config = {});
+
+  EvalEngine(const EvalEngine&) = delete;
+  EvalEngine& operator=(const EvalEngine&) = delete;
+
+  /// Evaluate one sizing on each corner of `cornerIdx` (one batch). The
+  /// sizing is snapped onto the grid here, so the simulated point always
+  /// matches the cache key (callers may pass raw or snapped values).
+  /// Results come back in request order; cache probes and inserts, ledger
+  /// records, and stats updates all happen on the calling thread in request
+  /// order, so the outcome and the accounting are identical for any thread
+  /// count. Duplicate (point, corner) requests inside a batch simulate once
+  /// when caching is on.
+  std::vector<core::EvalResult> evalBatch(
+      const std::vector<std::size_t>& cornerIdx, const linalg::Vector& sizes,
+      pvt::BlockKind kind);
+
+  /// Single-request path (the LocalExplorer / SizingEnv per-step hot path):
+  /// same semantics as a one-element evalBatch, but evaluates inline on the
+  /// calling thread and reuses member scratch, so a steady-state cache hit
+  /// performs no allocation beyond the returned result.
+  core::EvalResult evalOne(std::size_t cornerIdx, const linalg::Vector& sizes,
+                           pvt::BlockKind kind);
+
+  /// Accounting owned by the engine.
+  const pvt::EdaLedger& ledger() const { return ledger_; }
+  const EvalStats& stats() const { return stats_; }
+  /// Distinct (point, corner) results memoized so far.
+  std::size_t cacheSize() const { return cache_.size(); }
+  const EvalBackend& backend() const { return *backend_; }
+  const std::vector<sim::PvtCorner>& corners() const { return corners_; }
+  const EvalEngineConfig& config() const { return config_; }
+
+  /// Zero the ledger and stats for a fresh run; the memo is kept (results
+  /// are run-independent — backends are pure).
+  void resetAccounting();
+  /// Drop every memoized result.
+  void clearCache() { cache_.clear(); }
+
+ private:
+  std::shared_ptr<const EvalBackend> backend_;
+  core::DesignSpace space_;
+  std::vector<sim::PvtCorner> corners_;
+  MeetsSpecFn meetsSpec_;
+  EvalEngineConfig config_;
+  common::ThreadPool pool_;
+  EvalCache cache_;
+  pvt::EdaLedger ledger_;
+  EvalStats stats_;
+
+  /// Snap `sizes` onto the grid into snapScratch_ and fill
+  /// keyScratch_.indices with the grid indices (no allocation steady-state).
+  void prepareKey(const linalg::Vector& sizes);
+
+  // Request scratch, reused across calls.
+  linalg::Vector snapScratch_;          ///< snapped sizing (fed to backends)
+  EvalKey keyScratch_;                  ///< probe key (indices reused)
+  std::vector<std::size_t> missSlots_;  ///< request indices that simulate
+  std::vector<double> missSeconds_;     ///< per-miss backend wall time
+  std::vector<char> hitFlags_;          ///< request served from the memo
+  std::vector<std::size_t> dupOf_;      ///< in-batch duplicate -> first miss
+};
+
+}  // namespace trdse::eval

@@ -14,6 +14,12 @@ std::size_t EdaLedger::verifyBlocks() const {
   return blocks_.size() - searchBlocks();
 }
 
+std::size_t EdaLedger::cachedBlocks() const {
+  return static_cast<std::size_t>(
+      std::count_if(blocks_.begin(), blocks_.end(),
+                    [](const EdaBlock& b) { return b.cached; }));
+}
+
 std::string EdaLedger::renderTimeline(std::size_t cornerCount,
                                       std::size_t maxCols) const {
   // Bucket blocks into maxCols columns when the run is long.

@@ -18,17 +18,28 @@ struct EdaBlock {
   std::size_t cornerIndex = 0;
   BlockKind kind = BlockKind::kSearch;
   bool meetsSpec = false;  ///< did this simulation meet all specs?
+  /// Served from the evaluation memo instead of a real simulation: the block
+  /// appears in the logical timeline but consumed zero EDA time. The
+  /// (cornerIndex, kind, meetsSpec) sequence is identical whether caching is
+  /// on or off; only this flag differs.
+  bool cached = false;
 };
 
 class EdaLedger {
  public:
-  void record(std::size_t cornerIndex, BlockKind kind, bool meetsSpec) {
-    blocks_.push_back({cornerIndex, kind, meetsSpec});
+  void record(std::size_t cornerIndex, BlockKind kind, bool meetsSpec,
+              bool cached = false) {
+    blocks_.push_back({cornerIndex, kind, meetsSpec, cached});
   }
 
+  /// Logical evaluation count (real simulations + cache hits).
   std::size_t totalBlocks() const { return blocks_.size(); }
   std::size_t searchBlocks() const;
   std::size_t verifyBlocks() const;
+  /// Blocks served from the cache — EDA time saved by memoization.
+  std::size_t cachedBlocks() const;
+  /// Blocks that actually ran a simulation (totalBlocks - cachedBlocks).
+  std::size_t simulatedBlocks() const { return totalBlocks() - cachedBlocks(); }
   const std::vector<EdaBlock>& blocks() const { return blocks_; }
 
   /// ASCII rendering of the Fig. 3 timeline: one row per corner, one column

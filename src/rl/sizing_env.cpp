@@ -11,6 +11,20 @@ SizingEnv::SizingEnv(const core::SizingProblem& problem, EnvConfig config,
       value_(problem.measurementNames, problem.specs),
       rng_(seed) {
   assert(!problem.corners.empty());
+  // Single-corner engine (Table I is single-PVT); evaluations are inline —
+  // parallelism across environments lives in the rollout collector. Ledger
+  // recording is off: a training run takes tens of thousands of steps and
+  // the env only consumes the stats counters (spec satisfaction is judged
+  // from the reward path, not the ledger).
+  eval::EvalEngineConfig engineCfg;
+  engineCfg.cacheEvals = config.cacheEvals;
+  engineCfg.threads = 1;
+  engineCfg.recordLedger = false;
+  engine_ = std::make_unique<eval::EvalEngine>(
+      std::make_shared<eval::CallbackBackend>(problem.evaluate,
+                                              "env:" + problem.name),
+      problem.space, std::vector<sim::PvtCorner>{problem.corners.front()},
+      eval::MeetsSpecFn{}, engineCfg);
 }
 
 std::size_t SizingEnv::observationDim() const {
@@ -19,7 +33,8 @@ std::size_t SizingEnv::observationDim() const {
 
 void SizingEnv::simulateCurrent() {
   sizes_ = problem_.space.fromIndices(indices_);
-  const core::EvalResult r = problem_.evaluate(sizes_, problem_.corners.front());
+  const core::EvalResult r =
+      engine_->evalOne(0, sizes_, pvt::BlockKind::kSearch);
   ++sims_;
   currentOk_ = r.ok;
   if (r.ok) {

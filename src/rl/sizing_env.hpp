@@ -9,10 +9,12 @@
 // horizon.
 #pragma once
 
+#include <memory>
 #include <random>
 
 #include "core/problem.hpp"
 #include "core/value.hpp"
+#include "eval/eval_engine.hpp"
 
 namespace trdse::rl {
 
@@ -22,6 +24,11 @@ struct EnvConfig {
   std::size_t strideDivisor = 16;  ///< per-move stride = max(1, steps/divisor)
   double solveBonus = 10.0;        ///< reward bonus at a satisfying design
   double failedSimScore = -1.0;  ///< per-spec score when simulation fails
+  /// Memoize evaluations on grid indices through the eval engine. RL
+  /// episodes revisit stride-lattice states constantly, so hits are frequent;
+  /// rewards/observations (and simulationsUsed, which counts logical
+  /// requests) are bitwise identical with the cache on or off.
+  bool cacheEvals = true;
 };
 
 /// What one environment step returns.
@@ -51,8 +58,11 @@ class SizingEnv {
   /// Apply one move per parameter and simulate the new point.
   StepResult step(const std::vector<std::size_t>& actions);
 
-  /// SPICE simulations consumed since construction (the Table I budget).
+  /// Logical SPICE requests since construction (the Table I budget); cache
+  /// hits count here but consume no EDA time (see evalStats().simulated).
   std::size_t simulationsUsed() const { return sims_; }
+  /// Engine counters: real simulations vs memo hits, backend timing.
+  const eval::EvalStats& evalStats() const { return engine_->stats(); }
   /// Simulation count at the first solved step (0 when never solved).
   std::size_t simsAtFirstSolve() const { return simsAtFirstSolve_; }
 
@@ -66,6 +76,9 @@ class SizingEnv {
   const core::SizingProblem& problem_;
   EnvConfig config_;
   core::ValueFunction value_;
+  /// Single-corner engine over the problem's evaluator (unique_ptr keeps the
+  /// env movable; the engine owns a thread pool and is immovable itself).
+  std::unique_ptr<eval::EvalEngine> engine_;
   std::mt19937_64 rng_;
 
   std::vector<std::size_t> indices_;  // grid position

@@ -185,13 +185,18 @@ const ProcessCard& n5Card() {
   return c;
 }
 
+const ProcessCard* findCard(std::string_view name) {
+  if (name == "bsim45") return &bsim45Card();
+  if (name == "bsim22") return &bsim22Card();
+  if (name == "n6") return &n6Card();
+  if (name == "n5") return &n5Card();
+  return nullptr;
+}
+
 const ProcessCard& cardByName(std::string_view name) {
-  if (name == "bsim45") return bsim45Card();
-  if (name == "bsim22") return bsim22Card();
-  if (name == "n6") return n6Card();
-  if (name == "n5") return n5Card();
-  assert(false && "unknown process card");
-  return bsim45Card();
+  const ProcessCard* card = findCard(name);
+  assert(card != nullptr && "unknown process card");
+  return card != nullptr ? *card : bsim45Card();
 }
 
 }  // namespace trdse::sim

@@ -72,6 +72,10 @@ const ProcessCard& bsim22Card();
 const ProcessCard& n6Card();
 const ProcessCard& n5Card();
 
+/// Look up a card by name; nullptr on unknown names (for callers that want
+/// to report the error themselves, e.g. circuits::Registry).
+const ProcessCard* findCard(std::string_view name);
+
 /// Look up a card by name; asserts on unknown names (programmer error).
 const ProcessCard& cardByName(std::string_view name);
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "core/local_dataset.hpp"
 #include "core/local_explorer.hpp"
@@ -70,6 +71,36 @@ TEST(DesignSpace, IndicesRoundTrip) {
     const auto back = space.fromIndices(idx);
     for (std::size_t d = 0; d < 2; ++d) EXPECT_NEAR(back[d], x[d], 1e-9);
   }
+}
+
+// ---------- SizingProblem ----------
+
+TEST(Problem, MeasurementIndexFindsDeclaredNames) {
+  SizingProblem p;
+  p.measurementNames = {"gain_db", "ugbw_hz", "pm_deg"};
+  EXPECT_EQ(p.measurementIndex("gain_db"), 0u);
+  EXPECT_EQ(p.measurementIndex("pm_deg"), 2u);
+}
+
+TEST(Problem, MeasurementIndexThrowsNamingTheUnknownMeasurement) {
+  // A typo in a spec name must fail loudly in every build type (the old
+  // assert vanished in release builds).
+  SizingProblem p;
+  p.measurementNames = {"gain_db", "pm_deg"};
+  try {
+    p.measurementIndex("gain_dB");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gain_dB"), std::string::npos);  // the typo itself
+    EXPECT_NE(what.find("pm_deg"), std::string::npos);   // the known names
+  }
+}
+
+TEST(Value, ConstructorRejectsSpecOnUnknownMeasurement) {
+  const std::vector<std::string> names = {"gain"};
+  EXPECT_THROW(ValueFunction(names, {{"gian", SpecKind::kAtLeast, 50.0}}),
+               std::invalid_argument);
 }
 
 // ---------- ValueFunction ----------

@@ -58,6 +58,18 @@ TEST(Ledger, CountsAndKinds) {
   EXPECT_EQ(ledger.verifyBlocks(), 1u);
 }
 
+TEST(Ledger, CachedBlocksTalliedSeparately) {
+  EdaLedger ledger;
+  ledger.record(0, BlockKind::kSearch, false);                     // simulated
+  ledger.record(0, BlockKind::kSearch, false, /*cached=*/true);    // memo hit
+  ledger.record(1, BlockKind::kVerify, true, /*cached=*/true);
+  EXPECT_EQ(ledger.totalBlocks(), 3u);      // logical timeline
+  EXPECT_EQ(ledger.cachedBlocks(), 2u);     // EDA time saved
+  EXPECT_EQ(ledger.simulatedBlocks(), 1u);  // EDA time consumed
+  EXPECT_FALSE(ledger.blocks()[0].cached);
+  EXPECT_TRUE(ledger.blocks()[1].cached);
+}
+
 TEST(Ledger, TimelineRendering) {
   EdaLedger ledger;
   ledger.record(0, BlockKind::kSearch, false);
