@@ -1,0 +1,117 @@
+// Checkpoint save -> resume demonstration (and the CI smoke test for the
+// src/io subsystem).
+//
+// Runs the same multi-corner sizing session twice:
+//   1. uninterrupted, to completion;
+//   2. interrupted at half the budget, snapshotted to a .ckpt file,
+//      restored into a *fresh* session (as a new process would), and
+//      continued to the same budget.
+// Then verifies the determinism contract of docs/CHECKPOINTS.md: both paths
+// must produce the identical report — same solved flag, same simulation
+// count, bitwise-identical sizes, identical EDA-block ledger. Exits non-zero
+// on any mismatch, so CI can gate on it.
+//
+// Usage: checkpoint_resume [checkpoint-path]
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "core/sizing_api.hpp"
+#include "io/checkpoint.hpp"
+
+using namespace trdse;
+
+namespace {
+
+/// The quickstart synthetic, hardened with a hot corner so the progressive
+/// pool has real multi-corner state to checkpoint.
+core::SizingProblem makeProblem() {
+  core::SizingProblem problem;
+  problem.name = "checkpoint_resume_synthetic";
+  problem.space = core::DesignSpace({
+      {"x", 0.0, 1.0, 101, false},
+      {"y", 0.0, 1.0, 101, false},
+      {"z", 0.1, 1.0, 91, false},
+  });
+  problem.measurementNames = {"gain", "power", "speed"};
+  problem.specs = {
+      {"gain", core::SpecKind::kAtLeast, 78.9},
+      {"power", core::SpecKind::kAtMost, 1.62},
+      {"speed", core::SpecKind::kAtLeast, 13.6},
+  };
+  problem.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0},
+                     {sim::ProcessCorner::kSS, 0.95, 125.0},
+                     {sim::ProcessCorner::kFF, 1.05, -40.0}};
+  problem.evaluate = [](const linalg::Vector& v, const sim::PvtCorner& c) {
+    core::EvalResult r;
+    r.ok = true;
+    const double x = v[0];
+    const double y = v[1];
+    const double z = v[2];
+    const double derate = c.tempC > 100.0 ? 0.99 : 1.0;
+    r.measurements = {derate * (80.0 - 30.0 * (x - 0.6) * (x - 0.6) -
+                                20.0 * (y - 0.4) * (y - 0.4)),
+                      2.0 * x + y + 0.2 * z, derate * 50.0 * x * z};
+    return r;
+  };
+  return problem;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "resume_demo.ckpt";
+  constexpr std::size_t kBudget = 2000;
+  try {
+    core::SessionOptions options;
+    options.maxSimulations = kBudget;
+    options.seed = 7;
+
+    // ---- Reference: the uninterrupted run.
+    core::SizingSession uninterrupted(makeProblem(), options);
+    const core::SessionReport full = uninterrupted.run();
+    std::printf("uninterrupted: solved=%d simulations=%zu simulated-blocks=%zu\n",
+                int(full.solved), full.simulations, full.evalStats.simulated);
+
+    // ---- Interrupted run: half the budget, then snapshot.
+    core::SessionOptions half = options;
+    half.maxSimulations = full.simulations / 2;
+    core::SizingSession interrupted(makeProblem(), half);
+    const core::SessionReport partial = interrupted.run();
+    interrupted.save(path);
+    std::printf("interrupted at %zu simulations, state saved to %s\n",
+                partial.simulations, path.c_str());
+
+    // ---- Fresh session (a new process would do exactly this), resumed.
+    core::SizingSession resumed(makeProblem(), options);
+    resumed.resume(path);
+    const core::SessionReport continued = resumed.run();
+    std::printf("resumed:       solved=%d simulations=%zu simulated-blocks=%zu\n",
+                int(continued.solved), continued.simulations,
+                continued.evalStats.simulated);
+
+    // ---- The contract: bitwise-equal outcome and ledger.
+    bool ok = full.solved == continued.solved &&
+              full.simulations == continued.simulations &&
+              full.sizes == continued.sizes &&
+              full.summary == continued.summary &&
+              full.ledger.totalBlocks() == continued.ledger.totalBlocks();
+    if (ok) {
+      for (std::size_t i = 0; i < full.ledger.totalBlocks(); ++i) {
+        const pvt::EdaBlock& a = full.ledger.blocks()[i];
+        const pvt::EdaBlock& b = continued.ledger.blocks()[i];
+        if (a.cornerIndex != b.cornerIndex || a.kind != b.kind ||
+            a.meetsSpec != b.meetsSpec || a.cached != b.cached) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    std::printf("resume contract: %s\n",
+                ok ? "bitwise identical" : "MISMATCH");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "checkpoint_resume failed: %s\n", e.what());
+    return 1;
+  }
+}

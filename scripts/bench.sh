@@ -4,6 +4,10 @@
 # compare against.
 #
 # Usage: scripts/bench.sh [build-dir] [output-json]
+#
+# MICRO_BENCH_ARGS (env) is forwarded to the micro_bench binary — the CI
+# bench-smoke job passes a reduced --benchmark_min_time so the sweep finishes
+# in seconds while still exercising every benchmark.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -11,11 +15,23 @@ BUILD_DIR="${1:-$REPO_ROOT/build}"
 OUT_JSON="${2:-$REPO_ROOT/BENCH_micro.json}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target micro_bench -j >/dev/null
+
+# micro_bench is only generated when google-benchmark is installed; a missing
+# target/binary must fail the run loudly — a silently partial/stale
+# BENCH_micro.json would corrupt the perf trajectory the PRs compare against.
+if ! cmake --build "$BUILD_DIR" --target micro_bench -j >/dev/null ||
+   [[ ! -x "$BUILD_DIR/micro_bench" ]]; then
+  echo "error: $BUILD_DIR/micro_bench could not be built (is google-benchmark" \
+       "installed? see 'find_package(benchmark)' in CMakeLists.txt);" \
+       "refusing to write a partial $OUT_JSON" >&2
+  exit 1
+fi
 
 RAW_JSON="$BUILD_DIR/bench_micro_raw.json"
+# shellcheck disable=SC2086  # MICRO_BENCH_ARGS is intentionally word-split
 "$BUILD_DIR/micro_bench" --benchmark_format=json \
-  --benchmark_out="$RAW_JSON" --benchmark_out_format=json >/dev/null
+  --benchmark_out="$RAW_JSON" --benchmark_out_format=json \
+  ${MICRO_BENCH_ARGS:-} >/dev/null
 
 python3 - "$RAW_JSON" "$OUT_JSON" <<'EOF'
 import json

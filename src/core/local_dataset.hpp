@@ -44,6 +44,11 @@ class LocalDataset {
   Selection selectLocal(const linalg::Vector& center, double cut,
                         std::size_t minCount) const;
 
+  /// Stored unit-space sizings, in insertion order (checkpoint access).
+  const std::vector<linalg::Vector>& inputs() const { return unit_; }
+  /// Stored measurement vectors, parallel to inputs() (checkpoint access).
+  const std::vector<linalg::Vector>& targets() const { return meas_; }
+
  private:
   std::vector<linalg::Vector> unit_;
   std::vector<linalg::Vector> meas_;

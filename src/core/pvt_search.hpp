@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <random>
 
 #include "core/local_explorer.hpp"
@@ -20,6 +21,11 @@
 #include "core/value.hpp"
 #include "eval/eval_engine.hpp"
 #include "pvt/ledger.hpp"
+
+namespace trdse::io {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace trdse::io
 
 namespace trdse::core {
 
@@ -53,6 +59,14 @@ struct PvtSearchConfig {
   /// with the cache on or off. Effective only when
   /// `explorer.cacheEvals` is also set (either flag disables caching).
   bool cacheEvals = true;
+  /// Auto-checkpoint cadence: every `autoCheckpointEvery` completed TRM
+  /// steps the full search state is written to `autoCheckpointPath`
+  /// (0 = off). A run killed at any point resumes from the last snapshot
+  /// bitwise (see docs/CHECKPOINTS.md for the determinism contract).
+  std::size_t autoCheckpointEvery = 0;
+  /// Destination of the periodic snapshots (required when
+  /// `autoCheckpointEvery` is non-zero).
+  std::string autoCheckpointPath;
 };
 
 /// Result of one progressive PVT search run.
@@ -70,16 +84,45 @@ struct PvtSearchOutcome {
 };
 
 /// Progressive multi-corner trust-region search (paper IV-E).
+///
+/// The search is a resumable state machine: run() advances it until the
+/// cumulative logical budget `maxSims` is reached (budget checks sit exactly
+/// where the original single-pass loop had them), so a run paused by a
+/// smaller budget — or killed and restored from a checkpoint — continues to
+/// the same SearchOutcome, ledger and stats, bit for bit, as an
+/// uninterrupted run. saveCheckpoint()/restoreCheckpoint() persist the full
+/// state: per-corner surrogates (weights + Adam moments + scalers),
+/// trajectories, trust-region radius, RNG stream, eval-engine memo and
+/// accounting, and the loop position itself.
 class PvtSearch {
  public:
   /// The problem is copied (callbacks + metadata), so temporaries are safe.
   PvtSearch(SizingProblem problem, PvtSearchConfig config);
 
-  /// Run until all corners sign off or `maxSims` EDA blocks are consumed.
+  /// Advance until all corners sign off or `maxSims` cumulative logical EDA
+  /// blocks are consumed. May be called again with a larger budget to
+  /// continue the same search (the outcome so far is returned either way).
   PvtSearchOutcome run(std::size_t maxSims);
 
   /// The engine all evaluations route through (cache/ledger inspection).
   const eval::EvalEngine& engine() const { return engine_; }
+
+  /// The configuration this search runs under.
+  const PvtSearchConfig& config() const { return config_; }
+
+  /// Snapshot the full search state into a versioned checkpoint file.
+  /// Throws io::CheckpointError when the file cannot be written.
+  void saveCheckpoint(const std::string& path) const;
+  /// Snapshot into an in-memory writer (stream/file-free composition).
+  void save(io::CheckpointWriter& w) const;
+  /// Restore a snapshot written by saveCheckpoint; the next run() continues
+  /// bitwise. The search must have been constructed with the same problem
+  /// and configuration (specs and corner conditions included) — mismatches
+  /// throw io::CheckpointError. On any restore failure the search is reset
+  /// to its freshly-constructed state, never left half-restored.
+  void restoreCheckpoint(const std::string& path);
+  /// Restore from a parsed checkpoint (see restoreCheckpoint).
+  void restore(const io::CheckpointReader& r);
 
  private:
   struct CornerState {
@@ -88,19 +131,56 @@ class PvtSearch {
     LocalDataset data;  ///< this corner's trajectory (unit space)
   };
 
+  /// One fully-evaluated candidate (evals parallel to the active pool).
+  struct Point {
+    linalg::Vector sizes;
+    linalg::Vector unit;
+    std::vector<EvalResult> evals;
+    double value = kFailedValue;
+  };
+
+  /// Where the search loop stands between two budget checks.
+  enum class Phase : std::uint8_t {
+    kEpisodeStart,  ///< about to reset the center and start init sampling
+    kInitSample,    ///< inside Algorithm 1 line 2 (one sample per step)
+    kTrmStep,       ///< alternating train/plan/evaluate TRM iterations
+    kDone,          ///< solved — run() returns immediately
+  };
+
   /// Evaluate `sizes` on several corners through the engine (batched,
   /// memoized, thread-parallel with request-order merge) and charge the
   /// logical budget.
   std::vector<EvalResult> evalCorners(const std::vector<std::size_t>& corners,
                                       const linalg::Vector& sizes,
-                                      pvt::BlockKind kind,
-                                      PvtSearchOutcome& out);
+                                      pvt::BlockKind kind);
 
   /// min over active corners of Value(eval) for an already-evaluated point.
   double poolValue(const std::vector<EvalResult>& evals) const;
 
-  /// run() body; run() wraps it to harvest engine accounting at every exit.
-  PvtSearchOutcome runSearch(std::size_t maxSims);
+  /// Seed the active pool per the configured strategy (one rng_ draw for the
+  /// random strategy) and reset per-run engine accounting.
+  void initialize();
+  /// Add corner `idx` to the active pool (idempotent).
+  void activate(std::size_t idx);
+  /// Build surrogates for active corners that lack one (measDim_ known).
+  void ensureSurrogates(std::size_t measDim);
+  /// SPICE a raw point on the whole active pool + bookkeeping.
+  Point evaluatePoint(const linalg::Vector& rawSizes);
+  /// Every active-corner eval converged and satisfied the specs.
+  bool poolSatisfied(const Point& p) const;
+  /// Verify inactive corners; true when all pass (search solved), otherwise
+  /// activates the failing corner with the lowest value.
+  bool verifyAndExpand(const Point& p);
+
+  /// Advance one state-machine step (at most one budget-checked unit of
+  /// work — one init sample or one full TRM iteration; the budget check
+  /// itself lives in run()'s loop condition).
+  void stepOnce();
+  void stepInitSample();
+  void stepTrm();
+
+  /// restore() body; restore() wraps it to reset on failure.
+  void restoreSections(const io::CheckpointReader& r);
 
   SizingProblem problem_;
   PvtSearchConfig config_;
@@ -109,11 +189,26 @@ class PvtSearch {
   std::vector<CornerState> active_;
   std::mt19937_64 rng_;
 
+  // ---- Resumable loop state (all of it lands in checkpoints) ----
+  bool initialized_ = false;
+  Phase phase_ = Phase::kEpisodeStart;
+  std::size_t initK_ = 0;          ///< init samples taken this episode
+  bool haveCenter_ = false;
+  Point center_;
+  TrustRegion tr_;
+  std::size_t sinceRestart_ = 0;
+  std::size_t sinceImprovement_ = 0;
+  std::size_t trmSteps_ = 0;       ///< completed TRM steps (checkpoint cadence)
+  std::vector<char> isActive_;     ///< per-corner active flag
+  std::optional<std::size_t> measDim_;
+  PvtSearchOutcome result_;        ///< outcome accumulated so far
+
   // Planning/evaluation scratch, reused across TRM steps.
   linalg::Matrix candBuf_;
   linalg::Matrix predBuf_;
   linalg::Vector rowScratch_;
   std::vector<double> poolScores_;
+  std::vector<std::size_t> cornerIdxScratch_;
 };
 
 }  // namespace trdse::core

@@ -20,21 +20,41 @@ LocalExplorerConfig autoSchedule(const SizingProblem& problem,
 }
 
 SizingSession::SizingSession(SizingProblem problem, SessionOptions options)
-    : problem_(std::move(problem)), options_(options) {}
+    : problem_(std::move(problem)), options_(std::move(options)) {}
+
+SizingSession::~SizingSession() = default;
+SizingSession::SizingSession(SizingSession&&) noexcept = default;
+SizingSession& SizingSession::operator=(SizingSession&&) noexcept = default;
+
+PvtSearch& SizingSession::ensureSearch() {
+  if (!search_) {
+    PvtSearchConfig cfg;
+    cfg.strategy = options_.strategy;
+    cfg.seed = options_.seed;
+    cfg.cacheEvals = options_.cacheEvals;
+    cfg.evalThreads = options_.evalThreads;
+    cfg.autoCheckpointEvery = options_.checkpointEvery;
+    cfg.autoCheckpointPath = options_.checkpointPath;
+    cfg.explorer = options_.explorerOverride.has_value()
+                       ? *options_.explorerOverride
+                       : autoSchedule(problem_, options_.seed);
+    search_ = std::make_unique<PvtSearch>(problem_, cfg);
+  }
+  return *search_;
+}
+
+void SizingSession::save(const std::string& path) {
+  ensureSearch().saveCheckpoint(path);
+}
+
+void SizingSession::resume(const std::string& path) {
+  ensureSearch().restoreCheckpoint(path);
+}
 
 SessionReport SizingSession::run() {
   SessionReport report;
 
-  PvtSearchConfig cfg;
-  cfg.strategy = options_.strategy;
-  cfg.seed = options_.seed;
-  cfg.cacheEvals = options_.cacheEvals;
-  cfg.evalThreads = options_.evalThreads;
-  cfg.explorer = options_.explorerOverride.has_value()
-                     ? *options_.explorerOverride
-                     : autoSchedule(problem_, options_.seed);
-
-  PvtSearch search(problem_, cfg);
+  PvtSearch& search = ensureSearch();
   PvtSearchOutcome outcome = search.run(options_.maxSimulations);
 
   report.solved = outcome.solved;
@@ -48,7 +68,7 @@ SessionReport SizingSession::run() {
 
   std::ostringstream os;
   os << "problem: " << problem_.name << "\n"
-     << "strategy: " << toString(cfg.strategy) << "\n"
+     << "strategy: " << toString(search.config().strategy) << "\n"
      << "solved: " << (report.solved ? "yes" : "no")
      << "  simulations: " << report.simulations << "\n";
   // EDA-block economics: the logical budget above vs what actually hit the
@@ -56,7 +76,8 @@ SessionReport SizingSession::run() {
   // (the paper's Table III accounting). The printed state is the effective
   // one — an explorerOverride with cacheEvals=false disables caching even
   // when the session-level flag is on.
-  const bool cacheOn = options_.cacheEvals && cfg.explorer.cacheEvals;
+  const bool cacheOn =
+      options_.cacheEvals && search.config().explorer.cacheEvals;
   os << "eda blocks: " << report.evalStats.simulated << " simulated, "
      << report.evalStats.cacheHits << " cache hits ("
      << static_cast<int>(report.evalStats.hitRate() * 100.0 + 0.5)

@@ -27,6 +27,13 @@ struct SessionOptions {
   /// Worker threads for per-corner evaluation (PvtSearchConfig::evalThreads;
   /// 1 = serial, 0 = hardware concurrency). Thread-count invariant.
   std::size_t evalThreads = 1;
+  /// Auto-checkpoint: every `checkpointEvery` completed TRM steps the full
+  /// session state is written to `checkpointPath` (0 = off). A session
+  /// killed mid-run resumes from the snapshot bitwise — same SearchOutcome,
+  /// same ledger — via resume() (see docs/CHECKPOINTS.md).
+  std::size_t checkpointEvery = 0;
+  /// Destination of the periodic snapshots (and of save()).
+  std::string checkpointPath;
   /// Override the auto-scheduled hyper-parameters when set.
   std::optional<LocalExplorerConfig> explorerOverride;
 };
@@ -50,20 +57,42 @@ struct SessionReport {
 LocalExplorerConfig autoSchedule(const SizingProblem& problem, std::uint64_t seed);
 
 /// One-call designer entry point: auto-schedule, search, report.
+///
+/// Sessions are resumable: run() continues the embedded search from wherever
+/// it stands, so `resume(path)` + run() reproduces the uninterrupted run's
+/// report bit for bit (the determinism contract of docs/CHECKPOINTS.md).
 class SizingSession {
  public:
   /// Capture the problem and options (the problem is copied).
   SizingSession(SizingProblem problem, SessionOptions options = {});
+  ~SizingSession();
+  SizingSession(SizingSession&&) noexcept;
+  SizingSession& operator=(SizingSession&&) noexcept;
 
-  /// Run the search to completion or budget exhaustion.
+  /// Run the search to completion or budget exhaustion; continues a
+  /// restored (or previously budget-capped) search instead of restarting.
   SessionReport run();
+
+  /// Snapshot the full session state to a versioned checkpoint file. Before
+  /// the first run() this snapshots a fresh search; mid-stack it captures
+  /// surrogates, trust region, RNG streams, memo and ledger exactly.
+  void save(const std::string& path);
+
+  /// Restore a checkpoint written by save() (or by the periodic
+  /// checkpointEvery knob); the next run() continues bitwise. Throws
+  /// io::CheckpointError on corrupt files or a problem/config mismatch.
+  void resume(const std::string& path);
 
   /// The problem this session optimizes.
   const SizingProblem& problem() const { return problem_; }
 
  private:
+  /// Build the search lazily so save()/resume() work before run().
+  PvtSearch& ensureSearch();
+
   SizingProblem problem_;
   SessionOptions options_;
+  std::unique_ptr<PvtSearch> search_;
 };
 
 }  // namespace trdse::core

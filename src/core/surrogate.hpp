@@ -77,6 +77,29 @@ class SpiceSurrogate {
   /// must match. Returns false on mismatch.
   bool adoptWeights(const nn::Mlp& other);
 
+  // Checkpoint access: the full training state is (network, Adam moments,
+  // fitted scalers, stored training pairs); restoring all four resumes the
+  // online training stream bit-exactly.
+
+  /// Adam state over the network parameters, read-only.
+  const nn::AdamOptimizer& optimizer() const { return opt_; }
+  /// Adam state, mutable (checkpoint restore).
+  nn::AdamOptimizer& optimizer() { return opt_; }
+  /// Fitted input standardizer, read-only.
+  const nn::Standardizer& inputScaler() const { return inScaler_; }
+  /// Fitted input standardizer, mutable (checkpoint restore).
+  nn::Standardizer& inputScaler() { return inScaler_; }
+  /// Fitted output standardizer, read-only.
+  const nn::Standardizer& outputScaler() const { return outScaler_; }
+  /// Fitted output standardizer, mutable (checkpoint restore).
+  nn::Standardizer& outputScaler() { return outScaler_; }
+  /// Stored training inputs (unit space), in insertion order.
+  const std::vector<linalg::Vector>& sampleInputs() const { return inputs_; }
+  /// Stored raw measurement targets, parallel to sampleInputs().
+  const std::vector<linalg::Vector>& sampleTargets() const {
+    return targetsRaw_;
+  }
+
  private:
   SurrogateConfig config_;
   nn::Mlp net_;

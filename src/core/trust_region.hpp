@@ -50,6 +50,8 @@ class TrustRegion {
   double radius() const { return radius_; }
   /// Restore the initial radius (used on restarts).
   void reset() { radius_ = config_.initRadius; }
+  /// Install a checkpointed radius (bit-exact resume of the schedule).
+  void setRadius(double radius) { radius_ = radius; }
 
   /// Apply the TRM ratio test for a maximization problem.
   ///   predictedDelta = Value(f_NN(trial)) - Value(f_NN(center))   (>= 0 by

@@ -63,6 +63,13 @@ class EvalCache {
   std::size_t size() const { return map_.size(); }
   void clear() { map_.clear(); }
 
+  /// Every memoized entry (checkpoint access; iterate sorted for
+  /// deterministic serialization — unordered_map order is not stable).
+  const std::unordered_map<EvalKey, core::EvalResult, EvalKeyHash>& entries()
+      const {
+    return map_;
+  }
+
  private:
   std::unordered_map<EvalKey, core::EvalResult, EvalKeyHash> map_;
 };

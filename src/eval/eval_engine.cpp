@@ -1,8 +1,11 @@
 #include "eval/eval_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <utility>
+
+#include "io/state_io.hpp"
 
 namespace trdse::eval {
 
@@ -48,6 +51,54 @@ EvalEngine::EvalEngine(const core::SizingProblem& problem,
 void EvalEngine::resetAccounting() {
   ledger_ = pvt::EdaLedger{};
   stats_ = EvalStats{};
+}
+
+void EvalEngine::saveState(io::SectionWriter& w) const {
+  // Memo, sorted by (corner, grid indices) — unordered_map iteration order
+  // is not stable, and deterministic bytes make save→load→save idempotent.
+  std::vector<const std::pair<const EvalKey, core::EvalResult>*> entries;
+  entries.reserve(cache_.size());
+  for (const auto& kv : cache_.entries()) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+    if (a->first.cornerIndex != b->first.cornerIndex)
+      return a->first.cornerIndex < b->first.cornerIndex;
+    return a->first.indices < b->first.indices;
+  });
+  w.u64(entries.size());
+  for (const auto* kv : entries) {
+    w.indexVec(kv->first.indices);
+    w.u64(kv->first.cornerIndex);
+    io::writeEvalResult(w, kv->second);
+  }
+  io::writeLedger(w, ledger_);
+  w.u64(stats_.requests);
+  w.u64(stats_.simulated);
+  w.u64(stats_.cacheHits);
+  w.f64(stats_.backendSeconds);
+}
+
+void EvalEngine::restoreState(io::SectionReader& r) {
+  cache_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EvalKey key;
+    key.indices = r.indexVec();
+    key.cornerIndex = r.u64();
+    if (key.indices.size() != space_.dim())
+      r.fail("cache key dimensionality " + std::to_string(key.indices.size()) +
+             " does not match the design space (" +
+             std::to_string(space_.dim()) + ")");
+    if (key.cornerIndex >= corners_.size())
+      r.fail("cache key corner index " + std::to_string(key.cornerIndex) +
+             " out of range (" + std::to_string(corners_.size()) +
+             " corners)");
+    cache_.insert(std::move(key), io::readEvalResult(r));
+  }
+  io::readLedger(r, ledger_);
+  stats_.requests = r.u64();
+  stats_.simulated = r.u64();
+  stats_.cacheHits = r.u64();
+  stats_.backendSeconds = r.f64();
 }
 
 void EvalEngine::prepareKey(const linalg::Vector& sizes) {

@@ -30,6 +30,11 @@
 #include "eval/eval_cache.hpp"
 #include "pvt/ledger.hpp"
 
+namespace trdse::io {
+class SectionReader;
+class SectionWriter;
+}  // namespace trdse::io
+
 namespace trdse::eval {
 
 /// Engine knobs.
@@ -127,6 +132,15 @@ class EvalEngine {
   void resetAccounting();
   /// Drop every memoized result.
   void clearCache() { cache_.clear(); }
+
+  /// Serialize the engine's durable state — memo contents, ledger timeline,
+  /// stats counters — into a checkpoint section. Cache entries are emitted
+  /// in sorted key order so identical states produce identical bytes.
+  void saveState(io::SectionWriter& w) const;
+  /// Replace memo/ledger/stats with state written by saveState. The restored
+  /// memo is what keeps a resumed run's cached/simulated accounting bitwise
+  /// identical to the uninterrupted run's.
+  void restoreState(io::SectionReader& r);
 
  private:
   std::shared_ptr<const EvalBackend> backend_;

@@ -50,6 +50,22 @@ class AdamOptimizer final : public Optimizer {
   double learningRate() const override { return lr_; }
   void setLearningRate(double lr) override { lr_ = lr; }
 
+  // Checkpoint access: Adam's state is (step count, first/second moments);
+  // restoring it mid-training resumes the exact bias-corrected update stream.
+
+  /// Updates applied so far (the bias-correction exponent).
+  long stepCount() const { return t_; }
+  /// First-moment estimate (flat parameter layout; empty before any step).
+  const linalg::Vector& firstMoments() const { return m_; }
+  /// Second-moment estimate (flat parameter layout; empty before any step).
+  const linalg::Vector& secondMoments() const { return v_; }
+  /// Install checkpointed state; empty moments mean a freshly-reset optimizer.
+  void restoreState(long t, linalg::Vector m, linalg::Vector v) {
+    t_ = t;
+    m_ = std::move(m);
+    v_ = std::move(v);
+  }
+
  private:
   double lr_;
   double beta1_;

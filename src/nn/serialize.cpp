@@ -1,5 +1,7 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <istream>
@@ -11,6 +13,7 @@ namespace {
 
 constexpr std::uint32_t kMlpMagic = 0x544E4E4D;  // "MNNT"
 constexpr std::uint32_t kStdMagic = 0x54445453;  // "STDT"
+constexpr std::uint32_t kAdamMagic = 0x4D414441;  // "ADAM"
 
 void writeU32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -80,6 +83,11 @@ std::optional<Mlp> loadMlp(std::istream& in) {
   linalg::Vector params;
   if (!readVec(in, params) || params.size() != net.parameterCount())
     return std::nullopt;
+  // Reject non-finite parameters: a NaN/Inf weight poisons every downstream
+  // prediction silently, so a file carrying one is treated as malformed.
+  if (std::any_of(params.begin(), params.end(),
+                  [](double p) { return !std::isfinite(p); }))
+    return std::nullopt;
   net.setParameters(params);
   return net;
 }
@@ -113,6 +121,32 @@ std::optional<Standardizer> loadStandardizer(std::istream& in) {
   Standardizer s;
   s.set(std::move(mean), std::move(std));
   return s;
+}
+
+void saveAdamState(const AdamOptimizer& opt, std::ostream& out) {
+  writeU32(out, kAdamMagic);
+  writeU64(out, static_cast<std::uint64_t>(opt.stepCount()));
+  writeVec(out, opt.firstMoments());
+  writeVec(out, opt.secondMoments());
+}
+
+bool loadAdamState(std::istream& in, AdamOptimizer& opt) {
+  std::uint32_t magic = 0;
+  if (!readU32(in, magic) || magic != kAdamMagic) return false;
+  std::uint64_t t = 0;
+  linalg::Vector m;
+  linalg::Vector v;
+  if (!readU64(in, t) || !readVec(in, m) || !readVec(in, v)) return false;
+  if (m.size() != v.size()) return false;
+  // Same rationale as loadMlp: a NaN/Inf moment would silently poison every
+  // subsequent parameter update.
+  const auto finite = [](const linalg::Vector& x) {
+    return std::all_of(x.begin(), x.end(),
+                       [](double p) { return std::isfinite(p); });
+  };
+  if (!finite(m) || !finite(v)) return false;
+  opt.restoreState(static_cast<long>(t), std::move(m), std::move(v));
+  return true;
 }
 
 }  // namespace trdse::nn

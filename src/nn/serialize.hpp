@@ -10,13 +10,16 @@
 #include <string>
 
 #include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
 #include "nn/scaler.hpp"
 
 namespace trdse::nn {
 
 /// Write a network (shape + parameters) to a binary stream.
 void saveMlp(const Mlp& net, std::ostream& out);
-/// Read a network written by saveMlp; nullopt on malformed input.
+/// Read a network written by saveMlp; nullopt on malformed input — including
+/// parameter vectors containing non-finite values (NaN/Inf never silently
+/// enters a restored network).
 std::optional<Mlp> loadMlp(std::istream& in);
 
 /// saveMlp to a file; false when the file cannot be written.
@@ -27,7 +30,15 @@ std::optional<Mlp> loadMlpFromFile(const std::string& path);
 /// Write a fitted standardizer to a binary stream.
 void saveStandardizer(const Standardizer& s, std::ostream& out);
 /// Read a standardizer written by saveStandardizer; nullopt on malformed
-/// input.
+/// input. Zero-variance (degenerate) columns round-trip exactly.
 std::optional<Standardizer> loadStandardizer(std::istream& in);
+
+/// Write an Adam optimizer's full state — step count and both moment vectors
+/// — so mid-training checkpoints resume the exact bias-corrected update
+/// stream (the src/io checkpoint subsystem builds on this).
+void saveAdamState(const AdamOptimizer& opt, std::ostream& out);
+/// Read state written by saveAdamState into `opt`; false on malformed input
+/// (the optimizer is left untouched then).
+bool loadAdamState(std::istream& in, AdamOptimizer& opt);
 
 }  // namespace trdse::nn

@@ -42,6 +42,11 @@ class EdaLedger {
   std::size_t simulatedBlocks() const { return totalBlocks() - cachedBlocks(); }
   const std::vector<EdaBlock>& blocks() const { return blocks_; }
 
+  /// Replace the whole timeline (checkpoint restore).
+  void restoreBlocks(std::vector<EdaBlock> blocks) {
+    blocks_ = std::move(blocks);
+  }
+
   /// ASCII rendering of the Fig. 3 timeline: one row per corner, one column
   /// per EDA block ('.' idle, 'x' search-fail, 's' search-pass, 'V' verify-
   /// pass, 'v' verify-fail). Columns are grouped to `maxCols`.

@@ -1,7 +1,10 @@
 #include "rl/a2c.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
 
+#include "rl/checkpoint.hpp"
 #include "rl/vec_env.hpp"
 
 namespace trdse::rl {
@@ -78,11 +81,15 @@ void a2cUpdateBatched(nn::Mlp& policy, nn::Mlp& critic,
 
 RlTrainOutcome trainA2c(const core::SizingProblem& problem, const A2cConfig& cfg,
                         std::size_t maxSimulations) {
+  if (cfg.checkpointEvery != 0 && cfg.checkpointPath.empty())
+    throw std::invalid_argument(
+        "A2cConfig::checkpointEvery is set but checkpointPath is empty");
   RlTrainOutcome out;
   ParallelRolloutCollector collector(problem, cfg.env,
                                      std::max<std::size_t>(1, cfg.numEnvs),
                                      cfg.rolloutThreads, cfg.seed,
-                                     /*rngSalt=*/7);
+                                     /*rngSalt=*/7,
+                                     /*initialReset=*/cfg.resumeFrom.empty());
   nn::Mlp policy = makePolicyNet(collector.observationDim(),
                                  collector.actionHeads(),
                                  SizingEnv::kActionsPerHead, cfg.hidden,
@@ -93,8 +100,31 @@ RlTrainOutcome trainA2c(const core::SizingProblem& problem, const A2cConfig& cfg
   nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
 
   out.bestEpisodeReturn = -1e18;
+  std::size_t updates = 0;
+  std::ostringstream hyper;
+  hyper.precision(17);
+  hyper << "a2c nSteps=" << cfg.nSteps << " gamma=" << cfg.gamma
+        << " gae=" << cfg.gaeLambda << " lr=" << cfg.learningRate
+        << " vlr=" << cfg.valueLearningRate << " ent=" << cfg.entropyCoeff
+        << " clip=" << cfg.maxGradNorm << " hidden=" << cfg.hidden
+        << " batched=" << cfg.batchedTraining;
+  TrainerState snapshot;
+  snapshot.algo = "a2c";
+  snapshot.fingerprint =
+      trainerFingerprint(problem, cfg.env, cfg.seed, hyper.str());
+  snapshot.policy = &policy;
+  snapshot.critic = &critic;
+  snapshot.policyOpt = &policyOpt;
+  snapshot.criticOpt = &criticOpt;
+  snapshot.collector = &collector;
+  snapshot.updates = &updates;
+  snapshot.bestEpisodeReturn = &out.bestEpisodeReturn;
+  if (!cfg.resumeFrom.empty())
+    restoreTrainerCheckpoint(cfg.resumeFrom, snapshot);
+
   std::vector<RolloutBuffer> buffers;
-  while (collector.totalSimulations() < maxSimulations && !collector.solved()) {
+  while ((cfg.maxUpdates == 0 || updates < cfg.maxUpdates) &&
+         collector.totalSimulations() < maxSimulations && !collector.solved()) {
     const CollectStats stats =
         collector.collect(policy, critic, cfg.nSteps, maxSimulations, buffers);
     out.bestEpisodeReturn = std::max(out.bestEpisodeReturn,
@@ -108,6 +138,10 @@ RlTrainOutcome trainA2c(const core::SizingProblem& problem, const A2cConfig& cfg
     } else {
       a2cUpdatePerSample(policy, critic, policyOpt, criticOpt, data, cfg);
     }
+    ++updates;
+    if (cfg.checkpointEvery != 0 && !cfg.checkpointPath.empty() &&
+        updates % cfg.checkpointEvery == 0)
+      saveTrainerCheckpoint(cfg.checkpointPath, snapshot);
   }
 
   out.totalSimulations = collector.totalSimulations();

@@ -37,6 +37,17 @@ struct A2cConfig {
   std::size_t rolloutThreads = 1;
   EnvConfig env;                    ///< sizing-environment parameters
   std::uint64_t seed = 1;           ///< base seed for envs, nets and sampling
+  /// Stop after this many policy updates (0 = unlimited) — pauses a run at
+  /// an update boundary so it can be checkpointed and resumed bitwise.
+  std::size_t maxUpdates = 0;
+  /// Write a trainer checkpoint (networks, Adam moments, env/RNG state) to
+  /// `checkpointPath` every N completed updates (0 = off).
+  std::size_t checkpointEvery = 0;
+  /// Destination of the periodic snapshots.
+  std::string checkpointPath;
+  /// Restore this checkpoint before training; the continued run reproduces
+  /// the uninterrupted one bitwise (docs/CHECKPOINTS.md).
+  std::string resumeFrom;
 };
 
 /// Result of one model-free training run (shared by A2C / PPO / TRPO).

@@ -1,0 +1,57 @@
+// Checkpoint/warm-start hooks shared by the A2C / PPO / TRPO trainers.
+//
+// A trainer snapshot captures everything the training loop owns: actor and
+// critic networks, their Adam moments, every environment slot of the rollout
+// collector (env state + policy-sampling RNG streams), PPO's mini-batch
+// shuffle stream, and the loop counters. Restoring it and continuing
+// reproduces the uninterrupted run's RlTrainOutcome bit for bit — the same
+// contract the model-based searches honor (docs/CHECKPOINTS.md).
+#pragma once
+
+#include <random>
+#include <string>
+
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/vec_env.hpp"
+
+namespace trdse::rl {
+
+/// Borrowed views of one trainer's mutable state. Optional members are null
+/// when the algorithm has no such component (TRPO has no policy Adam, only
+/// PPO keeps a shuffle stream).
+struct TrainerState {
+  std::string algo;                        ///< "a2c" / "ppo" / "trpo"
+  std::string fingerprint;                 ///< trainerFingerprint() of the run
+  nn::Mlp* policy = nullptr;               ///< actor network
+  nn::Mlp* critic = nullptr;               ///< value network
+  nn::AdamOptimizer* policyOpt = nullptr;  ///< actor Adam (null for TRPO)
+  nn::AdamOptimizer* criticOpt = nullptr;  ///< critic Adam
+  ParallelRolloutCollector* collector = nullptr;  ///< env slots + RNG streams
+  std::mt19937_64* shuffleRng = nullptr;   ///< PPO mini-batch stream
+  std::size_t* updates = nullptr;          ///< completed policy updates
+  double* bestEpisodeReturn = nullptr;     ///< best return seen so far
+};
+
+/// Compact single-line fingerprint of everything a trainer trajectory
+/// depends on: the problem shape (grids, measurements, specs, the single
+/// training corner), environment shaping, base seed, and the algorithm's
+/// hyper-parameters rendered into `hyper`. Stored in every trainer
+/// checkpoint and compared verbatim on resume, so a snapshot from a
+/// different problem/configuration fails loudly instead of silently
+/// breaking the bitwise-resume contract.
+std::string trainerFingerprint(const core::SizingProblem& problem,
+                               const EnvConfig& env, std::uint64_t seed,
+                               const std::string& hyper);
+
+/// Write a trainer snapshot to a versioned checkpoint file. Throws
+/// io::CheckpointError when the file cannot be written.
+void saveTrainerCheckpoint(const std::string& path, const TrainerState& s);
+
+/// Restore a snapshot written by saveTrainerCheckpoint into `s`. The
+/// networks, optimizers and collector must already be constructed with the
+/// same shapes/numEnvs; algorithm or shape mismatches throw
+/// io::CheckpointError with a descriptive message.
+void restoreTrainerCheckpoint(const std::string& path, const TrainerState& s);
+
+}  // namespace trdse::rl

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
+#include <stdexcept>
 
 #include "rl/actor_critic.hpp"
+#include "rl/checkpoint.hpp"
 #include "rl/vec_env.hpp"
 
 namespace trdse::rl {
@@ -145,11 +148,15 @@ void ppoUpdateBatched(nn::Mlp& policy, nn::Mlp& critic,
 
 RlTrainOutcome trainPpo(const core::SizingProblem& problem, const PpoConfig& cfg,
                         std::size_t maxSimulations) {
+  if (cfg.checkpointEvery != 0 && cfg.checkpointPath.empty())
+    throw std::invalid_argument(
+        "PpoConfig::checkpointEvery is set but checkpointPath is empty");
   RlTrainOutcome out;
   ParallelRolloutCollector collector(problem, cfg.env,
                                      std::max<std::size_t>(1, cfg.numEnvs),
                                      cfg.rolloutThreads, cfg.seed,
-                                     /*rngSalt=*/19);
+                                     /*rngSalt=*/19,
+                                     /*initialReset=*/cfg.resumeFrom.empty());
   std::mt19937_64 shuffleRng(cfg.seed + 53);
 
   nn::Mlp policy = makePolicyNet(collector.observationDim(),
@@ -162,8 +169,33 @@ RlTrainOutcome trainPpo(const core::SizingProblem& problem, const PpoConfig& cfg
   nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
 
   out.bestEpisodeReturn = -1e18;
+  std::size_t updates = 0;
+  std::ostringstream hyper;
+  hyper.precision(17);
+  hyper << "ppo horizon=" << cfg.horizon << " epochs=" << cfg.epochs
+        << " minibatch=" << cfg.minibatch << " gamma=" << cfg.gamma
+        << " gae=" << cfg.gaeLambda << " clipRatio=" << cfg.clipRatio
+        << " lr=" << cfg.learningRate << " vlr=" << cfg.valueLearningRate
+        << " ent=" << cfg.entropyCoeff << " clip=" << cfg.maxGradNorm
+        << " hidden=" << cfg.hidden << " batched=" << cfg.batchedTraining;
+  TrainerState snapshot;
+  snapshot.algo = "ppo";
+  snapshot.fingerprint =
+      trainerFingerprint(problem, cfg.env, cfg.seed, hyper.str());
+  snapshot.policy = &policy;
+  snapshot.critic = &critic;
+  snapshot.policyOpt = &policyOpt;
+  snapshot.criticOpt = &criticOpt;
+  snapshot.collector = &collector;
+  snapshot.shuffleRng = &shuffleRng;
+  snapshot.updates = &updates;
+  snapshot.bestEpisodeReturn = &out.bestEpisodeReturn;
+  if (!cfg.resumeFrom.empty())
+    restoreTrainerCheckpoint(cfg.resumeFrom, snapshot);
+
   std::vector<RolloutBuffer> buffers;
-  while (collector.totalSimulations() < maxSimulations && !collector.solved()) {
+  while ((cfg.maxUpdates == 0 || updates < cfg.maxUpdates) &&
+         collector.totalSimulations() < maxSimulations && !collector.solved()) {
     const CollectStats stats =
         collector.collect(policy, critic, cfg.horizon, maxSimulations, buffers);
     out.bestEpisodeReturn = std::max(out.bestEpisodeReturn,
@@ -179,6 +211,10 @@ RlTrainOutcome trainPpo(const core::SizingProblem& problem, const PpoConfig& cfg
       ppoUpdatePerSample(policy, critic, policyOpt, criticOpt, data, cfg,
                          shuffleRng);
     }
+    ++updates;
+    if (cfg.checkpointEvery != 0 && !cfg.checkpointPath.empty() &&
+        updates % cfg.checkpointEvery == 0)
+      saveTrainerCheckpoint(cfg.checkpointPath, snapshot);
   }
 
   out.totalSimulations = collector.totalSimulations();

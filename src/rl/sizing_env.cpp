@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "io/state_io.hpp"
+
 namespace trdse::rl {
 
 SizingEnv::SizingEnv(const core::SizingProblem& problem, EnvConfig config,
@@ -94,6 +96,44 @@ StepResult SizingEnv::step(const std::vector<std::size_t>& actions) {
   r.observation = makeObservation();
   if (r.solved && simsAtFirstSolve_ == 0) simsAtFirstSolve_ = sims_;
   return r;
+}
+
+void SizingEnv::saveState(io::SectionWriter& w) const {
+  io::writeRng(w, rng_);
+  w.indexVec(indices_);
+  w.vec(sizes_);
+  w.vec(linalg::Vector(scores_.begin(), scores_.end()));
+  w.f64(currentValue_);
+  w.boolean(currentOk_);
+  w.u64(stepsInEpisode_);
+  w.u64(sims_);
+  w.u64(simsAtFirstSolve_);
+  engine_->saveState(w);
+}
+
+void SizingEnv::restoreState(io::SectionReader& r) {
+  io::readRng(r, rng_);
+  indices_ = r.indexVec();
+  if (indices_.size() != problem_.space.dim())
+    r.fail("environment grid position dimensionality mismatch");
+  for (std::size_t d = 0; d < indices_.size(); ++d)
+    if (indices_[d] >= problem_.space.param(d).steps)
+      r.fail("environment grid index out of range");
+  sizes_ = r.vec();
+  if (sizes_.size() != problem_.space.dim())
+    r.fail("environment sizing dimensionality mismatch");
+  const linalg::Vector scores = r.vec();
+  // Empty = saved before the first reset; anything else must match the spec
+  // table (scores feed the observation vector the policy net consumes).
+  if (!scores.empty() && scores.size() != problem_.specs.size())
+    r.fail("environment per-spec score count does not match the spec table");
+  scores_.assign(scores.begin(), scores.end());
+  currentValue_ = r.f64();
+  currentOk_ = r.boolean();
+  stepsInEpisode_ = r.u64();
+  sims_ = r.u64();
+  simsAtFirstSolve_ = r.u64();
+  engine_->restoreState(r);
 }
 
 }  // namespace trdse::rl

@@ -16,6 +16,11 @@
 #include "core/value.hpp"
 #include "eval/eval_engine.hpp"
 
+namespace trdse::io {
+class SectionReader;
+class SectionWriter;
+}  // namespace trdse::io
+
 namespace trdse::rl {
 
 /// Environment shaping parameters.
@@ -68,6 +73,15 @@ class SizingEnv {
 
   /// Raw (non-unit) sizing at the current grid position.
   const linalg::Vector& currentSizes() const { return sizes_; }
+
+  /// Serialize the full environment state — grid position, episode
+  /// counters, RNG stream, eval-engine memo and stats — into a checkpoint
+  /// section (see docs/CHECKPOINTS.md).
+  void saveState(io::SectionWriter& w) const;
+  /// Restore state written by saveState; subsequent steps continue the
+  /// interrupted trajectory bitwise. Throws io::CheckpointError on
+  /// malformed input or a grid-shape mismatch.
+  void restoreState(io::SectionReader& r);
 
  private:
   linalg::Vector makeObservation() const;

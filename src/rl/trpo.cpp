@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <tuple>
+#include <sstream>
+#include <stdexcept>
 
 #include "rl/actor_critic.hpp"
+#include "rl/checkpoint.hpp"
 #include "rl/vec_env.hpp"
 
 namespace trdse::rl {
@@ -252,11 +255,15 @@ bool trpoUpdate(nn::Mlp& policy, nn::Mlp& critic, nn::Optimizer& criticOpt,
 
 RlTrainOutcome trainTrpo(const core::SizingProblem& problem,
                          const TrpoConfig& cfg, std::size_t maxSimulations) {
+  if (cfg.checkpointEvery != 0 && cfg.checkpointPath.empty())
+    throw std::invalid_argument(
+        "TrpoConfig::checkpointEvery is set but checkpointPath is empty");
   RlTrainOutcome out;
   ParallelRolloutCollector collector(problem, cfg.env,
                                      std::max<std::size_t>(1, cfg.numEnvs),
                                      cfg.rolloutThreads, cfg.seed,
-                                     /*rngSalt=*/37);
+                                     /*rngSalt=*/37,
+                                     /*initialReset=*/cfg.resumeFrom.empty());
   nn::Mlp policy = makePolicyNet(collector.observationDim(),
                                  collector.actionHeads(), kApH, cfg.hidden,
                                  cfg.seed + 41);
@@ -265,8 +272,32 @@ RlTrainOutcome trainTrpo(const core::SizingProblem& problem,
   nn::AdamOptimizer criticOpt(cfg.valueLearningRate);
 
   out.bestEpisodeReturn = -1e18;
+  std::size_t updates = 0;
+  std::ostringstream hyper;
+  hyper.precision(17);
+  hyper << "trpo horizon=" << cfg.horizon << " gamma=" << cfg.gamma
+        << " gae=" << cfg.gaeLambda << " maxKl=" << cfg.maxKl
+        << " damping=" << cfg.cgDamping << " cgIters=" << cfg.cgIterations
+        << " lineSearch=" << cfg.lineSearchSteps
+        << " vlr=" << cfg.valueLearningRate
+        << " valueEpochs=" << cfg.valueEpochs << " hidden=" << cfg.hidden
+        << " batched=" << cfg.batchedTraining;
+  TrainerState snapshot;
+  snapshot.algo = "trpo";
+  snapshot.fingerprint =
+      trainerFingerprint(problem, cfg.env, cfg.seed, hyper.str());
+  snapshot.policy = &policy;
+  snapshot.critic = &critic;
+  snapshot.criticOpt = &criticOpt;
+  snapshot.collector = &collector;
+  snapshot.updates = &updates;
+  snapshot.bestEpisodeReturn = &out.bestEpisodeReturn;
+  if (!cfg.resumeFrom.empty())
+    restoreTrainerCheckpoint(cfg.resumeFrom, snapshot);
+
   std::vector<RolloutBuffer> buffers;
-  while (collector.totalSimulations() < maxSimulations && !collector.solved()) {
+  while ((cfg.maxUpdates == 0 || updates < cfg.maxUpdates) &&
+         collector.totalSimulations() < maxSimulations && !collector.solved()) {
     const CollectStats stats = collector.collect(policy, critic, cfg.horizon,
                                                  maxSimulations, buffers);
     out.bestEpisodeReturn = std::max(out.bestEpisodeReturn,
@@ -276,6 +307,10 @@ RlTrainOutcome trainTrpo(const core::SizingProblem& problem,
     const FlatRollout data =
         flattenRollouts(buffers, cfg.gamma, cfg.gaeLambda);
     trpoUpdate(policy, critic, criticOpt, data, cfg, cfg.batchedTraining);
+    ++updates;
+    if (cfg.checkpointEvery != 0 && !cfg.checkpointPath.empty() &&
+        updates % cfg.checkpointEvery == 0)
+      saveTrainerCheckpoint(cfg.checkpointPath, snapshot);
   }
 
   out.totalSimulations = collector.totalSimulations();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "io/state_io.hpp"
 #include "rl/actor_critic.hpp"
 
 namespace trdse::rl {
@@ -10,7 +11,7 @@ namespace trdse::rl {
 ParallelRolloutCollector::ParallelRolloutCollector(
     const core::SizingProblem& problem, const EnvConfig& envConfig,
     std::size_t numEnvs, std::size_t threads, std::uint64_t seed,
-    std::uint64_t rngSalt)
+    std::uint64_t rngSalt, bool initialReset)
     : pool_(numEnvs <= 1 ? 1 : threads) {
   assert(numEnvs >= 1);
   slots_.reserve(numEnvs);
@@ -25,9 +26,12 @@ ParallelRolloutCollector::ParallelRolloutCollector(
     slots_.push_back(
         std::make_unique<EnvSlot>(problem, envConfig, envSeed, rngSeed));
   }
-  // Initial resets (one simulation each) can fan out like any other round.
-  pool_.parallelFor(slots_.size(),
-                    [&](std::size_t e) { slots_[e]->obs = slots_[e]->env.reset(); });
+  // Initial resets (one simulation each) can fan out like any other round;
+  // skipped when a checkpoint restore is about to replace the state anyway.
+  if (initialReset)
+    pool_.parallelFor(slots_.size(), [&](std::size_t e) {
+      slots_[e]->obs = slots_[e]->env.reset();
+    });
 }
 
 std::size_t ParallelRolloutCollector::observationDim() const {
@@ -122,6 +126,35 @@ CollectStats ParallelRolloutCollector::collect(
   }
   if (stats.anySolved && solveSims_ == 0) solveSims_ = totalSimulations();
   return stats;
+}
+
+void ParallelRolloutCollector::saveState(io::SectionWriter& w) const {
+  w.u64(slots_.size());
+  for (const auto& s : slots_) {
+    s->env.saveState(w);
+    io::writeRng(w, s->rng);
+    w.vec(s->obs);
+    w.f64(s->episodeReturn);
+    w.boolean(s->needsReset);
+  }
+  w.u64(solveSims_);
+}
+
+void ParallelRolloutCollector::restoreState(io::SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != slots_.size())
+    r.fail("checkpoint holds " + std::to_string(n) +
+           " environments, this collector has " +
+           std::to_string(slots_.size()) +
+           " — numEnvs must match to resume");
+  for (auto& s : slots_) {
+    s->env.restoreState(r);
+    io::readRng(r, s->rng);
+    s->obs = r.vec();
+    s->episodeReturn = r.f64();
+    s->needsReset = r.boolean();
+  }
+  solveSims_ = r.u64();
 }
 
 }  // namespace trdse::rl

@@ -52,10 +52,14 @@ class ParallelRolloutCollector {
   ///                 stream), environment e > 0 uses perTaskSeed(seed, e).
   /// @param rngSalt  offset applied to `seed` for the policy-sampling RNG
   ///                 streams (each trainer keeps its historical salt).
+  /// @param initialReset  run the initial per-env reset (one simulation
+  ///                 each). Trainers that restore a checkpoint right after
+  ///                 construction pass false — the restored state replaces
+  ///                 everything, so those simulations would be pure waste.
   ParallelRolloutCollector(const core::SizingProblem& problem,
                            const EnvConfig& envConfig, std::size_t numEnvs,
                            std::size_t threads, std::uint64_t seed,
-                           std::uint64_t rngSalt);
+                           std::uint64_t rngSalt, bool initialReset = true);
 
   /// Number of managed environments.
   std::size_t numEnvs() const { return slots_.size(); }
@@ -82,6 +86,14 @@ class ParallelRolloutCollector {
   /// solved). For a single environment this equals the environment's own
   /// sims-at-first-solve because collection stops at the solving step.
   std::size_t simsAtFirstSolve() const { return solveSims_; }
+
+  /// Serialize every environment slot — env state, policy-sampling RNG,
+  /// pending observation, open-episode return — plus the solve marker into a
+  /// checkpoint section. Restoring resumes collection bitwise.
+  void saveState(io::SectionWriter& w) const;
+  /// Restore state written by saveState; the collector must have been built
+  /// with the same numEnvs (mismatch throws io::CheckpointError).
+  void restoreState(io::SectionReader& r);
 
  private:
   /// Per-environment persistent state (env, RNG stream, pending observation).
