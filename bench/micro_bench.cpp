@@ -16,6 +16,7 @@
 #include "linalg/lu.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "orch/scheduler.hpp"
 #include "pvt/corners.hpp"
 #include "rl/ppo.hpp"
 #include "rl/trpo.hpp"
@@ -346,6 +347,77 @@ void BM_TrpoUpdateBatched(benchmark::State& state) {
   runTrpoUpdateBench(state, true);
 }
 BENCHMARK(BM_TrpoUpdateBatched);
+
+// ---- Scheduler throughput: 8 concurrent jobs, shared vs. private cache ----
+//
+// Eight random searches sweep the same 2-D subspace of the 45nm opamp (the
+// remaining sizes pinned mid-grid), the canonical "many jobs, one circuit"
+// orchestrator workload: 9x9 = 81 distinct simulations against 8 x 48
+// logical requests. With the shared cache, rounds after the first serve most
+// requests from other jobs' published results; the private-cache run pays
+// for every job's misses with real opamp evaluations.
+
+core::SizingProblem opamp2dSubProblem() {
+  core::SizingProblem full =
+      circuits::Registry::global().makeProblem("two_stage_opamp");
+  std::vector<core::ParamDef> sub = {full.space.param(0), full.space.param(1)};
+  sub[0].steps = 9;
+  sub[1].steps = 9;
+  linalg::Vector pinned(full.space.dim());
+  for (std::size_t d = 0; d < full.space.dim(); ++d)
+    pinned[d] = full.space.gridValue(d, full.space.param(d).steps / 2);
+  core::SizingProblem p;
+  p.name = "opamp_2d";
+  p.space = core::DesignSpace(std::move(sub));
+  p.measurementNames = full.measurementNames;
+  p.specs = full.specs;
+  p.corners = full.corners;
+  p.evaluate = [inner = full.evaluate, pinned](const linalg::Vector& v,
+                                               const sim::PvtCorner& c) {
+    linalg::Vector x = pinned;
+    x[0] = v[0];
+    x[1] = v[1];
+    return inner(x, c);
+  };
+  return p;
+}
+
+void runSchedulerBench(benchmark::State& state, bool sharedCache) {
+  const core::SizingProblem base = opamp2dSubProblem();
+  constexpr std::size_t kJobs = 8;
+  for (auto _ : state) {
+    orch::Scenario sc;
+    sc.name = "bench";
+    sc.threads = 2;
+    sc.slice = 12;
+    sc.sharedCache = sharedCache;
+    sc.cacheShards = 8;
+    for (std::size_t j = 0; j < kJobs; ++j) {
+      orch::JobSpec spec;
+      spec.name = "rs" + std::to_string(j);
+      spec.circuit = "opamp_2d";
+      spec.makeProblem = [&base] { return base; };
+      spec.strategy = "random_search";
+      spec.seed = 11 + j;
+      spec.budget = 48;
+      sc.jobs.push_back(std::move(spec));
+    }
+    orch::Scheduler scheduler(std::move(sc));
+    benchmark::DoNotOptimize(scheduler.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kJobs));
+}
+
+void BM_SchedulerThroughputPrivate(benchmark::State& state) {
+  runSchedulerBench(state, false);
+}
+BENCHMARK(BM_SchedulerThroughputPrivate);
+
+void BM_SchedulerThroughputShared(benchmark::State& state) {
+  runSchedulerBench(state, true);
+}
+BENCHMARK(BM_SchedulerThroughputShared);
 
 void BM_LuSolve16(benchmark::State& state) {
   std::mt19937_64 rng(4);

@@ -63,6 +63,7 @@ pairs = [
     ("TRPO update", "BM_TrpoUpdatePerSample", "BM_TrpoUpdateBatched"),
     ("PVT corner sweep", "BM_PvtCornerSweepSerial", "BM_PvtCornerSweepPooled"),
     ("repeated PVT sweep (eval cache)", "BM_PvtRepeatedSweepUncached", "BM_PvtRepeatedSweepCached"),
+    ("scheduler 8-job fan-out (shared cache)", "BM_SchedulerThroughputPrivate", "BM_SchedulerThroughputShared"),
 ]
 for label, slow, fast in pairs:
     if slow in result and fast in result and result[fast] > 0:

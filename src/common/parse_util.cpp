@@ -1,0 +1,52 @@
+#include "common/parse_util.hpp"
+
+#include <stdexcept>
+
+namespace trdse::common {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& context, const char* expected,
+                       const std::string& value) {
+  throw std::invalid_argument(context + ": expected " + expected + ", got \"" +
+                              value + "\"");
+}
+
+}  // namespace
+
+std::uint64_t parseU64(const std::string& context, const std::string& value) {
+  // stoull silently wraps negative input ("-1" -> 2^64-1); reject it first.
+  if (value.empty() || value[0] == '-' || value[0] == '+')
+    fail(context, "an unsigned integer", value);
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(value, &pos);
+    if (pos != value.size()) fail(context, "an unsigned integer", value);
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(context, "an unsigned integer", value);
+  } catch (const std::out_of_range&) {
+    fail(context, "an unsigned integer in range", value);
+  }
+}
+
+double parseF64(const std::string& context, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) fail(context, "a number", value);
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(context, "a number", value);
+  } catch (const std::out_of_range&) {
+    fail(context, "a number in range", value);
+  }
+}
+
+bool parseBool(const std::string& context, const std::string& value) {
+  if (value == "1" || value == "true" || value == "on") return true;
+  if (value == "0" || value == "false" || value == "off") return false;
+  fail(context, "a boolean (0/1/true/false/on/off)", value);
+}
+
+}  // namespace trdse::common

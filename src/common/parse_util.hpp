@@ -1,0 +1,24 @@
+// Strict scalar parsing shared by every string-driven configuration surface
+// (scenario files, strategy option maps, CLI flags). "Strict" means the whole
+// token must parse — trailing junk, empty strings, negative values sneaking
+// into unsigned fields, and unrecognized booleans all throw
+// std::invalid_argument with the caller's context prefixed, instead of
+// silently wrapping or defaulting the way raw strtol/stoull do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace trdse::common {
+
+/// Whole-token unsigned integer; `context` names the offending key/flag in
+/// the error (e.g. "strategy option \"budget\"").
+std::uint64_t parseU64(const std::string& context, const std::string& value);
+
+/// Whole-token double.
+double parseF64(const std::string& context, const std::string& value);
+
+/// Accepts 1/0, true/false, on/off.
+bool parseBool(const std::string& context, const std::string& value);
+
+}  // namespace trdse::common

@@ -106,6 +106,9 @@ class PvtSearch {
 
   /// The engine all evaluations route through (cache/ledger inspection).
   const eval::EvalEngine& engine() const { return engine_; }
+  /// Mutable engine access (orchestrator shared-cache attachment/publish —
+  /// see opt::Strategy and eval::SharedEvalCache).
+  eval::EvalEngine& engine() { return engine_; }
 
   /// The configuration this search runs under.
   const PvtSearchConfig& config() const { return config_; }

@@ -8,9 +8,16 @@
 // (snapped sizes, corner), so serving the stored result is bitwise identical
 // to re-simulating.
 //
-// Not thread-safe by design: the EvalEngine probes before fanning work out
-// and inserts after the join, always from the coordinating thread, which is
-// also what keeps cached accounting deterministic for any thread count.
+// SINGLE-ENGINE INVARIANT — not thread-safe, not shareable, by design: an
+// EvalCache has exactly one owner, the EvalEngine it lives in, which probes
+// before fanning work out and inserts after the join, always from that
+// engine's coordinating thread. That is also what keeps cached accounting
+// deterministic for any thread count. Never hand one EvalCache to two
+// engines or touch it from worker threads; any *cross-job* result sharing
+// must go through eval::SharedEvalCache (shared_cache.hpp), the striped-
+// mutex sharded cache built for concurrent access, which engines attach via
+// EvalEngine::attachSharedCache and the orchestrator publishes to at round
+// barriers.
 #pragma once
 
 #include <cstddef>

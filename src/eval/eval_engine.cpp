@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "io/state_io.hpp"
@@ -53,6 +54,34 @@ void EvalEngine::resetAccounting() {
   stats_ = EvalStats{};
 }
 
+void EvalEngine::attachSharedCache(std::shared_ptr<SharedEvalCache> shared,
+                                   std::string_view scope) {
+  if (!config_.cacheEvals)
+    throw std::logic_error(
+        "EvalEngine::attachSharedCache: requires cacheEvals (the local memo "
+        "backs the publish journal)");
+  if (stats_.requests != 0)
+    throw std::logic_error(
+        "EvalEngine::attachSharedCache: must be attached before the first "
+        "request");
+  shared_ = std::move(shared);
+  sharedScope_ = shared_ ? shared_->scopeId(scope) : 0;
+  unpublished_.clear();
+}
+
+std::size_t EvalEngine::publishShared() {
+  if (shared_ == nullptr) return 0;
+  std::size_t published = 0;
+  for (const EvalKey& key : unpublished_) {
+    if (const core::EvalResult* r = cache_.find(key)) {
+      shared_->insert(sharedScope_, key, *r);
+      ++published;
+    }
+  }
+  unpublished_.clear();
+  return published;
+}
+
 void EvalEngine::saveState(io::SectionWriter& w) const {
   // Memo, sorted by (corner, grid indices) — unordered_map iteration order
   // is not stable, and deterministic bytes make save→load→save idempotent.
@@ -74,6 +103,7 @@ void EvalEngine::saveState(io::SectionWriter& w) const {
   w.u64(stats_.requests);
   w.u64(stats_.simulated);
   w.u64(stats_.cacheHits);
+  w.u64(stats_.sharedHits);
   w.f64(stats_.backendSeconds);
 }
 
@@ -98,7 +128,12 @@ void EvalEngine::restoreState(io::SectionReader& r) {
   stats_.requests = r.u64();
   stats_.simulated = r.u64();
   stats_.cacheHits = r.u64();
+  stats_.sharedHits = r.u64();
   stats_.backendSeconds = r.f64();
+  // The publish journal is deliberately not persisted: results simulated
+  // before a snapshot re-enter the shared cache only by being re-requested,
+  // never as stale cross-run publishes.
+  unpublished_.clear();
 }
 
 void EvalEngine::prepareKey(const linalg::Vector& sizes) {
@@ -123,9 +158,10 @@ std::vector<core::EvalResult> EvalEngine::evalBatch(
   // the caller passed.
   prepareKey(sizes);
 
-  // ---- Probe the memo (and collapse in-batch duplicates) serially.
+  // ---- Probe the memos (and collapse in-batch duplicates) serially.
   missSlots_.clear();
   hitFlags_.assign(n, 0);
+  sharedFlags_.assign(n, 0);
   dupOf_.assign(n, kNone);
   if (config_.cacheEvals) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -133,6 +169,16 @@ std::vector<core::EvalResult> EvalEngine::evalBatch(
       if (const core::EvalResult* hit = cache_.find(keyScratch_)) {
         results[i] = *hit;
         hitFlags_[i] = 1;
+        continue;
+      }
+      // Local miss: the cross-job cache may already hold the result. Copy a
+      // shared hit into the local memo, so a repeat of the key inside this
+      // batch (or later) becomes a plain local hit.
+      if (shared_ != nullptr &&
+          shared_->find(sharedScope_, keyScratch_, results[i])) {
+        cache_.insert({keyScratch_.indices, cornerIdx[i]}, results[i]);
+        hitFlags_[i] = 1;
+        sharedFlags_[i] = 1;
         continue;
       }
       // A duplicate key within the batch can only repeat an earlier *miss*
@@ -164,10 +210,15 @@ std::vector<core::EvalResult> EvalEngine::evalBatch(
   for (std::size_t i = 0; i < n; ++i) {
     if (dupOf_[i] != kNone) results[i] = results[dupOf_[i]];
     const bool cached = hitFlags_[i] != 0 || dupOf_[i] != kNone;
-    if (config_.cacheEvals && !cached)
+    if (config_.cacheEvals && !cached) {
       cache_.insert({keyScratch_.indices, cornerIdx[i]}, results[i]);
+      if (shared_ != nullptr)
+        unpublished_.push_back({keyScratch_.indices, cornerIdx[i]});
+    }
     ++stats_.requests;
-    if (cached) {
+    if (sharedFlags_[i] != 0) {
+      ++stats_.sharedHits;
+    } else if (cached) {
       ++stats_.cacheHits;
     } else {
       ++stats_.simulated;
@@ -194,11 +245,27 @@ core::EvalResult EvalEngine::evalOne(std::size_t cornerIdx,
                        /*cached=*/true);
       return *hit;
     }
+    if (shared_ != nullptr) {
+      core::EvalResult hit;
+      if (shared_->find(sharedScope_, keyScratch_, hit)) {
+        cache_.insert({keyScratch_.indices, cornerIdx}, hit);
+        ++stats_.requests;
+        ++stats_.sharedHits;
+        if (config_.recordLedger)
+          ledger_.record(cornerIdx, kind, meetsSpec_ ? meetsSpec_(hit) : false,
+                         /*cached=*/true);
+        return hit;
+      }
+    }
   }
   const auto t0 = std::chrono::steady_clock::now();
   core::EvalResult result = backend_->evaluate(snapScratch_, corners_[cornerIdx]);
   stats_.backendSeconds += secondsSince(t0);
-  if (config_.cacheEvals) cache_.insert({keyScratch_.indices, cornerIdx}, result);
+  if (config_.cacheEvals) {
+    cache_.insert({keyScratch_.indices, cornerIdx}, result);
+    if (shared_ != nullptr)
+      unpublished_.push_back({keyScratch_.indices, cornerIdx});
+  }
   ++stats_.requests;
   ++stats_.simulated;
   if (config_.recordLedger)

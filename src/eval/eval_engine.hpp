@@ -28,6 +28,7 @@
 #include "core/value.hpp"
 #include "eval/backend.hpp"
 #include "eval/eval_cache.hpp"
+#include "eval/shared_cache.hpp"
 #include "pvt/ledger.hpp"
 
 namespace trdse::io {
@@ -58,14 +59,15 @@ struct EvalEngineConfig {
 struct EvalStats {
   std::size_t requests = 0;    ///< logical evaluations (simulated + hits)
   std::size_t simulated = 0;   ///< real backend invocations (EDA blocks)
-  std::size_t cacheHits = 0;   ///< requests served from the memo
+  std::size_t cacheHits = 0;   ///< requests served from this engine's memo
+  std::size_t sharedHits = 0;  ///< requests served from the cross-job cache
   double backendSeconds = 0.0; ///< wall time summed over backend calls
 
-  std::size_t blocksSaved() const { return cacheHits; }
+  std::size_t blocksSaved() const { return cacheHits + sharedHits; }
   double hitRate() const {
-    return requests == 0
-               ? 0.0
-               : static_cast<double>(cacheHits) / static_cast<double>(requests);
+    return requests == 0 ? 0.0
+                         : static_cast<double>(cacheHits + sharedHits) /
+                               static_cast<double>(requests);
   }
 };
 
@@ -133,6 +135,25 @@ class EvalEngine {
   /// Drop every memoized result.
   void clearCache() { cache_.clear(); }
 
+  /// Attach a cross-job SharedEvalCache under the named scope (the circuit
+  /// or problem name — jobs on the same circuit must agree on it). On a local
+  /// memo miss the engine probes the shared cache; a shared hit costs zero
+  /// EDA blocks and is tallied in EvalStats::sharedHits (the ledger block is
+  /// flagged `cached`). Freshly simulated results are journaled and only
+  /// enter the shared cache on publishShared() — the orch::Scheduler calls
+  /// it at round barriers, in job order, which is what makes per-job shared
+  /// hit/miss accounting independent of scheduler thread count.
+  /// Must be called before the first request, on an engine with cacheEvals
+  /// on (the local memo backs the journal); throws std::logic_error
+  /// otherwise.
+  void attachSharedCache(std::shared_ptr<SharedEvalCache> shared,
+                         std::string_view scope);
+  /// Whether a shared cache is attached.
+  bool hasSharedCache() const { return shared_ != nullptr; }
+  /// Flush results simulated since the last publish into the shared cache
+  /// (no-op without one attached); returns the number of entries published.
+  std::size_t publishShared();
+
   /// Serialize the engine's durable state — memo contents, ledger timeline,
   /// stats counters — into a checkpoint section. Cache entries are emitted
   /// in sorted key order so identical states produce identical bytes.
@@ -152,6 +173,11 @@ class EvalEngine {
   EvalCache cache_;
   pvt::EdaLedger ledger_;
   EvalStats stats_;
+  /// Optional cross-job cache; nullptr for the common single-search case.
+  std::shared_ptr<SharedEvalCache> shared_;
+  std::size_t sharedScope_ = 0;
+  /// Keys simulated since the last publishShared() (empty without shared_).
+  std::vector<EvalKey> unpublished_;
 
   /// Snap `sizes` onto the grid into snapScratch_ and fill
   /// keyScratch_.indices with the grid indices (no allocation steady-state).
@@ -163,6 +189,7 @@ class EvalEngine {
   std::vector<std::size_t> missSlots_;  ///< request indices that simulate
   std::vector<double> missSeconds_;     ///< per-miss backend wall time
   std::vector<char> hitFlags_;          ///< request served from the memo
+  std::vector<char> sharedFlags_;       ///< ... specifically the shared cache
   std::vector<std::size_t> dupOf_;      ///< in-batch duplicate -> first miss
 };
 

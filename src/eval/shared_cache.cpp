@@ -1,0 +1,85 @@
+#include "eval/shared_cache.hpp"
+
+#include <utility>
+
+namespace trdse::eval {
+
+namespace {
+
+std::size_t roundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SharedEvalCache::SharedEvalCache(std::size_t shards)
+    : shards_(roundUpPow2(shards == 0 ? 1 : shards)) {}
+
+std::size_t SharedEvalCache::scopeId(std::string_view scope) {
+  const std::lock_guard<std::mutex> lock(scopeMu_);
+  for (std::size_t i = 0; i < scopes_.size(); ++i)
+    if (scopes_[i] == scope) return i;
+  scopes_.emplace_back(scope);
+  return scopes_.size() - 1;
+}
+
+std::vector<std::string> SharedEvalCache::scopeNames() const {
+  const std::lock_guard<std::mutex> lock(scopeMu_);
+  return scopes_;
+}
+
+bool SharedEvalCache::find(std::size_t scope, const EvalKey& key,
+                           core::EvalResult& out) {
+  const ScopedKey sk{scope, key};
+  Shard& shard = shardOf(sk);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(sk);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  out = it->second;
+  return true;
+}
+
+void SharedEvalCache::insert(std::size_t scope, const EvalKey& key,
+                             core::EvalResult result) {
+  ScopedKey sk{scope, key};
+  Shard& shard = shardOf(sk);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.inserts;
+  shard.map.insert_or_assign(std::move(sk), std::move(result));
+}
+
+std::size_t SharedEvalCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+SharedEvalCache::ShardCounters SharedEvalCache::shardStats(
+    std::size_t shard) const {
+  const Shard& s = shards_[shard];
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return {s.hits, s.misses, s.inserts, s.map.size()};
+}
+
+SharedEvalCache::ShardCounters SharedEvalCache::totals() const {
+  ShardCounters t;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardCounters s = shardStats(i);
+    t.hits += s.hits;
+    t.misses += s.misses;
+    t.inserts += s.inserts;
+    t.entries += s.entries;
+  }
+  return t;
+}
+
+}  // namespace trdse::eval

@@ -1,0 +1,116 @@
+// Cross-job evaluation memo — the thread-safe sibling of EvalCache.
+//
+// Concurrent orchestrator jobs sizing the *same* circuit keep re-asking for
+// the same (snapped grid point, corner) simulations: baseline comparisons run
+// several strategies over one problem, and seeds differ while the grid does
+// not. The SharedEvalCache lets every job's EvalEngine serve such requests
+// from work another job already paid for.
+//
+// Thread safety comes from striping: entries hash onto a power-of-two number
+// of shards, each guarded by its own mutex, so concurrent jobs probing
+// different keys rarely contend. Entries are namespaced by a *scope* id
+// (registered per circuit/problem name), so two circuits that happen to share
+// grid indices can never collide.
+//
+// Determinism contract (docs/ORCHESTRATION.md): the cache itself is a plain
+// concurrent map — *when* an entry becomes visible is up to the caller. The
+// orch::Scheduler only inserts at round barriers (EvalEngine::publishShared,
+// in job order), so lookups during a round see a state that depends on the
+// round number alone, never on thread interleaving; per-job hit/miss
+// accounting is then bitwise identical for any scheduler thread count.
+// Backends are pure, so a served entry is bitwise identical to re-simulating.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/eval_cache.hpp"
+
+namespace trdse::eval {
+
+/// Sharded (striped-mutex) cross-job memo: (scope, EvalKey) -> EvalResult.
+class SharedEvalCache {
+ public:
+  /// @param shards  stripe count; rounded up to a power of two, minimum 1.
+  explicit SharedEvalCache(std::size_t shards = 16);
+
+  SharedEvalCache(const SharedEvalCache&) = delete;
+  SharedEvalCache& operator=(const SharedEvalCache&) = delete;
+
+  /// Id of the named scope (a circuit/problem name), registering it on first
+  /// use. Jobs evaluating the same circuit must use the same scope string to
+  /// share results; distinct scopes never collide.
+  std::size_t scopeId(std::string_view scope);
+
+  /// Registered scope names, indexed by scope id.
+  std::vector<std::string> scopeNames() const;
+
+  /// Copy the entry for (scope, key) into `out`; returns whether it existed.
+  /// Tally lands on the owning shard's hit/miss counters either way.
+  bool find(std::size_t scope, const EvalKey& key, core::EvalResult& out);
+
+  /// Store a result (insert_or_assign: publishers only ever re-insert the
+  /// identical result, backends being pure — see EvalCache::insert).
+  void insert(std::size_t scope, const EvalKey& key, core::EvalResult result);
+
+  /// Number of stripes (power of two).
+  std::size_t shardCount() const { return shards_.size(); }
+  /// Total entries across all shards (locks each shard in turn).
+  std::size_t size() const;
+
+  /// Per-shard telemetry (hit/miss tallies from find(), entry count).
+  struct ShardCounters {
+    std::size_t hits = 0;     ///< find() calls that returned an entry
+    std::size_t misses = 0;   ///< find() calls that found nothing
+    std::size_t inserts = 0;  ///< insert() calls (including re-inserts)
+    std::size_t entries = 0;  ///< distinct keys currently stored
+  };
+  /// Counters of one shard.
+  ShardCounters shardStats(std::size_t shard) const;
+  /// Counters summed over every shard.
+  ShardCounters totals() const;
+
+ private:
+  /// Scope-qualified key (the map key of every shard).
+  struct ScopedKey {
+    std::size_t scope = 0;
+    EvalKey key;
+    bool operator==(const ScopedKey&) const = default;
+  };
+  struct ScopedKeyHash {
+    std::size_t operator()(const ScopedKey& k) const {
+      // Re-mix the EvalKey hash with the scope so scopes land on different
+      // shards/buckets even for identical grid indices.
+      std::uint64_t z = EvalKeyHash{}(k.key) + 0x9e3779b97f4a7c15ull +
+                        static_cast<std::uint64_t>(k.scope);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<ScopedKey, core::EvalResult, ScopedKeyHash> map;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t inserts = 0;
+  };
+
+  Shard& shardOf(const ScopedKey& k) {
+    return shards_[ScopedKeyHash{}(k) & (shards_.size() - 1)];
+  }
+
+  /// vector sized once at construction; Shard is neither movable nor copyable
+  /// (mutex member), which is fine because the vector never grows.
+  std::vector<Shard> shards_;
+
+  mutable std::mutex scopeMu_;
+  std::vector<std::string> scopes_;
+};
+
+}  // namespace trdse::eval

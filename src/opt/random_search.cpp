@@ -1,40 +1,180 @@
 #include "opt/random_search.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/checkpoint.hpp"
+#include "io/state_io.hpp"
+
 namespace trdse::opt {
 
-RandomSearch::RandomSearch(const core::SizingProblem& problem, std::uint64_t seed)
-    : problem_(problem),
-      value_(problem.measurementNames, problem.specs),
-      rng_(seed) {}
+namespace {
+constexpr char kCheckpointKind[] = "random-search";
+}  // namespace
 
-RandomSearchOutcome RandomSearch::run(std::size_t maxSimulations) {
-  RandomSearchOutcome out;
-  while (out.iterations < maxSimulations) {
-    const linalg::Vector x = problem_.space.randomPoint(rng_);
-    bool allPass = true;
-    double worst = 0.0;
-    for (const auto& corner : problem_.corners) {
-      if (out.iterations >= maxSimulations) return out;
-      const core::EvalResult r = problem_.evaluate(x, corner);
-      ++out.iterations;
+RandomSearch::RandomSearch(core::SizingProblem problem, std::uint64_t seed,
+                           std::size_t budget)
+    : problem_(std::move(problem)),
+      value_(problem_.measurementNames, problem_.specs),
+      engine_(problem_),
+      rng_(seed),
+      seed_(seed),
+      budget_(budget) {}
+
+bool RandomSearch::finished() const {
+  return result_.solved || (budget_ > 0 && result_.iterations >= budget_);
+}
+
+const StrategyOutcome& RandomSearch::step(std::size_t target) {
+  target = std::min(target, budget_);
+  const auto harvest = [this]() -> const StrategyOutcome& {
+    result_.evalStats = engine_.stats();
+    // The ledger grows with the budget; snapshot it once, at the end.
+    if (finished()) result_.ledger = engine_.ledger();
+    return result_;
+  };
+
+  while (true) {
+    if (!havePoint_) {
+      // Outer gate: a new point starts only while the target allows it (the
+      // original loop's `iterations < maxSimulations` condition).
+      if (result_.solved || result_.iterations >= target) break;
+      x_ = problem_.space.randomPoint(rng_);
+      cornerPos_ = 0;
+      worst_ = 0.0;
+      havePoint_ = true;
+    }
+    // Sequential corner sweep with early exit; every check is one logical
+    // engine request. Budget checks sit exactly where the original
+    // single-pass loop had them (before each corner evaluation).
+    bool failed = false;
+    while (cornerPos_ < problem_.corners.size()) {
+      if (result_.iterations >= budget_) {
+        // Total budget exhausted mid-sweep: like the pre-refactor loop, the
+        // partial point is abandoned without a best-value update.
+        havePoint_ = false;
+        return harvest();
+      }
+      if (result_.iterations >= target) return harvest();  // pause; resumes
+      const core::EvalResult r =
+          engine_.evalOne(cornerPos_, x_, pvt::BlockKind::kSearch);
+      ++result_.iterations;
       const double v = value_.valueOf(r);
-      worst = std::min(worst, v);
+      worst_ = std::min(worst_, v);
       if (!r.ok || !value_.satisfied(r.measurements)) {
-        allPass = false;
+        failed = true;
         break;  // early exit: no need to burn blocks on remaining corners
       }
+      ++cornerPos_;
     }
-    if (worst > out.bestValue) {
-      out.bestValue = worst;
-      out.sizes = x;
+    havePoint_ = false;
+    if (worst_ > result_.bestValue) {
+      result_.bestValue = worst_;
+      result_.sizes = x_;
     }
-    if (allPass) {
-      out.solved = true;
-      out.sizes = x;
-      return out;
+    if (!failed) {
+      result_.solved = true;
+      result_.sizes = x_;
+      return harvest();
     }
   }
-  return out;
+  return harvest();
+}
+
+const StrategyOutcome& RandomSearch::run(std::size_t maxSimulations) {
+  if (maxSimulations > budget_) budget_ = maxSimulations;
+  return step(maxSimulations);
+}
+
+void RandomSearch::save(io::CheckpointWriter& w) const {
+  io::SectionWriter& cfg = w.section("config");
+  cfg.str(problem_.name);
+  cfg.u64(problem_.space.dim());
+  cfg.u64(problem_.corners.size());
+  cfg.u64(budget_);
+
+  io::SectionWriter& st = w.section("state");
+  io::writeRng(st, rng_);
+  st.boolean(havePoint_);
+  st.vec(x_);
+  st.u64(cornerPos_);
+  st.f64(worst_);
+  st.boolean(result_.solved);
+  st.u64(result_.iterations);
+  st.vec(result_.sizes);
+  st.f64(result_.bestValue);
+  st.vec(result_.bestMeasurements);
+
+  engine_.saveState(w.section("engine"));
+}
+
+void RandomSearch::restore(const io::CheckpointReader& r) {
+  try {
+    restoreSections(r);
+  } catch (...) {
+    // Never leave the strategy half-restored: reset to the freshly-seeded
+    // state (a caller that catches the error and runs anyway gets a clean
+    // search), then rethrow.
+    rng_.seed(seed_);
+    havePoint_ = false;
+    x_ = linalg::Vector{};
+    cornerPos_ = 0;
+    worst_ = 0.0;
+    result_ = StrategyOutcome{};
+    engine_.clearCache();
+    engine_.resetAccounting();
+    throw;
+  }
+}
+
+void RandomSearch::restoreSections(const io::CheckpointReader& r) {
+  r.expectKind(kCheckpointKind);
+
+  io::SectionReader cfg = r.section("config");
+  const std::string name = cfg.str();
+  if (name != problem_.name)
+    cfg.fail("checkpoint was taken on problem \"" + name +
+             "\", restoring into \"" + problem_.name + "\"");
+  if (cfg.u64() != problem_.space.dim())
+    cfg.fail("design-space dimensionality mismatch");
+  if (cfg.u64() != problem_.corners.size()) cfg.fail("corner count mismatch");
+  const std::uint64_t budget = cfg.u64();
+  cfg.expectEnd();
+
+  io::SectionReader st = r.section("state");
+  io::readRng(st, rng_);
+  havePoint_ = st.boolean();
+  x_ = st.vec();
+  cornerPos_ = st.u64();
+  worst_ = st.f64();
+  result_ = StrategyOutcome{};
+  result_.solved = st.boolean();
+  result_.iterations = st.u64();
+  result_.sizes = st.vec();
+  result_.bestValue = st.f64();
+  result_.bestMeasurements = st.vec();
+  st.expectEnd();
+  if (havePoint_ && (x_.size() != problem_.space.dim() ||
+                     cornerPos_ >= problem_.corners.size()))
+    st.fail("mid-sweep state is inconsistent with the problem shape");
+
+  io::SectionReader eng = r.section("engine");
+  engine_.restoreState(eng);
+  eng.expectEnd();
+
+  budget_ = budget;
+  result_.ledger = engine_.ledger();
+  result_.evalStats = engine_.stats();
+}
+
+void RandomSearch::saveCheckpoint(const std::string& path) const {
+  io::CheckpointWriter w(kCheckpointKind);
+  save(w);
+  w.writeFile(path);
+}
+
+void RandomSearch::restoreCheckpoint(const std::string& path) {
+  restore(io::CheckpointReader::fromFile(path));
 }
 
 }  // namespace trdse::opt

@@ -1,35 +1,85 @@
 // Uniform random search over the design-space grid — the paper's strongest
 // model-free baseline in Table I (100% success in 8565 average iterations on
 // the 45nm opamp) and the failing baseline of Table III's PVT task.
+//
+// Engine-backed and step()-resumable (see opt/strategy.hpp): every corner
+// check is one logical request through an EvalEngine, so the ledger,
+// EvalStats and the `iterations` budget count are a single source of truth
+// (ledger.totalBlocks() == iterations always), and the seeded trajectory is
+// bitwise identical to the original hand-rolled evaluation loop.
 #pragma once
 
 #include <random>
 
 #include "core/problem.hpp"
 #include "core/value.hpp"
+#include "opt/strategy.hpp"
+
+namespace trdse::io {
+class CheckpointReader;
+class CheckpointWriter;
+}  // namespace trdse::io
 
 namespace trdse::opt {
 
-struct RandomSearchOutcome {
-  bool solved = false;
-  std::size_t iterations = 0;  ///< SPICE simulations consumed
-  linalg::Vector sizes;
-  double bestValue = core::kFailedValue;
-};
+/// Random search emits the common outcome schema.
+using RandomSearchOutcome = StrategyOutcome;
 
-class RandomSearch {
+class RandomSearch final : public Strategy {
  public:
-  RandomSearch(const core::SizingProblem& problem, std::uint64_t seed);
+  /// The problem is copied (callbacks + metadata), so temporaries are safe.
+  /// `budget` fixes the total simulation allowance; 0 defers it to the first
+  /// run(maxSimulations) call (the legacy single-shot surface).
+  RandomSearch(core::SizingProblem problem, std::uint64_t seed,
+               std::size_t budget = 0);
 
-  /// Sample random grid points until every corner passes or the budget is
-  /// spent. Corners are checked sequentially per point with early exit, each
-  /// check costing one simulation (EDA-block accounting).
-  RandomSearchOutcome run(std::size_t maxSimulations);
+  std::string_view name() const override { return "random_search"; }
+  std::size_t budget() const override { return budget_; }
+
+  /// Sample random grid points until every corner passes or the cumulative
+  /// budget target is reached. Corners are checked sequentially per point
+  /// with early exit, each check costing one logical simulation (EDA-block
+  /// accounting). A slice boundary pauses *inside* a corner sweep and the
+  /// next step() resumes it, so sliced and single-shot runs are bitwise
+  /// identical.
+  const StrategyOutcome& step(std::size_t target) override;
+
+  using Strategy::run;
+  /// Legacy single-shot surface: raises the budget to `maxSimulations` (when
+  /// larger) and advances to completion.
+  const StrategyOutcome& run(std::size_t maxSimulations);
+
+  const StrategyOutcome& outcome() const override { return result_; }
+  bool finished() const override;
+  eval::EvalEngine& engine() override { return engine_; }
+
+  /// Checkpointable: RNG stream, sweep position, outcome, and the engine's
+  /// memo/ledger/stats all snapshot (checkpoint kind "random-search").
+  bool supportsCheckpoint() const override { return true; }
+  void saveCheckpoint(const std::string& path) const override;
+  void restoreCheckpoint(const std::string& path) override;
+
+  /// Stream-free composition (orchestrator checkpoints).
+  void save(io::CheckpointWriter& w) const;
+  void restore(const io::CheckpointReader& r);
 
  private:
-  const core::SizingProblem& problem_;
+  /// restore() body; restore() wraps it to reset on failure.
+  void restoreSections(const io::CheckpointReader& r);
+
+  core::SizingProblem problem_;
   core::ValueFunction value_;
+  eval::EvalEngine engine_;
   std::mt19937_64 rng_;
+  std::uint64_t seed_ = 0;
+  std::size_t budget_ = 0;
+
+  // ---- Resumable sweep state ----
+  bool havePoint_ = false;     ///< mid-sweep: x_/cornerPos_/worst_ are live
+  linalg::Vector x_;           ///< point under evaluation
+  std::size_t cornerPos_ = 0;  ///< next corner to check on x_
+  double worst_ = 0.0;         ///< min corner value seen on x_
+  StrategyOutcome result_;
 };
 
 }  // namespace trdse::opt

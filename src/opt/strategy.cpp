@@ -1,0 +1,218 @@
+#include "opt/strategy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/parse_util.hpp"
+#include "core/pvt_search.hpp"
+#include "opt/random_search.hpp"
+#include "opt/tree_bayes_opt.hpp"
+#include "rl/rl_strategy.hpp"
+
+namespace trdse::opt {
+
+void Strategy::saveCheckpoint(const std::string&) const {
+  throw std::logic_error("strategy \"" + std::string(name()) +
+                         "\" does not support checkpointing");
+}
+
+void Strategy::restoreCheckpoint(const std::string&) {
+  throw std::logic_error("strategy \"" + std::string(name()) +
+                         "\" does not support checkpointing");
+}
+
+namespace {
+
+// ---- Option-map parsing -------------------------------------------------
+
+using Options = std::map<std::string, std::string>;
+
+std::uint64_t parseU64(const std::string& key, const std::string& value) {
+  return common::parseU64("strategy option \"" + key + "\"", value);
+}
+
+double parseF64(const std::string& key, const std::string& value) {
+  return common::parseF64("strategy option \"" + key + "\"", value);
+}
+
+bool parseBool(const std::string& key, const std::string& value) {
+  return common::parseBool("strategy option \"" + key + "\"", value);
+}
+
+/// Consume every entry of `options` through `apply` (key -> handled?);
+/// throws on the first key no strategy knob answers to.
+void applyOptions(std::string_view strategy, const Options& options,
+                  const std::function<bool(const std::string&,
+                                           const std::string&)>& apply,
+                  const std::string& knownKeys) {
+  for (const auto& [key, value] : options) {
+    if (!apply(key, value))
+      throw std::invalid_argument("strategy \"" + std::string(strategy) +
+                                  "\" has no option \"" + key + "\" (known: " +
+                                  knownKeys + ")");
+  }
+}
+
+core::PvtStrategy parsePoolPolicy(const std::string& key,
+                                  const std::string& value) {
+  if (value == "brute_force") return core::PvtStrategy::kBruteForce;
+  if (value == "progressive_random")
+    return core::PvtStrategy::kProgressiveRandom;
+  if (value == "progressive_hardest")
+    return core::PvtStrategy::kProgressiveHardest;
+  throw std::invalid_argument(
+      "strategy option \"" + key +
+      "\": expected brute_force | progressive_random | progressive_hardest, "
+      "got \"" +
+      value + "\"");
+}
+
+// ---- TRM-DRL behind the Strategy contract -------------------------------
+
+/// Thin adapter: core::PvtSearch already is a budget-cumulative resumable
+/// state machine, so the wrapper only maps its outcome onto the common
+/// schema (and derives bestValue from the final corner evaluations).
+class PvtSearchStrategy final : public Strategy {
+ public:
+  PvtSearchStrategy(core::SizingProblem problem, core::PvtSearchConfig config,
+                    std::size_t budget)
+      : value_(problem.measurementNames, problem.specs),
+        search_(std::move(problem), config),
+        budget_(budget) {}
+
+  std::string_view name() const override { return "pvt_search"; }
+  std::size_t budget() const override { return budget_; }
+
+  const StrategyOutcome& step(std::size_t target) override {
+    core::PvtSearchOutcome out = search_.run(std::min(target, budget_));
+    result_.solved = out.solved;
+    result_.iterations = out.totalSims;
+    result_.sizes = std::move(out.sizes);
+    result_.ledger = std::move(out.ledger);  // run() already snapshotted it
+    result_.evalStats = out.evalStats;
+    if (!out.cornerEvals.empty()) {
+      // Worst corner across the final sign-off sweep — the cross-strategy
+      // comparison scalar (0 exactly when solved).
+      double worst = 0.0;
+      linalg::Vector worstMeas;
+      for (const core::EvalResult& e : out.cornerEvals) {
+        const double v = value_.valueOf(e);
+        if (worstMeas.empty() || v < worst) worstMeas = e.measurements;
+        worst = std::min(worst, v);
+      }
+      result_.bestValue = worst;
+      result_.bestMeasurements = std::move(worstMeas);
+    }
+    return result_;
+  }
+
+  const StrategyOutcome& outcome() const override { return result_; }
+  bool finished() const override {
+    return result_.solved || result_.iterations >= budget_;
+  }
+  eval::EvalEngine& engine() override { return search_.engine(); }
+
+  bool supportsCheckpoint() const override { return true; }
+  void saveCheckpoint(const std::string& path) const override {
+    search_.saveCheckpoint(path);
+  }
+  void restoreCheckpoint(const std::string& path) override {
+    search_.restoreCheckpoint(path);
+    step(0);  // refresh the cached outcome from the restored search
+  }
+
+ private:
+  core::ValueFunction value_;
+  core::PvtSearch search_;
+  std::size_t budget_ = 0;
+  StrategyOutcome result_;
+};
+
+}  // namespace
+
+std::vector<std::string> strategyNames() {
+  return {"pvt_search", "random_search", "tree_bayes_opt", "rl_policy"};
+}
+
+std::unique_ptr<Strategy> makeStrategy(std::string_view name,
+                                       core::SizingProblem problem,
+                                       std::uint64_t seed, std::size_t budget,
+                                       const Options& options) {
+  if (name == "pvt_search") {
+    core::PvtSearchConfig cfg;
+    cfg.seed = seed;
+    applyOptions(
+        name, options,
+        [&cfg](const std::string& k, const std::string& v) {
+          if (k == "pool") cfg.strategy = parsePoolPolicy(k, v);
+          else if (k == "eval_threads") cfg.evalThreads = parseU64(k, v);
+          else if (k == "cache") cfg.cacheEvals = parseBool(k, v);
+          else if (k == "init_samples") cfg.explorer.initSamples = parseU64(k, v);
+          else if (k == "mc_samples") cfg.explorer.mcSamples = parseU64(k, v);
+          else return false;
+          return true;
+        },
+        "pool, eval_threads, cache, init_samples, mc_samples");
+    return std::make_unique<PvtSearchStrategy>(std::move(problem), cfg, budget);
+  }
+
+  if (name == "random_search") {
+    applyOptions(
+        name, options,
+        [](const std::string&, const std::string&) { return false; },
+        "(none)");
+    return std::make_unique<RandomSearch>(std::move(problem), seed, budget);
+  }
+
+  if (name == "tree_bayes_opt") {
+    TreeBayesOptConfig cfg;
+    cfg.seed = seed;
+    applyOptions(
+        name, options,
+        [&cfg](const std::string& k, const std::string& v) {
+          if (k == "init_samples") cfg.initSamples = parseU64(k, v);
+          else if (k == "candidate_pool") cfg.candidatePool = parseU64(k, v);
+          else if (k == "local_fraction") cfg.localFraction = parseF64(k, v);
+          else if (k == "local_sigma") cfg.localSigma = parseF64(k, v);
+          else if (k == "kappa_start") cfg.kappaStart = parseF64(k, v);
+          else if (k == "kappa_end") cfg.kappaEnd = parseF64(k, v);
+          else if (k == "refit_divisor") cfg.refitDivisor = parseU64(k, v);
+          else return false;
+          return true;
+        },
+        "init_samples, candidate_pool, local_fraction, local_sigma, "
+        "kappa_start, kappa_end, refit_divisor");
+    return std::make_unique<TreeBayesOpt>(std::move(problem), cfg, budget);
+  }
+
+  if (name == "rl_policy") {
+    rl::RlPolicyConfig cfg;
+    applyOptions(
+        name, options,
+        [&cfg](const std::string& k, const std::string& v) {
+          if (k == "hidden") cfg.hidden = parseU64(k, v);
+          else if (k == "n_steps") cfg.nSteps = parseU64(k, v);
+          else if (k == "episode_length") cfg.env.episodeLength = parseU64(k, v);
+          else if (k == "stride_divisor") cfg.env.strideDivisor = parseU64(k, v);
+          else if (k == "learning_rate") cfg.learningRate = parseF64(k, v);
+          else if (k == "entropy_coeff") cfg.entropyCoeff = parseF64(k, v);
+          else if (k == "train") cfg.train = parseBool(k, v);
+          else return false;
+          return true;
+        },
+        "hidden, n_steps, episode_length, stride_divisor, learning_rate, "
+        "entropy_coeff, train");
+    return std::make_unique<rl::RlPolicyStrategy>(std::move(problem), cfg,
+                                                  seed, budget);
+  }
+
+  std::string known;
+  for (const std::string& n : strategyNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown strategy \"" + std::string(name) +
+                              "\" (known: " + known + ")");
+}
+
+}  // namespace trdse::opt

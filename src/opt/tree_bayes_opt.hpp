@@ -9,6 +9,13 @@
 // can run both the single-PVT Table I benchmark and the multi-corner
 // industrial cases (Tables IV/V), where the paper found it close-but-failing
 // on the LDO and 4.5x slower on the ICO.
+//
+// Engine-backed and step()-resumable (see opt/strategy.hpp): every corner
+// check is one logical EvalEngine request, so the ledger and the iteration
+// budget agree by construction, and the seeded trajectory reproduces the
+// original hand-rolled loop bitwise. The kappa decay is a function of the
+// *total* budget, never of an individual step() target, so budget slicing
+// cannot bend the acquisition schedule.
 #pragma once
 
 #include <random>
@@ -16,6 +23,7 @@
 #include "core/problem.hpp"
 #include "core/value.hpp"
 #include "opt/extra_trees.hpp"
+#include "opt/strategy.hpp"
 
 namespace trdse::opt {
 
@@ -34,31 +42,66 @@ struct TreeBayesOptConfig {
   std::uint64_t seed = 1;
 };
 
-struct TreeBayesOptOutcome {
-  bool solved = false;
-  std::size_t iterations = 0;  ///< simulations consumed (all corners counted)
-  linalg::Vector sizes;
-  double bestValue = core::kFailedValue;
-  linalg::Vector bestMeasurements;  ///< worst-corner measurements of the best
-};
+/// Customized tree-BO emits the common outcome schema.
+using TreeBayesOptOutcome = StrategyOutcome;
 
-class TreeBayesOpt {
+class TreeBayesOpt final : public Strategy {
  public:
-  TreeBayesOpt(const core::SizingProblem& problem, TreeBayesOptConfig config);
+  /// The problem is copied (callbacks + metadata), so temporaries are safe.
+  /// `budget` fixes the total simulation allowance (and the kappa-decay
+  /// denominator); 0 defers it to the first run(maxSimulations) call.
+  TreeBayesOpt(core::SizingProblem problem, TreeBayesOptConfig config,
+               std::size_t budget = 0);
 
-  TreeBayesOptOutcome run(std::size_t maxSimulations);
+  std::string_view name() const override { return "tree_bayes_opt"; }
+  std::size_t budget() const override { return budget_; }
+
+  /// Advance the init-sample / BO loop until the cumulative target is
+  /// reached or the CSP is solved. Slice boundaries pause only *between*
+  /// observations; the multi-corner sweep inside one observation runs to its
+  /// own early-exit rules (bounded by the corner count), exactly as in the
+  /// single-shot loop.
+  const StrategyOutcome& step(std::size_t target) override;
+
+  using Strategy::run;
+  /// Legacy single-shot surface: raises the budget to `maxSimulations` (when
+  /// larger) and advances to completion.
+  const StrategyOutcome& run(std::size_t maxSimulations);
+
+  const StrategyOutcome& outcome() const override { return result_; }
+  bool finished() const override;
+  eval::EvalEngine& engine() override { return engine_; }
 
  private:
-  /// Worst value across all sign-off corners (early exit on hard failure).
-  double evaluateAllCorners(const linalg::Vector& sizes,
-                            TreeBayesOptOutcome& out,
-                            std::size_t maxSimulations,
-                            linalg::Vector* worstMeas);
+  /// Where the search stands between two observations.
+  enum class Phase : std::uint8_t { kInitSample, kBoLoop, kDone };
 
-  const core::SizingProblem& problem_;
+  /// Worst value across all sign-off corners (early exit on hard failure),
+  /// then dataset/incumbent bookkeeping — one full legacy observation.
+  void observe(const linalg::Vector& rawSizes);
+
+  const StrategyOutcome& harvest();
+
+  core::SizingProblem problem_;
   TreeBayesOptConfig config_;
   core::ValueFunction value_;
+  eval::EvalEngine engine_;
   std::mt19937_64 rng_;
+  std::size_t budget_ = 0;
+
+  // ---- Resumable loop state ----
+  Phase phase_ = Phase::kInitSample;
+  std::size_t initDone_ = 0;            ///< init samples taken
+  std::vector<linalg::Vector> xs_;      ///< unit-space inputs
+  std::vector<double> ys_;              ///< observed worst-corner values
+  linalg::Vector bestUnit_;             ///< incumbent in unit space
+  ExtraTreesRegressor model_;
+  std::size_t lastFitSize_ = 0;
+  /// Member, not a local: normal_distribution caches its spare deviate, so
+  /// the stream must survive step() boundaries for sliced runs to reproduce
+  /// single-shot ones bitwise.
+  std::normal_distribution<double> gauss_;
+  StrategyOutcome result_;
 };
 
 }  // namespace trdse::opt

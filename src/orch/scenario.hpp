@@ -1,0 +1,88 @@
+// Declarative multi-job scenarios — what the orchestrator runs.
+//
+// A scenario is N sizing jobs (circuit + strategy + seed + budget) plus the
+// scheduling knobs, written as a small line-based text file so batch
+// comparisons (the paper's Tables I/III layouts) are data, not code:
+//
+//     # comparison on the 45nm opamp
+//     name    = opamp_bakeoff
+//     threads = 4          # scheduler workers
+//     slice   = 16         # EDA blocks granted per job per round
+//     shards  = 16         # shared-cache stripes (shared_cache = off|on)
+//
+//     [job]
+//     name     = trm_drl
+//     circuit  = two_stage_opamp   # circuits::Registry name
+//     strategy = pvt_search        # opt::makeStrategy name
+//     seed     = 1
+//     budget   = 400
+//     opt.pool = progressive_hardest   # strategy-specific option
+//
+//     [job]
+//     name     = random
+//     circuit  = two_stage_opamp
+//     strategy = random_search
+//     budget   = 400               # seed omitted: derived from job index
+//
+// Parsing is strict: unknown keys, malformed numbers, duplicate job names,
+// or a job without circuit/strategy throw std::invalid_argument naming the
+// offending line. Programmatic callers can instead fill the structs directly
+// (JobSpec::makeProblem admits problems that exist only in code).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace trdse::orch {
+
+/// One schedulable search job.
+struct JobSpec {
+  std::string name;      ///< unique row label in reports
+  std::string circuit;   ///< circuits::Registry name (ignored with makeProblem)
+  /// Inline problem override for problems that exist only in code; when set,
+  /// `circuit` is only a label. The factory must be pure (it may be invoked
+  /// from a scheduler construction pass).
+  std::function<core::SizingProblem()> makeProblem;
+  std::string strategy;  ///< opt::makeStrategy name
+  /// Shared-cache namespace; jobs sharing results must agree on it. Empty =
+  /// the circuit name (or the problem name for inline problems).
+  std::string cacheScope;
+  /// 0 = derive deterministically from (scenario baseSeed, job index).
+  std::uint64_t seed = 0;
+  std::size_t budget = 1000;  ///< total logical EDA-block allowance
+  /// Write a strategy checkpoint every N scheduler rounds (0 = off; only
+  /// strategies with supportsCheckpoint()).
+  std::size_t checkpointEvery = 0;
+  std::string checkpointPath;  ///< destination of the periodic snapshots
+  /// Strategy-specific overrides (the `opt.` keys of the file format).
+  std::map<std::string, std::string> options;
+};
+
+/// A parsed scenario: scheduling knobs + the job list.
+struct Scenario {
+  std::string name = "scenario";
+  /// Scheduler worker threads: 1 = serial (inline), 0 = hardware
+  /// concurrency. Per-job outcomes are identical for any value.
+  std::size_t threads = 1;
+  /// EDA blocks granted to every unfinished job per scheduling round (the
+  /// fairness quantum).
+  std::size_t slice = 16;
+  bool sharedCache = true;     ///< cross-job result sharing on/off
+  std::size_t cacheShards = 16;  ///< SharedEvalCache stripe count
+  std::uint64_t baseSeed = 1;  ///< feeds derived per-job seeds
+  std::vector<JobSpec> jobs;
+};
+
+/// Parse the text format above. `source` labels error messages (path/name).
+Scenario parseScenario(std::istream& in, const std::string& source);
+/// Parse from a string (tests, embedded scenarios).
+Scenario parseScenarioText(const std::string& text, const std::string& source);
+/// Read and parse a file; throws std::invalid_argument when unreadable.
+Scenario loadScenarioFile(const std::string& path);
+
+}  // namespace trdse::orch

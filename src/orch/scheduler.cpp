@@ -1,0 +1,141 @@
+#include "orch/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuits/registry.hpp"
+#include "common/thread_pool.hpp"
+
+namespace trdse::orch {
+
+Scheduler::Scheduler(Scenario scenario) : scenario_(std::move(scenario)) {
+  if (scenario_.jobs.empty())
+    throw std::invalid_argument("Scheduler: scenario defines no jobs");
+  if (scenario_.slice == 0)
+    throw std::invalid_argument("Scheduler: slice must be positive");
+
+  if (scenario_.sharedCache)
+    shared_ = std::make_shared<eval::SharedEvalCache>(scenario_.cacheShards);
+
+  jobs_.reserve(scenario_.jobs.size());
+  for (std::size_t i = 0; i < scenario_.jobs.size(); ++i) {
+    JobSpec& spec = scenario_.jobs[i];
+    if (spec.seed == 0)
+      spec.seed = common::perTaskSeed(scenario_.baseSeed, i);
+
+    core::SizingProblem problem =
+        spec.makeProblem ? spec.makeProblem()
+                         : circuits::Registry::global().makeProblem(spec.circuit);
+    const std::string scope = !spec.cacheScope.empty() ? spec.cacheScope
+                              : !spec.circuit.empty()  ? spec.circuit
+                                                       : problem.name;
+
+    Job job;
+    job.spec = spec;
+    job.strategy = opt::makeStrategy(spec.strategy, std::move(problem),
+                                     spec.seed, spec.budget, spec.options);
+    if (spec.checkpointEvery != 0 && !job.strategy->supportsCheckpoint())
+      throw std::invalid_argument(
+          "Scheduler: job \"" + spec.name + "\" requests checkpoints but "
+          "strategy \"" + spec.strategy + "\" does not support them");
+    if (!spec.checkpointPath.empty()) {
+      // Two jobs snapshotting onto one file would silently overwrite each
+      // other round after round; a restore would then load whichever job
+      // wrote last (kind/problem/shape all match).
+      for (const Job& other : jobs_)
+        if (other.spec.checkpointPath == spec.checkpointPath)
+          throw std::invalid_argument(
+              "Scheduler: jobs \"" + other.spec.name + "\" and \"" +
+              spec.name + "\" share checkpoint_path \"" + spec.checkpointPath +
+              "\"");
+    }
+    // A job that turned its local memo off (e.g. pvt_search opt.cache=false,
+    // the paper-accounting mode) cannot journal publishes; it simply opts
+    // out of cross-job sharing rather than failing the whole scenario.
+    if (shared_ != nullptr && job.strategy->engine().config().cacheEvals)
+      job.strategy->engine().attachSharedCache(shared_, scope);
+
+    job.result.name = spec.name;
+    job.result.circuit = !spec.circuit.empty() ? spec.circuit : scope;
+    job.result.strategy = spec.strategy;
+    job.result.seed = spec.seed;
+    job.result.budget = spec.budget;
+    jobs_.push_back(std::move(job));
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+std::vector<JobResult> Scheduler::run() {
+  if (ran_)
+    throw std::logic_error("Scheduler::run: a scheduler runs exactly once");
+  ran_ = true;
+
+  common::ThreadPool pool(scenario_.threads);
+  std::vector<std::size_t> runnable;
+  runnable.reserve(jobs_.size());
+  std::vector<std::size_t> beforeIters(jobs_.size(), 0);
+
+  while (true) {
+    // Round-robin fairness: every unfinished job, in job-index order, gets
+    // the same additional slice of its own budget this round.
+    runnable.clear();
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+      if (!jobs_[i].strategy->finished()) runnable.push_back(i);
+    if (runnable.empty()) break;
+
+    // Concurrent step phase: jobs are independent (own engine, own RNG
+    // streams) and the shared cache is read-only during the round, so the
+    // fan-out is free of cross-job races and outcomes are thread-count
+    // invariant.
+    for (const std::size_t i : runnable)
+      beforeIters[i] = jobs_[i].strategy->outcome().iterations;
+    pool.parallelFor(runnable.size(), [&](std::size_t r) {
+      Job& job = jobs_[runnable[r]];
+      job.granted = std::min(job.spec.budget, job.granted + scenario_.slice);
+      job.strategy->step(job.granted);
+      ++job.result.rounds;
+    });
+
+    // Barrier publish phase, in job-index order: results simulated this
+    // round become visible to *later* rounds only — the shared-cache
+    // determinism contract.
+    for (const std::size_t i : runnable)
+      jobs_[i].result.published += jobs_[i].strategy->engine().publishShared();
+
+    // Checkpoint cadence (rounds, counted per job).
+    for (const std::size_t i : runnable) {
+      Job& job = jobs_[i];
+      if (job.spec.checkpointEvery != 0 &&
+          job.result.rounds % job.spec.checkpointEvery == 0) {
+        job.strategy->saveCheckpoint(job.spec.checkpointPath);
+        ++job.result.checkpoints;
+      }
+    }
+
+    // Stall guard: a job already granted its full budget that neither
+    // finishes nor consumes anything in a round would loop forever.
+    // Strategies signal inability to proceed via finished(), so hitting
+    // this means a strategy contract violation — surface it loudly rather
+    // than spinning.
+    for (const std::size_t i : runnable) {
+      Job& job = jobs_[i];
+      if (job.granted >= job.spec.budget && !job.strategy->finished() &&
+          job.strategy->outcome().iterations == beforeIters[i])
+        throw std::logic_error("Scheduler: job \"" + job.spec.name +
+                               "\" makes no progress (strategy \"" +
+                               job.spec.strategy +
+                               "\" violates the step() contract)");
+    }
+  }
+
+  std::vector<JobResult> results;
+  results.reserve(jobs_.size());
+  for (Job& job : jobs_) {
+    job.result.outcome = job.strategy->outcome();
+    results.push_back(job.result);
+  }
+  return results;
+}
+
+}  // namespace trdse::orch

@@ -1,0 +1,89 @@
+// Concurrent multi-job orchestrator — many searches, one machine, one meter.
+//
+// The ROADMAP north-star is a production system serving many sizing
+// workloads at once (DNN-Opt and AutoCkt both frame sizing as exactly this
+// multi-strategy, multi-task batch workload). The Scheduler multiplexes N
+// JobSpecs over a shared common::ThreadPool in *rounds*: every round, each
+// unfinished job is granted `slice` more EDA blocks of its own budget and
+// stepped concurrently (strategies are resumable, see opt/strategy.hpp);
+// jobs on the same circuit share simulation results through one
+// eval::SharedEvalCache.
+//
+// Determinism contract (asserted in tests/orch_test.cpp, documented in
+// docs/ORCHESTRATION.md):
+//   * Fair slicing is round-robin by job index with a fixed quantum, so the
+//     budget-grant sequence of every job is a function of the scenario
+//     alone — never of thread scheduling.
+//   * Jobs only *read* the shared cache while a round runs; results
+//     simulated during a round are journaled per engine and published at
+//     the round barrier, in job-index order (EvalEngine::publishShared).
+//     A lookup therefore sees exactly the entries published by earlier
+//     rounds, and every per-job outcome, ledger, and hit/miss counter is
+//     bitwise identical for any `threads` value.
+//   * Per-job RNG streams are independent: explicit seeds are honored and
+//     absent seeds derive from (baseSeed, job index) via common::perTaskSeed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/shared_cache.hpp"
+#include "opt/strategy.hpp"
+#include "orch/scenario.hpp"
+
+namespace trdse::orch {
+
+/// One job's report row after (or during) a run.
+struct JobResult {
+  std::string name;          ///< JobSpec::name
+  std::string circuit;       ///< circuit label
+  std::string strategy;      ///< strategy name
+  std::uint64_t seed = 0;    ///< effective seed (explicit or derived)
+  std::size_t budget = 0;    ///< total block allowance
+  std::size_t rounds = 0;    ///< scheduling rounds the job was stepped in
+  std::size_t published = 0; ///< results this job published to the shared cache
+  std::size_t checkpoints = 0;  ///< periodic snapshots written
+  opt::StrategyOutcome outcome; ///< the common comparison row
+};
+
+/// Round-based fair-slicing orchestrator over resumable strategies.
+class Scheduler {
+ public:
+  /// Build every job's problem (circuits::Registry or JobSpec::makeProblem)
+  /// and strategy up front; throws std::invalid_argument on unknown
+  /// circuit/strategy names, bad options, or a checkpoint cadence on a
+  /// strategy that cannot checkpoint.
+  explicit Scheduler(Scenario scenario);
+
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Run every job to completion (solved, budget exhausted, or stalled) and
+  /// return one row per job, in job order. Callable once.
+  std::vector<JobResult> run();
+
+  /// The scenario as scheduled (derived seeds filled in).
+  const Scenario& scenario() const { return scenario_; }
+  /// The cross-job cache (nullptr when the scenario disables it).
+  const eval::SharedEvalCache* sharedCache() const { return shared_.get(); }
+  /// Strategy of job `i` (post-run inspection; engines stay alive with the
+  /// scheduler).
+  const opt::Strategy& strategy(std::size_t i) const { return *jobs_[i].strategy; }
+
+ private:
+  struct Job {
+    JobSpec spec;
+    std::unique_ptr<opt::Strategy> strategy;
+    std::size_t granted = 0;  ///< cumulative budget target handed out so far
+    JobResult result;
+  };
+
+  Scenario scenario_;
+  std::shared_ptr<eval::SharedEvalCache> shared_;
+  std::vector<Job> jobs_;
+  bool ran_ = false;
+};
+
+}  // namespace trdse::orch

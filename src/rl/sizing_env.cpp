@@ -15,18 +15,17 @@ SizingEnv::SizingEnv(const core::SizingProblem& problem, EnvConfig config,
   assert(!problem.corners.empty());
   // Single-corner engine (Table I is single-PVT); evaluations are inline —
   // parallelism across environments lives in the rollout collector. Ledger
-  // recording is off: a training run takes tens of thousands of steps and
-  // the env only consumes the stats counters (spec satisfaction is judged
-  // from the reward path, not the ledger).
+  // recording defaults off (see EnvConfig::recordLedger); spec satisfaction
+  // is judged from the reward path.
   eval::EvalEngineConfig engineCfg;
   engineCfg.cacheEvals = config.cacheEvals;
   engineCfg.threads = 1;
-  engineCfg.recordLedger = false;
+  engineCfg.recordLedger = config.recordLedger;
   engine_ = std::make_unique<eval::EvalEngine>(
       std::make_shared<eval::CallbackBackend>(problem.evaluate,
                                               "env:" + problem.name),
       problem.space, std::vector<sim::PvtCorner>{problem.corners.front()},
-      eval::MeetsSpecFn{}, engineCfg);
+      eval::makeMeetsSpec(value_), engineCfg);
 }
 
 std::size_t SizingEnv::observationDim() const {

@@ -34,6 +34,12 @@ struct EnvConfig {
   /// rewards/observations (and simulationsUsed, which counts logical
   /// requests) are bitwise identical with the cache on or off.
   bool cacheEvals = true;
+  /// Record an EdaBlock per step in the engine ledger. Off by default: a
+  /// training run takes tens of thousands of steps and the trainers consume
+  /// only the stats counters. The orchestrator's rl_policy strategy turns it
+  /// on so RL jobs produce the same block-level accounting as every other
+  /// strategy.
+  bool recordLedger = false;
 };
 
 /// What one environment step returns.
@@ -68,6 +74,10 @@ class SizingEnv {
   std::size_t simulationsUsed() const { return sims_; }
   /// Engine counters: real simulations vs memo hits, backend timing.
   const eval::EvalStats& evalStats() const { return engine_->stats(); }
+  /// The engine every step routes through (shared-cache attachment, ledger
+  /// inspection — see opt::Strategy / rl::RlPolicyStrategy).
+  eval::EvalEngine& engine() { return *engine_; }
+  const eval::EvalEngine& engine() const { return *engine_; }
   /// Simulation count at the first solved step (0 when never solved).
   std::size_t simsAtFirstSolve() const { return simsAtFirstSolve_; }
 

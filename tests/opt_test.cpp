@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include "opt/extra_trees.hpp"
@@ -173,6 +175,243 @@ TEST(TreeBayesOpt, HandlesFailingSimulations) {
   TreeBayesOpt bo(prob, cfg);
   const auto out = bo.run(1500);
   EXPECT_TRUE(out.solved);
+}
+
+// ---- Pre-refactor parity -------------------------------------------------
+//
+// The engine-backed strategies must reproduce the original hand-rolled
+// evaluation loops bitwise: same RNG consumption, same budget checks in the
+// same places, same early exits. The reference implementations below are the
+// pre-refactor run() bodies, verbatim (evaluating through problem.evaluate
+// directly, counting iterations ad hoc).
+
+struct LegacyOutcome {
+  bool solved = false;
+  std::size_t iterations = 0;
+  linalg::Vector sizes;
+  double bestValue = core::kFailedValue;
+  linalg::Vector bestMeasurements;
+};
+
+LegacyOutcome legacyRandomSearch(const core::SizingProblem& problem,
+                                 std::uint64_t seed,
+                                 std::size_t maxSimulations) {
+  core::ValueFunction value(problem.measurementNames, problem.specs);
+  std::mt19937_64 rng(seed);
+  LegacyOutcome out;
+  while (out.iterations < maxSimulations) {
+    const linalg::Vector x = problem.space.randomPoint(rng);
+    bool allPass = true;
+    double worst = 0.0;
+    for (const auto& corner : problem.corners) {
+      if (out.iterations >= maxSimulations) return out;
+      const core::EvalResult r = problem.evaluate(x, corner);
+      ++out.iterations;
+      const double v = value.valueOf(r);
+      worst = std::min(worst, v);
+      if (!r.ok || !value.satisfied(r.measurements)) {
+        allPass = false;
+        break;
+      }
+    }
+    if (worst > out.bestValue) {
+      out.bestValue = worst;
+      out.sizes = x;
+    }
+    if (allPass) {
+      out.solved = true;
+      out.sizes = x;
+      return out;
+    }
+  }
+  return out;
+}
+
+LegacyOutcome legacyTreeBayesOpt(const core::SizingProblem& problem,
+                                 const TreeBayesOptConfig& config,
+                                 std::size_t maxSimulations) {
+  core::ValueFunction value(problem.measurementNames, problem.specs);
+  std::mt19937_64 rng(config.seed);
+  LegacyOutcome out;
+  const auto& space = problem.space;
+  const double nSpecs = static_cast<double>(problem.specs.size());
+  const double failTarget = -config.failedPenaltyPerSpec * nSpecs;
+
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  linalg::Vector bestUnit;
+
+  const auto evaluateAllCorners = [&](const linalg::Vector& sizes,
+                                      linalg::Vector* worstMeas) {
+    double worst = 0.0;
+    for (const auto& corner : problem.corners) {
+      if (out.iterations >= maxSimulations) break;
+      const core::EvalResult r = problem.evaluate(sizes, corner);
+      ++out.iterations;
+      const double v = value.valueOf(r);
+      if (v < worst) {
+        worst = v;
+        if (worstMeas != nullptr && r.ok) *worstMeas = r.measurements;
+      } else if (worstMeas != nullptr && worstMeas->empty() && r.ok) {
+        *worstMeas = r.measurements;
+      }
+      if (v <= core::kFailedValue) break;
+    }
+    return worst;
+  };
+  const auto observe = [&](const linalg::Vector& rawSizes) {
+    const linalg::Vector sizes = space.snap(rawSizes);
+    linalg::Vector meas;
+    const double v = evaluateAllCorners(sizes, &meas);
+    const double target = v <= core::kFailedValue ? failTarget : v;
+    xs.push_back(space.toUnit(sizes));
+    ys.push_back(target);
+    if (v > out.bestValue) {
+      out.bestValue = v;
+      out.sizes = sizes;
+      out.bestMeasurements = meas;
+      bestUnit = xs.back();
+    }
+    if (v >= 0.0) {
+      out.solved = true;
+      out.sizes = sizes;
+    }
+  };
+
+  for (std::size_t i = 0; i < config.initSamples; ++i) {
+    if (out.iterations >= maxSimulations || out.solved) return out;
+    observe(space.randomPoint(rng));
+  }
+
+  ExtraTreesRegressor model;
+  std::normal_distribution<double> gauss(0.0, config.localSigma);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::size_t lastFitSize = 0;
+
+  while (out.iterations < maxSimulations && !out.solved) {
+    const std::size_t refitGap = std::max<std::size_t>(
+        1, xs.size() / std::max<std::size_t>(1, config.refitDivisor));
+    if (!model.fitted() || xs.size() - lastFitSize >= refitGap) {
+      model.fit(xs, ys, config.seed + out.iterations);
+      lastFitSize = xs.size();
+    }
+    const double progress = static_cast<double>(out.iterations) /
+                            static_cast<double>(maxSimulations);
+    const double kappa =
+        config.kappaStart + (config.kappaEnd - config.kappaStart) * progress;
+
+    linalg::Vector bestCand;
+    double bestAcq = -std::numeric_limits<double>::infinity();
+    const std::size_t nLocal = static_cast<std::size_t>(
+        config.localFraction * static_cast<double>(config.candidatePool));
+    for (std::size_t c = 0; c < config.candidatePool; ++c) {
+      linalg::Vector u(space.dim());
+      if (c < nLocal && !bestUnit.empty()) {
+        for (std::size_t d = 0; d < space.dim(); ++d)
+          u[d] = std::clamp(bestUnit[d] + gauss(rng), 0.0, 1.0);
+      } else {
+        for (std::size_t d = 0; d < space.dim(); ++d) u[d] = unif(rng);
+      }
+      const Prediction p = model.predict(u);
+      const double acq = p.mean + kappa * p.std;
+      if (acq > bestAcq) {
+        bestAcq = acq;
+        bestCand = u;
+      }
+    }
+    if (bestCand.empty()) break;
+    observe(space.fromUnit(bestCand));
+  }
+  return out;
+}
+
+core::SizingProblem multiCornerProblem(double feasibleRadius) {
+  auto prob = syntheticProblem(feasibleRadius);
+  prob.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0},
+                  {sim::ProcessCorner::kSS, 0.9, 125.0},
+                  {sim::ProcessCorner::kFF, 1.1, -40.0}};
+  return prob;
+}
+
+TEST(RandomSearch, BitwiseMatchesPreRefactorLoop) {
+  struct Case {
+    double radius;
+    std::uint64_t seed;
+    std::size_t budget;
+    bool multiCorner;
+  };
+  const Case cases[] = {{0.4, 3, 2000, false},   // solves
+                        {0.01, 3, 300, false},   // exhausts the budget
+                        {1.5, 5, 100, true},     // multi-corner, solves
+                        {0.01, 9, 100, true}};   // multi-corner, exhausts
+  for (const Case& c : cases) {
+    const auto prob =
+        c.multiCorner ? multiCornerProblem(c.radius) : syntheticProblem(c.radius);
+    const LegacyOutcome legacy = legacyRandomSearch(prob, c.seed, c.budget);
+    RandomSearch rs(prob, c.seed, c.budget);
+    const StrategyOutcome& out = rs.run();
+    EXPECT_EQ(out.solved, legacy.solved);
+    EXPECT_EQ(out.iterations, legacy.iterations);
+    EXPECT_EQ(out.sizes, legacy.sizes);
+    EXPECT_EQ(out.bestValue, legacy.bestValue);
+  }
+}
+
+TEST(TreeBayesOpt, BitwiseMatchesPreRefactorLoop) {
+  struct Case {
+    double radius;
+    std::uint64_t seed;
+    std::size_t budget;
+    bool multiCorner;
+  };
+  const Case cases[] = {{0.08, 100, 2000, false},  // solves
+                        {0.005, 31, 150, false},   // exhausts the budget
+                        {0.3, 21, 400, true}};     // multi-corner sweeps
+  for (const Case& c : cases) {
+    const auto prob =
+        c.multiCorner ? multiCornerProblem(c.radius) : syntheticProblem(c.radius);
+    TreeBayesOptConfig cfg;
+    cfg.seed = c.seed;
+    const LegacyOutcome legacy = legacyTreeBayesOpt(prob, cfg, c.budget);
+    TreeBayesOpt bo(prob, cfg, c.budget);
+    const StrategyOutcome& out = bo.run();
+    EXPECT_EQ(out.solved, legacy.solved);
+    EXPECT_EQ(out.iterations, legacy.iterations);
+    EXPECT_EQ(out.sizes, legacy.sizes);
+    EXPECT_EQ(out.bestValue, legacy.bestValue);
+    EXPECT_EQ(out.bestMeasurements, legacy.bestMeasurements);
+  }
+}
+
+// The budget-accounting satellite: the ad-hoc iteration counters used to
+// drift from any block-level bookkeeping; with every evaluation routed
+// through the engine, ledger == iterations == requests, always.
+
+TEST(RandomSearch, LedgerAgreesWithIterationCount) {
+  for (const std::size_t budget : {100u, 301u}) {
+    const auto prob = multiCornerProblem(0.05);
+    RandomSearch rs(prob, 13, budget);
+    const StrategyOutcome& out = rs.run();
+    EXPECT_EQ(out.ledger.totalBlocks(), out.iterations);
+    EXPECT_EQ(out.evalStats.requests, out.iterations);
+    EXPECT_EQ(out.evalStats.simulated + out.evalStats.cacheHits +
+                  out.evalStats.sharedHits,
+              out.iterations);
+    EXPECT_EQ(out.ledger.searchBlocks(), out.iterations);  // RS never verifies
+  }
+}
+
+TEST(TreeBayesOpt, LedgerAgreesWithIterationCount) {
+  const auto prob = multiCornerProblem(0.05);
+  TreeBayesOptConfig cfg;
+  cfg.seed = 19;
+  TreeBayesOpt bo(prob, cfg, 250);
+  const StrategyOutcome& out = bo.run();
+  EXPECT_EQ(out.ledger.totalBlocks(), out.iterations);
+  EXPECT_EQ(out.evalStats.requests, out.iterations);
+  EXPECT_EQ(out.evalStats.simulated + out.evalStats.cacheHits +
+                out.evalStats.sharedHits,
+            out.iterations);
 }
 
 }  // namespace

@@ -1,0 +1,516 @@
+// Orchestration-layer suite: scenario parsing, the sharded cross-job cache,
+// engine shared-cache semantics, strategy resumability (step(k);step(n) ==
+// step(n)), and the Scheduler determinism contract — per-job outcomes,
+// ledgers and cache accounting bitwise identical for any thread count, with
+// cross-job shared hits actually occurring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "circuits/registry.hpp"
+#include "core/pvt_search.hpp"
+#include "io/checkpoint.hpp"
+#include "opt/random_search.hpp"
+#include "opt/strategy.hpp"
+#include "opt/tree_bayes_opt.hpp"
+#include "orch/scenario.hpp"
+#include "orch/scheduler.hpp"
+#include "rl/rl_strategy.hpp"
+
+namespace trdse::orch {
+namespace {
+
+/// Synthetic 2-D CSP on a deliberately coarse grid (9x9 = 81 distinct
+/// points), so concurrent jobs collide on cache keys within a few rounds.
+core::SizingProblem tinyGridProblem(double feasibleRadius = 0.08) {
+  core::SizingProblem p;
+  p.name = "tiny_grid";
+  p.space = core::DesignSpace({{"x", 0.0, 1.0, 9, false},
+                               {"y", 0.0, 1.0, 9, false}});
+  p.measurementNames = {"closeness", "budget"};
+  p.specs = {{"closeness", core::SpecKind::kAtLeast, 1.0 - feasibleRadius},
+             {"budget", core::SpecKind::kAtMost, 1.6}};
+  p.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0}};
+  p.evaluate = [](const linalg::Vector& v, const sim::PvtCorner&) {
+    core::EvalResult r;
+    r.ok = true;
+    const double dx = v[0] - 0.66;
+    const double dy = v[1] - 0.31;
+    r.measurements = {1.0 - std::sqrt(dx * dx + dy * dy), v[0] + v[1]};
+    return r;
+  };
+  return p;
+}
+
+/// Register tiny_grid once so scenario *files* can reference it by name.
+void ensureTinyGridRegistered() {
+  static const bool once = [] {
+    circuits::Registry::global().add(
+        {"tiny_grid", "bsim45", "coarse synthetic CSP (orch tests)",
+         [](const sim::ProcessCard&, std::vector<sim::PvtCorner> corners) {
+           // Radius below the closest grid point's distance: no feasible
+           // point, so every job runs its whole budget and the cross-job
+           // cache sees plenty of revisits.
+           core::SizingProblem p = tinyGridProblem(0.05);
+           if (!corners.empty()) p.corners = std::move(corners);
+           return p;
+         }});
+    return true;
+  }();
+  (void)once;
+}
+
+void expectSameLedger(const pvt::EdaLedger& a, const pvt::EdaLedger& b) {
+  ASSERT_EQ(a.totalBlocks(), b.totalBlocks());
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    EXPECT_EQ(a.blocks()[i].cornerIndex, b.blocks()[i].cornerIndex);
+    EXPECT_EQ(a.blocks()[i].kind, b.blocks()[i].kind);
+    EXPECT_EQ(a.blocks()[i].meetsSpec, b.blocks()[i].meetsSpec);
+    EXPECT_EQ(a.blocks()[i].cached, b.blocks()[i].cached);
+  }
+}
+
+void expectSameOutcome(const opt::StrategyOutcome& a,
+                       const opt::StrategyOutcome& b) {
+  EXPECT_EQ(a.solved, b.solved);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.sizes, b.sizes);
+  EXPECT_EQ(a.bestValue, b.bestValue);
+  EXPECT_EQ(a.bestMeasurements, b.bestMeasurements);
+  EXPECT_EQ(a.evalStats.requests, b.evalStats.requests);
+  EXPECT_EQ(a.evalStats.simulated, b.evalStats.simulated);
+  EXPECT_EQ(a.evalStats.cacheHits, b.evalStats.cacheHits);
+  EXPECT_EQ(a.evalStats.sharedHits, b.evalStats.sharedHits);
+  expectSameLedger(a.ledger, b.ledger);
+}
+
+// ---- Scenario parsing ----------------------------------------------------
+
+TEST(Scenario, ParsesGlobalsJobsAndOptions) {
+  const Scenario sc = parseScenarioText(
+      "# comment\n"
+      "name = demo\n"
+      "threads = 4\n"
+      "slice = 8\n"
+      "shared_cache = off\n"
+      "shards = 4\n"
+      "base_seed = 7\n"
+      "[job]\n"
+      "name = a\n"
+      "circuit = two_stage_opamp\n"
+      "strategy = tree_bayes_opt\n"
+      "seed = 3\n"
+      "budget = 99   # trailing comment\n"
+      "opt.init_samples = 4\n"
+      "[job]\n"
+      "circuit = ldo\n"
+      "strategy = random_search\n"
+      "budget = 10\n",
+      "inline");
+  EXPECT_EQ(sc.name, "demo");
+  EXPECT_EQ(sc.threads, 4u);
+  EXPECT_EQ(sc.slice, 8u);
+  EXPECT_FALSE(sc.sharedCache);
+  EXPECT_EQ(sc.cacheShards, 4u);
+  EXPECT_EQ(sc.baseSeed, 7u);
+  ASSERT_EQ(sc.jobs.size(), 2u);
+  EXPECT_EQ(sc.jobs[0].name, "a");
+  EXPECT_EQ(sc.jobs[0].seed, 3u);
+  EXPECT_EQ(sc.jobs[0].budget, 99u);
+  EXPECT_EQ(sc.jobs[0].options.at("init_samples"), "4");
+  EXPECT_EQ(sc.jobs[1].name, "job2");  // auto-named
+  EXPECT_EQ(sc.jobs[1].seed, 0u);      // derived later by the scheduler
+}
+
+TEST(Scenario, RejectsMalformedInput) {
+  EXPECT_THROW(parseScenarioText("nonsense\n[job]\n", "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("threads = soon\n", "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("[job]\nbudget = 5\n", "x"),
+               std::invalid_argument);  // no circuit/strategy
+  EXPECT_THROW(parseScenarioText(
+                   "[job]\ncircuit = c\nstrategy = s\nbudget = 0\n", "x"),
+               std::invalid_argument);  // zero budget
+  EXPECT_THROW(
+      parseScenarioText("[job]\nname = a\ncircuit = c\nstrategy = s\n"
+                        "[job]\nname = a\ncircuit = c\nstrategy = s\n",
+                        "x"),
+      std::invalid_argument);  // duplicate names
+  EXPECT_THROW(parseScenarioText("", "x"), std::invalid_argument);  // no jobs
+  EXPECT_THROW(parseScenarioText("[job]\ncircuit = c\nstrategy = s\n"
+                                 "checkpoint_every = 2\n",
+                                 "x"),
+               std::invalid_argument);  // cadence without path
+  EXPECT_THROW(parseScenarioText("threads = 2\nthreads = 4\n", "x"),
+               std::invalid_argument);  // duplicate scalar key
+  EXPECT_THROW(parseScenarioText("[job]\ncircuit = c\nstrategy = s\n"
+                                 "budget = 400\nbudget = 40\n",
+                                 "x"),
+               std::invalid_argument);  // duplicate job key (no last-wins)
+  EXPECT_THROW(parseScenarioText("[job]\ncircuit = c\nstrategy = s\n"
+                                 "seed = -1\n",
+                                 "x"),
+               std::invalid_argument);  // stoull wrap rejected
+}
+
+// ---- SharedEvalCache -----------------------------------------------------
+
+TEST(SharedEvalCache, ScopedFindInsertAndCounters) {
+  eval::SharedEvalCache cache(5);            // rounds up
+  EXPECT_EQ(cache.shardCount(), 8u);         // power of two
+  const std::size_t opamp = cache.scopeId("opamp");
+  const std::size_t ldo = cache.scopeId("ldo");
+  EXPECT_EQ(cache.scopeId("opamp"), opamp);  // stable
+  EXPECT_NE(opamp, ldo);
+
+  core::EvalResult r;
+  r.ok = true;
+  r.measurements = {1.0, 2.0};
+  const eval::EvalKey key{{3, 4}, 0};
+  cache.insert(opamp, key, r);
+  EXPECT_EQ(cache.size(), 1u);
+
+  core::EvalResult out;
+  EXPECT_TRUE(cache.find(opamp, key, out));
+  EXPECT_EQ(out.measurements, r.measurements);
+  EXPECT_FALSE(cache.find(ldo, key, out));       // scope isolation
+  EXPECT_FALSE(cache.find(opamp, {{3, 5}, 0}, out));
+
+  const auto t = cache.totals();
+  EXPECT_EQ(t.hits, 1u);
+  EXPECT_EQ(t.misses, 2u);
+  EXPECT_EQ(t.inserts, 1u);
+  EXPECT_EQ(t.entries, 1u);
+}
+
+TEST(SharedEvalCache, SpreadsEntriesAcrossShards) {
+  eval::SharedEvalCache cache(8);
+  const std::size_t scope = cache.scopeId("s");
+  core::EvalResult r;
+  r.ok = true;
+  r.measurements = {0.0};
+  for (std::size_t i = 0; i < 64; ++i) cache.insert(scope, {{i, i + 1}, 0}, r);
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < cache.shardCount(); ++s)
+    populated += cache.shardStats(s).entries > 0;
+  EXPECT_GT(populated, cache.shardCount() / 2);  // striping actually stripes
+}
+
+// ---- EvalEngine + shared cache ------------------------------------------
+
+TEST(EngineSharedCache, HitsOnlyAfterPublishAndOnlySameScope) {
+  const core::SizingProblem problem = tinyGridProblem();
+  auto shared = std::make_shared<eval::SharedEvalCache>(4);
+
+  eval::EvalEngine a(problem);
+  eval::EvalEngine b(problem);
+  eval::EvalEngine c(problem);
+  a.attachSharedCache(shared, "tiny_grid");
+  b.attachSharedCache(shared, "tiny_grid");
+  c.attachSharedCache(shared, "other_scope");
+
+  const linalg::Vector x = problem.space.snap({0.5, 0.5});
+  a.evalOne(0, x, pvt::BlockKind::kSearch);
+  EXPECT_EQ(a.stats().simulated, 1u);
+
+  // Not published yet: B simulates the same point itself.
+  b.evalOne(0, x, pvt::BlockKind::kSearch);
+  EXPECT_EQ(b.stats().simulated, 1u);
+  EXPECT_EQ(b.stats().sharedHits, 0u);
+
+  EXPECT_EQ(a.publishShared(), 1u);
+  EXPECT_EQ(a.publishShared(), 0u);  // journal drained
+
+  const linalg::Vector y = problem.space.snap({0.75, 0.25});
+  a.evalOne(0, y, pvt::BlockKind::kSearch);
+  EXPECT_EQ(a.publishShared(), 1u);
+
+  // Published now: B serves y from the shared cache at zero EDA cost, and
+  // the ledger block is flagged cached.
+  const core::EvalResult viaShared = b.evalOne(0, y, pvt::BlockKind::kSearch);
+  EXPECT_EQ(b.stats().simulated, 1u);
+  EXPECT_EQ(b.stats().sharedHits, 1u);
+  EXPECT_TRUE(b.ledger().blocks().back().cached);
+  EXPECT_EQ(viaShared.measurements, a.evalOne(0, y, pvt::BlockKind::kSearch).measurements);
+  // A repeat lands in B's local memo, not the shared counter.
+  b.evalOne(0, y, pvt::BlockKind::kSearch);
+  EXPECT_EQ(b.stats().sharedHits, 1u);
+  EXPECT_EQ(b.stats().cacheHits, 1u);
+
+  // Scope isolation: same key, different namespace — simulates.
+  c.evalOne(0, y, pvt::BlockKind::kSearch);
+  EXPECT_EQ(c.stats().simulated, 1u);
+  EXPECT_EQ(c.stats().sharedHits, 0u);
+}
+
+TEST(EngineSharedCache, AttachRulesAreEnforced) {
+  const core::SizingProblem problem = tinyGridProblem();
+  auto shared = std::make_shared<eval::SharedEvalCache>(2);
+
+  eval::EvalEngineConfig noCache;
+  noCache.cacheEvals = false;
+  eval::EvalEngine uncached(problem, noCache);
+  EXPECT_THROW(uncached.attachSharedCache(shared, "s"), std::logic_error);
+
+  eval::EvalEngine late(problem);
+  late.evalOne(0, problem.space.snap({0.5, 0.5}), pvt::BlockKind::kSearch);
+  EXPECT_THROW(late.attachSharedCache(shared, "s"), std::logic_error);
+}
+
+// ---- Strategy resumability ----------------------------------------------
+
+TEST(StrategyResume, RandomSearchSlicedEqualsSingleShot) {
+  core::SizingProblem prob = tinyGridProblem(0.02);  // hard: runs full budget
+  prob.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0},
+                  {sim::ProcessCorner::kSS, 0.9, 125.0},
+                  {sim::ProcessCorner::kFF, 1.1, -40.0}};
+  opt::RandomSearch whole(prob, 11, 100);
+  whole.run();
+
+  opt::RandomSearch sliced(prob, 11, 100);
+  // 7-block slices deliberately misaligned with the 3-corner sweeps, so
+  // pauses land mid-sweep.
+  for (std::size_t target = 7; !sliced.finished(); target += 7)
+    sliced.step(target);
+  expectSameOutcome(sliced.outcome(), whole.outcome());
+}
+
+TEST(StrategyResume, TreeBayesOptSlicedEqualsSingleShot) {
+  const core::SizingProblem prob = tinyGridProblem(0.02);
+  opt::TreeBayesOptConfig cfg;
+  cfg.seed = 23;
+  cfg.initSamples = 6;
+  cfg.candidatePool = 40;
+  opt::TreeBayesOpt whole(prob, cfg, 120);
+  whole.run();
+  ASSERT_EQ(whole.outcome().iterations, whole.outcome().ledger.totalBlocks());
+
+  opt::TreeBayesOpt sliced(prob, cfg, 120);
+  for (std::size_t target = 5; !sliced.finished(); target += 5)
+    sliced.step(target);
+  expectSameOutcome(sliced.outcome(), whole.outcome());
+}
+
+TEST(StrategyResume, RlPolicySlicedEqualsSingleShot) {
+  const core::SizingProblem prob = tinyGridProblem(0.3);
+  rl::RlPolicyConfig cfg;
+  cfg.hidden = 8;
+  cfg.nSteps = 8;
+  cfg.env.episodeLength = 10;
+
+  rl::RlPolicyStrategy whole(prob, cfg, 91, 80);
+  whole.run();
+  rl::RlPolicyStrategy sliced(prob, cfg, 91, 80);
+  for (std::size_t target = 13; !sliced.finished(); target += 13)
+    sliced.step(target);
+  expectSameOutcome(sliced.outcome(), whole.outcome());
+  EXPECT_EQ(whole.outcome().iterations, whole.outcome().ledger.totalBlocks());
+}
+
+TEST(Strategy, PvtWrapperMatchesDirectSearch) {
+  const core::SizingProblem prob = tinyGridProblem(0.25);
+  auto strat = opt::makeStrategy("pvt_search", prob, 5, 200);
+  const opt::StrategyOutcome& viaStrategy = strat->run();
+
+  core::PvtSearchConfig cfg;
+  cfg.seed = 5;
+  core::PvtSearch direct(prob, cfg);
+  const core::PvtSearchOutcome viaDirect = direct.run(200);
+
+  EXPECT_EQ(viaStrategy.solved, viaDirect.solved);
+  EXPECT_EQ(viaStrategy.iterations, viaDirect.totalSims);
+  EXPECT_EQ(viaStrategy.sizes, viaDirect.sizes);
+  expectSameLedger(viaStrategy.ledger, viaDirect.ledger);
+  if (viaStrategy.solved) {
+    EXPECT_EQ(viaStrategy.bestValue, 0.0);
+  }
+}
+
+TEST(Strategy, FactoryRejectsUnknownNamesAndOptions) {
+  const core::SizingProblem prob = tinyGridProblem();
+  EXPECT_THROW(opt::makeStrategy("annealing", prob, 1, 10),
+               std::invalid_argument);
+  EXPECT_THROW(
+      opt::makeStrategy("tree_bayes_opt", prob, 1, 10, {{"kappa", "2"}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      opt::makeStrategy("tree_bayes_opt", prob, 1, 10, {{"kappa_start", "x"}}),
+      std::invalid_argument);
+  EXPECT_THROW(opt::makeStrategy("random_search", prob, 1, 10, {{"a", "b"}}),
+               std::invalid_argument);
+  EXPECT_THROW(opt::makeStrategy("pvt_search", prob, 1, 10,
+                                 {{"pool", "sideways"}}),
+               std::invalid_argument);
+}
+
+TEST(Strategy, RandomSearchCheckpointRoundTrip) {
+  core::SizingProblem prob = tinyGridProblem(0.02);
+  prob.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0},
+                  {sim::ProcessCorner::kSS, 0.9, 125.0}};
+  opt::RandomSearch whole(prob, 7, 90);
+  whole.run();
+
+  opt::RandomSearch saver(prob, 7, 90);
+  saver.step(41);  // pauses mid-sweep for odd targets
+  const std::string path = testing::TempDir() + "rs_orch.ckpt";
+  saver.saveCheckpoint(path);
+
+  opt::RandomSearch resumed(prob, 999, 90);  // wrong seed: state comes from disk
+  resumed.restoreCheckpoint(path);
+  resumed.run();
+  expectSameOutcome(resumed.outcome(), whole.outcome());
+
+  // Kind mismatch fails loudly.
+  io::CheckpointWriter wrongKind("pvt-search");
+  wrongKind.writeFile(path);
+  EXPECT_THROW(resumed.restoreCheckpoint(path), io::CheckpointError);
+  std::remove(path.c_str());
+}
+
+// ---- Scheduler -----------------------------------------------------------
+
+/// The acceptance scenario: 4 jobs on one coarse circuit so cross-job cache
+/// hits are plentiful, mixed strategies, written to a real file.
+std::string writeAcceptanceScenario() {
+  ensureTinyGridRegistered();
+  const std::string path = testing::TempDir() + "orch_accept.scenario";
+  std::ofstream out(path);
+  out << "name = accept\n"
+         "slice = 12\n"
+         "shards = 8\n"
+         "base_seed = 5\n"
+         "[job]\nname = rs_a\ncircuit = tiny_grid\nstrategy = random_search\n"
+         "seed = 101\nbudget = 70\n"
+         "[job]\nname = rs_b\ncircuit = tiny_grid\nstrategy = random_search\n"
+         "seed = 202\nbudget = 70\n"
+         "[job]\nname = bo\ncircuit = tiny_grid\nstrategy = tree_bayes_opt\n"
+         "seed = 7\nbudget = 70\nopt.init_samples = 8\nopt.candidate_pool = 30\n"
+         "[job]\nname = rl\ncircuit = tiny_grid\nstrategy = rl_policy\n"
+         "seed = 11\nbudget = 70\nopt.hidden = 8\nopt.n_steps = 8\n";
+  return path;
+}
+
+TEST(Scheduler, FourJobScenarioIsThreadCountInvariantWithSharedHits) {
+  const std::string path = writeAcceptanceScenario();
+
+  std::vector<std::vector<JobResult>> runs;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    Scenario sc = loadScenarioFile(path);
+    sc.threads = threads;
+    Scheduler scheduler(std::move(sc));
+    runs.push_back(scheduler.run());
+    // The cross-job cache is actually used: every job reports shared hits.
+    for (const JobResult& r : runs.back()) {
+      EXPECT_GT(r.outcome.evalStats.sharedHits, 0u)
+          << r.name << " at threads=" << threads;
+      EXPECT_GT(r.published, 0u) << r.name;
+      // Budget never exceeded; accounting is consistent.
+      EXPECT_LE(r.outcome.iterations, r.budget);
+      EXPECT_EQ(r.outcome.iterations, r.outcome.ledger.totalBlocks());
+      EXPECT_EQ(r.outcome.evalStats.requests, r.outcome.iterations);
+    }
+  }
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (std::size_t j = 0; j < runs[0].size(); ++j) {
+      EXPECT_EQ(runs[run][j].rounds, runs[0][j].rounds);
+      EXPECT_EQ(runs[run][j].published, runs[0][j].published);
+      expectSameOutcome(runs[run][j].outcome, runs[0][j].outcome);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Scheduler, SharedCacheSavesSimulationsVersusPrivate) {
+  ensureTinyGridRegistered();
+  const auto makeScenario = [](bool shared) {
+    Scenario sc;
+    sc.name = "ab";
+    sc.slice = 10;
+    sc.sharedCache = shared;
+    for (int j = 0; j < 3; ++j) {
+      JobSpec spec;
+      spec.name = "rs" + std::to_string(j);
+      spec.circuit = "tiny_grid";
+      spec.strategy = "random_search";
+      spec.seed = 40 + static_cast<std::uint64_t>(j);
+      spec.budget = 60;
+      sc.jobs.push_back(spec);
+    }
+    return sc;
+  };
+
+  Scheduler withShared(makeScenario(true));
+  Scheduler withPrivate(makeScenario(false));
+  const auto sharedResults = withShared.run();
+  const auto privateResults = withPrivate.run();
+  ASSERT_NE(withShared.sharedCache(), nullptr);
+  EXPECT_EQ(withPrivate.sharedCache(), nullptr);
+
+  std::size_t sharedSims = 0;
+  std::size_t privateSims = 0;
+  std::size_t sharedHits = 0;
+  for (std::size_t j = 0; j < sharedResults.size(); ++j) {
+    // The logical trajectory of every job is untouched by sharing.
+    EXPECT_EQ(sharedResults[j].outcome.iterations,
+              privateResults[j].outcome.iterations);
+    EXPECT_EQ(sharedResults[j].outcome.solved, privateResults[j].outcome.solved);
+    EXPECT_EQ(sharedResults[j].outcome.sizes, privateResults[j].outcome.sizes);
+    sharedSims += sharedResults[j].outcome.evalStats.simulated;
+    privateSims += privateResults[j].outcome.evalStats.simulated;
+    sharedHits += sharedResults[j].outcome.evalStats.sharedHits;
+  }
+  EXPECT_GT(sharedHits, 0u);
+  EXPECT_EQ(privateSims, sharedSims + sharedHits);  // blocks actually saved
+  // Entries are distinct keys; concurrent same-round duplicates collapse.
+  const std::size_t entries = withShared.sharedCache()->totals().entries;
+  EXPECT_GT(entries, 0u);
+  EXPECT_LE(entries, sharedSims);
+}
+
+TEST(Scheduler, ChecksCheckpointSupportAndWritesCadencedSnapshots) {
+  ensureTinyGridRegistered();
+  const std::string ckpt = testing::TempDir() + "sched_job.ckpt";
+
+  Scenario bad;
+  bad.jobs.push_back({"bo", "tiny_grid", {}, "tree_bayes_opt", "", 1, 50, 2,
+                      ckpt, {}});
+  EXPECT_THROW(Scheduler{std::move(bad)}, std::invalid_argument);
+
+  Scenario good;
+  good.slice = 10;
+  good.jobs.push_back({"rs", "tiny_grid", {}, "random_search", "", 1, 45, 2,
+                       ckpt, {}});
+  Scheduler scheduler(std::move(good));
+  const auto results = scheduler.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].checkpoints, 0u);
+  // The snapshot is a loadable random-search checkpoint.
+  EXPECT_EQ(io::CheckpointReader::fromFile(ckpt).kind(), "random-search");
+  std::remove(ckpt.c_str());
+}
+
+TEST(Scheduler, DerivesDistinctSeedsAndRunsOnce) {
+  ensureTinyGridRegistered();
+  Scenario sc;
+  for (int j = 0; j < 2; ++j) {
+    JobSpec spec;
+    spec.name = "rs" + std::to_string(j);
+    spec.circuit = "tiny_grid";
+    spec.strategy = "random_search";
+    spec.budget = 20;
+    sc.jobs.push_back(spec);
+  }
+  Scheduler scheduler(std::move(sc));
+  const auto results = scheduler.run();
+  EXPECT_NE(results[0].seed, 0u);
+  EXPECT_NE(results[0].seed, results[1].seed);
+  EXPECT_THROW(scheduler.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace trdse::orch

@@ -1,0 +1,124 @@
+// trdse_cli — batch driver for multi-job sizing scenarios.
+//
+// Runs a declarative scenario file (see docs/ORCHESTRATION.md and
+// scenarios/) through the orch::Scheduler and prints one comparison row per
+// job in the layout of the paper's Table I/III: strategy, solved, EDA-block
+// accounting, cache economics, best worst-corner Value.
+//
+// Everything on stdout is deterministic — a function of the scenario file
+// alone, identical for any --threads value — so CI can diff a run against a
+// committed expected summary (wall-clock timing goes to stderr).
+//
+// Usage:
+//   trdse_cli <scenario-file> [--threads N] [--slice N] [--no-shared-cache]
+//   trdse_cli --list
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "common/parse_util.hpp"
+#include "opt/strategy.hpp"
+#include "orch/scheduler.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <scenario-file> [--threads N] [--slice N] "
+               "[--no-shared-cache]\n"
+               "       %s --list\n",
+               argv0, argv0);
+  return 2;
+}
+
+void listKnown() {
+  std::printf("circuits (circuits::Registry):\n");
+  const auto& reg = trdse::circuits::Registry::global();
+  for (const std::string& name : reg.names())
+    std::printf("  %-18s %s\n", name.c_str(), reg.at(name).description.c_str());
+  std::printf("strategies (opt::makeStrategy):\n");
+  for (const std::string& name : trdse::opt::strategyNames())
+    std::printf("  %s\n", name.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+
+  std::string path;
+  bool haveThreads = false;
+  bool haveSlice = false;
+  std::uint64_t threads = 0;
+  std::uint64_t slice = 0;
+  bool noSharedCache = false;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--list") {
+        listKnown();
+        return 0;
+      }
+      if (arg == "--no-shared-cache") {
+        noSharedCache = true;
+      } else if ((arg == "--threads" || arg == "--slice") && i + 1 < argc) {
+        const std::uint64_t v = trdse::common::parseU64(arg, argv[++i]);
+        (arg == "--threads" ? threads : slice) = v;
+        (arg == "--threads" ? haveThreads : haveSlice) = true;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        return usage(argv[0]);
+      } else if (path.empty()) {
+        path = arg;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trdse_cli: %s\n", e.what());
+    return usage(argv[0]);
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  try {
+    trdse::orch::Scenario scenario = trdse::orch::loadScenarioFile(path);
+    if (haveThreads) scenario.threads = threads;
+    if (haveSlice) scenario.slice = slice;  // 0 rejected by the Scheduler
+    if (noSharedCache) scenario.sharedCache = false;
+
+    trdse::orch::Scheduler scheduler(std::move(scenario));
+    const auto t0 = Clock::now();
+    const std::vector<trdse::orch::JobResult> results = scheduler.run();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    const trdse::orch::Scenario& sc = scheduler.scenario();
+    std::printf("# scenario %s: %zu jobs, slice %zu, shared cache %s\n",
+                sc.name.c_str(), sc.jobs.size(), sc.slice,
+                sc.sharedCache ? "on" : "off");
+    std::printf("%-14s %-18s %-16s %-7s %8s %8s %7s %7s %10s\n", "job",
+                "circuit", "strategy", "solved", "blocks", "sims", "hits",
+                "shared", "best");
+    for (const auto& r : results) {
+      const auto& o = r.outcome;
+      std::printf("%-14s %-18s %-16s %-7s %8zu %8zu %7zu %7zu %10.4f\n",
+                  r.name.c_str(), r.circuit.c_str(), r.strategy.c_str(),
+                  o.solved ? "yes" : "no", o.iterations, o.evalStats.simulated,
+                  o.evalStats.cacheHits, o.evalStats.sharedHits, o.bestValue);
+    }
+    if (const trdse::eval::SharedEvalCache* cache = scheduler.sharedCache()) {
+      const auto t = cache->totals();
+      std::printf(
+          "# shared cache: %zu entries in %zu shards, %zu hits / %zu misses\n",
+          t.entries, cache->shardCount(), t.hits, t.misses);
+    }
+    std::fprintf(stderr, "[%.2fs wall, threads=%zu]\n", seconds, sc.threads);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trdse_cli: %s\n", e.what());
+    return 1;
+  }
+}
