@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "sim/fault.hpp"
 #include "sim/process.hpp"
 
 namespace trdse::core {
@@ -84,12 +85,20 @@ struct Spec {
   double limit = 0.0;                  ///< spec limit in measurement units
 };
 
-/// Outcome of one SPICE evaluation. `ok == false` models simulator
-/// non-convergence: no measurements exist and agents must treat the point as
-/// infeasible without feeding it to surrogate training.
+/// Outcome of one SPICE evaluation. `ok == false` with `failure == kNone`
+/// models *deterministic* non-convergence — the point does not bias, a
+/// property of the sizing itself: no measurements exist and agents must treat
+/// the point as infeasible without feeding it to surrogate training. A
+/// non-kNone `failure` instead marks a *fault* (timeout, transient solver
+/// failure, non-finite output — see sim/fault.hpp): the result is untrusted,
+/// never cached, and the EvalEngine retries it under its RetryPolicy before
+/// surfacing the exhausted failure here.
 struct EvalResult {
   bool ok = false;              ///< the simulation converged
   linalg::Vector measurements;  ///< one entry per measurement name
+  /// Why the evaluation cannot be trusted (kNone = clean result). Set by
+  /// fault injection, deadline detection, or the engine's non-finite guard.
+  sim::FaultClass failure = sim::FaultClass::kNone;
 };
 
 /// Evaluate a sizing under one PVT condition — the paper's Spice(X) function.

@@ -8,19 +8,34 @@
 // declaratively by circuits::Registry.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "core/problem.hpp"
 #include "sim/process.hpp"
 
 namespace trdse::eval {
 
+/// Request identity the EvalEngine hands down with every backend call — the
+/// cache-key tuple plus the retry attempt counter. Fault-aware decorators
+/// (eval::FaultInjector) key their deterministic schedules on it; plain
+/// backends ignore it. The indices pointer stays valid for the duration of
+/// the call only.
+struct EvalContext {
+  const std::vector<std::size_t>* indices = nullptr;  ///< snapped grid indices
+  std::size_t cornerIndex = 0;  ///< position in the engine's corner list
+  std::size_t attempt = 0;      ///< 0-based retry attempt of this request
+};
+
 /// Abstract evaluation service. Implementations must be deterministic pure
 /// functions of (sizes, corner) — memoization assumes re-evaluating a snapped
 /// grid point on the same corner reproduces the result bitwise — and
 /// thread-safe, since the engine fans batches out across a worker pool.
+/// (Fault decorators are deterministic in (sizes, corner, context) instead,
+/// which keeps every fault scenario bitwise reproducible too.)
 class EvalBackend {
  public:
   virtual ~EvalBackend() = default;
@@ -31,6 +46,16 @@ class EvalBackend {
   /// Evaluate one sizing under one PVT condition (one EDA block).
   virtual core::EvalResult evaluate(const linalg::Vector& sizes,
                                     const sim::PvtCorner& corner) const = 0;
+
+  /// Context-aware entry point the EvalEngine calls. The default forwards to
+  /// the plain overload; only decorators that need the request identity
+  /// (fault injection) override it.
+  virtual core::EvalResult evaluate(const linalg::Vector& sizes,
+                                    const sim::PvtCorner& corner,
+                                    const EvalContext& context) const {
+    (void)context;
+    return evaluate(sizes, corner);
+  }
 };
 
 /// Wraps any CornerEvalFn — the adapter that keeps the existing designer

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "eval/fault_injector.hpp"
 #include "io/state_io.hpp"
 
 namespace trdse::eval {
@@ -16,6 +18,12 @@ constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 double secondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+bool allFinite(const linalg::Vector& v) {
+  for (const double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
 }
 }  // namespace
 
@@ -52,6 +60,21 @@ EvalEngine::EvalEngine(const core::SizingProblem& problem,
 void EvalEngine::resetAccounting() {
   ledger_ = pvt::EdaLedger{};
   stats_ = EvalStats{};
+  firstFailure_ = FailureRecord{};
+}
+
+void EvalEngine::injectFaults(std::shared_ptr<const sim::FaultPlan> plan,
+                              std::string_view scope) {
+  if (!plan)
+    throw std::invalid_argument("EvalEngine::injectFaults: plan is null");
+  if (stats_.requests != 0)
+    throw std::logic_error(
+        "EvalEngine::injectFaults: must be configured before the first "
+        "request");
+  // A plan with all-zero rates never injects; skip the wrapper so clean
+  // configurations run the exact pre-fault code path.
+  if (!plan->enabled()) return;
+  backend_ = std::make_shared<FaultInjector>(backend_, std::move(plan), scope);
 }
 
 void EvalEngine::attachSharedCache(std::shared_ptr<SharedEvalCache> shared,
@@ -105,6 +128,15 @@ void EvalEngine::saveState(io::SectionWriter& w) const {
   w.u64(stats_.cacheHits);
   w.u64(stats_.sharedHits);
   w.f64(stats_.backendSeconds);
+  w.u64(stats_.attempts);
+  w.u64(stats_.faults);
+  w.u64(stats_.failures);
+  w.u64(stats_.backoffUnits);
+  w.boolean(firstFailure_.valid);
+  w.u64(firstFailure_.request);
+  w.u64(firstFailure_.cornerIndex);
+  w.u8(static_cast<std::uint8_t>(firstFailure_.cls));
+  w.u64(firstFailure_.attempts);
 }
 
 void EvalEngine::restoreState(io::SectionReader& r) {
@@ -122,18 +154,133 @@ void EvalEngine::restoreState(io::SectionReader& r) {
       r.fail("cache key corner index " + std::to_string(key.cornerIndex) +
              " out of range (" + std::to_string(corners_.size()) +
              " corners)");
-    cache_.insert(std::move(key), io::readEvalResult(r));
+    core::EvalResult result = io::readEvalResult(r);
+    // The live engine never memoizes poison; a snapshot claiming otherwise
+    // is corrupt (or tampered) and must not seed a cache.
+    if (result.failure != sim::FaultClass::kNone)
+      r.fail("memoized result carries fault class '" +
+             std::string(sim::faultClassName(result.failure)) + "'");
+    if (result.ok && !allFinite(result.measurements))
+      r.fail("memoized result carries non-finite measurements");
+    cache_.insert(std::move(key), std::move(result));
   }
   io::readLedger(r, ledger_);
+  stats_ = EvalStats{};
+  firstFailure_ = FailureRecord{};
   stats_.requests = r.u64();
   stats_.simulated = r.u64();
   stats_.cacheHits = r.u64();
   stats_.sharedHits = r.u64();
   stats_.backendSeconds = r.f64();
+  // Fault counters and the first-failure record arrived with container
+  // format version 2; version-1 snapshots could only describe clean runs,
+  // which the zeroed defaults state exactly.
+  if (r.version() >= 2) {
+    stats_.attempts = r.u64();
+    stats_.faults = r.u64();
+    stats_.failures = r.u64();
+    stats_.backoffUnits = r.u64();
+    firstFailure_.valid = r.boolean();
+    firstFailure_.request = r.u64();
+    firstFailure_.cornerIndex = r.u64();
+    const std::uint8_t cls = r.u8();
+    if (cls > static_cast<std::uint8_t>(sim::FaultClass::kNonFinite))
+      r.fail("unknown fault class " + std::to_string(cls));
+    firstFailure_.cls = static_cast<sim::FaultClass>(cls);
+    firstFailure_.attempts = r.u64();
+    if (firstFailure_.valid && firstFailure_.cls == sim::FaultClass::kNone)
+      r.fail("first-failure record with no fault class");
+    if (stats_.requests !=
+        stats_.simulated + stats_.cacheHits + stats_.sharedHits +
+            stats_.failures)
+      r.fail("stats partition broken: requests != simulated + cacheHits + "
+             "sharedHits + failures");
+  }
   // The publish journal is deliberately not persisted: results simulated
   // before a snapshot re-enter the shared cache only by being re-requested,
   // never as stale cross-run publishes.
   unpublished_.clear();
+}
+
+core::EvalResult EvalEngine::runWithRetry(std::size_t cornerIndex,
+                                          MissTrace& trace) const {
+  const RetryPolicy& retry = config_.retry;
+  const std::size_t maxAttempts = std::max<std::size_t>(1, retry.maxAttempts);
+  trace = MissTrace{};
+  sim::FaultClass last = sim::FaultClass::kNone;
+  for (std::size_t attempt = 0; attempt < maxAttempts; ++attempt) {
+    EvalContext ctx;
+    ctx.indices = &keyScratch_.indices;
+    ctx.cornerIndex = cornerIndex;
+    ctx.attempt = attempt;
+    const auto t0 = std::chrono::steady_clock::now();
+    core::EvalResult r =
+        backend_->evaluate(snapScratch_, corners_[cornerIndex], ctx);
+    const double elapsed = secondsSince(t0);
+    trace.seconds += elapsed;
+    // Classify the attempt: the backend's own verdict first, then the
+    // wall-clock deadline, then the finiteness guard. The guard runs even
+    // without any injector — a real backend emitting NaN must be treated as
+    // a fault, not memoized and spread through shared caches.
+    sim::FaultClass cls = r.failure;
+    if (cls == sim::FaultClass::kNone && retry.timeoutSeconds > 0.0 &&
+        elapsed > retry.timeoutSeconds)
+      cls = sim::FaultClass::kTimeout;
+    if (cls == sim::FaultClass::kNone && r.ok && !allFinite(r.measurements))
+      cls = sim::FaultClass::kNonFinite;
+    if (cls == sim::FaultClass::kNone) {
+      trace.retries = static_cast<std::uint32_t>(attempt);
+      return r;
+    }
+    last = cls;
+    if (attempt + 1 < maxAttempts) {
+      // Charge deterministic backoff for the retry about to happen. Units
+      // are ledger bookkeeping, not sleeps: the cost model stays bitwise
+      // reproducible and tests stay fast.
+      const std::size_t unit =
+          std::min(retry.backoffBase << attempt, retry.backoffCap);
+      trace.backoff += static_cast<std::uint32_t>(unit);
+    }
+  }
+  trace.retries = static_cast<std::uint32_t>(maxAttempts - 1);
+  core::EvalResult failed;
+  failed.ok = false;
+  failed.failure = last;
+  return failed;
+}
+
+void EvalEngine::accountRequest(std::size_t cornerIndex, pvt::BlockKind kind,
+                                const core::EvalResult& result, bool cached,
+                                bool shared, bool isMiss,
+                                const MissTrace& trace) {
+  const bool failed = result.failure != sim::FaultClass::kNone;
+  ++stats_.requests;
+  if (isMiss) {
+    stats_.attempts += trace.retries + 1;
+    stats_.backoffUnits += trace.backoff;
+    stats_.faults += trace.retries + (failed ? 1 : 0);
+  }
+  if (failed) {
+    ++stats_.failures;
+    if (!firstFailure_.valid) {
+      firstFailure_.valid = true;
+      firstFailure_.request = stats_.requests - 1;
+      firstFailure_.cornerIndex = cornerIndex;
+      firstFailure_.cls = result.failure;
+      firstFailure_.attempts = trace.retries + 1;
+    }
+  } else if (shared) {
+    ++stats_.sharedHits;
+  } else if (cached) {
+    ++stats_.cacheHits;
+  } else {
+    ++stats_.simulated;
+  }
+  if (config_.recordLedger) {
+    const bool meets = !failed && (meetsSpec_ ? meetsSpec_(result) : false);
+    ledger_.record(cornerIndex, kind, meets, cached, failed, trace.retries,
+                   trace.backoff);
+  }
 }
 
 void EvalEngine::prepareKey(const linalg::Vector& sizes) {
@@ -195,38 +342,34 @@ std::vector<core::EvalResult> EvalEngine::evalBatch(
     for (std::size_t i = 0; i < n; ++i) missSlots_.push_back(i);
   }
 
-  // ---- Fan the real simulations out; results land in per-request slots.
-  missSeconds_.assign(missSlots_.size(), 0.0);
+  // ---- Fan the real simulations out (each miss runs its own retry loop);
+  // results land in per-request slots.
+  missTrace_.assign(missSlots_.size(), MissTrace{});
   pool_.parallelFor(missSlots_.size(), [&](std::size_t m) {
     const std::size_t i = missSlots_[m];
-    const auto t0 = std::chrono::steady_clock::now();
-    results[i] = backend_->evaluate(snapScratch_, corners_[cornerIdx[i]]);
-    missSeconds_[m] = secondsSince(t0);
+    results[i] = runWithRetry(cornerIdx[i], missTrace_[m]);
   });
 
   // ---- Merge and account after the join, in request order: cache inserts,
   // ledger blocks, and counters are then identical for any thread count.
-  for (const double s : missSeconds_) stats_.backendSeconds += s;
+  for (const MissTrace& t : missTrace_) stats_.backendSeconds += t.seconds;
+  std::size_t cursor = 0;  // missSlots_ ascends with i
   for (std::size_t i = 0; i < n; ++i) {
+    const bool isMiss = cursor < missSlots_.size() && missSlots_[cursor] == i;
+    const MissTrace trace = isMiss ? missTrace_[cursor++] : MissTrace{};
     if (dupOf_[i] != kNone) results[i] = results[dupOf_[i]];
-    const bool cached = hitFlags_[i] != 0 || dupOf_[i] != kNone;
-    if (config_.cacheEvals && !cached) {
+    const bool failed = results[i].failure != sim::FaultClass::kNone;
+    // A failed request is never "cached": poison enters no memo, and a
+    // duplicate of a failed miss shares its failure, not a cache hit.
+    const bool cached =
+        !failed && (hitFlags_[i] != 0 || dupOf_[i] != kNone);
+    if (config_.cacheEvals && isMiss && !failed) {
       cache_.insert({keyScratch_.indices, cornerIdx[i]}, results[i]);
       if (shared_ != nullptr)
         unpublished_.push_back({keyScratch_.indices, cornerIdx[i]});
     }
-    ++stats_.requests;
-    if (sharedFlags_[i] != 0) {
-      ++stats_.sharedHits;
-    } else if (cached) {
-      ++stats_.cacheHits;
-    } else {
-      ++stats_.simulated;
-    }
-    if (config_.recordLedger) {
-      const bool meets = meetsSpec_ ? meetsSpec_(results[i]) : false;
-      ledger_.record(cornerIdx[i], kind, meets, cached);
-    }
+    accountRequest(cornerIdx[i], kind, results[i], cached,
+                   sharedFlags_[i] != 0, isMiss, trace);
   }
   return results;
 }
@@ -238,39 +381,32 @@ core::EvalResult EvalEngine::evalOne(std::size_t cornerIdx,
   keyScratch_.cornerIndex = cornerIdx;
   if (config_.cacheEvals) {
     if (const core::EvalResult* hit = cache_.find(keyScratch_)) {
-      ++stats_.requests;
-      ++stats_.cacheHits;
-      if (config_.recordLedger)
-        ledger_.record(cornerIdx, kind, meetsSpec_ ? meetsSpec_(*hit) : false,
-                       /*cached=*/true);
-      return *hit;
+      const core::EvalResult result = *hit;
+      accountRequest(cornerIdx, kind, result, /*cached=*/true,
+                     /*shared=*/false, /*isMiss=*/false, MissTrace{});
+      return result;
     }
     if (shared_ != nullptr) {
       core::EvalResult hit;
       if (shared_->find(sharedScope_, keyScratch_, hit)) {
         cache_.insert({keyScratch_.indices, cornerIdx}, hit);
-        ++stats_.requests;
-        ++stats_.sharedHits;
-        if (config_.recordLedger)
-          ledger_.record(cornerIdx, kind, meetsSpec_ ? meetsSpec_(hit) : false,
-                         /*cached=*/true);
+        accountRequest(cornerIdx, kind, hit, /*cached=*/true,
+                       /*shared=*/true, /*isMiss=*/false, MissTrace{});
         return hit;
       }
     }
   }
-  const auto t0 = std::chrono::steady_clock::now();
-  core::EvalResult result = backend_->evaluate(snapScratch_, corners_[cornerIdx]);
-  stats_.backendSeconds += secondsSince(t0);
-  if (config_.cacheEvals) {
+  MissTrace trace;
+  core::EvalResult result = runWithRetry(cornerIdx, trace);
+  stats_.backendSeconds += trace.seconds;
+  const bool failed = result.failure != sim::FaultClass::kNone;
+  if (config_.cacheEvals && !failed) {
     cache_.insert({keyScratch_.indices, cornerIdx}, result);
     if (shared_ != nullptr)
       unpublished_.push_back({keyScratch_.indices, cornerIdx});
   }
-  ++stats_.requests;
-  ++stats_.simulated;
-  if (config_.recordLedger)
-    ledger_.record(cornerIdx, kind, meetsSpec_ ? meetsSpec_(result) : false,
-                   /*cached=*/false);
+  accountRequest(cornerIdx, kind, result, /*cached=*/false, /*shared=*/false,
+                 /*isMiss=*/true, trace);
   return result;
 }
 

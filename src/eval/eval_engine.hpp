@@ -17,6 +17,14 @@
 //
 // Timing (EvalStats::backendSeconds) is measurement-only: it never feeds back
 // into scheduling, so it is excluded from the determinism guarantees.
+//
+// Fault tolerance: the engine classifies every backend attempt (the result's
+// FaultClass, a wall-clock deadline when RetryPolicy::timeoutSeconds is set,
+// and a finiteness guard over ok results), retries transient faults up to
+// RetryPolicy::maxAttempts with deterministic backoff charged to the ledger,
+// and surfaces an exhausted request as a typed failed EvalResult — never an
+// exception through the batch, and never a cache insert (a poisoned result
+// must not be replayable from any memo).
 #pragma once
 
 #include <functional>
@@ -30,6 +38,7 @@
 #include "eval/eval_cache.hpp"
 #include "eval/shared_cache.hpp"
 #include "pvt/ledger.hpp"
+#include "sim/fault.hpp"
 
 namespace trdse::io {
 class SectionReader;
@@ -37,6 +46,25 @@ class SectionWriter;
 }  // namespace trdse::io
 
 namespace trdse::eval {
+
+/// How the engine handles faulted attempts (docs/ROBUSTNESS.md). Defaults
+/// retry transient faults twice; with `maxAttempts = 1` every fault is
+/// immediately terminal (the pre-fault-tolerance behavior).
+struct RetryPolicy {
+  /// Total attempts per request, including the first (>= 1; 0 reads as 1).
+  std::size_t maxAttempts = 3;
+  /// Deterministic backoff charged to the ledger before retry k (0-based
+  /// first retry): min(backoffBase << k, backoffCap) abstract units. Units
+  /// are bookkeeping, not sleeps — fault scenarios stay fast and bitwise
+  /// reproducible.
+  std::size_t backoffBase = 1;
+  std::size_t backoffCap = 8;
+  /// Per-request wall-clock deadline (seconds); attempts running longer are
+  /// classified kTimeout and discarded. 0 disables. Like backendSeconds,
+  /// wall-clock classification is excluded from the determinism contract —
+  /// leave it 0 wherever bitwise reproducibility matters.
+  double timeoutSeconds = 0.0;
+};
 
 /// Engine knobs.
 struct EvalEngineConfig {
@@ -51,6 +79,8 @@ struct EvalEngineConfig {
   /// SizingEnv — turn this off so the ledger does not grow unbounded;
   /// EvalStats counters are kept either way.
   bool recordLedger = true;
+  /// Retry/timeout handling for faulted attempts.
+  RetryPolicy retry;
 };
 
 /// Aggregate engine counters. `requests` is the logical evaluation count the
@@ -58,10 +88,17 @@ struct EvalEngineConfig {
 /// backend (EDA blocks consumed); `cacheHits` is the blocks saved.
 struct EvalStats {
   std::size_t requests = 0;    ///< logical evaluations (simulated + hits)
-  std::size_t simulated = 0;   ///< real backend invocations (EDA blocks)
+  std::size_t simulated = 0;   ///< requests resolved by a clean simulation
   std::size_t cacheHits = 0;   ///< requests served from this engine's memo
   std::size_t sharedHits = 0;  ///< requests served from the cross-job cache
   double backendSeconds = 0.0; ///< wall time summed over backend calls
+  // Fault accounting. `requests == simulated + cacheHits + sharedHits +
+  // failures` always holds — a failed request is neither simulated (no
+  // trustworthy result) nor cached (poison never enters a memo).
+  std::size_t attempts = 0;     ///< backend invocations incl. retries
+  std::size_t faults = 0;       ///< attempts classified as faulted
+  std::size_t failures = 0;     ///< requests failed after retry exhaustion
+  std::size_t backoffUnits = 0; ///< deterministic backoff charged for retries
 
   std::size_t blocksSaved() const { return cacheHits + sharedHits; }
   double hitRate() const {
@@ -69,6 +106,17 @@ struct EvalStats {
                          : static_cast<double>(cacheHits + sharedHits) /
                                static_cast<double>(requests);
   }
+};
+
+/// The first request (in deterministic request order) that exhausted its
+/// retries — the engine keeps it so quarantine reasons are reproducible
+/// strings, not whichever thread lost a race.
+struct FailureRecord {
+  bool valid = false;       ///< whether any request has failed yet
+  std::size_t request = 0;  ///< 0-based index in this engine's request stream
+  std::size_t cornerIndex = 0;                       ///< corner it failed on
+  sim::FaultClass cls = sim::FaultClass::kNone;      ///< terminal fault class
+  std::size_t attempts = 0;                          ///< attempts consumed
 };
 
 /// Whether an EvalResult meets every spec — used for ledger bookkeeping.
@@ -108,7 +156,9 @@ class EvalEngine {
   /// records, and stats updates all happen on the calling thread in request
   /// order, so the outcome and the accounting are identical for any thread
   /// count. Duplicate (point, corner) requests inside a batch simulate once
-  /// when caching is on.
+  /// when caching is on. A request that exhausts its retries yields a failed
+  /// EvalResult (ok == false, failure != kNone) in its slot — faults never
+  /// throw through the batch and never enter any cache.
   std::vector<core::EvalResult> evalBatch(
       const std::vector<std::size_t>& cornerIdx, const linalg::Vector& sizes,
       pvt::BlockKind kind);
@@ -120,9 +170,30 @@ class EvalEngine {
   core::EvalResult evalOne(std::size_t cornerIdx, const linalg::Vector& sizes,
                            pvt::BlockKind kind);
 
+  /// Wrap the backend in a FaultInjector driven by `plan` (no-op when the
+  /// plan injects nothing), keyed on `scope` — jobs that share a fault plan
+  /// and scope see identical fault schedules. Must be called before the
+  /// first request; throws std::logic_error otherwise and
+  /// std::invalid_argument on a null plan.
+  void injectFaults(std::shared_ptr<const sim::FaultPlan> plan,
+                    std::string_view scope);
+
+  /// Replace the retry policy. Like injectFaults, only before the first
+  /// request (throws std::logic_error otherwise) — mid-run policy changes
+  /// would break the bitwise-reproducibility contract.
+  void setRetryPolicy(const RetryPolicy& retry) {
+    if (stats_.requests != 0)
+      throw std::logic_error(
+          "EvalEngine::setRetryPolicy: must be configured before the first "
+          "request");
+    config_.retry = retry;
+  }
+
   /// Accounting owned by the engine.
   const pvt::EdaLedger& ledger() const { return ledger_; }
   const EvalStats& stats() const { return stats_; }
+  /// First retry-exhausted request, if any (deterministic request order).
+  const FailureRecord& firstFailure() const { return firstFailure_; }
   /// Distinct (point, corner) results memoized so far.
   std::size_t cacheSize() const { return cache_.size(); }
   const EvalBackend& backend() const { return *backend_; }
@@ -173,6 +244,7 @@ class EvalEngine {
   EvalCache cache_;
   pvt::EdaLedger ledger_;
   EvalStats stats_;
+  FailureRecord firstFailure_;
   /// Optional cross-job cache; nullptr for the common single-search case.
   std::shared_ptr<SharedEvalCache> shared_;
   std::size_t sharedScope_ = 0;
@@ -183,11 +255,33 @@ class EvalEngine {
   /// keyScratch_.indices with the grid indices (no allocation steady-state).
   void prepareKey(const linalg::Vector& sizes);
 
+  /// Per-miss retry bookkeeping filled by runWithRetry.
+  struct MissTrace {
+    std::uint32_t retries = 0;  ///< extra attempts beyond the first
+    std::uint32_t backoff = 0;  ///< backoff units charged for those retries
+    double seconds = 0.0;       ///< backend wall time over all attempts
+  };
+
+  /// Run the snapped point on `cornerIndex` through the retry loop: classify
+  /// each attempt (result fault, deadline, finiteness), retry transient
+  /// faults with deterministic backoff, and return either a clean result or
+  /// a typed failed one after exhaustion. Thread-safe: reads only state that
+  /// is frozen during a batch's parallel section (snapScratch_, key indices,
+  /// config, backend) and writes only through `trace`.
+  core::EvalResult runWithRetry(std::size_t cornerIndex,
+                                MissTrace& trace) const;
+
+  /// Per-request accounting shared by evalBatch's merge loop and evalOne:
+  /// updates stats, firstFailure_, and (when enabled) the ledger.
+  void accountRequest(std::size_t cornerIndex, pvt::BlockKind kind,
+                      const core::EvalResult& result, bool cached, bool shared,
+                      bool isMiss, const MissTrace& trace);
+
   // Request scratch, reused across calls.
   linalg::Vector snapScratch_;          ///< snapped sizing (fed to backends)
   EvalKey keyScratch_;                  ///< probe key (indices reused)
   std::vector<std::size_t> missSlots_;  ///< request indices that simulate
-  std::vector<double> missSeconds_;     ///< per-miss backend wall time
+  std::vector<MissTrace> missTrace_;    ///< per-miss retry/timing bookkeeping
   std::vector<char> hitFlags_;          ///< request served from the memo
   std::vector<char> sharedFlags_;       ///< ... specifically the shared cache
   std::vector<std::size_t> dupOf_;      ///< in-batch duplicate -> first miss

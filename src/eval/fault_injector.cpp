@@ -1,0 +1,76 @@
+#include "eval/fault_injector.hpp"
+
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace trdse::eval {
+
+FaultInjector::FaultInjector(std::shared_ptr<const EvalBackend> inner,
+                             std::shared_ptr<const sim::FaultPlan> plan,
+                             std::string_view scope)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      scopeHash_(sim::hashScope(scope)) {
+  if (!inner_)
+    throw std::invalid_argument("FaultInjector: inner backend is null");
+  if (!plan_) throw std::invalid_argument("FaultInjector: fault plan is null");
+  label_ = "faulty:" + std::string(inner_->name());
+}
+
+core::EvalResult FaultInjector::evaluate(const linalg::Vector& sizes,
+                                         const sim::PvtCorner& corner) const {
+  return inner_->evaluate(sizes, corner);
+}
+
+core::EvalResult FaultInjector::evaluate(const linalg::Vector& sizes,
+                                         const sim::PvtCorner& corner,
+                                         const EvalContext& context) const {
+  static const std::vector<std::size_t> kNoIndices;
+  const std::vector<std::size_t>& indices =
+      context.indices ? *context.indices : kNoIndices;
+  const sim::FaultClass cls =
+      plan_->decide(scopeHash_, indices, context.cornerIndex, context.attempt);
+  switch (cls) {
+    case sim::FaultClass::kNone:
+      return inner_->evaluate(sizes, corner, context);
+    case sim::FaultClass::kTimeout: {
+      const double stall = plan_->config().timeoutStallSeconds;
+      if (stall > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+      core::EvalResult r;
+      r.ok = false;
+      r.failure = sim::FaultClass::kTimeout;
+      return r;
+    }
+    case sim::FaultClass::kNonConvergence: {
+      core::EvalResult r;
+      r.ok = false;
+      r.failure = sim::FaultClass::kNonConvergence;
+      return r;
+    }
+    case sim::FaultClass::kNonFinite: {
+      core::EvalResult r = inner_->evaluate(sizes, corner, context);
+      if (r.ok && !r.measurements.empty()) {
+        // Corrupt a deterministically-chosen slot; the engine's finiteness
+        // guard — not this decorator — is responsible for classifying it.
+        std::uint64_t h = scopeHash_ ^ (context.cornerIndex * 0x9e3779b97f4a7c15ull);
+        for (const std::size_t idx : indices) h = h * 0x100000001b3ull + idx;
+        r.measurements[h % r.measurements.size()] =
+            std::numeric_limits<double>::quiet_NaN();
+      } else {
+        // The inner result was already unusable; report the scheduled class
+        // so accounting still sees a fault rather than a clean infeasible.
+        r.ok = false;
+        r.failure = sim::FaultClass::kNonFinite;
+        r.measurements.clear();
+      }
+      return r;
+    }
+  }
+  return inner_->evaluate(sizes, corner, context);
+}
+
+}  // namespace trdse::eval

@@ -1,6 +1,13 @@
 #include "eval/shared_cache.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "io/state_io.hpp"
+#include "sim/fault.hpp"
 
 namespace trdse::eval {
 
@@ -47,6 +54,17 @@ bool SharedEvalCache::find(std::size_t scope, const EvalKey& key,
 
 void SharedEvalCache::insert(std::size_t scope, const EvalKey& key,
                              core::EvalResult result) {
+  if (result.failure != sim::FaultClass::kNone)
+    throw std::invalid_argument(
+        "SharedEvalCache::insert: refusing to publish a result with fault "
+        "class '" +
+        std::string(sim::faultClassName(result.failure)) + "'");
+  if (result.ok &&
+      std::any_of(result.measurements.begin(), result.measurements.end(),
+                  [](double x) { return !std::isfinite(x); }))
+    throw std::invalid_argument(
+        "SharedEvalCache::insert: refusing to publish non-finite "
+        "measurements");
   ScopedKey sk{scope, key};
   Shard& shard = shardOf(sk);
   const std::lock_guard<std::mutex> lock(shard.mu);
@@ -68,6 +86,94 @@ SharedEvalCache::ShardCounters SharedEvalCache::shardStats(
   const Shard& s = shards_[shard];
   const std::lock_guard<std::mutex> lock(s.mu);
   return {s.hits, s.misses, s.inserts, s.map.size()};
+}
+
+void SharedEvalCache::saveState(io::SectionWriter& w) const {
+  w.u64(shards_.size());
+  {
+    const std::lock_guard<std::mutex> lock(scopeMu_);
+    w.u64(scopes_.size());
+    for (const std::string& s : scopes_) w.str(s);
+  }
+  // Entries sorted by (scope, corner, indices): unordered_map iteration
+  // order is not stable, and the journal's bytes must be a pure function of
+  // the cache's logical contents.
+  std::vector<std::pair<ScopedKey, const core::EvalResult*>> entries;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [k, v] : s.map) entries.emplace_back(k, &v);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.scope != b.first.scope)
+                return a.first.scope < b.first.scope;
+              if (a.first.key.cornerIndex != b.first.key.cornerIndex)
+                return a.first.key.cornerIndex < b.first.key.cornerIndex;
+              return a.first.key.indices < b.first.key.indices;
+            });
+  w.u64(entries.size());
+  for (const auto& [k, v] : entries) {
+    w.u64(k.scope);
+    w.indexVec(k.key.indices);
+    w.u64(k.key.cornerIndex);
+    io::writeEvalResult(w, *v);
+  }
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    w.u64(s.hits);
+    w.u64(s.misses);
+    w.u64(s.inserts);
+  }
+}
+
+void SharedEvalCache::restoreState(io::SectionReader& r) {
+  const std::uint64_t shardCount = r.u64();
+  if (shardCount != shards_.size())
+    r.fail("shared cache has " + std::to_string(shardCount) +
+           " shards in the snapshot but " + std::to_string(shards_.size()) +
+           " in this run (per-shard counters cannot be remapped)");
+  const std::uint64_t scopeCount = r.u64();
+  std::vector<std::string> scopes;
+  scopes.reserve(scopeCount);
+  for (std::uint64_t i = 0; i < scopeCount; ++i) scopes.push_back(r.str());
+  const std::uint64_t entryCount = r.u64();
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+    s.hits = s.misses = s.inserts = 0;
+  }
+  for (std::uint64_t i = 0; i < entryCount; ++i) {
+    ScopedKey sk;
+    sk.scope = r.u64();
+    if (sk.scope >= scopeCount)
+      r.fail("entry scope id " + std::to_string(sk.scope) +
+             " out of range (" + std::to_string(scopeCount) + " scopes)");
+    sk.key.indices = r.indexVec();
+    sk.key.cornerIndex = r.u64();
+    core::EvalResult result = io::readEvalResult(r);
+    if (result.failure != sim::FaultClass::kNone)
+      r.fail("shared cache entry carries fault class '" +
+             std::string(sim::faultClassName(result.failure)) + "'");
+    if (result.ok &&
+        std::any_of(result.measurements.begin(), result.measurements.end(),
+                    [](double x) { return !std::isfinite(x); }))
+      r.fail("shared cache entry carries non-finite measurements");
+    Shard& shard = shardOf(sk);
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    // Bypass insert(): its counter bump would double-count — the journaled
+    // per-shard counters below already include these entries' inserts.
+    shard.map.insert_or_assign(std::move(sk), std::move(result));
+  }
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.hits = r.u64();
+    s.misses = r.u64();
+    s.inserts = r.u64();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(scopeMu_);
+    scopes_ = std::move(scopes);
+  }
 }
 
 SharedEvalCache::ShardCounters SharedEvalCache::totals() const {

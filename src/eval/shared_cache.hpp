@@ -31,6 +31,11 @@
 
 #include "eval/eval_cache.hpp"
 
+namespace trdse::io {
+class SectionReader;
+class SectionWriter;
+}  // namespace trdse::io
+
 namespace trdse::eval {
 
 /// Sharded (striped-mutex) cross-job memo: (scope, EvalKey) -> EvalResult.
@@ -56,6 +61,10 @@ class SharedEvalCache {
 
   /// Store a result (insert_or_assign: publishers only ever re-insert the
   /// identical result, backends being pure — see EvalCache::insert).
+  /// Defense in depth against cross-job poisoning: a faulty result (failure
+  /// != kNone) or an ok result with non-finite measurements throws
+  /// std::invalid_argument — one job's fault must never become another job's
+  /// "cached" truth, even if an engine-side guard regresses.
   void insert(std::size_t scope, const EvalKey& key, core::EvalResult result);
 
   /// Number of stripes (power of two).
@@ -74,6 +83,16 @@ class SharedEvalCache {
   ShardCounters shardStats(std::size_t shard) const;
   /// Counters summed over every shard.
   ShardCounters totals() const;
+
+  /// Serialize scopes, entries (sorted by scope, corner, indices — identical
+  /// states produce identical bytes) and per-shard counters for the
+  /// orchestrator's write-ahead journal. Not thread-safe against concurrent
+  /// writers: call from the scheduler's round barrier only.
+  void saveState(io::SectionWriter& w) const;
+  /// Replace all scopes/entries/counters with state written by saveState.
+  /// Counters are restored exactly (not recomputed), so a resumed run's
+  /// shard telemetry continues the uninterrupted run's bitwise.
+  void restoreState(io::SectionReader& r);
 
  private:
   /// Scope-qualified key (the map key of every shard).

@@ -307,7 +307,7 @@ SectionReader CheckpointReader::section(const std::string& name) const {
   if (it == sections_.end())
     throw CheckpointError("checkpoint '" + source_ + "': missing section '" +
                           name + "'");
-  return SectionReader(name, it->second);
+  return SectionReader(name, it->second, version_);
 }
 
 }  // namespace trdse::io

@@ -43,8 +43,14 @@ class CheckpointError : public std::runtime_error {
 
 /// Newest container format this build writes (and the newest it can read;
 /// older versions remain readable per the compat rules in
-/// docs/CHECKPOINTS.md).
-inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+/// docs/CHECKPOINTS.md). Version history:
+///   1 — PR 4 original layout.
+///   2 — fault-tolerance fields: EvalResult carries a FaultClass byte,
+///       EdaBlock carries failed/retries/backoff, EvalStats carries the
+///       attempt/failure/backoff counters. Version-1 files load with those
+///       fields defaulted to "no faults", which is exactly what pre-fault
+///       builds could have recorded.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 /// Append-only encoder for one section's payload. All write methods encode
 /// little-endian regardless of host byte order.
@@ -81,9 +87,15 @@ class SectionWriter {
 /// — a truncated file can never be silently misread as valid state.
 class SectionReader {
  public:
-  /// Wrap a payload; `name` labels error messages.
-  SectionReader(std::string name, const std::string& bytes)
-      : name_(std::move(name)), bytes_(bytes) {}
+  /// Wrap a payload; `name` labels error messages. `version` is the container
+  /// format version the payload was written under (CheckpointReader passes it
+  /// through), letting section decoders branch on layout changes.
+  SectionReader(std::string name, const std::string& bytes,
+                std::uint32_t version = kCheckpointFormatVersion)
+      : name_(std::move(name)), bytes_(bytes), version_(version) {}
+
+  /// Container format version of the file this section came from.
+  std::uint32_t version() const { return version_; }
 
   /// One unsigned byte.
   std::uint8_t u8();
@@ -118,6 +130,7 @@ class SectionReader {
 
   std::string name_;
   const std::string& bytes_;
+  std::uint32_t version_ = kCheckpointFormatVersion;
   std::size_t pos_ = 0;
 };
 

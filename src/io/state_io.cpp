@@ -106,12 +106,21 @@ void readRng(SectionReader& r, std::mt19937_64& rng) {
 void writeEvalResult(SectionWriter& w, const core::EvalResult& e) {
   w.boolean(e.ok);
   w.vec(e.measurements);
+  w.u8(static_cast<std::uint8_t>(e.failure));
 }
 
 core::EvalResult readEvalResult(SectionReader& r) {
   core::EvalResult e;
   e.ok = r.boolean();
   e.measurements = r.vec();
+  // The fault taxonomy arrived with format version 2; version-1 files could
+  // only hold clean results, which kNone states exactly.
+  if (r.version() >= 2) {
+    const std::uint8_t failure = r.u8();
+    if (failure > static_cast<std::uint8_t>(sim::FaultClass::kNonFinite))
+      r.fail("unknown fault class " + std::to_string(failure));
+    e.failure = static_cast<sim::FaultClass>(failure);
+  }
   return e;
 }
 
@@ -177,6 +186,9 @@ void writeLedger(SectionWriter& w, const pvt::EdaLedger& ledger) {
     w.u8(static_cast<std::uint8_t>(b.kind));
     w.boolean(b.meetsSpec);
     w.boolean(b.cached);
+    w.boolean(b.failed);
+    w.u32(b.retries);
+    w.u32(b.backoff);
   }
 }
 
@@ -192,6 +204,14 @@ void readLedger(SectionReader& r, pvt::EdaLedger& ledger) {
     b.kind = static_cast<pvt::BlockKind>(kind);
     b.meetsSpec = r.boolean();
     b.cached = r.boolean();
+    // Fault accounting arrived with format version 2; older timelines can
+    // only have recorded fault-free blocks.
+    if (r.version() >= 2) {
+      b.failed = r.boolean();
+      b.retries = r.u32();
+      b.backoff = r.u32();
+      if (b.failed && b.cached) r.fail("EDA block is both cached and failed");
+    }
     blocks.push_back(b);
   }
   ledger.restoreBlocks(std::move(blocks));

@@ -177,4 +177,15 @@ void RandomSearch::restoreCheckpoint(const std::string& path) {
   restore(io::CheckpointReader::fromFile(path));
 }
 
+std::string RandomSearch::saveCheckpointBlob() const {
+  io::CheckpointWriter w(kCheckpointKind);
+  save(w);
+  return w.finish();
+}
+
+void RandomSearch::restoreCheckpointBlob(const std::string& blob,
+                                         const std::string& source) {
+  restore(io::CheckpointReader(source, blob));
+}
+
 }  // namespace trdse::opt

@@ -58,6 +58,9 @@ class RandomSearch final : public Strategy {
   bool supportsCheckpoint() const override { return true; }
   void saveCheckpoint(const std::string& path) const override;
   void restoreCheckpoint(const std::string& path) override;
+  std::string saveCheckpointBlob() const override;
+  void restoreCheckpointBlob(const std::string& blob,
+                             const std::string& source) override;
 
   /// Stream-free composition (orchestrator checkpoints).
   void save(io::CheckpointWriter& w) const;

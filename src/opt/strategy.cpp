@@ -5,6 +5,7 @@
 
 #include "common/parse_util.hpp"
 #include "core/pvt_search.hpp"
+#include "io/checkpoint.hpp"
 #include "opt/random_search.hpp"
 #include "opt/tree_bayes_opt.hpp"
 #include "rl/rl_strategy.hpp"
@@ -17,6 +18,16 @@ void Strategy::saveCheckpoint(const std::string&) const {
 }
 
 void Strategy::restoreCheckpoint(const std::string&) {
+  throw std::logic_error("strategy \"" + std::string(name()) +
+                         "\" does not support checkpointing");
+}
+
+std::string Strategy::saveCheckpointBlob() const {
+  throw std::logic_error("strategy \"" + std::string(name()) +
+                         "\" does not support checkpointing");
+}
+
+void Strategy::restoreCheckpointBlob(const std::string&, const std::string&) {
   throw std::logic_error("strategy \"" + std::string(name()) +
                          "\" does not support checkpointing");
 }
@@ -118,6 +129,16 @@ class PvtSearchStrategy final : public Strategy {
   }
   void restoreCheckpoint(const std::string& path) override {
     search_.restoreCheckpoint(path);
+    step(0);  // refresh the cached outcome from the restored search
+  }
+  std::string saveCheckpointBlob() const override {
+    io::CheckpointWriter w("pvt-search");
+    search_.save(w);
+    return w.finish();
+  }
+  void restoreCheckpointBlob(const std::string& blob,
+                             const std::string& source) override {
+    search_.restore(io::CheckpointReader(source, blob));
     step(0);  // refresh the cached outcome from the restored search
   }
 

@@ -92,6 +92,16 @@ class Strategy {
   virtual void saveCheckpoint(const std::string& path) const;
   /// Restore a snapshot written by saveCheckpoint (same problem/config).
   virtual void restoreCheckpoint(const std::string& path);
+
+  /// In-memory sibling of saveCheckpoint: the same snapshot as a checkpoint
+  /// blob (full TDCK container bytes), for embedding inside a larger
+  /// container — the orchestrator's write-ahead journal stores one blob per
+  /// job. Throws std::logic_error when unsupported.
+  virtual std::string saveCheckpointBlob() const;
+  /// Restore a blob written by saveCheckpointBlob; `source` labels error
+  /// messages (e.g. "journal.ckpt[job3]").
+  virtual void restoreCheckpointBlob(const std::string& blob,
+                                     const std::string& source);
 };
 
 /// Registered strategy names, in factory order: "pvt_search" (TRM-DRL),

@@ -45,13 +45,24 @@ bool parseBool(const std::string& source, std::size_t line,
   }
 }
 
+double parseF64(const std::string& source, std::size_t line,
+                const std::string& key, const std::string& value) {
+  try {
+    return common::parseF64("key \"" + key + "\"", value);
+  } catch (const std::invalid_argument& e) {
+    fail(source, line, e.what());
+  }
+}
+
 }  // namespace
 
 Scenario parseScenario(std::istream& in, const std::string& source) {
   Scenario sc;
+  sc.sourceName = source;
   JobSpec* job = nullptr;  // nullptr while in the global section
   std::vector<std::size_t> jobLines;  // first line of each [job] block
   std::set<std::string> seenKeys;     // per-section duplicate guard
+  std::size_t faultLine = 0;          // last fault_*/retry_* line seen
   std::string raw;
   std::size_t lineNo = 0;
 
@@ -63,6 +74,7 @@ Scenario parseScenario(std::istream& in, const std::string& source) {
     if (line == "[job]") {
       sc.jobs.emplace_back();
       job = &sc.jobs.back();
+      job->sourceLine = lineNo;
       jobLines.push_back(lineNo);
       seenKeys.clear();
       continue;
@@ -89,11 +101,47 @@ Scenario parseScenario(std::istream& in, const std::string& source) {
       else if (key == "shared_cache") sc.sharedCache = parseBool(source, lineNo, key, value);
       else if (key == "shards") sc.cacheShards = parseU64(source, lineNo, key, value);
       else if (key == "base_seed") sc.baseSeed = parseU64(source, lineNo, key, value);
-      else
+      else if (key == "fault_seed") {
+        sc.faultPlan.seed = parseU64(source, lineNo, key, value);
+        faultLine = lineNo;
+      } else if (key == "fault_timeout") {
+        sc.faultPlan.timeoutRate = parseF64(source, lineNo, key, value);
+        faultLine = lineNo;
+      } else if (key == "fault_nonconv") {
+        sc.faultPlan.nonConvergenceRate = parseF64(source, lineNo, key, value);
+        faultLine = lineNo;
+      } else if (key == "fault_nonfinite") {
+        sc.faultPlan.nonFiniteRate = parseF64(source, lineNo, key, value);
+        faultLine = lineNo;
+      } else if (key == "fault_timeout_stall") {
+        sc.faultPlan.timeoutStallSeconds = parseF64(source, lineNo, key, value);
+        faultLine = lineNo;
+      } else if (key == "retry_attempts") {
+        sc.retry.maxAttempts = parseU64(source, lineNo, key, value);
+        if (sc.retry.maxAttempts == 0)
+          fail(source, lineNo, "retry_attempts must be positive");
+      } else if (key == "retry_backoff") {
+        sc.retry.backoffBase = parseU64(source, lineNo, key, value);
+      } else if (key == "retry_backoff_cap") {
+        sc.retry.backoffCap = parseU64(source, lineNo, key, value);
+      } else if (key == "retry_timeout") {
+        sc.retry.timeoutSeconds = parseF64(source, lineNo, key, value);
+        if (sc.retry.timeoutSeconds < 0.0)
+          fail(source, lineNo, "retry_timeout must be >= 0");
+      } else if (key == "journal") {
+        sc.journalPath = value;
+      } else if (key == "journal_every") {
+        sc.journalEvery = parseU64(source, lineNo, key, value);
+        if (sc.journalEvery == 0)
+          fail(source, lineNo, "journal_every must be positive");
+      } else
         fail(source, lineNo,
              "unknown scenario key \"" + key +
                  "\" (known: name, threads, slice, shared_cache, shards, "
-                 "base_seed)");
+                 "base_seed, fault_seed, fault_timeout, fault_nonconv, "
+                 "fault_nonfinite, fault_timeout_stall, retry_attempts, "
+                 "retry_backoff, retry_backoff_cap, retry_timeout, journal, "
+                 "journal_every)");
       continue;
     }
 
@@ -106,6 +154,8 @@ Scenario parseScenario(std::istream& in, const std::string& source) {
     else if (key == "checkpoint_every")
       job->checkpointEvery = parseU64(source, lineNo, key, value);
     else if (key == "checkpoint_path") job->checkpointPath = value;
+    else if (key == "max_failures")
+      job->maxFailures = parseU64(source, lineNo, key, value);
     else if (key.rfind("opt.", 0) == 0) {
       const std::string optKey = key.substr(4);
       if (optKey.empty()) fail(source, lineNo, "empty option key \"opt.\"");
@@ -114,13 +164,20 @@ Scenario parseScenario(std::istream& in, const std::string& source) {
       fail(source, lineNo,
            "unknown job key \"" + key +
                "\" (known: name, circuit, strategy, cache_scope, seed, "
-               "budget, checkpoint_every, checkpoint_path, opt.<option>)");
+               "budget, checkpoint_every, checkpoint_path, max_failures, "
+               "opt.<option>)");
     }
   }
 
   // ---- Cross-field validation (errors point at the job's [job] line) ----
   if (sc.slice == 0) fail(source, lineNo, "slice must be positive");
   if (sc.jobs.empty()) fail(source, lineNo, "scenario defines no [job]");
+  try {
+    sim::FaultPlan validate(sc.faultPlan);  // rate-range + sum check
+    (void)validate;
+  } catch (const std::invalid_argument& e) {
+    fail(source, faultLine == 0 ? lineNo : faultLine, e.what());
+  }
   for (std::size_t i = 0; i < sc.jobs.size(); ++i) {
     JobSpec& j = sc.jobs[i];
     const std::size_t at = jobLines[i];

@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "core/problem.hpp"
+#include "eval/eval_engine.hpp"
+#include "sim/fault.hpp"
 
 namespace trdse::orch {
 
@@ -59,8 +61,15 @@ struct JobSpec {
   /// strategies with supportsCheckpoint()).
   std::size_t checkpointEvery = 0;
   std::string checkpointPath;  ///< destination of the periodic snapshots
+  /// Retry-exhausted evaluation failures this job tolerates before the
+  /// scheduler quarantines it (checked at round barriers). 0 = quarantine on
+  /// the first failure.
+  std::size_t maxFailures = 0;
   /// Strategy-specific overrides (the `opt.` keys of the file format).
   std::map<std::string, std::string> options;
+  /// Line of this job's [job] header in the source file (0 for programmatic
+  /// specs) — lets post-parse validation errors still point at the file.
+  std::size_t sourceLine = 0;
 };
 
 /// A parsed scenario: scheduling knobs + the job list.
@@ -75,6 +84,19 @@ struct Scenario {
   bool sharedCache = true;     ///< cross-job result sharing on/off
   std::size_t cacheShards = 16;  ///< SharedEvalCache stripe count
   std::uint64_t baseSeed = 1;  ///< feeds derived per-job seeds
+  /// Deterministic fault injection applied to every job's engine (all rates
+  /// zero = no injection; `fault_*` keys).
+  sim::FaultPlanConfig faultPlan;
+  /// Retry/timeout policy applied to every job's engine (`retry_*` keys).
+  eval::RetryPolicy retry;
+  /// Write-ahead journal path for crash-resumable runs (empty = off;
+  /// requires every job's strategy to support checkpointing).
+  std::string journalPath;
+  /// Journal every N scheduler rounds (the final state is always journaled).
+  std::size_t journalEvery = 1;
+  /// Source label the scenario was parsed from (error-message prefix for
+  /// post-parse validation, e.g. scheduler construction).
+  std::string sourceName = "scenario";
   std::vector<JobSpec> jobs;
 };
 

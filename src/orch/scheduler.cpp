@@ -2,11 +2,27 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "circuits/registry.hpp"
 #include "common/thread_pool.hpp"
+#include "orch/journal.hpp"
+#include "sim/fault.hpp"
 
 namespace trdse::orch {
+
+namespace {
+
+/// Scheduler-construction errors point at the offending job's [job] line
+/// (scenario-file convention — consumers like trdse_cli print them as-is).
+[[noreturn]] void failJob(const Scenario& sc, const JobSpec& spec,
+                          const std::string& what) {
+  throw std::invalid_argument("scenario " + sc.sourceName + ":" +
+                              std::to_string(spec.sourceLine) + ": job \"" +
+                              spec.name + "\": " + what);
+}
+
+}  // namespace
 
 Scheduler::Scheduler(Scenario scenario) : scenario_(std::move(scenario)) {
   if (scenario_.jobs.empty())
@@ -17,46 +33,67 @@ Scheduler::Scheduler(Scenario scenario) : scenario_(std::move(scenario)) {
   if (scenario_.sharedCache)
     shared_ = std::make_shared<eval::SharedEvalCache>(scenario_.cacheShards);
 
+  // One plan shared by every job: fault schedules are keyed on (scope,
+  // indices, corner, attempt), so jobs on the same circuit see identical
+  // faults — the deterministic analogue of a flaky simulator license.
+  std::shared_ptr<const sim::FaultPlan> faultPlan;
+  if (scenario_.faultPlan.enabled())
+    faultPlan = std::make_shared<const sim::FaultPlan>(scenario_.faultPlan);
+
   jobs_.reserve(scenario_.jobs.size());
   for (std::size_t i = 0; i < scenario_.jobs.size(); ++i) {
     JobSpec& spec = scenario_.jobs[i];
     if (spec.seed == 0)
       spec.seed = common::perTaskSeed(scenario_.baseSeed, i);
 
-    core::SizingProblem problem =
-        spec.makeProblem ? spec.makeProblem()
-                         : circuits::Registry::global().makeProblem(spec.circuit);
-    const std::string scope = !spec.cacheScope.empty() ? spec.cacheScope
-                              : !spec.circuit.empty()  ? spec.circuit
-                                                       : problem.name;
-
     Job job;
-    job.spec = spec;
-    job.strategy = opt::makeStrategy(spec.strategy, std::move(problem),
-                                     spec.seed, spec.budget, spec.options);
-    if (spec.checkpointEvery != 0 && !job.strategy->supportsCheckpoint())
-      throw std::invalid_argument(
-          "Scheduler: job \"" + spec.name + "\" requests checkpoints but "
-          "strategy \"" + spec.strategy + "\" does not support them");
-    if (!spec.checkpointPath.empty()) {
-      // Two jobs snapshotting onto one file would silently overwrite each
-      // other round after round; a restore would then load whichever job
-      // wrote last (kind/problem/shape all match).
-      for (const Job& other : jobs_)
-        if (other.spec.checkpointPath == spec.checkpointPath)
-          throw std::invalid_argument(
-              "Scheduler: jobs \"" + other.spec.name + "\" and \"" +
-              spec.name + "\" share checkpoint_path \"" + spec.checkpointPath +
-              "\"");
+    try {
+      core::SizingProblem problem =
+          spec.makeProblem
+              ? spec.makeProblem()
+              : circuits::Registry::global().makeProblem(spec.circuit);
+      const std::string scope = !spec.cacheScope.empty() ? spec.cacheScope
+                                : !spec.circuit.empty()  ? spec.circuit
+                                                         : problem.name;
+
+      job.spec = spec;
+      job.strategy = opt::makeStrategy(spec.strategy, std::move(problem),
+                                       spec.seed, spec.budget, spec.options);
+      if (spec.checkpointEvery != 0 && !job.strategy->supportsCheckpoint())
+        throw std::invalid_argument("requests checkpoints but strategy \"" +
+                                    spec.strategy +
+                                    "\" does not support them");
+      if (!scenario_.journalPath.empty() &&
+          !job.strategy->supportsCheckpoint())
+        throw std::invalid_argument(
+            "cannot run under a write-ahead journal: strategy \"" +
+            spec.strategy + "\" does not support checkpointing");
+      if (!spec.checkpointPath.empty()) {
+        // Two jobs snapshotting onto one file would silently overwrite each
+        // other round after round; a restore would then load whichever job
+        // wrote last (kind/problem/shape all match).
+        for (const Job& other : jobs_)
+          if (other.spec.checkpointPath == spec.checkpointPath)
+            throw std::invalid_argument("shares checkpoint_path \"" +
+                                        spec.checkpointPath + "\" with job \"" +
+                                        other.spec.name + "\"");
+      }
+      eval::EvalEngine& engine = job.strategy->engine();
+      engine.setRetryPolicy(scenario_.retry);
+      if (faultPlan != nullptr) engine.injectFaults(faultPlan, scope);
+      // A job that turned its local memo off (e.g. pvt_search
+      // opt.cache=false, the paper-accounting mode) cannot journal
+      // publishes; it simply opts out of cross-job sharing rather than
+      // failing the whole scenario.
+      if (shared_ != nullptr && engine.config().cacheEvals)
+        engine.attachSharedCache(shared_, scope);
+
+      job.result.circuit = !spec.circuit.empty() ? spec.circuit : scope;
+    } catch (const std::invalid_argument& e) {
+      failJob(scenario_, spec, e.what());
     }
-    // A job that turned its local memo off (e.g. pvt_search opt.cache=false,
-    // the paper-accounting mode) cannot journal publishes; it simply opts
-    // out of cross-job sharing rather than failing the whole scenario.
-    if (shared_ != nullptr && job.strategy->engine().config().cacheEvals)
-      job.strategy->engine().attachSharedCache(shared_, scope);
 
     job.result.name = spec.name;
-    job.result.circuit = !spec.circuit.empty() ? spec.circuit : scope;
     job.result.strategy = spec.strategy;
     job.result.seed = spec.seed;
     job.result.budget = spec.budget;
@@ -66,46 +103,141 @@ Scheduler::Scheduler(Scenario scenario) : scenario_(std::move(scenario)) {
 
 Scheduler::~Scheduler() = default;
 
-std::vector<JobResult> Scheduler::run() {
-  if (ran_)
+void Scheduler::quarantine(Job& job, std::string reason) {
+  job.result.quarantined = true;
+  job.result.quarantineReason = std::move(reason);
+}
+
+void Scheduler::writeJournalFile() const {
+  JournalState state;
+  state.round = round_;
+  state.jobs.reserve(jobs_.size());
+  for (const Job& job : jobs_) {
+    JournalJobState js;
+    js.granted = job.granted;
+    js.rounds = job.result.rounds;
+    js.published = job.result.published;
+    js.checkpoints = job.result.checkpoints;
+    js.quarantined = job.result.quarantined;
+    js.quarantineReason = job.result.quarantineReason;
+    js.strategyBlob = job.strategy->saveCheckpointBlob();
+    state.jobs.push_back(std::move(js));
+  }
+  writeJournal(scenario_.journalPath, scenario_, state, shared_.get());
+}
+
+void Scheduler::resume(const std::string& journalPath) {
+  if (started_)
+    throw std::logic_error(
+        "Scheduler::resume: must be called before the first run()");
+  started_ = true;
+  const JournalState state =
+      readJournal(journalPath, scenario_, shared_.get());
+  round_ = state.round;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    Job& job = jobs_[i];
+    const JournalJobState& js = state.jobs[i];
+    job.granted = js.granted;
+    job.result.rounds = js.rounds;
+    job.result.published = js.published;
+    job.result.checkpoints = js.checkpoints;
+    job.result.quarantined = js.quarantined;
+    job.result.quarantineReason = js.quarantineReason;
+    job.strategy->restoreCheckpointBlob(
+        js.strategyBlob,
+        journalPath + "[job " + job.spec.name + "]");
+  }
+}
+
+std::vector<JobResult> Scheduler::run(std::size_t maxRounds) {
+  if (completed_)
     throw std::logic_error("Scheduler::run: a scheduler runs exactly once");
-  ran_ = true;
+  started_ = true;
 
   common::ThreadPool pool(scenario_.threads);
+  const bool journaling = !scenario_.journalPath.empty();
   std::vector<std::size_t> runnable;
   runnable.reserve(jobs_.size());
   std::vector<std::size_t> beforeIters(jobs_.size(), 0);
+  std::vector<std::string> stepErrors(jobs_.size());
+  std::size_t roundsThisCall = 0;
 
-  while (true) {
-    // Round-robin fairness: every unfinished job, in job-index order, gets
-    // the same additional slice of its own budget this round.
+  while (maxRounds == 0 || roundsThisCall < maxRounds) {
+    // Round-robin fairness: every unfinished, non-quarantined job, in
+    // job-index order, gets the same additional slice of its own budget.
     runnable.clear();
     for (std::size_t i = 0; i < jobs_.size(); ++i)
-      if (!jobs_[i].strategy->finished()) runnable.push_back(i);
-    if (runnable.empty()) break;
+      if (!jobs_[i].result.quarantined && !jobs_[i].strategy->finished())
+        runnable.push_back(i);
+    if (runnable.empty()) {
+      completed_ = true;
+      break;
+    }
+    ++round_;
+    ++roundsThisCall;
 
     // Concurrent step phase: jobs are independent (own engine, own RNG
     // streams) and the shared cache is read-only during the round, so the
     // fan-out is free of cross-job races and outcomes are thread-count
-    // invariant.
-    for (const std::size_t i : runnable)
+    // invariant. A throwing strategy is contained to its own slot here and
+    // quarantined at the barrier below — one sick job must not tear down
+    // the whole scenario.
+    for (const std::size_t i : runnable) {
       beforeIters[i] = jobs_[i].strategy->outcome().iterations;
+      stepErrors[i].clear();
+    }
     pool.parallelFor(runnable.size(), [&](std::size_t r) {
       Job& job = jobs_[runnable[r]];
       job.granted = std::min(job.spec.budget, job.granted + scenario_.slice);
-      job.strategy->step(job.granted);
+      try {
+        job.strategy->step(job.granted);
+      } catch (const std::exception& e) {
+        stepErrors[runnable[r]] =
+            e.what()[0] != '\0' ? e.what() : "unknown error";
+      } catch (...) {
+        stepErrors[runnable[r]] = "non-standard exception";
+      }
       ++job.result.rounds;
     });
 
     // Barrier publish phase, in job-index order: results simulated this
     // round become visible to *later* rounds only — the shared-cache
-    // determinism contract.
+    // determinism contract. Jobs that threw publish nothing (their round
+    // was cut short at a deterministic point, but skipping keeps the
+    // barrier state trivially independent of how far they got).
     for (const std::size_t i : runnable)
-      jobs_[i].result.published += jobs_[i].strategy->engine().publishShared();
+      if (stepErrors[i].empty())
+        jobs_[i].result.published += jobs_[i].strategy->engine().publishShared();
 
-    // Checkpoint cadence (rounds, counted per job).
+    // Quarantine scan, in job-index order, from deterministic engine state:
+    // reasons and the set of quarantined jobs are bitwise identical for any
+    // thread count.
     for (const std::size_t i : runnable) {
       Job& job = jobs_[i];
+      if (!stepErrors[i].empty()) {
+        quarantine(job, "step threw: " + stepErrors[i]);
+        continue;
+      }
+      const eval::EvalStats& stats = job.strategy->engine().stats();
+      if (stats.failures > job.spec.maxFailures) {
+        const eval::FailureRecord& f = job.strategy->engine().firstFailure();
+        std::string reason =
+            std::to_string(stats.failures) +
+            " evaluation failure(s) exceed max_failures=" +
+            std::to_string(job.spec.maxFailures) + "; first: request #" +
+            std::to_string(f.request) + " on corner " +
+            std::to_string(f.cornerIndex) + " failed after " +
+            std::to_string(f.attempts) + " attempt(s) (" +
+            std::string(sim::faultClassName(f.cls)) + ")";
+        quarantine(job, std::move(reason));
+      }
+    }
+
+    // Checkpoint cadence (rounds, counted per job; quarantined jobs stop
+    // snapshotting — their last good checkpoint stays put).
+    for (const std::size_t i : runnable) {
+      Job& job = jobs_[i];
+      if (job.result.quarantined) continue;
       if (job.spec.checkpointEvery != 0 &&
           job.result.rounds % job.spec.checkpointEvery == 0) {
         job.strategy->saveCheckpoint(job.spec.checkpointPath);
@@ -120,6 +252,7 @@ std::vector<JobResult> Scheduler::run() {
     // than spinning.
     for (const std::size_t i : runnable) {
       Job& job = jobs_[i];
+      if (job.result.quarantined) continue;
       if (job.granted >= job.spec.budget && !job.strategy->finished() &&
           job.strategy->outcome().iterations == beforeIters[i])
         throw std::logic_error("Scheduler: job \"" + job.spec.name +
@@ -127,12 +260,45 @@ std::vector<JobResult> Scheduler::run() {
                                job.spec.strategy +
                                "\" violates the step() contract)");
     }
+
+    // Write-ahead journal at the barrier, after every state transition of
+    // this round is final. A kill at any point between two journal writes
+    // loses at most the rounds since the last one — never consistency.
+    if (journaling && round_ % scenario_.journalEvery == 0)
+      writeJournalFile();
   }
 
+  // Completion check also when maxRounds cut the loop short before the
+  // empty-runnable test re-ran.
+  if (!completed_) {
+    completed_ = true;
+    for (const Job& job : jobs_)
+      if (!job.result.quarantined && !job.strategy->finished()) {
+        completed_ = false;
+        break;
+      }
+  }
+  // The final state is always journaled, whatever the cadence: a completed
+  // run's journal must describe the completed run.
+  if (journaling && completed_ && round_ % scenario_.journalEvery != 0)
+    writeJournalFile();
+
+  return harvest();
+}
+
+std::vector<JobResult> Scheduler::harvest() {
   std::vector<JobResult> results;
   results.reserve(jobs_.size());
   for (Job& job : jobs_) {
     job.result.outcome = job.strategy->outcome();
+    job.result.failures = job.strategy->engine().stats().failures;
+    if (job.result.quarantined) {
+      // A quarantined strategy never reached its own finish line, so its
+      // cached outcome may predate the final harvest (e.g. an unsnapshotted
+      // ledger). Its report must still account for what it consumed.
+      job.result.outcome.ledger = job.strategy->engine().ledger();
+      job.result.outcome.evalStats = job.strategy->engine().stats();
+    }
     results.push_back(job.result);
   }
   return results;

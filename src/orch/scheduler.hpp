@@ -22,6 +22,16 @@
 //     bitwise identical for any `threads` value.
 //   * Per-job RNG streams are independent: explicit seeds are honored and
 //     absent seeds derive from (baseSeed, job index) via common::perTaskSeed.
+//
+// Fault isolation (docs/ROBUSTNESS.md): a job whose step() throws, or whose
+// engine exceeds its max_failures allowance of retry-exhausted evaluations,
+// is *quarantined* at the round barrier — excluded from further rounds with
+// a deterministic reason recorded in its JobResult — while every other job
+// runs to completion. Quarantine decisions are made in job order from
+// deterministic engine state, so they are bitwise identical for any thread
+// count. With Scenario::journalPath set, the scheduler also write-ahead
+// journals the whole run at round barriers (orch/journal.hpp), making a
+// SIGKILL'd run resumable to byte-identical results.
 #pragma once
 
 #include <memory>
@@ -44,6 +54,10 @@ struct JobResult {
   std::size_t rounds = 0;    ///< scheduling rounds the job was stepped in
   std::size_t published = 0; ///< results this job published to the shared cache
   std::size_t checkpoints = 0;  ///< periodic snapshots written
+  /// Retry-exhausted evaluation failures the job's engine recorded.
+  std::size_t failures = 0;
+  bool quarantined = false;       ///< failure-isolated at a round barrier
+  std::string quarantineReason;   ///< deterministic reason (empty otherwise)
   opt::StrategyOutcome outcome; ///< the common comparison row
 };
 
@@ -60,9 +74,25 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Run every job to completion (solved, budget exhausted, or stalled) and
-  /// return one row per job, in job order. Callable once.
-  std::vector<JobResult> run();
+  /// Run every job to completion (solved, budget exhausted, quarantined, or
+  /// stalled) and return one row per job, in job order. `maxRounds` bounds
+  /// how many scheduling rounds this call advances (0 = until done) — the
+  /// crash-recovery tests use it to pause a run at a journaled barrier.
+  /// Calling again after a bounded call continues the run; calling after the
+  /// run completed throws std::logic_error.
+  std::vector<JobResult> run(std::size_t maxRounds = 0);
+
+  /// Restore a run journaled by a previous process (Scenario::journalPath;
+  /// see orch/journal.hpp): validates the journal's scenario fingerprint,
+  /// restores every job's strategy, progress, and quarantine state plus the
+  /// shared cache, so the next run() continues bitwise where the journal was
+  /// written. Must be called before the first run() of this scheduler;
+  /// throws std::logic_error otherwise, io::CheckpointError on a corrupt or
+  /// mismatched journal.
+  void resume(const std::string& journalPath);
+
+  /// Whether every job has completed or been quarantined.
+  bool completed() const { return completed_; }
 
   /// The scenario as scheduled (derived seeds filled in).
   const Scenario& scenario() const { return scenario_; }
@@ -80,10 +110,20 @@ class Scheduler {
     JobResult result;
   };
 
+  /// Quarantine `job` with a deterministic reason (idempotent guard in the
+  /// caller); the job leaves the runnable set from the next round on.
+  static void quarantine(Job& job, std::string reason);
+  /// Write the journal file (Scenario::journalPath must be set).
+  void writeJournalFile() const;
+  /// One JobResult row per job from current strategy/engine state.
+  std::vector<JobResult> harvest();
+
   Scenario scenario_;
   std::shared_ptr<eval::SharedEvalCache> shared_;
   std::vector<Job> jobs_;
-  bool ran_ = false;
+  std::size_t round_ = 0;    ///< scheduling rounds completed so far
+  bool started_ = false;     ///< a run() or resume() happened
+  bool completed_ = false;   ///< no runnable jobs remain
 };
 
 }  // namespace trdse::orch

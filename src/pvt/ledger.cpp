@@ -20,6 +20,30 @@ std::size_t EdaLedger::cachedBlocks() const {
                     [](const EdaBlock& b) { return b.cached; }));
 }
 
+std::size_t EdaLedger::failedBlocks() const {
+  return static_cast<std::size_t>(
+      std::count_if(blocks_.begin(), blocks_.end(),
+                    [](const EdaBlock& b) { return b.failed; }));
+}
+
+std::size_t EdaLedger::retriedBlocks() const {
+  return static_cast<std::size_t>(
+      std::count_if(blocks_.begin(), blocks_.end(),
+                    [](const EdaBlock& b) { return b.retries > 0; }));
+}
+
+std::size_t EdaLedger::retryAttempts() const {
+  std::size_t total = 0;
+  for (const EdaBlock& b : blocks_) total += b.retries;
+  return total;
+}
+
+std::size_t EdaLedger::backoffUnits() const {
+  std::size_t total = 0;
+  for (const EdaBlock& b : blocks_) total += b.backoff;
+  return total;
+}
+
 std::string EdaLedger::renderTimeline(std::size_t cornerCount,
                                       std::size_t maxCols) const {
   // Bucket blocks into maxCols columns when the run is long.
@@ -36,13 +60,15 @@ std::string EdaLedger::renderTimeline(std::size_t cornerCount,
         std::min(cols - 1, static_cast<std::size_t>(static_cast<double>(i) / perCol));
     char& cell = rows[b.cornerIndex][col];
     char mark;
-    if (b.kind == BlockKind::kVerify) {
+    if (b.failed) {
+      mark = '!';
+    } else if (b.kind == BlockKind::kVerify) {
       mark = b.meetsSpec ? 'V' : 'v';
     } else {
       mark = b.meetsSpec ? 's' : 'x';
     }
-    // Verification marks win over search marks inside a bucket.
-    if (cell == '.' || (mark == 'V' || mark == 'v')) cell = mark;
+    // Verification and fault marks win over search marks inside a bucket.
+    if (cell == '.' || mark == 'V' || mark == 'v' || mark == '!') cell = mark;
   }
 
   std::string out;
@@ -51,7 +77,8 @@ std::string EdaLedger::renderTimeline(std::size_t cornerCount,
     out += rows[c];
     out += "|\n";
   }
-  out += "legend: x search(fail) s search(pass) v verify(fail) V verify(pass)\n";
+  out += "legend: x search(fail) s search(pass) v verify(fail) V verify(pass) "
+         "! fault\n";
   return out;
 }
 

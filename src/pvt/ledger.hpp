@@ -20,26 +20,48 @@ struct EdaBlock {
   bool meetsSpec = false;  ///< did this simulation meet all specs?
   /// Served from the evaluation memo instead of a real simulation: the block
   /// appears in the logical timeline but consumed zero EDA time. The
-  /// (cornerIndex, kind, meetsSpec) sequence is identical whether caching is
-  /// on or off; only this flag differs.
+  /// (cornerIndex, kind, meetsSpec, failed) sequence is identical whether
+  /// caching is on or off; only this flag (and the retry counters, which
+  /// only re-accrue when a fault is actually re-simulated) differs.
   bool cached = false;
+  /// The request exhausted its RetryPolicy without a clean result: the block
+  /// occupied the EDA seat (attempts + backoff) but produced no measurement.
+  /// Mutually exclusive with `cached` — faults are never served from memos.
+  bool failed = false;
+  /// Extra backend attempts consumed beyond the first (0 = clean first try).
+  std::uint32_t retries = 0;
+  /// Deterministic backoff units charged while waiting between attempts.
+  std::uint32_t backoff = 0;
 };
 
 class EdaLedger {
  public:
   void record(std::size_t cornerIndex, BlockKind kind, bool meetsSpec,
-              bool cached = false) {
-    blocks_.push_back({cornerIndex, kind, meetsSpec, cached});
+              bool cached = false, bool failed = false,
+              std::uint32_t retries = 0, std::uint32_t backoff = 0) {
+    blocks_.push_back({cornerIndex, kind, meetsSpec, cached, failed, retries,
+                       backoff});
   }
 
-  /// Logical evaluation count (real simulations + cache hits).
+  /// Logical evaluation count (real simulations + cache hits + failures).
   std::size_t totalBlocks() const { return blocks_.size(); }
   std::size_t searchBlocks() const;
   std::size_t verifyBlocks() const;
   /// Blocks served from the cache — EDA time saved by memoization.
   std::size_t cachedBlocks() const;
-  /// Blocks that actually ran a simulation (totalBlocks - cachedBlocks).
-  std::size_t simulatedBlocks() const { return totalBlocks() - cachedBlocks(); }
+  /// Blocks that exhausted their retries without a clean result.
+  std::size_t failedBlocks() const;
+  /// Blocks that ran at least one retry attempt (failed or eventually clean).
+  std::size_t retriedBlocks() const;
+  /// Total extra attempts summed over every block.
+  std::size_t retryAttempts() const;
+  /// Total deterministic backoff units charged to the EDA meter.
+  std::size_t backoffUnits() const;
+  /// Blocks resolved by a clean simulation. The ledger partitions exactly:
+  /// totalBlocks() == simulatedBlocks() + cachedBlocks() + failedBlocks().
+  std::size_t simulatedBlocks() const {
+    return totalBlocks() - cachedBlocks() - failedBlocks();
+  }
   const std::vector<EdaBlock>& blocks() const { return blocks_; }
 
   /// Replace the whole timeline (checkpoint restore).
@@ -49,7 +71,8 @@ class EdaLedger {
 
   /// ASCII rendering of the Fig. 3 timeline: one row per corner, one column
   /// per EDA block ('.' idle, 'x' search-fail, 's' search-pass, 'V' verify-
-  /// pass, 'v' verify-fail). Columns are grouped to `maxCols`.
+  /// pass, 'v' verify-fail, '!' fault after retry exhaustion). Columns are
+  /// grouped to `maxCols`.
   std::string renderTimeline(std::size_t cornerCount,
                              std::size_t maxCols = 100) const;
 

@@ -1,0 +1,86 @@
+#include "sim/fault.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace trdse::sim {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixing the repo uses for per-task seeds
+/// and cache-key hashing, so adjacent tuples land far apart in draw space.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void checkRate(const char* name, double rate) {
+  if (!(rate >= 0.0) || !(rate <= 1.0))
+    throw std::invalid_argument("FaultPlan: " + std::string(name) +
+                                " must be in [0, 1], got " +
+                                std::to_string(rate));
+}
+
+}  // namespace
+
+std::string_view faultClassName(FaultClass c) {
+  switch (c) {
+    case FaultClass::kNone: return "none";
+    case FaultClass::kTimeout: return "timeout";
+    case FaultClass::kNonConvergence: return "non-convergence";
+    case FaultClass::kNonFinite: return "non-finite";
+  }
+  return "unknown";
+}
+
+std::uint64_t hashScope(std::string_view scope) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (const char c : scope) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(config) {
+  checkRate("timeout_rate", config_.timeoutRate);
+  checkRate("non_convergence_rate", config_.nonConvergenceRate);
+  checkRate("non_finite_rate", config_.nonFiniteRate);
+  const double sum = config_.timeoutRate + config_.nonConvergenceRate +
+                     config_.nonFiniteRate;
+  if (sum > 1.0)
+    throw std::invalid_argument(
+        "FaultPlan: class rates must sum to at most 1, got " +
+        std::to_string(sum));
+  if (!(config_.timeoutStallSeconds >= 0.0) ||
+      !std::isfinite(config_.timeoutStallSeconds))
+    throw std::invalid_argument(
+        "FaultPlan: timeout_stall_seconds must be finite and >= 0");
+}
+
+FaultClass FaultPlan::decide(std::uint64_t scopeHash,
+                             const std::vector<std::size_t>& indices,
+                             std::size_t cornerIndex,
+                             std::size_t attempt) const {
+  if (!enabled()) return FaultClass::kNone;
+  // Chain the whole identity tuple through the mixer; the draw is a pure
+  // function of (seed, scope, indices, corner, attempt) and nothing else.
+  std::uint64_t h = mix(config_.seed ^ scopeHash);
+  for (const std::size_t idx : indices) h = mix(h ^ idx);
+  h = mix(h ^ (cornerIndex + 0x51ull));
+  h = mix(h ^ (attempt + 0xa7ull));
+  // 53 uniform bits -> [0, 1): exact and identical on every platform.
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u < config_.timeoutRate) return FaultClass::kTimeout;
+  if (u < config_.timeoutRate + config_.nonConvergenceRate)
+    return FaultClass::kNonConvergence;
+  if (u < config_.timeoutRate + config_.nonConvergenceRate +
+              config_.nonFiniteRate)
+    return FaultClass::kNonFinite;
+  return FaultClass::kNone;
+}
+
+}  // namespace trdse::sim

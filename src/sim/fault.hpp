@@ -1,0 +1,91 @@
+// Deterministic fault modeling for the evaluation pipeline.
+//
+// Real SPICE backends are not the pure functions the rest of this repo gets
+// to assume: production sizing runs lose wall-clock to simulator pathologies
+// (DNN-Opt, AutoCkt), not to the optimizer. The three failure classes that
+// actually occur are
+//   * timeout          — the job ran past its per-request deadline,
+//   * non-convergence  — Newton iteration failed *transiently* (as opposed to
+//                        the deterministic "this point does not bias" result
+//                        a pure backend reports via EvalResult::ok == false),
+//   * non-finite       — the run "completed" but emitted NaN/Inf measurements.
+//
+// A FaultPlan is a *seeded, deterministic* schedule of such faults: whether
+// attempt `a` of evaluating (scope, grid indices, corner) faults — and with
+// which class — is a pure hash of (plan seed, scope, indices, corner,
+// attempt), the same tuple the EvalCache keys on plus the attempt counter.
+// Every fault scenario is therefore bitwise reproducible: independent of
+// thread count, of scheduling order, and of how many times the run is
+// restarted. Retries draw fresh attempt indices, so injected faults are
+// transient with probability 1 - rate per retry; a key whose first
+// `maxAttempts` draws all fault is a *deterministically permanent* failure —
+// exactly the reproducible worst case quarantine logic needs to be tested
+// against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace trdse::sim {
+
+/// The failure taxonomy of one evaluation attempt (docs/ROBUSTNESS.md).
+/// `kNone` covers both success and the *deterministic* infeasible result
+/// (EvalResult::ok == false with no fault) that pure backends already report.
+enum class FaultClass : std::uint8_t {
+  kNone = 0,            ///< clean result (possibly infeasible, but trustworthy)
+  kTimeout = 1,         ///< per-request deadline exceeded
+  kNonConvergence = 2,  ///< transient Newton/solver failure
+  kNonFinite = 3,       ///< NaN/Inf escaped into the measurement vector
+};
+
+/// Stable display name ("timeout", "non-convergence", "non-finite", "none").
+std::string_view faultClassName(FaultClass c);
+
+/// FNV-1a hash of a scope label (circuit/problem name) — the stable way a
+/// fault plan and its consumers agree on a scope without sharing a registry.
+std::uint64_t hashScope(std::string_view scope);
+
+/// Per-class injection rates, each the probability that one *attempt* draws
+/// that fault. Rates are evaluated in the order timeout, non-convergence,
+/// non-finite over a single uniform draw, so their sum must stay <= 1.
+struct FaultPlanConfig {
+  std::uint64_t seed = 0;          ///< stream seed; plans differ per seed
+  double timeoutRate = 0.0;        ///< P(attempt times out)
+  double nonConvergenceRate = 0.0; ///< P(attempt fails to converge)
+  double nonFiniteRate = 0.0;      ///< P(attempt emits non-finite values)
+  /// Wall-clock stall (seconds) an injected timeout burns before reporting,
+  /// so fault scenarios also *pace* like real timeouts do. Timing never feeds
+  /// back into results, so the stall is excluded from determinism contracts.
+  double timeoutStallSeconds = 0.0;
+
+  /// Whether any class has a positive rate.
+  bool enabled() const {
+    return timeoutRate > 0.0 || nonConvergenceRate > 0.0 || nonFiniteRate > 0.0;
+  }
+};
+
+/// The seeded, deterministic fault schedule (see file header).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  /// Validates rates (each in [0,1], sum <= 1, stall >= 0 and finite);
+  /// throws std::invalid_argument naming the offending field.
+  explicit FaultPlan(FaultPlanConfig config);
+
+  const FaultPlanConfig& config() const { return config_; }
+  /// Whether this plan ever injects anything.
+  bool enabled() const { return config_.enabled(); }
+
+  /// The fault (or kNone) scheduled for attempt `attempt` of evaluating
+  /// (scope, indices, corner). Pure: same tuple, same answer, forever.
+  FaultClass decide(std::uint64_t scopeHash,
+                    const std::vector<std::size_t>& indices,
+                    std::size_t cornerIndex, std::size_t attempt) const;
+
+ private:
+  FaultPlanConfig config_;
+};
+
+}  // namespace trdse::sim

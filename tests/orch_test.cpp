@@ -70,6 +70,9 @@ void expectSameLedger(const pvt::EdaLedger& a, const pvt::EdaLedger& b) {
     EXPECT_EQ(a.blocks()[i].kind, b.blocks()[i].kind);
     EXPECT_EQ(a.blocks()[i].meetsSpec, b.blocks()[i].meetsSpec);
     EXPECT_EQ(a.blocks()[i].cached, b.blocks()[i].cached);
+    EXPECT_EQ(a.blocks()[i].failed, b.blocks()[i].failed);
+    EXPECT_EQ(a.blocks()[i].retries, b.blocks()[i].retries);
+    EXPECT_EQ(a.blocks()[i].backoff, b.blocks()[i].backoff);
   }
 }
 
@@ -84,6 +87,10 @@ void expectSameOutcome(const opt::StrategyOutcome& a,
   EXPECT_EQ(a.evalStats.simulated, b.evalStats.simulated);
   EXPECT_EQ(a.evalStats.cacheHits, b.evalStats.cacheHits);
   EXPECT_EQ(a.evalStats.sharedHits, b.evalStats.sharedHits);
+  EXPECT_EQ(a.evalStats.attempts, b.evalStats.attempts);
+  EXPECT_EQ(a.evalStats.faults, b.evalStats.faults);
+  EXPECT_EQ(a.evalStats.failures, b.evalStats.failures);
+  EXPECT_EQ(a.evalStats.backoffUnits, b.evalStats.backoffUnits);
   expectSameLedger(a.ledger, b.ledger);
 }
 
@@ -510,6 +517,216 @@ TEST(Scheduler, DerivesDistinctSeedsAndRunsOnce) {
   EXPECT_NE(results[0].seed, 0u);
   EXPECT_NE(results[0].seed, results[1].seed);
   EXPECT_THROW(scheduler.run(), std::logic_error);
+}
+
+// ---- Fault tolerance: scenario knobs, quarantine, crash recovery ---------
+
+TEST(Scenario, ParsesFaultRetryAndJournalKeys) {
+  const Scenario sc = parseScenarioText(
+      "fault_seed = 9\n"
+      "fault_timeout = 0.05\n"
+      "fault_nonconv = 0.25\n"
+      "fault_nonfinite = 0.1\n"
+      "fault_timeout_stall = 0.5\n"
+      "retry_attempts = 4\n"
+      "retry_backoff = 2\n"
+      "retry_backoff_cap = 16\n"
+      "retry_timeout = 1.5\n"
+      "journal = /tmp/j.tdck\n"
+      "journal_every = 3\n"
+      "[job]\n"
+      "circuit = ldo\n"
+      "strategy = random_search\n"
+      "budget = 10\n"
+      "max_failures = 7\n",
+      "inline");
+  EXPECT_EQ(sc.faultPlan.seed, 9u);
+  EXPECT_EQ(sc.faultPlan.timeoutRate, 0.05);
+  EXPECT_EQ(sc.faultPlan.nonConvergenceRate, 0.25);
+  EXPECT_EQ(sc.faultPlan.nonFiniteRate, 0.1);
+  EXPECT_EQ(sc.faultPlan.timeoutStallSeconds, 0.5);
+  EXPECT_EQ(sc.retry.maxAttempts, 4u);
+  EXPECT_EQ(sc.retry.backoffBase, 2u);
+  EXPECT_EQ(sc.retry.backoffCap, 16u);
+  EXPECT_EQ(sc.retry.timeoutSeconds, 1.5);
+  EXPECT_EQ(sc.journalPath, "/tmp/j.tdck");
+  EXPECT_EQ(sc.journalEvery, 3u);
+  ASSERT_EQ(sc.jobs.size(), 1u);
+  EXPECT_EQ(sc.jobs[0].maxFailures, 7u);
+  EXPECT_NE(sc.jobs[0].sourceLine, 0u);
+}
+
+TEST(Scenario, RejectsInvalidFaultAndRetryConfigs) {
+  const std::string tail =
+      "[job]\ncircuit = ldo\nstrategy = random_search\nbudget = 10\n";
+  // Rates summing past 1 are caught at parse time via FaultPlan validation.
+  EXPECT_THROW(parseScenarioText(
+                   "fault_timeout = 0.6\nfault_nonconv = 0.6\n" + tail, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("fault_nonconv = -0.1\n" + tail, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("retry_attempts = 0\n" + tail, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("retry_timeout = -1\n" + tail, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("journal_every = 0\n" + tail, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("max_failures = 3\n" + tail, "x"),
+               std::invalid_argument);  // global scope: job key
+}
+
+/// Faulty acceptance scenario: nonconvergence faults on a coarse grid, one
+/// job with no failure allowance (deterministically quarantined) and two
+/// tolerant ones that run to completion.
+Scenario faultyScenario() {
+  ensureTinyGridRegistered();
+  Scenario sc = parseScenarioText(
+      "name = faulty\n"
+      "slice = 12\n"
+      "base_seed = 5\n"
+      "fault_seed = 21\n"
+      "fault_nonconv = 0.45\n"
+      "retry_attempts = 2\n"
+      "[job]\n"
+      "name = fragile\ncircuit = tiny_grid\nstrategy = random_search\n"
+      "seed = 101\nbudget = 70\nmax_failures = 0\n"
+      "[job]\n"
+      "name = tough_rs\ncircuit = tiny_grid\nstrategy = random_search\n"
+      "seed = 202\nbudget = 70\nmax_failures = 100000\n"
+      "[job]\n"
+      "name = tough_pvt\ncircuit = tiny_grid\nstrategy = pvt_search\n"
+      "seed = 7\nbudget = 70\nmax_failures = 100000\n",
+      "inline");
+  return sc;
+}
+
+TEST(SchedulerFaults, QuarantineIsIsolatedAndThreadCountInvariant) {
+  std::vector<std::vector<JobResult>> runs;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    Scenario sc = faultyScenario();
+    sc.threads = threads;
+    Scheduler scheduler(std::move(sc));
+    runs.push_back(scheduler.run());
+    EXPECT_TRUE(scheduler.completed());
+  }
+  for (const std::vector<JobResult>& results : runs) {
+    ASSERT_EQ(results.size(), 3u);
+    // At 45% fault rate with 2 attempts, ~20% of simulations fail: the
+    // zero-tolerance job is quarantined on its first round...
+    EXPECT_TRUE(results[0].quarantined);
+    EXPECT_GT(results[0].failures, 0u);
+    EXPECT_NE(results[0].quarantineReason.find("exceed max_failures=0"),
+              std::string::npos);
+    // ...while the tolerant jobs absorb their failures and finish their
+    // budgets untouched by the sick sibling.
+    for (std::size_t j = 1; j < 3; ++j) {
+      EXPECT_FALSE(results[j].quarantined) << results[j].name;
+      EXPECT_TRUE(results[j].quarantineReason.empty());
+      EXPECT_GT(results[j].failures, 0u) << results[j].name;
+      EXPECT_EQ(results[j].outcome.iterations, results[j].budget)
+          << results[j].name;
+      const eval::EvalStats& s = results[j].outcome.evalStats;
+      EXPECT_EQ(s.requests, s.simulated + s.cacheHits + s.sharedHits +
+                                s.failures);
+    }
+  }
+  // Everything — outcomes, ledgers, failure counts, quarantine reasons — is
+  // bitwise identical for any thread count.
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(runs[run][j].rounds, runs[0][j].rounds);
+      EXPECT_EQ(runs[run][j].published, runs[0][j].published);
+      EXPECT_EQ(runs[run][j].failures, runs[0][j].failures);
+      EXPECT_EQ(runs[run][j].quarantined, runs[0][j].quarantined);
+      EXPECT_EQ(runs[run][j].quarantineReason, runs[0][j].quarantineReason);
+      expectSameOutcome(runs[run][j].outcome, runs[0][j].outcome);
+    }
+  }
+}
+
+TEST(SchedulerFaults, JournaledRunResumesBitwise) {
+  const std::string journal = testing::TempDir() + "orch_resume.tdck";
+
+  // Reference: the uninterrupted run (journaling on, so construction-time
+  // validation and round cadence match the interrupted copy exactly).
+  Scenario whole = faultyScenario();
+  whole.journalPath = testing::TempDir() + "orch_whole.tdck";
+  Scheduler wholeSched(std::move(whole));
+  const std::vector<JobResult> expected = wholeSched.run();
+
+  // Interrupted copy: advance two rounds, drop the scheduler (the process
+  // "dies"), rebuild from the journal, run to completion.
+  Scenario part = faultyScenario();
+  part.journalPath = journal;
+  {
+    Scheduler first(std::move(part));
+    first.run(2);
+    EXPECT_FALSE(first.completed());
+  }
+  Scenario rest = faultyScenario();
+  rest.journalPath = journal;
+  Scheduler second(std::move(rest));
+  second.resume(journal);
+  const std::vector<JobResult> resumed = second.run();
+  EXPECT_TRUE(second.completed());
+
+  ASSERT_EQ(resumed.size(), expected.size());
+  for (std::size_t j = 0; j < expected.size(); ++j) {
+    EXPECT_EQ(resumed[j].rounds, expected[j].rounds);
+    EXPECT_EQ(resumed[j].published, expected[j].published);
+    EXPECT_EQ(resumed[j].failures, expected[j].failures);
+    EXPECT_EQ(resumed[j].quarantined, expected[j].quarantined);
+    EXPECT_EQ(resumed[j].quarantineReason, expected[j].quarantineReason);
+    expectSameOutcome(resumed[j].outcome, expected[j].outcome);
+  }
+  std::remove(journal.c_str());
+  std::remove((testing::TempDir() + "orch_whole.tdck").c_str());
+}
+
+TEST(SchedulerFaults, ResumeRejectsCorruptAndMismatchedJournals) {
+  const std::string journal = testing::TempDir() + "orch_bad.tdck";
+  {
+    Scenario sc = faultyScenario();
+    sc.journalPath = journal;
+    Scheduler first(std::move(sc));
+    first.run(1);
+  }
+  // A scenario that diverges from the journaled fingerprint must be refused.
+  Scenario tampered = faultyScenario();
+  tampered.journalPath = journal;
+  tampered.jobs[1].budget = 71;
+  Scheduler mismatched(std::move(tampered));
+  EXPECT_THROW(mismatched.resume(journal), io::CheckpointError);
+
+  // Truncated/garbage bytes must be refused.
+  {
+    std::ofstream out(journal, std::ios::binary | std::ios::trunc);
+    out << "not a checkpoint";
+  }
+  Scenario sc2 = faultyScenario();
+  sc2.journalPath = journal;
+  Scheduler corrupt(std::move(sc2));
+  EXPECT_THROW(corrupt.resume(journal), io::CheckpointError);
+
+  // resume() is a pre-run operation only.
+  Scenario sc3 = faultyScenario();
+  Scheduler ran(std::move(sc3));
+  ran.run();
+  EXPECT_THROW(ran.resume(journal), std::logic_error);
+  std::remove(journal.c_str());
+}
+
+TEST(SchedulerFaults, JournalRequiresCheckpointableStrategies) {
+  ensureTinyGridRegistered();
+  Scenario sc;
+  sc.journalPath = testing::TempDir() + "never_written.tdck";
+  JobSpec spec;
+  spec.name = "bo";
+  spec.circuit = "tiny_grid";
+  spec.strategy = "tree_bayes_opt";
+  spec.budget = 20;
+  sc.jobs.push_back(spec);
+  EXPECT_THROW(Scheduler{std::move(sc)}, std::invalid_argument);
 }
 
 }  // namespace

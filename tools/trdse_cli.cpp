@@ -6,15 +6,23 @@
 // accounting, cache economics, best worst-corner Value.
 //
 // Everything on stdout is deterministic — a function of the scenario file
-// alone, identical for any --threads value — so CI can diff a run against a
-// committed expected summary (wall-clock timing goes to stderr).
+// alone, identical for any --threads value and across SIGKILL + --resume —
+// so CI can diff a run against a committed expected summary (wall-clock
+// timing goes to stderr).
+//
+// Exit codes: 0 all jobs completed; 1 error (unreadable/invalid scenario,
+// corrupt journal); 2 usage; 4 the run finished but at least one job was
+// quarantined (its reason is on stdout as a `# quarantined` line) — CI can
+// distinguish "degraded but deterministic" from hard failure.
 //
 // Usage:
 //   trdse_cli <scenario-file> [--threads N] [--slice N] [--no-shared-cache]
+//             [--journal PATH] [--resume]
 //   trdse_cli --list
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -28,7 +36,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario-file> [--threads N] [--slice N] "
-               "[--no-shared-cache]\n"
+               "[--no-shared-cache] [--journal PATH] [--resume]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -44,6 +52,10 @@ void listKnown() {
     std::printf("  %s\n", name.c_str());
 }
 
+bool fileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,6 +67,8 @@ int main(int argc, char** argv) {
   std::uint64_t threads = 0;
   std::uint64_t slice = 0;
   bool noSharedCache = false;
+  std::string journalPath;
+  bool resume = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -64,6 +78,10 @@ int main(int argc, char** argv) {
       }
       if (arg == "--no-shared-cache") {
         noSharedCache = true;
+      } else if (arg == "--resume") {
+        resume = true;
+      } else if (arg == "--journal" && i + 1 < argc) {
+        journalPath = argv[++i];
       } else if ((arg == "--threads" || arg == "--slice") && i + 1 < argc) {
         const std::uint64_t v = trdse::common::parseU64(arg, argv[++i]);
         (arg == "--threads" ? threads : slice) = v;
@@ -88,8 +106,19 @@ int main(int argc, char** argv) {
     if (haveThreads) scenario.threads = threads;
     if (haveSlice) scenario.slice = slice;  // 0 rejected by the Scheduler
     if (noSharedCache) scenario.sharedCache = false;
+    if (!journalPath.empty()) scenario.journalPath = journalPath;
+    if (resume && scenario.journalPath.empty()) {
+      std::fprintf(stderr,
+                   "trdse_cli: --resume needs a journal (set `journal =` in "
+                   "the scenario or pass --journal PATH)\n");
+      return usage(argv[0]);
+    }
 
     trdse::orch::Scheduler scheduler(std::move(scenario));
+    // A missing journal under --resume is a cold start, not an error: the
+    // process may have been killed before the first barrier ever wrote one.
+    if (resume && fileExists(scheduler.scenario().journalPath))
+      scheduler.resume(scheduler.scenario().journalPath);
     const auto t0 = Clock::now();
     const std::vector<trdse::orch::JobResult> results = scheduler.run();
     const double seconds =
@@ -115,8 +144,23 @@ int main(int argc, char** argv) {
           "# shared cache: %zu entries in %zu shards, %zu hits / %zu misses\n",
           t.entries, cache->shardCount(), t.hits, t.misses);
     }
+    // Fault/quarantine report, appended as deterministic comment lines so
+    // the summary table above stays byte-identical for clean scenarios.
+    bool anyQuarantined = false;
+    for (const auto& r : results) {
+      if (r.failures != 0)
+        std::printf("# failures %s: %zu request(s) failed, %zu faulted "
+                    "attempt(s), %zu backoff unit(s)\n",
+                    r.name.c_str(), r.failures, r.outcome.evalStats.faults,
+                    r.outcome.evalStats.backoffUnits);
+      if (r.quarantined) {
+        anyQuarantined = true;
+        std::printf("# quarantined %s: %s\n", r.name.c_str(),
+                    r.quarantineReason.c_str());
+      }
+    }
     std::fprintf(stderr, "[%.2fs wall, threads=%zu]\n", seconds, sc.threads);
-    return 0;
+    return anyQuarantined ? 4 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trdse_cli: %s\n", e.what());
     return 1;
