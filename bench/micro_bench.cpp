@@ -4,13 +4,13 @@
 // trust-region planner's inner loop (Algorithm 1 line 10).
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <random>
 
 #include "circuits/ico.hpp"
 #include "circuits/ldo.hpp"
 #include "circuits/registry.hpp"
 #include "circuits/two_stage_opamp.hpp"
-#include "common/thread_pool.hpp"
 #include "core/surrogate.hpp"
 #include "eval/eval_engine.hpp"
 #include "linalg/lu.hpp"
@@ -20,6 +20,10 @@
 #include "pvt/corners.hpp"
 #include "rl/ppo.hpp"
 #include "rl/trpo.hpp"
+#include "sim/dc.hpp"
+#include "sim/netlist.hpp"
+#include "sim/op_batch.hpp"
+#include "sim/process.hpp"
 
 using namespace trdse;
 
@@ -50,6 +54,106 @@ void BM_IcoEvalTransient(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(ico.evaluate(x, tt));
 }
 BENCHMARK(BM_IcoEvalTransient);
+
+void BM_IcoEvalTransientBatched(benchmark::State& state) {
+  // One lane-blocked Ico::evaluateBatch call covering a 4-corner block; each
+  // slot is bitwise identical to the scalar evaluate() the bench above times.
+  // scripts/bench.sh normalizes by the block width, so the recorded per-point
+  // time is directly comparable to BM_IcoEvalTransient.
+  const circuits::Ico ico(sim::n5Card());
+  const auto x = circuits::Ico::humanReferenceSizing();
+  const std::array<sim::PvtCorner, sim::kSimLanes> corners = {{
+      {sim::ProcessCorner::kTT, 0.70, 27.0},
+      {sim::ProcessCorner::kFF, 0.77, -40.0},
+      {sim::ProcessCorner::kSS, 0.63, 125.0},
+      {sim::ProcessCorner::kSF, 0.70, 85.0},
+  }};
+  std::array<core::EvalResult, sim::kSimLanes> results;
+  for (auto _ : state) {
+    ico.evaluateBatch(x, corners.data(), results.data(), corners.size());
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corners.size()));
+}
+BENCHMARK(BM_IcoEvalTransientBatched);
+
+// ---- Batched DC operating point: the lane-blocked Newton kernel ----
+//
+// Four (corner, sizing) operating points of a small MOS netlist solved one
+// at a time vs through a single solveDcBatch call. The batch's lanes are
+// bitwise identical to the scalar solves (tests/sim_batch_test.cpp locks
+// this), so the pair isolates the amortization of the lockstep Newton /
+// lane-blocked LU pipeline.
+
+sim::Netlist dcOpNetlist(const sim::PvtCorner& c, double wScale) {
+  const sim::ProcessCard& card = sim::bsim45Card();
+  const sim::MosParams nmos =
+      sim::applyPvt(card.nmos, sim::MosType::kNmos, c, card.tnomK);
+  const sim::MosParams pmos =
+      sim::applyPvt(card.pmos, sim::MosType::kPmos, c, card.tnomK);
+  sim::Netlist nl;
+  nl.tempK = c.tempK();
+  const sim::NodeId vdd = nl.node("vdd");
+  const sim::NodeId in = nl.node("in");
+  const sim::NodeId mid = nl.node("mid");
+  const sim::NodeId out = nl.node("out");
+  nl.addVSource(vdd, sim::kGround, c.vdd, 0.0);
+  nl.addResistor(vdd, in, 10e3);
+  nl.addDiode(in, sim::kGround);
+  const sim::MosGeometry gn{1e-6 * wScale, card.minL, 1.0};
+  const sim::MosGeometry gp{2e-6 * wScale, card.minL, 1.0};
+  nl.addMosfet("M1", mid, in, sim::kGround, sim::kGround, sim::MosType::kNmos,
+               gn, nmos);
+  nl.addMosfet("M2", out, mid, vdd, vdd, sim::MosType::kPmos, gp, pmos);
+  nl.addResistor(vdd, mid, 5e3);
+  nl.addResistor(out, sim::kGround, 20e3);
+  return nl;
+}
+
+struct DcOpLanes {
+  std::array<sim::Netlist, sim::kSimLanes> nls;
+  std::array<linalg::Vector, sim::kSimLanes> guesses;
+  std::array<const sim::Netlist*, sim::kSimLanes> nlp{};
+  std::array<const linalg::Vector*, sim::kSimLanes> gp{};
+  DcOpLanes() {
+    const std::array<sim::PvtCorner, sim::kSimLanes> corners = {{
+        {sim::ProcessCorner::kTT, 1.1, 27.0},
+        {sim::ProcessCorner::kFF, 1.21, -40.0},
+        {sim::ProcessCorner::kSS, 0.99, 125.0},
+        {sim::ProcessCorner::kSF, 1.1, 85.0},
+    }};
+    const std::array<double, sim::kSimLanes> wScales = {1.0, 1.7, 0.6, 2.3};
+    for (std::size_t l = 0; l < sim::kSimLanes; ++l) {
+      nls[l] = dcOpNetlist(corners[l], wScales[l]);
+      guesses[l].assign(nls[l].nodeCount(), 0.0);
+      nlp[l] = &nls[l];
+      gp[l] = &guesses[l];
+    }
+  }
+};
+
+void BM_DcOpScalar(benchmark::State& state) {
+  const DcOpLanes lanes;
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < sim::kSimLanes; ++l)
+      benchmark::DoNotOptimize(sim::DcSolver(lanes.nls[l]).solve(lanes.gp[l]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sim::kSimLanes));
+}
+BENCHMARK(BM_DcOpScalar);
+
+void BM_DcOpBatch(benchmark::State& state) {
+  const DcOpLanes lanes;
+  for (auto _ : state) {
+    auto r = sim::solveDcBatch(lanes.nlp, lanes.gp);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sim::kSimLanes));
+}
+BENCHMARK(BM_DcOpBatch);
 
 void BM_SurrogateEpoch(benchmark::State& state) {
   std::mt19937_64 rng(2);
@@ -153,41 +257,47 @@ BENCHMARK(BM_GemmBatch800);
 
 // ---- Thread-parallel corner sweep: the PVT sign-off hot path ----
 //
-// One sizing evaluated on all 9 PVT corners, serial vs fanned out across the
-// pool. On a multi-core host the pooled bench approaches serial/cores; on a
-// single core it measures pool overhead (should be small).
+// One sizing evaluated on all 9 PVT corners through the EvalEngine. Serial
+// is the scalar reference dispatch (threads=1, batchedSim off); Pooled fans
+// the misses across hardware threads and lets each worker's corner chunk
+// fuse in the lane-blocked backend (batchedSim on). Both modes produce
+// bitwise-identical results (tests/sim_batch_test.cpp), so the ratio is pure
+// dispatch speedup; CI gates Serial/Pooled >= 1.5x via scripts/bench.sh.
 
-void cornerSweep(common::ThreadPool* pool) {
-  static const circuits::TwoStageOpamp amp(sim::bsim45Card());
-  static const auto space = circuits::TwoStageOpamp::designSpace(sim::bsim45Card());
-  static const auto corners = [] {
+void runCornerSweep(benchmark::State& state, std::size_t threads,
+                    bool batchedSim) {
+  static const core::SizingProblem prob = [] {
     std::vector<sim::PvtCorner> cs;
     for (auto pc : {sim::ProcessCorner::kTT, sim::ProcessCorner::kSS,
                     sim::ProcessCorner::kFF}) {
       for (double vdd : {1.0, 1.1, 1.2}) cs.push_back({pc, vdd, 27.0});
     }
-    return cs;
+    return circuits::Registry::global().makeProblem("two_stage_opamp",
+                                                    std::move(cs));
   }();
   std::mt19937_64 rng(1);
-  const auto x = space.randomPoint(rng);
-  std::vector<core::EvalResult> results(corners.size());
-  auto evalOne = [&](std::size_t i) { results[i] = amp.evaluate(x, corners[i]); };
-  if (pool != nullptr) {
-    pool->parallelFor(corners.size(), evalOne);
-  } else {
-    for (std::size_t i = 0; i < corners.size(); ++i) evalOne(i);
+  const auto x = prob.space.randomPoint(rng);
+  std::vector<std::size_t> cornerIdx(prob.corners.size());
+  for (std::size_t i = 0; i < cornerIdx.size(); ++i) cornerIdx[i] = i;
+  // Cache off so every iteration pays for all 9 simulations; ledger off so
+  // the timed loop does not grow a block list across iterations.
+  eval::EvalEngine engine(prob, {/*cacheEvals=*/false, threads,
+                                 /*recordLedger=*/false, batchedSim});
+  for (auto _ : state) {
+    auto r = engine.evalBatch(cornerIdx, x, pvt::BlockKind::kSearch);
+    benchmark::DoNotOptimize(r.data());
   }
-  benchmark::DoNotOptimize(results.data());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cornerIdx.size()));
 }
 
 void BM_PvtCornerSweepSerial(benchmark::State& state) {
-  for (auto _ : state) cornerSweep(nullptr);
+  runCornerSweep(state, /*threads=*/1, /*batchedSim=*/false);
 }
 BENCHMARK(BM_PvtCornerSweepSerial);
 
 void BM_PvtCornerSweepPooled(benchmark::State& state) {
-  common::ThreadPool pool(/*threads=*/0);  // hardware concurrency
-  for (auto _ : state) cornerSweep(&pool);
+  runCornerSweep(state, /*threads=*/0, /*batchedSim=*/true);
 }
 BENCHMARK(BM_PvtCornerSweepPooled);
 

@@ -1,16 +1,54 @@
 #include "circuits/folded_cascode.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <complex>
+#include <vector>
 
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/netlist.hpp"
+#include "sim/op_batch.hpp"
 
 namespace trdse::circuits {
 
 namespace {
 constexpr double kLoadCap = 500e-15;
 constexpr double kBiasDiodeWidth = 2e-6;
+
+/// A stamped OTA testbench plus the handles measurement needs.
+struct FcTestbench {
+  sim::Netlist netlist;
+  sim::NodeId out = sim::kGround;
+  std::size_t vddSource = 0;
+  linalg::Vector initialGuess;
+  double vdd = 0.0;
+};
+
+/// AC sweep grid shared by the scalar and batched measurement paths.
+std::vector<double> sweepFreqs() {
+  return sim::AcSolver::logSpace(10.0, 20e9, 110);
+}
+
+/// Assemble the result from an operating point + completed sweep. Shared by
+/// the scalar and batched paths so both run the identical expressions.
+core::EvalResult resultFromSweep(const FcTestbench& tb, const sim::DcResult& op,
+                                 const std::vector<double>& freqs,
+                                 const std::vector<std::complex<double>>& h) {
+  const sim::LoopMetrics lm = sim::analyzeLoop(freqs, h);
+  if (!lm.crossesUnity) return {};
+
+  core::EvalResult r;
+  r.ok = true;
+  r.measurements.assign(FoldedCascodeOta::kMeasCount, 0.0);
+  r.measurements[FoldedCascodeOta::kGainDb] = lm.dcGainDb;
+  r.measurements[FoldedCascodeOta::kUgbwHz] = lm.unityGainHz;
+  r.measurements[FoldedCascodeOta::kPmDeg] = lm.phaseMarginDeg;
+  r.measurements[FoldedCascodeOta::kPowerMw] =
+      std::abs(op.vsourceCurrent(tb.vddSource)) * tb.vdd * 1e3;
+  return r;
+}
 }  // namespace
 
 FoldedCascodeOta::FoldedCascodeOta(const sim::ProcessCard& card) : card_(card) {}
@@ -34,15 +72,19 @@ core::DesignSpace FoldedCascodeOta::designSpace(const sim::ProcessCard& card) {
   });
 }
 
-core::EvalResult FoldedCascodeOta::evaluate(const linalg::Vector& sizes,
-                                            const sim::PvtCorner& corner) const {
-  assert(sizes.size() == kParamCount);
+namespace {
+FcTestbench buildFcTestbench(const sim::ProcessCard& card,
+                             const linalg::Vector& sizes,
+                             const sim::PvtCorner& corner) {
+  using P = FoldedCascodeOta;
+  assert(sizes.size() == P::kParamCount);
   const sim::MosParams nmos =
-      sim::applyPvt(card_.nmos, sim::MosType::kNmos, corner, card_.tnomK);
+      sim::applyPvt(card.nmos, sim::MosType::kNmos, corner, card.tnomK);
   const sim::MosParams pmos =
-      sim::applyPvt(card_.pmos, sim::MosType::kPmos, corner, card_.tnomK);
+      sim::applyPvt(card.pmos, sim::MosType::kPmos, corner, card.tnomK);
 
-  sim::Netlist nl;
+  FcTestbench tb;
+  sim::Netlist& nl = tb.netlist;
   nl.tempK = corner.tempK();
   const sim::NodeId vdd = nl.node("vdd");
   const sim::NodeId inp = nl.node("inp");
@@ -65,16 +107,16 @@ core::EvalResult FoldedCascodeOta::evaluate(const linalg::Vector& sizes,
   nl.addVSource(pb1, sim::kGround, 0.45 * corner.vdd);
   nl.addVSource(pb2, sim::kGround, 0.30 * corner.vdd);
   nl.addVSource(nb2, sim::kGround, 0.68 * corner.vdd);
-  nl.addISource(vdd, nbias, sizes[kIbias]);
+  nl.addISource(vdd, nbias, sizes[P::kIbias]);
 
   using sim::MosType;
-  const double l = sizes[kL];
-  const sim::MosGeometry g1{sizes[kW1], l, 1.0};
-  const sim::MosGeometry g3{sizes[kW3], l, 1.0};
-  const sim::MosGeometry g5{sizes[kW5], l, 1.0};
-  const sim::MosGeometry g7{sizes[kW7], l, 1.0};
-  const sim::MosGeometry g9{sizes[kW9], l, 1.0};
-  const sim::MosGeometry g0{2.0 * sizes[kW1], l, 1.0};
+  const double l = sizes[P::kL];
+  const sim::MosGeometry g1{sizes[P::kW1], l, 1.0};
+  const sim::MosGeometry g3{sizes[P::kW3], l, 1.0};
+  const sim::MosGeometry g5{sizes[P::kW5], l, 1.0};
+  const sim::MosGeometry g7{sizes[P::kW7], l, 1.0};
+  const sim::MosGeometry g9{sizes[P::kW9], l, 1.0};
+  const sim::MosGeometry g0{2.0 * sizes[P::kW1], l, 1.0};
   const sim::MosGeometry gd{kBiasDiodeWidth, l, 1.0};
 
   nl.addMosfet("M1", f1, inp, tail, sim::kGround, MosType::kNmos, g1, nmos);
@@ -113,25 +155,84 @@ core::EvalResult FoldedCascodeOta::evaluate(const linalg::Vector& sizes,
   guess[static_cast<std::size_t>(pb2)] = 0.30 * corner.vdd;
   guess[static_cast<std::size_t>(nb2)] = 0.68 * corner.vdd;
 
-  const sim::DcSolver dc(nl);
-  const sim::DcResult op = dc.solve(&guess);
+  tb.out = out;
+  tb.vddSource = vddSrc;
+  tb.initialGuess = std::move(guess);
+  tb.vdd = corner.vdd;
+  return tb;
+}
+}  // namespace
+
+core::EvalResult FoldedCascodeOta::evaluate(const linalg::Vector& sizes,
+                                            const sim::PvtCorner& corner) const {
+  const FcTestbench tb = buildFcTestbench(card_, sizes, corner);
+  const sim::DcSolver dc(tb.netlist);
+  const sim::DcResult op = dc.solve(&tb.initialGuess);
   if (!op.converged) return {};
 
-  const sim::AcSolver ac(nl, op);
-  const auto freqs = sim::AcSolver::logSpace(10.0, 20e9, 110);
-  const auto h = ac.sweep(freqs, out);
-  const sim::LoopMetrics lm = sim::analyzeLoop(freqs, h);
-  if (!lm.crossesUnity) return {};
+  const sim::AcSolver ac(tb.netlist, op);
+  const auto freqs = sweepFreqs();
+  return resultFromSweep(tb, op, freqs, ac.sweep(freqs, tb.out));
+}
 
-  core::EvalResult r;
-  r.ok = true;
-  r.measurements.assign(kMeasCount, 0.0);
-  r.measurements[kGainDb] = lm.dcGainDb;
-  r.measurements[kUgbwHz] = lm.unityGainHz;
-  r.measurements[kPmDeg] = lm.phaseMarginDeg;
-  r.measurements[kPowerMw] =
-      std::abs(op.vsourceCurrent(vddSrc)) * corner.vdd * 1e3;
-  return r;
+void FoldedCascodeOta::evaluateBatch(const linalg::Vector& sizes,
+                                     const sim::PvtCorner* corners,
+                                     core::EvalResult* results,
+                                     std::size_t count) const {
+  const auto freqs = sweepFreqs();
+  for (std::size_t off = 0; off < count; off += sim::kSimLanes) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(sim::kSimLanes, count - off));
+    std::array<FcTestbench, sim::kSimLanes> tbs;
+    std::array<const sim::Netlist*, sim::kSimLanes> nls{};
+    std::array<const linalg::Vector*, sim::kSimLanes> guesses{};
+    for (int l = 0; l < lanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      tbs[li] = buildFcTestbench(card_, sizes, corners[off + li]);
+      nls[li] = &tbs[li].netlist;
+      guesses[li] = &tbs[li].initialGuess;
+    }
+    const auto ops = sim::solveDcBatch(nls, guesses);
+
+    std::array<const sim::Netlist*, sim::kSimLanes> acNls{};
+    std::array<const sim::DcResult*, sim::kSimLanes> acOps{};
+    bool anyAc = false;
+    for (int l = 0; l < lanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      if (!ops[li].converged) continue;
+      acNls[li] = nls[li];
+      acOps[li] = &ops[li];
+      anyAc = true;
+    }
+
+    std::array<std::vector<std::complex<double>>, sim::kSimLanes> h;
+    if (anyAc) {
+      sim::AcBatch ac(acNls, acOps);
+      for (int l = 0; l < lanes; ++l)
+        if (acOps[static_cast<std::size_t>(l)])
+          h[static_cast<std::size_t>(l)].reserve(freqs.size());
+      for (const double f : freqs) {
+        ac.solveAt(f);
+        for (int l = 0; l < lanes; ++l)
+          if (acOps[static_cast<std::size_t>(l)])
+            h[static_cast<std::size_t>(l)].push_back(
+                ac.nodeVoltage(l, tbs[static_cast<std::size_t>(l)].out));
+      }
+      // A lane whose lane-blocked factorization went non-finite is replayed
+      // through the scalar solver, which is the equivalence reference.
+      for (int l = 0; l < lanes; ++l)
+        if (acOps[static_cast<std::size_t>(l)] && !ac.laneFinite(l))
+          h[static_cast<std::size_t>(l)] = ac.laneSolver(l)->sweep(
+              freqs, tbs[static_cast<std::size_t>(l)].out);
+    }
+
+    for (int l = 0; l < lanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      results[off + li] = acOps[li]
+                              ? resultFromSweep(tbs[li], ops[li], freqs, h[li])
+                              : core::EvalResult{};
+    }
+  }
 }
 
 double FoldedCascodeOta::area(const linalg::Vector& sizes) const {
@@ -167,6 +268,11 @@ core::SizingProblem FoldedCascodeOta::makeProblem(
   const FoldedCascodeOta self = *this;
   p.evaluate = [self](const linalg::Vector& sizes, const sim::PvtCorner& c) {
     return self.evaluate(sizes, c);
+  };
+  p.evaluateBatch = [self](const linalg::Vector& sizes,
+                           const sim::PvtCorner* corners,
+                           core::EvalResult* results, std::size_t count) {
+    self.evaluateBatch(sizes, corners, results, count);
   };
   p.area = [self](const linalg::Vector& sizes) { return self.area(sizes); };
   return p;

@@ -1,9 +1,12 @@
 #include "circuits/ico.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "sim/dc.hpp"
 #include "sim/netlist.hpp"
+#include "sim/op_batch.hpp"
 #include "sim/transient.hpp"
 
 namespace trdse::circuits {
@@ -15,6 +18,14 @@ constexpr double kPnOffsetHz = 1e6;
 /// buffer noise; calibrated so hand designs land in the paper's -71..-74 dB
 /// range at ~8-9 GHz.
 constexpr double kExcessNoise = 25.0;
+
+/// Transient schedule shared by the scalar and batched paths.
+sim::TransientOptions transientOptions() {
+  sim::TransientOptions topt;
+  topt.tStop = 3.0e-9;
+  topt.dt = 0.8e-12;
+  return topt;
+}
 }  // namespace
 
 Ico::Ico(const sim::ProcessCard& card) : card_(card) {}
@@ -45,30 +56,42 @@ double Ico::estimatePhaseNoiseDbc(double f0Hz, double powerW, double offsetHz,
   return 10.0 * std::log10(l);
 }
 
-core::EvalResult Ico::evaluate(const linalg::Vector& sizes,
-                               const sim::PvtCorner& corner) const {
-  assert(sizes.size() == kParamCount);
-  const sim::MosParams nmos =
-      sim::applyPvt(card_.nmos, sim::MosType::kNmos, corner, card_.tnomK);
-  const sim::MosParams pmos =
-      sim::applyPvt(card_.pmos, sim::MosType::kPmos, corner, card_.tnomK);
-  const double minL = card_.minL;
+namespace {
 
-  sim::Netlist nl;
+/// A stamped ring-oscillator testbench plus the handles measurement needs.
+struct IcoTestbench {
+  sim::Netlist netlist;
+  std::vector<sim::NodeId> ring;
+  std::size_t vddSource = 0;
+  linalg::Vector initialGuess;
+};
+
+IcoTestbench buildIcoTestbench(const sim::ProcessCard& card,
+                               const linalg::Vector& sizes,
+                               const sim::PvtCorner& corner) {
+  assert(sizes.size() == Ico::kParamCount);
+  const sim::MosParams nmos =
+      sim::applyPvt(card.nmos, sim::MosType::kNmos, corner, card.tnomK);
+  const sim::MosParams pmos =
+      sim::applyPvt(card.pmos, sim::MosType::kPmos, corner, card.tnomK);
+  const double minL = card.minL;
+
+  IcoTestbench tb;
+  sim::Netlist& nl = tb.netlist;
   nl.tempK = corner.tempK();
   const sim::NodeId vdd = nl.node("vdd");
   const sim::NodeId nbias = nl.node("nbias");
   const sim::NodeId pbias = nl.node("pbias");
 
   const std::size_t vddSrc = nl.addVSource(vdd, sim::kGround, corner.vdd);
-  nl.addISource(vdd, nbias, sizes[kIctrl]);
+  nl.addISource(vdd, nbias, sizes[Ico::kIctrl]);
 
   using sim::MosType;
-  const sim::MosGeometry gMir{sizes[kWst], 2.0 * minL, 1.0};
-  const sim::MosGeometry gInvN{sizes[kWn], minL, 1.0};
-  const sim::MosGeometry gInvP{sizes[kWp], minL, 1.0};
-  const sim::MosGeometry gStN{sizes[kWst], minL, 1.0};
-  const sim::MosGeometry gStP{2.0 * sizes[kWst], minL, 1.0};
+  const sim::MosGeometry gMir{sizes[Ico::kWst], 2.0 * minL, 1.0};
+  const sim::MosGeometry gInvN{sizes[Ico::kWn], minL, 1.0};
+  const sim::MosGeometry gInvP{sizes[Ico::kWp], minL, 1.0};
+  const sim::MosGeometry gStN{sizes[Ico::kWst], minL, 1.0};
+  const sim::MosGeometry gStP{2.0 * sizes[Ico::kWst], minL, 1.0};
 
   // Bias mirrors: Ictrl -> nbias diode; nbias mirror pulls the pbias diode.
   nl.addMosfet("MNB", nbias, nbias, sim::kGround, sim::kGround, MosType::kNmos,
@@ -78,7 +101,8 @@ core::EvalResult Ico::evaluate(const linalg::Vector& sizes,
   nl.addMosfet("MPB", pbias, pbias, vdd, vdd, MosType::kPmos, gMir, pmos);
 
   // Ring stages. Stage i: in = ring[i], out = ring[i+1 mod N].
-  std::vector<sim::NodeId> ring(kStages);
+  tb.ring.resize(kStages);
+  std::vector<sim::NodeId>& ring = tb.ring;
   for (int i = 0; i < kStages; ++i) ring[i] = nl.node("r" + std::to_string(i));
   for (int i = 0; i < kStages; ++i) {
     const sim::NodeId in = ring[static_cast<std::size_t>(i)];
@@ -101,38 +125,104 @@ core::EvalResult Ico::evaluate(const linalg::Vector& sizes,
   guess[static_cast<std::size_t>(nbias)] = 0.4;
   guess[static_cast<std::size_t>(pbias)] = corner.vdd - 0.4;
 
-  const sim::DcSolver dc(nl);
-  const sim::DcResult op = dc.solve(&guess);
-  if (!op.converged) return {};
+  tb.vddSource = vddSrc;
+  tb.initialGuess = std::move(guess);
+  return tb;
+}
 
+/// Kick the metastable balance point onto the oscillation trajectory.
+linalg::Vector kickedState(const IcoTestbench& tb, const sim::DcResult& op) {
   linalg::Vector ic = op.v;
-  ic[static_cast<std::size_t>(ring[0])] += 0.08;
-  ic[static_cast<std::size_t>(ring[1])] -= 0.05;
+  ic[static_cast<std::size_t>(tb.ring[0])] += 0.08;
+  ic[static_cast<std::size_t>(tb.ring[1])] -= 0.05;
+  return ic;
+}
 
-  sim::TransientOptions topt;
-  topt.tStop = 3.0e-9;
-  topt.dt = 0.8e-12;
-  const sim::TransientSolver tran(nl, topt);
-  const sim::TransientResult tr = tran.run(ic);
+/// Extract {freq, pnoise, power} from a completed transient. Shared by the
+/// scalar and batched paths so both run the identical expressions.
+core::EvalResult measureFromTransient(const IcoTestbench& tb,
+                                      const sim::TransientResult& tr,
+                                      const sim::PvtCorner& corner) {
   if (!tr.completed) return {};
 
-  const sim::Waveform w = tr.waveform(ring[2]);
+  const sim::Waveform w = tr.waveform(tb.ring[2]);
   const double f0 = sim::estimateFrequency(w, corner.vdd * 0.5, 4);
   if (f0 <= 0.0) return {};  // did not oscillate
   // Require sustained swing (not a decaying ringback).
   if (sim::steadyStateAmplitude(w, 0.3) < 0.3 * corner.vdd) return {};
 
-  const double idd = tr.meanVsourceCurrent(vddSrc, 0.5);
+  const double idd = tr.meanVsourceCurrent(tb.vddSource, 0.5);
   const double power = idd * corner.vdd;
 
   core::EvalResult r;
   r.ok = true;
-  r.measurements.assign(kMeasCount, 0.0);
-  r.measurements[kFreqGhz] = f0 / 1e9;
-  r.measurements[kPnoiseDbc] =
-      estimatePhaseNoiseDbc(f0, power, kPnOffsetHz, corner.tempK());
-  r.measurements[kPowerMw] = power * 1e3;
+  r.measurements.assign(Ico::kMeasCount, 0.0);
+  r.measurements[Ico::kFreqGhz] = f0 / 1e9;
+  r.measurements[Ico::kPnoiseDbc] =
+      Ico::estimatePhaseNoiseDbc(f0, power, kPnOffsetHz, corner.tempK());
+  r.measurements[Ico::kPowerMw] = power * 1e3;
   return r;
+}
+
+}  // namespace
+
+core::EvalResult Ico::evaluate(const linalg::Vector& sizes,
+                               const sim::PvtCorner& corner) const {
+  const IcoTestbench tb = buildIcoTestbench(card_, sizes, corner);
+  const sim::DcSolver dc(tb.netlist);
+  const sim::DcResult op = dc.solve(&tb.initialGuess);
+  if (!op.converged) return {};
+
+  const linalg::Vector ic = kickedState(tb, op);
+  const sim::TransientSolver tran(tb.netlist, transientOptions());
+  return measureFromTransient(tb, tran.run(ic), corner);
+}
+
+void Ico::evaluateBatch(const linalg::Vector& sizes,
+                        const sim::PvtCorner* corners,
+                        core::EvalResult* results, std::size_t count) const {
+  for (std::size_t off = 0; off < count; off += sim::kSimLanes) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(sim::kSimLanes, count - off));
+    std::array<IcoTestbench, sim::kSimLanes> tbs;
+    std::array<const sim::Netlist*, sim::kSimLanes> nls{};
+    std::array<const linalg::Vector*, sim::kSimLanes> guesses{};
+    for (int l = 0; l < lanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      tbs[li] = buildIcoTestbench(card_, sizes, corners[off + li]);
+      nls[li] = &tbs[li].netlist;
+      guesses[li] = &tbs[li].initialGuess;
+    }
+    const auto ops = sim::solveDcBatch(nls, guesses);
+
+    std::array<linalg::Vector, sim::kSimLanes> ics;
+    std::array<const sim::Netlist*, sim::kSimLanes> trNls{};
+    std::array<const linalg::Vector*, sim::kSimLanes> initial{};
+    bool anyTr = false;
+    for (int l = 0; l < lanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      if (!ops[li].converged) continue;
+      ics[li] = kickedState(tbs[li], ops[li]);
+      trNls[li] = nls[li];
+      initial[li] = &ics[li];
+      anyTr = true;
+    }
+
+    if (anyTr) {
+      sim::TransientBatch batch(trNls, transientOptions(), initial);
+      batch.run();
+      for (int l = 0; l < lanes; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        results[off + li] =
+            trNls[li] ? measureFromTransient(tbs[li], batch.takeResult(l),
+                                             corners[off + li])
+                      : core::EvalResult{};
+      }
+    } else {
+      for (int l = 0; l < lanes; ++l)
+        results[off + static_cast<std::size_t>(l)] = core::EvalResult{};
+    }
+  }
 }
 
 double Ico::area(const linalg::Vector& sizes) const {
@@ -167,6 +257,11 @@ core::SizingProblem Ico::makeProblem(std::vector<sim::PvtCorner> corners,
   const Ico self = *this;
   p.evaluate = [self](const linalg::Vector& sizes, const sim::PvtCorner& c) {
     return self.evaluate(sizes, c);
+  };
+  p.evaluateBatch = [self](const linalg::Vector& sizes,
+                           const sim::PvtCorner* corners,
+                           core::EvalResult* results, std::size_t count) {
+    self.evaluateBatch(sizes, corners, results, count);
   };
   p.area = [self](const linalg::Vector& sizes) { return self.area(sizes); };
   return p;

@@ -1,10 +1,15 @@
 #include "circuits/ldo.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <complex>
+#include <vector>
 
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/netlist.hpp"
+#include "sim/op_batch.hpp"
 
 namespace trdse::circuits {
 
@@ -49,15 +54,35 @@ core::DesignSpace Ldo::designSpace(const sim::ProcessCard& card) {
   });
 }
 
-core::EvalResult Ldo::evaluate(const linalg::Vector& sizes,
-                               const sim::PvtCorner& corner) const {
-  assert(sizes.size() == kParamCount);
-  const sim::MosParams nmos =
-      sim::applyPvt(card_.nmos, sim::MosType::kNmos, corner, card_.tnomK);
-  const sim::MosParams pmos =
-      sim::applyPvt(card_.pmos, sim::MosType::kPmos, corner, card_.tnomK);
+namespace {
 
-  sim::Netlist nl;
+/// A stamped regulator testbench plus the handles measurement needs.
+struct LdoTestbench {
+  sim::Netlist netlist;
+  sim::NodeId tap = sim::kGround;
+  sim::NodeId fbin = sim::kGround;
+  sim::NodeId vout = sim::kGround;
+  std::size_t vddSource = 0;
+  linalg::Vector initialGuess;
+  double vtarget = 0.0;
+};
+
+/// Loop-sweep grid shared by the scalar and batched measurement paths.
+std::vector<double> loopFreqs() {
+  return sim::AcSolver::logSpace(10.0, 5e9, 110);
+}
+
+LdoTestbench buildLdoTestbench(const sim::ProcessCard& card,
+                               const linalg::Vector& sizes,
+                               const sim::PvtCorner& corner) {
+  assert(sizes.size() == Ldo::kParamCount);
+  const sim::MosParams nmos =
+      sim::applyPvt(card.nmos, sim::MosType::kNmos, corner, card.tnomK);
+  const sim::MosParams pmos =
+      sim::applyPvt(card.pmos, sim::MosType::kPmos, corner, card.tnomK);
+
+  LdoTestbench tb;
+  sim::Netlist& nl = tb.netlist;
   nl.tempK = corner.tempK();
   const sim::NodeId vdd = nl.node("vdd");
   const sim::NodeId vref = nl.node("vref");
@@ -74,15 +99,15 @@ core::EvalResult Ldo::evaluate(const linalg::Vector& sizes,
   // Series loop-gain injection: vdc = 0 keeps the closed loop intact in DC;
   // vac = 1 makes T(s) = v(tap) / v(fbin) in AC.
   nl.addVSource(fbin, tap, 0.0, 1.0);
-  nl.addISource(vdd, bias, sizes[kIbias]);
+  nl.addISource(vdd, bias, sizes[Ldo::kIbias]);
   nl.addISource(vout, sim::kGround, kLoadCurrent);
 
   using sim::MosType;
-  const sim::MosGeometry g1{sizes[kW1], sizes[kL1], 1.0};
-  const sim::MosGeometry g3{sizes[kW3], sizes[kL3], 1.0};
-  const sim::MosGeometry g5{sizes[kW5], sizes[kL5], 1.0};
-  const sim::MosGeometry gp{sizes[kWp], sizes[kLp], 1.0};
-  const sim::MosGeometry g8{kBiasDiodeWidth, sizes[kL5], 1.0};
+  const sim::MosGeometry g1{sizes[Ldo::kW1], sizes[Ldo::kL1], 1.0};
+  const sim::MosGeometry g3{sizes[Ldo::kW3], sizes[Ldo::kL3], 1.0};
+  const sim::MosGeometry g5{sizes[Ldo::kW5], sizes[Ldo::kL5], 1.0};
+  const sim::MosGeometry gp{sizes[Ldo::kWp], sizes[Ldo::kLp], 1.0};
+  const sim::MosGeometry g8{kBiasDiodeWidth, sizes[Ldo::kL5], 1.0};
 
   // Error amplifier: the PMOS pass stage inverts (gate up -> vout down), so
   // the EA must be non-inverting from fbin to its output for net negative
@@ -98,14 +123,15 @@ core::EvalResult Ldo::evaluate(const linalg::Vector& sizes,
                nmos);
   nl.addMosfet("MP", vout, gate, vdd, vdd, MosType::kPmos, gp, pmos);
 
-  nl.addResistor(vout, tap, sizes[kR1]);
-  nl.addResistor(tap, sim::kGround, sizes[kR2]);
-  nl.addCapacitor(gate, sim::kGround, sizes[kCc]);
+  nl.addResistor(vout, tap, sizes[Ldo::kR1]);
+  nl.addResistor(tap, sim::kGround, sizes[Ldo::kR2]);
+  nl.addCapacitor(gate, sim::kGround, sizes[Ldo::kCc]);
   const sim::NodeId esr = nl.node("esr");
   nl.addCapacitor(vout, esr, kLoadCap);
   nl.addResistor(esr, sim::kGround, kLoadEsr);
 
-  const double vtarget = kVref * (sizes[kR1] + sizes[kR2]) / sizes[kR2];
+  const double vtarget =
+      kVref * (sizes[Ldo::kR1] + sizes[Ldo::kR2]) / sizes[Ldo::kR2];
 
   linalg::Vector guess(nl.nodeCount(), 0.0);
   guess[static_cast<std::size_t>(vdd)] = corner.vdd;
@@ -118,36 +144,144 @@ core::EvalResult Ldo::evaluate(const linalg::Vector& sizes,
   guess[static_cast<std::size_t>(vout)] = vtarget;
   guess[static_cast<std::size_t>(bias)] = 0.4;
 
-  const sim::DcSolver dc(nl);
-  const sim::DcResult op = dc.solve(&guess);
+  tb.tap = tap;
+  tb.fbin = fbin;
+  tb.vout = vout;
+  tb.vddSource = vddSrc;
+  tb.initialGuess = std::move(guess);
+  tb.vtarget = vtarget;
+  return tb;
+}
+
+/// Append one loop-gain point T = v(tap)/v(fbin); false when the injection
+/// node response is numerically dead (the scalar path bails out there).
+/// Shared by both paths so the guard and the division are identical.
+bool appendLoopPoint(const std::complex<double>& vTap,
+                     const std::complex<double>& vFb,
+                     std::vector<std::complex<double>>& t) {
+  if (std::abs(vFb) < 1e-18) return false;
+  t.push_back(vTap / vFb);
+  return true;
+}
+
+/// Assemble the result from an operating point + completed loop sweep.
+core::EvalResult resultFromLoop(const Ldo& ldo, const LdoTestbench& tb,
+                                const sim::DcResult& op,
+                                const std::vector<double>& freqs,
+                                const std::vector<std::complex<double>>& t,
+                                const linalg::Vector& sizes) {
+  const sim::LoopMetrics lm = sim::analyzeLoop(freqs, t);
+
+  core::EvalResult r;
+  r.ok = true;
+  r.measurements.assign(Ldo::kMeasCount, 0.0);
+  r.measurements[Ldo::kLoopGainDb] = lm.dcGainDb;
+  r.measurements[Ldo::kLoopPmDeg] = lm.crossesUnity ? lm.phaseMarginDeg : 0.0;
+  r.measurements[Ldo::kVoutErrMv] =
+      std::abs(op.nodeVoltage(tb.vout) - tb.vtarget) * 1e3;
+  r.measurements[Ldo::kAreaAu] = ldo.area(sizes);
+  // Quiescent = supply current minus the delivered load current.
+  const double idd = std::abs(op.vsourceCurrent(tb.vddSource));
+  r.measurements[Ldo::kIqUa] = std::max(0.0, idd - kLoadCurrent) * 1e6;
+  return r;
+}
+
+}  // namespace
+
+core::EvalResult Ldo::evaluate(const linalg::Vector& sizes,
+                               const sim::PvtCorner& corner) const {
+  const LdoTestbench tb = buildLdoTestbench(card_, sizes, corner);
+  const sim::DcSolver dc(tb.netlist);
+  const sim::DcResult op = dc.solve(&tb.initialGuess);
   if (!op.converged) return {};
 
-  const sim::AcSolver ac(nl, op);
-  const auto freqs = sim::AcSolver::logSpace(10.0, 5e9, 110);
+  const sim::AcSolver ac(tb.netlist, op);
+  const auto freqs = loopFreqs();
   // Loop gain: T = v(tap)/v(fbin) per the series-injection identity.
   std::vector<std::complex<double>> t;
   t.reserve(freqs.size());
   for (double f : freqs) {
     const auto x = ac.solveAt(f);
-    const auto vTap = ac.nodeVoltage(x, tap);
-    const auto vFb = ac.nodeVoltage(x, fbin);
-    if (std::abs(vFb) < 1e-18) return {};
-    t.push_back(vTap / vFb);
+    if (!appendLoopPoint(ac.nodeVoltage(x, tb.tap), ac.nodeVoltage(x, tb.fbin),
+                         t))
+      return {};
   }
-  const sim::LoopMetrics lm = sim::analyzeLoop(freqs, t);
+  return resultFromLoop(*this, tb, op, freqs, t, sizes);
+}
 
-  core::EvalResult r;
-  r.ok = true;
-  r.measurements.assign(kMeasCount, 0.0);
-  r.measurements[kLoopGainDb] = lm.dcGainDb;
-  r.measurements[kLoopPmDeg] = lm.crossesUnity ? lm.phaseMarginDeg : 0.0;
-  r.measurements[kVoutErrMv] =
-      std::abs(op.nodeVoltage(vout) - vtarget) * 1e3;
-  r.measurements[kAreaAu] = area(sizes);
-  // Quiescent = supply current minus the delivered load current.
-  const double idd = std::abs(op.vsourceCurrent(vddSrc));
-  r.measurements[kIqUa] = std::max(0.0, idd - kLoadCurrent) * 1e6;
-  return r;
+void Ldo::evaluateBatch(const linalg::Vector& sizes,
+                        const sim::PvtCorner* corners,
+                        core::EvalResult* results, std::size_t count) const {
+  const auto freqs = loopFreqs();
+  for (std::size_t off = 0; off < count; off += sim::kSimLanes) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(sim::kSimLanes, count - off));
+    std::array<LdoTestbench, sim::kSimLanes> tbs;
+    std::array<const sim::Netlist*, sim::kSimLanes> nls{};
+    std::array<const linalg::Vector*, sim::kSimLanes> guesses{};
+    for (int l = 0; l < lanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      tbs[li] = buildLdoTestbench(card_, sizes, corners[off + li]);
+      nls[li] = &tbs[li].netlist;
+      guesses[li] = &tbs[li].initialGuess;
+    }
+    const auto ops = sim::solveDcBatch(nls, guesses);
+
+    std::array<const sim::Netlist*, sim::kSimLanes> acNls{};
+    std::array<const sim::DcResult*, sim::kSimLanes> acOps{};
+    bool anyAc = false;
+    for (int l = 0; l < lanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      if (!ops[li].converged) continue;
+      acNls[li] = nls[li];
+      acOps[li] = &ops[li];
+      anyAc = true;
+    }
+
+    std::array<std::vector<std::complex<double>>, sim::kSimLanes> t;
+    std::array<bool, sim::kSimLanes> dead{};
+    if (anyAc) {
+      sim::AcBatch ac(acNls, acOps);
+      for (int l = 0; l < lanes; ++l)
+        if (acOps[static_cast<std::size_t>(l)])
+          t[static_cast<std::size_t>(l)].reserve(freqs.size());
+      for (const double f : freqs) {
+        ac.solveAt(f);
+        for (int l = 0; l < lanes; ++l) {
+          const auto li = static_cast<std::size_t>(l);
+          if (!acOps[li] || dead[li]) continue;
+          if (!appendLoopPoint(ac.nodeVoltage(l, tbs[li].tap),
+                               ac.nodeVoltage(l, tbs[li].fbin), t[li]))
+            dead[li] = true;
+        }
+      }
+      // A lane whose lane-blocked factorization went non-finite is replayed
+      // through the scalar solver, which is the equivalence reference.
+      for (int l = 0; l < lanes; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        if (!acOps[li] || ac.laneFinite(l)) continue;
+        const sim::AcSolver* solver = ac.laneSolver(l);
+        t[li].clear();
+        dead[li] = false;
+        for (double f : freqs) {
+          const auto x = solver->solveAt(f);
+          if (!appendLoopPoint(solver->nodeVoltage(x, tbs[li].tap),
+                               solver->nodeVoltage(x, tbs[li].fbin), t[li])) {
+            dead[li] = true;
+            break;
+          }
+        }
+      }
+    }
+
+    for (int l = 0; l < lanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      results[off + li] =
+          (acOps[li] && !dead[li])
+              ? resultFromLoop(*this, tbs[li], ops[li], freqs, t[li], sizes)
+              : core::EvalResult{};
+    }
+  }
 }
 
 double Ldo::area(const linalg::Vector& sizes) const {
@@ -186,6 +320,11 @@ core::SizingProblem Ldo::makeProblem(std::vector<sim::PvtCorner> corners,
   const Ldo self = *this;
   p.evaluate = [self](const linalg::Vector& sizes, const sim::PvtCorner& c) {
     return self.evaluate(sizes, c);
+  };
+  p.evaluateBatch = [self](const linalg::Vector& sizes,
+                           const sim::PvtCorner* corners,
+                           core::EvalResult* results, std::size_t count) {
+    self.evaluateBatch(sizes, corners, results, count);
   };
   p.area = [self](const linalg::Vector& sizes) { return self.area(sizes); };
   return p;

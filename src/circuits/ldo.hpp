@@ -51,6 +51,12 @@ class Ldo {
   core::EvalResult evaluate(const linalg::Vector& sizes,
                             const sim::PvtCorner& corner) const;
 
+  /// Fused corner-batch evaluation through the lane-blocked DC/AC engines
+  /// (sim/op_batch.hpp), in chunks of sim::kSimLanes: results[i] is bitwise
+  /// identical to evaluate(sizes, corners[i]).
+  void evaluateBatch(const linalg::Vector& sizes, const sim::PvtCorner* corners,
+                     core::EvalResult* results, std::size_t count) const;
+
   /// Area in the paper's reporting unit (calibrated so the human reference
   /// design sits at ~650).
   double area(const linalg::Vector& sizes) const;

@@ -1,16 +1,46 @@
 #include "circuits/two_stage_opamp.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <complex>
+#include <vector>
 
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/netlist.hpp"
+#include "sim/op_batch.hpp"
 
 namespace trdse::circuits {
 
 namespace {
 constexpr double kLoadCap = 400e-15;  // fixed CL [F]
 constexpr double kBiasDiodeWidth = 2e-6;
+
+/// AC sweep grid shared by the scalar and batched measurement paths.
+std::vector<double> sweepFreqs() {
+  return sim::AcSolver::logSpace(10.0, 20e9, 120);
+}
+
+/// Assemble the result from an operating point + completed sweep. Shared by
+/// measure() and evaluateBatch() so both paths run the identical expressions.
+core::EvalResult resultFromSweep(const TwoStageOpamp::Testbench& tb,
+                                 const sim::DcResult& op,
+                                 const std::vector<double>& freqs,
+                                 const std::vector<std::complex<double>>& h) {
+  const sim::LoopMetrics lm = sim::analyzeLoop(freqs, h);
+  if (!lm.crossesUnity) return {};  // no meaningful UGBW / PM
+
+  core::EvalResult r;
+  r.ok = true;
+  r.measurements.assign(TwoStageOpamp::kMeasCount, 0.0);
+  r.measurements[TwoStageOpamp::kGainDb] = lm.dcGainDb;
+  r.measurements[TwoStageOpamp::kUgbwHz] = lm.unityGainHz;
+  r.measurements[TwoStageOpamp::kPmDeg] = lm.phaseMarginDeg;
+  r.measurements[TwoStageOpamp::kPowerMw] =
+      std::abs(op.vsourceCurrent(tb.vddSource)) * tb.vdd * 1e3;
+  return r;
+}
 }  // namespace
 
 TwoStageOpamp::TwoStageOpamp(const sim::ProcessCard& card) : card_(card) {}
@@ -111,24 +141,72 @@ core::EvalResult TwoStageOpamp::measure(const Testbench& tb) {
   if (!op.converged) return {};
 
   const sim::AcSolver ac(tb.netlist, op);
-  const auto freqs = sim::AcSolver::logSpace(10.0, 20e9, 120);
-  const auto h = ac.sweep(freqs, tb.out);
-  const sim::LoopMetrics lm = sim::analyzeLoop(freqs, h);
-  if (!lm.crossesUnity) return {};  // no meaningful UGBW / PM
-
-  core::EvalResult r;
-  r.ok = true;
-  r.measurements.assign(kMeasCount, 0.0);
-  r.measurements[kGainDb] = lm.dcGainDb;
-  r.measurements[kUgbwHz] = lm.unityGainHz;
-  r.measurements[kPmDeg] = lm.phaseMarginDeg;
-  r.measurements[kPowerMw] = std::abs(op.vsourceCurrent(tb.vddSource)) * tb.vdd * 1e3;
-  return r;
+  const auto freqs = sweepFreqs();
+  return resultFromSweep(tb, op, freqs, ac.sweep(freqs, tb.out));
 }
 
 core::EvalResult TwoStageOpamp::evaluate(const linalg::Vector& sizes,
                                          const sim::PvtCorner& corner) const {
   return measure(buildTestbench(sizes, corner));
+}
+
+void TwoStageOpamp::evaluateBatch(const linalg::Vector& sizes,
+                                  const sim::PvtCorner* corners,
+                                  core::EvalResult* results,
+                                  std::size_t count) const {
+  const auto freqs = sweepFreqs();
+  for (std::size_t off = 0; off < count; off += sim::kSimLanes) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(sim::kSimLanes, count - off));
+    std::array<Testbench, sim::kSimLanes> tbs;
+    std::array<const sim::Netlist*, sim::kSimLanes> nls{};
+    std::array<const linalg::Vector*, sim::kSimLanes> guesses{};
+    for (int l = 0; l < lanes; ++l) {
+      tbs[static_cast<std::size_t>(l)] = buildTestbench(sizes, corners[off + l]);
+      nls[static_cast<std::size_t>(l)] = &tbs[static_cast<std::size_t>(l)].netlist;
+      guesses[static_cast<std::size_t>(l)] =
+          &tbs[static_cast<std::size_t>(l)].initialGuess;
+    }
+    const auto ops = sim::solveDcBatch(nls, guesses);
+
+    std::array<const sim::Netlist*, sim::kSimLanes> acNls{};
+    std::array<const sim::DcResult*, sim::kSimLanes> acOps{};
+    bool anyAc = false;
+    for (int l = 0; l < lanes; ++l) {
+      if (!ops[static_cast<std::size_t>(l)].converged) continue;
+      acNls[static_cast<std::size_t>(l)] = nls[static_cast<std::size_t>(l)];
+      acOps[static_cast<std::size_t>(l)] = &ops[static_cast<std::size_t>(l)];
+      anyAc = true;
+    }
+
+    std::array<std::vector<std::complex<double>>, sim::kSimLanes> h;
+    if (anyAc) {
+      sim::AcBatch ac(acNls, acOps);
+      for (int l = 0; l < lanes; ++l)
+        if (acOps[static_cast<std::size_t>(l)])
+          h[static_cast<std::size_t>(l)].reserve(freqs.size());
+      for (const double f : freqs) {
+        ac.solveAt(f);
+        for (int l = 0; l < lanes; ++l)
+          if (acOps[static_cast<std::size_t>(l)])
+            h[static_cast<std::size_t>(l)].push_back(
+                ac.nodeVoltage(l, tbs[static_cast<std::size_t>(l)].out));
+      }
+      // A lane whose lane-blocked factorization went non-finite is replayed
+      // through the scalar solver, which is the equivalence reference.
+      for (int l = 0; l < lanes; ++l)
+        if (acOps[static_cast<std::size_t>(l)] && !ac.laneFinite(l))
+          h[static_cast<std::size_t>(l)] = ac.laneSolver(l)->sweep(
+              freqs, tbs[static_cast<std::size_t>(l)].out);
+    }
+
+    for (int l = 0; l < lanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      results[off + li] = acOps[li]
+                              ? resultFromSweep(tbs[li], ops[li], freqs, h[li])
+                              : core::EvalResult{};
+    }
+  }
 }
 
 double TwoStageOpamp::area(const linalg::Vector& sizes) const {
@@ -173,6 +251,11 @@ core::SizingProblem TwoStageOpamp::makeProblem(
   const TwoStageOpamp self = *this;  // capture by value (card ref is stable)
   p.evaluate = [self](const linalg::Vector& sizes, const sim::PvtCorner& c) {
     return self.evaluate(sizes, c);
+  };
+  p.evaluateBatch = [self](const linalg::Vector& sizes,
+                           const sim::PvtCorner* corners,
+                           core::EvalResult* results, std::size_t count) {
+    self.evaluateBatch(sizes, corners, results, count);
   };
   p.area = [self](const linalg::Vector& sizes) { return self.area(sizes); };
   return p;

@@ -105,6 +105,18 @@ struct EvalResult {
 using CornerEvalFn =
     std::function<EvalResult(const linalg::Vector& sizes, const sim::PvtCorner&)>;
 
+/// Fused corner-batch evaluation: one sizing on `count` corners in a single
+/// call, results written to `results[0..count)`. The contract is bitwise
+/// equivalence — slot i must hold exactly what the scalar CornerEvalFn
+/// returns for (sizes, corners[i]) — so the EvalEngine may route requests
+/// through either path (see EvalEngineConfig::batchedSim) without changing
+/// any outcome. Implementations handle arbitrary `count` by chunking into
+/// their native lane width internally (sim::kSimLanes for the registry
+/// circuits).
+using CornerBatchEvalFn =
+    std::function<void(const linalg::Vector& sizes, const sim::PvtCorner* corners,
+                       EvalResult* results, std::size_t count)>;
+
 /// The full designer contract (paper IV-F).
 struct SizingProblem {
   std::string name;                           ///< label used in reports
@@ -113,6 +125,10 @@ struct SizingProblem {
   std::vector<Spec> specs;                    ///< the CSP constraints
   std::vector<sim::PvtCorner> corners;        ///< sign-off conditions
   CornerEvalFn evaluate;                      ///< the Spice(X) callback
+  /// Optional fused corner-batch path (bitwise identical to `evaluate` per
+  /// slot). Set by circuits that implement a batched simulator backend; left
+  /// empty by plain callback problems, which then evaluate corner by corner.
+  CornerBatchEvalFn evaluateBatch;
   /// Optional layout-area estimator (Tables IV/V report area).
   std::function<double(const linalg::Vector&)> area;
 

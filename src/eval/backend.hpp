@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/problem.hpp"
+#include "sim/mosfet.hpp"  // kSimLanes, the native batch width of the simulator
 #include "sim/process.hpp"
 
 namespace trdse::eval {
@@ -56,6 +57,34 @@ class EvalBackend {
     (void)context;
     return evaluate(sizes, corner);
   }
+
+  // ---- Corner-batch capability -------------------------------------------
+  //
+  // A backend that can fuse several (sizing, corner) operating points into
+  // one simulator pass (the lane-blocked engines in sim/op_batch.hpp)
+  // advertises a batchWidth() > 1; the EvalEngine then submits its cache
+  // misses as corner-batches of at most that width instead of one request
+  // per backend call. The contract is strict bitwise equivalence: slot i of
+  // evaluateBatch must equal evaluate(sizes, corners[i], contexts[i]) bit
+  // for bit, so routing through either path changes no search outcome,
+  // ledger, or statistic. Plain backends inherit the defaults and behave
+  // exactly as before.
+
+  /// Operating points one evaluateBatch call can fuse (1 = scalar backend).
+  virtual std::size_t batchWidth() const { return 1; }
+
+  /// Evaluate one sizing on `count` corners in a single call; results land
+  /// in `results[0..count)`. `contexts[i]` carries request i's identity (for
+  /// fault decorators). The default loops over the scalar context-aware
+  /// entry point, so overriding batchWidth() alone is never observable.
+  virtual void evaluateBatch(const linalg::Vector& sizes,
+                             const sim::PvtCorner* corners,
+                             const EvalContext* contexts,
+                             core::EvalResult* results,
+                             std::size_t count) const {
+    for (std::size_t i = 0; i < count; ++i)
+      results[i] = evaluate(sizes, corners[i], contexts[i]);
+  }
 };
 
 /// Wraps any CornerEvalFn — the adapter that keeps the existing designer
@@ -63,9 +92,17 @@ class EvalBackend {
 /// unchanged behind the engine.
 class CallbackBackend final : public EvalBackend {
  public:
+  /// `batchFn`, when supplied, is the fused corner-batch path (must be
+  /// bitwise identical to `fn` per slot — see core::CornerBatchEvalFn);
+  /// `batchWidth` is the lane width the engine should chunk requests to.
   explicit CallbackBackend(core::CornerEvalFn fn,
-                           std::string label = "callback")
-      : fn_(std::move(fn)), label_(std::move(label)) {}
+                           std::string label = "callback",
+                           core::CornerBatchEvalFn batchFn = {},
+                           std::size_t batchWidth = sim::kSimLanes)
+      : fn_(std::move(fn)),
+        batchFn_(std::move(batchFn)),
+        width_(batchWidth),
+        label_(std::move(label)) {}
 
   std::string_view name() const override { return label_; }
 
@@ -74,8 +111,24 @@ class CallbackBackend final : public EvalBackend {
     return fn_(sizes, corner);
   }
 
+  std::size_t batchWidth() const override { return batchFn_ ? width_ : 1; }
+
+  void evaluateBatch(const linalg::Vector& sizes,
+                     const sim::PvtCorner* corners,
+                     const EvalContext* contexts, core::EvalResult* results,
+                     std::size_t count) const override {
+    if (batchFn_) {
+      (void)contexts;  // callbacks carry no request identity
+      batchFn_(sizes, corners, results, count);
+    } else {
+      EvalBackend::evaluateBatch(sizes, corners, contexts, results, count);
+    }
+  }
+
  private:
   core::CornerEvalFn fn_;
+  core::CornerBatchEvalFn batchFn_;
+  std::size_t width_ = 1;
   std::string label_;
 };
 

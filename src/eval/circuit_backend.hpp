@@ -31,6 +31,24 @@ class CircuitBackend final : public EvalBackend {
     return problem_.evaluate(sizes, corner);
   }
 
+  /// Registry circuits ship a fused corner-batch evaluator (lane width
+  /// sim::kSimLanes, bitwise identical to the scalar path per slot).
+  std::size_t batchWidth() const override {
+    return problem_.evaluateBatch ? sim::kSimLanes : 1;
+  }
+
+  void evaluateBatch(const linalg::Vector& sizes,
+                     const sim::PvtCorner* corners,
+                     const EvalContext* contexts, core::EvalResult* results,
+                     std::size_t count) const override {
+    if (problem_.evaluateBatch) {
+      (void)contexts;
+      problem_.evaluateBatch(sizes, corners, results, count);
+    } else {
+      EvalBackend::evaluateBatch(sizes, corners, contexts, results, count);
+    }
+  }
+
   /// The registry-built problem (space, specs, measurement names, corners) —
   /// callers construct engines and value functions from it.
   const core::SizingProblem& problem() const { return problem_; }

@@ -50,7 +50,8 @@ EvalEngine::EvalEngine(std::shared_ptr<const EvalBackend> backend,
 EvalEngine::EvalEngine(const core::SizingProblem& problem,
                        EvalEngineConfig config)
     : EvalEngine(std::make_shared<CallbackBackend>(
-                     problem.evaluate, "problem:" + problem.name),
+                     problem.evaluate, "problem:" + problem.name,
+                     problem.evaluateBatch),
                  problem.space, problem.corners,
                  makeMeetsSpec(
                      core::ValueFunction(problem.measurementNames,
@@ -249,6 +250,81 @@ core::EvalResult EvalEngine::runWithRetry(std::size_t cornerIndex,
   return failed;
 }
 
+void EvalEngine::runBatchWithRetry(const std::vector<std::size_t>& cornerIdx,
+                                   std::vector<core::EvalResult>& results,
+                                   std::size_t begin, std::size_t count) {
+  const RetryPolicy& retry = config_.retry;
+  const std::size_t maxAttempts = std::max<std::size_t>(1, retry.maxAttempts);
+  // Lanes still awaiting a clean result, as offsets into the chunk.
+  std::vector<std::size_t> active(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    active[i] = i;
+    missTrace_[begin + i] = MissTrace{};
+  }
+  std::vector<sim::FaultClass> last(count, sim::FaultClass::kNone);
+  std::vector<sim::PvtCorner> corners;
+  std::vector<EvalContext> contexts;
+  std::vector<core::EvalResult> attemptResults;
+  for (std::size_t attempt = 0; attempt < maxAttempts && !active.empty();
+       ++attempt) {
+    corners.clear();
+    contexts.clear();
+    for (const std::size_t lane : active) {
+      const std::size_t corner = cornerIdx[missSlots_[begin + lane]];
+      corners.push_back(corners_[corner]);
+      EvalContext ctx;
+      ctx.indices = &keyScratch_.indices;
+      ctx.cornerIndex = corner;
+      ctx.attempt = attempt;
+      contexts.push_back(ctx);
+    }
+    attemptResults.assign(active.size(), core::EvalResult{});
+    const auto t0 = std::chrono::steady_clock::now();
+    backend_->evaluateBatch(snapScratch_, corners.data(), contexts.data(),
+                            attemptResults.data(), active.size());
+    const double elapsed = secondsSince(t0);
+    // Wall time is charged once per backend call (stats_.backendSeconds sums
+    // traces); it is measurement-only, so the lane attribution is free to
+    // differ from the scalar path's.
+    missTrace_[begin].seconds += elapsed;
+    // Classify each lane exactly as runWithRetry would have (result fault,
+    // wall-clock deadline, finiteness guard); the deadline uses the batch
+    // call's elapsed time, which — like every wall-clock classification — is
+    // outside the determinism contract.
+    std::vector<std::size_t> still;
+    for (std::size_t p = 0; p < active.size(); ++p) {
+      const std::size_t lane = active[p];
+      core::EvalResult& r = attemptResults[p];
+      sim::FaultClass cls = r.failure;
+      if (cls == sim::FaultClass::kNone && retry.timeoutSeconds > 0.0 &&
+          elapsed > retry.timeoutSeconds)
+        cls = sim::FaultClass::kTimeout;
+      if (cls == sim::FaultClass::kNone && r.ok && !allFinite(r.measurements))
+        cls = sim::FaultClass::kNonFinite;
+      MissTrace& trace = missTrace_[begin + lane];
+      if (cls == sim::FaultClass::kNone) {
+        trace.retries = static_cast<std::uint32_t>(attempt);
+        results[missSlots_[begin + lane]] = std::move(r);
+        continue;
+      }
+      last[lane] = cls;
+      if (attempt + 1 < maxAttempts) {
+        const std::size_t unit =
+            std::min(retry.backoffBase << attempt, retry.backoffCap);
+        trace.backoff += static_cast<std::uint32_t>(unit);
+        still.push_back(lane);
+      } else {
+        trace.retries = static_cast<std::uint32_t>(maxAttempts - 1);
+        core::EvalResult failed;
+        failed.ok = false;
+        failed.failure = last[lane];
+        results[missSlots_[begin + lane]] = std::move(failed);
+      }
+    }
+    active.swap(still);
+  }
+}
+
 void EvalEngine::accountRequest(std::size_t cornerIndex, pvt::BlockKind kind,
                                 const core::EvalResult& result, bool cached,
                                 bool shared, bool isMiss,
@@ -342,13 +418,29 @@ std::vector<core::EvalResult> EvalEngine::evalBatch(
     for (std::size_t i = 0; i < n; ++i) missSlots_.push_back(i);
   }
 
-  // ---- Fan the real simulations out (each miss runs its own retry loop);
-  // results land in per-request slots.
+  // ---- Fan the real simulations out; results land in per-request slots.
+  // With a batch-capable backend, misses go down in consecutive chunks of
+  // the backend's lane width (one fused simulator pass per chunk, chunks in
+  // parallel); otherwise each miss runs its own scalar retry loop. Chunk
+  // boundaries depend only on the miss list and the width, and every path
+  // is bitwise per-slot identical, so the outcome is the same for any
+  // thread count and either dispatch mode.
   missTrace_.assign(missSlots_.size(), MissTrace{});
-  pool_.parallelFor(missSlots_.size(), [&](std::size_t m) {
-    const std::size_t i = missSlots_[m];
-    results[i] = runWithRetry(cornerIdx[i], missTrace_[m]);
-  });
+  const std::size_t width =
+      config_.batchedSim ? backend_->batchWidth() : std::size_t{1};
+  if (width > 1) {
+    const std::size_t chunks = (missSlots_.size() + width - 1) / width;
+    pool_.parallelFor(chunks, [&](std::size_t c) {
+      const std::size_t begin = c * width;
+      runBatchWithRetry(cornerIdx, results, begin,
+                        std::min(width, missSlots_.size() - begin));
+    });
+  } else {
+    pool_.parallelFor(missSlots_.size(), [&](std::size_t m) {
+      const std::size_t i = missSlots_[m];
+      results[i] = runWithRetry(cornerIdx[i], missTrace_[m]);
+    });
+  }
 
   // ---- Merge and account after the join, in request order: cache inserts,
   // ledger blocks, and counters are then identical for any thread count.

@@ -79,8 +79,16 @@ struct EvalEngineConfig {
   /// SizingEnv — turn this off so the ledger does not grow unbounded;
   /// EvalStats counters are kept either way.
   bool recordLedger = true;
+  /// Submit cache misses as corner-batches to backends whose batchWidth()
+  /// exceeds 1 (the lane-blocked simulator, sim/op_batch.hpp). Because the
+  /// batch contract is bitwise per-slot equivalence with the scalar path,
+  /// results, ledgers, and stats are identical either way — the knob only
+  /// changes how fast misses simulate. Off = one backend call per miss (the
+  /// pre-batching behavior, and the scalar reference the differential tests
+  /// compare against).
+  bool batchedSim = true;
   /// Retry/timeout handling for faulted attempts.
-  RetryPolicy retry;
+  RetryPolicy retry{};
 };
 
 /// Aggregate engine counters. `requests` is the logical evaluation count the
@@ -270,6 +278,21 @@ class EvalEngine {
   /// config, backend) and writes only through `trace`.
   core::EvalResult runWithRetry(std::size_t cornerIndex,
                                 MissTrace& trace) const;
+
+  /// Corner-batch counterpart of runWithRetry: drive the miss chunk
+  /// missSlots_[begin .. begin+count) through a lockstep retry loop — one
+  /// backend evaluateBatch call per attempt round over the lanes still
+  /// faulted — writing results and missTrace_ entries for each lane.
+  /// Per-lane classification, retry counts, and backoff charges are exactly
+  /// what runWithRetry produces for that lane alone (the fault identity
+  /// tuple (indices, corner, attempt) is per lane, so a decorator's schedule
+  /// cannot tell the paths apart); backend wall time, which is
+  /// measurement-only, is charged once per backend call to the chunk's first
+  /// lane. Thread-safe under the same rules as runWithRetry; chunks write
+  /// disjoint result/trace slots.
+  void runBatchWithRetry(const std::vector<std::size_t>& cornerIdx,
+                         std::vector<core::EvalResult>& results,
+                         std::size_t begin, std::size_t count);
 
   /// Per-request accounting shared by evalBatch's merge loop and evalOne:
   /// updates stats, firstFailure_, and (when enabled) the ledger.

@@ -51,6 +51,18 @@ class FaultInjector final : public EvalBackend {
                             const sim::PvtCorner& corner,
                             const EvalContext& context) const override;
 
+  /// The decorator is transparent to batching: the inner backend's width is
+  /// the batch width, and the batch override draws each lane's fault from
+  /// the same (scope, indices, corner, attempt) tuple as the scalar path —
+  /// a fault scheduled for a request lands in the same slot whether the
+  /// engine dispatches scalar requests or corner-batches.
+  std::size_t batchWidth() const override { return inner_->batchWidth(); }
+
+  void evaluateBatch(const linalg::Vector& sizes,
+                     const sim::PvtCorner* corners,
+                     const EvalContext* contexts, core::EvalResult* results,
+                     std::size_t count) const override;
+
  private:
   std::shared_ptr<const EvalBackend> inner_;
   std::shared_ptr<const sim::FaultPlan> plan_;

@@ -2,12 +2,16 @@
 
 #include <cassert>
 #include <cmath>
+#include <type_traits>
+
+#include "linalg/cxmath.hpp"
 
 namespace trdse::linalg {
 
 namespace {
 double magnitude(double v) { return std::abs(v); }
-double magnitude(const std::complex<double>& v) { return std::abs(v); }
+// Complex pivots order by cabs1, matching the lane-blocked LU (cxmath.hpp).
+double magnitude(const std::complex<double>& v) { return cxPivotMag(v); }
 }  // namespace
 
 template <typename T>
@@ -35,12 +39,26 @@ bool LuSolver<T>::factor(const MatrixT<T>& a) {
       std::swap(perm_[k], perm_[pivot]);
       for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
     }
+    // No zero-skip on the elimination: performing the (mathematically inert)
+    // update even when factor == 0 keeps the scalar op sequence identical to
+    // the lane-blocked batched LU in sim/op_batch.cpp, which cannot branch
+    // per lane. Complex pivots divide by multiplying with a shared naive
+    // reciprocal for the same reason (and it is once per column, not per row).
     const T pivotVal = lu_(k, k);
-    for (std::size_t r = k + 1; r < n; ++r) {
-      const T factor = lu_(r, k) / pivotVal;
-      lu_(r, k) = factor;
-      if (factor == T{}) continue;
-      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    if constexpr (std::is_same_v<T, std::complex<double>>) {
+      const T invPivot = cxReciprocal(pivotVal);
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const T factor = cxMul(lu_(r, k), invPivot);
+        lu_(r, k) = factor;
+        for (std::size_t c = k + 1; c < n; ++c)
+          lu_(r, c) -= cxMul(factor, lu_(k, c));
+      }
+    } else {
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const T factor = lu_(r, k) / pivotVal;
+        lu_(r, k) = factor;
+        for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+      }
     }
   }
   factored_ = true;
@@ -48,23 +66,39 @@ bool LuSolver<T>::factor(const MatrixT<T>& a) {
 }
 
 template <typename T>
-std::vector<T> LuSolver<T>::solve(const std::vector<T>& b) const {
+void LuSolver<T>::solveInto(const T* b, T* x) const {
   assert(factored_);
   const std::size_t n = lu_.rows();
-  assert(b.size() == n);
-  std::vector<T> x(n);
-  // Forward substitution with permutation (L has unit diagonal).
+  // Forward substitution with permutation (L has unit diagonal). Complex
+  // products go through cxMul — see the contraction note in cxmath.hpp.
   for (std::size_t i = 0; i < n; ++i) {
     T acc = b[perm_[i]];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    if constexpr (std::is_same_v<T, std::complex<double>>) {
+      for (std::size_t j = 0; j < i; ++j) acc -= cxMul(lu_(i, j), x[j]);
+    } else {
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    }
     x[i] = acc;
   }
-  // Back substitution.
+  // Back substitution (complex divides via the shared reciprocal — see the
+  // note in factor()).
   for (std::size_t ii = n; ii-- > 0;) {
     T acc = x[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
-    x[ii] = acc / lu_(ii, ii);
+    if constexpr (std::is_same_v<T, std::complex<double>>) {
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= cxMul(lu_(ii, j), x[j]);
+      x[ii] = cxMul(acc, cxReciprocal(lu_(ii, ii)));
+    } else {
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+      x[ii] = acc / lu_(ii, ii);
+    }
   }
+}
+
+template <typename T>
+std::vector<T> LuSolver<T>::solve(const std::vector<T>& b) const {
+  assert(b.size() == lu_.rows());
+  std::vector<T> x(b.size());
+  solveInto(b.data(), x.data());
   return x;
 }
 

@@ -24,6 +24,12 @@ class LuSolver {
   /// Solve A x = b using the stored factorization. Requires factor() == true.
   std::vector<T> solve(const std::vector<T>& b) const;
 
+  /// Allocation-free solve: reads b[0..n), writes x[0..n). b and x may not
+  /// alias. This is the Newton-loop entry point — factor() reuses the matrix
+  /// capacity and solveInto touches no heap, so a factor+solve per iteration
+  /// costs no allocations in steady state.
+  void solveInto(const T* b, T* x) const;
+
   /// One-shot convenience: factor and solve; nullopt when singular.
   static std::optional<std::vector<T>> solveSystem(const MatrixT<T>& a,
                                                    const std::vector<T>& b);

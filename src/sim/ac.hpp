@@ -42,6 +42,14 @@ class AcSolver {
   std::vector<std::complex<double>> sweep(const std::vector<double>& freqs,
                                           NodeId out) const;
 
+  /// Raw stamp access for the batched AC engine (sim/op_batch.cpp), which
+  /// builds its per-lane systems from the scalar solver's matrices so the
+  /// two paths assemble bit-identical A = G + jwC.
+  const linalg::Matrix& gStamps() const { return g_; }
+  const linalg::Matrix& cStamps() const { return c_; }
+  const linalg::Vector& acExcitation() const { return bReal_; }
+  const Netlist& netlist() const { return netlist_; }
+
  private:
   const Netlist& netlist_;
   linalg::Matrix g_;  // conductance + source topology stamps

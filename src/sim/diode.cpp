@@ -1,0 +1,43 @@
+#include "sim/diode.hpp"
+
+#include "core/fastmath.hpp"
+
+namespace trdse::sim {
+
+namespace {
+
+namespace fmx = trdse::fastmath;
+
+constexpr double kMaxExp = 40.0;
+
+// Shared branchless body. For x <= kMaxExp the extension term (x - xe) is
+// exactly zero and e*(1 + 0) == e, so one expression covers both regimes with
+// the knee's value and slope continuous.
+inline DiodeOp evalDiodeOne(double isat, double vt, double vak) {
+  const double x = vak / vt;
+  const double xe = x > kMaxExp ? kMaxExp : x;
+  const double e = fmx::fastExp(xe);
+  DiodeOp op;
+  op.id = isat * (e * (1.0 + (x - xe)) - 1.0);
+  op.gd = isat * e / vt;
+  op.gd += 1e-12;  // gmin keeps reverse-biased diodes from isolating nodes
+  return op;
+}
+
+}  // namespace
+
+DiodeOp evalDiode(const Diode& d, double vak, double tempK) {
+  const double vt = thermalVoltage(tempK) * d.emission;
+  return evalDiodeOne(d.isat, vt, vak);
+}
+
+void evalDiodeBlock(const DiodeCtxBlock& ctx, const double* vak,
+                    DiodeOpBlock& out) {
+  for (int l = 0; l < kSimLanes; ++l) {
+    const DiodeOp op = evalDiodeOne(ctx.isat[l], ctx.vt[l], vak[l]);
+    out.id[l] = op.id;
+    out.gd[l] = op.gd;
+  }
+}
+
+}  // namespace trdse::sim

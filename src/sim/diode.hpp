@@ -1,9 +1,13 @@
 // Exponential junction diode with a C1-continuous linear extension above
 // ~1 V of forward bias so Newton cannot overflow the exponential.
+//
+// Like the MOSFET card, the scalar and batched kernels are compiled in one
+// translation unit (diode.cpp, FP contraction off) and share one branchless
+// formulation, so a lane of evalDiodeBlock is bitwise identical to the
+// corresponding scalar evalDiode call.
 #pragma once
 
-#include <cmath>
-
+#include "sim/mosfet.hpp"  // kSimLanes
 #include "sim/netlist.hpp"
 #include "sim/process.hpp"
 
@@ -14,23 +18,22 @@ struct DiodeOp {
   double gd = 0.0;  ///< small-signal conductance dI/dV
 };
 
-inline DiodeOp evalDiode(const Diode& d, double vak, double tempK) {
-  const double vt = thermalVoltage(tempK) * d.emission;
-  const double x = vak / vt;
-  constexpr double kMaxExp = 40.0;
-  DiodeOp op;
-  if (x > kMaxExp) {
-    // Linear extension: value and slope continuous at the knee.
-    const double eKnee = std::exp(kMaxExp);
-    op.id = d.isat * (eKnee * (1.0 + (x - kMaxExp)) - 1.0);
-    op.gd = d.isat * eKnee / vt;
-  } else {
-    const double e = std::exp(x);
-    op.id = d.isat * (e - 1.0);
-    op.gd = d.isat * e / vt;
-  }
-  op.gd += 1e-12;  // gmin keeps reverse-biased diodes from isolating nodes
-  return op;
-}
+DiodeOp evalDiode(const Diode& d, double vak, double tempK);
+
+/// Per-lane voltage-independent context (lanes differ in corner temperature
+/// and PVT-adjusted saturation current).
+struct DiodeCtxBlock {
+  double isat[kSimLanes];
+  double vt[kSimLanes];  ///< thermalVoltage(tempK) * emission
+};
+
+struct DiodeOpBlock {
+  double id[kSimLanes];
+  double gd[kSimLanes];
+};
+
+/// Lane l bitwise-matches evalDiode with that lane's parameters.
+void evalDiodeBlock(const DiodeCtxBlock& ctx, const double* vak,
+                    DiodeOpBlock& out);
 
 }  // namespace trdse::sim

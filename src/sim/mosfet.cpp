@@ -2,115 +2,186 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#include "core/fastmath.hpp"
+
+// Scalar and batched kernels live in this one translation unit and it is
+// compiled with -ffp-contract=off (see CMakeLists): contraction (FMA fusion)
+// applied differently to the same source in different inlining contexts is
+// enough to break the bitwise scalar<->batched guarantee, so it is disabled
+// here outright.
 
 namespace trdse::sim {
 
 namespace {
 
-/// EKV interpolation F(x) = ln^2(1 + e^{x/2}) and dF/dx, computed without
-/// overflow for large |x|.
+namespace fmx = trdse::fastmath;
+
+/// EKV interpolation F(x) = ln^2(1 + e^{x/2}) and dF/dx. Branchless: one
+/// fastExp feeds both the log1p reduction and the sigmoid, whose denominator
+/// 1 + e^h is exactly the log1p argument, so a single reciprocal serves both.
 struct FPair {
   double f;
   double df;
 };
 
-FPair ekvF(double x) {
-  // ln(1 + e^{x/2}) with the usual stable split.
+inline FPair ekvF(double x) {
   const double h = 0.5 * x;
-  double lnTerm;
-  if (h > 30.0) {
-    lnTerm = h;  // e^{-h} negligible
-  } else {
-    lnTerm = std::log1p(std::exp(h));
-  }
-  // sigmoid(h) = e^h / (1 + e^h), stable on both sides.
-  double sig;
-  if (h > 0) {
-    const double e = std::exp(-h);
-    sig = 1.0 / (1.0 + e);
-  } else {
-    const double e = std::exp(h);
-    sig = e / (1.0 + e);
-  }
-  return {lnTerm * lnTerm, lnTerm * sig};  // dF/dx = 2*ln*(dln/dx) = ln*sig
+  const double ep = fmx::fastExp(h);
+  const double u = 1.0 + ep;
+  const double invU = 1.0 / u;
+  const std::uint64_t uu = fmx::bitsOf(u);
+  const std::int64_t kRaw =
+      static_cast<std::int64_t>((uu + fmx::kLogAdj) >> 52) - 1023;
+  const double k = static_cast<double>(kRaw);
+  const double m = fmx::fromBits(uu - (static_cast<std::uint64_t>(kRaw) << 52));
+  const double c = (ep - (u - 1.0)) * invU;
+  const double s = (m - 1.0) / (m + 1.0);
+  const double poly = 2.0 + fmx::log1pTail(s * s);
+  const double lnFull = k * fmx::kLn2Hi + (s * poly + (c + k * fmx::kLn2Lo));
+  // e^{-h} is negligible past h = 30; the saturated arm keeps the reduction's
+  // exponent arithmetic in range for extreme Newton excursions.
+  const double lnTerm = (h > 30.0) ? h : lnFull;
+  const double sig = ep * invU;                  // sigmoid(h) = e^h/(1+e^h)
+  return {lnTerm * lnTerm, lnTerm * sig};        // dF/dx = ln * sig
 }
+
+/// W-wide ekvF over a flat array: the same per-element op sequence as the
+/// scalar ekvF, staged so the lane loops auto-vectorize; only the 128-entry
+/// table lookup stays scalar.
+template <int W>
+inline void ekvFBlock(const double* x, double* f, double* df) {
+  double h[W], xc[W], kd[W], r[W], scale[W], ep[W];
+  std::uint64_t ki[W];
+  for (int i = 0; i < W; ++i) {
+    h[i] = 0.5 * x[i];
+    xc[i] = h[i] < -708.0 ? -708.0 : (h[i] > 708.0 ? 708.0 : h[i]);
+    kd[i] = xc[i] * fmx::kInvLn2N + fmx::kShift;
+  }
+  for (int i = 0; i < W; ++i) ki[i] = fmx::bitsOf(kd[i]);
+  for (int i = 0; i < W; ++i) {
+    const double k = kd[i] - fmx::kShift;
+    r[i] = (xc[i] - k * fmx::kLn2NHi) - k * fmx::kLn2NLo;
+  }
+  for (int i = 0; i < W; ++i)  // gather stage
+    scale[i] = fmx::fromBits(fmx::bitsOf(fmx::kExp2Tab[ki[i] & 127]) +
+                             ((ki[i] >> 7) << 52));
+  for (int i = 0; i < W; ++i) {
+    const double r2 = r[i] * r[i];
+    const double p =
+        1.0 + r[i] + r2 * (0.5 + r[i] * (1.0 / 6.0) +
+                           r2 * ((1.0 / 24.0) + r[i] * (1.0 / 120.0)));
+    ep[i] = scale[i] * p;
+  }
+  double u[W], invU[W], m[W], kk[W];
+  for (int i = 0; i < W; ++i) {
+    u[i] = 1.0 + ep[i];
+    invU[i] = 1.0 / u[i];
+  }
+  for (int i = 0; i < W; ++i) {
+    const std::uint64_t uu = fmx::bitsOf(u[i]);
+    const std::int64_t kRaw =
+        static_cast<std::int64_t>((uu + fmx::kLogAdj) >> 52) - 1023;
+    kk[i] = static_cast<double>(kRaw);
+    m[i] = fmx::fromBits(uu - (static_cast<std::uint64_t>(kRaw) << 52));
+  }
+  for (int i = 0; i < W; ++i) {
+    const double c = (ep[i] - (u[i] - 1.0)) * invU[i];
+    const double s = (m[i] - 1.0) / (m[i] + 1.0);
+    const double poly = 2.0 + fmx::log1pTail(s * s);
+    const double lnFull =
+        kk[i] * fmx::kLn2Hi + (s * poly + (c + kk[i] * fmx::kLn2Lo));
+    const double lnTerm = (h[i] > 30.0) ? h[i] : lnFull;
+    const double sig = ep[i] * invU[i];
+    f[i] = lnTerm * lnTerm;
+    df[i] = lnTerm * sig;
+  }
+}
+
+constexpr double kMinArg = 0.05;  // body-effect sqrt clamp
+const double kSqMinArg = std::sqrt(kMinArg);
 
 }  // namespace
 
-MosOp evalMos(const MosParams& params, MosType type, const MosGeometry& geom,
-              double vd, double vg, double vs, double vb, double tempK) {
+MosDeviceCtx makeMosCtx(const MosParams& params, MosType type,
+                        const MosGeometry& geom, double tempK) {
+  MosDeviceCtx c;
+  c.sign = (type == MosType::kPmos) ? -1.0 : 1.0;
+  c.vt = thermalVoltage(tempK);
+  c.n = params.slopeN;
+  const double weff = geom.w * geom.m;
+  const double beta = params.kp * weff / geom.l;
+  c.ispec = 2.0 * c.n * beta * c.vt * c.vt;
+  c.sq0 = std::sqrt(params.phi);
+  c.lambda = params.lambdaCoeff / geom.l;
+  c.vth0 = params.vth0;
+  c.gamma = params.gamma;
+  c.phi = params.phi;
+  return c;
+}
+
+MosOp evalMosCtx(const MosDeviceCtx& c, double vd, double vg, double vs,
+                 double vb) {
   // PMOS is evaluated as its mirrored NMOS equivalent (all voltages negated);
   // the current negates on the way back while the derivatives keep their sign
   // (d(-I)/d(-V) = dI/dV).
-  const double sign = (type == MosType::kPmos) ? -1.0 : 1.0;
-  const double vdn = sign * vd;
-  const double vgn = sign * vg;
-  const double vsn = sign * vs;
-  const double vbn = sign * vb;
-
-  const double vt = thermalVoltage(tempK);
-  const double n = params.slopeN;
-  const double weff = geom.w * geom.m;
-  const double beta = params.kp * weff / geom.l;
-  const double ispec = 2.0 * n * beta * vt * vt;
+  const double vdn = c.sign * vd;
+  const double vgn = c.sign * vg;
+  const double vsn = c.sign * vs;
+  const double vbn = c.sign * vb;
 
   // Body effect on threshold (clamped so sqrt stays real and smooth enough).
   const double vsb = vsn - vbn;
-  const double phi = params.phi;
-  const double sq0 = std::sqrt(phi);
-  double vth = params.vth0;
+  double vth = c.vth0;
   double dVthDvs = 0.0;
-  const double arg = phi + vsb;
-  constexpr double kMinArg = 0.05;
+  const double arg = c.phi + vsb;
   if (arg > kMinArg) {
     const double sq = std::sqrt(arg);
-    vth += params.gamma * (sq - sq0);
-    dVthDvs = params.gamma / (2.0 * sq);
+    vth += c.gamma * (sq - c.sq0);
+    dVthDvs = c.gamma / (2.0 * sq);
   } else {
-    const double sq = std::sqrt(kMinArg);
-    vth += params.gamma * (sq - sq0);  // frozen below the clamp
+    vth += c.gamma * (kSqMinArg - c.sq0);  // frozen below the clamp
   }
 
   // Pinch-off voltage referenced to bulk.
-  const double vp = (vgn - vbn - vth) / n;
-  // dvp/dvg = 1/n ; dvp/dvs = -dVthDvs/n ; dvp/dvb = -1/n (+ vth clamp term).
-
-  const double xf = (vp - (vsn - vbn)) / vt;
-  const double xr = (vp - (vdn - vbn)) / vt;
+  const double vp = (vgn - vbn - vth) / c.n;
+  const double xf = (vp - (vsn - vbn)) / c.vt;
+  const double xr = (vp - (vdn - vbn)) / c.vt;
   const auto [ff, dff] = ekvF(xf);
   const auto [fr, dfr] = ekvF(xr);
 
   // Channel-length modulation on the net current.
-  const double lambda = params.lambdaCoeff / geom.l;
   const double vds = vdn - vsn;
-  const double clm = std::max(0.2, 1.0 + lambda * vds);
-  const bool clmActive = (1.0 + lambda * vds) > 0.2;
+  const double clm = std::max(0.2, 1.0 + c.lambda * vds);
+  const bool clmActive = (1.0 + c.lambda * vds) > 0.2;
 
-  const double core = ispec * (ff - fr);
+  const double core = c.ispec * (ff - fr);
   const double ids = core * clm;
 
   // Chain rule into terminal voltages (all in the NMOS-equivalent frame).
-  const double dXfDvg = (1.0 / n) / vt;
+  const double dXfDvg = (1.0 / c.n) / c.vt;
   const double dXrDvg = dXfDvg;
-  const double dXfDvs = (-dVthDvs / n - 1.0) / vt;
-  const double dXrDvs = (-dVthDvs / n) / vt;
+  const double dXfDvs = (-dVthDvs / c.n - 1.0) / c.vt;
+  const double dXrDvs = (-dVthDvs / c.n) / c.vt;
   const double dXfDvd = 0.0;
-  const double dXrDvd = -1.0 / vt;
+  const double dXrDvd = -1.0 / c.vt;
   // vb enters via vp's -vb/n... and the explicit +vb in both x terms:
-  // xf = (vp - vs + vb)/vt with vp containing -vb/n  =>  d xf/d vb = (1 - 1/n + dVthDvs/n)/vt
-  const double dXfDvb = (1.0 - 1.0 / n + dVthDvs / n) / vt;
+  // xf = (vp - vs + vb)/vt with vp containing -vb/n
+  //   =>  d xf/d vb = (1 - 1/n + dVthDvs/n)/vt
+  const double dXfDvb = (1.0 - 1.0 / c.n + dVthDvs / c.n) / c.vt;
   const double dXrDvb = dXfDvb;
 
-  const double dCoreDvg = ispec * (dff * dXfDvg - dfr * dXrDvg);
-  const double dCoreDvd = ispec * (dff * dXfDvd - dfr * dXrDvd);
-  const double dCoreDvs = ispec * (dff * dXfDvs - dfr * dXrDvs);
-  const double dCoreDvb = ispec * (dff * dXfDvb - dfr * dXrDvb);
+  const double dCoreDvg = c.ispec * (dff * dXfDvg - dfr * dXrDvg);
+  const double dCoreDvd = c.ispec * (dff * dXfDvd - dfr * dXrDvd);
+  const double dCoreDvs = c.ispec * (dff * dXfDvs - dfr * dXrDvs);
+  const double dCoreDvb = c.ispec * (dff * dXfDvb - dfr * dXrDvb);
 
-  const double dClmDvd = clmActive ? lambda : 0.0;
-  const double dClmDvs = clmActive ? -lambda : 0.0;
+  const double dClmDvd = clmActive ? c.lambda : 0.0;
+  const double dClmDvs = clmActive ? -c.lambda : 0.0;
 
   MosOp op;
-  op.ids = sign * ids;
+  op.ids = c.sign * ids;
   op.dIdVd = dCoreDvd * clm + core * dClmDvd;
   op.dIdVg = dCoreDvg * clm;
   op.dIdVs = dCoreDvs * clm + core * dClmDvs;
@@ -118,6 +189,86 @@ MosOp evalMos(const MosParams& params, MosType type, const MosGeometry& geom,
   op.gm = std::abs(op.dIdVg);
   op.gds = std::abs(op.dIdVd);
   return op;
+}
+
+void evalMosBlock(const MosCtxBlock& c, const double* vd, const double* vg,
+                  const double* vs, const double* vb, MosOpBlock& out) {
+  constexpr int L = kSimLanes;
+  double vdn[L], vgn[L], vsn[L], vbn[L], arg[L], vth[L], dVthDvs[L];
+  double xf[L], xr[L];
+  for (int l = 0; l < L; ++l) {
+    vdn[l] = c.sign[l] * vd[l];
+    vgn[l] = c.sign[l] * vg[l];
+    vsn[l] = c.sign[l] * vs[l];
+    vbn[l] = c.sign[l] * vb[l];
+    arg[l] = c.phi[l] + (vsn[l] - vbn[l]);
+  }
+  for (int l = 0; l < L; ++l) {
+    // Blend form of the scalar branch. sqrt is correctly rounded, so
+    // sqrt(kMinArg) here is bit-identical to the scalar path's precomputed
+    // kSqMinArg, and the one unconditional sqrt covers both arms; the
+    // division runs unconditionally on a strictly-positive sq and only its
+    // result is blended, which lets the lane loop if-convert and vectorize.
+    const bool body = arg[l] > kMinArg;
+    const double sq = std::sqrt(body ? arg[l] : kMinArg);
+    const double dv = c.gamma[l] / (2.0 * sq);
+    vth[l] = c.vth0[l] + c.gamma[l] * (sq - c.sq0[l]);
+    dVthDvs[l] = body ? dv : 0.0;
+  }
+  for (int l = 0; l < L; ++l) {
+    const double vp = (vgn[l] - vbn[l] - vth[l]) / c.n[l];
+    xf[l] = (vp - (vsn[l] - vbn[l])) / c.vt[l];
+    xr[l] = (vp - (vdn[l] - vbn[l])) / c.vt[l];
+  }
+  double xfr[2 * L], f[2 * L], df[2 * L];
+  for (int l = 0; l < L; ++l) {
+    xfr[l] = xf[l];
+    xfr[L + l] = xr[l];
+  }
+  ekvFBlock<2 * L>(xfr, f, df);
+  for (int l = 0; l < L; ++l) {
+    const double ff = f[l], dff = df[l];
+    const double fr = f[L + l], dfr = df[L + l];
+
+    const double vds = vdn[l] - vsn[l];
+    const double clmRaw = 1.0 + c.lambda[l] * vds;
+    const double clm = std::max(0.2, clmRaw);
+    const bool clmActive = clmRaw > 0.2;
+
+    const double core = c.ispec[l] * (ff - fr);
+    const double ids = core * clm;
+
+    const double dXfDvg = (1.0 / c.n[l]) / c.vt[l];
+    const double dXrDvg = dXfDvg;
+    const double dXfDvs = (-dVthDvs[l] / c.n[l] - 1.0) / c.vt[l];
+    const double dXrDvs = (-dVthDvs[l] / c.n[l]) / c.vt[l];
+    const double dXfDvd = 0.0;
+    const double dXrDvd = -1.0 / c.vt[l];
+    const double dXfDvb =
+        (1.0 - 1.0 / c.n[l] + dVthDvs[l] / c.n[l]) / c.vt[l];
+    const double dXrDvb = dXfDvb;
+
+    const double dCoreDvg = c.ispec[l] * (dff * dXfDvg - dfr * dXrDvg);
+    const double dCoreDvd = c.ispec[l] * (dff * dXfDvd - dfr * dXrDvd);
+    const double dCoreDvs = c.ispec[l] * (dff * dXfDvs - dfr * dXrDvs);
+    const double dCoreDvb = c.ispec[l] * (dff * dXfDvb - dfr * dXrDvb);
+
+    const double dClmDvd = clmActive ? c.lambda[l] : 0.0;
+    const double dClmDvs = clmActive ? -c.lambda[l] : 0.0;
+
+    out.ids[l] = c.sign[l] * ids;
+    out.dIdVd[l] = dCoreDvd * clm + core * dClmDvd;
+    out.dIdVg[l] = dCoreDvg * clm;
+    out.dIdVs[l] = dCoreDvs * clm + core * dClmDvs;
+    out.dIdVb[l] = dCoreDvb * clm;
+    out.gm[l] = std::abs(out.dIdVg[l]);
+    out.gds[l] = std::abs(out.dIdVd[l]);
+  }
+}
+
+MosOp evalMos(const MosParams& params, MosType type, const MosGeometry& geom,
+              double vd, double vg, double vs, double vb, double tempK) {
+  return evalMosCtx(makeMosCtx(params, type, geom, tempK), vd, vg, vs, vb);
 }
 
 double gateCapacitance(const MosParams& params, const MosGeometry& geom) {

@@ -5,11 +5,24 @@
 // DC solver well-conditioned — the reason we prefer it to a piecewise
 // level-1 model. Channel-length modulation provides the finite output
 // conductance the opamp gain measurements depend on.
+//
+// Two evaluation paths share one set of compiled kernels in mosfet.cpp:
+//  - scalar: evalMos / evalMosCtx, one operating point at a time;
+//  - batched: evalMosBlock, kSimLanes operating points in AoSoA layout.
+// Both run the exact same per-lane floating-point op sequence (the blend arms
+// of the block kernel compute the same expressions the scalar branches do,
+// and the TU is compiled with FP contraction off), so a lane of the block is
+// bitwise identical to the scalar call. tests/sim_batch_test.cpp locks this.
 #pragma once
 
 #include "sim/process.hpp"
 
 namespace trdse::sim {
+
+/// Lane width of the batched operating-point kernels. Four doubles fill one
+/// AVX2 register; on narrower targets the lane loops degrade gracefully to
+/// scalar code with identical results.
+inline constexpr int kSimLanes = 4;
 
 /// Large-signal operating point of one device. `ids` is the current entering
 /// the drain terminal and leaving at the source (negative for a conducting
@@ -32,9 +45,62 @@ struct MosGeometry {
   double m = 1.0;   ///< parallel multiplier
 };
 
+/// Voltage-independent per-device context: everything evalMos derives from
+/// (params, type, geom, tempK) hoisted out of the Newton loop. Building it
+/// once per device per operating point and replaying it each iteration is
+/// what makes the batched path cheap.
+struct MosDeviceCtx {
+  double sign = 1.0;   ///< -1 for PMOS (mirrored-NMOS evaluation)
+  double vt = 0.0;     ///< thermal voltage [V]
+  double n = 1.0;      ///< subthreshold slope factor
+  double ispec = 0.0;  ///< 2 n beta vt^2
+  double sq0 = 0.0;    ///< sqrt(phi)
+  double lambda = 0.0;
+  double vth0 = 0.0;
+  double gamma = 0.0;
+  double phi = 0.0;
+};
+
+MosDeviceCtx makeMosCtx(const MosParams& params, MosType type,
+                        const MosGeometry& geom, double tempK);
+
+/// Scalar kernel on a prebuilt context.
+MosOp evalMosCtx(const MosDeviceCtx& ctx, double vd, double vg, double vs,
+                 double vb);
+
+/// AoSoA context / result blocks for kSimLanes operating points of the same
+/// netlist device (lanes differ in sizing and/or PVT corner).
+struct MosCtxBlock {
+  double sign[kSimLanes];
+  double vt[kSimLanes];
+  double n[kSimLanes];
+  double ispec[kSimLanes];
+  double sq0[kSimLanes];
+  double lambda[kSimLanes];
+  double vth0[kSimLanes];
+  double gamma[kSimLanes];
+  double phi[kSimLanes];
+};
+
+struct MosOpBlock {
+  double ids[kSimLanes];
+  double dIdVd[kSimLanes];
+  double dIdVg[kSimLanes];
+  double dIdVs[kSimLanes];
+  double dIdVb[kSimLanes];
+  double gm[kSimLanes];
+  double gds[kSimLanes];
+};
+
+/// Batched kernel: lane l of `out` is bitwise identical to
+/// evalMosCtx(ctx-of-lane-l, vd[l], vg[l], vs[l], vb[l]).
+void evalMosBlock(const MosCtxBlock& ctx, const double* vd, const double* vg,
+                  const double* vs, const double* vb, MosOpBlock& out);
+
 /// Evaluate the model at terminal voltages (vd, vg, vs, vb) against bulk
 /// reference; `params` must already be PVT-adjusted (see applyPvt) and
-/// `tempK` sets the thermal voltage.
+/// `tempK` sets the thermal voltage. Convenience wrapper over makeMosCtx +
+/// evalMosCtx.
 MosOp evalMos(const MosParams& params, MosType type, const MosGeometry& geom,
               double vd, double vg, double vs, double vb, double tempK);
 

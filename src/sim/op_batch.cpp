@@ -1,0 +1,1355 @@
+// Batched operating-point engines. See op_batch.hpp for the lane-equivalence
+// contract. Everything here replicates the scalar solvers' floating-point
+// expressions literally, per lane, in the scalar stamp order; this TU is
+// compiled with FP contraction off (see CMakeLists.txt) so the replicated
+// expressions cannot fuse differently from the scalar TUs.
+#include "sim/op_batch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "linalg/cxmath.hpp"
+#include "linalg/lu.hpp"
+#include "sim/diode.hpp"
+
+namespace trdse::sim {
+
+namespace {
+
+constexpr int L = kSimLanes;
+
+// ---------------------------------------------------------------------------
+// Lane-blocked dense MNA system: entry (r, c) of lane l lives at
+// a[(r*n + c)*L + l], so the four lanes of one cell are contiguous and the
+// elimination / stamp inner loops vectorize across lanes.
+// ---------------------------------------------------------------------------
+struct LaneSystem {
+  std::size_t n = 0;
+  std::vector<double> a;    // (r*n + c)*L + l
+  std::vector<double> rhs;  // i*L + l
+
+  void reset(std::size_t dim) {
+    n = dim;
+    a.assign(n * n * static_cast<std::size_t>(L), 0.0);
+    rhs.assign(n * static_cast<std::size_t>(L), 0.0);
+  }
+  void zero() {
+    std::fill(a.begin(), a.end(), 0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+  }
+  double& at(std::size_t r, std::size_t c, int l) {
+    return a[(r * n + c) * L + static_cast<std::size_t>(l)];
+  }
+  double& rv(std::size_t i, int l) {
+    return rhs[i * L + static_cast<std::size_t>(l)];
+  }
+};
+
+/// Lanes that are frozen, dead, or unused still go through the shared LU, so
+/// give them a benign identity system (diag 1, rhs 0): factoring stays finite
+/// and their solve output is all zeros (and discarded).
+void clearLaneToIdentity(LaneSystem& sys, int l) {
+  for (std::size_t r = 0; r < sys.n; ++r)
+    for (std::size_t c = 0; c < sys.n; ++c) sys.at(r, c, l) = (r == c) ? 1.0 : 0.0;
+  for (std::size_t i = 0; i < sys.n; ++i) sys.rv(i, l) = 0.0;
+}
+
+// Per-lane stamp helpers mirroring the scalar solvers' stampG/stampI/addAt
+// (same ground skips, same += order).
+void stampG(LaneSystem& sys, const Netlist& nl, int l, NodeId a, NodeId b,
+            double g) {
+  if (a != kGround) {
+    const std::size_t ia = nl.nodeIndex(a);
+    sys.at(ia, ia, l) += g;
+    if (b != kGround) sys.at(ia, nl.nodeIndex(b), l) -= g;
+  }
+  if (b != kGround) {
+    const std::size_t ib = nl.nodeIndex(b);
+    sys.at(ib, ib, l) += g;
+    if (a != kGround) sys.at(ib, nl.nodeIndex(a), l) -= g;
+  }
+}
+
+void stampI(LaneSystem& sys, const Netlist& nl, int l, NodeId a, NodeId b,
+            double i) {
+  if (a != kGround) sys.rv(nl.nodeIndex(a), l) -= i;
+  if (b != kGround) sys.rv(nl.nodeIndex(b), l) += i;
+}
+
+/// stampI into a bare lane-blocked vector (the transient per-step RHS).
+void stampIVec(std::vector<double>& rhsB, const Netlist& nl, int l, NodeId a,
+               NodeId b, double i) {
+  if (a != kGround) rhsB[nl.nodeIndex(a) * L + static_cast<std::size_t>(l)] -= i;
+  if (b != kGround) rhsB[nl.nodeIndex(b) * L + static_cast<std::size_t>(l)] += i;
+}
+
+void addAt(LaneSystem& sys, const Netlist& nl, int l, NodeId r, NodeId cNode,
+           double c) {
+  if (r == kGround || cNode == kGround) return;
+  sys.at(nl.nodeIndex(r), nl.nodeIndex(cNode), l) += c;
+}
+
+// ---------------------------------------------------------------------------
+// Lane-blocked real LU. Pivot choice and row swaps are per lane (identical to
+// the scalar LuSolver's partial pivoting, decided on the lane's own values);
+// the elimination arithmetic runs vectorized across the lane dimension, which
+// per lane is the exact op sequence scalar factor() performs.
+// ---------------------------------------------------------------------------
+struct LaneLu {
+  std::size_t n = 0;
+  std::vector<double> lu;           // (r*n + c)*L + l
+  std::vector<std::size_t> perm;    // i*L + l
+  bool ok[L] = {};                  // per-lane "factored and nonsingular"
+
+  void factor(const LaneSystem& sys, const bool* want) {
+    n = sys.n;
+    lu.assign(sys.a.begin(), sys.a.end());
+    perm.resize(n * L);
+    for (std::size_t i = 0; i < n; ++i)
+      for (int l = 0; l < L; ++l) perm[i * L + l] = i;
+    for (int l = 0; l < L; ++l) ok[l] = want[l];
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Per-lane partial pivoting: largest magnitude in column k. The scan
+      // runs with the lane loop innermost so the compare/blend vectorizes;
+      // per lane the selection (strict >, first maximum wins) is identical
+      // to the scalar solver's scan. Dead lanes scan garbage harmlessly.
+      double best[L];
+      int pivotRow[L];
+      for (int l = 0; l < L; ++l) {
+        best[l] = std::abs(lu[(k * n + k) * L + l]);
+        pivotRow[l] = static_cast<int>(k);
+      }
+      for (std::size_t r = k + 1; r < n; ++r) {
+        for (int l = 0; l < L; ++l) {
+          const double m = std::abs(lu[(r * n + k) * L + l]);
+          const bool better = m > best[l];
+          best[l] = better ? m : best[l];
+          pivotRow[l] = better ? static_cast<int>(r) : pivotRow[l];
+        }
+      }
+      for (int l = 0; l < L; ++l) {
+        if (!ok[l]) continue;
+        if (best[l] < 1e-300) {  // numerically singular (this lane only)
+          ok[l] = false;
+          continue;
+        }
+        const std::size_t pivot = static_cast<std::size_t>(pivotRow[l]);
+        if (pivot != k) {
+          std::swap(perm[k * L + l], perm[pivot * L + l]);
+          for (std::size_t c = 0; c < n; ++c)
+            std::swap(lu[(k * n + c) * L + l], lu[(pivot * n + c) * L + l]);
+        }
+      }
+      // Vectorized elimination. Lanes flagged !ok may compute garbage
+      // (inf/NaN) here; their results are never read. rowR and rowK address
+      // disjoint rows (r > k), so __restrict is legal and spares the
+      // vectorizer its runtime aliasing checks.
+      const double* __restrict rowK = &lu[(k * n) * L];
+      for (std::size_t r = k + 1; r < n; ++r) {
+        double* __restrict rowR = &lu[(r * n) * L];
+        double f[L];
+        for (int l = 0; l < L; ++l) f[l] = rowR[k * L + l] / rowK[k * L + l];
+        for (int l = 0; l < L; ++l) rowR[k * L + l] = f[l];
+        for (std::size_t c = k + 1; c < n; ++c)
+          for (int l = 0; l < L; ++l) rowR[c * L + l] -= f[l] * rowK[c * L + l];
+      }
+    }
+  }
+
+  /// Per lane this is exactly LuSolver<double>::solveInto. `bB` must not
+  /// alias `xB` (callers pass the system RHS and a separate solution buffer);
+  /// the __restrict'ed raw pointers let the short inner lane loops vectorize
+  /// without per-loop runtime aliasing checks.
+  void solve(const std::vector<double>& bB, std::vector<double>& xB) const {
+    xB.resize(n * L);
+    const double* __restrict lup = lu.data();
+    const double* __restrict b = bB.data();
+    double* __restrict x = xB.data();
+    const std::size_t* __restrict pp = perm.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc[L];
+      for (int l = 0; l < L; ++l) acc[l] = b[pp[i * L + l] * L + l];
+      for (std::size_t j = 0; j < i; ++j)
+        for (int l = 0; l < L; ++l) acc[l] -= lup[(i * n + j) * L + l] * x[j * L + l];
+      for (int l = 0; l < L; ++l) x[i * L + l] = acc[l];
+    }
+    for (std::size_t ii = n; ii-- > 0;) {
+      double acc[L];
+      for (int l = 0; l < L; ++l) acc[l] = x[ii * L + l];
+      for (std::size_t j = ii + 1; j < n; ++j)
+        for (int l = 0; l < L; ++l) acc[l] -= lup[(ii * n + j) * L + l] * x[j * L + l];
+      for (int l = 0; l < L; ++l)
+        x[ii * L + l] = acc[l] / lup[(ii * n + ii) * L + l];
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Per-device AoSoA contexts + per-round operating-point blocks. Lanes whose
+// netlist pointer is null copy the reference lane's context (their outputs
+// are never read, but the kernels must not see indeterminate inputs).
+// ---------------------------------------------------------------------------
+struct DeviceBlocks {
+  std::vector<MosCtxBlock> mosCtx;
+  std::vector<MosOpBlock> mosOp;
+  std::vector<DiodeCtxBlock> dioCtx;
+  std::vector<DiodeOpBlock> dioOp;
+};
+
+void buildDeviceBlocks(const std::array<const Netlist*, kSimLanes>& nls, int ref,
+                       DeviceBlocks& db) {
+  const Netlist& rnl = *nls[ref];
+  db.mosCtx.resize(rnl.mosfets().size());
+  db.mosOp.resize(rnl.mosfets().size());
+  for (std::size_t k = 0; k < rnl.mosfets().size(); ++k) {
+    for (int l = 0; l < L; ++l) {
+      const Netlist& nl = nls[l] != nullptr ? *nls[l] : rnl;
+      const auto& fet = nl.mosfets()[k];
+      const MosDeviceCtx c = makeMosCtx(fet.params, fet.type, fet.geom, nl.tempK);
+      db.mosCtx[k].sign[l] = c.sign;
+      db.mosCtx[k].vt[l] = c.vt;
+      db.mosCtx[k].n[l] = c.n;
+      db.mosCtx[k].ispec[l] = c.ispec;
+      db.mosCtx[k].sq0[l] = c.sq0;
+      db.mosCtx[k].lambda[l] = c.lambda;
+      db.mosCtx[k].vth0[l] = c.vth0;
+      db.mosCtx[k].gamma[l] = c.gamma;
+      db.mosCtx[k].phi[l] = c.phi;
+    }
+  }
+  db.dioCtx.resize(rnl.diodes().size());
+  db.dioOp.resize(rnl.diodes().size());
+  for (std::size_t k = 0; k < rnl.diodes().size(); ++k) {
+    for (int l = 0; l < L; ++l) {
+      const Netlist& nl = nls[l] != nullptr ? *nls[l] : rnl;
+      const auto& d = nl.diodes()[k];
+      db.dioCtx[k].isat[l] = d.isat;
+      // Same expression evalDiode uses; contraction is off in both TUs.
+      db.dioCtx[k].vt[l] = thermalVoltage(nl.tempK) * d.emission;
+    }
+  }
+}
+
+/// One lockstep round of device-card evaluation at each lane's current
+/// voltages. Lanes with a null vector gather 0.0 (benign inputs; the outputs
+/// of those lanes are discarded) — a dead lane's last iterate may hold
+/// non-finite values the kernels must never see.
+void evalDeviceBlocks(const Netlist& rnl, DeviceBlocks& db,
+                      const std::array<const linalg::Vector*, kSimLanes>& v) {
+  for (std::size_t k = 0; k < rnl.mosfets().size(); ++k) {
+    const auto& fet = rnl.mosfets()[k];
+    double vd[L], vg[L], vs[L], vb[L];
+    for (int l = 0; l < L; ++l) {
+      if (v[l] != nullptr) {
+        vd[l] = (*v[l])[static_cast<std::size_t>(fet.d)];
+        vg[l] = (*v[l])[static_cast<std::size_t>(fet.g)];
+        vs[l] = (*v[l])[static_cast<std::size_t>(fet.s)];
+        vb[l] = (*v[l])[static_cast<std::size_t>(fet.b)];
+      } else {
+        vd[l] = vg[l] = vs[l] = vb[l] = 0.0;
+      }
+    }
+    evalMosBlock(db.mosCtx[k], vd, vg, vs, vb, db.mosOp[k]);
+  }
+  for (std::size_t k = 0; k < rnl.diodes().size(); ++k) {
+    const auto& d = rnl.diodes()[k];
+    double vak[L];
+    for (int l = 0; l < L; ++l) {
+      vak[l] = v[l] != nullptr ? (*v[l])[static_cast<std::size_t>(d.a)] -
+                                     (*v[l])[static_cast<std::size_t>(d.k)]
+                               : 0.0;
+    }
+    evalDiodeBlock(db.dioCtx[k], vak, db.dioOp[k]);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// sameTopology
+// ---------------------------------------------------------------------------
+bool sameTopology(const Netlist& a, const Netlist& b) {
+  if (a.nodeCount() != b.nodeCount()) return false;
+  if (a.resistors().size() != b.resistors().size() ||
+      a.capacitors().size() != b.capacitors().size() ||
+      a.vsources().size() != b.vsources().size() ||
+      a.isources().size() != b.isources().size() ||
+      a.vcvs().size() != b.vcvs().size() || a.vccs().size() != b.vccs().size() ||
+      a.diodes().size() != b.diodes().size() ||
+      a.inductors().size() != b.inductors().size() ||
+      a.mosfets().size() != b.mosfets().size())
+    return false;
+  for (std::size_t i = 0; i < a.resistors().size(); ++i)
+    if (a.resistors()[i].a != b.resistors()[i].a ||
+        a.resistors()[i].b != b.resistors()[i].b)
+      return false;
+  for (std::size_t i = 0; i < a.capacitors().size(); ++i)
+    if (a.capacitors()[i].a != b.capacitors()[i].a ||
+        a.capacitors()[i].b != b.capacitors()[i].b)
+      return false;
+  for (std::size_t i = 0; i < a.vsources().size(); ++i)
+    if (a.vsources()[i].p != b.vsources()[i].p ||
+        a.vsources()[i].n != b.vsources()[i].n)
+      return false;
+  for (std::size_t i = 0; i < a.isources().size(); ++i)
+    if (a.isources()[i].p != b.isources()[i].p ||
+        a.isources()[i].n != b.isources()[i].n)
+      return false;
+  for (std::size_t i = 0; i < a.vcvs().size(); ++i)
+    if (a.vcvs()[i].p != b.vcvs()[i].p || a.vcvs()[i].n != b.vcvs()[i].n ||
+        a.vcvs()[i].cp != b.vcvs()[i].cp || a.vcvs()[i].cn != b.vcvs()[i].cn)
+      return false;
+  for (std::size_t i = 0; i < a.vccs().size(); ++i)
+    if (a.vccs()[i].p != b.vccs()[i].p || a.vccs()[i].n != b.vccs()[i].n ||
+        a.vccs()[i].cp != b.vccs()[i].cp || a.vccs()[i].cn != b.vccs()[i].cn)
+      return false;
+  for (std::size_t i = 0; i < a.diodes().size(); ++i)
+    if (a.diodes()[i].a != b.diodes()[i].a || a.diodes()[i].k != b.diodes()[i].k)
+      return false;
+  for (std::size_t i = 0; i < a.inductors().size(); ++i)
+    if (a.inductors()[i].a != b.inductors()[i].a ||
+        a.inductors()[i].b != b.inductors()[i].b)
+      return false;
+  for (std::size_t i = 0; i < a.mosfets().size(); ++i)
+    if (a.mosfets()[i].d != b.mosfets()[i].d ||
+        a.mosfets()[i].g != b.mosfets()[i].g ||
+        a.mosfets()[i].s != b.mosfets()[i].s ||
+        a.mosfets()[i].b != b.mosfets()[i].b)
+      return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Batched DC
+// ---------------------------------------------------------------------------
+namespace {
+
+// DcSolver::solve's fallback ladder, phase-encoded:
+//   0        plain Newton from the guess
+//   1..9     gmin stepping (kGminLadder), warm-started
+//   10       retry at opts.gmin from the gmin-ladder warm vector (terminal on
+//            convergence)
+//   11..19   source stepping (kSrcLadder) at gmin = 1e-9
+//   20       final attempt at opts.gmin (terminal regardless)
+constexpr double kGminLadder[9] = {1e-3, 1e-4, 1e-5, 1e-6, 1e-7,
+                                   1e-8, 1e-9, 1e-10, 1e-11};
+constexpr double kSrcLadder[9] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+
+struct DcLane {
+  bool active = false;
+  bool done = false;
+  int phase = 0;
+  int iter = 0;        ///< completed iterations of the current loop
+  int iterations = 0;  ///< scalar result.iterations bookkeeping
+  double gmin = 0.0;
+  double srcScale = 1.0;
+  linalg::Vector v;     ///< current iterate (scalar result.v)
+  linalg::Vector v0;    ///< original guess
+  linalg::Vector warm;  ///< warm-start carry between ladder loops
+  std::vector<double> xSave;  ///< solution column of the converged iteration
+  DcResult result;
+};
+
+void dcEndLoop(DcLane& ln, bool converged, const Netlist& nl,
+               const DcOptions& opts);
+
+void dcStartLoop(DcLane& ln, const linalg::Vector& start, double gmin,
+                 double srcScale, const Netlist& nl, const DcOptions& opts) {
+  ln.v = start;
+  ln.gmin = gmin;
+  ln.srcScale = srcScale;
+  ln.iter = 0;
+  ln.iterations = 0;
+  if (opts.maxIterations <= 0) dcEndLoop(ln, false, nl, opts);
+}
+
+/// Converged terminal loop: same finalization newtonLoop performs, through
+/// the same scalar device kernels.
+void dcFinalize(DcLane& ln, const Netlist& nl) {
+  DcResult& r = ln.result;
+  r.converged = true;
+  r.iterations = ln.iterations;
+  r.v = ln.v;
+  r.branchCurrents.assign(nl.branchCount(), 0.0);
+  for (std::size_t k = 0; k < nl.branchCount(); ++k)
+    r.branchCurrents[k] = ln.xSave[nl.nodeCount() - 1 + k];
+  r.diodeConductances.resize(nl.diodes().size());
+  for (std::size_t k = 0; k < nl.diodes().size(); ++k) {
+    const auto& d = nl.diodes()[k];
+    const double vak =
+        r.v[static_cast<std::size_t>(d.a)] - r.v[static_cast<std::size_t>(d.k)];
+    r.diodeConductances[k] = evalDiode(d, vak, nl.tempK).gd;
+  }
+  r.mosOps.resize(nl.mosfets().size());
+  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+    const auto& fet = nl.mosfets()[k];
+    r.mosOps[k] = evalMos(fet.params, fet.type, fet.geom,
+                          r.v[static_cast<std::size_t>(fet.d)],
+                          r.v[static_cast<std::size_t>(fet.g)],
+                          r.v[static_cast<std::size_t>(fet.s)],
+                          r.v[static_cast<std::size_t>(fet.b)], nl.tempK);
+  }
+  ln.done = true;
+}
+
+void dcEndLoop(DcLane& ln, bool converged, const Netlist& nl,
+               const DcOptions& opts) {
+  if (ln.phase == 0) {
+    if (converged) {
+      dcFinalize(ln, nl);
+      return;
+    }
+    ln.warm = ln.v0;
+    ln.phase = 1;
+    dcStartLoop(ln, ln.warm, kGminLadder[0], 1.0, nl, opts);
+  } else if (ln.phase >= 1 && ln.phase <= 9) {
+    if (converged) ln.warm = ln.v;
+    if (ln.phase < 9) {
+      ++ln.phase;
+      dcStartLoop(ln, ln.warm, kGminLadder[ln.phase - 1], 1.0, nl, opts);
+    } else {
+      ln.phase = 10;
+      dcStartLoop(ln, ln.warm, opts.gmin, 1.0, nl, opts);
+    }
+  } else if (ln.phase == 10) {
+    if (converged) {
+      dcFinalize(ln, nl);
+      return;
+    }
+    ln.warm = ln.v0;
+    ln.phase = 11;
+    dcStartLoop(ln, ln.warm, 1e-9, kSrcLadder[0], nl, opts);
+  } else if (ln.phase >= 11 && ln.phase <= 19) {
+    if (converged) ln.warm = ln.v;
+    if (ln.phase < 19) {
+      ++ln.phase;
+      dcStartLoop(ln, ln.warm, 1e-9, kSrcLadder[ln.phase - 11], nl, opts);
+    } else {
+      ln.phase = 20;
+      dcStartLoop(ln, ln.warm, opts.gmin, 1.0, nl, opts);
+    }
+  } else {  // phase 20: terminal regardless
+    if (converged) {
+      dcFinalize(ln, nl);
+      return;
+    }
+    ln.result.converged = false;
+    ln.result.iterations = ln.iterations;
+    ln.result.v = ln.v;
+    ln.done = true;
+  }
+}
+
+/// One lane's full matrix + RHS for one Newton iteration, in newtonLoop's
+/// exact stamp order, with the diode/MOS operating points taken from the
+/// shared block evaluation of this round.
+void stampDcLane(LaneSystem& sys, const Netlist& nl, int l, const DcLane& ln,
+                 const DeviceBlocks& db) {
+  for (const auto& r : nl.resistors()) stampG(sys, nl, l, r.a, r.b, 1.0 / r.ohms);
+  for (std::size_t i = 1; i < nl.nodeCount(); ++i) {
+    const std::size_t d = nl.nodeIndex(static_cast<NodeId>(i));
+    sys.at(d, d, l) += ln.gmin;
+  }
+  for (const auto& src : nl.isources())
+    stampI(sys, nl, l, src.p, src.n, src.idc * ln.srcScale);
+  for (const auto& g : nl.vccs()) {
+    addAt(sys, nl, l, g.p, g.cp, g.gm);
+    addAt(sys, nl, l, g.p, g.cn, -g.gm);
+    addAt(sys, nl, l, g.n, g.cp, -g.gm);
+    addAt(sys, nl, l, g.n, g.cn, g.gm);
+  }
+  for (std::size_t k = 0; k < nl.diodes().size(); ++k) {
+    const auto& d = nl.diodes()[k];
+    const double vak =
+        ln.v[static_cast<std::size_t>(d.a)] - ln.v[static_cast<std::size_t>(d.k)];
+    const double gd = db.dioOp[k].gd[l];
+    const double id = db.dioOp[k].id[l];
+    stampG(sys, nl, l, d.a, d.k, gd);
+    stampI(sys, nl, l, d.a, d.k, id - gd * vak);
+  }
+  for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+    const auto& ind = nl.inductors()[k];
+    const std::size_t br = nl.inductorBranchIndex(k);
+    if (ind.a != kGround) {
+      sys.at(nl.nodeIndex(ind.a), br, l) += 1.0;
+      sys.at(br, nl.nodeIndex(ind.a), l) += 1.0;
+    }
+    if (ind.b != kGround) {
+      sys.at(nl.nodeIndex(ind.b), br, l) -= 1.0;
+      sys.at(br, nl.nodeIndex(ind.b), l) -= 1.0;
+    }
+  }
+  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+    const auto& fet = nl.mosfets()[k];
+    const double vd = ln.v[static_cast<std::size_t>(fet.d)];
+    const double vg = ln.v[static_cast<std::size_t>(fet.g)];
+    const double vs = ln.v[static_cast<std::size_t>(fet.s)];
+    const double vb = ln.v[static_cast<std::size_t>(fet.b)];
+    const MosOpBlock& op = db.mosOp[k];
+    addAt(sys, nl, l, fet.d, fet.d, op.dIdVd[l]);
+    addAt(sys, nl, l, fet.d, fet.g, op.dIdVg[l]);
+    addAt(sys, nl, l, fet.d, fet.s, op.dIdVs[l]);
+    addAt(sys, nl, l, fet.d, fet.b, op.dIdVb[l]);
+    addAt(sys, nl, l, fet.s, fet.d, -op.dIdVd[l]);
+    addAt(sys, nl, l, fet.s, fet.g, -op.dIdVg[l]);
+    addAt(sys, nl, l, fet.s, fet.s, -op.dIdVs[l]);
+    addAt(sys, nl, l, fet.s, fet.b, -op.dIdVb[l]);
+    const double ieq = op.ids[l] - op.dIdVd[l] * vd - op.dIdVg[l] * vg -
+                       op.dIdVs[l] * vs - op.dIdVb[l] * vb;
+    stampI(sys, nl, l, fet.d, fet.s, ieq);
+  }
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const auto& src = nl.vsources()[k];
+    const std::size_t br = nl.vsourceBranchIndex(k);
+    if (src.p != kGround) {
+      sys.at(nl.nodeIndex(src.p), br, l) += 1.0;
+      sys.at(br, nl.nodeIndex(src.p), l) += 1.0;
+    }
+    if (src.n != kGround) {
+      sys.at(nl.nodeIndex(src.n), br, l) -= 1.0;
+      sys.at(br, nl.nodeIndex(src.n), l) -= 1.0;
+    }
+    sys.rv(br, l) = src.vdc * ln.srcScale;
+  }
+  for (std::size_t k = 0; k < nl.vcvs().size(); ++k) {
+    const auto& e = nl.vcvs()[k];
+    const std::size_t br = nl.vcvsBranchIndex(k);
+    if (e.p != kGround) {
+      sys.at(nl.nodeIndex(e.p), br, l) += 1.0;
+      sys.at(br, nl.nodeIndex(e.p), l) += 1.0;
+    }
+    if (e.n != kGround) {
+      sys.at(nl.nodeIndex(e.n), br, l) -= 1.0;
+      sys.at(br, nl.nodeIndex(e.n), l) -= 1.0;
+    }
+    if (e.cp != kGround) sys.at(br, nl.nodeIndex(e.cp), l) -= e.gain;
+    if (e.cn != kGround) sys.at(br, nl.nodeIndex(e.cn), l) += e.gain;
+  }
+}
+
+}  // namespace
+
+std::array<DcResult, kSimLanes> solveDcBatch(
+    const std::array<const Netlist*, kSimLanes>& nls,
+    const std::array<const linalg::Vector*, kSimLanes>& guesses,
+    const DcOptions& opts) {
+  std::array<DcResult, kSimLanes> out;
+  int ref = -1;
+  for (int l = 0; l < L; ++l)
+    if (nls[l] != nullptr && ref < 0) ref = l;
+  if (ref < 0) return out;
+  const Netlist& rnl = *nls[ref];
+  const std::size_t n = rnl.unknownCount();
+  const std::size_t nodes = rnl.nodeCount();
+
+  DeviceBlocks db;
+  buildDeviceBlocks(nls, ref, db);
+
+  std::array<DcLane, L> lanes;
+  for (int l = 0; l < L; ++l) {
+    if (nls[l] == nullptr) continue;
+    assert(sameTopology(rnl, *nls[l]));
+    DcLane& ln = lanes[l];
+    ln.active = true;
+    if (guesses[l] != nullptr && guesses[l]->size() == nodes) {
+      ln.v0 = *guesses[l];
+    } else {
+      ln.v0.assign(nodes, 0.0);
+    }
+    dcStartLoop(ln, ln.v0, opts.gmin, 1.0, *nls[l], opts);
+  }
+
+  LaneSystem sys;
+  sys.reset(n);
+  LaneLu lu;
+  std::vector<double> xB(n * L, 0.0);
+
+  auto anyLive = [&lanes]() {
+    for (const DcLane& ln : lanes)
+      if (ln.active && !ln.done) return true;
+    return false;
+  };
+
+  while (anyLive()) {
+    std::array<const linalg::Vector*, L> vl{};
+    bool live[L] = {};
+    for (int l = 0; l < L; ++l) {
+      if (lanes[l].active && !lanes[l].done) {
+        live[l] = true;
+        vl[l] = &lanes[l].v;
+      }
+    }
+    evalDeviceBlocks(rnl, db, vl);
+    sys.zero();
+    for (int l = 0; l < L; ++l) {
+      if (live[l]) {
+        stampDcLane(sys, *nls[l], l, lanes[l], db);
+      } else {
+        clearLaneToIdentity(sys, l);
+      }
+    }
+    lu.factor(sys, live);
+    lu.solve(sys.rhs, xB);
+    for (int l = 0; l < L; ++l) {
+      if (!live[l]) continue;
+      DcLane& ln = lanes[l];
+      const Netlist& nl = *nls[l];
+      if (!lu.ok[l]) {
+        ln.iterations = ln.iter;  // scalar: result.iterations = iter on singular
+        dcEndLoop(ln, false, nl, opts);
+        continue;
+      }
+      double maxStep = 0.0;
+      for (std::size_t i = 1; i < nodes; ++i) {
+        const double vNew = xB[(i - 1) * L + l];
+        const double dv = vNew - ln.v[i];
+        maxStep = std::max(maxStep, std::abs(dv));
+        ln.v[i] += std::clamp(dv, -opts.damping, opts.damping);
+      }
+      ln.iterations = ln.iter + 1;
+      ++ln.iter;
+      const double vScale = linalg::normInf(ln.v);
+      if (maxStep < opts.tolAbs + opts.tolRel * vScale) {
+        ln.xSave.resize(n);
+        for (std::size_t j = 0; j < n; ++j) ln.xSave[j] = xB[j * L + l];
+        dcEndLoop(ln, true, nl, opts);
+      } else if (ln.iter >= opts.maxIterations) {
+        dcEndLoop(ln, false, nl, opts);
+      }
+    }
+  }
+
+  for (int l = 0; l < L; ++l)
+    if (lanes[l].active) out[l] = std::move(lanes[l].result);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Batched transient
+// ---------------------------------------------------------------------------
+namespace {
+
+// Companion states, one set per lane, in TransientSolver::run's collection
+// order (explicit capacitors first, then per-MOSFET parasitics).
+struct BatchCapState {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double c = 0.0;
+  double vPrev = 0.0;
+  double iPrev = 0.0;
+};
+
+struct BatchIndState {
+  double iPrev = 0.0;
+  double vPrev = 0.0;
+};
+
+// Precomputed flat matrix/rhs indices for the per-round nonlinear stamps
+// (topology is identical across lanes, so one set serves all four). A -1
+// marks a ground-suppressed entry the scalar stampers skip.
+struct MosStampIdx {
+  int cell[8];      // (d,d) (d,g) (d,s) (d,b) (s,d) (s,g) (s,s) (s,b)
+  int rhsD, rhsS;   // ieq rows
+  NodeId d, g, s, b;
+};
+
+struct DiodeStampIdx {
+  int cell[4];      // (a,a) (a,k) (k,k) (k,a)
+  int rhsA, rhsK;
+  NodeId a, k;
+};
+
+int flatCell(const Netlist& nl, std::size_t n, NodeId r, NodeId c) {
+  if (r == kGround || c == kGround) return -1;
+  return static_cast<int>(nl.nodeIndex(r) * n + nl.nodeIndex(c));
+}
+
+int rhsRow(const Netlist& nl, NodeId a) {
+  return a == kGround ? -1 : static_cast<int>(nl.nodeIndex(a));
+}
+
+void buildStampIndices(const Netlist& nl, std::size_t n,
+                       std::vector<MosStampIdx>& mosIdx,
+                       std::vector<DiodeStampIdx>& dioIdx) {
+  mosIdx.resize(nl.mosfets().size());
+  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+    const auto& fet = nl.mosfets()[k];
+    MosStampIdx& ix = mosIdx[k];
+    const NodeId nodes[8][2] = {{fet.d, fet.d}, {fet.d, fet.g}, {fet.d, fet.s},
+                                {fet.d, fet.b}, {fet.s, fet.d}, {fet.s, fet.g},
+                                {fet.s, fet.s}, {fet.s, fet.b}};
+    for (int e = 0; e < 8; ++e) ix.cell[e] = flatCell(nl, n, nodes[e][0], nodes[e][1]);
+    ix.rhsD = rhsRow(nl, fet.d);
+    ix.rhsS = rhsRow(nl, fet.s);
+    ix.d = fet.d;
+    ix.g = fet.g;
+    ix.s = fet.s;
+    ix.b = fet.b;
+  }
+  dioIdx.resize(nl.diodes().size());
+  for (std::size_t k = 0; k < nl.diodes().size(); ++k) {
+    const auto& d = nl.diodes()[k];
+    DiodeStampIdx& ix = dioIdx[k];
+    ix.cell[0] = flatCell(nl, n, d.a, d.a);
+    ix.cell[1] = flatCell(nl, n, d.a, d.k);
+    ix.cell[2] = flatCell(nl, n, d.k, d.k);
+    ix.cell[3] = flatCell(nl, n, d.k, d.a);
+    ix.rhsA = rhsRow(nl, d.a);
+    ix.rhsK = rhsRow(nl, d.k);
+    ix.a = d.a;
+    ix.k = d.k;
+  }
+}
+
+/// Lane l's step-invariant (linear) matrix part: resistors, gmin, VCCS,
+/// inductor/vsource/vcvs branch rows, capacitor companion conductances. The
+/// per-cell accumulation order matches the scalar per-iteration stamping
+/// (the nonlinear diode/MOS stamps are added on a copy each Newton round).
+void stampTransientBase(LaneSystem& base, const Netlist& nl, int l,
+                        const std::vector<BatchCapState>& caps, double h) {
+  for (const auto& r : nl.resistors()) stampG(base, nl, l, r.a, r.b, 1.0 / r.ohms);
+  for (std::size_t i = 1; i < nl.nodeCount(); ++i)
+    base.at(i - 1, i - 1, l) += 1e-12;  // gmin
+  for (const auto& g : nl.vccs()) {
+    addAt(base, nl, l, g.p, g.cp, g.gm);
+    addAt(base, nl, l, g.p, g.cn, -g.gm);
+    addAt(base, nl, l, g.n, g.cp, -g.gm);
+    addAt(base, nl, l, g.n, g.cn, g.gm);
+  }
+  for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+    const auto& ind = nl.inductors()[k];
+    const std::size_t br = nl.inductorBranchIndex(k);
+    if (ind.a != kGround) {
+      base.at(nl.nodeIndex(ind.a), br, l) += 1.0;
+      base.at(br, nl.nodeIndex(ind.a), l) += 1.0;
+    }
+    if (ind.b != kGround) {
+      base.at(nl.nodeIndex(ind.b), br, l) -= 1.0;
+      base.at(br, nl.nodeIndex(ind.b), l) -= 1.0;
+    }
+    const double zeq = 2.0 * ind.henry / h;
+    base.at(br, br, l) -= zeq;
+  }
+  for (const auto& cs : caps) {
+    const double geq = 2.0 * cs.c / h;
+    stampG(base, nl, l, cs.a, cs.b, geq);
+  }
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const auto& src = nl.vsources()[k];
+    const std::size_t br = nl.vsourceBranchIndex(k);
+    if (src.p != kGround) {
+      base.at(nl.nodeIndex(src.p), br, l) += 1.0;
+      base.at(br, nl.nodeIndex(src.p), l) += 1.0;
+    }
+    if (src.n != kGround) {
+      base.at(nl.nodeIndex(src.n), br, l) -= 1.0;
+      base.at(br, nl.nodeIndex(src.n), l) -= 1.0;
+    }
+  }
+  for (std::size_t k = 0; k < nl.vcvs().size(); ++k) {
+    const auto& e = nl.vcvs()[k];
+    const std::size_t br = nl.vcvsBranchIndex(k);
+    if (e.p != kGround) {
+      base.at(nl.nodeIndex(e.p), br, l) += 1.0;
+      base.at(br, nl.nodeIndex(e.p), l) += 1.0;
+    }
+    if (e.n != kGround) {
+      base.at(nl.nodeIndex(e.n), br, l) -= 1.0;
+      base.at(br, nl.nodeIndex(e.n), l) -= 1.0;
+    }
+    if (e.cp != kGround) base.at(br, nl.nodeIndex(e.cp), l) -= e.gain;
+    if (e.cn != kGround) base.at(br, nl.nodeIndex(e.cn), l) += e.gain;
+  }
+}
+
+}  // namespace
+
+struct TransientBatch::Impl {
+  std::array<const Netlist*, L> nls{};
+  TransientOptions opts;
+  int ref = -1;
+  std::size_t n = 0;
+  std::size_t nodes = 0;
+  std::size_t nBranches = 0;
+  std::size_t totalSteps = 0;
+  std::size_t done = 0;
+  bool active[L] = {};
+  bool alive[L] = {};  ///< still recording (no singular matrix / Newton fail)
+  std::array<TransientResult, L> results;
+  std::array<linalg::Vector, L> v;      ///< last accepted node voltages
+  std::array<linalg::Vector, L> vIter;  ///< Newton iterate scratch
+  std::array<std::vector<BatchCapState>, L> caps;
+  std::array<std::vector<BatchIndState>, L> inds;
+  std::array<std::vector<double>, L> xSave;  ///< converged-round solution
+  std::vector<MosStampIdx> mosIdx;
+  std::vector<DiodeStampIdx> dioIdx;
+  DeviceBlocks db;
+  LaneSystem base;  ///< linear matrix part (rhs member unused)
+  LaneSystem work;
+  std::vector<double> stepRhs;
+  LaneLu lu;
+  std::vector<double> xB;
+
+  void doStep(std::size_t stepIndex);
+};
+
+void TransientBatch::Impl::doStep(std::size_t stepIndex) {
+  const Netlist& rnl = *nls[ref];
+  const double h = opts.dt;
+
+  // Per-step RHS: sources + linear companion currents. Node entries
+  // accumulate as isources then capacitors — the scalar per-iteration order
+  // with the nonlinear (diode/MOS) contributions appended per round below.
+  std::fill(stepRhs.begin(), stepRhs.end(), 0.0);
+  for (int l = 0; l < L; ++l) {
+    if (!alive[l]) continue;
+    const Netlist& nl = *nls[l];
+    for (const auto& src : nl.isources())
+      stampIVec(stepRhs, nl, l, src.p, src.n, src.idc);
+    for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+      const auto& ind = nl.inductors()[k];
+      const double zeq = 2.0 * ind.henry / h;
+      stepRhs[nl.inductorBranchIndex(k) * L + static_cast<std::size_t>(l)] =
+          -(inds[l][k].vPrev + zeq * inds[l][k].iPrev);
+    }
+    for (const auto& cs : caps[l]) {
+      const double geq = 2.0 * cs.c / h;
+      const double ieq = -geq * cs.vPrev - cs.iPrev;
+      stampIVec(stepRhs, nl, l, cs.a, cs.b, ieq);
+    }
+    for (std::size_t k = 0; k < nl.vsources().size(); ++k)
+      stepRhs[nl.vsourceBranchIndex(k) * L + static_cast<std::size_t>(l)] =
+          nl.vsources()[k].vdc;
+  }
+
+  bool iterating[L] = {};
+  bool frozen[L] = {};
+  for (int l = 0; l < L; ++l) {
+    if (!alive[l]) continue;
+    iterating[l] = true;
+    vIter[l] = v[l];  // scalar warm start from the last accepted point
+  }
+  auto anyIterating = [&iterating]() {
+    for (int l = 0; l < L; ++l)
+      if (iterating[l]) return true;
+    return false;
+  };
+
+  for (int it = 0; it < opts.maxNewtonIterations && anyIterating(); ++it) {
+    work.a.assign(base.a.begin(), base.a.end());
+    work.rhs.assign(stepRhs.begin(), stepRhs.end());
+    std::array<const linalg::Vector*, L> vl{};
+    for (int l = 0; l < L; ++l) {
+      if (iterating[l]) {
+        vl[l] = &vIter[l];
+      } else {
+        clearLaneToIdentity(work, l);
+      }
+    }
+    evalDeviceBlocks(rnl, db, vl);
+    // Nonlinear stamps with the lane loop innermost: the four lanes of one
+    // matrix cell are contiguous, so each cell update is one vector add.
+    // Per lane this accumulates exactly the scalar per-iteration sequence
+    // (diodes in netlist order, then MOSFETs, same addAt order per device —
+    // distinct lanes are independent slots, so interleaving across lanes is
+    // order-free). Non-iterating lanes blend in an addend of exactly 0.0,
+    // leaving their identity cells bit-unchanged; their op-block values are
+    // finite (evalDeviceBlocks feeds dead lanes 0.0 inputs) and their
+    // voltage gathers are masked to 0.0 so no NaN enters the blend.
+    double* __restrict wa = work.a.data();
+    double* __restrict wr = work.rhs.data();
+    for (std::size_t k = 0; k < rnl.diodes().size(); ++k) {
+      const DiodeStampIdx& ix = dioIdx[k];
+      const DiodeOpBlock& op = db.dioOp[k];
+      double mgd[L], ieq[L];
+      for (int l = 0; l < L; ++l) {
+        const double vak =
+            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.a)] -
+                               vIter[l][static_cast<std::size_t>(ix.k)]
+                         : 0.0;
+        const double gd = iterating[l] ? op.gd[l] : 0.0;
+        const double id = iterating[l] ? op.id[l] : 0.0;
+        mgd[l] = gd;
+        ieq[l] = id - gd * vak;
+      }
+      if (ix.cell[0] >= 0)
+        for (int l = 0; l < L; ++l) wa[ix.cell[0] * L + l] += mgd[l];
+      if (ix.cell[1] >= 0)
+        for (int l = 0; l < L; ++l) wa[ix.cell[1] * L + l] -= mgd[l];
+      if (ix.cell[2] >= 0)
+        for (int l = 0; l < L; ++l) wa[ix.cell[2] * L + l] += mgd[l];
+      if (ix.cell[3] >= 0)
+        for (int l = 0; l < L; ++l) wa[ix.cell[3] * L + l] -= mgd[l];
+      if (ix.rhsA >= 0)
+        for (int l = 0; l < L; ++l) wr[ix.rhsA * L + l] -= ieq[l];
+      if (ix.rhsK >= 0)
+        for (int l = 0; l < L; ++l) wr[ix.rhsK * L + l] += ieq[l];
+    }
+    for (std::size_t k = 0; k < rnl.mosfets().size(); ++k) {
+      const MosStampIdx& ix = mosIdx[k];
+      const MosOpBlock& op = db.mosOp[k];
+      double mv[4][L], ieq[L];
+      for (int l = 0; l < L; ++l) {
+        mv[0][l] = iterating[l] ? op.dIdVd[l] : 0.0;
+        mv[1][l] = iterating[l] ? op.dIdVg[l] : 0.0;
+        mv[2][l] = iterating[l] ? op.dIdVs[l] : 0.0;
+        mv[3][l] = iterating[l] ? op.dIdVb[l] : 0.0;
+      }
+      for (int l = 0; l < L; ++l) {
+        const double ids = iterating[l] ? op.ids[l] : 0.0;
+        const double vd =
+            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.d)] : 0.0;
+        const double vg =
+            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.g)] : 0.0;
+        const double vs =
+            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.s)] : 0.0;
+        const double vb =
+            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.b)] : 0.0;
+        ieq[l] = ids - mv[0][l] * vd - mv[1][l] * vg - mv[2][l] * vs -
+                 mv[3][l] * vb;
+      }
+      for (int e = 0; e < 4; ++e)
+        if (ix.cell[e] >= 0)
+          for (int l = 0; l < L; ++l) wa[ix.cell[e] * L + l] += mv[e][l];
+      for (int e = 0; e < 4; ++e)
+        if (ix.cell[4 + e] >= 0)
+          for (int l = 0; l < L; ++l) wa[ix.cell[4 + e] * L + l] -= mv[e][l];
+      if (ix.rhsD >= 0)
+        for (int l = 0; l < L; ++l) wr[ix.rhsD * L + l] -= ieq[l];
+      if (ix.rhsS >= 0)
+        for (int l = 0; l < L; ++l) wr[ix.rhsS * L + l] += ieq[l];
+    }
+    lu.factor(work, iterating);
+    lu.solve(work.rhs, xB);
+    for (int l = 0; l < L; ++l) {
+      if (!iterating[l]) continue;
+      if (!lu.ok[l]) {
+        // Scalar: `if (!lu.factor(A)) return result;` — the lane stops
+        // recording mid-run, completed stays false.
+        alive[l] = false;
+        iterating[l] = false;
+        continue;
+      }
+      double maxStep = 0.0;
+      for (std::size_t i = 1; i < nodes; ++i) {
+        const double dv = xB[(i - 1) * L + l] - vIter[l][i];
+        maxStep = std::max(maxStep, std::abs(dv));
+        vIter[l][i] = xB[(i - 1) * L + l];
+      }
+      if (maxStep < opts.tolAbs) {
+        frozen[l] = true;
+        iterating[l] = false;
+        xSave[l].resize(n);
+        for (std::size_t j = 0; j < n; ++j) xSave[l][j] = xB[j * L + l];
+      }
+    }
+  }
+
+  for (int l = 0; l < L; ++l) {
+    if (!alive[l]) continue;
+    if (!frozen[l]) {
+      // Newton exhausted its iteration budget: scalar returns mid-run.
+      alive[l] = false;
+      continue;
+    }
+    const Netlist& nl = *nls[l];
+    // Accept the step: update companion states (scalar order).
+    for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+      const auto& ind = nl.inductors()[k];
+      const double vNow = vIter[l][static_cast<std::size_t>(ind.a)] -
+                          vIter[l][static_cast<std::size_t>(ind.b)];
+      inds[l][k].iPrev = xSave[l][nl.inductorBranchIndex(k)];
+      inds[l][k].vPrev = vNow;
+    }
+    for (auto& cs : caps[l]) {
+      const double vNow = vIter[l][static_cast<std::size_t>(cs.a)] -
+                          vIter[l][static_cast<std::size_t>(cs.b)];
+      const double geq = 2.0 * cs.c / h;
+      const double iNow = geq * (vNow - cs.vPrev) - cs.iPrev;
+      cs.vPrev = vNow;
+      cs.iPrev = iNow;
+    }
+    v[l] = vIter[l];
+    results[l].times.push_back(static_cast<double>(stepIndex) * h);
+    results[l].voltages.push_back(v[l]);
+    linalg::Vector br(nBranches, 0.0);
+    for (std::size_t k = 0; k < nBranches; ++k)
+      br[k] = xSave[l][nl.nodeCount() - 1 + k];
+    results[l].branchCurrents.push_back(std::move(br));
+  }
+}
+
+TransientBatch::TransientBatch(
+    const std::array<const Netlist*, kSimLanes>& nls,
+    const TransientOptions& opts,
+    const std::array<const linalg::Vector*, kSimLanes>& initial)
+    : impl_(new Impl) {
+  Impl& im = *impl_;
+  im.nls = nls;
+  im.opts = opts;
+  for (int l = 0; l < L; ++l)
+    if (nls[l] != nullptr && im.ref < 0) im.ref = l;
+  assert(im.ref >= 0 && "TransientBatch needs at least one active lane");
+  const Netlist& rnl = *nls[im.ref];
+  im.n = rnl.unknownCount();
+  im.nodes = rnl.nodeCount();
+  im.nBranches = rnl.branchCount();
+  const double h = opts.dt;
+  im.totalSteps = static_cast<std::size_t>(opts.tStop / h);
+  buildDeviceBlocks(nls, im.ref, im.db);
+  buildStampIndices(rnl, im.n, im.mosIdx, im.dioIdx);
+  im.base.reset(im.n);
+  im.work.reset(im.n);
+  im.stepRhs.assign(im.n * static_cast<std::size_t>(L), 0.0);
+  im.xB.assign(im.n * static_cast<std::size_t>(L), 0.0);
+  for (int l = 0; l < L; ++l) {
+    if (nls[l] == nullptr) {
+      clearLaneToIdentity(im.base, l);
+      continue;
+    }
+    assert(sameTopology(rnl, *nls[l]));
+    assert(initial[l] != nullptr && initial[l]->size() == im.nodes);
+    im.active[l] = im.alive[l] = true;
+    im.v[l] = *initial[l];
+    const Netlist& nl = *nls[l];
+    for (const auto& c : nl.capacitors())
+      im.caps[l].push_back({c.a, c.b, c.farads, 0, 0});
+    if (opts.includeDeviceCaps) {
+      for (const auto& fet : nl.mosfets()) {
+        const double cgg = gateCapacitance(fet.params, fet.geom);
+        im.caps[l].push_back({fet.g, fet.s, 0.7 * cgg, 0, 0});
+        im.caps[l].push_back({fet.g, fet.d, 0.3 * cgg, 0, 0});
+        im.caps[l].push_back(
+            {fet.d, fet.b, drainCapacitance(fet.params, fet.geom), 0, 0});
+      }
+    }
+    for (auto& cs : im.caps[l]) {
+      cs.vPrev = im.v[l][static_cast<std::size_t>(cs.a)] -
+                 im.v[l][static_cast<std::size_t>(cs.b)];
+      cs.iPrev = 0.0;
+    }
+    im.inds[l].resize(nl.inductors().size());
+    for (std::size_t k = 0; k < im.inds[l].size(); ++k) {
+      const auto& ind = nl.inductors()[k];
+      im.inds[l][k].vPrev = im.v[l][static_cast<std::size_t>(ind.a)] -
+                            im.v[l][static_cast<std::size_t>(ind.b)];
+    }
+    TransientResult& res = im.results[l];
+    res.times.reserve(im.totalSteps + 1);
+    res.voltages.reserve(im.totalSteps + 1);
+    res.branchCurrents.reserve(im.totalSteps + 1);
+    res.times.push_back(0.0);
+    res.voltages.push_back(im.v[l]);
+    res.branchCurrents.emplace_back(im.nBranches, 0.0);
+    stampTransientBase(im.base, nl, l, im.caps[l], h);
+  }
+}
+
+TransientBatch::~TransientBatch() = default;
+
+std::size_t TransientBatch::totalSteps() const { return impl_->totalSteps; }
+
+std::size_t TransientBatch::stepsDone() const { return impl_->done; }
+
+void TransientBatch::step(std::size_t n) {
+  Impl& im = *impl_;
+  while (n > 0 && im.done < im.totalSteps) {
+    ++im.done;
+    --n;
+    bool any = false;
+    for (int l = 0; l < L; ++l) any = any || im.alive[l];
+    if (any) im.doStep(im.done);
+  }
+  if (im.done == im.totalSteps) {
+    for (int l = 0; l < L; ++l)
+      if (im.alive[l]) im.results[l].completed = true;
+  }
+}
+
+void TransientBatch::run() { step(impl_->totalSteps); }
+
+const TransientResult& TransientBatch::result(int lane) const {
+  assert(lane >= 0 && lane < L && impl_->active[lane]);
+  return impl_->results[lane];
+}
+
+TransientResult TransientBatch::takeResult(int lane) {
+  assert(lane >= 0 && lane < L && impl_->active[lane]);
+  return std::move(impl_->results[lane]);
+}
+
+// ---------------------------------------------------------------------------
+// Batched AC: lane-blocked complex LU over split re/im planes.
+//
+// Per lane this performs the exact op sequence of LuSolver<complex<double>>:
+// the schoolbook multiply (ar*br - ai*bi, ar*bi + ai*br) written out below is
+// the same linalg::cxMul expression the scalar complex LU spells out (see
+// cxmath.hpp for why neither path may use std::complex operator*), and the
+// reciprocal-multiply division goes through the shared cxReciprocal. Any
+// non-finite excursion is still detected by the per-lane sticky finiteness
+// flag, and flagged lanes are redone through the scalar AcSolver by the
+// caller.
+// ---------------------------------------------------------------------------
+struct AcBatch::Impl {
+  std::array<std::unique_ptr<AcSolver>, L> solvers;
+  bool active[L] = {};
+  bool finite[L] = {true, true, true, true};
+  bool solveOk[L] = {};  ///< per-solveAt nonsingular flag
+  int ref = -1;
+  std::size_t n = 0;
+  // Lane-interleaved copies of the (frequency-independent) G and C stamp
+  // matrices, laid out (r*n + c)*L + l. Built once; every solveAt assembles
+  // G + jwC straight into the LU planes as two linear passes instead of
+  // per-lane strided Matrix reads plus a full copy.
+  std::vector<double> gInt, cInt;
+  std::vector<double> luRe, luIm;
+  std::vector<double> xRe, xIm;    // i*L + l
+  std::vector<std::size_t> perm;   // i*L + l
+};
+
+AcBatch::AcBatch(const std::array<const Netlist*, kSimLanes>& nls,
+                 const std::array<const DcResult*, kSimLanes>& ops)
+    : impl_(new Impl) {
+  Impl& im = *impl_;
+  for (int l = 0; l < L; ++l) {
+    if (nls[l] == nullptr || ops[l] == nullptr) continue;
+    if (im.ref < 0) {
+      im.ref = l;
+    } else {
+      assert(sameTopology(*nls[im.ref], *nls[l]));
+    }
+    im.active[l] = true;
+    im.solvers[l] = std::make_unique<AcSolver>(*nls[l], *ops[l]);
+  }
+  assert(im.ref >= 0 && "AcBatch needs at least one active lane");
+  im.n = im.solvers[im.ref]->gStamps().rows();
+  const std::size_t cells = im.n * im.n * static_cast<std::size_t>(L);
+  im.gInt.assign(cells, 0.0);
+  im.cInt.assign(cells, 0.0);
+  im.luRe.assign(cells, 0.0);
+  im.luIm.assign(cells, 0.0);
+  im.xRe.assign(im.n * L, 0.0);
+  im.xIm.assign(im.n * L, 0.0);
+  im.perm.assign(im.n * L, 0);
+  for (int l = 0; l < L; ++l) {
+    if (!im.active[l]) {
+      // Inactive lanes hold a fixed identity (C plane zero) so the shared
+      // factorization stays benign at any frequency.
+      for (std::size_t i = 0; i < im.n; ++i)
+        im.gInt[(i * im.n + i) * L + l] = 1.0;
+      continue;
+    }
+    const linalg::Matrix& g = im.solvers[l]->gStamps();
+    const linalg::Matrix& c = im.solvers[l]->cStamps();
+    for (std::size_t r = 0; r < im.n; ++r) {
+      for (std::size_t cc = 0; cc < im.n; ++cc) {
+        im.gInt[(r * im.n + cc) * L + l] = g(r, cc);
+        im.cInt[(r * im.n + cc) * L + l] = c(r, cc);
+      }
+    }
+  }
+}
+
+AcBatch::~AcBatch() = default;
+
+void AcBatch::solveAt(double freqHz) {
+  Impl& im = *impl_;
+  const std::size_t n = im.n;
+  const double w = 2.0 * std::numbers::pi * freqHz;
+
+  // Assemble A = G + jwC straight into the LU planes (scalar: A(r,c) =
+  // {g, w*c}); w * 0.0 keeps inactive lanes' identity imaginary-free. The
+  // __restrict qualifiers (here and on the row pointers below) tell GCC the
+  // planes and rows cannot overlap, which drops the runtime alias checks it
+  // otherwise versions every vectorized loop with — measurable at MNA sizes
+  // around a dozen where the inner loops only run a few vector iterations.
+  const std::size_t cells = n * n * static_cast<std::size_t>(L);
+  double* __restrict luRe = im.luRe.data();
+  double* __restrict luIm = im.luIm.data();
+  {
+    const double* __restrict gInt = im.gInt.data();
+    const double* __restrict cInt = im.cInt.data();
+    for (std::size_t i = 0; i < cells; ++i) luRe[i] = gInt[i];
+    for (std::size_t i = 0; i < cells; ++i) luIm[i] = w * cInt[i];
+  }
+
+  // Factor: per-lane scalar pivoting, vectorized elimination.
+  for (std::size_t i = 0; i < n; ++i)
+    for (int l = 0; l < L; ++l) im.perm[i * L + l] = i;
+  for (int l = 0; l < L; ++l) im.solveOk[l] = im.active[l];
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot search, row-major: one contiguous 4-lane cabs1 per row instead of
+    // four strided column scans. Per lane this performs the same comparisons
+    // in the same r order as the scalar LuSolver, so the pivot choice (and
+    // every rounding after it) is identical; dead lanes' magnitudes are
+    // computed but their results are never consumed.
+    std::size_t pivots[L];
+    double bests[L];
+    for (int l = 0; l < L; ++l) {
+      pivots[l] = k;
+      bests[l] = linalg::cxPivotMag(
+          {luRe[(k * n + k) * L + l], luIm[(k * n + k) * L + l]});
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double* __restrict colRe = luRe + (r * n + k) * L;
+      const double* __restrict colIm = luIm + (r * n + k) * L;
+      double m[L];
+      for (int l = 0; l < L; ++l)
+        m[l] = linalg::cxPivotMag({colRe[l], colIm[l]});
+      for (int l = 0; l < L; ++l) {
+        if (m[l] > bests[l]) {
+          bests[l] = m[l];
+          pivots[l] = r;
+        }
+      }
+    }
+    for (int l = 0; l < L; ++l) {
+      if (!im.solveOk[l]) continue;
+      if (bests[l] < 1e-300) {  // scalar solveSystem: nullopt -> zero solution
+        im.solveOk[l] = false;
+        continue;
+      }
+      const std::size_t pivot = pivots[l];
+      if (pivot != k) {
+        std::swap(im.perm[k * L + l], im.perm[pivot * L + l]);
+        for (std::size_t c = 0; c < n; ++c) {
+          std::swap(luRe[(k * n + c) * L + l], luRe[(pivot * n + c) * L + l]);
+          std::swap(luIm[(k * n + c) * L + l], luIm[(pivot * n + c) * L + l]);
+        }
+      }
+    }
+    double invRe[L], invIm[L];
+    for (int l = 0; l < L; ++l) {
+      const std::complex<double> inv = linalg::cxReciprocal(
+          {im.luRe[(k * n + k) * L + l], im.luIm[(k * n + k) * L + l]});
+      invRe[l] = inv.real();
+      invIm[l] = inv.imag();
+    }
+    const double* __restrict rowKRe = luRe + (k * n) * L;
+    const double* __restrict rowKIm = luIm + (k * n) * L;
+    for (std::size_t r = k + 1; r < n; ++r) {
+      // Rows r and k are disjoint slices (r > k), so restrict holds.
+      double* __restrict rowRRe = luRe + (r * n) * L;
+      double* __restrict rowRIm = luIm + (r * n) * L;
+      double fRe[L], fIm[L];
+      for (int l = 0; l < L; ++l) {
+        const double ar = rowRRe[k * L + l];
+        const double ai = rowRIm[k * L + l];
+        fRe[l] = ar * invRe[l] - ai * invIm[l];
+        fIm[l] = ar * invIm[l] + ai * invRe[l];
+      }
+      for (int l = 0; l < L; ++l) {
+        rowRRe[k * L + l] = fRe[l];
+        rowRIm[k * L + l] = fIm[l];
+      }
+      for (std::size_t c = k + 1; c < n; ++c) {
+        for (int l = 0; l < L; ++l) {
+          const double kr = rowKRe[c * L + l];
+          const double ki = rowKIm[c * L + l];
+          rowRRe[c * L + l] -= fRe[l] * kr - fIm[l] * ki;
+          rowRIm[c * L + l] -= fRe[l] * ki + fIm[l] * kr;
+        }
+      }
+    }
+  }
+
+  // Solve (per lane: LuSolver<complex>::solveInto with b = bReal + j0).
+  const double* bLane[L] = {};
+  for (int l = 0; l < L; ++l)
+    if (im.active[l]) bLane[l] = im.solvers[l]->acExcitation().data();
+  double* __restrict xRe = im.xRe.data();
+  double* __restrict xIm = im.xIm.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    double accRe[L], accIm[L];
+    for (int l = 0; l < L; ++l) {
+      accRe[l] = bLane[l] != nullptr ? bLane[l][im.perm[i * L + l]] : 0.0;
+      accIm[l] = 0.0;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      for (int l = 0; l < L; ++l) {
+        const double mr = luRe[(i * n + j) * L + l];
+        const double mi = luIm[(i * n + j) * L + l];
+        const double xr = xRe[j * L + l];
+        const double xi = xIm[j * L + l];
+        accRe[l] -= mr * xr - mi * xi;
+        accIm[l] -= mr * xi + mi * xr;
+      }
+    }
+    for (int l = 0; l < L; ++l) {
+      xRe[i * L + l] = accRe[l];
+      xIm[i * L + l] = accIm[l];
+    }
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double accRe[L], accIm[L];
+    for (int l = 0; l < L; ++l) {
+      accRe[l] = xRe[ii * L + l];
+      accIm[l] = xIm[ii * L + l];
+    }
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      for (int l = 0; l < L; ++l) {
+        const double mr = luRe[(ii * n + j) * L + l];
+        const double mi = luIm[(ii * n + j) * L + l];
+        const double xr = xRe[j * L + l];
+        const double xi = xIm[j * L + l];
+        accRe[l] -= mr * xr - mi * xi;
+        accIm[l] -= mr * xi + mi * xr;
+      }
+    }
+    double invRe[L], invIm[L];
+    for (int l = 0; l < L; ++l) {
+      const std::complex<double> inv = linalg::cxReciprocal(
+          {luRe[(ii * n + ii) * L + l], luIm[(ii * n + ii) * L + l]});
+      invRe[l] = inv.real();
+      invIm[l] = inv.imag();
+    }
+    for (int l = 0; l < L; ++l) {
+      xRe[ii * L + l] = accRe[l] * invRe[l] - accIm[l] * invIm[l];
+      xIm[ii * L + l] = accRe[l] * invIm[l] + accIm[l] * invRe[l];
+    }
+  }
+
+  // Singular lanes yield the scalar's zero solution; surviving lanes feed the
+  // sticky finiteness check that gates the std::complex NaN-recovery redo.
+  for (int l = 0; l < L; ++l) {
+    if (!im.active[l]) continue;
+    if (!im.solveOk[l]) {
+      for (std::size_t i = 0; i < n; ++i) {
+        im.xRe[i * L + l] = 0.0;
+        im.xIm[i * L + l] = 0.0;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(im.xRe[i * L + l]) || !std::isfinite(im.xIm[i * L + l])) {
+        im.finite[l] = false;
+        break;
+      }
+    }
+  }
+}
+
+std::complex<double> AcBatch::nodeVoltage(int lane, NodeId n) const {
+  const Impl& im = *impl_;
+  assert(lane >= 0 && lane < L && im.active[lane]);
+  if (n == kGround) return {0.0, 0.0};
+  const std::size_t i = im.solvers[lane]->netlist().nodeIndex(n);
+  return {im.xRe[i * L + lane], im.xIm[i * L + lane]};
+}
+
+bool AcBatch::laneFinite(int lane) const {
+  assert(lane >= 0 && lane < L);
+  return impl_->finite[lane];
+}
+
+const AcSolver* AcBatch::laneSolver(int lane) const {
+  assert(lane >= 0 && lane < L);
+  return impl_->solvers[lane].get();
+}
+
+}  // namespace trdse::sim

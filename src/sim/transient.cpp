@@ -119,14 +119,6 @@ TransientResult TransientSolver::run(const linalg::Vector& initialVoltages) cons
         addAt(A, nl, g.n, g.cn, g.gm);
       }
 
-      for (const auto& d : nl.diodes()) {
-        const double vak = vIter[static_cast<std::size_t>(d.a)] -
-                           vIter[static_cast<std::size_t>(d.k)];
-        const DiodeOp dop = evalDiode(d, vak, nl.tempK);
-        stampG(A, nl, d.a, d.k, dop.gd);
-        stampI(rhs, nl, d.a, d.k, dop.id - dop.gd * vak);
-      }
-
       // Inductor trapezoidal companion:
       //   i_new = i_old + h/(2L) (v_new + v_old)
       //   branch row: v_p - v_n - (2L/h) i_new = -(v_old + (2L/h) i_old)
@@ -152,6 +144,17 @@ TransientResult TransientSolver::run(const linalg::Vector& initialVoltages) cons
         stampG(A, nl, cs.a, cs.b, geq);
         const double ieq = -geq * cs.vPrev - cs.iPrev;
         stampI(rhs, nl, cs.a, cs.b, ieq);
+      }
+
+      // Diodes come after the linear companion stamps so the batched solver
+      // (which adds per-iteration nonlinear stamps onto a precomputed linear
+      // base matrix) accumulates every cell in the same order.
+      for (const auto& d : nl.diodes()) {
+        const double vak = vIter[static_cast<std::size_t>(d.a)] -
+                           vIter[static_cast<std::size_t>(d.k)];
+        const DiodeOp dop = evalDiode(d, vak, nl.tempK);
+        stampG(A, nl, d.a, d.k, dop.gd);
+        stampI(rhs, nl, d.a, d.k, dop.id - dop.gd * vak);
       }
 
       for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {

@@ -321,6 +321,80 @@ TEST(EvalEngineFaults, BatchSurfacesFailuresInTheirSlots) {
   EXPECT_EQ(engine.cacheSize(), 3u - failed);
 }
 
+/// faultGridProblem plus a corner-batch evaluator (slot i = scalar evaluate
+/// of corner i), so the engine's batchedSim dispatch — and the
+/// FaultInjector's evaluateBatch override — actually engage.
+core::SizingProblem faultGridBatchProblem() {
+  core::SizingProblem p = faultGridProblem();
+  const core::CornerEvalFn scalar = p.evaluate;
+  p.evaluateBatch = [scalar](const linalg::Vector& sizes,
+                             const sim::PvtCorner* corners,
+                             core::EvalResult* results, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i)
+      results[i] = scalar(sizes, corners[i]);
+  };
+  return p;
+}
+
+TEST(EvalEngineFaults, BatchedDispatchDrawsIdenticalFaultSlots) {
+  // The fault identity tuple is (scope, snapped indices, corner, attempt) —
+  // nothing about dispatch shape. So with the same plan, a batched engine
+  // must fault on exactly the same (sizing, corner, attempt) slots as the
+  // scalar engine: same per-slot results, same ledger rows (retries and
+  // backoff included), same fault counters, for any thread count.
+  const core::SizingProblem problem = faultGridBatchProblem();
+  const std::vector<std::size_t> allCorners = {0, 1, 2};
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    EvalEngineConfig scalarCfg{/*cacheEvals=*/false, threads,
+                               /*recordLedger=*/true, /*batchedSim=*/false};
+    EvalEngineConfig batchCfg{/*cacheEvals=*/false, threads,
+                              /*recordLedger=*/true, /*batchedSim=*/true};
+    scalarCfg.retry.maxAttempts = 3;
+    batchCfg.retry.maxAttempts = 3;
+    EvalEngine scalarEngine(problem, scalarCfg);
+    EvalEngine batchEngine(problem, batchCfg);
+    const auto plan = std::make_shared<const sim::FaultPlan>(
+        planConfig(101, 0.15, 0.25, 0.15));
+    scalarEngine.injectFaults(plan, problem.name);
+    batchEngine.injectFaults(plan, problem.name);
+
+    for (std::size_t gx = 0; gx < 9; gx += 2) {
+      const linalg::Vector sizes = {problem.space.gridValue(0, gx),
+                                    problem.space.gridValue(1, 8 - gx)};
+      const auto rs =
+          scalarEngine.evalBatch(allCorners, sizes, pvt::BlockKind::kSearch);
+      const auto rb =
+          batchEngine.evalBatch(allCorners, sizes, pvt::BlockKind::kSearch);
+      ASSERT_EQ(rs.size(), rb.size());
+      for (std::size_t c = 0; c < rs.size(); ++c) {
+        EXPECT_EQ(rs[c].ok, rb[c].ok) << "corner " << c;
+        EXPECT_EQ(rs[c].failure, rb[c].failure) << "corner " << c;
+        ASSERT_EQ(rs[c].measurements.size(), rb[c].measurements.size());
+        for (std::size_t m = 0; m < rs[c].measurements.size(); ++m)
+          EXPECT_EQ(rs[c].measurements[m], rb[c].measurements[m]);
+      }
+    }
+
+    const auto& ls = scalarEngine.ledger().blocks();
+    const auto& lb = batchEngine.ledger().blocks();
+    ASSERT_EQ(ls.size(), lb.size());
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      EXPECT_EQ(ls[i].cornerIndex, lb[i].cornerIndex) << "block " << i;
+      EXPECT_EQ(ls[i].failed, lb[i].failed) << "block " << i;
+      EXPECT_EQ(ls[i].retries, lb[i].retries) << "block " << i;
+      EXPECT_EQ(ls[i].backoff, lb[i].backoff) << "block " << i;
+      EXPECT_EQ(ls[i].meetsSpec, lb[i].meetsSpec) << "block " << i;
+    }
+    EXPECT_EQ(scalarEngine.stats().attempts, batchEngine.stats().attempts);
+    EXPECT_EQ(scalarEngine.stats().faults, batchEngine.stats().faults);
+    EXPECT_EQ(scalarEngine.stats().failures, batchEngine.stats().failures);
+    EXPECT_EQ(scalarEngine.stats().backoffUnits,
+              batchEngine.stats().backoffUnits);
+    // The plan's rates are high enough that this exercises real faults.
+    EXPECT_GT(scalarEngine.stats().faults, 0u);
+  }
+}
+
 // ---- NaN guard without any injection -------------------------------------
 
 /// Problem whose own evaluate leaks NaN on a stripe of the grid — the

@@ -485,13 +485,13 @@ TEST(Scheduler, ChecksCheckpointSupportAndWritesCadencedSnapshots) {
 
   Scenario bad;
   bad.jobs.push_back({"bo", "tiny_grid", {}, "tree_bayes_opt", "", 1, 50, 2,
-                      ckpt, {}});
+                      ckpt, {}, {}});
   EXPECT_THROW(Scheduler{std::move(bad)}, std::invalid_argument);
 
   Scenario good;
   good.slice = 10;
   good.jobs.push_back({"rs", "tiny_grid", {}, "random_search", "", 1, 45, 2,
-                       ckpt, {}});
+                       ckpt, {}, {}});
   Scheduler scheduler(std::move(good));
   const auto results = scheduler.run();
   ASSERT_EQ(results.size(), 1u);
