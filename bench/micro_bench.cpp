@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <chrono>
 #include <random>
+#include <thread>
 
 #include "circuits/ico.hpp"
 #include "circuits/ldo.hpp"
@@ -16,7 +18,9 @@
 #include "linalg/lu.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "orch/distributed.hpp"
 #include "orch/scheduler.hpp"
+#include "orch/wire.hpp"
 #include "pvt/corners.hpp"
 #include "rl/ppo.hpp"
 #include "rl/trpo.hpp"
@@ -458,7 +462,8 @@ void BM_TrpoUpdateBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_TrpoUpdateBatched);
 
-// ---- Scheduler throughput: 8 concurrent jobs, shared vs. private cache ----
+// ---- Scheduler throughput: 8 concurrent jobs, shared vs. private cache
+// vs. distributed workers ----
 //
 // Eight random searches sweep the same 2-D subspace of the 45nm opamp (the
 // remaining sizes pinned mid-grid), the canonical "many jobs, one circuit"
@@ -466,6 +471,16 @@ BENCHMARK(BM_TrpoUpdateBatched);
 // logical requests. With the shared cache, rounds after the first serve most
 // requests from other jobs' published results; the private-cache run pays
 // for every job's misses with real opamp evaluations.
+//
+// Every backend call additionally sleeps kEdaLatency, modeling the dominant
+// cost of a real analog flow — the EDA simulator round trip (license,
+// netlist elaboration, SPICE run), which is latency, not host CPU. That is
+// exactly the regime the distributed scheduler targets: worker processes
+// overlap their jobs' simulator waits, so BM_SchedulerThroughputDistributedN
+// scales with N even on a single-core runner, just as N simulator seats
+// would. The sleep applies identically to the private, shared, and
+// distributed variants, so every speedup pair stays apples-to-apples.
+constexpr std::chrono::milliseconds kEdaLatency{12};
 
 core::SizingProblem opamp2dSubProblem() {
   core::SizingProblem full =
@@ -487,21 +502,24 @@ core::SizingProblem opamp2dSubProblem() {
     linalg::Vector x = pinned;
     x[0] = v[0];
     x[1] = v[1];
+    std::this_thread::sleep_for(kEdaLatency);  // simulator seat round trip
     return inner(x, c);
   };
   return p;
 }
 
-void runSchedulerBench(benchmark::State& state, bool sharedCache) {
+void runSchedulerBench(benchmark::State& state, bool sharedCache,
+                       std::size_t workers) {
   const core::SizingProblem base = opamp2dSubProblem();
   constexpr std::size_t kJobs = 8;
   for (auto _ : state) {
     orch::Scenario sc;
     sc.name = "bench";
-    sc.threads = 2;
+    sc.threads = 2;  // equal per-process threads across all variants
     sc.slice = 12;
     sc.sharedCache = sharedCache;
     sc.cacheShards = 8;
+    sc.workers = workers;
     for (std::size_t j = 0; j < kJobs; ++j) {
       orch::JobSpec spec;
       spec.name = "rs" + std::to_string(j);
@@ -512,7 +530,7 @@ void runSchedulerBench(benchmark::State& state, bool sharedCache) {
       spec.budget = 48;
       sc.jobs.push_back(std::move(spec));
     }
-    orch::Scheduler scheduler(std::move(sc));
+    orch::DistributedScheduler scheduler(std::move(sc));
     benchmark::DoNotOptimize(scheduler.run());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -520,14 +538,69 @@ void runSchedulerBench(benchmark::State& state, bool sharedCache) {
 }
 
 void BM_SchedulerThroughputPrivate(benchmark::State& state) {
-  runSchedulerBench(state, false);
+  runSchedulerBench(state, false, 0);
 }
 BENCHMARK(BM_SchedulerThroughputPrivate);
 
 void BM_SchedulerThroughputShared(benchmark::State& state) {
-  runSchedulerBench(state, true);
+  runSchedulerBench(state, true, 0);
 }
 BENCHMARK(BM_SchedulerThroughputShared);
+
+// The same 8-job bakeoff fanned across worker processes (fork + checkpoint
+// wire frames). Outcomes are bitwise identical to the in-process runs above
+// (orch_dist_test holds them to it); the wall-clock win is overlapped
+// simulator latency.
+void BM_SchedulerThroughputDistributed1(benchmark::State& state) {
+  runSchedulerBench(state, true, 1);
+}
+BENCHMARK(BM_SchedulerThroughputDistributed1);
+
+void BM_SchedulerThroughputDistributed2(benchmark::State& state) {
+  runSchedulerBench(state, true, 2);
+}
+BENCHMARK(BM_SchedulerThroughputDistributed2);
+
+void BM_SchedulerThroughputDistributed4(benchmark::State& state) {
+  runSchedulerBench(state, true, 4);
+}
+BENCHMARK(BM_SchedulerThroughputDistributed4);
+
+// One representative round-result frame (the hot message of a distributed
+// round: 12 publishes with 6 measurements each, stats, a strategy blob)
+// encoded and decoded back — the per-round serialization overhead a worker
+// adds on top of the raw socketpair write.
+void BM_WireRoundTrip(benchmark::State& state) {
+  orch::wire::JobRoundReport rep;
+  rep.jobIndex = 3;
+  rep.iterations = 48;
+  rep.stats.requests = 48;
+  rep.stats.simulated = 12;
+  rep.stats.cacheHits = 20;
+  rep.stats.sharedHits = 16;
+  rep.stats.attempts = 48;
+  for (std::size_t i = 0; i < 12; ++i) {
+    orch::wire::PublishEntry e;
+    e.key = {{i, i + 1}, i % 3};
+    e.result.ok = true;
+    e.result.measurements = {1.0, 2.5, -3.25, 4.0, 5.5, -6.75};
+    rep.publishes.push_back(std::move(e));
+  }
+  rep.strategyBlob.assign(512, 'x');
+
+  for (auto _ : state) {
+    io::CheckpointWriter msg = orch::wire::makeMessage(
+        orch::wire::kMsgRoundResult);
+    msg.section("round").u64(7);
+    orch::wire::writeJobRoundReport(msg.section("jobs"), rep);
+    const std::string frame = orch::wire::encodeFrame(msg);
+    const io::CheckpointReader reader =
+        orch::wire::decodeFrame(frame.substr(8), "bench");
+    io::SectionReader r = reader.section("jobs");
+    benchmark::DoNotOptimize(orch::wire::readJobRoundReport(r));
+  }
+}
+BENCHMARK(BM_WireRoundTrip);
 
 void BM_LuSolve16(benchmark::State& state) {
   std::mt19937_64 rng(4);

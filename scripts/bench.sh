@@ -77,8 +77,19 @@ pairs = [
     ("ICO transient (lane batch)", "BM_IcoEvalTransient", "BM_IcoEvalTransientBatched"),
     ("repeated PVT sweep (eval cache)", "BM_PvtRepeatedSweepUncached", "BM_PvtRepeatedSweepCached"),
     ("scheduler 8-job fan-out (shared cache)", "BM_SchedulerThroughputPrivate", "BM_SchedulerThroughputShared"),
+    ("scheduler 8-job bakeoff (4 workers)", "BM_SchedulerThroughputShared", "BM_SchedulerThroughputDistributed4"),
 ]
+
+# A benchmark that silently vanishes (renamed, #ifdef'd out, registration
+# dropped) would freeze its BENCH_micro.json entry at the last written value
+# and quietly hollow out the speedup pairs above — fail loudly instead.
+required = sorted({name for _, slow, fast in pairs for name in (slow, fast)}
+                  | {"BM_WireRoundTrip"})
+missing = [name for name in required if name not in result]
+if missing:
+    sys.exit(f"error: expected benchmark(s) missing from {raw_path}: "
+             + ", ".join(missing))
+
 for label, slow, fast in pairs:
-    if slow in result and fast in result and result[fast] > 0:
-        print(f"  {label}: {result[slow] / result[fast]:.2f}x batched/parallel speedup")
+    print(f"  {label}: {result[slow] / result[fast]:.2f}x batched/parallel speedup")
 EOF

@@ -106,6 +106,28 @@ std::size_t EvalEngine::publishShared() {
   return published;
 }
 
+std::vector<std::pair<EvalKey, core::EvalResult>>
+EvalEngine::drainPublishJournal() {
+  std::vector<std::pair<EvalKey, core::EvalResult>> out;
+  if (shared_ == nullptr) return out;
+  out.reserve(unpublished_.size());
+  // Mirror publishShared() exactly: only keys still present in the local
+  // memo ship (an entry could in principle have been evicted), in journal
+  // order, so the coordinator-side inserts reproduce publishShared()'s
+  // insert sequence and count bitwise.
+  for (const EvalKey& key : unpublished_) {
+    if (const core::EvalResult* r = cache_.find(key)) out.emplace_back(key, *r);
+  }
+  unpublished_.clear();
+  return out;
+}
+
+void EvalEngine::setBackend(std::shared_ptr<const EvalBackend> backend) {
+  if (backend == nullptr)
+    throw std::invalid_argument("EvalEngine::setBackend: null backend");
+  backend_ = std::move(backend);
+}
+
 void EvalEngine::saveState(io::SectionWriter& w) const {
   // Memo, sorted by (corner, grid indices) — unordered_map iteration order
   // is not stable, and deterministic bytes make save→load→save idempotent.

@@ -29,6 +29,7 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -205,6 +206,15 @@ class EvalEngine {
   /// Distinct (point, corner) results memoized so far.
   std::size_t cacheSize() const { return cache_.size(); }
   const EvalBackend& backend() const { return *backend_; }
+  /// Owning handle to the backend (decorators wrap it; see setBackend).
+  std::shared_ptr<const EvalBackend> backendPtr() const { return backend_; }
+  /// Swap the backend for a decorator that is bitwise-equivalent by contract
+  /// — the distributed chunk-offload shim wraps backendPtr() and routes
+  /// batches to idle workers, falling back to the wrapped backend locally.
+  /// The caller owns the equivalence claim; a decorator that changed results
+  /// would break every determinism guarantee downstream. Throws
+  /// std::invalid_argument on null.
+  void setBackend(std::shared_ptr<const EvalBackend> backend);
   const std::vector<sim::PvtCorner>& corners() const { return corners_; }
   const EvalEngineConfig& config() const { return config_; }
 
@@ -232,6 +242,13 @@ class EvalEngine {
   /// Flush results simulated since the last publish into the shared cache
   /// (no-op without one attached); returns the number of entries published.
   std::size_t publishShared();
+  /// Distributed sibling of publishShared(): return the (key, result) pairs
+  /// publishShared() would insert — same filtering, same order — clearing
+  /// the journal without touching the attached cache. The coordinator of a
+  /// multi-process run ships these to the master cache and applies them at
+  /// the round barrier in job-index order, which is what keeps worker-count
+  /// N bitwise identical to the in-process path.
+  std::vector<std::pair<EvalKey, core::EvalResult>> drainPublishJournal();
 
   /// Serialize the engine's durable state — memo contents, ledger timeline,
   /// stats counters — into a checkpoint section. Cache entries are emitted

@@ -88,6 +88,14 @@ SharedEvalCache::ShardCounters SharedEvalCache::shardStats(
   return {s.hits, s.misses, s.inserts, s.map.size()};
 }
 
+void SharedEvalCache::addProbes(std::size_t shard, std::size_t hits,
+                                std::size_t misses) {
+  Shard& s = shards_.at(shard);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.hits += hits;
+  s.misses += misses;
+}
+
 void SharedEvalCache::saveState(io::SectionWriter& w) const {
   w.u64(shards_.size());
   {

@@ -83,6 +83,13 @@ class SharedEvalCache {
   ShardCounters shardStats(std::size_t shard) const;
   /// Counters summed over every shard.
   ShardCounters totals() const;
+  /// Fold externally-tallied probe counters into one shard. The distributed
+  /// coordinator merges each worker's mirror-cache hit/miss deltas here at
+  /// round barriers; because shard assignment is a pure function of the key
+  /// and sums are order-independent, the merged telemetry is bitwise
+  /// identical to the in-process run's. Throws std::out_of_range on a shard
+  /// index past shardCount().
+  void addProbes(std::size_t shard, std::size_t hits, std::size_t misses);
 
   /// Serialize scopes, entries (sorted by scope, corner, indices — identical
   /// states produce identical bytes) and per-shard counters for the

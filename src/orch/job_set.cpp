@@ -1,0 +1,117 @@
+#include "orch/job_set.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "circuits/registry.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/fault.hpp"
+
+namespace trdse::orch {
+
+namespace {
+
+/// Construction errors point at the offending job's [job] line (scenario-
+/// file convention — consumers like trdse_cli print them as-is).
+[[noreturn]] void failJob(const Scenario& sc, const JobSpec& spec,
+                          const std::string& what) {
+  throw std::invalid_argument("scenario " + sc.sourceName + ":" +
+                              std::to_string(spec.sourceLine) + ": job \"" +
+                              spec.name + "\": " + what);
+}
+
+}  // namespace
+
+JobSet buildJobs(Scenario scenario) {
+  JobSet set;
+  set.scenario = std::move(scenario);
+  Scenario& sc = set.scenario;
+  if (sc.jobs.empty())
+    throw std::invalid_argument("Scheduler: scenario defines no jobs");
+  if (sc.slice == 0)
+    throw std::invalid_argument("Scheduler: slice must be positive");
+
+  if (sc.sharedCache)
+    set.shared = std::make_shared<eval::SharedEvalCache>(sc.cacheShards);
+
+  // One plan shared by every job: fault schedules are keyed on (scope,
+  // indices, corner, attempt), so jobs on the same circuit see identical
+  // faults — the deterministic analogue of a flaky simulator license.
+  std::shared_ptr<const sim::FaultPlan> faultPlan;
+  if (sc.faultPlan.enabled())
+    faultPlan = std::make_shared<const sim::FaultPlan>(sc.faultPlan);
+
+  set.jobs.reserve(sc.jobs.size());
+  for (std::size_t i = 0; i < sc.jobs.size(); ++i) {
+    JobSpec& spec = sc.jobs[i];
+    if (spec.seed == 0)
+      spec.seed = common::perTaskSeed(sc.baseSeed, i);
+
+    BuiltJob job;
+    try {
+      core::SizingProblem problem =
+          spec.makeProblem
+              ? spec.makeProblem()
+              : circuits::Registry::global().makeProblem(spec.circuit);
+      job.scope = !spec.cacheScope.empty() ? spec.cacheScope
+                  : !spec.circuit.empty()  ? spec.circuit
+                                           : problem.name;
+
+      job.spec = spec;
+      job.strategy = opt::makeStrategy(spec.strategy, std::move(problem),
+                                       spec.seed, spec.budget, spec.options);
+      if (spec.checkpointEvery != 0 && !job.strategy->supportsCheckpoint())
+        throw std::invalid_argument("requests checkpoints but strategy \"" +
+                                    spec.strategy +
+                                    "\" does not support them");
+      if (!sc.journalPath.empty() && !job.strategy->supportsCheckpoint())
+        throw std::invalid_argument(
+            "cannot run under a write-ahead journal: strategy \"" +
+            spec.strategy + "\" does not support checkpointing");
+      if (!spec.checkpointPath.empty()) {
+        // Two jobs snapshotting onto one file would silently overwrite each
+        // other round after round; a restore would then load whichever job
+        // wrote last (kind/problem/shape all match).
+        for (const BuiltJob& other : set.jobs)
+          if (other.spec.checkpointPath == spec.checkpointPath)
+            throw std::invalid_argument("shares checkpoint_path \"" +
+                                        spec.checkpointPath + "\" with job \"" +
+                                        other.spec.name + "\"");
+      }
+      eval::EvalEngine& engine = job.strategy->engine();
+      engine.setRetryPolicy(sc.retry);
+      if (faultPlan != nullptr) engine.injectFaults(faultPlan, job.scope);
+      // A job that turned its local memo off (e.g. pvt_search
+      // opt.cache=false, the paper-accounting mode) cannot journal
+      // publishes; it simply opts out of cross-job sharing rather than
+      // failing the whole scenario.
+      if (set.shared != nullptr && engine.config().cacheEvals)
+        engine.attachSharedCache(set.shared, job.scope);
+
+      job.result.circuit = !spec.circuit.empty() ? spec.circuit : job.scope;
+    } catch (const std::invalid_argument& e) {
+      failJob(sc, spec, e.what());
+    }
+
+    job.result.name = spec.name;
+    job.result.strategy = spec.strategy;
+    job.result.seed = spec.seed;
+    job.result.budget = spec.budget;
+    set.jobs.push_back(std::move(job));
+  }
+  return set;
+}
+
+std::string quarantineReasonFor(const JobSpec& spec,
+                                const eval::EvalStats& stats,
+                                const eval::FailureRecord& first) {
+  return std::to_string(stats.failures) +
+         " evaluation failure(s) exceed max_failures=" +
+         std::to_string(spec.maxFailures) + "; first: request #" +
+         std::to_string(first.request) + " on corner " +
+         std::to_string(first.cornerIndex) + " failed after " +
+         std::to_string(first.attempts) + " attempt(s) (" +
+         std::string(sim::faultClassName(first.cls)) + ")";
+}
+
+}  // namespace trdse::orch

@@ -51,10 +51,15 @@ struct JournalState {
 };
 
 /// Atomically write the journal for `scenario` (seeds already resolved) to
-/// `path`. `shared` may be null (scenario without a shared cache).
+/// `path`. `shared` may be null (scenario without a shared cache). `events`
+/// is an optional informational log (the DistributedScheduler records worker
+/// deaths and re-dispatches here); when non-empty it lands in an "events"
+/// section that readers ignore for state purposes — journals with and
+/// without it restore identically.
 void writeJournal(const std::string& path, const Scenario& scenario,
                   const JournalState& state,
-                  const eval::SharedEvalCache* shared);
+                  const eval::SharedEvalCache* shared,
+                  const std::vector<std::string>& events = {});
 
 /// Read and validate the journal at `path` against the live `scenario`
 /// (fingerprint check), restore `shared` in place when non-null, and return

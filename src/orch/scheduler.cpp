@@ -4,101 +4,16 @@
 #include <stdexcept>
 #include <utility>
 
-#include "circuits/registry.hpp"
 #include "common/thread_pool.hpp"
 #include "orch/journal.hpp"
-#include "sim/fault.hpp"
 
 namespace trdse::orch {
 
-namespace {
-
-/// Scheduler-construction errors point at the offending job's [job] line
-/// (scenario-file convention — consumers like trdse_cli print them as-is).
-[[noreturn]] void failJob(const Scenario& sc, const JobSpec& spec,
-                          const std::string& what) {
-  throw std::invalid_argument("scenario " + sc.sourceName + ":" +
-                              std::to_string(spec.sourceLine) + ": job \"" +
-                              spec.name + "\": " + what);
-}
-
-}  // namespace
-
-Scheduler::Scheduler(Scenario scenario) : scenario_(std::move(scenario)) {
-  if (scenario_.jobs.empty())
-    throw std::invalid_argument("Scheduler: scenario defines no jobs");
-  if (scenario_.slice == 0)
-    throw std::invalid_argument("Scheduler: slice must be positive");
-
-  if (scenario_.sharedCache)
-    shared_ = std::make_shared<eval::SharedEvalCache>(scenario_.cacheShards);
-
-  // One plan shared by every job: fault schedules are keyed on (scope,
-  // indices, corner, attempt), so jobs on the same circuit see identical
-  // faults — the deterministic analogue of a flaky simulator license.
-  std::shared_ptr<const sim::FaultPlan> faultPlan;
-  if (scenario_.faultPlan.enabled())
-    faultPlan = std::make_shared<const sim::FaultPlan>(scenario_.faultPlan);
-
-  jobs_.reserve(scenario_.jobs.size());
-  for (std::size_t i = 0; i < scenario_.jobs.size(); ++i) {
-    JobSpec& spec = scenario_.jobs[i];
-    if (spec.seed == 0)
-      spec.seed = common::perTaskSeed(scenario_.baseSeed, i);
-
-    Job job;
-    try {
-      core::SizingProblem problem =
-          spec.makeProblem
-              ? spec.makeProblem()
-              : circuits::Registry::global().makeProblem(spec.circuit);
-      const std::string scope = !spec.cacheScope.empty() ? spec.cacheScope
-                                : !spec.circuit.empty()  ? spec.circuit
-                                                         : problem.name;
-
-      job.spec = spec;
-      job.strategy = opt::makeStrategy(spec.strategy, std::move(problem),
-                                       spec.seed, spec.budget, spec.options);
-      if (spec.checkpointEvery != 0 && !job.strategy->supportsCheckpoint())
-        throw std::invalid_argument("requests checkpoints but strategy \"" +
-                                    spec.strategy +
-                                    "\" does not support them");
-      if (!scenario_.journalPath.empty() &&
-          !job.strategy->supportsCheckpoint())
-        throw std::invalid_argument(
-            "cannot run under a write-ahead journal: strategy \"" +
-            spec.strategy + "\" does not support checkpointing");
-      if (!spec.checkpointPath.empty()) {
-        // Two jobs snapshotting onto one file would silently overwrite each
-        // other round after round; a restore would then load whichever job
-        // wrote last (kind/problem/shape all match).
-        for (const Job& other : jobs_)
-          if (other.spec.checkpointPath == spec.checkpointPath)
-            throw std::invalid_argument("shares checkpoint_path \"" +
-                                        spec.checkpointPath + "\" with job \"" +
-                                        other.spec.name + "\"");
-      }
-      eval::EvalEngine& engine = job.strategy->engine();
-      engine.setRetryPolicy(scenario_.retry);
-      if (faultPlan != nullptr) engine.injectFaults(faultPlan, scope);
-      // A job that turned its local memo off (e.g. pvt_search
-      // opt.cache=false, the paper-accounting mode) cannot journal
-      // publishes; it simply opts out of cross-job sharing rather than
-      // failing the whole scenario.
-      if (shared_ != nullptr && engine.config().cacheEvals)
-        engine.attachSharedCache(shared_, scope);
-
-      job.result.circuit = !spec.circuit.empty() ? spec.circuit : scope;
-    } catch (const std::invalid_argument& e) {
-      failJob(scenario_, spec, e.what());
-    }
-
-    job.result.name = spec.name;
-    job.result.strategy = spec.strategy;
-    job.result.seed = spec.seed;
-    job.result.budget = spec.budget;
-    jobs_.push_back(std::move(job));
-  }
+Scheduler::Scheduler(Scenario scenario) {
+  JobSet set = buildJobs(std::move(scenario));
+  scenario_ = std::move(set.scenario);
+  shared_ = std::move(set.shared);
+  jobs_ = std::move(set.jobs);
 }
 
 Scheduler::~Scheduler() = default;
@@ -219,18 +134,10 @@ std::vector<JobResult> Scheduler::run(std::size_t maxRounds) {
         continue;
       }
       const eval::EvalStats& stats = job.strategy->engine().stats();
-      if (stats.failures > job.spec.maxFailures) {
-        const eval::FailureRecord& f = job.strategy->engine().firstFailure();
-        std::string reason =
-            std::to_string(stats.failures) +
-            " evaluation failure(s) exceed max_failures=" +
-            std::to_string(job.spec.maxFailures) + "; first: request #" +
-            std::to_string(f.request) + " on corner " +
-            std::to_string(f.cornerIndex) + " failed after " +
-            std::to_string(f.attempts) + " attempt(s) (" +
-            std::string(sim::faultClassName(f.cls)) + ")";
-        quarantine(job, std::move(reason));
-      }
+      if (stats.failures > job.spec.maxFailures)
+        quarantine(job, quarantineReasonFor(
+                            job.spec, stats,
+                            job.strategy->engine().firstFailure()));
     }
 
     // Checkpoint cadence (rounds, counted per job; quarantined jobs stop

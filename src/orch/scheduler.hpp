@@ -40,26 +40,10 @@
 
 #include "eval/shared_cache.hpp"
 #include "opt/strategy.hpp"
+#include "orch/job_set.hpp"
 #include "orch/scenario.hpp"
 
 namespace trdse::orch {
-
-/// One job's report row after (or during) a run.
-struct JobResult {
-  std::string name;          ///< JobSpec::name
-  std::string circuit;       ///< circuit label
-  std::string strategy;      ///< strategy name
-  std::uint64_t seed = 0;    ///< effective seed (explicit or derived)
-  std::size_t budget = 0;    ///< total block allowance
-  std::size_t rounds = 0;    ///< scheduling rounds the job was stepped in
-  std::size_t published = 0; ///< results this job published to the shared cache
-  std::size_t checkpoints = 0;  ///< periodic snapshots written
-  /// Retry-exhausted evaluation failures the job's engine recorded.
-  std::size_t failures = 0;
-  bool quarantined = false;       ///< failure-isolated at a round barrier
-  std::string quarantineReason;   ///< deterministic reason (empty otherwise)
-  opt::StrategyOutcome outcome; ///< the common comparison row
-};
 
 /// Round-based fair-slicing orchestrator over resumable strategies.
 class Scheduler {
@@ -103,12 +87,10 @@ class Scheduler {
   const opt::Strategy& strategy(std::size_t i) const { return *jobs_[i].strategy; }
 
  private:
-  struct Job {
-    JobSpec spec;
-    std::unique_ptr<opt::Strategy> strategy;
-    std::size_t granted = 0;  ///< cumulative budget target handed out so far
-    JobResult result;
-  };
+  /// Jobs are constructed by orch::buildJobs — the pass shared with
+  /// DistributedScheduler so both agree bitwise on seeds, scopes, engine
+  /// wiring, and validation errors.
+  using Job = BuiltJob;
 
   /// Quarantine `job` with a deterministic reason (idempotent guard in the
   /// caller); the job leaves the runnable set from the next round on.

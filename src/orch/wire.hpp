@@ -1,0 +1,188 @@
+// Length-prefixed frame transport for the distributed orchestrator.
+//
+// The coordinator and its forked workers (orch/distributed.hpp) exchange
+// typed messages over a socketpair. Rather than inventing a second binary
+// format, every message body *is* one io::CheckpointWriter container — the
+// same magic / format version / FNV-1a body checksum / named-section layout
+// every durable artifact in the repo already uses — so a frame inherits the
+// container's validation for free: bad magic, a format version from the
+// future, truncation, and checksum mismatches all surface as typed errors,
+// never as silently misread state.
+//
+//   frame := [u64 little-endian body length] [TDCK container bytes]
+//
+// The container `kind` string is the message kind (the `wire/...` constants
+// below); every message additionally carries a "wire" section holding the
+// protocol version, so a coordinator can reject a message set newer than it
+// speaks. Transport-level problems — a peer that closed mid-frame, a length
+// prefix past the sanity cap, an unknown message kind — throw WireError;
+// payload-level corruption throws io::CheckpointError. Both are fail-loud:
+// no partial frame is ever delivered.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "eval/eval_cache.hpp"
+#include "eval/eval_engine.hpp"
+#include "io/checkpoint.hpp"
+#include "opt/strategy.hpp"
+
+namespace trdse::orch::wire {
+
+/// Transport-level failure: peer closed the channel (possibly mid-frame), a
+/// length prefix exceeded the sanity cap, an I/O syscall failed, or a frame
+/// carried an unknown message kind / future protocol version.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Version of the message set. Bump when a message's payload layout changes;
+/// a peer receiving a newer version fails loudly instead of misreading.
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Largest frame body accepted. A corrupted length prefix must fail the
+/// channel, not drive a multi-gigabyte allocation.
+inline constexpr std::uint64_t kMaxFrameBytes = 1ull << 30;
+
+// Message kinds (checkpoint-container `kind` strings).
+inline constexpr char kMsgRunRound[] = "wire/run-round";
+inline constexpr char kMsgRoundResult[] = "wire/round-result";
+inline constexpr char kMsgBarrier[] = "wire/barrier";
+inline constexpr char kMsgRestore[] = "wire/restore";
+inline constexpr char kMsgRestoreAck[] = "wire/restore-ack";
+inline constexpr char kMsgHarvest[] = "wire/harvest";
+inline constexpr char kMsgHarvestResult[] = "wire/harvest-result";
+inline constexpr char kMsgChunkRequest[] = "wire/chunk-request";
+inline constexpr char kMsgChunkExec[] = "wire/chunk-exec";
+inline constexpr char kMsgChunkReply[] = "wire/chunk-reply";
+inline constexpr char kMsgShutdown[] = "wire/shutdown";
+
+/// Whether `kind` is a message this build speaks.
+bool knownMessageKind(std::string_view kind);
+
+/// Start a message: a CheckpointWriter of the given kind whose "wire"
+/// section already records kWireVersion.
+io::CheckpointWriter makeMessage(const std::string& kind);
+
+/// Encode a finished message as one frame (length prefix + container bytes).
+std::string encodeFrame(const io::CheckpointWriter& msg);
+
+/// Validate a frame body (the bytes after the length prefix): container
+/// structure (magic/version/checksum via io::CheckpointReader), message kind,
+/// and wire protocol version. `source` labels error messages.
+io::CheckpointReader decodeFrame(const std::string& body,
+                                 const std::string& source);
+
+/// Blocking frame transport over one file descriptor (socketpair end).
+/// Move-only; closes the descriptor on destruction.
+class FrameChannel {
+ public:
+  FrameChannel() = default;
+  /// Take ownership of `fd` (a connected SOCK_STREAM socket).
+  explicit FrameChannel(int fd) : fd_(fd) {}
+  ~FrameChannel() { close(); }
+
+  FrameChannel(FrameChannel&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  FrameChannel& operator=(FrameChannel&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Write one complete frame; throws WireError when the peer is gone
+  /// (EPIPE/ECONNRESET — a dead worker must be a typed event, not SIGPIPE).
+  void send(const io::CheckpointWriter& msg);
+  /// Read one complete frame and validate it (decodeFrame). Throws WireError
+  /// on EOF — clean or mid-frame — and on I/O errors; `source` labels errors.
+  io::CheckpointReader recv(const std::string& source);
+
+ private:
+  int fd_ = -1;
+};
+
+// ---- Payload codecs ------------------------------------------------------
+//
+// Shared by the coordinator and worker sides of orch/distributed.cpp (and by
+// the wire fuzz tests / micro-bench, which build representative frames).
+// Every writeX/readX pair round-trips bitwise; readers throw
+// io::CheckpointError on malformed fields.
+
+/// One (key, result) pair of a round's shared-cache publish list.
+struct PublishEntry {
+  eval::EvalKey key;
+  core::EvalResult result;
+};
+
+/// Per-job report carried by a round-result message.
+struct JobRoundReport {
+  std::size_t jobIndex = 0;
+  std::string stepError;  ///< empty = step() returned; else the what() text
+  bool finished = false;  ///< Strategy::finished() after the step
+  std::size_t iterations = 0;  ///< outcome().iterations after the step
+  eval::EvalStats stats;
+  eval::FailureRecord firstFailure;
+  std::vector<PublishEntry> publishes;
+  /// Post-step checkpoint blob (empty when the strategy cannot checkpoint —
+  /// such a job is not recoverable across a worker death).
+  std::string strategyBlob;
+};
+
+/// Mirror-probe tallies of one shard since the previous round-result.
+struct ShardDelta {
+  std::size_t shard = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+/// Everything a strategy outcome + engine accounting harvest ships.
+struct JobHarvest {
+  std::size_t jobIndex = 0;
+  opt::StrategyOutcome outcome;
+  pvt::EdaLedger engineLedger;  ///< live engine ledger (quarantine override)
+  eval::EvalStats engineStats;  ///< live engine stats (quarantine override)
+};
+
+void writeEvalKey(io::SectionWriter& w, const eval::EvalKey& key);
+eval::EvalKey readEvalKey(io::SectionReader& r);
+
+void writeEvalStats(io::SectionWriter& w, const eval::EvalStats& s);
+eval::EvalStats readEvalStats(io::SectionReader& r);
+
+void writeFailureRecord(io::SectionWriter& w, const eval::FailureRecord& f);
+eval::FailureRecord readFailureRecord(io::SectionReader& r);
+
+void writeOutcome(io::SectionWriter& w, const opt::StrategyOutcome& o);
+opt::StrategyOutcome readOutcome(io::SectionReader& r);
+
+void writePublishes(io::SectionWriter& w,
+                    const std::vector<PublishEntry>& entries);
+std::vector<PublishEntry> readPublishes(io::SectionReader& r);
+
+void writeJobRoundReport(io::SectionWriter& w, const JobRoundReport& rep);
+JobRoundReport readJobRoundReport(io::SectionReader& r);
+
+void writeShardDeltas(io::SectionWriter& w,
+                      const std::vector<ShardDelta>& deltas);
+std::vector<ShardDelta> readShardDeltas(io::SectionReader& r);
+
+void writeJobHarvest(io::SectionWriter& w, const JobHarvest& h);
+JobHarvest readJobHarvest(io::SectionReader& r);
+
+}  // namespace trdse::orch::wire

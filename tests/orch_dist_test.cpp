@@ -1,0 +1,608 @@
+// Distributed-orchestration suite: the DistributedScheduler determinism
+// contract — per-job outcomes, ledgers (cached/failed flags included),
+// quarantine decisions, and shared-cache counters bitwise identical for any
+// worker count {0,1,2,4} crossed with any per-worker thread count — plus the
+// PR 6 fault-tolerance integration (worker SIGKILL mid-round, coordinator
+// death + --resume) and the wire-format fuzz cases (bad magic, truncation,
+// unknown kind, future protocol version, checksum flips → typed errors).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "io/checkpoint.hpp"
+#include "orch/distributed.hpp"
+#include "orch/scenario.hpp"
+#include "orch/scheduler.hpp"
+#include "orch/wire.hpp"
+
+namespace trdse::orch {
+namespace {
+
+/// Synthetic 2-D CSP on a deliberately coarse grid (9x9 = 81 distinct
+/// points), so concurrent jobs collide on cache keys within a few rounds
+/// (same problem orch_test uses; separate binary, separate registration).
+core::SizingProblem tinyGridProblem(double feasibleRadius = 0.08) {
+  core::SizingProblem p;
+  p.name = "tiny_grid";
+  p.space = core::DesignSpace({{"x", 0.0, 1.0, 9, false},
+                               {"y", 0.0, 1.0, 9, false}});
+  p.measurementNames = {"closeness", "budget"};
+  p.specs = {{"closeness", core::SpecKind::kAtLeast, 1.0 - feasibleRadius},
+             {"budget", core::SpecKind::kAtMost, 1.6}};
+  p.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0}};
+  p.evaluate = [](const linalg::Vector& v, const sim::PvtCorner&) {
+    core::EvalResult r;
+    r.ok = true;
+    const double dx = v[0] - 0.66;
+    const double dy = v[1] - 0.31;
+    r.measurements = {1.0 - std::sqrt(dx * dx + dy * dy), v[0] + v[1]};
+    return r;
+  };
+  return p;
+}
+
+void ensureTinyGridRegistered() {
+  static const bool once = [] {
+    circuits::Registry::global().add(
+        {"tiny_grid", "bsim45", "coarse synthetic CSP (orch_dist tests)",
+         [](const sim::ProcessCard&, std::vector<sim::PvtCorner> corners) {
+           core::SizingProblem p = tinyGridProblem(0.05);  // infeasible
+           if (!corners.empty()) p.corners = std::move(corners);
+           return p;
+         }});
+    return true;
+  }();
+  (void)once;
+}
+
+void expectSameLedger(const pvt::EdaLedger& a, const pvt::EdaLedger& b) {
+  ASSERT_EQ(a.totalBlocks(), b.totalBlocks());
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    EXPECT_EQ(a.blocks()[i].cornerIndex, b.blocks()[i].cornerIndex);
+    EXPECT_EQ(a.blocks()[i].kind, b.blocks()[i].kind);
+    EXPECT_EQ(a.blocks()[i].meetsSpec, b.blocks()[i].meetsSpec);
+    EXPECT_EQ(a.blocks()[i].cached, b.blocks()[i].cached);
+    EXPECT_EQ(a.blocks()[i].failed, b.blocks()[i].failed);
+    EXPECT_EQ(a.blocks()[i].retries, b.blocks()[i].retries);
+    EXPECT_EQ(a.blocks()[i].backoff, b.blocks()[i].backoff);
+  }
+}
+
+/// Bitwise comparison of everything a JobResult reports. backendSeconds is
+/// deliberately not part of EvalStats comparisons anywhere in the repo —
+/// wall-clock timing is measurement, not outcome.
+void expectSameOutcome(const opt::StrategyOutcome& a,
+                       const opt::StrategyOutcome& b) {
+  EXPECT_EQ(a.solved, b.solved);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.sizes, b.sizes);
+  EXPECT_EQ(a.bestValue, b.bestValue);
+  EXPECT_EQ(a.bestMeasurements, b.bestMeasurements);
+  EXPECT_EQ(a.evalStats.requests, b.evalStats.requests);
+  EXPECT_EQ(a.evalStats.simulated, b.evalStats.simulated);
+  EXPECT_EQ(a.evalStats.cacheHits, b.evalStats.cacheHits);
+  EXPECT_EQ(a.evalStats.sharedHits, b.evalStats.sharedHits);
+  EXPECT_EQ(a.evalStats.attempts, b.evalStats.attempts);
+  EXPECT_EQ(a.evalStats.faults, b.evalStats.faults);
+  EXPECT_EQ(a.evalStats.failures, b.evalStats.failures);
+  EXPECT_EQ(a.evalStats.backoffUnits, b.evalStats.backoffUnits);
+  expectSameLedger(a.ledger, b.ledger);
+}
+
+void expectSameResults(const std::vector<JobResult>& a,
+                       const std::vector<JobResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].name, b[j].name);
+    EXPECT_EQ(a[j].seed, b[j].seed);
+    EXPECT_EQ(a[j].rounds, b[j].rounds) << a[j].name;
+    EXPECT_EQ(a[j].published, b[j].published) << a[j].name;
+    EXPECT_EQ(a[j].checkpoints, b[j].checkpoints) << a[j].name;
+    EXPECT_EQ(a[j].failures, b[j].failures) << a[j].name;
+    EXPECT_EQ(a[j].quarantined, b[j].quarantined) << a[j].name;
+    EXPECT_EQ(a[j].quarantineReason, b[j].quarantineReason) << a[j].name;
+    expectSameOutcome(a[j].outcome, b[j].outcome);
+  }
+}
+
+/// The acceptance scenario of the determinism matrix: four jobs of three
+/// different strategies on one coarse circuit, so cross-job shared hits are
+/// plentiful and the barrier-ordered publish semantics actually matter.
+Scenario mixedScenario() {
+  ensureTinyGridRegistered();
+  return parseScenarioText(
+      "name = dist_accept\n"
+      "slice = 12\n"
+      "shards = 8\n"
+      "base_seed = 5\n"
+      "[job]\nname = rs_a\ncircuit = tiny_grid\nstrategy = random_search\n"
+      "seed = 101\nbudget = 70\n"
+      "[job]\nname = rs_b\ncircuit = tiny_grid\nstrategy = random_search\n"
+      "seed = 202\nbudget = 70\n"
+      "[job]\nname = bo\ncircuit = tiny_grid\nstrategy = tree_bayes_opt\n"
+      "seed = 7\nbudget = 70\nopt.init_samples = 8\nopt.candidate_pool = 30\n"
+      "[job]\nname = rl\ncircuit = tiny_grid\nstrategy = rl_policy\n"
+      "seed = 11\nbudget = 70\nopt.hidden = 8\nopt.n_steps = 8\n",
+      "inline");
+}
+
+/// Checkpointable-only scenario with injected simulator faults: one job is
+/// deterministically quarantined (max_failures = 0), the others absorb their
+/// failures. Every strategy checkpoints, so worker deaths are recoverable
+/// and the scenario can run under a write-ahead journal.
+Scenario faultyCheckpointableScenario() {
+  ensureTinyGridRegistered();
+  return parseScenarioText(
+      "name = dist_faulty\n"
+      "slice = 12\n"
+      "base_seed = 5\n"
+      "fault_seed = 21\n"
+      "fault_nonconv = 0.45\n"
+      "retry_attempts = 2\n"
+      "[job]\n"
+      "name = fragile\ncircuit = tiny_grid\nstrategy = random_search\n"
+      "seed = 101\nbudget = 70\nmax_failures = 0\n"
+      "[job]\n"
+      "name = tough_rs\ncircuit = tiny_grid\nstrategy = random_search\n"
+      "seed = 202\nbudget = 70\nmax_failures = 100000\n"
+      "[job]\n"
+      "name = tough_pvt\ncircuit = tiny_grid\nstrategy = pvt_search\n"
+      "seed = 7\nbudget = 70\nmax_failures = 100000\n",
+      "inline");
+}
+
+// ---- Determinism matrix --------------------------------------------------
+
+TEST(DistributedScheduler, MatrixOfWorkersAndThreadsIsBitwiseIdentical) {
+  // Baseline: workers = 0 delegates to the in-process Scheduler.
+  std::vector<JobResult> baseline;
+  eval::SharedEvalCache::ShardCounters baseTotals{};
+  {
+    DistributedScheduler sched(mixedScenario());
+    baseline = sched.run();
+    ASSERT_NE(sched.sharedCache(), nullptr);
+    baseTotals = sched.sharedCache()->totals();
+    EXPECT_TRUE(sched.completed());
+    EXPECT_TRUE(sched.workerReports().empty());  // in-process path
+  }
+  for (const JobResult& r : baseline) {
+    EXPECT_GT(r.outcome.evalStats.sharedHits, 0u) << r.name;
+    EXPECT_GT(r.published, 0u) << r.name;
+  }
+  EXPECT_GT(baseTotals.entries, 0u);
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    for (const std::size_t threads : {1u, 2u}) {
+      Scenario sc = mixedScenario();
+      sc.workers = workers;
+      sc.threads = threads;
+      DistributedScheduler sched(std::move(sc));
+      const std::vector<JobResult> results = sched.run();
+      EXPECT_TRUE(sched.completed());
+      expectSameResults(results, baseline);
+
+      // Master-cache counters match bitwise: entries and inserts from the
+      // coordinator's job-order barrier inserts, hits/misses from the merged
+      // per-shard mirror-probe deltas.
+      ASSERT_NE(sched.sharedCache(), nullptr);
+      const auto totals = sched.sharedCache()->totals();
+      EXPECT_EQ(totals.entries, baseTotals.entries)
+          << "workers=" << workers << " threads=" << threads;
+      EXPECT_EQ(totals.inserts, baseTotals.inserts);
+      EXPECT_EQ(totals.hits, baseTotals.hits);
+      EXPECT_EQ(totals.misses, baseTotals.misses);
+
+      // Attribution is deterministic: jobs shard round-robin by index, and
+      // every worker's merged probe tallies sum to the master's totals.
+      const auto& reports = sched.workerReports();
+      ASSERT_EQ(reports.size(), std::min(workers, results.size()));
+      std::size_t hits = 0;
+      std::size_t misses = 0;
+      std::size_t named = 0;
+      for (const auto& rep : reports) {
+        hits += rep.sharedHits;
+        misses += rep.sharedMisses;
+        named += rep.jobs.size();
+      }
+      EXPECT_EQ(named, results.size());
+      EXPECT_EQ(hits, baseTotals.hits);
+      EXPECT_EQ(misses, baseTotals.misses);
+      EXPECT_TRUE(sched.events().empty());  // no faults injected
+    }
+  }
+}
+
+TEST(DistributedScheduler, FaultQuarantineMatchesInProcessBitwise) {
+  std::vector<JobResult> baseline;
+  {
+    DistributedScheduler sched(faultyCheckpointableScenario());
+    baseline = sched.run();
+  }
+  ASSERT_EQ(baseline.size(), 3u);
+  EXPECT_TRUE(baseline[0].quarantined);
+  EXPECT_NE(baseline[0].quarantineReason.find("exceed max_failures=0"),
+            std::string::npos);
+  EXPECT_FALSE(baseline[1].quarantined);
+  EXPECT_FALSE(baseline[2].quarantined);
+
+  for (const std::size_t workers : {1u, 2u}) {
+    Scenario sc = faultyCheckpointableScenario();
+    sc.workers = workers;
+    DistributedScheduler sched(std::move(sc));
+    expectSameResults(sched.run(), baseline);
+    EXPECT_TRUE(sched.completed());
+  }
+}
+
+TEST(DistributedScheduler, ChunkOffloadIsBitwiseInvisible) {
+  // Jobs with very different budgets: rs_short finishes early, so its worker
+  // goes idle while rs_long keeps stepping — the window in which offloaded
+  // chunks are actually granted (whether any given batch offloads or
+  // computes locally is a timing race by design; the assertion is that the
+  // choice can never show in any outcome, ledger, or counter).
+  const auto scenario = [] {
+    ensureTinyGridRegistered();
+    return parseScenarioText(
+        "name = dist_offload\n"
+        "slice = 12\n"
+        "base_seed = 5\n"
+        "[job]\nname = rs_long\ncircuit = two_stage_opamp\n"
+        "strategy = random_search\nseed = 31\nbudget = 60\n"
+        "[job]\nname = rs_short\ncircuit = two_stage_opamp\n"
+        "strategy = random_search\nseed = 32\nbudget = 12\n",
+        "inline");
+  };
+
+  std::vector<JobResult> off;
+  {
+    Scenario sc = scenario();
+    sc.workers = 2;
+    DistributedScheduler sched(std::move(sc));
+    off = sched.run();
+  }
+  Scenario sc = scenario();
+  sc.workers = 2;
+  sc.offloadChunks = true;
+  DistributedScheduler sched(std::move(sc));
+  expectSameResults(sched.run(), off);
+}
+
+// ---- Fault tolerance: worker death, coordinator death --------------------
+
+TEST(DistributedScheduler, WorkerKilledMidRoundIsRedispatchedBitwise) {
+  std::vector<JobResult> expected;
+  {
+    Scenario sc = faultyCheckpointableScenario();
+    sc.workers = 2;
+    DistributedScheduler sched(std::move(sc));
+    expected = sched.run();
+  }
+
+  // Same scenario, but worker 1 _exit()s upon receiving round 2 (the
+  // deterministic stand-in for SIGKILL mid-round, also wired to
+  // trdse_cli --debug-kill-worker). The coordinator must respawn it,
+  // restore its jobs from the last barrier blobs, re-dispatch the round,
+  // and land on byte-identical results.
+  Scenario sc = faultyCheckpointableScenario();
+  sc.workers = 2;
+  DistributedScheduler sched(std::move(sc));
+  sched.debugKillWorker(1, 2);
+  const std::vector<JobResult> survived = sched.run();
+  expectSameResults(survived, expected);
+
+  // The death is an observable event — just never part of the results.
+  ASSERT_FALSE(sched.events().empty());
+  EXPECT_NE(sched.events()[0].find("worker 1"), std::string::npos);
+  EXPECT_NE(sched.events()[0].find("respawned"), std::string::npos);
+}
+
+TEST(DistributedScheduler, KillingEveryWorkerInTurnStillMatches) {
+  std::vector<JobResult> expected;
+  {
+    Scenario sc = faultyCheckpointableScenario();
+    sc.workers = 2;
+    DistributedScheduler sched(std::move(sc));
+    expected = sched.run();
+  }
+  Scenario sc = faultyCheckpointableScenario();
+  sc.workers = 2;
+  DistributedScheduler sched(std::move(sc));
+  sched.debugKillWorker(0, 1);  // round 1: nothing checkpointed yet
+  sched.debugKillWorker(1, 3);
+  expectSameResults(sched.run(), expected);
+  EXPECT_EQ(sched.events().size(), 2u);
+}
+
+TEST(DistributedScheduler, CoordinatorDeathResumesBitwise) {
+  const std::string journal = testing::TempDir() + "dist_resume.tdck";
+  const std::string wholeJournal = testing::TempDir() + "dist_whole.tdck";
+
+  std::vector<JobResult> expected;
+  {
+    Scenario sc = faultyCheckpointableScenario();
+    sc.workers = 2;
+    sc.journalPath = wholeJournal;
+    DistributedScheduler sched(std::move(sc));
+    expected = sched.run();
+  }
+
+  // "Die" after two rounds: the destructor is the stand-in for SIGKILL —
+  // the journal on disk is all a restarted process would have either way
+  // (writeFile is atomic, so a real kill leaves the same bytes).
+  {
+    Scenario sc = faultyCheckpointableScenario();
+    sc.workers = 2;
+    sc.journalPath = journal;
+    DistributedScheduler first(std::move(sc));
+    first.run(2);
+    EXPECT_FALSE(first.completed());
+  }
+  {
+    Scenario sc = faultyCheckpointableScenario();
+    sc.workers = 2;
+    sc.journalPath = journal;
+    DistributedScheduler second(std::move(sc));
+    second.resume(journal);
+    expectSameResults(second.run(), expected);
+    EXPECT_TRUE(second.completed());
+  }
+
+  // The journal is worker-count agnostic (workers is not fingerprinted):
+  // a distributed journal resumes in-process and vice versa.
+  {
+    Scenario sc = faultyCheckpointableScenario();
+    sc.journalPath = journal;
+    Scheduler inProcess(std::move(sc));
+    inProcess.resume(journal);
+    expectSameResults(inProcess.run(), expected);
+  }
+  std::remove(journal.c_str());
+  std::remove(wholeJournal.c_str());
+}
+
+TEST(DistributedScheduler, ContractErrorsAreLoud) {
+  // Engine-internal thread pools cannot survive a fork: the child inherits
+  // the pool's bookkeeping but none of its threads.
+  {
+    ensureTinyGridRegistered();
+    Scenario sc = parseScenarioText(
+        "workers = 2\n"
+        "[job]\nname = pvt\ncircuit = tiny_grid\nstrategy = pvt_search\n"
+        "seed = 3\nbudget = 20\nopt.eval_threads = 2\n",
+        "inline");
+    EXPECT_THROW(DistributedScheduler{std::move(sc)}, std::invalid_argument);
+  }
+  // A scheduler runs exactly once; resume is a pre-run operation.
+  {
+    Scenario sc = mixedScenario();
+    sc.workers = 2;
+    DistributedScheduler sched(std::move(sc));
+    sched.run();
+    EXPECT_THROW(sched.run(), std::logic_error);
+    EXPECT_THROW(sched.resume("nowhere.tdck"), std::logic_error);
+  }
+}
+
+// ---- Scenario parser: worker knobs ---------------------------------------
+
+TEST(Scenario, ParsesWorkerKnobs) {
+  const Scenario sc = parseScenarioText(
+      "workers = 3\n"
+      "worker_timeout = 2.5\n"
+      "offload_chunks = on\n"
+      "[job]\ncircuit = ldo\nstrategy = random_search\nbudget = 10\n",
+      "inline");
+  EXPECT_EQ(sc.workers, 3u);
+  EXPECT_EQ(sc.workerTimeoutSeconds, 2.5);
+  EXPECT_TRUE(sc.offloadChunks);
+  // Defaults: single-process, no stall deadline, no chunk offload.
+  const Scenario defaults = parseScenarioText(
+      "[job]\ncircuit = ldo\nstrategy = random_search\nbudget = 10\n",
+      "inline");
+  EXPECT_EQ(defaults.workers, 0u);
+  EXPECT_EQ(defaults.workerTimeoutSeconds, 0.0);
+  EXPECT_FALSE(defaults.offloadChunks);
+}
+
+TEST(Scenario, RejectsMalformedWorkerKnobsWithFileAndLine) {
+  const std::string tail =
+      "[job]\ncircuit = ldo\nstrategy = random_search\nbudget = 10\n";
+  EXPECT_THROW(parseScenarioText("workers = -1\n" + tail, "x"),
+               std::invalid_argument);  // negative (stoull wrap rejected)
+  EXPECT_THROW(parseScenarioText("workers = 2 4\n" + tail, "x"),
+               std::invalid_argument);  // trailing junk
+  EXPECT_THROW(parseScenarioText("workers = two\n" + tail, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("workers = 2\nworkers = 4\n" + tail, "x"),
+               std::invalid_argument);  // duplicate key, no last-wins
+  EXPECT_THROW(parseScenarioText("worker_timeout = -0.5\n" + tail, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("offload_chunks = maybe\n" + tail, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenarioText("[job]\ncircuit = c\nstrategy = s\n"
+                                 "budget = 1\nworkers = 2\n",
+                                 "x"),
+               std::invalid_argument);  // global-only key inside [job]
+
+  // Errors carry the file:line convention every parse error uses.
+  try {
+    parseScenarioText("slice = 4\nworkers = -1\n" + tail, "bad.scenario");
+    FAIL() << "negative workers accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.scenario:2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("workers"), std::string::npos);
+  }
+}
+
+// ---- Wire format fuzz ----------------------------------------------------
+
+TEST(Wire, MessageRoundTripsThroughAChannel) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  wire::FrameChannel a(fds[0]);
+  wire::FrameChannel b(fds[1]);
+
+  io::CheckpointWriter msg = wire::makeMessage(wire::kMsgRunRound);
+  io::SectionWriter& r = msg.section("round");
+  r.u64(7);
+  r.boolean(false);
+  r.u64(1);
+  r.u64(3);
+  r.u64(24);
+  a.send(msg);
+
+  const io::CheckpointReader got = b.recv("test");
+  EXPECT_EQ(got.kind(), wire::kMsgRunRound);
+  io::SectionReader rr = got.section("round");
+  EXPECT_EQ(rr.u64(), 7u);
+  EXPECT_FALSE(rr.boolean());
+  EXPECT_EQ(rr.u64(), 1u);
+  EXPECT_EQ(rr.u64(), 3u);
+  EXPECT_EQ(rr.u64(), 24u);
+  rr.expectEnd();
+}
+
+TEST(Wire, RejectsBadMagic) {
+  EXPECT_THROW(wire::decodeFrame("garbage that is no container", "t"),
+               io::CheckpointError);
+  EXPECT_THROW(wire::decodeFrame("", "t"), io::CheckpointError);
+}
+
+TEST(Wire, RejectsUnknownMessageKind) {
+  // A structurally valid container whose kind this build does not speak —
+  // e.g. a message type added in a future release.
+  io::CheckpointWriter msg = wire::makeMessage("wire/from-the-future");
+  const std::string frame = wire::encodeFrame(msg);
+  const std::string body = frame.substr(8);  // strip the length prefix
+  EXPECT_THROW(wire::decodeFrame(body, "t"), wire::WireError);
+}
+
+TEST(Wire, RejectsFutureProtocolVersion) {
+  io::CheckpointWriter msg(wire::kMsgShutdown);
+  msg.section("wire").u32(wire::kWireVersion + 1);
+  const std::string body = wire::encodeFrame(msg).substr(8);
+  EXPECT_THROW(wire::decodeFrame(body, "t"), wire::WireError);
+}
+
+TEST(Wire, RejectsChecksumMismatch) {
+  io::CheckpointWriter msg = wire::makeMessage(wire::kMsgHarvest);
+  std::string frame = wire::encodeFrame(msg);
+  // Flip one bit in the last body byte: the container checksum (FNV-1a over
+  // the body) must catch it as a typed error, never as misread state.
+  frame.back() = static_cast<char>(frame.back() ^ 0x01);
+  EXPECT_THROW(wire::decodeFrame(frame.substr(8), "t"), io::CheckpointError);
+}
+
+TEST(Wire, ChannelFailsLoudOnTruncationAndOversizedFrames) {
+  // Peer closes mid-frame: a length prefix promising more bytes than ever
+  // arrive must be a WireError, not a short read.
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    wire::FrameChannel rx(fds[0]);
+    io::CheckpointWriter msg = wire::makeMessage(wire::kMsgShutdown);
+    const std::string frame = wire::encodeFrame(msg);
+    ASSERT_EQ(::write(fds[1], frame.data(), frame.size() - 3),
+              static_cast<ssize_t>(frame.size() - 3));
+    ::close(fds[1]);
+    EXPECT_THROW(rx.recv("t"), wire::WireError);
+  }
+  // Clean EOF before any frame is also a typed error (the caller decides
+  // whether a vanished peer is fatal).
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    wire::FrameChannel rx(fds[0]);
+    ::close(fds[1]);
+    EXPECT_THROW(rx.recv("t"), wire::WireError);
+  }
+  // A corrupt length prefix past the sanity cap must fail before allocating.
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    wire::FrameChannel rx(fds[0]);
+    const std::uint64_t huge = wire::kMaxFrameBytes + 1;
+    std::uint8_t prefix[8];
+    for (int i = 0; i < 8; ++i)
+      prefix[i] = static_cast<std::uint8_t>(huge >> (8 * i));
+    ASSERT_EQ(::write(fds[1], prefix, 8), 8);
+    EXPECT_THROW(rx.recv("t"), wire::WireError);
+    ::close(fds[1]);
+  }
+}
+
+TEST(Wire, PayloadCodecsRoundTrip) {
+  wire::JobRoundReport rep;
+  rep.jobIndex = 3;
+  rep.stepError = "";
+  rep.finished = true;
+  rep.iterations = 42;
+  rep.stats.requests = 42;
+  rep.stats.simulated = 30;
+  rep.stats.cacheHits = 7;
+  rep.stats.sharedHits = 4;
+  rep.stats.failures = 1;
+  rep.stats.attempts = 45;
+  rep.stats.faults = 2;
+  rep.stats.backoffUnits = 3;
+  rep.firstFailure.valid = true;
+  rep.firstFailure.request = 12;
+  rep.firstFailure.cornerIndex = 1;
+  rep.firstFailure.attempts = 2;
+  wire::PublishEntry entry;
+  entry.key = {{3, 4}, 1};
+  entry.result.ok = true;
+  entry.result.measurements = {1.5, -2.25};
+  rep.publishes.push_back(entry);
+  rep.strategyBlob = std::string("blob\0with\0nuls", 14);
+
+  io::CheckpointWriter msg = wire::makeMessage(wire::kMsgRoundResult);
+  wire::writeJobRoundReport(msg.section("jobs"), rep);
+  const std::string body = wire::encodeFrame(msg).substr(8);
+  const io::CheckpointReader reader = wire::decodeFrame(body, "t");
+  io::SectionReader r = reader.section("jobs");
+  const wire::JobRoundReport back = wire::readJobRoundReport(r);
+  r.expectEnd();
+
+  EXPECT_EQ(back.jobIndex, rep.jobIndex);
+  EXPECT_EQ(back.stepError, rep.stepError);
+  EXPECT_EQ(back.finished, rep.finished);
+  EXPECT_EQ(back.iterations, rep.iterations);
+  EXPECT_EQ(back.stats.requests, rep.stats.requests);
+  EXPECT_EQ(back.stats.simulated, rep.stats.simulated);
+  EXPECT_EQ(back.stats.cacheHits, rep.stats.cacheHits);
+  EXPECT_EQ(back.stats.sharedHits, rep.stats.sharedHits);
+  EXPECT_EQ(back.stats.failures, rep.stats.failures);
+  ASSERT_EQ(back.publishes.size(), 1u);
+  EXPECT_EQ(back.publishes[0].key.indices, entry.key.indices);
+  EXPECT_EQ(back.publishes[0].key.cornerIndex, entry.key.cornerIndex);
+  EXPECT_EQ(back.publishes[0].result.measurements, entry.result.measurements);
+  EXPECT_EQ(back.strategyBlob, rep.strategyBlob);
+  EXPECT_TRUE(back.firstFailure.valid);
+  EXPECT_EQ(back.firstFailure.request, rep.firstFailure.request);
+}
+
+TEST(Wire, StatsCodecRejectsBrokenPartitionInvariant) {
+  eval::EvalStats s;
+  s.requests = 10;
+  s.simulated = 3;  // 3 + 0 + 0 + 0 != 10
+  io::CheckpointWriter msg = wire::makeMessage(wire::kMsgRoundResult);
+  wire::writeEvalStats(msg.section("stats"), s);
+  const std::string body = wire::encodeFrame(msg).substr(8);
+  const io::CheckpointReader reader = wire::decodeFrame(body, "t");
+  io::SectionReader r = reader.section("stats");
+  EXPECT_THROW(wire::readEvalStats(r), io::CheckpointError);
+}
+
+}  // namespace
+}  // namespace trdse::orch

@@ -6,9 +6,11 @@
 // accounting, cache economics, best worst-corner Value.
 //
 // Everything on stdout is deterministic — a function of the scenario file
-// alone, identical for any --threads value and across SIGKILL + --resume —
-// so CI can diff a run against a committed expected summary (wall-clock
-// timing goes to stderr).
+// alone, identical for any --threads or --workers value and across SIGKILL +
+// --resume — so CI can diff a run against a committed expected summary
+// (wall-clock timing and worker-failure notices go to stderr; the per-worker
+// attribution `# worker` lines appear only when --workers > 0, so CI diffs a
+// distributed run against the single-process golden with them filtered).
 //
 // Exit codes: 0 all jobs completed; 1 error (unreadable/invalid scenario,
 // corrupt journal); 2 usage; 4 the run finished but at least one job was
@@ -16,27 +18,32 @@
 // distinguish "degraded but deterministic" from hard failure.
 //
 // Usage:
-//   trdse_cli <scenario-file> [--threads N] [--slice N] [--no-shared-cache]
-//             [--journal PATH] [--resume]
+//   trdse_cli <scenario-file> [--threads N] [--workers N] [--slice N]
+//             [--offload-chunks] [--no-shared-cache] [--journal PATH]
+//             [--resume]
 //   trdse_cli --list
+// (Hidden test hook: --debug-kill-worker W:R kills worker W at the start of
+// round R — the CI crash-recovery smoke drives it; see ORCHESTRATION.md.)
 #include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuits/registry.hpp"
 #include "common/parse_util.hpp"
 #include "opt/strategy.hpp"
-#include "orch/scheduler.hpp"
+#include "orch/distributed.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <scenario-file> [--threads N] [--slice N] "
-               "[--no-shared-cache] [--journal PATH] [--resume]\n"
+               "usage: %s <scenario-file> [--threads N] [--workers N] "
+               "[--slice N] [--offload-chunks] [--no-shared-cache] "
+               "[--journal PATH] [--resume]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -63,12 +70,16 @@ int main(int argc, char** argv) {
 
   std::string path;
   bool haveThreads = false;
+  bool haveWorkers = false;
   bool haveSlice = false;
   std::uint64_t threads = 0;
+  std::uint64_t workers = 0;
   std::uint64_t slice = 0;
   bool noSharedCache = false;
+  bool offloadChunks = false;
   std::string journalPath;
   bool resume = false;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> debugKills;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -78,14 +89,34 @@ int main(int argc, char** argv) {
       }
       if (arg == "--no-shared-cache") {
         noSharedCache = true;
+      } else if (arg == "--offload-chunks") {
+        offloadChunks = true;
       } else if (arg == "--resume") {
         resume = true;
       } else if (arg == "--journal" && i + 1 < argc) {
         journalPath = argv[++i];
-      } else if ((arg == "--threads" || arg == "--slice") && i + 1 < argc) {
+      } else if (arg == "--debug-kill-worker" && i + 1 < argc) {
+        const std::string spec = argv[++i];
+        const std::size_t colon = spec.find(':');
+        if (colon == std::string::npos)
+          throw std::invalid_argument(
+              "--debug-kill-worker expects WORKER:ROUND, got \"" + spec +
+              "\"");
+        debugKills.emplace_back(
+            trdse::common::parseU64("--debug-kill-worker worker",
+                                    spec.substr(0, colon)),
+            trdse::common::parseU64("--debug-kill-worker round",
+                                    spec.substr(colon + 1)));
+      } else if ((arg == "--threads" || arg == "--workers" ||
+                  arg == "--slice") &&
+                 i + 1 < argc) {
         const std::uint64_t v = trdse::common::parseU64(arg, argv[++i]);
-        (arg == "--threads" ? threads : slice) = v;
-        (arg == "--threads" ? haveThreads : haveSlice) = true;
+        (arg == "--threads"   ? threads
+         : arg == "--workers" ? workers
+                              : slice) = v;
+        (arg == "--threads"   ? haveThreads
+         : arg == "--workers" ? haveWorkers
+                              : haveSlice) = true;
       } else if (!arg.empty() && arg[0] == '-') {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
         return usage(argv[0]);
@@ -104,8 +135,10 @@ int main(int argc, char** argv) {
   try {
     trdse::orch::Scenario scenario = trdse::orch::loadScenarioFile(path);
     if (haveThreads) scenario.threads = threads;
+    if (haveWorkers) scenario.workers = workers;
     if (haveSlice) scenario.slice = slice;  // 0 rejected by the Scheduler
     if (noSharedCache) scenario.sharedCache = false;
+    if (offloadChunks) scenario.offloadChunks = true;
     if (!journalPath.empty()) scenario.journalPath = journalPath;
     if (resume && scenario.journalPath.empty()) {
       std::fprintf(stderr,
@@ -114,7 +147,10 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
 
-    trdse::orch::Scheduler scheduler(std::move(scenario));
+    // Worker count 0 delegates to the in-process Scheduler, so this is the
+    // only construction path — --workers is a pure throughput knob.
+    trdse::orch::DistributedScheduler scheduler(std::move(scenario));
+    for (const auto& [w, r] : debugKills) scheduler.debugKillWorker(w, r);
     // A missing journal under --resume is a cold start, not an error: the
     // process may have been killed before the first barrier ever wrote one.
     if (resume && fileExists(scheduler.scenario().journalPath))
@@ -143,6 +179,31 @@ int main(int argc, char** argv) {
       std::printf(
           "# shared cache: %zu entries in %zu shards, %zu hits / %zu misses\n",
           t.entries, cache->shardCount(), t.hits, t.misses);
+      // Per-shard breakdown: shard assignment is a pure key hash, so these
+      // lines are as deterministic as the totals (and identical for any
+      // --threads / --workers value).
+      for (std::size_t s = 0; s < cache->shardCount(); ++s) {
+        const auto c = cache->shardStats(s);
+        std::printf(
+            "# shard %02zu: %zu entries, %zu hits / %zu misses, %zu inserts\n",
+            s, c.entries, c.hits, c.misses, c.inserts);
+      }
+    }
+    // Worker attribution (distributed runs only). Stdout carries only the
+    // job->worker mapping, which is a pure function of the scenario (jobs
+    // shard round-robin by index) — byte-identical across SIGKILL +
+    // --resume. The merged probe tallies go to stderr: they count probes
+    // merged by *this* process, so a resumed run reports only its own share.
+    for (std::size_t w = 0; w < scheduler.workerReports().size(); ++w) {
+      const auto& rep = scheduler.workerReports()[w];
+      std::string names;
+      for (const std::string& j : rep.jobs) {
+        if (!names.empty()) names += ",";
+        names += j;
+      }
+      std::printf("# worker %zu: jobs %s\n", w, names.c_str());
+      std::fprintf(stderr, "# worker %zu: shared probes merged %zuh/%zum\n",
+                   w, rep.sharedHits, rep.sharedMisses);
     }
     // Fault/quarantine report, appended as deterministic comment lines so
     // the summary table above stays byte-identical for clean scenarios.
@@ -159,7 +220,10 @@ int main(int argc, char** argv) {
                     r.quarantineReason.c_str());
       }
     }
-    std::fprintf(stderr, "[%.2fs wall, threads=%zu]\n", seconds, sc.threads);
+    for (const std::string& ev : scheduler.events())
+      std::fprintf(stderr, "# event: %s\n", ev.c_str());
+    std::fprintf(stderr, "[%.2fs wall, threads=%zu, workers=%zu]\n", seconds,
+                 sc.threads, sc.workers);
     return anyQuarantined ? 4 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trdse_cli: %s\n", e.what());
