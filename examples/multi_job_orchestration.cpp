@@ -1,5 +1,5 @@
 // Programmatic multi-job orchestration — the code-level twin of
-// `trdse_cli scenarios/opamp_bakeoff.scenario`.
+// `trdse run scenarios/opamp_bakeoff.scenario`.
 //
 // Builds a Scenario in code instead of a file: four strategies race on the
 // same registry circuit under one per-job budget, sharing simulation results

@@ -1,0 +1,89 @@
+// Sizing service client walkthrough — the code-level twin of
+// `trdse submit <scenario> --socket <path>` (docs/SERVICE.md).
+//
+// Hosts a serve::Daemon in-process on a background thread (exactly what
+// `trdse serve` runs), then drives it through the typed serve::Client: two
+// tenants submit the same scenario back-to-back, the first streams per-round
+// progress to completion, and the second completes warm — every evaluation
+// answered by the daemon's global shared cache, zero new simulations. The
+// final reports are byte-identical to what `trdse run` would print for the
+// cold pass, by construction (one renderer, delta-based cache counters).
+//
+// Usage: sizing_service [state-dir]   (default /tmp/trdse-example)
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+
+using namespace trdse;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/trdse-example";
+  std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+
+  serve::DaemonConfig cfg;
+  cfg.socketPath = dir + "/daemon.sock";
+  cfg.stateDir = dir + "/state";
+  cfg.cacheShards = 4;
+
+  serve::Daemon daemon(cfg);
+  std::thread service([&] { daemon.runUntilShutdown(); });
+
+  const std::string scenario =
+      "name = service_demo\n"
+      "threads = 2\n"
+      "slice = 16\n"
+      "shards = 4\n"
+      "[job]\n"
+      "name = trm\n"
+      "circuit = two_stage_opamp\n"
+      "strategy = pvt_search\n"
+      "seed = 1\n"
+      "budget = 96\n"
+      "[job]\n"
+      "name = rs\n"
+      "circuit = two_stage_opamp\n"
+      "strategy = random_search\n"
+      "seed = 2\n"
+      "budget = 96\n";
+
+  serve::Client client = serve::Client::connect(cfg.socketPath);
+
+  serve::SubmitRequest cold;
+  cold.tenant = "alice";
+  cold.scenarioText = scenario;
+  cold.source = "service_demo (cold)";
+  bool journaled = false;
+  const std::uint64_t coldId = client.submit(cold, &journaled);
+  std::printf("submitted job %llu (%s)\n",
+              static_cast<unsigned long long>(coldId),
+              journaled ? "journaled" : "not crash-resumable");
+
+  const serve::FinalResult coldRes =
+      client.stream(coldId, [](const serve::ProgressEvent& ev) {
+        std::printf("  round %zu: %zu active, %zu done, %zu sims\n", ev.round,
+                    ev.jobsActive, ev.jobsDone, ev.simulated);
+      });
+  std::printf("--- cold report ---\n%s", coldRes.report.c_str());
+
+  // Same scenario, different tenant: the daemon's global cache answers
+  // everything — the accounting moves from `sims` to `shared`.
+  serve::SubmitRequest warm = cold;
+  warm.tenant = "bob";
+  warm.source = "service_demo (warm)";
+  const serve::FinalResult warmRes = client.stream(client.submit(warm));
+  std::printf("--- warm report (bob, same scenario) ---\n%s",
+              warmRes.report.c_str());
+
+  for (const serve::JobStatus& row : client.status())
+    std::printf("job %llu tenant=%-6s state=%s rounds=%zu\n",
+                static_cast<unsigned long long>(row.id), row.tenant.c_str(),
+                row.state.c_str(), row.rounds);
+
+  client.shutdown();
+  service.join();
+  return 0;
+}

@@ -49,4 +49,32 @@ bool parseBool(const std::string& context, const std::string& value) {
   fail(context, "a boolean (0/1/true/false/on/off)", value);
 }
 
+std::string ArgCursor::take() {
+  if (done())
+    throw std::invalid_argument("ArgCursor: no arguments left");
+  return argv_[pos_++];
+}
+
+bool ArgCursor::flag(const std::string& name) {
+  if (done() || name != argv_[pos_]) return false;
+  ++pos_;
+  return true;
+}
+
+bool ArgCursor::option(const std::string& name, std::string& out) {
+  if (done() || name != argv_[pos_]) return false;
+  if (pos_ + 1 >= argc_)
+    throw std::invalid_argument(name + ": missing value");
+  out = argv_[pos_ + 1];
+  pos_ += 2;
+  return true;
+}
+
+bool ArgCursor::optionU64(const std::string& name, std::uint64_t& out) {
+  std::string value;
+  if (!option(name, value)) return false;
+  out = parseU64(name, value);
+  return true;
+}
+
 }  // namespace trdse::common

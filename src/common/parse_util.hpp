@@ -21,4 +21,39 @@ double parseF64(const std::string& context, const std::string& value);
 /// Accepts 1/0, true/false, on/off.
 bool parseBool(const std::string& context, const std::string& value);
 
+/// Cursor-style argv walker shared by every trdse subcommand (tools/trdse).
+///
+/// Subcommands loop `while (!args.done())`, testing each position with
+/// flag()/option()/optionU64() and falling through to take() for
+/// positionals. Missing option values and malformed numbers throw
+/// std::invalid_argument naming the flag — the same strictness contract as
+/// the scalar parsers above — so every subcommand reports flag errors
+/// identically.
+class ArgCursor {
+ public:
+  /// Walk argv[start..argc).
+  ArgCursor(int argc, char* const* argv, int start = 1)
+      : argc_(argc), argv_(argv), pos_(start) {}
+
+  /// No arguments left.
+  bool done() const { return pos_ >= argc_; }
+  /// Current argument without consuming it ("" when done).
+  std::string peek() const { return done() ? "" : argv_[pos_]; }
+  /// Consume and return the current argument.
+  std::string take();
+
+  /// If the current argument is exactly `name`, consume it.
+  bool flag(const std::string& name);
+  /// If the current argument is exactly `name`, consume it plus its value
+  /// into `out`; throws std::invalid_argument when the value is missing.
+  bool option(const std::string& name, std::string& out);
+  /// option() + strict parseU64 of the value.
+  bool optionU64(const std::string& name, std::uint64_t& out);
+
+ private:
+  int argc_;
+  char* const* argv_;
+  int pos_;
+};
+
 }  // namespace trdse::common

@@ -96,6 +96,57 @@ void SharedEvalCache::addProbes(std::size_t shard, std::size_t hits,
   s.misses += misses;
 }
 
+std::size_t SharedEvalCache::approxScopeBytes(std::size_t scope) const {
+  // Per-entry estimate: the stored EvalResult's measurement vector, the key's
+  // grid-index vector, and a fixed allowance for the map node + EvalResult
+  // scalars. Precision does not matter — the byte budget is a rough dial —
+  // but determinism does, so only logical contents feed the sum.
+  constexpr std::size_t kEntryOverhead = 96;
+  std::size_t bytes = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [k, v] : s.map) {
+      if (k.scope != scope) continue;
+      bytes += kEntryOverhead + k.key.indices.size() * sizeof(std::size_t) +
+               v.measurements.size() * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+std::size_t SharedEvalCache::approxBytes() const {
+  std::size_t bytes = 0;
+  const std::size_t scopes = scopeNames().size();
+  for (std::size_t s = 0; s < scopes; ++s) bytes += approxScopeBytes(s);
+  return bytes;
+}
+
+std::size_t SharedEvalCache::entriesInScope(std::size_t scope) const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [k, v] : s.map)
+      if (k.scope == scope) ++n;
+  }
+  return n;
+}
+
+std::size_t SharedEvalCache::evictScope(std::size_t scope) {
+  std::size_t dropped = 0;
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    for (auto it = s.map.begin(); it != s.map.end();) {
+      if (it->first.scope == scope) {
+        it = s.map.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
 void SharedEvalCache::saveState(io::SectionWriter& w) const {
   w.u64(shards_.size());
   {

@@ -91,6 +91,27 @@ class SharedEvalCache {
   /// index past shardCount().
   void addProbes(std::size_t shard, std::size_t hits, std::size_t misses);
 
+  // ---- Eviction support (the serve daemon's persistent-cache byte budget;
+  // docs/SERVICE.md). Scopes are the eviction granularity: a circuit's
+  // entries only pay off together, so the daemon evicts whole
+  // least-recently-used scopes when the persisted cache exceeds its budget.
+  // The LRU ordering itself lives with the caller (the daemon touches scopes
+  // at deterministic admission/round points) — keeping it out of find()
+  // preserves the orchestrator's bitwise thread-count invariance.
+
+  /// Approximate heap bytes of one scope's entries: measurement payloads,
+  /// key index vectors, and a fixed per-entry overhead. A pure function of
+  /// the stored entries, so budget decisions are deterministic.
+  std::size_t approxScopeBytes(std::size_t scope) const;
+  /// approxScopeBytes summed over every registered scope.
+  std::size_t approxBytes() const;
+  /// Entries currently stored under one scope.
+  std::size_t entriesInScope(std::size_t scope) const;
+  /// Drop every entry of `scope` (the scope name stays registered, so ids of
+  /// other scopes are unaffected); returns the number of entries dropped.
+  /// Hit/miss/insert tallies are history and keep counting.
+  std::size_t evictScope(std::size_t scope);
+
   /// Serialize scopes, entries (sorted by scope, corner, indices — identical
   /// states produce identical bytes) and per-shard counters for the
   /// orchestrator's write-ahead journal. Not thread-safe against concurrent

@@ -109,7 +109,7 @@ class DistributedScheduler {
   /// journaled under "events", never part of deterministic stdout.
   const std::vector<std::string>& events() const { return events_; }
 
-  /// Test hook (also surfaced as trdse_cli --debug-kill-worker): worker
+  /// Test hook (also surfaced as trdse run --debug-kill-worker): worker
   /// `worker` _exit()s upon *receiving* the run-round frame of global round
   /// `round` (1-based) — a deterministic stand-in for SIGKILL mid-round.
   /// Fires once; the respawned worker does not inherit it. Must be set

@@ -12,7 +12,7 @@ namespace trdse::orch {
 namespace {
 
 /// Construction errors point at the offending job's [job] line (scenario-
-/// file convention — consumers like trdse_cli print them as-is).
+/// file convention — consumers like the trdse CLI print them as-is).
 [[noreturn]] void failJob(const Scenario& sc, const JobSpec& spec,
                           const std::string& what) {
   throw std::invalid_argument("scenario " + sc.sourceName + ":" +
@@ -22,7 +22,8 @@ namespace {
 
 }  // namespace
 
-JobSet buildJobs(Scenario scenario) {
+JobSet buildJobs(Scenario scenario,
+                 std::shared_ptr<eval::SharedEvalCache> externalCache) {
   JobSet set;
   set.scenario = std::move(scenario);
   Scenario& sc = set.scenario;
@@ -32,7 +33,9 @@ JobSet buildJobs(Scenario scenario) {
     throw std::invalid_argument("Scheduler: slice must be positive");
 
   if (sc.sharedCache)
-    set.shared = std::make_shared<eval::SharedEvalCache>(sc.cacheShards);
+    set.shared = externalCache != nullptr
+                     ? std::move(externalCache)
+                     : std::make_shared<eval::SharedEvalCache>(sc.cacheShards);
 
   // One plan shared by every job: fault schedules are keyed on (scope,
   // indices, corner, attempt), so jobs on the same circuit see identical

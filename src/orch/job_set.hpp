@@ -63,7 +63,14 @@ struct JobSet {
 /// "scenario <source>:<line>: job \"name\":" — on unknown circuit/strategy
 /// names, bad options, checkpoint cadences on non-checkpointing strategies,
 /// or shared checkpoint paths.
-JobSet buildJobs(Scenario scenario);
+///
+/// `externalCache` (serve daemon): attach jobs to a cache that outlives this
+/// scenario instead of creating a fresh one — a warmed cache turns repeat
+/// submissions into pure shared hits. Honored only when the scenario has
+/// sharedCache on; the scenario's cacheShards is then irrelevant (the
+/// external cache owns its geometry).
+JobSet buildJobs(Scenario scenario,
+                 std::shared_ptr<eval::SharedEvalCache> externalCache = nullptr);
 
 /// The deterministic quarantine reason for a job whose engine exceeded its
 /// max_failures allowance — one string builder shared by both schedulers so

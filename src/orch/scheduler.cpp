@@ -9,14 +9,34 @@
 
 namespace trdse::orch {
 
-Scheduler::Scheduler(Scenario scenario) {
-  JobSet set = buildJobs(std::move(scenario));
+Scheduler::Scheduler(Scenario scenario)
+    : Scheduler(std::move(scenario), nullptr) {}
+
+Scheduler::Scheduler(Scenario scenario,
+                     std::shared_ptr<eval::SharedEvalCache> externalCache) {
+  JobSet set = buildJobs(std::move(scenario), std::move(externalCache));
   scenario_ = std::move(set.scenario);
   shared_ = std::move(set.shared);
   jobs_ = std::move(set.jobs);
 }
 
 Scheduler::~Scheduler() = default;
+
+void Scheduler::enableJournal(const std::string& journalPath) {
+  if (started_)
+    throw std::logic_error(
+        "Scheduler::enableJournal: must be called before the first "
+        "run()/resume()");
+  if (journalPath.empty())
+    throw std::invalid_argument("Scheduler::enableJournal: empty path");
+  for (const Job& job : jobs_)
+    if (!job.strategy->supportsCheckpoint())
+      throw std::invalid_argument(
+          "Scheduler::enableJournal: job \"" + job.spec.name +
+          "\" cannot run under a write-ahead journal: strategy \"" +
+          job.spec.strategy + "\" does not support checkpointing");
+  scenario_.journalPath = journalPath;
+}
 
 void Scheduler::quarantine(Job& job, std::string reason) {
   job.result.quarantined = true;
@@ -38,7 +58,10 @@ void Scheduler::writeJournalFile() const {
     js.strategyBlob = job.strategy->saveCheckpointBlob();
     state.jobs.push_back(std::move(js));
   }
-  writeJournal(scenario_.journalPath, scenario_, state, shared_.get());
+  // journalCache=false (serve daemon): the shared cache outlives this
+  // scenario and is persisted separately; the journal then omits its section.
+  writeJournal(scenario_.journalPath, scenario_, state,
+               scenario_.journalCache ? shared_.get() : nullptr);
 }
 
 void Scheduler::resume(const std::string& journalPath) {
@@ -47,7 +70,8 @@ void Scheduler::resume(const std::string& journalPath) {
         "Scheduler::resume: must be called before the first run()");
   started_ = true;
   const JournalState state =
-      readJournal(journalPath, scenario_, shared_.get());
+      readJournal(journalPath, scenario_,
+                  scenario_.journalCache ? shared_.get() : nullptr);
   round_ = state.round;
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     Job& job = jobs_[i];
@@ -173,6 +197,33 @@ std::vector<JobResult> Scheduler::run(std::size_t maxRounds) {
     // loses at most the rounds since the last one — never consistency.
     if (journaling && round_ % scenario_.journalEvery == 0)
       writeJournalFile();
+
+    // Round hook, after the journal: an observer acting on the observation
+    // (the daemon persisting its cache, streaming progress) sees a state the
+    // journal can already reproduce. All fields come from job-order
+    // deterministic state, so observations are thread-count invariant.
+    if (roundHook_) {
+      RoundObservation obs;
+      obs.round = round_;
+      obs.jobs.reserve(runnable.size());
+      for (const std::size_t i : runnable) {
+        const Job& job = jobs_[i];
+        RoundObservation::JobProgress p;
+        p.index = i;
+        p.granted = job.granted;
+        const opt::StrategyOutcome& out = job.strategy->outcome();
+        p.iterations = out.iterations;
+        p.finished = job.strategy->finished();
+        p.quarantined = job.result.quarantined;
+        p.solved = out.solved;
+        const eval::EvalStats& stats = job.strategy->engine().stats();
+        p.sharedHits = stats.sharedHits;
+        p.simulated = stats.simulated;
+        p.bestValue = out.bestValue;
+        obs.jobs.push_back(p);
+      }
+      roundHook_(obs);
+    }
   }
 
   // Completion check also when maxRounds cut the loop short before the

@@ -34,6 +34,7 @@
 // SIGKILL'd run resumable to byte-identical results.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,26 @@
 
 namespace trdse::orch {
 
+/// What one scheduling round did — handed to the round hook at each barrier
+/// (after publish/quarantine/journal, before the next round starts). The
+/// serve daemon streams these to subscribed clients as progress events.
+struct RoundObservation {
+  std::size_t round = 0;  ///< 1-based round number just completed
+  struct JobProgress {
+    std::size_t index = 0;       ///< job index in the scenario
+    std::size_t granted = 0;     ///< cumulative budget handed out so far
+    std::size_t iterations = 0;  ///< strategy iterations consumed in total
+    bool finished = false;       ///< strategy reports it is done
+    bool quarantined = false;    ///< failure-isolated at this barrier or earlier
+    bool solved = false;         ///< current outcome meets all specs
+    std::size_t sharedHits = 0;  ///< cumulative cross-job cache hits
+    std::size_t simulated = 0;   ///< cumulative freshly simulated blocks
+    double bestValue = 0.0;      ///< best objective value so far
+  };
+  /// Jobs that were runnable this round, in job-index order.
+  std::vector<JobProgress> jobs;
+};
+
 /// Round-based fair-slicing orchestrator over resumable strategies.
 class Scheduler {
  public:
@@ -53,6 +74,12 @@ class Scheduler {
   /// circuit/strategy names, bad options, or a checkpoint cadence on a
   /// strategy that cannot checkpoint.
   explicit Scheduler(Scenario scenario);
+
+  /// Same, but attach every job to `externalCache` instead of constructing a
+  /// fresh SharedEvalCache (serve daemon: the cache outlives any one
+  /// scenario). Ignored when the scenario disables the shared cache.
+  Scheduler(Scenario scenario,
+            std::shared_ptr<eval::SharedEvalCache> externalCache);
 
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
@@ -74,6 +101,21 @@ class Scheduler {
   /// throws std::logic_error otherwise, io::CheckpointError on a corrupt or
   /// mismatched journal.
   void resume(const std::string& journalPath);
+
+  /// Turn on write-ahead journaling after construction (serve daemon: the
+  /// journal decision is per-submission, made after buildJobs validation).
+  /// Throws std::invalid_argument when any job's strategy cannot checkpoint
+  /// (same condition buildJobs enforces for Scenario::journalPath), and
+  /// std::logic_error after the first run()/resume().
+  void enableJournal(const std::string& journalPath);
+
+  /// Install a hook invoked at every round barrier, after the round's
+  /// publish/quarantine/journal transitions are final. The hook runs on the
+  /// scheduler's calling thread from deterministic job-order state, so
+  /// whatever it observes is bitwise identical for any thread count.
+  void setRoundHook(std::function<void(const RoundObservation&)> hook) {
+    roundHook_ = std::move(hook);
+  }
 
   /// Whether every job has completed or been quarantined.
   bool completed() const { return completed_; }
@@ -103,6 +145,7 @@ class Scheduler {
   Scenario scenario_;
   std::shared_ptr<eval::SharedEvalCache> shared_;
   std::vector<Job> jobs_;
+  std::function<void(const RoundObservation&)> roundHook_;
   std::size_t round_ = 0;    ///< scheduling rounds completed so far
   bool started_ = false;     ///< a run() or resume() happened
   bool completed_ = false;   ///< no runnable jobs remain

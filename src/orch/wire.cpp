@@ -33,13 +33,31 @@ std::uint64_t getU64(const unsigned char* p) {
 
 bool knownMessageKind(std::string_view kind) {
   static constexpr std::string_view kKnown[] = {
-      kMsgRunRound, kMsgRoundResult, kMsgBarrier,      kMsgRestore,
-      kMsgRestoreAck, kMsgHarvest,   kMsgHarvestResult, kMsgChunkRequest,
-      kMsgChunkExec, kMsgChunkReply, kMsgShutdown,
+      kMsgRunRound,  kMsgRoundResult, kMsgBarrier,       kMsgRestore,
+      kMsgRestoreAck, kMsgHarvest,    kMsgHarvestResult, kMsgChunkRequest,
+      kMsgChunkExec, kMsgChunkReply,  kMsgShutdown,      kMsgSubmit,
+      kMsgAccepted,  kMsgRejected,    kMsgStatus,        kMsgStatusReply,
+      kMsgStream,    kMsgProgress,    kMsgResult,        kMsgCancel,
+      kMsgServeShutdown, kMsgOk,
   };
   for (const std::string_view k : kKnown)
     if (k == kind) return true;
   return false;
+}
+
+std::string peekFrameKind(std::string_view bodyPrefix) {
+  // Container prefix: u32 magic, u32 format version, u64 checksum, then the
+  // u64-length-prefixed kind string (io/checkpoint.cpp, finish()).
+  constexpr std::size_t kHeader = 4 + 4 + 8;
+  if (bodyPrefix.size() < kHeader + 8) return {};
+  if (bodyPrefix.substr(0, 4) != std::string_view("TDCK", 4)) return {};
+  const std::uint64_t kindLen =
+      getU64(reinterpret_cast<const unsigned char*>(bodyPrefix.data()) +
+             kHeader);
+  if (kindLen == 0 || kindLen > 256 ||
+      bodyPrefix.size() < kHeader + 8 + kindLen)
+    return {};
+  return std::string(bodyPrefix.substr(kHeader + 8, kindLen));
 }
 
 io::CheckpointWriter makeMessage(const std::string& kind) {
@@ -77,6 +95,7 @@ void FrameChannel::close() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
+    rxOffset_ = 0;
   }
 }
 
@@ -101,6 +120,13 @@ void FrameChannel::send(const io::CheckpointWriter& msg) {
 
 io::CheckpointReader FrameChannel::recv(const std::string& source) {
   if (fd_ < 0) throw WireError(source + ": channel is closed");
+  // Errors below anchor on the stream offset of this frame's first byte, so
+  // a post-mortem can locate the offending frame in a capture.
+  const std::uint64_t frameStart = rxOffset_;
+  const auto atOffset = [frameStart] {
+    return " (frame starts at receive-stream offset " +
+           std::to_string(frameStart) + ")";
+  };
   unsigned char prefix[8];
   std::size_t got = 0;
   while (got < 8) {
@@ -110,18 +136,35 @@ io::CheckpointReader FrameChannel::recv(const std::string& source) {
       failErrno(source + ": read");
     }
     if (n == 0) {
+      rxOffset_ += got;
       if (got == 0)
-        throw WireError(source + ": peer closed the channel");
+        throw WireError(source + ": peer closed the channel" + atOffset());
       throw WireError(source + ": peer closed mid-frame (" +
-                      std::to_string(got) + " of 8 length-prefix bytes)");
+                      std::to_string(got) + " of 8 length-prefix bytes)" +
+                      atOffset());
     }
     got += static_cast<std::size_t>(n);
   }
+  rxOffset_ += 8;
   const std::uint64_t len = getU64(prefix);
-  if (len > kMaxFrameBytes)
-    throw WireError(source + ": frame length " + std::to_string(len) +
-                    " exceeds the " + std::to_string(kMaxFrameBytes) +
-                    "-byte cap (corrupt length prefix?)");
+  if (len > kMaxFrameBytes) {
+    // The body is never read at this size, but its first bytes usually are
+    // already queued — peek a bounded prefix so the error can name the
+    // message kind instead of only the sizes.
+    std::string probe(128, '\0');
+    const ssize_t n = ::recv(fd_, probe.data(), probe.size(), MSG_DONTWAIT);
+    const std::string kind =
+        n > 0 ? peekFrameKind(
+                    std::string_view(probe.data(), static_cast<std::size_t>(n)))
+              : std::string();
+    throw WireError(source + ": frame" +
+                    (kind.empty() ? std::string()
+                                  : " of kind \"" + kind + "\"") +
+                    " length " + std::to_string(len) + " exceeds the " +
+                    std::to_string(kMaxFrameBytes) +
+                    "-byte kMaxFrameBytes cap (corrupt length prefix?)" +
+                    atOffset());
+  }
   std::string body(static_cast<std::size_t>(len), '\0');
   std::size_t off = 0;
   while (off < body.size()) {
@@ -130,12 +173,19 @@ io::CheckpointReader FrameChannel::recv(const std::string& source) {
       if (errno == EINTR) continue;
       failErrno(source + ": read");
     }
-    if (n == 0)
-      throw WireError(source + ": peer closed mid-frame (" +
-                      std::to_string(off) + " of " + std::to_string(len) +
-                      " body bytes)");
+    if (n == 0) {
+      rxOffset_ += off;
+      const std::string kind =
+          peekFrameKind(std::string_view(body.data(), off));
+      throw WireError(source + ": peer closed mid-frame" +
+                      (kind.empty() ? std::string()
+                                    : " of kind \"" + kind + "\"") +
+                      " (" + std::to_string(off) + " of " +
+                      std::to_string(len) + " body bytes)" + atOffset());
+    }
     off += static_cast<std::size_t>(n);
   }
+  rxOffset_ += body.size();
   return decodeFrame(body, source);
 }
 
@@ -309,6 +359,40 @@ JobHarvest readJobHarvest(io::SectionReader& r) {
   io::readLedger(r, h.engineLedger);
   h.engineStats = readEvalStats(r);
   return h;
+}
+
+void writeJobResult(io::SectionWriter& w, const JobResult& res) {
+  w.str(res.name);
+  w.str(res.circuit);
+  w.str(res.strategy);
+  w.u64(res.seed);
+  w.u64(res.budget);
+  w.u64(res.rounds);
+  w.u64(res.published);
+  w.u64(res.checkpoints);
+  w.u64(res.failures);
+  w.boolean(res.quarantined);
+  w.str(res.quarantineReason);
+  writeOutcome(w, res.outcome);
+}
+
+JobResult readJobResult(io::SectionReader& r) {
+  JobResult res;
+  res.name = r.str();
+  res.circuit = r.str();
+  res.strategy = r.str();
+  res.seed = r.u64();
+  res.budget = r.u64();
+  res.rounds = r.u64();
+  res.published = r.u64();
+  res.checkpoints = r.u64();
+  res.failures = r.u64();
+  res.quarantined = r.boolean();
+  res.quarantineReason = r.str();
+  if (res.quarantined == res.quarantineReason.empty())
+    r.fail("job result quarantine flag disagrees with its reason string");
+  res.outcome = readOutcome(r);
+  return res;
 }
 
 }  // namespace trdse::orch::wire

@@ -31,6 +31,7 @@
 #include "eval/eval_engine.hpp"
 #include "io/checkpoint.hpp"
 #include "opt/strategy.hpp"
+#include "orch/job_set.hpp"
 
 namespace trdse::orch::wire {
 
@@ -44,13 +45,20 @@ class WireError : public std::runtime_error {
 
 /// Version of the message set. Bump when a message's payload layout changes;
 /// a peer receiving a newer version fails loudly instead of misreading.
-inline constexpr std::uint32_t kWireVersion = 1;
+/// Version history:
+///   1 — PR 8 coordinator/worker message set.
+///   2 — PR 9 serve/* message kinds (sizing-as-a-service daemon). Payloads of
+///       version-1 messages are unchanged, so a v2 peer speaks to a v1 one.
+inline constexpr std::uint32_t kWireVersion = 2;
 
-/// Largest frame body accepted. A corrupted length prefix must fail the
-/// channel, not drive a multi-gigabyte allocation.
+/// Largest frame body accepted — shared by the transport (a corrupted length
+/// prefix must fail the channel, not drive a multi-gigabyte allocation) and
+/// by the serve daemon's admission check (a submission this large could never
+/// be answered over the same channel; see serve::DaemonConfig).
 inline constexpr std::uint64_t kMaxFrameBytes = 1ull << 30;
 
-// Message kinds (checkpoint-container `kind` strings).
+// Message kinds (checkpoint-container `kind` strings) of the distributed
+// coordinator/worker protocol.
 inline constexpr char kMsgRunRound[] = "wire/run-round";
 inline constexpr char kMsgRoundResult[] = "wire/round-result";
 inline constexpr char kMsgBarrier[] = "wire/barrier";
@@ -63,6 +71,20 @@ inline constexpr char kMsgChunkExec[] = "wire/chunk-exec";
 inline constexpr char kMsgChunkReply[] = "wire/chunk-reply";
 inline constexpr char kMsgShutdown[] = "wire/shutdown";
 
+// Message kinds of the sizing service (serve::Daemon <-> serve::Client;
+// protocol reference in docs/SERVICE.md).
+inline constexpr char kMsgSubmit[] = "serve/submit";
+inline constexpr char kMsgAccepted[] = "serve/accepted";
+inline constexpr char kMsgRejected[] = "serve/rejected";
+inline constexpr char kMsgStatus[] = "serve/status";
+inline constexpr char kMsgStatusReply[] = "serve/status-reply";
+inline constexpr char kMsgStream[] = "serve/stream";
+inline constexpr char kMsgProgress[] = "serve/progress";
+inline constexpr char kMsgResult[] = "serve/result";
+inline constexpr char kMsgCancel[] = "serve/cancel";
+inline constexpr char kMsgServeShutdown[] = "serve/shutdown";
+inline constexpr char kMsgOk[] = "serve/ok";
+
 /// Whether `kind` is a message this build speaks.
 bool knownMessageKind(std::string_view kind);
 
@@ -72,6 +94,13 @@ io::CheckpointWriter makeMessage(const std::string& kind);
 
 /// Encode a finished message as one frame (length prefix + container bytes).
 std::string encodeFrame(const io::CheckpointWriter& msg);
+
+/// Best-effort extraction of the container `kind` string from a (possibly
+/// partial) frame body prefix — no checksum or section validation, just the
+/// fixed header walk. Returns "" when the prefix is too short or not a
+/// container. FrameChannel uses it so oversized and truncated frames can be
+/// reported by message kind, not only by size.
+std::string peekFrameKind(std::string_view bodyPrefix);
 
 /// Validate a frame body (the bytes after the length prefix): container
 /// structure (magic/version/checksum via io::CheckpointReader), message kind,
@@ -88,14 +117,18 @@ class FrameChannel {
   explicit FrameChannel(int fd) : fd_(fd) {}
   ~FrameChannel() { close(); }
 
-  FrameChannel(FrameChannel&& other) noexcept : fd_(other.fd_) {
+  FrameChannel(FrameChannel&& other) noexcept
+      : fd_(other.fd_), rxOffset_(other.rxOffset_) {
     other.fd_ = -1;
+    other.rxOffset_ = 0;
   }
   FrameChannel& operator=(FrameChannel&& other) noexcept {
     if (this != &other) {
       close();
       fd_ = other.fd_;
+      rxOffset_ = other.rxOffset_;
       other.fd_ = -1;
+      other.rxOffset_ = 0;
     }
     return *this;
   }
@@ -111,10 +144,19 @@ class FrameChannel {
   void send(const io::CheckpointWriter& msg);
   /// Read one complete frame and validate it (decodeFrame). Throws WireError
   /// on EOF — clean or mid-frame — and on I/O errors; `source` labels errors.
+  /// Oversized and truncated frames are reported with the offending message
+  /// kind (best effort, via peekFrameKind) and the byte offset of the frame
+  /// in the receive stream, so a wire post-mortem can say *which* message
+  /// went bad, not just how large it claimed to be.
   io::CheckpointReader recv(const std::string& source);
+
+  /// Total bytes consumed from the receive stream so far (frame prefixes +
+  /// bodies of successfully and unsuccessfully read frames).
+  std::uint64_t rxOffset() const { return rxOffset_; }
 
  private:
   int fd_ = -1;
+  std::uint64_t rxOffset_ = 0;  ///< receive-stream bytes consumed
 };
 
 // ---- Payload codecs ------------------------------------------------------
@@ -184,5 +226,10 @@ std::vector<ShardDelta> readShardDeltas(io::SectionReader& r);
 
 void writeJobHarvest(io::SectionWriter& w, const JobHarvest& h);
 JobHarvest readJobHarvest(io::SectionReader& r);
+
+/// Full per-job report row (the serve daemon ships these to clients as the
+/// final result table; the daemon manifest persists them for completed jobs).
+void writeJobResult(io::SectionWriter& w, const JobResult& r);
+JobResult readJobResult(io::SectionReader& r);
 
 }  // namespace trdse::orch::wire

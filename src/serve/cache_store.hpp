@@ -1,0 +1,60 @@
+// Persistent shared-cache store of the sizing daemon.
+//
+// The whole point of sizing-as-a-service is that simulation work outlives the
+// submission that paid for it: the daemon's eval::SharedEvalCache is written
+// to one `serve-cache` checkpoint container after every round barrier and
+// restored on startup, so a daemon restart — clean or SIGKILL — keeps every
+// published result, and an identical resubmission against the warmed cache
+// completes on pure shared hits with zero new simulations.
+//
+// The file also carries the scope LRU order that bounds it: scopes (circuit
+// namespaces) are the eviction granularity, touched at deterministic points
+// only (admission and round barriers of the submissions using them), and
+// whole least-recently-used scopes are dropped when the estimated cache size
+// exceeds the configured byte budget. Keeping recency out of concurrent
+// find() calls is what preserves the orchestrator's bitwise thread-count
+// invariance (see SharedEvalCache's eviction-support notes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/shared_cache.hpp"
+
+namespace trdse::serve {
+
+/// Container kind of the persisted daemon cache.
+inline constexpr char kCacheStoreKind[] = "serve-cache";
+
+/// Scope recency, most recently used first. Names not (yet) registered in
+/// the cache are tolerated on load — a budget pass simply skips them.
+using ScopeLru = std::vector<std::string>;
+
+/// Mark `scope` most recently used (moves or prepends).
+void touchScope(ScopeLru& lru, const std::string& scope);
+
+/// Atomically write cache entries/counters + the LRU order to `path`
+/// (io::CheckpointWriter::writeFile: temp + rename, so a crash mid-write
+/// keeps the previous file). Call only from a round barrier / idle daemon —
+/// SharedEvalCache::saveState is not safe against concurrent writers.
+void saveCacheFile(const std::string& path,
+                   const eval::SharedEvalCache& cache, const ScopeLru& lru);
+
+/// Restore `cache` and the LRU order from `path`. Returns false when the
+/// file does not exist (fresh daemon — cache left untouched); throws
+/// io::CheckpointError on a corrupt file or a shard-count mismatch (the
+/// persisted geometry must match DaemonConfig::cacheShards).
+bool loadCacheFile(const std::string& path, eval::SharedEvalCache& cache,
+                   ScopeLru& lru);
+
+/// Evict whole scopes, least recently used first, until the cache's
+/// estimated bytes fit `budgetBytes` (0 = unbounded). Scopes named in
+/// `pinned` (active submissions) are never evicted — their jobs hold live
+/// probe expectations. Returns the evicted scope names, LRU order.
+std::vector<std::string> enforceBudget(eval::SharedEvalCache& cache,
+                                       const ScopeLru& lru,
+                                       std::uint64_t budgetBytes,
+                                       const std::vector<std::string>& pinned);
+
+}  // namespace trdse::serve

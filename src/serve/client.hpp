@@ -1,0 +1,154 @@
+// Typed client API of the sizing service — the one way to talk to a daemon.
+//
+// `trdse submit` / `trdse status`, the e2e tests, and examples all drive the
+// daemon through this Client instead of hand-rolling frames, so the payload
+// layout of every serve/* message has exactly two authors: the codec
+// functions here (client side) and serve::Daemon (server side), both built on
+// the same write/read pairs below.
+//
+// Transport is the orch/wire frame protocol over a Unix-domain stream socket:
+// every message is one length-prefixed TDCK container, so submissions and
+// results inherit the container's magic/version/checksum validation.
+// Transport faults throw wire::WireError; a daemon-side refusal (malformed
+// scenario, admission limit, unknown job id) is a typed serve/rejected reply
+// surfaced as ServeError with the daemon's reason text.
+//
+// Protocol walk-through and wire-level reference: docs/SERVICE.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "orch/wire.hpp"
+
+namespace trdse::serve {
+
+/// The daemon refused a request (serve/rejected): malformed scenario text,
+/// submission over the admission limit, unknown job id, cancel of a finished
+/// job. The channel stays usable — rejection is an answer, not a fault.
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One scenario submission.
+struct SubmitRequest {
+  /// Fair-share bucket: the daemon round-robins rounds across tenants, then
+  /// across a tenant's submissions in arrival order.
+  std::string tenant = "default";
+  /// Scenario file text (orch::parseScenarioText format).
+  std::string scenarioText;
+  /// Label for scenario parse errors (usually the file path).
+  std::string source = "submission";
+  /// Ask for a crash-resumable run. Granted only when every job's strategy
+  /// supports checkpointing (JobStatus::journaled reports the outcome);
+  /// submissions run either way.
+  bool wantJournal = true;
+};
+
+/// One row of a status reply.
+struct JobStatus {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string scenario;       ///< scenario name from the submitted text
+  /// queued | running | completed | failed | cancelled.
+  std::string state;
+  bool journaled = false;     ///< crash-resumable (write-ahead journal on)
+  std::size_t rounds = 0;     ///< scheduler rounds completed
+  std::size_t jobsTotal = 0;  ///< jobs in the submitted scenario
+  std::size_t jobsDone = 0;   ///< finished or quarantined so far
+  bool quarantined = false;   ///< any job quarantined (terminal states)
+  std::string error;          ///< failure reason (state == failed)
+};
+
+/// Per-round progress of a streamed submission (one per scheduler round).
+struct ProgressEvent {
+  std::uint64_t id = 0;
+  std::size_t round = 0;       ///< 1-based round just completed
+  std::size_t jobsActive = 0;  ///< jobs stepped this round
+  std::size_t jobsDone = 0;    ///< finished or quarantined so far
+  std::size_t sharedHits = 0;  ///< cumulative, summed over active jobs
+  std::size_t simulated = 0;   ///< cumulative, summed over active jobs
+  double bestValue = 0.0;      ///< best (lowest) worst-corner value so far
+};
+
+/// Terminal answer for one submission.
+struct FinalResult {
+  std::uint64_t id = 0;
+  bool quarantined = false;  ///< any row quarantined (exit code 4)
+  /// The rendered summary (serve/report.hpp) — byte-identical to what
+  /// `trdse run` prints for the same scenario on a fresh daemon.
+  std::string report;
+  std::vector<orch::JobResult> rows;  ///< typed rows behind the report
+};
+
+// ---- Payload codecs (shared verbatim by Client and serve::Daemon) --------
+
+void writeSubmitRequest(io::SectionWriter& w, const SubmitRequest& req);
+SubmitRequest readSubmitRequest(io::SectionReader& r);
+
+void writeJobStatus(io::SectionWriter& w, const JobStatus& s);
+JobStatus readJobStatus(io::SectionReader& r);
+
+void writeProgressEvent(io::SectionWriter& w, const ProgressEvent& ev);
+ProgressEvent readProgressEvent(io::SectionReader& r);
+
+void writeFinalResult(io::SectionWriter& w, const FinalResult& res);
+FinalResult readFinalResult(io::SectionReader& r);
+
+/// Connect a wire::FrameChannel to the daemon's Unix-domain socket; throws
+/// wire::WireError when the path is too long for sockaddr_un, the socket
+/// cannot be created, or nothing is listening.
+orch::wire::FrameChannel connectUnixSocket(const std::string& socketPath);
+
+/// Blocking request/reply client over one daemon connection. Move-only (owns
+/// the channel). Every method throws wire::WireError on transport faults,
+/// io::CheckpointError on corrupt payloads, and ServeError on daemon
+/// rejections.
+class Client {
+ public:
+  Client() = default;
+  /// Take ownership of a connected channel (tests use socketpairs).
+  explicit Client(orch::wire::FrameChannel channel);
+
+  /// Connect to a listening daemon.
+  static Client connect(const std::string& socketPath);
+
+  bool valid() const { return channel_.valid(); }
+
+  /// Submit a scenario; returns the daemon-assigned job id. `journaledOut`
+  /// (optional) reports whether the run is crash-resumable.
+  std::uint64_t submit(const SubmitRequest& req, bool* journaledOut = nullptr);
+
+  /// Status rows — one submission (`id` != 0) or every known submission
+  /// (`id` == 0), in submission order.
+  std::vector<JobStatus> status(std::uint64_t id = 0);
+
+  /// Subscribe to a submission and block until its terminal result frame,
+  /// invoking `onProgress` for every streamed round. A submission that
+  /// already completed replays its FinalResult immediately. A submission
+  /// that failed or was cancelled surfaces as ServeError.
+  FinalResult stream(std::uint64_t id,
+                     const std::function<void(const ProgressEvent&)>&
+                         onProgress = nullptr);
+
+  /// Cancel a queued or running submission.
+  void cancel(std::uint64_t id);
+
+  /// Ask the daemon to exit its serve loop (in-flight journaled submissions
+  /// resume on the next start).
+  void shutdown();
+
+ private:
+  /// Send `msg`, then receive one reply frame; serve/rejected replies throw
+  /// ServeError, any kind outside `expect` throws WireError.
+  io::CheckpointReader roundTrip(const io::CheckpointWriter& msg,
+                                 const std::string& expect);
+
+  orch::wire::FrameChannel channel_;
+};
+
+}  // namespace trdse::serve

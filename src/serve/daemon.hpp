@@ -1,0 +1,207 @@
+// The sizing daemon — scenarios as submissions, simulation as a service.
+//
+// serve::Daemon is the tentpole of the service surface (docs/SERVICE.md): a
+// single-threaded service loop that listens on a Unix-domain socket, admits
+// scenario submissions (serve/submit frames) into a multi-tenant queue, and
+// advances them through ordinary orch::Scheduler rounds — one round of one
+// submission per tick, rotating fairly across tenants — while streaming
+// per-round progress and the final report to subscribed clients.
+//
+// Three properties carry over from the rest of the repo and are the design
+// constraints everything here serves:
+//
+//  * Determinism. A submission's result table is a pure function of its
+//    scenario text (plus the cache it was admitted against): schedulers run
+//    in-process with the scenario's own threads/slice knobs, the daemon's
+//    global SharedEvalCache is attached through the same buildJobs pass the
+//    CLI uses, and reported cache counters are deltas against the admission
+//    snapshot — so a submission against a *fresh* daemon renders byte-
+//    identical to `trdse run` of the same file.
+//
+//  * Durability. All service state lives in three kinds of files under
+//    DaemonConfig::stateDir, each written atomically at deterministic
+//    points: per-submission write-ahead journals (orch/journal, at every
+//    round barrier, for submissions whose strategies can checkpoint), the
+//    `serve-cache` container (serve/cache_store, after every advanced
+//    round), and the `serve-manifest` container (submission registry).
+//    Order matters: journal first (inside the scheduler's barrier), cache
+//    second, manifest last — a SIGKILL between any two writes loses at most
+//    the tail write, never consistency, and a journaled submission resumes
+//    bitwise after a restart (mid-round kills lose only the unfinished
+//    round's work).
+//
+//  * Bounded growth. The cache is evicted by whole least-recently-used
+//    scopes against DaemonConfig::cacheBudgetBytes at completion barriers,
+//    never touching scopes of in-flight submissions.
+//
+// The daemon is single-threaded by design: scheduler rounds already carry
+// the intra-round parallelism (Scenario::threads), and serializing
+// admission/rounds/persistence at the tick level is what makes every
+// durability point a consistent barrier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/shared_cache.hpp"
+#include "orch/scheduler.hpp"
+#include "orch/wire.hpp"
+#include "serve/cache_store.hpp"
+#include "serve/client.hpp"
+
+namespace trdse::serve {
+
+/// Daemon knobs (all paths are created/overwritten as needed).
+struct DaemonConfig {
+  /// Unix-domain socket to listen on; a stale file is unlinked at bind.
+  std::string socketPath;
+  /// Directory for the cache/manifest/journal files (created if absent).
+  std::string stateDir;
+  /// Stripes of the global SharedEvalCache. Must match the persisted cache
+  /// across restarts (restore rejects a geometry change) — and must match a
+  /// scenario's `shards` for submit-vs-run byte identity of shard lines.
+  std::size_t cacheShards = 16;
+  /// Evict least-recently-used scopes past this estimated size (0 = never).
+  std::uint64_t cacheBudgetBytes = 256ull << 20;
+  /// Largest scenario text accepted by admission. The transport already
+  /// refuses frames over wire::kMaxFrameBytes (the shared cap — one
+  /// constant, two enforcement points); this knob lets an operator set a
+  /// tighter service-level limit.
+  std::uint64_t maxSubmissionBytes = orch::wire::kMaxFrameBytes;
+  /// listen() backlog.
+  int backlog = 16;
+};
+
+/// The sizing service. Construction binds the socket and recovers persisted
+/// state; destruction closes connections without flushing (all durable state
+/// was already written at barriers — destroying a live daemon is the moral
+/// equivalent of SIGKILL, which the recovery tests lean on).
+class Daemon {
+ public:
+  /// Bind + listen + recover (cache file, manifest, in-flight journals).
+  /// Throws wire::WireError on socket failures, io::CheckpointError on
+  /// corrupt state files.
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// One service iteration: poll for connections/frames (up to
+  /// `pollTimeoutMs` when idle), dispatch every readable request, then
+  /// advance the fair-share pick of the active submissions by one scheduler
+  /// round and persist. Returns whether anything happened (a frame handled
+  /// or a round run) — callers can back off when false.
+  bool tick(int pollTimeoutMs = 0);
+
+  /// tick() until a serve/shutdown request arrives (blocking poll while
+  /// idle). In-flight journaled submissions keep their journals and resume
+  /// on the next start.
+  void runUntilShutdown();
+
+  bool shutdownRequested() const { return shutdownRequested_; }
+  /// Any submission queued or running.
+  bool busy() const;
+  /// Submissions known (all states), in admission order. (Status-row
+  /// introspection for tests; clients use Client::status.)
+  std::vector<JobStatus> statusRows() const;
+  const eval::SharedEvalCache& cache() const { return *cache_; }
+  const DaemonConfig& config() const { return config_; }
+
+ private:
+  /// One admitted scenario and its lifecycle state.
+  struct Submission {
+    std::uint64_t id = 0;
+    std::string tenant;
+    std::string source;        ///< parse-error label from the client
+    std::string scenarioText;  ///< verbatim submitted text (rebuilds runs)
+    bool wantJournal = true;
+    enum class State : std::uint8_t {
+      kQueued = 0,
+      kRunning = 1,
+      kCompleted = 2,
+      kFailed = 3,
+      kCancelled = 4,
+    };
+    State state = State::kQueued;
+    bool journaled = false;     ///< write-ahead journal granted
+    bool usesGlobalCache = false;
+    std::string scenarioName;
+    std::size_t jobsTotal = 0;
+    std::size_t roundsCompleted = 0;
+    /// Global-cache per-shard counters at admission — the report baseline.
+    std::vector<eval::SharedEvalCache::ShardCounters> baseline;
+    /// Cache scopes its jobs use (LRU touches, eviction pinning).
+    std::vector<std::string> scopes;
+    // Live state (queued/running only).
+    std::unique_ptr<orch::Scheduler> sched;
+    bool resumePending = false;  ///< recovered journal awaits resume()
+    orch::RoundObservation lastObs;
+    bool haveObs = false;
+    // Terminal state.
+    std::string report;       ///< rendered summary (completed)
+    bool quarantined = false;
+    std::vector<orch::JobResult> rows;
+    std::string error;        ///< failure reason (failed)
+  };
+
+  struct Connection {
+    orch::wire::FrameChannel channel;
+    std::uint64_t streamingId = 0;  ///< subscribed submission (0 = none)
+  };
+
+  std::string journalPathFor(std::uint64_t id) const;
+  std::string cacheFilePath() const;
+  std::string manifestPath() const;
+
+  /// Parse + force service policy (workers=0, daemon-owned journal,
+  /// journalCache off) + build the scheduler attached to the global cache.
+  /// Throws std::invalid_argument on bad scenario text.
+  void buildScheduler(Submission& sub);
+
+  // Request handlers (each replies on `conn`).
+  void handleFrame(Connection& conn, io::CheckpointReader& frame);
+  void handleSubmit(Connection& conn, io::CheckpointReader& frame);
+  void handleStatus(Connection& conn, io::CheckpointReader& frame);
+  void handleStream(Connection& conn, io::CheckpointReader& frame);
+  void handleCancel(Connection& conn, io::CheckpointReader& frame);
+
+  void reject(Connection& conn, const std::string& reason);
+  void sendOk(Connection& conn);
+  /// Send the submission's progress/result to every subscriber; a dead
+  /// subscriber is dropped, never fatal.
+  void notifyProgress(const Submission& sub);
+  void notifyTerminal(Submission& sub);
+
+  JobStatus statusRowFor(const Submission& sub) const;
+  ProgressEvent progressEventFor(const Submission& sub) const;
+  FinalResult finalResultFor(const Submission& sub) const;
+
+  /// Two-level fair pick: tenants in first-admission order rotate round-
+  /// robin (continuing after lastServedTenant_); within a tenant,
+  /// submissions run in admission order. Returns nullptr when idle.
+  Submission* pickNext();
+  /// Advance `sub` one scheduler round; on completion render its report,
+  /// drop its scheduler, enforce the cache budget, and notify subscribers.
+  void advance(Submission& sub);
+  void finish(Submission& sub, std::vector<orch::JobResult> rows);
+  void fail(Submission& sub, const std::string& error);
+
+  void persistCache() const;
+  void persistManifest() const;
+  void recover();
+
+  DaemonConfig config_;
+  int listenFd_ = -1;
+  std::shared_ptr<eval::SharedEvalCache> cache_;
+  ScopeLru lru_;
+  std::vector<std::unique_ptr<Submission>> submissions_;
+  std::vector<Connection> connections_;
+  std::uint64_t nextId_ = 1;
+  std::string lastServedTenant_;
+  bool shutdownRequested_ = false;
+};
+
+}  // namespace trdse::serve

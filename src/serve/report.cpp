@@ -1,0 +1,79 @@
+#include "serve/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace trdse::serve {
+
+namespace {
+
+/// printf into the accumulating report. Lines are short (report rows); the
+/// buffer is sized for the longest plausible row, and snprintf's truncation
+/// contract means an overlong name degrades to a clipped line, never UB.
+template <typename... Args>
+void line(std::string& out, const char* fmt, Args... args) {
+  char buf[512];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+}
+
+}  // namespace
+
+std::string renderReport(const ReportInput& in) {
+  std::string out;
+  line(out, "# scenario %s: %zu jobs, slice %zu, shared cache %s\n",
+       in.scenarioName.c_str(), in.jobCount, in.slice,
+       in.sharedCacheOn ? "on" : "off");
+  line(out, "%-14s %-18s %-16s %-7s %8s %8s %7s %7s %10s\n", "job", "circuit",
+       "strategy", "solved", "blocks", "sims", "hits", "shared", "best");
+  for (const orch::JobResult& r : in.results) {
+    const opt::StrategyOutcome& o = r.outcome;
+    line(out, "%-14s %-18s %-16s %-7s %8zu %8zu %7zu %7zu %10.4f\n",
+         r.name.c_str(), r.circuit.c_str(), r.strategy.c_str(),
+         o.solved ? "yes" : "no", o.iterations, o.evalStats.simulated,
+         o.evalStats.cacheHits, o.evalStats.sharedHits, o.bestValue);
+  }
+  if (in.haveCache) {
+    ShardLine t;
+    for (const ShardLine& s : in.shards) {
+      t.entries += s.entries;
+      t.hits += s.hits;
+      t.misses += s.misses;
+      t.inserts += s.inserts;
+    }
+    line(out,
+         "# shared cache: %zu entries in %zu shards, %zu hits / %zu misses\n",
+         t.entries, in.shards.size(), t.hits, t.misses);
+    // Per-shard breakdown: shard assignment is a pure key hash, so these
+    // lines are as deterministic as the totals.
+    for (std::size_t s = 0; s < in.shards.size(); ++s) {
+      const ShardLine& c = in.shards[s];
+      line(out, "# shard %02zu: %zu entries, %zu hits / %zu misses, %zu inserts\n",
+           s, c.entries, c.hits, c.misses, c.inserts);
+    }
+  }
+  for (std::size_t w = 0; w < in.workerJobs.size(); ++w)
+    line(out, "# worker %zu: jobs %s\n", w, in.workerJobs[w].c_str());
+  // Fault/quarantine report, appended as deterministic comment lines so the
+  // summary table above stays byte-identical for clean scenarios.
+  for (const orch::JobResult& r : in.results) {
+    if (r.failures != 0)
+      line(out,
+           "# failures %s: %zu request(s) failed, %zu faulted attempt(s), "
+           "%zu backoff unit(s)\n",
+           r.name.c_str(), r.failures, r.outcome.evalStats.faults,
+           r.outcome.evalStats.backoffUnits);
+    if (r.quarantined)
+      line(out, "# quarantined %s: %s\n", r.name.c_str(),
+           r.quarantineReason.c_str());
+  }
+  return out;
+}
+
+bool anyQuarantined(const std::vector<orch::JobResult>& results) {
+  for (const orch::JobResult& r : results)
+    if (r.quarantined) return true;
+  return false;
+}
+
+}  // namespace trdse::serve

@@ -289,7 +289,7 @@ TEST(DistributedScheduler, WorkerKilledMidRoundIsRedispatchedBitwise) {
 
   // Same scenario, but worker 1 _exit()s upon receiving round 2 (the
   // deterministic stand-in for SIGKILL mid-round, also wired to
-  // trdse_cli --debug-kill-worker). The coordinator must respawn it,
+  // trdse run --debug-kill-worker). The coordinator must respawn it,
   // restore its jobs from the last barrier blobs, re-dispatch the round,
   // and land on byte-identical results.
   Scenario sc = faultyCheckpointableScenario();

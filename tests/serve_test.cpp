@@ -1,0 +1,448 @@
+// End-to-end suite for the sizing service (src/serve): a real serve::Daemon
+// on a real Unix-domain socket, driven through the typed serve::Client — the
+// same transport + codec path `trdse submit` uses.
+//
+// The contracts under test are the service half of the repo's determinism
+// story (docs/SERVICE.md):
+//  * submit-vs-run byte identity — a submission against a fresh daemon
+//    streams exactly the report `trdse run` renders for the same text;
+//  * two-tenant fairness — scheduler rounds rotate across tenants, so a
+//    tenant's backlog cannot starve another tenant's first submission;
+//  * cache persistence — the daemon's SharedEvalCache survives a restart
+//    (destroying a live Daemon is the in-process stand-in for SIGKILL: no
+//    destructor flush, durable state is only what barriers already wrote),
+//    turning an identical resubmission into pure shared hits;
+//  * journaled crash recovery — an in-flight journaled submission killed
+//    mid-run resumes bitwise after a restart (PR 6 journal composed with the
+//    service manifest);
+//  * admission — malformed text, oversized submissions, and unknown ids are
+//    typed serve/rejected answers, not transport faults, and a
+//    non-checkpointable scenario downgrades to journaled=false instead of
+//    being refused.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "orch/scenario.hpp"
+#include "orch/scheduler.hpp"
+#include "orch/wire.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/report.hpp"
+
+namespace trdse::serve {
+namespace {
+
+/// Synthetic 2-D CSP on a coarse 9x9 grid so jobs collide on cache keys
+/// within a few rounds (same shape orch_test/orch_dist_test register; this
+/// binary registers its own copy).
+void ensureTinyGridRegistered() {
+  static const bool once = [] {
+    circuits::Registry::global().add(
+        {"tiny_grid", "bsim45", "coarse synthetic CSP (serve tests)",
+         [](const sim::ProcessCard&, std::vector<sim::PvtCorner> corners) {
+           core::SizingProblem p;
+           p.name = "tiny_grid";
+           p.space = core::DesignSpace({{"x", 0.0, 1.0, 9, false},
+                                        {"y", 0.0, 1.0, 9, false}});
+           p.measurementNames = {"closeness", "budget"};
+           p.specs = {{"closeness", core::SpecKind::kAtLeast, 0.95},
+                      {"budget", core::SpecKind::kAtMost, 1.6}};
+           p.corners = {{sim::ProcessCorner::kTT, 1.0, 27.0}};
+           if (!corners.empty()) p.corners = std::move(corners);
+           p.evaluate = [](const linalg::Vector& v, const sim::PvtCorner&) {
+             core::EvalResult r;
+             r.ok = true;
+             const double dx = v[0] - 0.66;
+             const double dy = v[1] - 0.31;
+             r.measurements = {1.0 - std::sqrt(dx * dx + dy * dy),
+                               v[0] + v[1]};
+             return r;
+           };
+           return p;
+         }});
+    return true;
+  }();
+  (void)once;
+}
+
+/// A two-job checkpointable scenario (pvt_search + random_search both
+/// support journaling); `tag` desynchronizes seeds across tests so cache
+/// scopes do not accidentally overlap between unrelated daemons.
+std::string checkpointableScenario(const std::string& name, unsigned seedBase,
+                                   std::size_t budget = 64) {
+  return "name = " + name +
+         "\n"
+         "threads = 1\n"
+         "slice = 8\n"
+         "shards = 4\n"
+         "[job]\n"
+         "name = pvt_a\n"
+         "circuit = tiny_grid\n"
+         "strategy = pvt_search\n"
+         "seed = " +
+         std::to_string(seedBase) +
+         "\n"
+         "budget = " +
+         std::to_string(budget) +
+         "\n"
+         "[job]\n"
+         "name = rs_b\n"
+         "circuit = tiny_grid\n"
+         "strategy = random_search\n"
+         "seed = " +
+         std::to_string(seedBase + 1) +
+         "\n"
+         "budget = " +
+         std::to_string(budget) + "\n";
+}
+
+/// Render the report a fresh `trdse run` of `text` would print — the
+/// reference side of the submit-vs-run byte-identity contract. Absolute
+/// shard counters: a fresh scheduler's cache starts at zero.
+std::string referenceRunReport(const std::string& text) {
+  orch::Scheduler sched(orch::parseScenarioText(text, "reference"));
+  const std::vector<orch::JobResult> results = sched.run();
+  const orch::Scenario& sc = sched.scenario();
+  ReportInput in;
+  in.scenarioName = sc.name;
+  in.jobCount = sc.jobs.size();
+  in.slice = sc.slice;
+  in.sharedCacheOn = sc.sharedCache;
+  in.results = results;
+  if (const eval::SharedEvalCache* cache = sched.sharedCache()) {
+    in.haveCache = true;
+    for (std::size_t s = 0; s < cache->shardCount(); ++s) {
+      const auto c = cache->shardStats(s);
+      in.shards.push_back({c.entries, c.hits, c.misses, c.inserts});
+    }
+  }
+  return renderReport(in);
+}
+
+/// Daemon + background tick thread. halt() stops ticking without any
+/// shutdown handshake; destroying the Daemon afterwards models SIGKILL
+/// (durable state = whatever the barriers persisted).
+class DaemonHarness {
+ public:
+  explicit DaemonHarness(DaemonConfig cfg)
+      : daemon_(std::make_unique<Daemon>(std::move(cfg))) {}
+  ~DaemonHarness() { halt(); }
+
+  void start() {
+    ticking_ = true;
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed) &&
+             !daemon_->shutdownRequested())
+        daemon_->tick(2);
+    });
+  }
+  void halt() {
+    if (!ticking_) return;
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    ticking_ = false;
+    stop_.store(false, std::memory_order_relaxed);
+  }
+  /// SIGKILL stand-in: stop ticking and drop the daemon mid-flight.
+  void kill() {
+    halt();
+    daemon_.reset();
+  }
+  Daemon& daemon() { return *daemon_; }
+
+ private:
+  std::unique_ptr<Daemon> daemon_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool ticking_ = false;
+};
+
+DaemonConfig makeConfig(const std::string& dir, std::size_t shards = 4) {
+  DaemonConfig cfg;
+  cfg.socketPath = dir + "/daemon.sock";
+  cfg.stateDir = dir + "/state";
+  cfg.cacheShards = shards;
+  return cfg;
+}
+
+std::string freshDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "serve_" + tag;
+  std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  return dir;
+}
+
+TEST(ServeTest, SubmitMatchesRunBitwise) {
+  ensureTinyGridRegistered();
+  const std::string text = checkpointableScenario("bitwise", 101);
+  const std::string expected = referenceRunReport(text);
+
+  const std::string dir = freshDir("bitwise");
+  DaemonHarness harness(makeConfig(dir));
+  harness.start();
+
+  Client client = Client::connect(dir + "/daemon.sock");
+  SubmitRequest req;
+  req.scenarioText = text;
+  bool journaled = false;
+  const std::uint64_t id = client.submit(req, &journaled);
+  EXPECT_TRUE(journaled);
+
+  std::size_t progressEvents = 0;
+  std::size_t lastRound = 0;
+  const FinalResult res = client.stream(id, [&](const ProgressEvent& ev) {
+    ++progressEvents;
+    EXPECT_GT(ev.round, lastRound);  // rounds stream in order
+    lastRound = ev.round;
+  });
+  EXPECT_EQ(res.id, id);
+  EXPECT_FALSE(res.quarantined);
+  EXPECT_EQ(res.report, expected);  // the byte-identity contract
+  ASSERT_EQ(res.rows.size(), 2u);
+  EXPECT_EQ(res.rows[0].name, "pvt_a");
+  EXPECT_GE(progressEvents, 1u);
+
+  // A completed submission replays its result to a late subscriber.
+  const FinalResult replay = client.stream(id);
+  EXPECT_EQ(replay.report, expected);
+}
+
+TEST(ServeTest, TwoTenantFairnessNoStarvation) {
+  ensureTinyGridRegistered();
+  const std::string dir = freshDir("fairness");
+  DaemonHarness harness(makeConfig(dir));
+  harness.start();
+
+  Client client = Client::connect(dir + "/daemon.sock");
+  SubmitRequest a1, a2, b1;
+  a1.tenant = a2.tenant = "alice";
+  b1.tenant = "bob";
+  a1.scenarioText = checkpointableScenario("a1", 201);
+  a2.scenarioText = checkpointableScenario("a2", 211);
+  b1.scenarioText = checkpointableScenario("b1", 221);
+  const std::uint64_t idA1 = client.submit(a1);
+  const std::uint64_t idA2 = client.submit(a2);
+  const std::uint64_t idB1 = client.submit(b1);
+
+  // Round-robin across tenants means bob's first submission finishes while
+  // alice's *second* is still early in its run — under FIFO (no tenant
+  // fairness) a2 would have completed before b1 ever got a round.
+  const FinalResult resB = client.stream(idB1);
+  EXPECT_FALSE(resB.quarantined);
+  bool a2Done = false;
+  for (const JobStatus& row : client.status()) {
+    if (row.id == idA2) a2Done = row.state == "completed";
+    if (row.id == idA1) {
+      EXPECT_EQ(row.state, "completed");  // alternation: a1 finished first
+    }
+  }
+  EXPECT_FALSE(a2Done) << "tenant bob was starved behind alice's backlog";
+
+  const FinalResult resA2 = client.stream(idA2);
+  EXPECT_FALSE(resA2.quarantined);
+}
+
+TEST(ServeTest, CachePersistsAcrossRestart) {
+  ensureTinyGridRegistered();
+  const std::string text = checkpointableScenario("warm", 301);
+  const std::string dir = freshDir("warm");
+  const DaemonConfig cfg = makeConfig(dir);
+
+  auto harness = std::make_unique<DaemonHarness>(cfg);
+  harness->start();
+  FinalResult cold;
+  {
+    Client client = Client::connect(cfg.socketPath);
+    SubmitRequest req;
+    req.scenarioText = text;
+    cold = client.stream(client.submit(req));
+    // Cold pass: everything freshly simulated.
+    for (const auto& row : cold.rows)
+      EXPECT_GT(row.outcome.evalStats.simulated, 0u);
+  }
+  harness->kill();  // SIGKILL stand-in: no flush beyond the barrier writes
+
+  harness = std::make_unique<DaemonHarness>(cfg);
+  harness->start();
+  Client client = Client::connect(cfg.socketPath);
+  // The first daemon's submission history survived in the manifest.
+  const std::vector<JobStatus> rows = client.status();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].state, "completed");
+
+  SubmitRequest req;
+  req.scenarioText = text;
+  const FinalResult warm = client.stream(client.submit(req));
+  // Warm pass against the restored cache: zero new simulations, every
+  // evaluation answered by the persisted shared cache.
+  ASSERT_EQ(warm.rows.size(), cold.rows.size());
+  for (std::size_t i = 0; i < warm.rows.size(); ++i) {
+    const auto& row = warm.rows[i];
+    EXPECT_EQ(row.outcome.evalStats.simulated, 0u) << row.name;
+    EXPECT_GT(row.outcome.evalStats.sharedHits, 0u) << row.name;
+    // Same trajectory as the cold pass: cache hits change accounting, never
+    // values.
+    EXPECT_EQ(row.outcome.solved, cold.rows[i].outcome.solved) << row.name;
+    EXPECT_EQ(row.outcome.bestValue, cold.rows[i].outcome.bestValue)
+        << row.name;
+    EXPECT_EQ(row.outcome.iterations, cold.rows[i].outcome.iterations)
+        << row.name;
+  }
+}
+
+TEST(ServeTest, SigkillMidRunResumesBitwise) {
+  ensureTinyGridRegistered();
+  // Big budget so the run is reliably still in flight when we kill it.
+  const std::string text = checkpointableScenario("resume", 401, 320);
+  const std::string expected = referenceRunReport(text);
+  const std::string dir = freshDir("resume");
+  const DaemonConfig cfg = makeConfig(dir);
+
+  auto harness = std::make_unique<DaemonHarness>(cfg);
+  harness->start();
+  std::uint64_t id = 0;
+  {
+    Client client = Client::connect(cfg.socketPath);
+    SubmitRequest req;
+    req.scenarioText = text;
+    bool journaled = false;
+    id = client.submit(req, &journaled);
+    ASSERT_TRUE(journaled);
+    // Let it make progress past at least one journal barrier, then kill.
+    for (;;) {
+      const std::vector<JobStatus> rows = client.status(id);
+      ASSERT_EQ(rows.size(), 1u);
+      ASSERT_NE(rows[0].state, "failed") << rows[0].error;
+      if (rows[0].rounds >= 2) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  harness->kill();
+
+  harness = std::make_unique<DaemonHarness>(cfg);
+  Client client = Client::connect(cfg.socketPath);
+  {
+    // Before ticking resumes it, the recovered submission reports as a
+    // journaled runner mid-flight, not a restart from round zero.
+    const std::vector<JobStatus> rows = harness->daemon().statusRows();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_TRUE(rows[0].journaled);
+    EXPECT_NE(rows[0].state, "completed");
+  }
+  harness->start();
+  const FinalResult res = client.stream(id);
+  EXPECT_EQ(res.report, expected)
+      << "journal resume must replay to the uninterrupted run bitwise";
+}
+
+TEST(ServeTest, AdmissionRejectsAndDowngrades) {
+  ensureTinyGridRegistered();
+  const std::string dir = freshDir("admission");
+  DaemonConfig cfg = makeConfig(dir);
+  cfg.maxSubmissionBytes = 512;
+  DaemonHarness harness(std::move(cfg));
+  harness.start();
+
+  Client client = Client::connect(dir + "/daemon.sock");
+
+  // Malformed scenario text: a typed rejection naming the parse problem —
+  // the connection stays usable afterwards.
+  SubmitRequest bad;
+  bad.scenarioText = "slice = banana\n";
+  bad.source = "bad.scenario";
+  EXPECT_THROW(client.submit(bad), ServeError);
+
+  // Oversized submission: refused at admission, naming the limit.
+  SubmitRequest fat;
+  fat.scenarioText =
+      "# " + std::string(1024, 'x') + "\n" + checkpointableScenario("fat", 501);
+  try {
+    client.submit(fat);
+    FAIL() << "oversized submission was admitted";
+  } catch (const ServeError& e) {
+    EXPECT_NE(std::string(e.what()).find("512"), std::string::npos)
+        << e.what();
+  }
+
+  // Unknown id: rejected, not a transport fault.
+  EXPECT_THROW(client.stream(77), ServeError);
+  EXPECT_THROW(client.cancel(77), ServeError);
+
+  // A scenario whose strategy cannot checkpoint still runs — wantJournal
+  // downgrades to journaled=false instead of refusing the submission.
+  SubmitRequest nc;
+  nc.scenarioText =
+      "name = nocheckpoint\nthreads = 1\nslice = 8\nshards = 4\n"
+      "[job]\nname = bo\ncircuit = tiny_grid\nstrategy = tree_bayes_opt\n"
+      "seed = 601\nbudget = 24\nopt.init_samples = 6\n"
+      "opt.candidate_pool = 32\n";
+  nc.wantJournal = true;
+  bool journaled = true;
+  const std::uint64_t id = client.submit(nc, &journaled);
+  EXPECT_FALSE(journaled);
+  const FinalResult res = client.stream(id);
+  EXPECT_FALSE(res.report.empty());
+
+  // The admission failures above never became submissions.
+  std::size_t known = 0;
+  for (const JobStatus& row : client.status()) {
+    (void)row;
+    ++known;
+  }
+  EXPECT_EQ(known, 1u);
+}
+
+TEST(ServeTest, CancelAndShutdown) {
+  ensureTinyGridRegistered();
+  const std::string dir = freshDir("cancel");
+  DaemonHarness harness(makeConfig(dir));
+  harness.start();
+
+  Client client = Client::connect(dir + "/daemon.sock");
+  SubmitRequest slow;
+  slow.scenarioText = checkpointableScenario("slow", 701, 640);
+  const std::uint64_t id = client.submit(slow);
+  client.cancel(id);
+  const std::vector<JobStatus> rows = client.status(id);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].state, "cancelled");
+  // Streaming a cancelled submission is a rejection, not a hang.
+  EXPECT_THROW(client.stream(id), ServeError);
+
+  client.shutdown();
+  for (int i = 0; i < 500 && !harness.daemon().shutdownRequested(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(harness.daemon().shutdownRequested());
+}
+
+TEST(ServeTest, CacheBudgetEvictsCompletedScopes) {
+  ensureTinyGridRegistered();
+  const std::string text = checkpointableScenario("evict", 801);
+  const std::string dir = freshDir("evict");
+  DaemonConfig cfg = makeConfig(dir);
+  cfg.cacheBudgetBytes = 1;  // evict everything not pinned by an active run
+  DaemonHarness harness(std::move(cfg));
+  harness.start();
+
+  Client client = Client::connect(dir + "/daemon.sock");
+  SubmitRequest req;
+  req.scenarioText = text;
+  const FinalResult first = client.stream(client.submit(req));
+  EXPECT_FALSE(first.quarantined);
+
+  // The completion barrier evicted the (now inactive) scope, so an identical
+  // resubmission simulates from scratch instead of hitting shared entries.
+  const FinalResult second = client.stream(client.submit(req));
+  for (const auto& row : second.rows)
+    EXPECT_GT(row.outcome.evalStats.simulated, 0u) << row.name;
+}
+
+}  // namespace
+}  // namespace trdse::serve
