@@ -73,8 +73,11 @@ void BM_IcoEvalTransientBatched(benchmark::State& state) {
       {sim::ProcessCorner::kSF, 0.70, 85.0},
   }};
   std::array<core::EvalResult, sim::kSimLanes> results;
+  std::array<const linalg::Vector*, sim::kSimLanes> slotSizes;
+  slotSizes.fill(&x);
   for (auto _ : state) {
-    ico.evaluateBatch(x, corners.data(), results.data(), corners.size());
+    ico.evaluateBatch(slotSizes.data(), corners.data(), results.data(),
+                      corners.size());
     benchmark::DoNotOptimize(results.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

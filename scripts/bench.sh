@@ -3,7 +3,12 @@
 # (benchmark name -> ns/op) so successive PRs have a perf trajectory to
 # compare against.
 #
-# Usage: scripts/bench.sh [build-dir] [output-json]
+# Usage: scripts/bench.sh [--compare <baseline.json>] [build-dir] [output-json]
+#
+# --compare diffs the freshly written output against a baseline
+# BENCH_micro.json via scripts/bench_compare.py and fails the run on a
+# hot-path regression (the CI bench-smoke job points it at the committed
+# baseline).
 #
 # MICRO_BENCH_ARGS (env) is forwarded to the micro_bench binary — the CI
 # bench-smoke job passes a reduced --benchmark_min_time so the sweep finishes
@@ -11,8 +16,32 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+COMPARE_BASELINE=""
+BENCH_COMPARE_ARGS="${BENCH_COMPARE_ARGS:-}"
+POSITIONAL=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --compare)
+      [[ $# -ge 2 ]] || { echo "error: --compare needs a baseline path" >&2; exit 2; }
+      COMPARE_BASELINE="$2"
+      shift 2
+      ;;
+    *)
+      POSITIONAL+=("$1")
+      shift
+      ;;
+  esac
+done
+set -- "${POSITIONAL[@]:-}"
+
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 OUT_JSON="${2:-$REPO_ROOT/BENCH_micro.json}"
+
+if [[ -n "$COMPARE_BASELINE" && ! -f "$COMPARE_BASELINE" ]]; then
+  echo "error: --compare baseline not found: $COMPARE_BASELINE" >&2
+  exit 2
+fi
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 
@@ -36,6 +65,7 @@ RAW_JSON="$BUILD_DIR/bench_micro_raw.json"
 python3 - "$RAW_JSON" "$OUT_JSON" <<'EOF'
 import json
 import sys
+from statistics import median
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
@@ -51,7 +81,10 @@ points_per_iteration = {
     "BM_IcoEvalTransientBatched": 4,
 }
 
-result = {}
+# With --benchmark_repetitions=N every repetition shows up as its own
+# "iteration" entry under the same name; record the median so one noisy
+# draw on a loaded machine can't skew the committed baseline.
+samples = {}
 for bench in raw.get("benchmarks", []):
     if bench.get("run_type") == "aggregate":
         continue
@@ -59,7 +92,8 @@ for bench in raw.get("benchmarks", []):
     unit = bench.get("time_unit", "ns")
     scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
     norm = points_per_iteration.get(bench["name"], 1)
-    result[bench["name"]] = round(ns * scale / norm, 1)
+    samples.setdefault(bench["name"], []).append(ns * scale / norm)
+result = {name: round(median(vals), 1) for name, vals in samples.items()}
 
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
@@ -93,3 +127,9 @@ if missing:
 for label, slow, fast in pairs:
     print(f"  {label}: {result[slow] / result[fast]:.2f}x batched/parallel speedup")
 EOF
+
+if [[ -n "$COMPARE_BASELINE" ]]; then
+  # shellcheck disable=SC2086  # BENCH_COMPARE_ARGS is intentionally word-split
+  python3 "$REPO_ROOT/scripts/bench_compare.py" \
+    "$COMPARE_BASELINE" "$OUT_JSON" ${BENCH_COMPARE_ARGS}
+fi

@@ -175,7 +175,7 @@ core::EvalResult FoldedCascodeOta::evaluate(const linalg::Vector& sizes,
   return resultFromSweep(tb, op, freqs, ac.sweep(freqs, tb.out));
 }
 
-void FoldedCascodeOta::evaluateBatch(const linalg::Vector& sizes,
+void FoldedCascodeOta::evaluateBatch(const linalg::Vector* const* sizes,
                                      const sim::PvtCorner* corners,
                                      core::EvalResult* results,
                                      std::size_t count) const {
@@ -188,7 +188,7 @@ void FoldedCascodeOta::evaluateBatch(const linalg::Vector& sizes,
     std::array<const linalg::Vector*, sim::kSimLanes> guesses{};
     for (int l = 0; l < lanes; ++l) {
       const auto li = static_cast<std::size_t>(l);
-      tbs[li] = buildFcTestbench(card_, sizes, corners[off + li]);
+      tbs[li] = buildFcTestbench(card_, *sizes[off + li], corners[off + li]);
       nls[li] = &tbs[li].netlist;
       guesses[li] = &tbs[li].initialGuess;
     }
@@ -269,7 +269,7 @@ core::SizingProblem FoldedCascodeOta::makeProblem(
   p.evaluate = [self](const linalg::Vector& sizes, const sim::PvtCorner& c) {
     return self.evaluate(sizes, c);
   };
-  p.evaluateBatch = [self](const linalg::Vector& sizes,
+  p.evaluateBatch = [self](const linalg::Vector* const* sizes,
                            const sim::PvtCorner* corners,
                            core::EvalResult* results, std::size_t count) {
     self.evaluateBatch(sizes, corners, results, count);

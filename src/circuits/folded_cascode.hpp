@@ -43,8 +43,9 @@ class FoldedCascodeOta {
   /// Fused corner-batch evaluation through the lane-blocked DC/AC engines
   /// (sim/op_batch.hpp), in chunks of sim::kSimLanes: results[i] is bitwise
   /// identical to evaluate(sizes, corners[i]).
-  void evaluateBatch(const linalg::Vector& sizes, const sim::PvtCorner* corners,
-                     core::EvalResult* results, std::size_t count) const;
+  void evaluateBatch(const linalg::Vector* const* sizes,
+                     const sim::PvtCorner* corners, core::EvalResult* results,
+                     std::size_t count) const;
 
   double area(const linalg::Vector& sizes) const;
 

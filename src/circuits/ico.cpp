@@ -178,7 +178,7 @@ core::EvalResult Ico::evaluate(const linalg::Vector& sizes,
   return measureFromTransient(tb, tran.run(ic), corner);
 }
 
-void Ico::evaluateBatch(const linalg::Vector& sizes,
+void Ico::evaluateBatch(const linalg::Vector* const* sizes,
                         const sim::PvtCorner* corners,
                         core::EvalResult* results, std::size_t count) const {
   for (std::size_t off = 0; off < count; off += sim::kSimLanes) {
@@ -189,7 +189,7 @@ void Ico::evaluateBatch(const linalg::Vector& sizes,
     std::array<const linalg::Vector*, sim::kSimLanes> guesses{};
     for (int l = 0; l < lanes; ++l) {
       const auto li = static_cast<std::size_t>(l);
-      tbs[li] = buildIcoTestbench(card_, sizes, corners[off + li]);
+      tbs[li] = buildIcoTestbench(card_, *sizes[off + li], corners[off + li]);
       nls[li] = &tbs[li].netlist;
       guesses[li] = &tbs[li].initialGuess;
     }
@@ -258,7 +258,7 @@ core::SizingProblem Ico::makeProblem(std::vector<sim::PvtCorner> corners,
   p.evaluate = [self](const linalg::Vector& sizes, const sim::PvtCorner& c) {
     return self.evaluate(sizes, c);
   };
-  p.evaluateBatch = [self](const linalg::Vector& sizes,
+  p.evaluateBatch = [self](const linalg::Vector* const* sizes,
                            const sim::PvtCorner* corners,
                            core::EvalResult* results, std::size_t count) {
     self.evaluateBatch(sizes, corners, results, count);

@@ -37,11 +37,12 @@ class Ico {
   core::EvalResult evaluate(const linalg::Vector& sizes,
                             const sim::PvtCorner& corner) const;
 
-  /// Fused corner-batch evaluation through the lane-blocked DC/transient
-  /// engines (sim/op_batch.hpp), in chunks of sim::kSimLanes: results[i] is
-  /// bitwise identical to evaluate(sizes, corners[i]).
-  void evaluateBatch(const linalg::Vector& sizes, const sim::PvtCorner* corners,
-                     core::EvalResult* results, std::size_t count) const;
+  /// Fused batch evaluation through the lane-blocked DC/transient engines
+  /// (sim/op_batch.hpp), in chunks of sim::kSimLanes: results[i] is bitwise
+  /// identical to evaluate(*sizes[i], corners[i]). Slots may mix sizings.
+  void evaluateBatch(const linalg::Vector* const* sizes,
+                     const sim::PvtCorner* corners, core::EvalResult* results,
+                     std::size_t count) const;
 
   double area(const linalg::Vector& sizes) const;
 

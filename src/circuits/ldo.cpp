@@ -209,7 +209,7 @@ core::EvalResult Ldo::evaluate(const linalg::Vector& sizes,
   return resultFromLoop(*this, tb, op, freqs, t, sizes);
 }
 
-void Ldo::evaluateBatch(const linalg::Vector& sizes,
+void Ldo::evaluateBatch(const linalg::Vector* const* sizes,
                         const sim::PvtCorner* corners,
                         core::EvalResult* results, std::size_t count) const {
   const auto freqs = loopFreqs();
@@ -221,7 +221,7 @@ void Ldo::evaluateBatch(const linalg::Vector& sizes,
     std::array<const linalg::Vector*, sim::kSimLanes> guesses{};
     for (int l = 0; l < lanes; ++l) {
       const auto li = static_cast<std::size_t>(l);
-      tbs[li] = buildLdoTestbench(card_, sizes, corners[off + li]);
+      tbs[li] = buildLdoTestbench(card_, *sizes[off + li], corners[off + li]);
       nls[li] = &tbs[li].netlist;
       guesses[li] = &tbs[li].initialGuess;
     }
@@ -278,7 +278,8 @@ void Ldo::evaluateBatch(const linalg::Vector& sizes,
       const auto li = static_cast<std::size_t>(l);
       results[off + li] =
           (acOps[li] && !dead[li])
-              ? resultFromLoop(*this, tbs[li], ops[li], freqs, t[li], sizes)
+              ? resultFromLoop(*this, tbs[li], ops[li], freqs, t[li],
+                               *sizes[off + li])
               : core::EvalResult{};
     }
   }
@@ -321,7 +322,7 @@ core::SizingProblem Ldo::makeProblem(std::vector<sim::PvtCorner> corners,
   p.evaluate = [self](const linalg::Vector& sizes, const sim::PvtCorner& c) {
     return self.evaluate(sizes, c);
   };
-  p.evaluateBatch = [self](const linalg::Vector& sizes,
+  p.evaluateBatch = [self](const linalg::Vector* const* sizes,
                            const sim::PvtCorner* corners,
                            core::EvalResult* results, std::size_t count) {
     self.evaluateBatch(sizes, corners, results, count);

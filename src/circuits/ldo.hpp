@@ -54,8 +54,9 @@ class Ldo {
   /// Fused corner-batch evaluation through the lane-blocked DC/AC engines
   /// (sim/op_batch.hpp), in chunks of sim::kSimLanes: results[i] is bitwise
   /// identical to evaluate(sizes, corners[i]).
-  void evaluateBatch(const linalg::Vector& sizes, const sim::PvtCorner* corners,
-                     core::EvalResult* results, std::size_t count) const;
+  void evaluateBatch(const linalg::Vector* const* sizes,
+                     const sim::PvtCorner* corners, core::EvalResult* results,
+                     std::size_t count) const;
 
   /// Area in the paper's reporting unit (calibrated so the human reference
   /// design sits at ~650).

@@ -150,7 +150,7 @@ core::EvalResult TwoStageOpamp::evaluate(const linalg::Vector& sizes,
   return measure(buildTestbench(sizes, corner));
 }
 
-void TwoStageOpamp::evaluateBatch(const linalg::Vector& sizes,
+void TwoStageOpamp::evaluateBatch(const linalg::Vector* const* sizes,
                                   const sim::PvtCorner* corners,
                                   core::EvalResult* results,
                                   std::size_t count) const {
@@ -162,7 +162,9 @@ void TwoStageOpamp::evaluateBatch(const linalg::Vector& sizes,
     std::array<const sim::Netlist*, sim::kSimLanes> nls{};
     std::array<const linalg::Vector*, sim::kSimLanes> guesses{};
     for (int l = 0; l < lanes; ++l) {
-      tbs[static_cast<std::size_t>(l)] = buildTestbench(sizes, corners[off + l]);
+      tbs[static_cast<std::size_t>(l)] =
+          buildTestbench(*sizes[off + static_cast<std::size_t>(l)],
+                         corners[off + l]);
       nls[static_cast<std::size_t>(l)] = &tbs[static_cast<std::size_t>(l)].netlist;
       guesses[static_cast<std::size_t>(l)] =
           &tbs[static_cast<std::size_t>(l)].initialGuess;
@@ -252,7 +254,7 @@ core::SizingProblem TwoStageOpamp::makeProblem(
   p.evaluate = [self](const linalg::Vector& sizes, const sim::PvtCorner& c) {
     return self.evaluate(sizes, c);
   };
-  p.evaluateBatch = [self](const linalg::Vector& sizes,
+  p.evaluateBatch = [self](const linalg::Vector* const* sizes,
                            const sim::PvtCorner* corners,
                            core::EvalResult* results, std::size_t count) {
     self.evaluateBatch(sizes, corners, results, count);

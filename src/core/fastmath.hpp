@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "core/simd.hpp"
+
 namespace trdse::fastmath {
 
 inline std::uint64_t bitsOf(double x) {
@@ -106,6 +108,72 @@ inline double log1pTail(double z) {
                                             z * (2.0 / 17.0 +
                                                  z * (2.0 / 19.0 +
                                                       z * (2.0 / 21.0))))))))));
+}
+
+// ---------------------------------------------------------------------------
+// Explicit 4-lane versions. Each evaluates the *identical* per-lane expression
+// sequence as its scalar twin above (same literals, same association, pure
+// elementwise ops), so lane l of the vector result is bit-identical to the
+// scalar call on lane l's input — the invariant the scalar<->batched
+// differential tests in tests/sim_batch_test.cpp pin down. Only the 128-entry
+// table lookup runs as a scalar gather, exactly as the scalar path indexes it.
+
+/// 4-lane fastExp. Bit-identical per lane to fastExp().
+inline simd::V4d fastExp4(simd::V4d x) {
+  using simd::V4d;
+  using simd::V4u;
+  const V4d lo = simd::splat4(-708.0);
+  const V4d hi = simd::splat4(708.0);
+  const V4d xc = simd::select4(x < lo, lo, simd::select4(x > hi, hi, x));
+  const V4d kd = xc * kInvLn2N + kShift;
+  const V4u ki = simd::bits4(kd);
+  const V4d k = kd - kShift;
+  const V4d r = (xc - k * kLn2NHi) - k * kLn2NLo;
+  const V4d r2 = r * r;
+  const V4d p = 1.0 + r + r2 * (0.5 + r * (1.0 / 6.0) +
+                                r2 * ((1.0 / 24.0) + r * (1.0 / 120.0)));
+  V4d s;
+  for (int l = 0; l < 4; ++l)  // gather stage, scalar like the scalar path
+    s[l] = fromBits(bitsOf(kExp2Tab[ki[l] & 127]) + ((ki[l] >> 7) << 52));
+  return s * p;
+}
+
+/// 4-lane log1pTail. Bit-identical per lane to log1pTail().
+inline simd::V4d log1pTail4(simd::V4d z) {
+  return z * (2.0 / 3.0 +
+              z * (2.0 / 5.0 +
+                   z * (2.0 / 7.0 +
+                        z * (2.0 / 9.0 +
+                             z * (2.0 / 11.0 +
+                                  z * (2.0 / 13.0 +
+                                       z * (2.0 / 15.0 +
+                                            z * (2.0 / 17.0 +
+                                                 z * (2.0 / 19.0 +
+                                                      z * (2.0 / 21.0))))))))));
+}
+
+/// 4-lane log-style reduction of u = 1 + y: splits each lane into
+/// 2^k * m with m in [sqrt(1/2), sqrt(2)). Shared by fastLog1p4 and the
+/// EKV kernel's fused exp/log path (sim/mosfet.cpp).
+inline void logReduce4(simd::V4d u, simd::V4d* kOut, simd::V4d* mOut) {
+  using simd::V4i;
+  using simd::V4u;
+  const V4u uu = simd::bits4(u);
+  const V4i kRaw = (V4i)((uu + simd::splatU4(kLogAdj)) >> 52) - 1023;
+  *kOut = __builtin_convertvector(kRaw, simd::V4d);
+  *mOut = simd::fromBits4(uu - ((V4u)kRaw << 52));
+}
+
+/// 4-lane fastLog1p. Bit-identical per lane to fastLog1p().
+inline simd::V4d fastLog1p4(simd::V4d y) {
+  using simd::V4d;
+  const V4d u = 1.0 + y;
+  V4d k, m;
+  logReduce4(u, &k, &m);
+  const V4d c = (y - (u - 1.0)) / u;
+  const V4d s = (m - 1.0) / (m + 1.0);
+  const V4d poly = 2.0 + log1pTail4(s * s);
+  return k * kLn2Hi + (s * poly + (c + k * kLn2Lo));
 }
 
 // log(1+y) for y >= 0. Branchless, ~3 ulp.

@@ -105,17 +105,20 @@ struct EvalResult {
 using CornerEvalFn =
     std::function<EvalResult(const linalg::Vector& sizes, const sim::PvtCorner&)>;
 
-/// Fused corner-batch evaluation: one sizing on `count` corners in a single
-/// call, results written to `results[0..count)`. The contract is bitwise
-/// equivalence — slot i must hold exactly what the scalar CornerEvalFn
-/// returns for (sizes, corners[i]) — so the EvalEngine may route requests
-/// through either path (see EvalEngineConfig::batchedSim) without changing
-/// any outcome. Implementations handle arbitrary `count` by chunking into
-/// their native lane width internally (sim::kSimLanes for the registry
-/// circuits).
+/// Fused batch evaluation: `count` (sizing, corner) operating points in a
+/// single call, results written to `results[0..count)`. Slot i's sizing is
+/// `*sizes[i]` — slots are free to mix sizings, which is what lets the
+/// EvalEngine pack miss lanes across requests instead of padding ragged
+/// per-sizing tails. The contract is bitwise equivalence — slot i must hold
+/// exactly what the scalar CornerEvalFn returns for (*sizes[i], corners[i])
+/// — so the engine may route requests through either path (see
+/// EvalEngineConfig::batchedSim) without changing any outcome.
+/// Implementations handle arbitrary `count` by chunking into their native
+/// lane width internally (sim::kSimLanes for the registry circuits).
 using CornerBatchEvalFn =
-    std::function<void(const linalg::Vector& sizes, const sim::PvtCorner* corners,
-                       EvalResult* results, std::size_t count)>;
+    std::function<void(const linalg::Vector* const* sizes,
+                       const sim::PvtCorner* corners, EvalResult* results,
+                       std::size_t count)>;
 
 /// The full designer contract (paper IV-F).
 struct SizingProblem {

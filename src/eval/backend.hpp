@@ -73,17 +73,19 @@ class EvalBackend {
   /// Operating points one evaluateBatch call can fuse (1 = scalar backend).
   virtual std::size_t batchWidth() const { return 1; }
 
-  /// Evaluate one sizing on `count` corners in a single call; results land
-  /// in `results[0..count)`. `contexts[i]` carries request i's identity (for
-  /// fault decorators). The default loops over the scalar context-aware
-  /// entry point, so overriding batchWidth() alone is never observable.
-  virtual void evaluateBatch(const linalg::Vector& sizes,
+  /// Evaluate `count` (sizing, corner) operating points in a single call;
+  /// results land in `results[0..count)`. Slot i's sizing is `*sizes[i]` —
+  /// slots may mix sizings, which lets the engine pack lanes across
+  /// requests. `contexts[i]` carries request i's identity (for fault
+  /// decorators). The default loops over the scalar context-aware entry
+  /// point, so overriding batchWidth() alone is never observable.
+  virtual void evaluateBatch(const linalg::Vector* const* sizes,
                              const sim::PvtCorner* corners,
                              const EvalContext* contexts,
                              core::EvalResult* results,
                              std::size_t count) const {
     for (std::size_t i = 0; i < count; ++i)
-      results[i] = evaluate(sizes, corners[i], contexts[i]);
+      results[i] = evaluate(*sizes[i], corners[i], contexts[i]);
   }
 };
 
@@ -113,7 +115,7 @@ class CallbackBackend final : public EvalBackend {
 
   std::size_t batchWidth() const override { return batchFn_ ? width_ : 1; }
 
-  void evaluateBatch(const linalg::Vector& sizes,
+  void evaluateBatch(const linalg::Vector* const* sizes,
                      const sim::PvtCorner* corners,
                      const EvalContext* contexts, core::EvalResult* results,
                      std::size_t count) const override {

@@ -37,7 +37,7 @@ class CircuitBackend final : public EvalBackend {
     return problem_.evaluateBatch ? sim::kSimLanes : 1;
   }
 
-  void evaluateBatch(const linalg::Vector& sizes,
+  void evaluateBatch(const linalg::Vector* const* sizes,
                      const sim::PvtCorner* corners,
                      const EvalContext* contexts, core::EvalResult* results,
                      std::size_t count) const override {

@@ -45,6 +45,9 @@ EvalEngine::EvalEngine(std::shared_ptr<const EvalBackend> backend,
       pool_(config.threads) {
   assert(backend_ != nullptr);
   assert(!corners_.empty());
+  // Baseline the process-wide phase counters so this engine's stats only
+  // ever accumulate growth that happened during its own dispatches.
+  phaseBase_ = sim::simPhaseTotals();
 }
 
 EvalEngine::EvalEngine(const core::SizingProblem& problem,
@@ -62,6 +65,7 @@ void EvalEngine::resetAccounting() {
   ledger_ = pvt::EdaLedger{};
   stats_ = EvalStats{};
   firstFailure_ = FailureRecord{};
+  phaseBase_ = sim::simPhaseTotals();
 }
 
 void EvalEngine::injectFaults(std::shared_ptr<const sim::FaultPlan> plan,
@@ -225,7 +229,7 @@ void EvalEngine::restoreState(io::SectionReader& r) {
   unpublished_.clear();
 }
 
-core::EvalResult EvalEngine::runWithRetry(std::size_t cornerIndex,
+core::EvalResult EvalEngine::runWithRetry(const MissRef& ref,
                                           MissTrace& trace) const {
   const RetryPolicy& retry = config_.retry;
   const std::size_t maxAttempts = std::max<std::size_t>(1, retry.maxAttempts);
@@ -233,12 +237,12 @@ core::EvalResult EvalEngine::runWithRetry(std::size_t cornerIndex,
   sim::FaultClass last = sim::FaultClass::kNone;
   for (std::size_t attempt = 0; attempt < maxAttempts; ++attempt) {
     EvalContext ctx;
-    ctx.indices = &keyScratch_.indices;
-    ctx.cornerIndex = cornerIndex;
+    ctx.indices = ref.indices;
+    ctx.cornerIndex = ref.cornerIndex;
     ctx.attempt = attempt;
     const auto t0 = std::chrono::steady_clock::now();
     core::EvalResult r =
-        backend_->evaluate(snapScratch_, corners_[cornerIndex], ctx);
+        backend_->evaluate(*ref.sizes, corners_[ref.cornerIndex], ctx);
     const double elapsed = secondsSince(t0);
     trace.seconds += elapsed;
     // Classify the attempt: the backend's own verdict first, then the
@@ -272,8 +276,7 @@ core::EvalResult EvalEngine::runWithRetry(std::size_t cornerIndex,
   return failed;
 }
 
-void EvalEngine::runBatchWithRetry(const std::vector<std::size_t>& cornerIdx,
-                                   std::vector<core::EvalResult>& results,
+void EvalEngine::runBatchWithRetry(std::vector<core::EvalResult>& results,
                                    std::size_t begin, std::size_t count) {
   const RetryPolicy& retry = config_.retry;
   const std::size_t maxAttempts = std::max<std::size_t>(1, retry.maxAttempts);
@@ -284,25 +287,28 @@ void EvalEngine::runBatchWithRetry(const std::vector<std::size_t>& cornerIdx,
     missTrace_[begin + i] = MissTrace{};
   }
   std::vector<sim::FaultClass> last(count, sim::FaultClass::kNone);
+  std::vector<const linalg::Vector*> sizes;
   std::vector<sim::PvtCorner> corners;
   std::vector<EvalContext> contexts;
   std::vector<core::EvalResult> attemptResults;
   for (std::size_t attempt = 0; attempt < maxAttempts && !active.empty();
        ++attempt) {
+    sizes.clear();
     corners.clear();
     contexts.clear();
     for (const std::size_t lane : active) {
-      const std::size_t corner = cornerIdx[missSlots_[begin + lane]];
-      corners.push_back(corners_[corner]);
+      const MissRef& ref = missRefs_[begin + lane];
+      sizes.push_back(ref.sizes);
+      corners.push_back(corners_[ref.cornerIndex]);
       EvalContext ctx;
-      ctx.indices = &keyScratch_.indices;
-      ctx.cornerIndex = corner;
+      ctx.indices = ref.indices;
+      ctx.cornerIndex = ref.cornerIndex;
       ctx.attempt = attempt;
       contexts.push_back(ctx);
     }
     attemptResults.assign(active.size(), core::EvalResult{});
     const auto t0 = std::chrono::steady_clock::now();
-    backend_->evaluateBatch(snapScratch_, corners.data(), contexts.data(),
+    backend_->evaluateBatch(sizes.data(), corners.data(), contexts.data(),
                             attemptResults.data(), active.size());
     const double elapsed = secondsSince(t0);
     // Wall time is charged once per backend call (stats_.backendSeconds sums
@@ -326,7 +332,7 @@ void EvalEngine::runBatchWithRetry(const std::vector<std::size_t>& cornerIdx,
       MissTrace& trace = missTrace_[begin + lane];
       if (cls == sim::FaultClass::kNone) {
         trace.retries = static_cast<std::uint32_t>(attempt);
-        results[missSlots_[begin + lane]] = std::move(r);
+        results[missRefs_[begin + lane].slot] = std::move(r);
         continue;
       }
       last[lane] = cls;
@@ -340,11 +346,54 @@ void EvalEngine::runBatchWithRetry(const std::vector<std::size_t>& cornerIdx,
         core::EvalResult failed;
         failed.ok = false;
         failed.failure = last[lane];
-        results[missSlots_[begin + lane]] = std::move(failed);
+        results[missRefs_[begin + lane].slot] = std::move(failed);
       }
     }
     active.swap(still);
   }
+}
+
+void EvalEngine::dispatchMisses(std::vector<core::EvalResult>& results) {
+  missTrace_.assign(missRefs_.size(), MissTrace{});
+  const std::size_t nMiss = missRefs_.size();
+  const std::size_t width =
+      config_.batchedSim ? backend_->batchWidth() : std::size_t{1};
+  if (width > 1) {
+    // Chunk the miss queue into full lanes. A trailing chunk of exactly one
+    // lane would pay for a whole wide simulator pass (width - 1 idle lanes)
+    // to produce one result; the scalar path produces the identical bits —
+    // that is the batch contract — at one lane's cost, so route it there.
+    // Chunk boundaries still depend only on the miss count and the width,
+    // and every path is bitwise per-slot identical, so the outcome is the
+    // same for any thread count and any dispatch shape.
+    const std::size_t batched = (nMiss % width == 1) ? nMiss - 1 : nMiss;
+    const std::size_t chunks = (batched + width - 1) / width;
+    const std::size_t tasks = chunks + (nMiss - batched);
+    pool_.parallelFor(tasks, [&](std::size_t t) {
+      if (t < chunks) {
+        const std::size_t begin = t * width;
+        runBatchWithRetry(results, begin, std::min(width, batched - begin));
+      } else {
+        const std::size_t m = batched + (t - chunks);
+        results[missRefs_[m].slot] = runWithRetry(missRefs_[m], missTrace_[m]);
+      }
+    });
+  } else {
+    pool_.parallelFor(nMiss, [&](std::size_t m) {
+      results[missRefs_[m].slot] = runWithRetry(missRefs_[m], missTrace_[m]);
+    });
+  }
+  for (const MissTrace& t : missTrace_) stats_.backendSeconds += t.seconds;
+  harvestSimPhases();
+}
+
+void EvalEngine::harvestSimPhases() {
+  const sim::SimPhaseTotals now = sim::simPhaseTotals();
+  stats_.simDeviceEvalNs += now.deviceEvalNs - phaseBase_.deviceEvalNs;
+  stats_.simStampNs += now.stampNs - phaseBase_.stampNs;
+  stats_.simFactorNs += now.factorNs - phaseBase_.factorNs;
+  stats_.simSolveNs += now.solveNs - phaseBase_.solveNs;
+  phaseBase_ = now;
 }
 
 void EvalEngine::accountRequest(std::size_t cornerIndex, pvt::BlockKind kind,
@@ -404,7 +453,7 @@ std::vector<core::EvalResult> EvalEngine::evalBatch(
   prepareKey(sizes);
 
   // ---- Probe the memos (and collapse in-batch duplicates) serially.
-  missSlots_.clear();
+  missRefs_.clear();
   hitFlags_.assign(n, 0);
   sharedFlags_.assign(n, 0);
   dupOf_.assign(n, kNone);
@@ -428,48 +477,37 @@ std::vector<core::EvalResult> EvalEngine::evalBatch(
       }
       // A duplicate key within the batch can only repeat an earlier *miss*
       // (had the key been cached, both requests would have hit).
-      for (const std::size_t j : missSlots_) {
-        if (cornerIdx[j] == cornerIdx[i]) {
-          dupOf_[i] = j;
+      for (const MissRef& m : missRefs_) {
+        if (m.cornerIndex == cornerIdx[i]) {
+          dupOf_[i] = m.slot;
           break;
         }
       }
-      if (dupOf_[i] == kNone) missSlots_.push_back(i);
+      if (dupOf_[i] == kNone)
+        missRefs_.push_back(
+            {i, &snapScratch_, &keyScratch_.indices, cornerIdx[i]});
     }
   } else {
-    for (std::size_t i = 0; i < n; ++i) missSlots_.push_back(i);
+    for (std::size_t i = 0; i < n; ++i)
+      missRefs_.push_back(
+          {i, &snapScratch_, &keyScratch_.indices, cornerIdx[i]});
   }
 
   // ---- Fan the real simulations out; results land in per-request slots.
   // With a batch-capable backend, misses go down in consecutive chunks of
   // the backend's lane width (one fused simulator pass per chunk, chunks in
-  // parallel); otherwise each miss runs its own scalar retry loop. Chunk
-  // boundaries depend only on the miss list and the width, and every path
-  // is bitwise per-slot identical, so the outcome is the same for any
-  // thread count and either dispatch mode.
-  missTrace_.assign(missSlots_.size(), MissTrace{});
-  const std::size_t width =
-      config_.batchedSim ? backend_->batchWidth() : std::size_t{1};
-  if (width > 1) {
-    const std::size_t chunks = (missSlots_.size() + width - 1) / width;
-    pool_.parallelFor(chunks, [&](std::size_t c) {
-      const std::size_t begin = c * width;
-      runBatchWithRetry(cornerIdx, results, begin,
-                        std::min(width, missSlots_.size() - begin));
-    });
-  } else {
-    pool_.parallelFor(missSlots_.size(), [&](std::size_t m) {
-      const std::size_t i = missSlots_[m];
-      results[i] = runWithRetry(cornerIdx[i], missTrace_[m]);
-    });
-  }
+  // parallel, a lone trailing lane scalar); otherwise each miss runs its own
+  // scalar retry loop. Chunk boundaries depend only on the miss list and the
+  // width, and every path is bitwise per-slot identical, so the outcome is
+  // the same for any thread count and either dispatch mode.
+  dispatchMisses(results);
 
   // ---- Merge and account after the join, in request order: cache inserts,
   // ledger blocks, and counters are then identical for any thread count.
-  for (const MissTrace& t : missTrace_) stats_.backendSeconds += t.seconds;
-  std::size_t cursor = 0;  // missSlots_ ascends with i
+  std::size_t cursor = 0;  // missRefs_ slots ascend with i
   for (std::size_t i = 0; i < n; ++i) {
-    const bool isMiss = cursor < missSlots_.size() && missSlots_[cursor] == i;
+    const bool isMiss =
+        cursor < missRefs_.size() && missRefs_[cursor].slot == i;
     const MissTrace trace = isMiss ? missTrace_[cursor++] : MissTrace{};
     if (dupOf_[i] != kNone) results[i] = results[dupOf_[i]];
     const bool failed = results[i].failure != sim::FaultClass::kNone;
@@ -484,6 +522,89 @@ std::vector<core::EvalResult> EvalEngine::evalBatch(
     }
     accountRequest(cornerIdx[i], kind, results[i], cached,
                    sharedFlags_[i] != 0, isMiss, trace);
+  }
+  return results;
+}
+
+std::vector<core::EvalResult> EvalEngine::evalPacked(
+    const std::vector<linalg::Vector>& points,
+    const std::vector<std::size_t>& cornerIdx, pvt::BlockKind kind) {
+  const std::size_t np = points.size();
+  const std::size_t nc = cornerIdx.size();
+  std::vector<core::EvalResult> results(np * nc);
+  if (results.empty()) return results;
+
+  // Snap every point once up front; the snapped sizings and index lists live
+  // for the whole call because queued miss lanes point into them.
+  packSnaps_.resize(np);
+  packKeys_.resize(np);
+  for (std::size_t p = 0; p < np; ++p) {
+    prepareKey(points[p]);
+    packSnaps_[p] = snapScratch_;
+    packKeys_[p].indices = keyScratch_.indices;
+  }
+
+  // ---- Probe the memos serially, point-major — the same request order the
+  // equivalent sequence of evalBatch calls would account in.
+  missRefs_.clear();
+  hitFlags_.assign(results.size(), 0);
+  sharedFlags_.assign(results.size(), 0);
+  dupOf_.assign(results.size(), kNone);
+  for (std::size_t p = 0; p < np; ++p) {
+    EvalKey& key = packKeys_[p];
+    for (std::size_t c = 0; c < nc; ++c) {
+      const std::size_t slot = p * nc + c;
+      if (config_.cacheEvals) {
+        key.cornerIndex = cornerIdx[c];
+        if (const core::EvalResult* hit = cache_.find(key)) {
+          results[slot] = *hit;
+          hitFlags_[slot] = 1;
+          continue;
+        }
+        if (shared_ != nullptr &&
+            shared_->find(sharedScope_, key, results[slot])) {
+          cache_.insert({key.indices, cornerIdx[c]}, results[slot]);
+          hitFlags_[slot] = 1;
+          sharedFlags_[slot] = 1;
+          continue;
+        }
+        // In-call duplicate: same snapped grid cell and corner as an earlier
+        // queued miss (points from different raw sizings can snap together).
+        for (const MissRef& m : missRefs_) {
+          if (m.cornerIndex == cornerIdx[c] && *m.indices == key.indices) {
+            dupOf_[slot] = m.slot;
+            break;
+          }
+        }
+        if (dupOf_[slot] != kNone) continue;
+      }
+      missRefs_.push_back(
+          {slot, &packSnaps_[p], &packKeys_[p].indices, cornerIdx[c]});
+    }
+  }
+
+  // ---- One fused dispatch over every queued miss: lanes pack densely
+  // across points, so per-point ragged tails stop wasting simulator lanes.
+  dispatchMisses(results);
+
+  // ---- Merge and account in flat slot order (= point-major request order).
+  std::size_t cursor = 0;
+  for (std::size_t slot = 0; slot < results.size(); ++slot) {
+    const bool isMiss =
+        cursor < missRefs_.size() && missRefs_[cursor].slot == slot;
+    const MissTrace trace = isMiss ? missTrace_[cursor++] : MissTrace{};
+    const std::size_t corner = cornerIdx[slot % nc];
+    if (dupOf_[slot] != kNone) results[slot] = results[dupOf_[slot]];
+    const bool failed = results[slot].failure != sim::FaultClass::kNone;
+    const bool cached =
+        !failed && (hitFlags_[slot] != 0 || dupOf_[slot] != kNone);
+    if (config_.cacheEvals && isMiss && !failed) {
+      cache_.insert({packKeys_[slot / nc].indices, corner}, results[slot]);
+      if (shared_ != nullptr)
+        unpublished_.push_back({packKeys_[slot / nc].indices, corner});
+    }
+    accountRequest(corner, kind, results[slot], cached,
+                   sharedFlags_[slot] != 0, isMiss, trace);
   }
   return results;
 }
@@ -511,8 +632,10 @@ core::EvalResult EvalEngine::evalOne(std::size_t cornerIdx,
     }
   }
   MissTrace trace;
-  core::EvalResult result = runWithRetry(cornerIdx, trace);
+  const MissRef ref{0, &snapScratch_, &keyScratch_.indices, cornerIdx};
+  core::EvalResult result = runWithRetry(ref, trace);
   stats_.backendSeconds += trace.seconds;
+  harvestSimPhases();
   const bool failed = result.failure != sim::FaultClass::kNone;
   if (config_.cacheEvals && !failed) {
     cache_.insert({keyScratch_.indices, cornerIdx}, result);

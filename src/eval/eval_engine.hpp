@@ -40,6 +40,7 @@
 #include "eval/shared_cache.hpp"
 #include "pvt/ledger.hpp"
 #include "sim/fault.hpp"
+#include "sim/sim_profile.hpp"
 
 namespace trdse::io {
 class SectionReader;
@@ -108,6 +109,17 @@ struct EvalStats {
   std::size_t faults = 0;       ///< attempts classified as faulted
   std::size_t failures = 0;     ///< requests failed after retry exhaustion
   std::size_t backoffUnits = 0; ///< deterministic backoff charged for retries
+  // Simulator phase attribution (sim/sim_profile.hpp): nanoseconds of
+  // device-eval / stamp / factor / solve time sampled as deltas of the
+  // process-wide phase counters around this engine's backend dispatches.
+  // Exactly zero unless sim profiling is enabled (the `trdse run` report
+  // turns it on); attribution is exact when one engine dispatches at a time.
+  // Measurement-only like backendSeconds — excluded from determinism
+  // guarantees, never persisted in checkpoints, never shipped in harvests.
+  std::uint64_t simDeviceEvalNs = 0;
+  std::uint64_t simStampNs = 0;
+  std::uint64_t simFactorNs = 0;
+  std::uint64_t simSolveNs = 0;
 
   std::size_t blocksSaved() const { return cacheHits + sharedHits; }
   double hitRate() const {
@@ -171,6 +183,21 @@ class EvalEngine {
   std::vector<core::EvalResult> evalBatch(
       const std::vector<std::size_t>& cornerIdx, const linalg::Vector& sizes,
       pvt::BlockKind kind);
+
+  /// Evaluate `points.size()` sizings on each corner of `cornerIdx` as one
+  /// fused batch; slot `p * cornerIdx.size() + c` of the returned vector is
+  /// point p on corner cornerIdx[c]. Misses from *all* points pack into
+  /// consecutive simulator lanes, so per-point ragged tails (e.g. 9 corners
+  /// on a 4-lane backend) stop wasting lanes once several points are in
+  /// flight. Per-slot results are bitwise identical to the equivalent
+  /// sequence of evalBatch calls (the backend batch contract is per-slot),
+  /// and so is the accounting, with one documented exception: this is ONE
+  /// batch, so a duplicate (snapped point, corner) key across points
+  /// simulates once and the later slot accounts as cached — exactly the
+  /// in-batch duplicate rule evalBatch already applies within a call.
+  std::vector<core::EvalResult> evalPacked(
+      const std::vector<linalg::Vector>& points,
+      const std::vector<std::size_t>& cornerIdx, pvt::BlockKind kind);
 
   /// Single-request path (the LocalExplorer / SizingEnv per-step hot path):
   /// same semantics as a one-element evalBatch, but evaluates inline on the
@@ -287,17 +314,27 @@ class EvalEngine {
     double seconds = 0.0;       ///< backend wall time over all attempts
   };
 
-  /// Run the snapped point on `cornerIndex` through the retry loop: classify
-  /// each attempt (result fault, deadline, finiteness), retry transient
-  /// faults with deterministic backoff, and return either a clean result or
-  /// a typed failed one after exhaustion. Thread-safe: reads only state that
-  /// is frozen during a batch's parallel section (snapScratch_, key indices,
-  /// config, backend) and writes only through `trace`.
-  core::EvalResult runWithRetry(std::size_t cornerIndex,
-                                MissTrace& trace) const;
+  /// One queued simulation: where its result lands (flat slot) and the full
+  /// request identity. `sizes`/`indices` point into per-call storage
+  /// (snapScratch_/keyScratch_ or packSnaps_/packKeys_) that stays frozen
+  /// through the parallel section.
+  struct MissRef {
+    std::size_t slot = 0;  ///< index into the flat result array
+    const linalg::Vector* sizes = nullptr;
+    const std::vector<std::size_t>* indices = nullptr;
+    std::size_t cornerIndex = 0;
+  };
+
+  /// Run one queued miss through the retry loop: classify each attempt
+  /// (result fault, deadline, finiteness), retry transient faults with
+  /// deterministic backoff, and return either a clean result or a typed
+  /// failed one after exhaustion. Thread-safe: reads only state that is
+  /// frozen during a batch's parallel section (the per-call sizing/index
+  /// storage, config, backend) and writes only through `trace`.
+  core::EvalResult runWithRetry(const MissRef& ref, MissTrace& trace) const;
 
   /// Corner-batch counterpart of runWithRetry: drive the miss chunk
-  /// missSlots_[begin .. begin+count) through a lockstep retry loop — one
+  /// missRefs_[begin .. begin+count) through a lockstep retry loop — one
   /// backend evaluateBatch call per attempt round over the lanes still
   /// faulted — writing results and missTrace_ entries for each lane.
   /// Per-lane classification, retry counts, and backoff charges are exactly
@@ -307,9 +344,19 @@ class EvalEngine {
   /// measurement-only, is charged once per backend call to the chunk's first
   /// lane. Thread-safe under the same rules as runWithRetry; chunks write
   /// disjoint result/trace slots.
-  void runBatchWithRetry(const std::vector<std::size_t>& cornerIdx,
-                         std::vector<core::EvalResult>& results,
+  void runBatchWithRetry(std::vector<core::EvalResult>& results,
                          std::size_t begin, std::size_t count);
+
+  /// Fan the queued misses (missRefs_) out across the pool: full chunks of
+  /// the backend's batch width, except that a trailing chunk of exactly one
+  /// lane runs the scalar path (identical bits at one lane's cost instead of
+  /// a whole idle-lane batch). Fills missTrace_, charges backendSeconds, and
+  /// samples the simulator phase counters.
+  void dispatchMisses(std::vector<core::EvalResult>& results);
+
+  /// Fold the process-wide sim phase counters' growth since the last sample
+  /// into stats_ (all-zero no-op unless sim profiling is on).
+  void harvestSimPhases();
 
   /// Per-request accounting shared by evalBatch's merge loop and evalOne:
   /// updates stats, firstFailure_, and (when enabled) the ledger.
@@ -320,11 +367,14 @@ class EvalEngine {
   // Request scratch, reused across calls.
   linalg::Vector snapScratch_;          ///< snapped sizing (fed to backends)
   EvalKey keyScratch_;                  ///< probe key (indices reused)
-  std::vector<std::size_t> missSlots_;  ///< request indices that simulate
+  std::vector<MissRef> missRefs_;       ///< queued simulations, slot order
   std::vector<MissTrace> missTrace_;    ///< per-miss retry/timing bookkeeping
   std::vector<char> hitFlags_;          ///< request served from the memo
   std::vector<char> sharedFlags_;       ///< ... specifically the shared cache
   std::vector<std::size_t> dupOf_;      ///< in-batch duplicate -> first miss
+  std::vector<linalg::Vector> packSnaps_;  ///< evalPacked per-point sizings
+  std::vector<EvalKey> packKeys_;          ///< evalPacked per-point indices
+  sim::SimPhaseTotals phaseBase_;  ///< phase counters at the last harvest
 };
 
 }  // namespace trdse::eval

@@ -93,7 +93,7 @@ core::EvalResult FaultInjector::evaluate(const linalg::Vector& sizes,
   return inner_->evaluate(sizes, corner, context);
 }
 
-void FaultInjector::evaluateBatch(const linalg::Vector& sizes,
+void FaultInjector::evaluateBatch(const linalg::Vector* const* sizes,
                                   const sim::PvtCorner* corners,
                                   const EvalContext* contexts,
                                   core::EvalResult* results,
@@ -108,6 +108,7 @@ void FaultInjector::evaluateBatch(const linalg::Vector& sizes,
   // the same bytes on either dispatch path.
   std::vector<sim::FaultClass> cls(count);
   std::vector<std::size_t> fwd;
+  std::vector<const linalg::Vector*> fwdSizes;
   std::vector<sim::PvtCorner> fwdCorners;
   std::vector<EvalContext> fwdContexts;
   fwd.reserve(count);
@@ -117,14 +118,15 @@ void FaultInjector::evaluateBatch(const linalg::Vector& sizes,
     if (cls[i] == sim::FaultClass::kNone ||
         cls[i] == sim::FaultClass::kNonFinite) {
       fwd.push_back(i);
+      fwdSizes.push_back(sizes[i]);
       fwdCorners.push_back(corners[i]);
       fwdContexts.push_back(contexts[i]);
     }
   }
   std::vector<core::EvalResult> fwdResults(fwd.size());
   if (!fwd.empty())
-    inner_->evaluateBatch(sizes, fwdCorners.data(), fwdContexts.data(),
-                          fwdResults.data(), fwd.size());
+    inner_->evaluateBatch(fwdSizes.data(), fwdCorners.data(),
+                          fwdContexts.data(), fwdResults.data(), fwd.size());
   std::size_t cursor = 0;
   for (std::size_t i = 0; i < count; ++i) {
     switch (cls[i]) {

@@ -58,7 +58,7 @@ class FaultInjector final : public EvalBackend {
   /// engine dispatches scalar requests or corner-batches.
   std::size_t batchWidth() const override { return inner_->batchWidth(); }
 
-  void evaluateBatch(const linalg::Vector& sizes,
+  void evaluateBatch(const linalg::Vector* const* sizes,
                      const sim::PvtCorner* corners,
                      const EvalContext* contexts, core::EvalResult* results,
                      std::size_t count) const override;

@@ -137,13 +137,20 @@ class ChunkOffloadBackend final : public eval::EvalBackend {
 
   std::size_t batchWidth() const override { return inner_->batchWidth(); }
 
-  void evaluateBatch(const linalg::Vector& sizes,
+  void evaluateBatch(const linalg::Vector* const* sizes,
                      const sim::PvtCorner* corners,
                      const eval::EvalContext* contexts,
                      core::EvalResult* results,
                      std::size_t count) const override {
-    if (count >= 2 &&
-        offload_(jobIndex_, sizes, corners, contexts, results, count))
+    // The chunk wire format carries one sizing per chunk, so only
+    // homogeneous chunks offload. The engine hands every slot of a
+    // single-request batch the same pointer; packed mixed-sizing chunks
+    // (different pointers) simply run locally.
+    bool homogeneous = count >= 2;
+    for (std::size_t i = 1; homogeneous && i < count; ++i)
+      homogeneous = sizes[i] == sizes[0];
+    if (homogeneous &&
+        offload_(jobIndex_, *sizes[0], corners, contexts, results, count))
       return;
     inner_->evaluateBatch(sizes, corners, contexts, results, count);
   }
@@ -380,11 +387,12 @@ class ChunkOffloadBackend final : public eval::EvalBackend {
         r.expectEnd();
         const std::size_t count = p.count();
         std::vector<eval::EvalContext> ctxs(count);
+        std::vector<const linalg::Vector*> sz(count, &p.sizes);
         std::vector<core::EvalResult> results(count);
         for (std::size_t k = 0; k < count; ++k)
           ctxs[k] = {&p.indices[k], p.cornerIndex[k], p.attempt[k]};
         execBackends.at(p.jobIndex)
-            ->evaluateBatch(p.sizes, p.corners.data(), ctxs.data(),
+            ->evaluateBatch(sz.data(), p.corners.data(), ctxs.data(),
                             results.data(), count);
         io::CheckpointWriter out = wire::makeMessage(wire::kMsgChunkReply);
         io::SectionWriter& cw = out.section("chunk");

@@ -1,0 +1,171 @@
+#include "sim/assembly_plan.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace trdse::sim {
+
+namespace {
+
+int flatCell(const Netlist& nl, std::size_t n, NodeId r, NodeId c) {
+  if (r == kGround || c == kGround) return -1;
+  return static_cast<int>(nl.nodeIndex(r) * n + nl.nodeIndex(c));
+}
+
+int rhsRow(const Netlist& nl, NodeId a) {
+  return a == kGround ? -1 : static_cast<int>(nl.nodeIndex(a));
+}
+
+std::uint64_t fnv1a(const std::vector<std::int64_t>& sig) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::int64_t v : sig) {
+    auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (u >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+struct PlanCache {
+  std::mutex mu;
+  // Collision-chained on the full signature: a hash hit still compares
+  // topoSig before a plan is shared.
+  std::unordered_map<std::uint64_t, std::vector<PlanHandle>> byHash;
+};
+
+PlanCache& cache() {
+  static PlanCache c;
+  return c;
+}
+
+std::atomic<std::uint64_t> gBuildCount{0};
+
+PlanHandle buildPlan(const Netlist& nl, std::vector<std::int64_t> sig,
+                     std::uint64_t hash) {
+  auto plan = std::make_shared<AssemblyPlan>();
+  plan->hash = hash;
+  plan->n = nl.unknownCount();
+  plan->nodes = nl.nodeCount();
+  plan->nBranches = nl.branchCount();
+  plan->topoSig = std::move(sig);
+  const std::size_t n = plan->n;
+  plan->mosIdx.resize(nl.mosfets().size());
+  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+    const auto& fet = nl.mosfets()[k];
+    MosStampIdx& ix = plan->mosIdx[k];
+    const NodeId nodes[8][2] = {{fet.d, fet.d}, {fet.d, fet.g}, {fet.d, fet.s},
+                                {fet.d, fet.b}, {fet.s, fet.d}, {fet.s, fet.g},
+                                {fet.s, fet.s}, {fet.s, fet.b}};
+    for (int e = 0; e < 8; ++e)
+      ix.cell[e] = flatCell(nl, n, nodes[e][0], nodes[e][1]);
+    ix.rhsD = rhsRow(nl, fet.d);
+    ix.rhsS = rhsRow(nl, fet.s);
+    ix.d = fet.d;
+    ix.g = fet.g;
+    ix.s = fet.s;
+    ix.b = fet.b;
+  }
+  plan->dioIdx.resize(nl.diodes().size());
+  for (std::size_t k = 0; k < nl.diodes().size(); ++k) {
+    const auto& d = nl.diodes()[k];
+    DiodeStampIdx& ix = plan->dioIdx[k];
+    ix.cell[0] = flatCell(nl, n, d.a, d.a);
+    ix.cell[1] = flatCell(nl, n, d.a, d.k);
+    ix.cell[2] = flatCell(nl, n, d.k, d.k);
+    ix.cell[3] = flatCell(nl, n, d.k, d.a);
+    ix.rhsA = rhsRow(nl, d.a);
+    ix.rhsK = rhsRow(nl, d.k);
+    ix.a = d.a;
+    ix.k = d.k;
+  }
+  gBuildCount.fetch_add(1, std::memory_order_relaxed);
+  return plan;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> topologySignature(const Netlist& nl) {
+  std::vector<std::int64_t> sig;
+  sig.reserve(16 + 4 * nl.mosfets().size() + 2 * nl.resistors().size());
+  sig.push_back(static_cast<std::int64_t>(nl.nodeCount()));
+  sig.push_back(static_cast<std::int64_t>(nl.resistors().size()));
+  sig.push_back(static_cast<std::int64_t>(nl.capacitors().size()));
+  sig.push_back(static_cast<std::int64_t>(nl.vsources().size()));
+  sig.push_back(static_cast<std::int64_t>(nl.isources().size()));
+  sig.push_back(static_cast<std::int64_t>(nl.vcvs().size()));
+  sig.push_back(static_cast<std::int64_t>(nl.vccs().size()));
+  sig.push_back(static_cast<std::int64_t>(nl.diodes().size()));
+  sig.push_back(static_cast<std::int64_t>(nl.inductors().size()));
+  sig.push_back(static_cast<std::int64_t>(nl.mosfets().size()));
+  for (const auto& r : nl.resistors()) {
+    sig.push_back(r.a);
+    sig.push_back(r.b);
+  }
+  for (const auto& c : nl.capacitors()) {
+    sig.push_back(c.a);
+    sig.push_back(c.b);
+  }
+  for (const auto& v : nl.vsources()) {
+    sig.push_back(v.p);
+    sig.push_back(v.n);
+  }
+  for (const auto& i : nl.isources()) {
+    sig.push_back(i.p);
+    sig.push_back(i.n);
+  }
+  for (const auto& e : nl.vcvs()) {
+    sig.push_back(e.p);
+    sig.push_back(e.n);
+    sig.push_back(e.cp);
+    sig.push_back(e.cn);
+  }
+  for (const auto& g : nl.vccs()) {
+    sig.push_back(g.p);
+    sig.push_back(g.n);
+    sig.push_back(g.cp);
+    sig.push_back(g.cn);
+  }
+  for (const auto& d : nl.diodes()) {
+    sig.push_back(d.a);
+    sig.push_back(d.k);
+  }
+  for (const auto& ind : nl.inductors()) {
+    sig.push_back(ind.a);
+    sig.push_back(ind.b);
+  }
+  for (const auto& m : nl.mosfets()) {
+    sig.push_back(m.d);
+    sig.push_back(m.g);
+    sig.push_back(m.s);
+    sig.push_back(m.b);
+  }
+  return sig;
+}
+
+PlanHandle acquirePlan(const Netlist& nl) {
+  std::vector<std::int64_t> sig = topologySignature(nl);
+  const std::uint64_t hash = fnv1a(sig);
+  PlanCache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto& chain = c.byHash[hash];
+  for (const PlanHandle& p : chain)
+    if (p->topoSig == sig) return p;
+  PlanHandle built = buildPlan(nl, std::move(sig), hash);
+  chain.push_back(built);
+  return built;
+}
+
+std::uint64_t planBuildCount() {
+  return gBuildCount.load(std::memory_order_relaxed);
+}
+
+void clearPlanCache() {
+  PlanCache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.byHash.clear();
+}
+
+}  // namespace trdse::sim

@@ -1,0 +1,78 @@
+#pragma once
+// Precompiled per-topology assembly plans for the batched operating-point
+// engines.
+//
+// Every batched solve (DC, transient) over a netlist family with identical
+// connectivity performs the same index arithmetic: which flat matrix cells a
+// device's Newton stamp scatters into, which RHS rows its companion current
+// touches. An AssemblyPlan captures that arithmetic once per *topology* —
+// node/branch counts plus the device→matrix-slot scatter tables — and a
+// process-wide cache keyed on the connectivity signature hands the same
+// immutable plan to every subsequent solve over that topology, so the steady
+// state of an evaluation sweep rebuilds nothing per call.
+//
+// Ownership/lifecycle rules (see docs/ARCHITECTURE.md):
+//  - Plans are immutable after construction and shared via shared_ptr;
+//    holders may keep a handle across calls and threads freely.
+//  - The cache verifies the full connectivity signature on every hit, so a
+//    hash collision degrades to building a second plan, never to stamping
+//    through the wrong slot table.
+//  - Plan contents are pure *structure*. Per-lane device values (conductance
+//    images, companion states, device contexts) live in the per-call
+//    workspaces, because lanes differ in sizing and PVT corner.
+//
+// clearPlanCache()/planBuildCount() exist for tests: the plan-reuse property
+// test asserts that two sweeps over one topology build exactly one plan and
+// produce bitwise-equal measurements.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/netlist.hpp"
+
+namespace trdse::sim {
+
+/// Flat matrix/RHS scatter slots for one MOSFET's Newton stamp: cell[e] is
+/// (row*n + col) of the e-th stamped cell in the scalar stampers' order —
+/// (d,d) (d,g) (d,s) (d,b) (s,d) (s,g) (s,s) (s,b) — and a -1 marks a
+/// ground-suppressed entry the scalar stampers skip.
+struct MosStampIdx {
+  int cell[8];
+  int rhsD, rhsS;  ///< ieq rows
+  NodeId d, g, s, b;
+};
+
+struct DiodeStampIdx {
+  int cell[4];  ///< (a,a) (a,k) (k,k) (k,a)
+  int rhsA, rhsK;
+  NodeId a, k;
+};
+
+struct AssemblyPlan {
+  std::uint64_t hash = 0;  ///< FNV-1a over topoSig
+  std::size_t n = 0;       ///< unknownCount (MNA dimension)
+  std::size_t nodes = 0;
+  std::size_t nBranches = 0;
+  std::vector<MosStampIdx> mosIdx;
+  std::vector<DiodeStampIdx> dioIdx;
+  /// Canonical connectivity signature — exactly the fields sameTopology()
+  /// compares, flattened. Equal signature <=> same topology.
+  std::vector<std::int64_t> topoSig;
+};
+
+using PlanHandle = std::shared_ptr<const AssemblyPlan>;
+
+/// Look up (or build and cache) the plan for `nl`'s topology.
+PlanHandle acquirePlan(const Netlist& nl);
+
+/// Total plans ever built in this process (cache misses). Test hook.
+std::uint64_t planBuildCount();
+
+/// Drop all cached plans (outstanding handles stay valid). Test hook.
+void clearPlanCache();
+
+/// The canonical connectivity signature acquirePlan keys on.
+std::vector<std::int64_t> topologySignature(const Netlist& nl);
+
+}  // namespace trdse::sim

@@ -33,11 +33,19 @@ DiodeOp evalDiode(const Diode& d, double vak, double tempK) {
 
 void evalDiodeBlock(const DiodeCtxBlock& ctx, const double* vak,
                     DiodeOpBlock& out) {
-  for (int l = 0; l < kSimLanes; ++l) {
-    const DiodeOp op = evalDiodeOne(ctx.isat[l], ctx.vt[l], vak[l]);
-    out.id[l] = op.id;
-    out.gd[l] = op.gd;
-  }
+  static_assert(kSimLanes == 4, "explicit vector kernel assumes 4 lanes");
+  using simd::V4d;
+  // Same expressions as evalDiodeOne, four lanes wide (fastExp4 is the
+  // bit-identical vector twin of fastExp).
+  const V4d vt = simd::load4(ctx.vt);
+  const V4d isat = simd::load4(ctx.isat);
+  const V4d x = simd::load4(vak) / vt;
+  const V4d cap = simd::splat4(kMaxExp);
+  const V4d xe = simd::select4(x > kMaxExp, cap, x);
+  const V4d e = fmx::fastExp4(xe);
+  simd::store4(out.id, isat * (e * (1.0 + (x - xe)) - 1.0));
+  const V4d gd = isat * e / vt;
+  simd::store4(out.gd, gd + 1e-12);
 }
 
 }  // namespace trdse::sim

@@ -47,56 +47,28 @@ inline FPair ekvF(double x) {
   return {lnTerm * lnTerm, lnTerm * sig};        // dF/dx = ln * sig
 }
 
-/// W-wide ekvF over a flat array: the same per-element op sequence as the
-/// scalar ekvF, staged so the lane loops auto-vectorize; only the 128-entry
-/// table lookup stays scalar.
-template <int W>
-inline void ekvFBlock(const double* x, double* f, double* df) {
-  double h[W], xc[W], kd[W], r[W], scale[W], ep[W];
-  std::uint64_t ki[W];
-  for (int i = 0; i < W; ++i) {
-    h[i] = 0.5 * x[i];
-    xc[i] = h[i] < -708.0 ? -708.0 : (h[i] > 708.0 ? 708.0 : h[i]);
-    kd[i] = xc[i] * fmx::kInvLn2N + fmx::kShift;
-  }
-  for (int i = 0; i < W; ++i) ki[i] = fmx::bitsOf(kd[i]);
-  for (int i = 0; i < W; ++i) {
-    const double k = kd[i] - fmx::kShift;
-    r[i] = (xc[i] - k * fmx::kLn2NHi) - k * fmx::kLn2NLo;
-  }
-  for (int i = 0; i < W; ++i)  // gather stage
-    scale[i] = fmx::fromBits(fmx::bitsOf(fmx::kExp2Tab[ki[i] & 127]) +
-                             ((ki[i] >> 7) << 52));
-  for (int i = 0; i < W; ++i) {
-    const double r2 = r[i] * r[i];
-    const double p =
-        1.0 + r[i] + r2 * (0.5 + r[i] * (1.0 / 6.0) +
-                           r2 * ((1.0 / 24.0) + r[i] * (1.0 / 120.0)));
-    ep[i] = scale[i] * p;
-  }
-  double u[W], invU[W], m[W], kk[W];
-  for (int i = 0; i < W; ++i) {
-    u[i] = 1.0 + ep[i];
-    invU[i] = 1.0 / u[i];
-  }
-  for (int i = 0; i < W; ++i) {
-    const std::uint64_t uu = fmx::bitsOf(u[i]);
-    const std::int64_t kRaw =
-        static_cast<std::int64_t>((uu + fmx::kLogAdj) >> 52) - 1023;
-    kk[i] = static_cast<double>(kRaw);
-    m[i] = fmx::fromBits(uu - (static_cast<std::uint64_t>(kRaw) << 52));
-  }
-  for (int i = 0; i < W; ++i) {
-    const double c = (ep[i] - (u[i] - 1.0)) * invU[i];
-    const double s = (m[i] - 1.0) / (m[i] + 1.0);
-    const double poly = 2.0 + fmx::log1pTail(s * s);
-    const double lnFull =
-        kk[i] * fmx::kLn2Hi + (s * poly + (c + kk[i] * fmx::kLn2Lo));
-    const double lnTerm = (h[i] > 30.0) ? h[i] : lnFull;
-    const double sig = ep[i] * invU[i];
-    f[i] = lnTerm * lnTerm;
-    df[i] = lnTerm * sig;
-  }
+using simd::V4d;
+using simd::V4i;
+
+/// 4-lane ekvF with explicit vectors: the same per-lane op sequence as the
+/// scalar ekvF (fastExp4/logReduce4/log1pTail4 replicate their scalar twins
+/// expression for expression); only fastExp4's 128-entry table lookup stays
+/// scalar, exactly as the scalar path indexes it.
+inline void ekvF4(V4d x, V4d* f, V4d* df) {
+  const V4d h = 0.5 * x;
+  const V4d ep = fmx::fastExp4(h);
+  const V4d u = 1.0 + ep;
+  const V4d invU = 1.0 / u;
+  V4d k, m;
+  fmx::logReduce4(u, &k, &m);
+  const V4d c = (ep - (u - 1.0)) * invU;
+  const V4d s = (m - 1.0) / (m + 1.0);
+  const V4d poly = 2.0 + fmx::log1pTail4(s * s);
+  const V4d lnFull = k * fmx::kLn2Hi + (s * poly + (c + k * fmx::kLn2Lo));
+  const V4d lnTerm = simd::select4(h > 30.0, h, lnFull);
+  const V4d sig = ep * invU;
+  *f = lnTerm * lnTerm;
+  *df = lnTerm * sig;
 }
 
 constexpr double kMinArg = 0.05;  // body-effect sqrt clamp
@@ -118,6 +90,11 @@ MosDeviceCtx makeMosCtx(const MosParams& params, MosType type,
   c.vth0 = params.vth0;
   c.gamma = params.gamma;
   c.phi = params.phi;
+  // Hoisted divides: these are the verbatim expressions evalMosCtx used to
+  // compute per call, so the cached values carry identical bits.
+  c.invN = 1.0 / c.n;
+  c.invVtN = (1.0 / c.n) / c.vt;
+  c.negInvVt = -1.0 / c.vt;
   return c;
 }
 
@@ -160,16 +137,21 @@ MosOp evalMosCtx(const MosDeviceCtx& c, double vd, double vg, double vs,
   const double ids = core * clm;
 
   // Chain rule into terminal voltages (all in the NMOS-equivalent frame).
-  const double dXfDvg = (1.0 / c.n) / c.vt;
+  // The ctx-only divides read precomputed fields; the shared factor
+  // t = -dVthDvs/n reuses the historical parse exactly — unary negation is
+  // sign-flip-only, so dVthDvs/n == -t bit for bit and the dXfDvb sum below
+  // matches its original (1 - 1/n + dVthDvs/n)/vt association.
+  const double dXfDvg = c.invVtN;
   const double dXrDvg = dXfDvg;
-  const double dXfDvs = (-dVthDvs / c.n - 1.0) / c.vt;
-  const double dXrDvs = (-dVthDvs / c.n) / c.vt;
+  const double t = -dVthDvs / c.n;
+  const double dXfDvs = (t - 1.0) / c.vt;
+  const double dXrDvs = t / c.vt;
   const double dXfDvd = 0.0;
-  const double dXrDvd = -1.0 / c.vt;
+  const double dXrDvd = c.negInvVt;
   // vb enters via vp's -vb/n... and the explicit +vb in both x terms:
   // xf = (vp - vs + vb)/vt with vp containing -vb/n
   //   =>  d xf/d vb = (1 - 1/n + dVthDvs/n)/vt
-  const double dXfDvb = (1.0 - 1.0 / c.n + dVthDvs / c.n) / c.vt;
+  const double dXfDvb = ((1.0 - c.invN) - t) / c.vt;
   const double dXrDvb = dXfDvb;
 
   const double dCoreDvg = c.ispec * (dff * dXfDvg - dfr * dXrDvg);
@@ -193,77 +175,77 @@ MosOp evalMosCtx(const MosDeviceCtx& c, double vd, double vg, double vs,
 
 void evalMosBlock(const MosCtxBlock& c, const double* vd, const double* vg,
                   const double* vs, const double* vb, MosOpBlock& out) {
-  constexpr int L = kSimLanes;
-  double vdn[L], vgn[L], vsn[L], vbn[L], arg[L], vth[L], dVthDvs[L];
-  double xf[L], xr[L];
-  for (int l = 0; l < L; ++l) {
-    vdn[l] = c.sign[l] * vd[l];
-    vgn[l] = c.sign[l] * vg[l];
-    vsn[l] = c.sign[l] * vs[l];
-    vbn[l] = c.sign[l] * vb[l];
-    arg[l] = c.phi[l] + (vsn[l] - vbn[l]);
-  }
-  for (int l = 0; l < L; ++l) {
-    // Blend form of the scalar branch. sqrt is correctly rounded, so
-    // sqrt(kMinArg) here is bit-identical to the scalar path's precomputed
-    // kSqMinArg, and the one unconditional sqrt covers both arms; the
-    // division runs unconditionally on a strictly-positive sq and only its
-    // result is blended, which lets the lane loop if-convert and vectorize.
-    const bool body = arg[l] > kMinArg;
-    const double sq = std::sqrt(body ? arg[l] : kMinArg);
-    const double dv = c.gamma[l] / (2.0 * sq);
-    vth[l] = c.vth0[l] + c.gamma[l] * (sq - c.sq0[l]);
-    dVthDvs[l] = body ? dv : 0.0;
-  }
-  for (int l = 0; l < L; ++l) {
-    const double vp = (vgn[l] - vbn[l] - vth[l]) / c.n[l];
-    xf[l] = (vp - (vsn[l] - vbn[l])) / c.vt[l];
-    xr[l] = (vp - (vdn[l] - vbn[l])) / c.vt[l];
-  }
-  double xfr[2 * L], f[2 * L], df[2 * L];
-  for (int l = 0; l < L; ++l) {
-    xfr[l] = xf[l];
-    xfr[L + l] = xr[l];
-  }
-  ekvFBlock<2 * L>(xfr, f, df);
-  for (int l = 0; l < L; ++l) {
-    const double ff = f[l], dff = df[l];
-    const double fr = f[L + l], dfr = df[L + l];
+  static_assert(kSimLanes == 4, "explicit vector kernel assumes 4 lanes");
+  const V4d sign = simd::load4(c.sign);
+  const V4d vdn = sign * simd::load4(vd);
+  const V4d vgn = sign * simd::load4(vg);
+  const V4d vsn = sign * simd::load4(vs);
+  const V4d vbn = sign * simd::load4(vb);
+  const V4d arg = simd::load4(c.phi) + (vsn - vbn);
 
-    const double vds = vdn[l] - vsn[l];
-    const double clmRaw = 1.0 + c.lambda[l] * vds;
-    const double clm = std::max(0.2, clmRaw);
-    const bool clmActive = clmRaw > 0.2;
+  // Blend form of the scalar branch. sqrt is correctly rounded, so
+  // sqrt(kMinArg) here is bit-identical to the scalar path's precomputed
+  // kSqMinArg, and the one unconditional sqrt covers both arms; the division
+  // runs unconditionally on a strictly-positive sq and only its result is
+  // blended.
+  const V4i body = arg > kMinArg;
+  const V4d zero = simd::splat4(0.0);
+  const V4d gamma = simd::load4(c.gamma);
+  const V4d sq = simd::sqrt4(simd::select4(body, arg, simd::splat4(kMinArg)));
+  const V4d dv = gamma / (2.0 * sq);
+  const V4d vth = simd::load4(c.vth0) + gamma * (sq - simd::load4(c.sq0));
+  const V4d dVthDvs = simd::select4(body, dv, zero);
 
-    const double core = c.ispec[l] * (ff - fr);
-    const double ids = core * clm;
+  const V4d n = simd::load4(c.n);
+  const V4d vt = simd::load4(c.vt);
+  const V4d vp = (vgn - vbn - vth) / n;
+  const V4d xf = (vp - (vsn - vbn)) / vt;
+  const V4d xr = (vp - (vdn - vbn)) / vt;
+  V4d ff, dff, fr, dfr;
+  ekvF4(xf, &ff, &dff);
+  ekvF4(xr, &fr, &dfr);
 
-    const double dXfDvg = (1.0 / c.n[l]) / c.vt[l];
-    const double dXrDvg = dXfDvg;
-    const double dXfDvs = (-dVthDvs[l] / c.n[l] - 1.0) / c.vt[l];
-    const double dXrDvs = (-dVthDvs[l] / c.n[l]) / c.vt[l];
-    const double dXfDvd = 0.0;
-    const double dXrDvd = -1.0 / c.vt[l];
-    const double dXfDvb =
-        (1.0 - 1.0 / c.n[l] + dVthDvs[l] / c.n[l]) / c.vt[l];
-    const double dXrDvb = dXfDvb;
+  const V4d lambda = simd::load4(c.lambda);
+  const V4d vds = vdn - vsn;
+  const V4d clmRaw = 1.0 + lambda * vds;
+  // std::max(0.2, clmRaw) == (0.2 < clmRaw) ? clmRaw : 0.2, including the
+  // NaN arm (comparison false -> 0.2), so one mask serves max and clmActive.
+  const V4i clmActive = clmRaw > 0.2;
+  const V4d clm = simd::select4(clmActive, clmRaw, simd::splat4(0.2));
 
-    const double dCoreDvg = c.ispec[l] * (dff * dXfDvg - dfr * dXrDvg);
-    const double dCoreDvd = c.ispec[l] * (dff * dXfDvd - dfr * dXrDvd);
-    const double dCoreDvs = c.ispec[l] * (dff * dXfDvs - dfr * dXrDvs);
-    const double dCoreDvb = c.ispec[l] * (dff * dXfDvb - dfr * dXrDvb);
+  const V4d ispec = simd::load4(c.ispec);
+  const V4d core = ispec * (ff - fr);
+  const V4d ids = core * clm;
 
-    const double dClmDvd = clmActive ? c.lambda[l] : 0.0;
-    const double dClmDvs = clmActive ? -c.lambda[l] : 0.0;
+  // Same hoisted-divide / shared-factor rewrite as the scalar evalMosCtx —
+  // see the comment there for the bitwise argument.
+  const V4d dXfDvg = simd::load4(c.invVtN);
+  const V4d dXrDvg = dXfDvg;
+  const V4d t = -dVthDvs / n;
+  const V4d dXfDvs = (t - 1.0) / vt;
+  const V4d dXrDvs = t / vt;
+  const V4d dXfDvd = zero;
+  const V4d dXrDvd = simd::load4(c.negInvVt);
+  const V4d dXfDvb = ((1.0 - simd::load4(c.invN)) - t) / vt;
+  const V4d dXrDvb = dXfDvb;
 
-    out.ids[l] = c.sign[l] * ids;
-    out.dIdVd[l] = dCoreDvd * clm + core * dClmDvd;
-    out.dIdVg[l] = dCoreDvg * clm;
-    out.dIdVs[l] = dCoreDvs * clm + core * dClmDvs;
-    out.dIdVb[l] = dCoreDvb * clm;
-    out.gm[l] = std::abs(out.dIdVg[l]);
-    out.gds[l] = std::abs(out.dIdVd[l]);
-  }
+  const V4d dCoreDvg = ispec * (dff * dXfDvg - dfr * dXrDvg);
+  const V4d dCoreDvd = ispec * (dff * dXfDvd - dfr * dXrDvd);
+  const V4d dCoreDvs = ispec * (dff * dXfDvs - dfr * dXrDvs);
+  const V4d dCoreDvb = ispec * (dff * dXfDvb - dfr * dXrDvb);
+
+  const V4d dClmDvd = simd::select4(clmActive, lambda, zero);
+  const V4d dClmDvs = simd::select4(clmActive, -lambda, zero);
+
+  const V4d dIdVg = dCoreDvg * clm;
+  const V4d dIdVd = dCoreDvd * clm + core * dClmDvd;
+  simd::store4(out.ids, sign * ids);
+  simd::store4(out.dIdVd, dIdVd);
+  simd::store4(out.dIdVg, dIdVg);
+  simd::store4(out.dIdVs, dCoreDvs * clm + core * dClmDvs);
+  simd::store4(out.dIdVb, dCoreDvb * clm);
+  simd::store4(out.gm, simd::abs4(dIdVg));
+  simd::store4(out.gds, simd::abs4(dIdVd));
 }
 
 MosOp evalMos(const MosParams& params, MosType type, const MosGeometry& geom,

@@ -59,6 +59,12 @@ struct MosDeviceCtx {
   double vth0 = 0.0;
   double gamma = 0.0;
   double phi = 0.0;
+  // Divides of ctx-only values, hoisted out of the per-iteration kernels.
+  // Each is the verbatim expression the kernel previously evaluated inline,
+  // so reading the field yields the same bits the in-loop divide produced.
+  double invN = 1.0;      ///< 1.0 / n
+  double invVtN = 0.0;    ///< (1.0 / n) / vt  — d xf / d vg
+  double negInvVt = 0.0;  ///< -1.0 / vt       — d xr / d vd
 };
 
 MosDeviceCtx makeMosCtx(const MosParams& params, MosType type,
@@ -80,6 +86,9 @@ struct MosCtxBlock {
   double vth0[kSimLanes];
   double gamma[kSimLanes];
   double phi[kSimLanes];
+  double invN[kSimLanes];
+  double invVtN[kSimLanes];
+  double negInvVt[kSimLanes];
 };
 
 struct MosOpBlock {

@@ -8,18 +8,27 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numbers>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "linalg/cxmath.hpp"
 #include "linalg/lu.hpp"
+#include "sim/assembly_plan.hpp"
 #include "sim/diode.hpp"
+#include "sim/sim_profile.hpp"
 
 namespace trdse::sim {
 
 namespace {
 
 constexpr int L = kSimLanes;
+
+using simd::V4d;
+using simd::V4i;
+using simd::V4u;
+using simd::V8d;
 
 // ---------------------------------------------------------------------------
 // Lane-blocked dense MNA system: entry (r, c) of lane l lives at
@@ -104,66 +113,108 @@ struct LaneLu {
   std::vector<std::size_t> perm;    // i*L + l
   bool ok[L] = {};                  // per-lane "factored and nonsingular"
 
-  void factor(const LaneSystem& sys, const bool* want) {
+  /// Copy the (linear image) system in. The per-iteration nonlinear stamps
+  /// then scatter straight into data() and factorInPlace() runs on it — one
+  /// matrix copy per Newton round instead of the old stamp-into-work +
+  /// copy-into-lu two-pass.
+  void load(const LaneSystem& sys) {
     n = sys.n;
     lu.assign(sys.a.begin(), sys.a.end());
+  }
+
+  double* data() { return lu.data(); }
+
+  void factorInPlace(const bool* want) {
     perm.resize(n * L);
     for (std::size_t i = 0; i < n; ++i)
       for (int l = 0; l < L; ++l) perm[i * L + l] = i;
     for (int l = 0; l < L; ++l) ok[l] = want[l];
+    double* __restrict a = lu.data();
 
     for (std::size_t k = 0; k < n; ++k) {
-      // Per-lane partial pivoting: largest magnitude in column k. The scan
-      // runs with the lane loop innermost so the compare/blend vectorizes;
-      // per lane the selection (strict >, first maximum wins) is identical
-      // to the scalar solver's scan. Dead lanes scan garbage harmlessly.
-      double best[L];
-      int pivotRow[L];
-      for (int l = 0; l < L; ++l) {
-        best[l] = std::abs(lu[(k * n + k) * L + l]);
-        pivotRow[l] = static_cast<int>(k);
-      }
+      // Per-lane partial pivoting: largest magnitude in column k, as an
+      // explicit 4-lane scan with a strict-greater first-wins mask blend. Per
+      // lane the selection is identical to the scalar solver's (the mask only
+      // fires on strictly greater, so ties and NaN candidates keep the
+      // earlier row, like the scalar `>`). Dead lanes scan garbage
+      // harmlessly.
+      V4d best = simd::abs4(simd::load4(a + (k * n + k) * L));
+      V4i pivotRow = simd::splatI4(static_cast<std::int64_t>(k));
       for (std::size_t r = k + 1; r < n; ++r) {
-        for (int l = 0; l < L; ++l) {
-          const double m = std::abs(lu[(r * n + k) * L + l]);
-          const bool better = m > best[l];
-          best[l] = better ? m : best[l];
-          pivotRow[l] = better ? static_cast<int>(r) : pivotRow[l];
-        }
+        const V4d m = simd::abs4(simd::load4(a + (r * n + k) * L));
+        const V4i better = m > best;
+        best = simd::select4(better, m, best);
+        pivotRow = simd::selectI4(
+            better, simd::splatI4(static_cast<std::int64_t>(r)), pivotRow);
       }
-      for (int l = 0; l < L; ++l) {
-        if (!ok[l]) continue;
-        if (best[l] < 1e-300) {  // numerically singular (this lane only)
-          ok[l] = false;
-          continue;
-        }
-        const std::size_t pivot = static_cast<std::size_t>(pivotRow[l]);
+      for (int l = 0; l < L; ++l)
+        if (ok[l] && best[l] < 1e-300)
+          ok[l] = false;  // numerically singular (this lane only)
+      const std::int64_t p0 = pivotRow[0];
+      if (pivotRow[1] == p0 && pivotRow[2] == p0 && pivotRow[3] == p0) {
+        // All lanes agree on the pivot (the common case for same-topology
+        // batches): swap whole 4-lane rows. Pure data movement; dead lanes
+        // ride along unobservably (their solution is never read).
+        const std::size_t pivot = static_cast<std::size_t>(p0);
         if (pivot != k) {
-          std::swap(perm[k * L + l], perm[pivot * L + l]);
-          for (std::size_t c = 0; c < n; ++c)
-            std::swap(lu[(k * n + c) * L + l], lu[(pivot * n + c) * L + l]);
+          for (int l = 0; l < L; ++l)
+            std::swap(perm[k * L + l], perm[pivot * L + l]);
+          for (std::size_t c = 0; c < n; ++c) {
+            const V4d rk = simd::load4(a + (k * n + c) * L);
+            const V4d rp = simd::load4(a + (pivot * n + c) * L);
+            simd::store4(a + (k * n + c) * L, rp);
+            simd::store4(a + (pivot * n + c) * L, rk);
+          }
+        }
+      } else {
+        for (int l = 0; l < L; ++l) {
+          if (!ok[l]) continue;
+          const std::size_t pivot = static_cast<std::size_t>(pivotRow[l]);
+          if (pivot != k) {
+            std::swap(perm[k * L + l], perm[pivot * L + l]);
+            for (std::size_t c = 0; c < n; ++c)
+              std::swap(a[(k * n + c) * L + l], a[(pivot * n + c) * L + l]);
+          }
         }
       }
       // Vectorized elimination. Lanes flagged !ok may compute garbage
       // (inf/NaN) here; their results are never read. rowR and rowK address
-      // disjoint rows (r > k), so __restrict is legal and spares the
-      // vectorizer its runtime aliasing checks.
-      const double* __restrict rowK = &lu[(k * n) * L];
-      for (std::size_t r = k + 1; r < n; ++r) {
-        double* __restrict rowR = &lu[(r * n) * L];
-        double f[L];
-        for (int l = 0; l < L; ++l) f[l] = rowR[k * L + l] / rowK[k * L + l];
-        for (int l = 0; l < L; ++l) rowR[k * L + l] = f[l];
+      // disjoint rows (r > k), so __restrict is legal. Row k's pivot lanes
+      // are not written during the update of rows below it, so hoisting the
+      // load is value-identical to reloading per row.
+      const double* __restrict rowK = a + (k * n) * L;
+      const V4d piv = simd::load4(rowK + k * L);
+      // Two-row blocking shares each pivot-row load between rows r and r+1;
+      // each row still runs exactly its scalar expression sequence.
+      std::size_t r = k + 1;
+      for (; r + 1 < n; r += 2) {
+        double* __restrict rowR = a + (r * n) * L;
+        double* __restrict rowQ = a + ((r + 1) * n) * L;
+        const V4d f0 = simd::load4(rowR + k * L) / piv;
+        const V4d f1 = simd::load4(rowQ + k * L) / piv;
+        simd::store4(rowR + k * L, f0);
+        simd::store4(rowQ + k * L, f1);
+        for (std::size_t c = k + 1; c < n; ++c) {
+          const V4d kc = simd::load4(rowK + c * L);
+          simd::store4(rowR + c * L, simd::load4(rowR + c * L) - f0 * kc);
+          simd::store4(rowQ + c * L, simd::load4(rowQ + c * L) - f1 * kc);
+        }
+      }
+      for (; r < n; ++r) {
+        double* __restrict rowR = a + (r * n) * L;
+        const V4d f = simd::load4(rowR + k * L) / piv;
+        simd::store4(rowR + k * L, f);
         for (std::size_t c = k + 1; c < n; ++c)
-          for (int l = 0; l < L; ++l) rowR[c * L + l] -= f[l] * rowK[c * L + l];
+          simd::store4(rowR + c * L,
+                       simd::load4(rowR + c * L) - f * simd::load4(rowK + c * L));
       }
     }
   }
 
   /// Per lane this is exactly LuSolver<double>::solveInto. `bB` must not
-  /// alias `xB` (callers pass the system RHS and a separate solution buffer);
-  /// the __restrict'ed raw pointers let the short inner lane loops vectorize
-  /// without per-loop runtime aliasing checks.
+  /// alias `xB` (callers pass the system RHS and a separate solution
+  /// buffer). The permutation gather stays scalar (lane-dependent rows); the
+  /// triangular accumulations run as one V4d chain per row.
   void solve(const std::vector<double>& bB, std::vector<double>& xB) const {
     xB.resize(n * L);
     const double* __restrict lup = lu.data();
@@ -171,19 +222,18 @@ struct LaneLu {
     double* __restrict x = xB.data();
     const std::size_t* __restrict pp = perm.data();
     for (std::size_t i = 0; i < n; ++i) {
-      double acc[L];
-      for (int l = 0; l < L; ++l) acc[l] = b[pp[i * L + l] * L + l];
+      double init[L];
+      for (int l = 0; l < L; ++l) init[l] = b[pp[i * L + l] * L + l];
+      V4d acc = simd::load4(init);
       for (std::size_t j = 0; j < i; ++j)
-        for (int l = 0; l < L; ++l) acc[l] -= lup[(i * n + j) * L + l] * x[j * L + l];
-      for (int l = 0; l < L; ++l) x[i * L + l] = acc[l];
+        acc = acc - simd::load4(lup + (i * n + j) * L) * simd::load4(x + j * L);
+      simd::store4(x + i * L, acc);
     }
     for (std::size_t ii = n; ii-- > 0;) {
-      double acc[L];
-      for (int l = 0; l < L; ++l) acc[l] = x[ii * L + l];
+      V4d acc = simd::load4(x + ii * L);
       for (std::size_t j = ii + 1; j < n; ++j)
-        for (int l = 0; l < L; ++l) acc[l] -= lup[(ii * n + j) * L + l] * x[j * L + l];
-      for (int l = 0; l < L; ++l)
-        x[ii * L + l] = acc[l] / lup[(ii * n + ii) * L + l];
+        acc = acc - simd::load4(lup + (ii * n + j) * L) * simd::load4(x + j * L);
+      simd::store4(x + ii * L, acc / simd::load4(lup + (ii * n + ii) * L));
     }
   }
 };
@@ -219,6 +269,9 @@ void buildDeviceBlocks(const std::array<const Netlist*, kSimLanes>& nls, int ref
       db.mosCtx[k].vth0[l] = c.vth0;
       db.mosCtx[k].gamma[l] = c.gamma;
       db.mosCtx[k].phi[l] = c.phi;
+      db.mosCtx[k].invN[l] = c.invN;
+      db.mosCtx[k].invVtN[l] = c.invVtN;
+      db.mosCtx[k].negInvVt[l] = c.negInvVt;
     }
   }
   db.dioCtx.resize(rnl.diodes().size());
@@ -264,6 +317,90 @@ void evalDeviceBlocks(const Netlist& rnl, DeviceBlocks& db,
                                : 0.0;
     }
     evalDiodeBlock(db.dioCtx[k], vak, db.dioOp[k]);
+  }
+}
+
+/// clearLaneToIdentity on raw lane-blocked matrix/rhs storage (the LU panel a
+/// plan scatter is about to run on).
+void clearLaneRawToIdentity(double* a, double* rhs, std::size_t n, int l) {
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      a[(r * n + c) * L + static_cast<std::size_t>(l)] = (r == c) ? 1.0 : 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    rhs[i * L + static_cast<std::size_t>(l)] = 0.0;
+}
+
+/// Nonlinear (diode/MOS) Newton stamps through the precompiled plan tables,
+/// with the lane loop innermost: the four lanes of one matrix cell are
+/// contiguous, so each cell update is one vector add. Per lane this
+/// accumulates exactly the scalar per-iteration sequence (diodes in netlist
+/// order, then MOSFETs, same addAt order per device — distinct lanes are
+/// independent slots, so interleaving across lanes is order-free). Lanes with
+/// on[l] false blend in an addend of exactly 0.0, leaving their cells
+/// bit-unchanged; their op-block values are finite (evalDeviceBlocks feeds
+/// dead lanes 0.0 inputs) and their voltage gathers are masked to 0.0 so no
+/// NaN enters the blend. Shared by the batched DC and transient engines —
+/// both stamp the same linearized device companions onto their respective
+/// linear images.
+void scatterNonlinear(double* __restrict wa, double* __restrict wr,
+                      const AssemblyPlan& plan, const DeviceBlocks& db,
+                      const std::array<const linalg::Vector*, kSimLanes>& v,
+                      const bool* on) {
+  for (std::size_t k = 0; k < plan.dioIdx.size(); ++k) {
+    const DiodeStampIdx& ix = plan.dioIdx[k];
+    const DiodeOpBlock& op = db.dioOp[k];
+    double mgd[L], ieq[L];
+    for (int l = 0; l < L; ++l) {
+      const double vak = on[l] ? (*v[l])[static_cast<std::size_t>(ix.a)] -
+                                     (*v[l])[static_cast<std::size_t>(ix.k)]
+                               : 0.0;
+      const double gd = on[l] ? op.gd[l] : 0.0;
+      const double id = on[l] ? op.id[l] : 0.0;
+      mgd[l] = gd;
+      ieq[l] = id - gd * vak;
+    }
+    if (ix.cell[0] >= 0)
+      for (int l = 0; l < L; ++l) wa[ix.cell[0] * L + l] += mgd[l];
+    if (ix.cell[1] >= 0)
+      for (int l = 0; l < L; ++l) wa[ix.cell[1] * L + l] -= mgd[l];
+    if (ix.cell[2] >= 0)
+      for (int l = 0; l < L; ++l) wa[ix.cell[2] * L + l] += mgd[l];
+    if (ix.cell[3] >= 0)
+      for (int l = 0; l < L; ++l) wa[ix.cell[3] * L + l] -= mgd[l];
+    if (ix.rhsA >= 0)
+      for (int l = 0; l < L; ++l) wr[ix.rhsA * L + l] -= ieq[l];
+    if (ix.rhsK >= 0)
+      for (int l = 0; l < L; ++l) wr[ix.rhsK * L + l] += ieq[l];
+  }
+  for (std::size_t k = 0; k < plan.mosIdx.size(); ++k) {
+    const MosStampIdx& ix = plan.mosIdx[k];
+    const MosOpBlock& op = db.mosOp[k];
+    double mv[4][L], ieq[L];
+    for (int l = 0; l < L; ++l) {
+      mv[0][l] = on[l] ? op.dIdVd[l] : 0.0;
+      mv[1][l] = on[l] ? op.dIdVg[l] : 0.0;
+      mv[2][l] = on[l] ? op.dIdVs[l] : 0.0;
+      mv[3][l] = on[l] ? op.dIdVb[l] : 0.0;
+    }
+    for (int l = 0; l < L; ++l) {
+      const double ids = on[l] ? op.ids[l] : 0.0;
+      const double vd = on[l] ? (*v[l])[static_cast<std::size_t>(ix.d)] : 0.0;
+      const double vg = on[l] ? (*v[l])[static_cast<std::size_t>(ix.g)] : 0.0;
+      const double vs = on[l] ? (*v[l])[static_cast<std::size_t>(ix.s)] : 0.0;
+      const double vb = on[l] ? (*v[l])[static_cast<std::size_t>(ix.b)] : 0.0;
+      ieq[l] = ids - mv[0][l] * vd - mv[1][l] * vg - mv[2][l] * vs -
+               mv[3][l] * vb;
+    }
+    for (int e = 0; e < 4; ++e)
+      if (ix.cell[e] >= 0)
+        for (int l = 0; l < L; ++l) wa[ix.cell[e] * L + l] += mv[e][l];
+    for (int e = 0; e < 4; ++e)
+      if (ix.cell[4 + e] >= 0)
+        for (int l = 0; l < L; ++l) wa[ix.cell[4 + e] * L + l] -= mv[e][l];
+    if (ix.rhsD >= 0)
+      for (int l = 0; l < L; ++l) wr[ix.rhsD * L + l] -= ieq[l];
+    if (ix.rhsS >= 0)
+      for (int l = 0; l < L; ++l) wr[ix.rhsS * L + l] += ieq[l];
   }
 }
 
@@ -444,32 +581,31 @@ void dcEndLoop(DcLane& ln, bool converged, const Netlist& nl,
   }
 }
 
-/// One lane's full matrix + RHS for one Newton iteration, in newtonLoop's
-/// exact stamp order, with the diode/MOS operating points taken from the
-/// shared block evaluation of this round.
-void stampDcLane(LaneSystem& sys, const Netlist& nl, int l, const DcLane& ln,
-                 const DeviceBlocks& db) {
+/// Lane l's *linear* DC image for one (gmin, srcScale) ladder setting:
+/// everything newtonLoop stamps that does not depend on the Newton iterate —
+/// resistors, the gmin diagonal, current sources, VCCS, inductor / vsource /
+/// vcvs branch rows, and the vsource RHS assignments. The per-iteration
+/// diode/MOS stamps are scattered onto a copy of this image each round; the
+/// split is bitwise-safe because every matrix cell and RHS row a nonlinear
+/// device touches receives its linear contributions from stamps that also
+/// precede the nonlinear ones in newtonLoop's order (the later linear stamps
+/// — inductor/vsource/vcvs — only touch branch rows/columns, which are
+/// disjoint from the node-node cells and node RHS rows the diode/MOS stamps
+/// accumulate into).
+void stampDcLinear(LaneSystem& sys, const Netlist& nl, int l, double gmin,
+                   double srcScale) {
   for (const auto& r : nl.resistors()) stampG(sys, nl, l, r.a, r.b, 1.0 / r.ohms);
   for (std::size_t i = 1; i < nl.nodeCount(); ++i) {
     const std::size_t d = nl.nodeIndex(static_cast<NodeId>(i));
-    sys.at(d, d, l) += ln.gmin;
+    sys.at(d, d, l) += gmin;
   }
   for (const auto& src : nl.isources())
-    stampI(sys, nl, l, src.p, src.n, src.idc * ln.srcScale);
+    stampI(sys, nl, l, src.p, src.n, src.idc * srcScale);
   for (const auto& g : nl.vccs()) {
     addAt(sys, nl, l, g.p, g.cp, g.gm);
     addAt(sys, nl, l, g.p, g.cn, -g.gm);
     addAt(sys, nl, l, g.n, g.cp, -g.gm);
     addAt(sys, nl, l, g.n, g.cn, g.gm);
-  }
-  for (std::size_t k = 0; k < nl.diodes().size(); ++k) {
-    const auto& d = nl.diodes()[k];
-    const double vak =
-        ln.v[static_cast<std::size_t>(d.a)] - ln.v[static_cast<std::size_t>(d.k)];
-    const double gd = db.dioOp[k].gd[l];
-    const double id = db.dioOp[k].id[l];
-    stampG(sys, nl, l, d.a, d.k, gd);
-    stampI(sys, nl, l, d.a, d.k, id - gd * vak);
   }
   for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
     const auto& ind = nl.inductors()[k];
@@ -483,25 +619,6 @@ void stampDcLane(LaneSystem& sys, const Netlist& nl, int l, const DcLane& ln,
       sys.at(br, nl.nodeIndex(ind.b), l) -= 1.0;
     }
   }
-  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
-    const auto& fet = nl.mosfets()[k];
-    const double vd = ln.v[static_cast<std::size_t>(fet.d)];
-    const double vg = ln.v[static_cast<std::size_t>(fet.g)];
-    const double vs = ln.v[static_cast<std::size_t>(fet.s)];
-    const double vb = ln.v[static_cast<std::size_t>(fet.b)];
-    const MosOpBlock& op = db.mosOp[k];
-    addAt(sys, nl, l, fet.d, fet.d, op.dIdVd[l]);
-    addAt(sys, nl, l, fet.d, fet.g, op.dIdVg[l]);
-    addAt(sys, nl, l, fet.d, fet.s, op.dIdVs[l]);
-    addAt(sys, nl, l, fet.d, fet.b, op.dIdVb[l]);
-    addAt(sys, nl, l, fet.s, fet.d, -op.dIdVd[l]);
-    addAt(sys, nl, l, fet.s, fet.g, -op.dIdVg[l]);
-    addAt(sys, nl, l, fet.s, fet.s, -op.dIdVs[l]);
-    addAt(sys, nl, l, fet.s, fet.b, -op.dIdVb[l]);
-    const double ieq = op.ids[l] - op.dIdVd[l] * vd - op.dIdVg[l] * vg -
-                       op.dIdVs[l] * vs - op.dIdVb[l] * vb;
-    stampI(sys, nl, l, fet.d, fet.s, ieq);
-  }
   for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
     const auto& src = nl.vsources()[k];
     const std::size_t br = nl.vsourceBranchIndex(k);
@@ -513,7 +630,7 @@ void stampDcLane(LaneSystem& sys, const Netlist& nl, int l, const DcLane& ln,
       sys.at(nl.nodeIndex(src.n), br, l) -= 1.0;
       sys.at(br, nl.nodeIndex(src.n), l) -= 1.0;
     }
-    sys.rv(br, l) = src.vdc * ln.srcScale;
+    sys.rv(br, l) = src.vdc * srcScale;
   }
   for (std::size_t k = 0; k < nl.vcvs().size(); ++k) {
     const auto& e = nl.vcvs()[k];
@@ -531,6 +648,65 @@ void stampDcLane(LaneSystem& sys, const Netlist& nl, int l, const DcLane& ln,
   }
 }
 
+void zeroLane(LaneSystem& sys, int l) {
+  for (std::size_t i = 0; i < sys.n * sys.n; ++i)
+    sys.a[i * L + static_cast<std::size_t>(l)] = 0.0;
+  for (std::size_t i = 0; i < sys.n; ++i)
+    sys.rv(i, l) = 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Persistent batch workspaces. One solve used to allocate its lane system,
+// LU panel, permutation array and solution buffer fresh (~20 heap
+// allocations); engine pool workers run thousands of solves over the same
+// one or two matrix sizes, so the buffers are pooled per thread and reused.
+// Ownership rules (see docs/ARCHITECTURE.md): a workspace holds *values*,
+// never structure — every acquire re-derives sizes from the netlists at
+// hand, so a workspace that last served a different topology simply
+// re-sizes (vector::assign reuses capacity). Lease lifetime is the solve
+// call (DC) or the TransientBatch object; workspaces never outlive their
+// thread's freelist.
+// ---------------------------------------------------------------------------
+struct BatchWorkspace {
+  LaneSystem lin;  ///< linear image: DC ladder image / transient base (+ rhs)
+  LaneLu lu;
+  std::vector<double> workRhs;
+  std::vector<double> stepRhs;
+  std::vector<double> xB;
+  DeviceBlocks db;
+  std::array<DcLane, L> dcLanes;
+};
+
+std::vector<std::unique_ptr<BatchWorkspace>>& workspacePool() {
+  thread_local std::vector<std::unique_ptr<BatchWorkspace>> pool;
+  return pool;
+}
+
+struct WorkspaceLease {
+  std::unique_ptr<BatchWorkspace> ws;
+
+  WorkspaceLease() {
+    auto& pool = workspacePool();
+    if (!pool.empty()) {
+      ws = std::move(pool.back());
+      pool.pop_back();
+    } else {
+      ws = std::make_unique<BatchWorkspace>();
+    }
+  }
+  ~WorkspaceLease() {
+    auto& pool = workspacePool();
+    // Bounded: a worker thread at steady state holds one DC lease plus a
+    // handful of live TransientBatch objects.
+    if (ws != nullptr && pool.size() < 8) pool.push_back(std::move(ws));
+  }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  BatchWorkspace& operator*() { return *ws; }
+  BatchWorkspace* operator->() { return ws.get(); }
+};
+
 }  // namespace
 
 std::array<DcResult, kSimLanes> solveDcBatch(
@@ -546,10 +722,22 @@ std::array<DcResult, kSimLanes> solveDcBatch(
   const std::size_t n = rnl.unknownCount();
   const std::size_t nodes = rnl.nodeCount();
 
-  DeviceBlocks db;
+  const PlanHandle plan = acquirePlan(rnl);
+  WorkspaceLease wsl;
+  BatchWorkspace& ws = *wsl;
+  DeviceBlocks& db = ws.db;
   buildDeviceBlocks(nls, ref, db);
 
-  std::array<DcLane, L> lanes;
+  std::array<DcLane, L>& lanes = ws.dcLanes;
+  for (int l = 0; l < L; ++l) {
+    DcLane& ln = lanes[l];
+    ln.active = ln.done = false;
+    ln.phase = 0;
+    ln.iter = ln.iterations = 0;
+    ln.gmin = 0.0;
+    ln.srcScale = 1.0;
+    ln.result = DcResult{};
+  }
   for (int l = 0; l < L; ++l) {
     if (nls[l] == nullptr) continue;
     assert(sameTopology(rnl, *nls[l]));
@@ -563,10 +751,21 @@ std::array<DcResult, kSimLanes> solveDcBatch(
     dcStartLoop(ln, ln.v0, opts.gmin, 1.0, *nls[l], opts);
   }
 
-  LaneSystem sys;
-  sys.reset(n);
-  LaneLu lu;
-  std::vector<double> xB(n * L, 0.0);
+  LaneSystem& lin = ws.lin;
+  lin.reset(n);
+  LaneLu& lu = ws.lu;
+  std::vector<double>& workRhs = ws.workRhs;
+  std::vector<double>& xB = ws.xB;
+  xB.assign(n * static_cast<std::size_t>(L), 0.0);
+
+  // Which (gmin, srcScale) setting each lane's slice of the linear image
+  // currently holds. A lane's image is only rebuilt when its ladder phase
+  // changes that pair — in the common converge-at-phase-0 case it is stamped
+  // exactly once per solve instead of once per Newton iteration.
+  double stampedGmin[L];
+  double stampedSrc[L];
+  bool stampedValid[L] = {};
+  bool stampedIdentity[L] = {};
 
   auto anyLive = [&lanes]() {
     for (const DcLane& ln : lanes)
@@ -583,17 +782,42 @@ std::array<DcResult, kSimLanes> solveDcBatch(
         vl[l] = &lanes[l].v;
       }
     }
-    evalDeviceBlocks(rnl, db, vl);
-    sys.zero();
-    for (int l = 0; l < L; ++l) {
-      if (live[l]) {
-        stampDcLane(sys, *nls[l], l, lanes[l], db);
-      } else {
-        clearLaneToIdentity(sys, l);
-      }
+    {
+      SimPhaseTimer timer(SimPhase::kDeviceEval);
+      evalDeviceBlocks(rnl, db, vl);
     }
-    lu.factor(sys, live);
-    lu.solve(sys.rhs, xB);
+    {
+      SimPhaseTimer timer(SimPhase::kStamp);
+      for (int l = 0; l < L; ++l) {
+        if (live[l]) {
+          const DcLane& ln = lanes[l];
+          if (!stampedValid[l] || stampedGmin[l] != ln.gmin ||
+              stampedSrc[l] != ln.srcScale) {
+            zeroLane(lin, l);
+            stampDcLinear(lin, *nls[l], l, ln.gmin, ln.srcScale);
+            stampedGmin[l] = ln.gmin;
+            stampedSrc[l] = ln.srcScale;
+            stampedValid[l] = true;
+            stampedIdentity[l] = false;
+          }
+        } else if (!stampedIdentity[l]) {
+          clearLaneToIdentity(lin, l);
+          stampedIdentity[l] = true;
+          stampedValid[l] = false;
+        }
+      }
+      lu.load(lin);
+      workRhs.assign(lin.rhs.begin(), lin.rhs.end());
+      scatterNonlinear(lu.data(), workRhs.data(), *plan, db, vl, live);
+    }
+    {
+      SimPhaseTimer timer(SimPhase::kFactor);
+      lu.factorInPlace(live);
+    }
+    {
+      SimPhaseTimer timer(SimPhase::kSolve);
+      lu.solve(workRhs, xB);
+    }
     for (int l = 0; l < L; ++l) {
       if (!live[l]) continue;
       DcLane& ln = lanes[l];
@@ -647,63 +871,6 @@ struct BatchIndState {
   double iPrev = 0.0;
   double vPrev = 0.0;
 };
-
-// Precomputed flat matrix/rhs indices for the per-round nonlinear stamps
-// (topology is identical across lanes, so one set serves all four). A -1
-// marks a ground-suppressed entry the scalar stampers skip.
-struct MosStampIdx {
-  int cell[8];      // (d,d) (d,g) (d,s) (d,b) (s,d) (s,g) (s,s) (s,b)
-  int rhsD, rhsS;   // ieq rows
-  NodeId d, g, s, b;
-};
-
-struct DiodeStampIdx {
-  int cell[4];      // (a,a) (a,k) (k,k) (k,a)
-  int rhsA, rhsK;
-  NodeId a, k;
-};
-
-int flatCell(const Netlist& nl, std::size_t n, NodeId r, NodeId c) {
-  if (r == kGround || c == kGround) return -1;
-  return static_cast<int>(nl.nodeIndex(r) * n + nl.nodeIndex(c));
-}
-
-int rhsRow(const Netlist& nl, NodeId a) {
-  return a == kGround ? -1 : static_cast<int>(nl.nodeIndex(a));
-}
-
-void buildStampIndices(const Netlist& nl, std::size_t n,
-                       std::vector<MosStampIdx>& mosIdx,
-                       std::vector<DiodeStampIdx>& dioIdx) {
-  mosIdx.resize(nl.mosfets().size());
-  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
-    const auto& fet = nl.mosfets()[k];
-    MosStampIdx& ix = mosIdx[k];
-    const NodeId nodes[8][2] = {{fet.d, fet.d}, {fet.d, fet.g}, {fet.d, fet.s},
-                                {fet.d, fet.b}, {fet.s, fet.d}, {fet.s, fet.g},
-                                {fet.s, fet.s}, {fet.s, fet.b}};
-    for (int e = 0; e < 8; ++e) ix.cell[e] = flatCell(nl, n, nodes[e][0], nodes[e][1]);
-    ix.rhsD = rhsRow(nl, fet.d);
-    ix.rhsS = rhsRow(nl, fet.s);
-    ix.d = fet.d;
-    ix.g = fet.g;
-    ix.s = fet.s;
-    ix.b = fet.b;
-  }
-  dioIdx.resize(nl.diodes().size());
-  for (std::size_t k = 0; k < nl.diodes().size(); ++k) {
-    const auto& d = nl.diodes()[k];
-    DiodeStampIdx& ix = dioIdx[k];
-    ix.cell[0] = flatCell(nl, n, d.a, d.a);
-    ix.cell[1] = flatCell(nl, n, d.a, d.k);
-    ix.cell[2] = flatCell(nl, n, d.k, d.k);
-    ix.cell[3] = flatCell(nl, n, d.k, d.a);
-    ix.rhsA = rhsRow(nl, d.a);
-    ix.rhsK = rhsRow(nl, d.k);
-    ix.a = d.a;
-    ix.k = d.k;
-  }
-}
 
 /// Lane l's step-invariant (linear) matrix part: resistors, gmin, VCCS,
 /// inductor/vsource/vcvs branch rows, capacitor companion conductances. The
@@ -785,14 +952,10 @@ struct TransientBatch::Impl {
   std::array<std::vector<BatchCapState>, L> caps;
   std::array<std::vector<BatchIndState>, L> inds;
   std::array<std::vector<double>, L> xSave;  ///< converged-round solution
-  std::vector<MosStampIdx> mosIdx;
-  std::vector<DiodeStampIdx> dioIdx;
-  DeviceBlocks db;
-  LaneSystem base;  ///< linear matrix part (rhs member unused)
-  LaneSystem work;
-  std::vector<double> stepRhs;
-  LaneLu lu;
-  std::vector<double> xB;
+  PlanHandle plan;  ///< cached per-topology scatter tables
+  /// Pooled buffers: the base image lives in ws->lin (rhs member unused),
+  /// the Newton round runs on ws->lu / ws->workRhs / ws->stepRhs / ws->xB.
+  WorkspaceLease ws;
 
   void doStep(std::size_t stepIndex);
 };
@@ -800,30 +963,37 @@ struct TransientBatch::Impl {
 void TransientBatch::Impl::doStep(std::size_t stepIndex) {
   const Netlist& rnl = *nls[ref];
   const double h = opts.dt;
+  std::vector<double>& stepRhs = ws->stepRhs;
+  std::vector<double>& workRhs = ws->workRhs;
+  std::vector<double>& xB = ws->xB;
+  LaneLu& lu = ws->lu;
 
   // Per-step RHS: sources + linear companion currents. Node entries
   // accumulate as isources then capacitors — the scalar per-iteration order
   // with the nonlinear (diode/MOS) contributions appended per round below.
-  std::fill(stepRhs.begin(), stepRhs.end(), 0.0);
-  for (int l = 0; l < L; ++l) {
-    if (!alive[l]) continue;
-    const Netlist& nl = *nls[l];
-    for (const auto& src : nl.isources())
-      stampIVec(stepRhs, nl, l, src.p, src.n, src.idc);
-    for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
-      const auto& ind = nl.inductors()[k];
-      const double zeq = 2.0 * ind.henry / h;
-      stepRhs[nl.inductorBranchIndex(k) * L + static_cast<std::size_t>(l)] =
-          -(inds[l][k].vPrev + zeq * inds[l][k].iPrev);
+  {
+    SimPhaseTimer timer(SimPhase::kStamp);
+    std::fill(stepRhs.begin(), stepRhs.end(), 0.0);
+    for (int l = 0; l < L; ++l) {
+      if (!alive[l]) continue;
+      const Netlist& nl = *nls[l];
+      for (const auto& src : nl.isources())
+        stampIVec(stepRhs, nl, l, src.p, src.n, src.idc);
+      for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+        const auto& ind = nl.inductors()[k];
+        const double zeq = 2.0 * ind.henry / h;
+        stepRhs[nl.inductorBranchIndex(k) * L + static_cast<std::size_t>(l)] =
+            -(inds[l][k].vPrev + zeq * inds[l][k].iPrev);
+      }
+      for (const auto& cs : caps[l]) {
+        const double geq = 2.0 * cs.c / h;
+        const double ieq = -geq * cs.vPrev - cs.iPrev;
+        stampIVec(stepRhs, nl, l, cs.a, cs.b, ieq);
+      }
+      for (std::size_t k = 0; k < nl.vsources().size(); ++k)
+        stepRhs[nl.vsourceBranchIndex(k) * L + static_cast<std::size_t>(l)] =
+            nl.vsources()[k].vdc;
     }
-    for (const auto& cs : caps[l]) {
-      const double geq = 2.0 * cs.c / h;
-      const double ieq = -geq * cs.vPrev - cs.iPrev;
-      stampIVec(stepRhs, nl, l, cs.a, cs.b, ieq);
-    }
-    for (std::size_t k = 0; k < nl.vsources().size(); ++k)
-      stepRhs[nl.vsourceBranchIndex(k) * L + static_cast<std::size_t>(l)] =
-          nl.vsources()[k].vdc;
   }
 
   bool iterating[L] = {};
@@ -840,91 +1010,31 @@ void TransientBatch::Impl::doStep(std::size_t stepIndex) {
   };
 
   for (int it = 0; it < opts.maxNewtonIterations && anyIterating(); ++it) {
-    work.a.assign(base.a.begin(), base.a.end());
-    work.rhs.assign(stepRhs.begin(), stepRhs.end());
     std::array<const linalg::Vector*, L> vl{};
-    for (int l = 0; l < L; ++l) {
-      if (iterating[l]) {
-        vl[l] = &vIter[l];
-      } else {
-        clearLaneToIdentity(work, l);
-      }
+    for (int l = 0; l < L; ++l)
+      if (iterating[l]) vl[l] = &vIter[l];
+    {
+      SimPhaseTimer timer(SimPhase::kDeviceEval);
+      evalDeviceBlocks(rnl, ws->db, vl);
     }
-    evalDeviceBlocks(rnl, db, vl);
-    // Nonlinear stamps with the lane loop innermost: the four lanes of one
-    // matrix cell are contiguous, so each cell update is one vector add.
-    // Per lane this accumulates exactly the scalar per-iteration sequence
-    // (diodes in netlist order, then MOSFETs, same addAt order per device —
-    // distinct lanes are independent slots, so interleaving across lanes is
-    // order-free). Non-iterating lanes blend in an addend of exactly 0.0,
-    // leaving their identity cells bit-unchanged; their op-block values are
-    // finite (evalDeviceBlocks feeds dead lanes 0.0 inputs) and their
-    // voltage gathers are masked to 0.0 so no NaN enters the blend.
-    double* __restrict wa = work.a.data();
-    double* __restrict wr = work.rhs.data();
-    for (std::size_t k = 0; k < rnl.diodes().size(); ++k) {
-      const DiodeStampIdx& ix = dioIdx[k];
-      const DiodeOpBlock& op = db.dioOp[k];
-      double mgd[L], ieq[L];
-      for (int l = 0; l < L; ++l) {
-        const double vak =
-            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.a)] -
-                               vIter[l][static_cast<std::size_t>(ix.k)]
-                         : 0.0;
-        const double gd = iterating[l] ? op.gd[l] : 0.0;
-        const double id = iterating[l] ? op.id[l] : 0.0;
-        mgd[l] = gd;
-        ieq[l] = id - gd * vak;
-      }
-      if (ix.cell[0] >= 0)
-        for (int l = 0; l < L; ++l) wa[ix.cell[0] * L + l] += mgd[l];
-      if (ix.cell[1] >= 0)
-        for (int l = 0; l < L; ++l) wa[ix.cell[1] * L + l] -= mgd[l];
-      if (ix.cell[2] >= 0)
-        for (int l = 0; l < L; ++l) wa[ix.cell[2] * L + l] += mgd[l];
-      if (ix.cell[3] >= 0)
-        for (int l = 0; l < L; ++l) wa[ix.cell[3] * L + l] -= mgd[l];
-      if (ix.rhsA >= 0)
-        for (int l = 0; l < L; ++l) wr[ix.rhsA * L + l] -= ieq[l];
-      if (ix.rhsK >= 0)
-        for (int l = 0; l < L; ++l) wr[ix.rhsK * L + l] += ieq[l];
+    {
+      SimPhaseTimer timer(SimPhase::kStamp);
+      // One copy of the precomputed base image straight into the LU panel
+      // (the old flow stamped into a work system and copied again inside
+      // factor), then the plan-table nonlinear scatter on top.
+      lu.load(ws->lin);
+      workRhs.assign(stepRhs.begin(), stepRhs.end());
+      for (int l = 0; l < L; ++l)
+        if (!iterating[l])
+          clearLaneRawToIdentity(lu.data(), workRhs.data(), n, l);
+      scatterNonlinear(lu.data(), workRhs.data(), *plan, ws->db, vl, iterating);
     }
-    for (std::size_t k = 0; k < rnl.mosfets().size(); ++k) {
-      const MosStampIdx& ix = mosIdx[k];
-      const MosOpBlock& op = db.mosOp[k];
-      double mv[4][L], ieq[L];
-      for (int l = 0; l < L; ++l) {
-        mv[0][l] = iterating[l] ? op.dIdVd[l] : 0.0;
-        mv[1][l] = iterating[l] ? op.dIdVg[l] : 0.0;
-        mv[2][l] = iterating[l] ? op.dIdVs[l] : 0.0;
-        mv[3][l] = iterating[l] ? op.dIdVb[l] : 0.0;
-      }
-      for (int l = 0; l < L; ++l) {
-        const double ids = iterating[l] ? op.ids[l] : 0.0;
-        const double vd =
-            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.d)] : 0.0;
-        const double vg =
-            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.g)] : 0.0;
-        const double vs =
-            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.s)] : 0.0;
-        const double vb =
-            iterating[l] ? vIter[l][static_cast<std::size_t>(ix.b)] : 0.0;
-        ieq[l] = ids - mv[0][l] * vd - mv[1][l] * vg - mv[2][l] * vs -
-                 mv[3][l] * vb;
-      }
-      for (int e = 0; e < 4; ++e)
-        if (ix.cell[e] >= 0)
-          for (int l = 0; l < L; ++l) wa[ix.cell[e] * L + l] += mv[e][l];
-      for (int e = 0; e < 4; ++e)
-        if (ix.cell[4 + e] >= 0)
-          for (int l = 0; l < L; ++l) wa[ix.cell[4 + e] * L + l] -= mv[e][l];
-      if (ix.rhsD >= 0)
-        for (int l = 0; l < L; ++l) wr[ix.rhsD * L + l] -= ieq[l];
-      if (ix.rhsS >= 0)
-        for (int l = 0; l < L; ++l) wr[ix.rhsS * L + l] += ieq[l];
+    {
+      SimPhaseTimer timer(SimPhase::kFactor);
+      lu.factorInPlace(iterating);
     }
-    lu.factor(work, iterating);
-    lu.solve(work.rhs, xB);
+    SimPhaseTimer timer(SimPhase::kSolve);
+    lu.solve(workRhs, xB);
     for (int l = 0; l < L; ++l) {
       if (!iterating[l]) continue;
       if (!lu.ok[l]) {
@@ -1000,15 +1110,16 @@ TransientBatch::TransientBatch(
   im.nBranches = rnl.branchCount();
   const double h = opts.dt;
   im.totalSteps = static_cast<std::size_t>(opts.tStop / h);
-  buildDeviceBlocks(nls, im.ref, im.db);
-  buildStampIndices(rnl, im.n, im.mosIdx, im.dioIdx);
-  im.base.reset(im.n);
-  im.work.reset(im.n);
-  im.stepRhs.assign(im.n * static_cast<std::size_t>(L), 0.0);
-  im.xB.assign(im.n * static_cast<std::size_t>(L), 0.0);
+  im.plan = acquirePlan(rnl);
+  BatchWorkspace& ws = *im.ws;
+  buildDeviceBlocks(nls, im.ref, ws.db);
+  ws.lin.reset(im.n);
+  ws.stepRhs.assign(im.n * static_cast<std::size_t>(L), 0.0);
+  ws.workRhs.assign(im.n * static_cast<std::size_t>(L), 0.0);
+  ws.xB.assign(im.n * static_cast<std::size_t>(L), 0.0);
   for (int l = 0; l < L; ++l) {
     if (nls[l] == nullptr) {
-      clearLaneToIdentity(im.base, l);
+      clearLaneToIdentity(ws.lin, l);
       continue;
     }
     assert(sameTopology(rnl, *nls[l]));
@@ -1045,7 +1156,7 @@ TransientBatch::TransientBatch(
     res.times.push_back(0.0);
     res.voltages.push_back(im.v[l]);
     res.branchCurrents.emplace_back(im.nBranches, 0.0);
-    stampTransientBase(im.base, nl, l, im.caps[l], h);
+    stampTransientBase(ws.lin, nl, l, im.caps[l], h);
   }
 }
 
@@ -1101,13 +1212,14 @@ struct AcBatch::Impl {
   bool solveOk[L] = {};  ///< per-solveAt nonsingular flag
   int ref = -1;
   std::size_t n = 0;
-  // Lane-interleaved copies of the (frequency-independent) G and C stamp
-  // matrices, laid out (r*n + c)*L + l. Built once; every solveAt assembles
-  // G + jwC straight into the LU planes as two linear passes instead of
-  // per-lane strided Matrix reads plus a full copy.
-  std::vector<double> gInt, cInt;
-  std::vector<double> luRe, luIm;
-  std::vector<double> xRe, xIm;    // i*L + l
+  // Lane- and plane-interleaved storage: matrix cell (r, c) occupies one
+  // 64-byte group of 8 doubles at (r*n + c)*2L, the first four lanes being
+  // the real (G) plane and the next four the imaginary (C) plane. gc holds
+  // the frequency-independent G/C stamp images, built once; every solveAt
+  // assembles G + jwC into lu as a single linear V4d pass, and the complex
+  // elimination/solve kernels touch exactly one cache line per cell.
+  std::vector<double> gc, lu;      // (r*n + c)*2L + plane*L + l
+  std::vector<double> x;           // i*2L + plane*L + l (one cell per unknown)
   std::vector<std::size_t> perm;   // i*L + l
 };
 
@@ -1127,28 +1239,26 @@ AcBatch::AcBatch(const std::array<const Netlist*, kSimLanes>& nls,
   }
   assert(im.ref >= 0 && "AcBatch needs at least one active lane");
   im.n = im.solvers[im.ref]->gStamps().rows();
-  const std::size_t cells = im.n * im.n * static_cast<std::size_t>(L);
-  im.gInt.assign(cells, 0.0);
-  im.cInt.assign(cells, 0.0);
-  im.luRe.assign(cells, 0.0);
-  im.luIm.assign(cells, 0.0);
-  im.xRe.assign(im.n * L, 0.0);
-  im.xIm.assign(im.n * L, 0.0);
+  const std::size_t groups =
+      im.n * im.n * static_cast<std::size_t>(2 * L);
+  im.gc.assign(groups, 0.0);
+  im.lu.assign(groups, 0.0);
+  im.x.assign(im.n * static_cast<std::size_t>(2 * L), 0.0);
   im.perm.assign(im.n * L, 0);
   for (int l = 0; l < L; ++l) {
     if (!im.active[l]) {
       // Inactive lanes hold a fixed identity (C plane zero) so the shared
       // factorization stays benign at any frequency.
       for (std::size_t i = 0; i < im.n; ++i)
-        im.gInt[(i * im.n + i) * L + l] = 1.0;
+        im.gc[(i * im.n + i) * 2 * L + l] = 1.0;
       continue;
     }
     const linalg::Matrix& g = im.solvers[l]->gStamps();
     const linalg::Matrix& c = im.solvers[l]->cStamps();
     for (std::size_t r = 0; r < im.n; ++r) {
       for (std::size_t cc = 0; cc < im.n; ++cc) {
-        im.gInt[(r * im.n + cc) * L + l] = g(r, cc);
-        im.cInt[(r * im.n + cc) * L + l] = c(r, cc);
+        im.gc[(r * im.n + cc) * 2 * L + l] = g(r, cc);
+        im.gc[(r * im.n + cc) * 2 * L + L + l] = c(r, cc);
       }
     }
   }
@@ -1160,158 +1270,250 @@ void AcBatch::solveAt(double freqHz) {
   Impl& im = *impl_;
   const std::size_t n = im.n;
   const double w = 2.0 * std::numbers::pi * freqHz;
+  constexpr std::size_t S = 2 * static_cast<std::size_t>(L);  // doubles/cell
 
-  // Assemble A = G + jwC straight into the LU planes (scalar: A(r,c) =
-  // {g, w*c}); w * 0.0 keeps inactive lanes' identity imaginary-free. The
-  // __restrict qualifiers (here and on the row pointers below) tell GCC the
-  // planes and rows cannot overlap, which drops the runtime alias checks it
-  // otherwise versions every vectorized loop with — measurable at MNA sizes
-  // around a dozen where the inner loops only run a few vector iterations.
-  const std::size_t cells = n * n * static_cast<std::size_t>(L);
-  double* __restrict luRe = im.luRe.data();
-  double* __restrict luIm = im.luIm.data();
+  double* __restrict lup = im.lu.data();
+  const double* __restrict gc = im.gc.data();
+  // Stamped cell (r,c) is {g, w*c} (scalar assembly of A = G + jwC); w * 0.0
+  // keeps inactive lanes' identity imaginary-free, and the real plane's
+  // 1.0-multiply is an exact bitwise identity for every non-NaN double (NaN
+  // lanes replay through the scalar solver, so payload quieting is
+  // unobservable). The k = 0 elimination step below computes stamped values
+  // on the fly straight from the G/C image — each cell's w-multiply happens
+  // exactly once either way, so fusing only removes a full matrix write +
+  // re-read, never a rounding step.
+  const V8d w8 = simd::concat8(simd::splat4(1.0), simd::splat4(w));
+  const V4d wv = simd::splat4(w);
+
   {
-    const double* __restrict gInt = im.gInt.data();
-    const double* __restrict cInt = im.cInt.data();
-    for (std::size_t i = 0; i < cells; ++i) luRe[i] = gInt[i];
-    for (std::size_t i = 0; i < cells; ++i) luIm[i] = w * cInt[i];
-  }
+    SimPhaseTimer timer(SimPhase::kFactor);
+    for (std::size_t i = 0; i < n; ++i)
+      for (int l = 0; l < L; ++l) im.perm[i * L + l] = i;
+    for (int l = 0; l < L; ++l) im.solveOk[l] = im.active[l];
 
-  // Factor: per-lane scalar pivoting, vectorized elimination.
-  for (std::size_t i = 0; i < n; ++i)
-    for (int l = 0; l < L; ++l) im.perm[i * L + l] = i;
-  for (int l = 0; l < L; ++l) im.solveOk[l] = im.active[l];
-
-  for (std::size_t k = 0; k < n; ++k) {
-    // Pivot search, row-major: one contiguous 4-lane cabs1 per row instead of
-    // four strided column scans. Per lane this performs the same comparisons
-    // in the same r order as the scalar LuSolver, so the pivot choice (and
-    // every rounding after it) is identical; dead lanes' magnitudes are
-    // computed but their results are never consumed.
-    std::size_t pivots[L];
-    double bests[L];
-    for (int l = 0; l < L; ++l) {
-      pivots[l] = k;
-      bests[l] = linalg::cxPivotMag(
-          {luRe[(k * n + k) * L + l], luIm[(k * n + k) * L + l]});
+    // Fused stamp + k = 0 step: pivot-search column 0 against on-the-fly
+    // stamped magnitudes, and when every lane agrees on the pivot row (the
+    // overwhelmingly common case for same-topology corner batches) perform
+    // the first elimination step reading stamped values directly from gc,
+    // writing the already-updated matrix into lu. Lanes that disagree fall
+    // back to a whole-image stamp followed by the generic per-lane step.
+    std::size_t kStart = 0;
+    V4d bests = simd::abs4(simd::load4(gc)) +
+                simd::abs4(wv * simd::load4(gc + L));
+    V4i pivots = simd::splatI4(0);
+    for (std::size_t r = 1; r < n; ++r) {
+      const V4d m = simd::abs4(simd::load4(gc + (r * n) * S)) +
+                    simd::abs4(wv * simd::load4(gc + (r * n) * S + L));
+      const V4i better = m > bests;
+      bests = simd::select4(better, m, bests);
+      pivots = simd::selectI4(
+          better, simd::splatI4(static_cast<std::int64_t>(r)), pivots);
     }
-    for (std::size_t r = k + 1; r < n; ++r) {
-      const double* __restrict colRe = luRe + (r * n + k) * L;
-      const double* __restrict colIm = luIm + (r * n + k) * L;
-      double m[L];
+    const std::int64_t fp0 = pivots[0];
+    if (pivots[1] == fp0 && pivots[2] == fp0 && pivots[3] == fp0) {
       for (int l = 0; l < L; ++l)
-        m[l] = linalg::cxPivotMag({colRe[l], colIm[l]});
-      for (int l = 0; l < L; ++l) {
-        if (m[l] > bests[l]) {
-          bests[l] = m[l];
-          pivots[l] = r;
+        if (im.solveOk[l] && bests[l] < 1e-300) im.solveOk[l] = false;
+      const std::size_t p = static_cast<std::size_t>(fp0);
+      if (p != 0)
+        for (int l = 0; l < L; ++l) std::swap(im.perm[l], im.perm[p * L + l]);
+      // Row 0 of the factor is the stamped source row p, verbatim.
+      for (std::size_t c = 0; c < n; ++c)
+        simd::store8(lup + c * S, simd::load8(gc + (p * n + c) * S) * w8);
+      const V4d dre = simd::load4(lup);
+      const V4d dim = simd::load4(lup + L);
+      const V4d den = dre * dre + dim * dim;
+      const V4d rcp = simd::splat4(1.0) / den;
+      const V4d invRe = dre * rcp;
+      const V4d invIm = -dim * rcp;
+      for (std::size_t r = 1; r < n; ++r) {
+        // Row r's source is row r, except the row displaced by the swap.
+        const double* __restrict g = gc + ((r == p ? 0 : r) * n) * S;
+        double* __restrict rowR = lup + (r * n) * S;
+        const V4d ar = simd::load4(g);
+        const V4d ai = wv * simd::load4(g + L);
+        const V4d fRe = ar * invRe - ai * invIm;
+        const V4d fIm = ar * invIm + ai * invRe;
+        simd::store4(rowR, fRe);
+        simd::store4(rowR + L, fIm);
+        for (std::size_t c = 1; c < n; ++c) {
+          const V4d sr = simd::load4(g + c * S);
+          const V4d si = wv * simd::load4(g + c * S + L);
+          const V4d kr = simd::load4(lup + c * S);
+          const V4d ki = simd::load4(lup + c * S + L);
+          simd::store4(rowR + c * S, sr - (fRe * kr - fIm * ki));
+          simd::store4(rowR + c * S + L, si - (fRe * ki + fIm * kr));
         }
       }
+      kStart = 1;
+    } else {
+      // Divergent pivots at k = 0: materialize the whole stamped image and
+      // let the generic step redo the search against identical values.
+      for (std::size_t i = 0; i < n * n; ++i)
+        simd::store8(lup + i * S, simd::load8(gc + i * S) * w8);
     }
-    for (int l = 0; l < L; ++l) {
-      if (!im.solveOk[l]) continue;
-      if (bests[l] < 1e-300) {  // scalar solveSystem: nullopt -> zero solution
-        im.solveOk[l] = false;
-        continue;
+
+    for (std::size_t k = kStart; k < n; ++k) {
+      // Pivot search: one 4-lane cabs1 (|re| + |im|, elementwise-exact) per
+      // candidate row, with a strict-greater first-wins mask blend. Per lane
+      // this performs the same comparisons in the same r order as the scalar
+      // LuSolver, so the pivot choice (and every rounding after it) is
+      // identical; dead lanes' magnitudes are computed but never consumed.
+      V4d bests = simd::abs4(simd::load4(lup + (k * n + k) * S)) +
+                  simd::abs4(simd::load4(lup + (k * n + k) * S + L));
+      V4i pivots = simd::splatI4(static_cast<std::int64_t>(k));
+      for (std::size_t r = k + 1; r < n; ++r) {
+        const V4d m = simd::abs4(simd::load4(lup + (r * n + k) * S)) +
+                      simd::abs4(simd::load4(lup + (r * n + k) * S + L));
+        const V4i better = m > bests;
+        bests = simd::select4(better, m, bests);
+        pivots = simd::selectI4(
+            better, simd::splatI4(static_cast<std::int64_t>(r)), pivots);
       }
-      const std::size_t pivot = pivots[l];
-      if (pivot != k) {
-        std::swap(im.perm[k * L + l], im.perm[pivot * L + l]);
-        for (std::size_t c = 0; c < n; ++c) {
-          std::swap(luRe[(k * n + c) * L + l], luRe[(pivot * n + c) * L + l]);
-          std::swap(luIm[(k * n + c) * L + l], luIm[(pivot * n + c) * L + l]);
+      for (int l = 0; l < L; ++l)
+        if (im.solveOk[l] && bests[l] < 1e-300)
+          im.solveOk[l] = false;  // scalar solveSystem: nullopt -> zeros
+      const std::int64_t p0 = pivots[0];
+      if (pivots[1] == p0 && pivots[2] == p0 && pivots[3] == p0) {
+        // Same-topology corner batches almost always agree on the pivot row:
+        // swap whole cells instead of per-lane scalar strides. Pure data
+        // movement, so the lane arithmetic is untouched; dead lanes ride
+        // along unobservably (their solution is zeroed after the solve, and
+        // the scalar path never reads their rows again).
+        const std::size_t pivot = static_cast<std::size_t>(p0);
+        if (pivot != k) {
+          for (int l = 0; l < L; ++l)
+            std::swap(im.perm[k * L + l], im.perm[pivot * L + l]);
+          for (std::size_t c = 0; c < n; ++c) {
+            const V8d a = simd::load8(lup + (k * n + c) * S);
+            const V8d b = simd::load8(lup + (pivot * n + c) * S);
+            simd::store8(lup + (k * n + c) * S, b);
+            simd::store8(lup + (pivot * n + c) * S, a);
+          }
         }
-      }
-    }
-    double invRe[L], invIm[L];
-    for (int l = 0; l < L; ++l) {
-      const std::complex<double> inv = linalg::cxReciprocal(
-          {im.luRe[(k * n + k) * L + l], im.luIm[(k * n + k) * L + l]});
-      invRe[l] = inv.real();
-      invIm[l] = inv.imag();
-    }
-    const double* __restrict rowKRe = luRe + (k * n) * L;
-    const double* __restrict rowKIm = luIm + (k * n) * L;
-    for (std::size_t r = k + 1; r < n; ++r) {
-      // Rows r and k are disjoint slices (r > k), so restrict holds.
-      double* __restrict rowRRe = luRe + (r * n) * L;
-      double* __restrict rowRIm = luIm + (r * n) * L;
-      double fRe[L], fIm[L];
-      for (int l = 0; l < L; ++l) {
-        const double ar = rowRRe[k * L + l];
-        const double ai = rowRIm[k * L + l];
-        fRe[l] = ar * invRe[l] - ai * invIm[l];
-        fIm[l] = ar * invIm[l] + ai * invRe[l];
-      }
-      for (int l = 0; l < L; ++l) {
-        rowRRe[k * L + l] = fRe[l];
-        rowRIm[k * L + l] = fIm[l];
-      }
-      for (std::size_t c = k + 1; c < n; ++c) {
+      } else {
         for (int l = 0; l < L; ++l) {
-          const double kr = rowKRe[c * L + l];
-          const double ki = rowKIm[c * L + l];
-          rowRRe[c * L + l] -= fRe[l] * kr - fIm[l] * ki;
-          rowRIm[c * L + l] -= fRe[l] * ki + fIm[l] * kr;
+          if (!im.solveOk[l]) continue;
+          const std::size_t pivot = static_cast<std::size_t>(pivots[l]);
+          if (pivot != k) {
+            std::swap(im.perm[k * L + l], im.perm[pivot * L + l]);
+            for (std::size_t c = 0; c < n; ++c) {
+              std::swap(lup[(k * n + c) * S + l], lup[(pivot * n + c) * S + l]);
+              std::swap(lup[(k * n + c) * S + L + l],
+                        lup[(pivot * n + c) * S + L + l]);
+            }
+          }
+        }
+      }
+      // cxReciprocal of the diagonal, vectorized: the identical expression
+      // sequence (d = re*re + im*im; id = 1/d; {re*id, -im*id}) per lane.
+      const V4d dre = simd::load4(lup + (k * n + k) * S);
+      const V4d dim = simd::load4(lup + (k * n + k) * S + L);
+      const V4d den = dre * dre + dim * dim;
+      const V4d rcp = simd::splat4(1.0) / den;
+      const V4d invRe = dre * rcp;
+      const V4d invIm = -dim * rcp;
+      const double* __restrict rowK = lup + (k * n) * S;
+      // Two-row blocking: rows r and r+1 share one load of the pivot row's
+      // (kr, ki) per column. Each row still executes exactly its scalar
+      // expression sequence — blocking only interleaves two independent
+      // rows' updates, so the bitwise contract is untouched.
+      std::size_t r = k + 1;
+      for (; r + 1 < n; r += 2) {
+        // Rows r, r+1 and k are pairwise disjoint slices, so restrict holds.
+        double* __restrict rowR = lup + (r * n) * S;
+        double* __restrict rowQ = lup + ((r + 1) * n) * S;
+        const V4d ar0 = simd::load4(rowR + k * S);
+        const V4d ai0 = simd::load4(rowR + k * S + L);
+        const V4d ar1 = simd::load4(rowQ + k * S);
+        const V4d ai1 = simd::load4(rowQ + k * S + L);
+        const V4d fRe0 = ar0 * invRe - ai0 * invIm;
+        const V4d fIm0 = ar0 * invIm + ai0 * invRe;
+        const V4d fRe1 = ar1 * invRe - ai1 * invIm;
+        const V4d fIm1 = ar1 * invIm + ai1 * invRe;
+        simd::store4(rowR + k * S, fRe0);
+        simd::store4(rowR + k * S + L, fIm0);
+        simd::store4(rowQ + k * S, fRe1);
+        simd::store4(rowQ + k * S + L, fIm1);
+        for (std::size_t c = k + 1; c < n; ++c) {
+          const V4d kr = simd::load4(rowK + c * S);
+          const V4d ki = simd::load4(rowK + c * S + L);
+          simd::store4(rowR + c * S,
+                       simd::load4(rowR + c * S) - (fRe0 * kr - fIm0 * ki));
+          simd::store4(rowR + c * S + L,
+                       simd::load4(rowR + c * S + L) - (fRe0 * ki + fIm0 * kr));
+          simd::store4(rowQ + c * S,
+                       simd::load4(rowQ + c * S) - (fRe1 * kr - fIm1 * ki));
+          simd::store4(rowQ + c * S + L,
+                       simd::load4(rowQ + c * S + L) - (fRe1 * ki + fIm1 * kr));
+        }
+      }
+      for (; r < n; ++r) {
+        // Rows r and k are disjoint slices (r > k), so restrict holds.
+        double* __restrict rowR = lup + (r * n) * S;
+        const V4d ar = simd::load4(rowR + k * S);
+        const V4d ai = simd::load4(rowR + k * S + L);
+        const V4d fRe = ar * invRe - ai * invIm;
+        const V4d fIm = ar * invIm + ai * invRe;
+        simd::store4(rowR + k * S, fRe);
+        simd::store4(rowR + k * S + L, fIm);
+        for (std::size_t c = k + 1; c < n; ++c) {
+          const V4d kr = simd::load4(rowK + c * S);
+          const V4d ki = simd::load4(rowK + c * S + L);
+          simd::store4(rowR + c * S,
+                       simd::load4(rowR + c * S) - (fRe * kr - fIm * ki));
+          simd::store4(rowR + c * S + L,
+                       simd::load4(rowR + c * S + L) - (fRe * ki + fIm * kr));
         }
       }
     }
   }
 
-  // Solve (per lane: LuSolver<complex>::solveInto with b = bReal + j0).
+  // Solve (per lane: LuSolver<complex>::solveInto with b = bReal + j0). The
+  // solution vector shares the matrix's cell layout, so the triangular
+  // accumulations run on whole cells: per term, t1/t2 hold the four scalar
+  // products and the half-swaps only repackage lanes before the exact
+  // scalar-order sub/add (re: mr*xr - mi*xi, im: mr*xi + mi*xr).
+  SimPhaseTimer timer(SimPhase::kSolve);
   const double* bLane[L] = {};
   for (int l = 0; l < L; ++l)
     if (im.active[l]) bLane[l] = im.solvers[l]->acExcitation().data();
-  double* __restrict xRe = im.xRe.data();
-  double* __restrict xIm = im.xIm.data();
+  double* __restrict x = im.x.data();
   for (std::size_t i = 0; i < n; ++i) {
-    double accRe[L], accIm[L];
-    for (int l = 0; l < L; ++l) {
-      accRe[l] = bLane[l] != nullptr ? bLane[l][im.perm[i * L + l]] : 0.0;
-      accIm[l] = 0.0;
-    }
+    double init[L];
+    for (int l = 0; l < L; ++l)
+      init[l] = bLane[l] != nullptr ? bLane[l][im.perm[i * L + l]] : 0.0;
+    V4d accRe = simd::load4(init);
+    V4d accIm = simd::splat4(0.0);
     for (std::size_t j = 0; j < i; ++j) {
-      for (int l = 0; l < L; ++l) {
-        const double mr = luRe[(i * n + j) * L + l];
-        const double mi = luIm[(i * n + j) * L + l];
-        const double xr = xRe[j * L + l];
-        const double xi = xIm[j * L + l];
-        accRe[l] -= mr * xr - mi * xi;
-        accIm[l] -= mr * xi + mi * xr;
-      }
+      const V4d mr = simd::load4(lup + (i * n + j) * S);
+      const V4d mi = simd::load4(lup + (i * n + j) * S + L);
+      const V4d xr = simd::load4(x + j * S);
+      const V4d xi = simd::load4(x + j * S + L);
+      accRe = accRe - (mr * xr - mi * xi);
+      accIm = accIm - (mr * xi + mi * xr);
     }
-    for (int l = 0; l < L; ++l) {
-      xRe[i * L + l] = accRe[l];
-      xIm[i * L + l] = accIm[l];
-    }
+    simd::store4(x + i * S, accRe);
+    simd::store4(x + i * S + L, accIm);
   }
   for (std::size_t ii = n; ii-- > 0;) {
-    double accRe[L], accIm[L];
-    for (int l = 0; l < L; ++l) {
-      accRe[l] = xRe[ii * L + l];
-      accIm[l] = xIm[ii * L + l];
-    }
+    V4d accRe = simd::load4(x + ii * S);
+    V4d accIm = simd::load4(x + ii * S + L);
     for (std::size_t j = ii + 1; j < n; ++j) {
-      for (int l = 0; l < L; ++l) {
-        const double mr = luRe[(ii * n + j) * L + l];
-        const double mi = luIm[(ii * n + j) * L + l];
-        const double xr = xRe[j * L + l];
-        const double xi = xIm[j * L + l];
-        accRe[l] -= mr * xr - mi * xi;
-        accIm[l] -= mr * xi + mi * xr;
-      }
+      const V4d mr = simd::load4(lup + (ii * n + j) * S);
+      const V4d mi = simd::load4(lup + (ii * n + j) * S + L);
+      const V4d xr = simd::load4(x + j * S);
+      const V4d xi = simd::load4(x + j * S + L);
+      accRe = accRe - (mr * xr - mi * xi);
+      accIm = accIm - (mr * xi + mi * xr);
     }
-    double invRe[L], invIm[L];
-    for (int l = 0; l < L; ++l) {
-      const std::complex<double> inv = linalg::cxReciprocal(
-          {luRe[(ii * n + ii) * L + l], luIm[(ii * n + ii) * L + l]});
-      invRe[l] = inv.real();
-      invIm[l] = inv.imag();
-    }
-    for (int l = 0; l < L; ++l) {
-      xRe[ii * L + l] = accRe[l] * invRe[l] - accIm[l] * invIm[l];
-      xIm[ii * L + l] = accRe[l] * invIm[l] + accIm[l] * invRe[l];
-    }
+    const V4d dre = simd::load4(lup + (ii * n + ii) * S);
+    const V4d dim = simd::load4(lup + (ii * n + ii) * S + L);
+    const V4d den = dre * dre + dim * dim;
+    const V4d rcp = simd::splat4(1.0) / den;
+    const V4d invRe = dre * rcp;
+    const V4d invIm = -dim * rcp;
+    simd::store4(x + ii * S, accRe * invRe - accIm * invIm);
+    simd::store4(x + ii * S + L, accRe * invIm + accIm * invRe);
   }
 
   // Singular lanes yield the scalar's zero solution; surviving lanes feed the
@@ -1320,13 +1522,13 @@ void AcBatch::solveAt(double freqHz) {
     if (!im.active[l]) continue;
     if (!im.solveOk[l]) {
       for (std::size_t i = 0; i < n; ++i) {
-        im.xRe[i * L + l] = 0.0;
-        im.xIm[i * L + l] = 0.0;
+        im.x[i * S + l] = 0.0;
+        im.x[i * S + L + l] = 0.0;
       }
       continue;
     }
     for (std::size_t i = 0; i < n; ++i) {
-      if (!std::isfinite(im.xRe[i * L + l]) || !std::isfinite(im.xIm[i * L + l])) {
+      if (!std::isfinite(im.x[i * S + l]) || !std::isfinite(im.x[i * S + L + l])) {
         im.finite[l] = false;
         break;
       }
@@ -1339,7 +1541,8 @@ std::complex<double> AcBatch::nodeVoltage(int lane, NodeId n) const {
   assert(lane >= 0 && lane < L && im.active[lane]);
   if (n == kGround) return {0.0, 0.0};
   const std::size_t i = im.solvers[lane]->netlist().nodeIndex(n);
-  return {im.xRe[i * L + lane], im.xIm[i * L + lane]};
+  const std::size_t cell = i * static_cast<std::size_t>(2 * L);
+  return {im.x[cell + lane], im.x[cell + L + lane]};
 }
 
 bool AcBatch::laneFinite(int lane) const {

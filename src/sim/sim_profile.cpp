@@ -1,0 +1,46 @@
+#include "sim/sim_profile.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace trdse::sim {
+
+namespace {
+
+std::atomic<bool> gEnabled{false};
+std::atomic<std::uint64_t> gPhaseNs[4] = {};
+
+}  // namespace
+
+bool simProfilingEnabled() {
+  return gEnabled.load(std::memory_order_relaxed);
+}
+
+void setSimProfiling(bool on) {
+  gEnabled.store(on, std::memory_order_relaxed);
+}
+
+SimPhaseTotals simPhaseTotals() {
+  SimPhaseTotals t;
+  t.deviceEvalNs = gPhaseNs[0].load(std::memory_order_relaxed);
+  t.stampNs = gPhaseNs[1].load(std::memory_order_relaxed);
+  t.factorNs = gPhaseNs[2].load(std::memory_order_relaxed);
+  t.solveNs = gPhaseNs[3].load(std::memory_order_relaxed);
+  return t;
+}
+
+void resetSimPhaseTotals() {
+  for (auto& c : gPhaseNs) c.store(0, std::memory_order_relaxed);
+}
+
+void addSimPhaseNs(SimPhase phase, std::uint64_t ns) {
+  gPhaseNs[static_cast<int>(phase)].fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::int64_t simProfileNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace trdse::sim

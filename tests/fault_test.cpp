@@ -327,11 +327,11 @@ TEST(EvalEngineFaults, BatchSurfacesFailuresInTheirSlots) {
 core::SizingProblem faultGridBatchProblem() {
   core::SizingProblem p = faultGridProblem();
   const core::CornerEvalFn scalar = p.evaluate;
-  p.evaluateBatch = [scalar](const linalg::Vector& sizes,
+  p.evaluateBatch = [scalar](const linalg::Vector* const* sizes,
                              const sim::PvtCorner* corners,
                              core::EvalResult* results, std::size_t count) {
     for (std::size_t i = 0; i < count; ++i)
-      results[i] = scalar(sizes, corners[i]);
+      results[i] = scalar(*sizes[i], corners[i]);
   };
   return p;
 }

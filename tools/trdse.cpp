@@ -23,6 +23,7 @@
 // 4 completed but at least one job quarantined (`# quarantined` line on
 // stdout) — CI distinguishes "degraded but deterministic" from hard failure.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -38,6 +39,7 @@
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 #include "serve/report.hpp"
+#include "sim/sim_profile.hpp"
 
 namespace {
 
@@ -151,6 +153,12 @@ int cmdRun(ArgCursor args, bool resume) {
       return usage();
     }
 
+    // Per-phase simulator attribution is on for the whole run (one relaxed
+    // atomic load per phase scope when idle elsewhere); it feeds the
+    // stderr-only "# sim-phase" comment below and never touches stdout.
+    // Enabled before the scheduler exists so forked workers inherit it.
+    trdse::sim::setSimProfiling(true);
+
     // Worker count 0 delegates to the in-process Scheduler, so this is the
     // only construction path — --workers is a pure throughput knob.
     trdse::orch::DistributedScheduler scheduler(std::move(scenario));
@@ -195,6 +203,24 @@ int cmdRun(ArgCursor args, bool resume) {
                    w, rep.sharedHits, rep.sharedMisses);
     }
     std::fputs(trdse::serve::renderReport(report).c_str(), stdout);
+    // Simulator phase attribution, summed over the job engines' EvalStats.
+    // Stderr comment lines only: stdout is golden-diffed and wall time is
+    // outside the determinism contract. Harvests from forked workers do not
+    // carry the phase fields (they are never on the wire), so distributed
+    // runs attribute only coordinator-resident jobs.
+    {
+      std::uint64_t dev = 0, stamp = 0, factor = 0, solve = 0;
+      for (const trdse::orch::JobResult& jr : results) {
+        dev += jr.outcome.evalStats.simDeviceEvalNs;
+        stamp += jr.outcome.evalStats.simStampNs;
+        factor += jr.outcome.evalStats.simFactorNs;
+        solve += jr.outcome.evalStats.simSolveNs;
+      }
+      std::fprintf(stderr,
+                   "# sim-phase: deviceEval=%.1fms stamp=%.1fms "
+                   "factor=%.1fms solve=%.1fms\n",
+                   dev / 1e6, stamp / 1e6, factor / 1e6, solve / 1e6);
+    }
     for (const std::string& ev : scheduler.events())
       std::fprintf(stderr, "# event: %s\n", ev.c_str());
     std::fprintf(stderr, "[%.2fs wall, threads=%zu, workers=%zu]\n", seconds,
